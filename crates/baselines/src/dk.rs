@@ -1,0 +1,399 @@
+//! dK-series analysis and generation (§2, Figs 1–2; Mahadevan et al.).
+//!
+//! The dK-*distribution* computation itself lives in
+//! [`cold_graph::subgraphs`]; this module adds the generation side:
+//!
+//! - [`generate_1k`]: a uniform-ish sample with a prescribed degree
+//!   sequence (Havel–Hakimi construction + randomizing double-edge swaps);
+//! - [`double_edge_swap`]: the degree-preserving rewiring primitive;
+//! - [`joint_degree_matrix`] / [`generate_2k`]: the 2K level — the compact
+//!   joint-degree form and a targeted JDM-preserving rewiring chain;
+//! - [`sample_same_dk`]: MCMC over degree-preserving swaps that only
+//!   accepts moves keeping the dK-distribution equal to the input's — the
+//!   procedure behind Fig 2(c). For `d = 3` on small engineered graphs the
+//!   chain barely moves: "the only possible 3K graph that can match the
+//!   input is isomorphic to the input itself", which
+//!   [`cold_graph::canonical::are_isomorphic`] then verifies.
+//! - [`parameter_count_series`]: the Fig 1 curve — number of distinct
+//!   dK entries versus graph size for `d = 2, 3, 4`.
+
+use cold_graph::subgraphs::{dk_distribution, dk_parameter_count};
+use cold_graph::AdjacencyMatrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Whether `seq` is graphical (Erdős–Gallai).
+pub fn is_graphical(seq: &[usize]) -> bool {
+    let n = seq.len();
+    let mut d: Vec<usize> = seq.to_vec();
+    d.sort_unstable_by(|a, b| b.cmp(a));
+    if d.iter().sum::<usize>() % 2 != 0 {
+        return false;
+    }
+    if d.first().is_some_and(|&x| x >= n) {
+        return false;
+    }
+    let sum: Vec<usize> = d
+        .iter()
+        .scan(0usize, |acc, &x| {
+            *acc += x;
+            Some(*acc)
+        })
+        .collect();
+    for k in 1..=n {
+        let lhs = sum[k - 1];
+        let mut rhs = k * (k - 1);
+        for &di in &d[k..] {
+            rhs += di.min(k);
+        }
+        if lhs > rhs {
+            return false;
+        }
+    }
+    true
+}
+
+/// Builds *some* simple graph with the given degree sequence
+/// (Havel–Hakimi), then applies `randomize_swaps` random double-edge swaps
+/// to decorrelate from the deterministic construction.
+///
+/// Returns `None` if the sequence is not graphical.
+pub fn generate_1k(
+    seq: &[usize],
+    randomize_swaps: usize,
+    rng: &mut StdRng,
+) -> Option<AdjacencyMatrix> {
+    if !is_graphical(seq) {
+        return None;
+    }
+    let n = seq.len();
+    let mut m = AdjacencyMatrix::empty(n);
+    let mut residual: Vec<(usize, usize)> = seq.iter().copied().enumerate().map(|(v, d)| (d, v)).collect();
+    loop {
+        residual.sort_unstable_by(|a, b| b.cmp(a));
+        let (d, v) = residual[0];
+        if d == 0 {
+            break;
+        }
+        if d >= residual.len() {
+            return None; // Defensive; cannot happen for graphical input.
+        }
+        residual[0].0 = 0;
+        for slot in residual.iter_mut().skip(1).take(d) {
+            if slot.0 == 0 {
+                return None;
+            }
+            slot.0 -= 1;
+            m.set_edge(v, slot.1, true);
+        }
+    }
+    for _ in 0..randomize_swaps {
+        double_edge_swap(&mut m, rng);
+    }
+    Some(m)
+}
+
+/// Attempts one degree-preserving double-edge swap: picks two disjoint
+/// edges `(a, b)`, `(c, d)` and rewires to `(a, d)`, `(c, b)` when that
+/// creates no self-loop or multi-edge. Returns whether a swap happened.
+pub fn double_edge_swap(m: &mut AdjacencyMatrix, rng: &mut StdRng) -> bool {
+    let edges: Vec<(usize, usize)> = m.edges().collect();
+    if edges.len() < 2 {
+        return false;
+    }
+    let i = rng.gen_range(0..edges.len());
+    let j = rng.gen_range(0..edges.len());
+    if i == j {
+        return false;
+    }
+    let (a, b) = edges[i];
+    let (c, d) = edges[j];
+    // Orient the second edge randomly to cover both rewirings.
+    let (c, d) = if rng.gen_range(0.0..1.0) < 0.5 { (c, d) } else { (d, c) };
+    if a == c || a == d || b == c || b == d {
+        return false;
+    }
+    if m.has_edge(a, d) || m.has_edge(c, b) {
+        return false;
+    }
+    m.set_edge(a, b, false);
+    m.set_edge(c, d, false);
+    m.set_edge(a, d, true);
+    m.set_edge(c, b, true);
+    true
+}
+
+/// The joint degree matrix (2K-distribution in its compact form):
+/// `jdm[(a, b)]` with `a ≤ b` counts edges whose endpoint degrees are
+/// `a` and `b`.
+pub fn joint_degree_matrix(m: &AdjacencyMatrix) -> std::collections::BTreeMap<(usize, usize), usize> {
+    let degs = m.degrees();
+    let mut jdm = std::collections::BTreeMap::new();
+    for (u, v) in m.edges() {
+        let (a, b) = if degs[u] <= degs[v] { (degs[u], degs[v]) } else { (degs[v], degs[u]) };
+        *jdm.entry((a, b)).or_insert(0) += 1;
+    }
+    jdm
+}
+
+/// One 2K-preserving rewiring attempt: a double-edge swap restricted to
+/// edge pairs whose swapped endpoints have equal degree, which provably
+/// preserves the joint degree matrix. Returns whether a swap happened.
+///
+/// This is the targeted generator for the 2K level — much faster than the
+/// generic [`sample_same_dk`] check-and-revert chain because no
+/// distribution needs recomputing.
+pub fn two_k_preserving_swap(m: &mut AdjacencyMatrix, rng: &mut StdRng) -> bool {
+    let edges: Vec<(usize, usize)> = m.edges().collect();
+    if edges.len() < 2 {
+        return false;
+    }
+    let degs = m.degrees();
+    let i = rng.gen_range(0..edges.len());
+    let j = rng.gen_range(0..edges.len());
+    if i == j {
+        return false;
+    }
+    let (a, b) = edges[i];
+    let (c, d) = edges[j];
+    let (c, d) = if rng.gen_range(0.0..1.0) < 0.5 { (c, d) } else { (d, c) };
+    if a == c || a == d || b == c || b == d {
+        return false;
+    }
+    // Swapping (a,b),(c,d) → (a,d),(c,b) preserves the JDM iff the
+    // exchanged endpoints have equal degree.
+    if degs[b] != degs[d] {
+        return false;
+    }
+    if m.has_edge(a, d) || m.has_edge(c, b) {
+        return false;
+    }
+    m.set_edge(a, b, false);
+    m.set_edge(c, d, false);
+    m.set_edge(a, d, true);
+    m.set_edge(c, b, true);
+    true
+}
+
+/// Samples a graph with the same 2K-distribution as `input` by running
+/// `attempts` 2K-preserving swaps. Returns the final graph and the number
+/// of successful swaps.
+pub fn generate_2k(input: &AdjacencyMatrix, attempts: usize, rng: &mut StdRng) -> (AdjacencyMatrix, usize) {
+    let mut g = input.clone();
+    let mut accepted = 0usize;
+    for _ in 0..attempts {
+        if two_k_preserving_swap(&mut g, rng) {
+            accepted += 1;
+        }
+    }
+    (g, accepted)
+}
+
+/// MCMC sampler over graphs with the *same dK-distribution* as `input`:
+/// proposes degree-preserving double-edge swaps and reverts any swap that
+/// changes the dK-distribution (for the given `d`). Runs `proposals`
+/// proposals and returns the final state plus the number of accepted moves.
+///
+/// For `d = 1` every successful swap is accepted (swaps preserve degrees);
+/// as `d` grows, acceptance collapses — the over-constraining effect §2
+/// demonstrates with Fig 2.
+pub fn sample_same_dk(
+    input: &AdjacencyMatrix,
+    d: usize,
+    proposals: usize,
+    rng: &mut StdRng,
+) -> (AdjacencyMatrix, usize) {
+    let target = dk_distribution(&input.to_graph(), d);
+    let mut current = input.clone();
+    let mut accepted = 0usize;
+    for _ in 0..proposals {
+        let mut trial = current.clone();
+        if !double_edge_swap(&mut trial, rng) {
+            continue;
+        }
+        if d <= 1 || dk_distribution(&trial.to_graph(), d) == target {
+            current = trial;
+            accepted += 1;
+        }
+    }
+    (current, accepted)
+}
+
+/// The Fig 1 series: for each `n` in `sizes`, generates a connected sample
+/// graph with `make_graph(n)` and counts its distinct dK entries for every
+/// `d` in `ds`. Returns rows `(n, counts-aligned-with-ds)`.
+pub fn parameter_count_series(
+    sizes: &[usize],
+    ds: &[usize],
+    mut make_graph: impl FnMut(usize) -> AdjacencyMatrix,
+) -> Vec<(usize, Vec<usize>)> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let g = make_graph(n).to_graph();
+            let counts = ds.iter().map(|&d| dk_parameter_count(&g, d)).collect();
+            (n, counts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_graph::canonical::are_isomorphic;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_gallai_classifies_sequences() {
+        assert!(is_graphical(&[2, 2, 2])); // triangle
+        assert!(is_graphical(&[1, 1])); // edge
+        assert!(is_graphical(&[3, 3, 3, 3])); // K4
+        assert!(!is_graphical(&[1])); // odd sum
+        assert!(!is_graphical(&[3, 1, 1])); // too demanding
+        assert!(!is_graphical(&[4, 1, 1, 1])); // max degree >= n
+        assert!(is_graphical(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn generate_1k_hits_degree_sequence() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let seq = vec![3, 2, 2, 2, 1];
+        let g = generate_1k(&seq, 50, &mut rng).expect("graphical");
+        let mut got = g.degrees();
+        let mut want = seq.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn generate_1k_rejects_nongraphical() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(generate_1k(&[3, 1, 1], 10, &mut rng).is_none());
+    }
+
+    #[test]
+    fn swaps_preserve_degrees() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = AdjacencyMatrix::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)],
+        )
+        .unwrap();
+        let before = {
+            let mut d = m.degrees();
+            d.sort_unstable();
+            d
+        };
+        for _ in 0..200 {
+            double_edge_swap(&mut m, &mut rng);
+        }
+        let after = {
+            let mut d = m.degrees();
+            d.sort_unstable();
+            d
+        };
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn same_dk_sampler_preserves_distribution() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = AdjacencyMatrix::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (0, 3), (1, 4)],
+        )
+        .unwrap();
+        for d in [1usize, 2, 3] {
+            let (out, _) = sample_same_dk(&input, d, 100, &mut rng);
+            assert!(cold_graph::subgraphs::same_dk_distribution(
+                &input.to_graph(),
+                &out.to_graph(),
+                d
+            ));
+        }
+    }
+
+    #[test]
+    fn three_k_overconstrains_small_rigid_graphs() {
+        // A ring: every 3K-preserving state of C6 is isomorphic to C6
+        // (the paper's clique/ring example).
+        let ring = AdjacencyMatrix::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (out, _) = sample_same_dk(&ring, 3, 300, &mut rng);
+        assert!(are_isomorphic(&ring, &out));
+    }
+
+    #[test]
+    fn one_k_moves_more_than_three_k() {
+        let input = AdjacencyMatrix::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (5, 6), (6, 7), (7, 4), (2, 5)],
+        )
+        .unwrap();
+        let (_, acc1) = sample_same_dk(&input, 1, 200, &mut StdRng::seed_from_u64(6));
+        let (_, acc3) = sample_same_dk(&input, 3, 200, &mut StdRng::seed_from_u64(6));
+        assert!(acc1 > acc3, "1K accepted {acc1} <= 3K accepted {acc3}");
+    }
+
+    #[test]
+    fn jdm_counts_every_edge_once() {
+        let m = AdjacencyMatrix::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]).unwrap();
+        let jdm = joint_degree_matrix(&m);
+        let total: usize = jdm.values().sum();
+        assert_eq!(total, 4);
+        // Degrees: [3,1,1,2,1]. Edge classes: (1,3)×2, (2,3)×1, (1,2)×1.
+        assert_eq!(jdm[&(1, 3)], 2);
+        assert_eq!(jdm[&(2, 3)], 1);
+        assert_eq!(jdm[&(1, 2)], 1);
+    }
+
+    #[test]
+    fn two_k_swaps_preserve_the_jdm() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let input = AdjacencyMatrix::from_edges(
+            10,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9), (9, 0), (0, 5), (2, 7)],
+        )
+        .unwrap();
+        let target = joint_degree_matrix(&input);
+        let (out, accepted) = generate_2k(&input, 500, &mut rng);
+        assert_eq!(joint_degree_matrix(&out), target);
+        assert!(accepted > 0, "the chain should move on this symmetric input");
+        assert!(cold_graph::subgraphs::same_dk_distribution(
+            &input.to_graph(),
+            &out.to_graph(),
+            2
+        ));
+    }
+
+    #[test]
+    fn two_k_chain_moves_at_least_as_freely_as_three_k() {
+        let input = AdjacencyMatrix::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (5, 6), (6, 7), (7, 4), (2, 5)],
+        )
+        .unwrap();
+        let (_, acc2) = generate_2k(&input, 300, &mut StdRng::seed_from_u64(9));
+        let (_, acc3) = sample_same_dk(&input, 3, 300, &mut StdRng::seed_from_u64(9));
+        assert!(acc2 >= acc3, "2K moves {acc2} < 3K moves {acc3}");
+    }
+
+    #[test]
+    fn parameter_counts_grow_with_d() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let rows = parameter_count_series(&[12, 16], &[2, 3], |n| {
+            // Connected-ish ER sample; retry until connected.
+            loop {
+                let g = crate::erdos_renyi::gnp(n, 3.0 / n as f64, &mut rng);
+                if cold_graph::components::matrix_is_connected(&g) {
+                    return g;
+                }
+            }
+        });
+        for (n, counts) in rows {
+            assert!(counts[1] >= counts[0], "n={n}: d=3 count below d=2 count");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Erdős–Rényi random graphs.
+//!
+//! The oldest baseline in Table 1 ("simple and succeed in generating
+//! statistically varied graphs … but the parameters are of questionable
+//! physical meaning, and without modification these graphs don't even meet
+//! simple technical constraints like connectivity"), also used by the GA's
+//! initial-population fill (§4.1) and Fig 2's same-link-count comparison.
+
+use cold_graph::AdjacencyMatrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples `G(n, p)`: each of the `C(n,2)` pairs is a link independently
+/// with probability `p`.
+///
+/// # Panics
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn gnp(n: usize, p: f64, rng: &mut StdRng) -> AdjacencyMatrix {
+    assert!((0.0..=1.0).contains(&p), "p = {p} must be in [0, 1]");
+    let mut m = AdjacencyMatrix::empty(n);
+    for pair in 0..m.pair_count() {
+        if rng.gen_range(0.0..1.0) < p {
+            m.set_bit(pair, true);
+        }
+    }
+    m
+}
+
+/// Samples `G(n, m)`: a uniform graph with exactly `m` links (reservoir
+/// selection over pair indices). Used for Fig 2(b): "Erdös-Rényi graphs
+/// based on that network — they all have the same number of links but in
+/// random places."
+///
+/// # Panics
+/// Panics if `m > C(n,2)`.
+pub fn gnm(n: usize, m: usize, rng: &mut StdRng) -> AdjacencyMatrix {
+    let mut g = AdjacencyMatrix::empty(n);
+    let pairs = g.pair_count();
+    assert!(m <= pairs, "m = {m} exceeds C({n},2) = {pairs}");
+    // Partial Fisher–Yates over pair indices.
+    let mut idx: Vec<usize> = (0..pairs).collect();
+    for i in 0..m {
+        let j = rng.gen_range(i..pairs);
+        idx.swap(i, j);
+        g.set_bit(idx[i], true);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gnp(6, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(6, 1.0, &mut rng).edge_count(), 15);
+    }
+
+    #[test]
+    fn gnp_density_close_to_p() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 200;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            total += gnp(20, 0.3, &mut rng).edge_count();
+        }
+        let mean = total as f64 / trials as f64;
+        let expect = 0.3 * 190.0;
+        assert!((mean - expect).abs() < 3.0, "mean edges {mean} vs {expect}");
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for m in [0usize, 1, 7, 21] {
+            assert_eq!(gnm(7, m, &mut rng).edge_count(), m);
+        }
+    }
+
+    #[test]
+    fn gnm_varies_with_seed() {
+        let a = gnm(10, 12, &mut StdRng::seed_from_u64(4));
+        let b = gnm(10, 12, &mut StdRng::seed_from_u64(5));
+        assert_ne!(a, b);
+        let c = gnm(10, 12, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_rejects_too_many_edges() {
+        let mut rng = StdRng::seed_from_u64(6);
+        gnm(4, 7, &mut rng);
+    }
+}

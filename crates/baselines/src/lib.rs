@@ -1,0 +1,33 @@
+//! Baseline topology-synthesis models (§2 of the paper, Table 1, Figs 1–2).
+//!
+//! COLD's evaluation compares against the classic random-graph families:
+//!
+//! - [`erdos_renyi`]: Erdős–Rényi `G(n, p)` and `G(n, m)`;
+//! - [`waxman`]: Waxman's distance-dependent random graphs;
+//! - [`plrg`]: Power-Law Random Graphs (Aiello–Chung–Lu expected-degree
+//!   model, i.e. the Chung–Lu construction with power-law weights);
+//! - [`dk`]: the dK-series machinery of Mahadevan et al. — dK-distribution
+//!   computation, the parameter-count analysis of Fig 1, degree-sequence
+//!   (1K) generation, and dK-preserving rewiring used to reproduce Fig 2's
+//!   demonstration that matching the 3K-distribution of a small network
+//!   can pin it down up to isomorphism;
+//! - [`criteria`]: a programmatic version of Table 1 — each synthesis
+//!   model is scored against the six requirements from the paper's
+//!   introduction (statistical variation, constraints, meaningful
+//!   parameters, tunability, generates-a-network, simplicity).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod criteria;
+pub mod dk;
+pub mod erdos_renyi;
+pub mod hot;
+pub mod plrg;
+pub mod waxman;
+
+pub use criteria::{evaluate_model, CriteriaReport, Score, SynthesisModel};
+pub use erdos_renyi::{gnm, gnp};
+pub use hot::FkpHot;
+pub use plrg::Plrg;
+pub use waxman::Waxman;

@@ -1,0 +1,132 @@
+//! Waxman random graphs.
+//!
+//! Waxman (1988) adds "an additional notion of geographical distance
+//! dependence" (§2) to Erdős–Rényi: given node positions, the pair `(u, v)`
+//! is a link with probability `β·exp(−d(u,v)/(α·L))` where `L` is the
+//! maximum inter-node distance. Still scores ✗ on constraints, parameters,
+//! and network generation in Table 1 — it is here as a faithful baseline.
+
+use cold_context::region::Point;
+use cold_graph::AdjacencyMatrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Waxman model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Waxman {
+    /// Distance-decay parameter `α ∈ (0, 1]`: larger ⇒ long links more
+    /// likely.
+    pub alpha: f64,
+    /// Density parameter `β ∈ (0, 1]`: larger ⇒ more links overall.
+    pub beta: f64,
+}
+
+impl Default for Waxman {
+    fn default() -> Self {
+        Self { alpha: 0.4, beta: 0.4 }
+    }
+}
+
+impl Waxman {
+    /// Samples a Waxman graph over the given node positions.
+    ///
+    /// # Panics
+    /// Panics unless `0 < α ≤ 1` and `0 < β ≤ 1`.
+    pub fn sample(&self, positions: &[Point], rng: &mut StdRng) -> AdjacencyMatrix {
+        assert!(self.alpha > 0.0 && self.alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(self.beta > 0.0 && self.beta <= 1.0, "beta must be in (0, 1]");
+        let n = positions.len();
+        let mut max_d = 0.0f64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                max_d = max_d.max(positions[u].distance(&positions[v]));
+            }
+        }
+        let mut m = AdjacencyMatrix::empty(n);
+        if max_d == 0.0 {
+            return m;
+        }
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let d = positions[u].distance(&positions[v]);
+                let p = self.beta * (-d / (self.alpha * max_d)).exp();
+                if rng.gen_range(0.0..1.0) < p {
+                    m.set_edge(u, v, true);
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn grid_positions(k: usize) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..k {
+            for j in 0..k {
+                pts.push(Point::new(i as f64, j as f64));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn short_links_more_likely_than_long() {
+        let pts = grid_positions(5);
+        let w = Waxman { alpha: 0.15, beta: 0.9 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut short, mut long, mut short_tot, mut long_tot) = (0usize, 0usize, 0usize, 0usize);
+        for _ in 0..200 {
+            let g = w.sample(&pts, &mut rng);
+            for u in 0..pts.len() {
+                for v in (u + 1)..pts.len() {
+                    let d = pts[u].distance(&pts[v]);
+                    if d <= 1.0 {
+                        short_tot += 1;
+                        if g.has_edge(u, v) {
+                            short += 1;
+                        }
+                    } else if d >= 4.0 {
+                        long_tot += 1;
+                        if g.has_edge(u, v) {
+                            long += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let ps = short as f64 / short_tot as f64;
+        let pl = long as f64 / long_tot as f64;
+        assert!(ps > 4.0 * pl, "short-link rate {ps} vs long-link rate {pl}");
+    }
+
+    #[test]
+    fn beta_controls_density() {
+        let pts = grid_positions(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sparse: usize =
+            (0..100).map(|_| Waxman { alpha: 0.5, beta: 0.1 }.sample(&pts, &mut rng).edge_count()).sum();
+        let dense: usize =
+            (0..100).map(|_| Waxman { alpha: 0.5, beta: 0.9 }.sample(&pts, &mut rng).edge_count()).sum();
+        assert!(dense > 3 * sparse, "dense {dense} vs sparse {sparse}");
+    }
+
+    #[test]
+    fn degenerate_positions_yield_empty_graph() {
+        let pts = vec![Point::new(0.5, 0.5); 4];
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(Waxman::default().sample(&pts, &mut rng).edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        Waxman { alpha: 0.0, beta: 0.5 }.sample(&grid_positions(2), &mut rng);
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion benches for the optimizers: the GA (Fig 4's subject, plus the
+//! parallel-evaluation ablation) and the §5 greedy heuristics.
+
+use cold::{ColdConfig, ColdObjective, SynthesisMode};
+use cold_cost::{CostEvaluator, CostParams};
+use cold_ga::{GaSettings, GeneticAlgorithm};
+use cold_heuristics::{
+    complete_heuristic, greedy_attachment, mst_heuristic, random_greedy, RandomGreedyConfig,
+};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Small GA settings so the bench iterates in reasonable time; scaling
+/// shape (Fig 4) comes from varying n at fixed T = M.
+fn bench_settings(seed: u64, parallel: bool) -> GaSettings {
+    GaSettings {
+        generations: 10,
+        population: 20,
+        num_saved: 4,
+        num_crossover: 10,
+        num_mutation: 6,
+        parallel,
+        ..GaSettings::quick(seed)
+    }
+}
+
+fn bench_ga_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ga_runtime");
+    group.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let cfg = ColdConfig::paper(n, 4e-4, 10.0);
+        let ctx = cfg.context.generate(1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let obj = ColdObjective::new(&ctx, cfg.params);
+                let ga = GeneticAlgorithm::new(&obj, bench_settings(7, false));
+                black_box(ga.run().best.cost)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ga_parallelism(c: &mut Criterion) {
+    // The parallel-evaluation ablation: same GA, serial vs threaded
+    // fitness evaluation (worthwhile from moderate n upward).
+    let mut group = c.benchmark_group("ga_parallel");
+    group.sample_size(10);
+    let n = 60;
+    let cfg = ColdConfig::paper(n, 4e-4, 10.0);
+    let ctx = cfg.context.generate(2);
+    for parallel in [false, true] {
+        let label = if parallel { "parallel" } else { "serial" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let obj = ColdObjective::new(&ctx, cfg.params);
+                let ga = GeneticAlgorithm::new(&obj, bench_settings(8, parallel));
+                black_box(ga.run().best.cost)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics");
+    let n = 20;
+    let ctx = ColdConfig::paper(n, 4e-4, 10.0).context.generate(3);
+    let eval = CostEvaluator::new(&ctx, CostParams::paper(4e-4, 10.0));
+    group.bench_function("complete", |b| b.iter(|| black_box(complete_heuristic(&eval).cost)));
+    group.bench_function("mst", |b| b.iter(|| black_box(mst_heuristic(&eval).cost)));
+    group.bench_function("greedy_attachment", |b| {
+        b.iter(|| black_box(greedy_attachment(&eval).cost))
+    });
+    group.bench_function("random_greedy_x3", |b| {
+        b.iter(|| {
+            black_box(random_greedy(&eval, &RandomGreedyConfig { permutations: 3 }, 4).cost)
+        })
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize");
+    group.sample_size(10);
+    let mut cfg = ColdConfig::quick(15, 4e-4, 10.0);
+    cfg.ga = bench_settings(9, false);
+    for mode in [SynthesisMode::GaOnly, SynthesisMode::Initialized] {
+        let label = match mode {
+            SynthesisMode::GaOnly => "plain_ga",
+            SynthesisMode::Initialized => "initialized",
+        };
+        let cfg = ColdConfig { mode, ..cfg };
+        group.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(cfg.synthesize(seed).best_cost())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ga_scaling,
+    bench_ga_parallelism,
+    bench_heuristics,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs the GA design-choice ablations (DESIGN.md §6).
+fn main() {
+    let opts = cold_bench::ExpOptions::from_args();
+    let doc = cold_bench::experiments::ablations::run(&opts);
+    opts.write_json("ablations", &doc);
+}

@@ -1,0 +1,22 @@
+//! Runs every experiment in sequence and writes all JSON documents — the
+//! one-command regeneration of the paper's full evaluation section.
+fn main() {
+    let opts = cold_bench::ExpOptions::from_args();
+    use cold_bench::experiments as e;
+    opts.write_json("table1", &e::table1::run(&opts));
+    opts.write_json("fig1", &e::fig1::run(&opts));
+    opts.write_json("fig2", &e::fig2::run(&opts));
+    opts.write_json("fig3", &e::fig3::run(&opts));
+    opts.write_json("fig4", &e::fig4::run(&opts));
+    for (name, doc) in e::tunability::run(&opts) {
+        opts.write_json(&name, &doc);
+    }
+    opts.write_json("fig8a", &e::fig8a::run(&opts));
+    for (name, doc) in e::hubcost::run(&opts) {
+        opts.write_json(&name, &doc);
+    }
+    opts.write_json("sec5_bruteforce", &e::sec5::run(&opts));
+    opts.write_json("sec7_context", &e::sec7::run(&opts));
+    opts.write_json("ablations", &e::ablations::run(&opts));
+    opts.write_json("ga_vs_sa", &e::ga_vs_sa::run(&opts));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 1 (dK parameter growth).
+fn main() {
+    let opts = cold_bench::ExpOptions::from_args();
+    let doc = cold_bench::experiments::fig1::run(&opts);
+    opts.write_json("fig1", &doc);
+}

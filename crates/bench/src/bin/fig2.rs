@@ -1,0 +1,6 @@
+//! Regenerates Figure 2 (ER vs 3K-matching graphs of a small example).
+fn main() {
+    let opts = cold_bench::ExpOptions::from_args();
+    let doc = cold_bench::experiments::fig2::run(&opts);
+    opts.write_json("fig2", &doc);
+}

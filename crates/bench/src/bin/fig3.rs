@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 (GA vs greedy heuristics vs initialized GA).
+fn main() {
+    let opts = cold_bench::ExpOptions::from_args();
+    let doc = cold_bench::experiments::fig3::run(&opts);
+    opts.write_json("fig3", &doc);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (GA runtime scaling, ~n^3).
+fn main() {
+    let opts = cold_bench::ExpOptions::from_args();
+    let doc = cold_bench::experiments::fig4::run(&opts);
+    opts.write_json("fig4", &doc);
+}

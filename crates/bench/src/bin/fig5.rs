@@ -1,0 +1,8 @@
+//! Regenerates Figures 5-7 (tunability sweep; all three share one sweep,
+//! so running any of the fig5/fig6/fig7 binaries writes all three files).
+fn main() {
+    let opts = cold_bench::ExpOptions::from_args();
+    for (name, doc) in cold_bench::experiments::tunability::run(&opts) {
+        opts.write_json(&name, &doc);
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8a (CVND distribution over the surrogate zoo).
+fn main() {
+    let opts = cold_bench::ExpOptions::from_args();
+    let doc = cold_bench::experiments::fig8a::run(&opts);
+    opts.write_json("fig8a", &doc);
+}

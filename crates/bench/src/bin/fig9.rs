@@ -1,0 +1,8 @@
+//! Regenerates Figures 8b and 9 (CVND and hub count vs k3; both share one
+//! sweep, so running either binary writes both files).
+fn main() {
+    let opts = cold_bench::ExpOptions::from_args();
+    for (name, doc) in cold_bench::experiments::hubcost::run(&opts) {
+        opts.write_json(&name, &doc);
+    }
+}

@@ -1,0 +1,6 @@
+//! Runs the GA-vs-simulated-annealing comparison (§3.3's design choice).
+fn main() {
+    let opts = cold_bench::ExpOptions::from_args();
+    let doc = cold_bench::experiments::ga_vs_sa::run(&opts);
+    opts.write_json("ga_vs_sa", &doc);
+}

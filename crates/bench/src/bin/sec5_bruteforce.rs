@@ -1,0 +1,6 @@
+//! Regenerates the §5 brute-force optimality validation.
+fn main() {
+    let opts = cold_bench::ExpOptions::from_args();
+    let doc = cold_bench::experiments::sec5::run(&opts);
+    opts.write_json("sec5_bruteforce", &doc);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §7 context-sensitivity study.
+fn main() {
+    let opts = cold_bench::ExpOptions::from_args();
+    let doc = cold_bench::experiments::sec7::run(&opts);
+    opts.write_json("sec7_context", &doc);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 1. Usage: `cargo run -p cold-bench --release --bin table1 [--full]`.
+fn main() {
+    let opts = cold_bench::ExpOptions::from_args();
+    let doc = cold_bench::experiments::table1::run(&opts);
+    opts.write_json("table1", &doc);
+}

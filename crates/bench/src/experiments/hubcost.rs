@@ -1,0 +1,122 @@
+//! Figures 8(b) and 9: CVND and hub count vs the hub cost `k3`, for
+//! `k2 ∈ {2.5e-5, 1e-4, 4e-4, 1.6e-3}` (the paper's series), `n = 30`.
+//!
+//! §7's claim: without a node-based cost (small `k3`) the CVND stays well
+//! below 1 for every `k2`, and the number of hubs stays large; only an
+//! explicit hub cost pushes CVND toward the ≈2 seen in real networks and
+//! the hub count toward 1. Both figures come from the same sweep.
+
+use crate::{fmt, print_table, ExpOptions};
+use cold::sweep::{log_space, SweepCell, SweepPlan, SweepPoint};
+use cold::ColdConfig;
+use serde_json::json;
+
+/// The paper's `k2` series for Figs 8(b) and 9.
+pub const K2S: [f64; 4] = [2.5e-5, 1.0e-4, 4.0e-4, 1.6e-3];
+
+/// Runs the shared sweep; returns `(fig8b, fig9)` JSON documents.
+pub fn run(opts: &ExpOptions) -> Vec<(String, serde_json::Value)> {
+    let n = if opts.full { 30 } else { 12 };
+    let trials = opts.trials(6, 200);
+    // The paper's Fig 8b/9 x-axis is log-spaced 10⁰..10³; a k3 = 0 point
+    // is prepended because §7's claim is about the *absence* of a hub
+    // cost ("the case where we don't include a hub-based cost").
+    let mut k3s = vec![0.0];
+    k3s.extend(log_space(1.0, 1000.0, if opts.full { 7 } else { 4 }));
+    let mut points = Vec::new();
+    for &k2 in &K2S {
+        for &k3 in &k3s {
+            points.push(SweepPoint { k2, k3 });
+        }
+    }
+    let plan = SweepPlan {
+        base: ColdConfig { ga: opts.ga_settings(), ..ColdConfig::paper(n, 1e-4, 0.0) },
+        points,
+        trials,
+        stats: vec!["cvnd".into(), "hubs".into()],
+        seed: opts.seed,
+        confidence: 0.95,
+    };
+    let cells = plan.run();
+
+    let mut out = Vec::new();
+    for (stat, fig, title) in [
+        ("cvnd", "fig8b", "Figure 8b: coefficient of variation of node degree vs k3"),
+        ("hubs", "fig9", "Figure 9: number of hub (core) PoPs vs k3"),
+    ] {
+        let mut rows = Vec::new();
+        for &k3 in &k3s {
+            let mut row = vec![fmt(k3)];
+            for &k2 in &K2S {
+                let ci = find(&cells, k2, k3).stat(stat).expect("stat present");
+                row.push(format!("{}±{}", fmt(ci.mean), fmt((ci.hi - ci.lo) / 2.0)));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("{title} (n = {n}, {trials} trials/point)"),
+            &["k3", "k2=2.5e-5", "k2=1e-4", "k2=4e-4", "k2=1.6e-3"],
+            &rows,
+        );
+        let doc = json!({
+            "experiment": fig,
+            "stat": stat,
+            "n": n,
+            "trials": trials,
+            "k2": K2S,
+            "k3": k3s,
+            "cells": cells.iter().map(|c| json!({
+                "k2": c.point.k2, "k3": c.point.k3,
+                "mean": c.stat(stat).unwrap().mean,
+                "lo": c.stat(stat).unwrap().lo,
+                "hi": c.stat(stat).unwrap().hi,
+            })).collect::<Vec<_>>(),
+        });
+        out.push((fig.to_string(), doc));
+    }
+    out
+}
+
+fn find<'a>(cells: &'a [SweepCell], k2: f64, k3: f64) -> &'a SweepCell {
+    cells
+        .iter()
+        .find(|c| (c.point.k2 - k2).abs() < 1e-15 && (c.point.k3 - k3).abs() < 1e-15)
+        .expect("cell exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_cost_raises_cvnd_and_cuts_hub_count() {
+        let opts = ExpOptions { seed: 6, trials_override: Some(3), ..Default::default() };
+        let docs = run(&opts);
+        let pick = |doc: &serde_json::Value, k2: f64, k3: f64| -> f64 {
+            doc["cells"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .find(|c| {
+                    (c["k2"].as_f64().unwrap() - k2).abs() < 1e-12
+                        && (c["k3"].as_f64().unwrap() - k3).abs() < 1e-10 * k3.max(1.0)
+                })
+                .unwrap()["mean"]
+                .as_f64()
+                .unwrap()
+        };
+        let k3s: Vec<f64> =
+            docs[0].1["k3"].as_array().unwrap().iter().map(|x| x.as_f64().unwrap()).collect();
+        let (k3_lo, k3_hi) = (k3s[0], *k3s.last().unwrap());
+        assert_eq!(k3_lo, 0.0);
+        // §7: without a hub cost, CVND stays below 1.
+        let cvnd_lo = pick(&docs[0].1, 1e-4, k3_lo);
+        assert!(cvnd_lo < 1.0, "CVND at k3={k3_lo} is {cvnd_lo}, expected < 1");
+        // Large k3 ⇒ CVND rises and hub count falls.
+        let cvnd_hi = pick(&docs[0].1, 1e-4, k3_hi);
+        assert!(cvnd_hi > cvnd_lo, "CVND did not rise with k3 ({cvnd_lo} -> {cvnd_hi})");
+        let hubs_lo = pick(&docs[1].1, 1e-4, k3_lo);
+        let hubs_hi = pick(&docs[1].1, 1e-4, k3_hi);
+        assert!(hubs_hi < hubs_lo, "hub count did not fall with k3 ({hubs_lo} -> {hubs_hi})");
+    }
+}

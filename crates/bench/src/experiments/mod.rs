@@ -1,0 +1,16 @@
+//! One module per paper artifact. Each exposes
+//! `run(&ExpOptions) -> serde_json::Value`: it prints the series the paper
+//! plots and returns the JSON document the binary writes to `results/`.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig8a;
+pub mod ga_vs_sa;
+pub mod hubcost;
+pub mod sec5;
+pub mod sec7;
+pub mod table1;
+pub mod tunability;

@@ -1,0 +1,118 @@
+//! §7 / §3.1 context-sensitivity study.
+//!
+//! The paper's finding: the context model — bursty vs uniform PoP
+//! locations, heavy-tailed vs exponential traffic, even fairly elongated
+//! regions — has a comparatively small effect on the PoP-level ensemble
+//! statistics, and in particular none of them raises the CVND anywhere
+//! near the Topology-Zoo range. Only the explicit hub cost `k3` does
+//! (Figs 8–9).
+
+use crate::{fmt, print_table, ExpOptions};
+use cold::bootstrap::bootstrap_mean_ci;
+use cold::ColdConfig;
+use cold_context::points::{JitteredGrid, MaternCluster, PointProcessKind};
+use cold_context::population::PopulationKind;
+use cold_context::{ContextConfig, Region};
+use serde_json::json;
+
+/// The context variants compared (name, config transformer).
+fn variants(n: usize) -> Vec<(&'static str, ContextConfig)> {
+    let base = ContextConfig::paper_default(n);
+    vec![
+        ("uniform+exp (paper default)", base),
+        (
+            "bursty PoPs (Matern)",
+            ContextConfig {
+                points: PointProcessKind::Matern(MaternCluster { parents: 4, sigma: 0.05 }),
+                ..base
+            },
+        ),
+        (
+            "regular PoPs (grid)",
+            ContextConfig { points: PointProcessKind::Grid(JitteredGrid { jitter: 0.4 }), ..base },
+        ),
+        ("Pareto 1.5 traffic", ContextConfig { population: PopulationKind::pareto_1_5(), ..base }),
+        (
+            "Pareto 10/9 traffic",
+            ContextConfig { population: PopulationKind::pareto_10_9(), ..base },
+        ),
+        ("9:1 rectangle", ContextConfig { region: Region::Rectangle { aspect: 9.0 }, ..base }),
+    ]
+}
+
+const STATS: [&str; 4] = ["average_degree", "cvnd", "diameter", "global_clustering"];
+
+/// Runs the experiment with `k3 = 0` — the regime where the paper shows
+/// context alone cannot create hubby networks.
+pub fn run(opts: &ExpOptions) -> serde_json::Value {
+    let n = if opts.full { 30 } else { 12 };
+    let trials = opts.trials(5, 40);
+    let mut rows = Vec::new();
+    let mut docs = Vec::new();
+    let mut baseline_means: Vec<f64> = Vec::new();
+    let mut max_cvnd = 0.0f64;
+    for (i, (name, ctx_cfg)) in variants(n).into_iter().enumerate() {
+        let cfg = ColdConfig {
+            context: ctx_cfg,
+            ga: opts.ga_settings(),
+            ..ColdConfig::quick(n, 4e-4, 0.0)
+        };
+        let results = cfg.ensemble(cold_context::rng::derive_seed(opts.seed, i as u64), trials);
+        let mut row = vec![name.to_string()];
+        let mut stat_docs = Vec::new();
+        for (si, stat) in STATS.iter().enumerate() {
+            let xs: Vec<f64> = results.iter().filter_map(|r| r.stats.get(stat)).collect();
+            let ci = bootstrap_mean_ci(&xs, 0.95, 1000, opts.seed ^ i as u64);
+            if i == 0 {
+                baseline_means.push(ci.mean);
+            }
+            let rel_dev = if baseline_means[si].abs() > 1e-12 {
+                (ci.mean - baseline_means[si]) / baseline_means[si]
+            } else {
+                0.0
+            };
+            row.push(format!("{} ({:+.0}%)", fmt(ci.mean), rel_dev * 100.0));
+            stat_docs.push(json!({
+                "stat": stat, "mean": ci.mean, "lo": ci.lo, "hi": ci.hi,
+                "relative_deviation_from_default": rel_dev,
+            }));
+            if *stat == "cvnd" {
+                max_cvnd = max_cvnd.max(ci.mean);
+            }
+        }
+        rows.push(row);
+        docs.push(json!({"variant": name, "stats": stat_docs}));
+    }
+    print_table(
+        &format!("§7: context-model sensitivity at k3 = 0 (n = {n}, {trials} trials)"),
+        &["context", "avg degree", "cvnd", "diameter", "gcc"],
+        &rows,
+    );
+    println!(
+        "\nmax mean CVND over all context variants: {} — still well below the zoo's ≈2 tail; \
+         only k3 bridges that gap (Fig 8b)",
+        fmt(max_cvnd)
+    );
+    json!({
+        "experiment": "sec7-ctx",
+        "n": n,
+        "trials": trials,
+        "variants": docs,
+        "max_mean_cvnd": max_cvnd,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_cannot_create_zoo_level_cvnd() {
+        let opts = ExpOptions { seed: 11, trials_override: Some(3), ..Default::default() };
+        let v = run(&opts);
+        // §7's punchline: even extreme contexts leave CVND below ~1.
+        let max_cvnd = v["max_mean_cvnd"].as_f64().unwrap();
+        assert!(max_cvnd < 1.0, "context alone produced CVND {max_cvnd}");
+        assert_eq!(v["variants"].as_array().unwrap().len(), 6);
+    }
+}

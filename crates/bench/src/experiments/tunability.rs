@@ -1,0 +1,123 @@
+//! Figures 5–7: tunability of average node degree (Fig 5), diameter
+//! (Fig 6) and global clustering coefficient (Fig 7) with respect to `k2`
+//! for `k3 ∈ {0, 10, 100, 1000}`; `n = 30`, `k0 = 10`, `k1 = 1`, 200
+//! simulations per point in the paper.
+//!
+//! All three figures come from the *same* sweep (each synthesized network
+//! yields all three statistics), so running any of the fig5/fig6/fig7
+//! binaries produces all three JSON documents.
+
+use crate::{fmt, print_table, ExpOptions};
+use cold::sweep::{log_space, SweepCell, SweepPlan, SweepPoint};
+use cold::ColdConfig;
+use serde_json::json;
+
+/// The statistics the three figures plot.
+pub const STATS: [(&str, &str); 3] = [
+    ("average_degree", "fig5"),
+    ("diameter", "fig6"),
+    ("global_clustering", "fig7"),
+];
+
+/// The paper's `k3` series.
+pub const K3S: [f64; 4] = [0.0, 10.0, 100.0, 1000.0];
+
+/// Runs the shared sweep and returns one JSON document per figure,
+/// in [`STATS`] order.
+pub fn run(opts: &ExpOptions) -> Vec<(String, serde_json::Value)> {
+    let n = if opts.full { 30 } else { 12 };
+    let trials = opts.trials(6, 200);
+    let k2s = log_space(1e-4, 1.6e-3, if opts.full { 7 } else { 4 });
+    let mut points = Vec::new();
+    for &k3 in &K3S {
+        for &k2 in &k2s {
+            points.push(SweepPoint { k2, k3 });
+        }
+    }
+    let plan = SweepPlan {
+        base: ColdConfig { ga: opts.ga_settings(), ..ColdConfig::paper(n, 1e-4, 0.0) },
+        points,
+        trials,
+        stats: STATS.iter().map(|(s, _)| s.to_string()).collect(),
+        seed: opts.seed,
+        confidence: 0.95,
+    };
+    let cells = plan.run();
+
+    let mut out = Vec::new();
+    for &(stat, fig) in &STATS {
+        let mut rows = Vec::new();
+        for &k2 in &k2s {
+            let mut row = vec![fmt(k2)];
+            for &k3 in &K3S {
+                let cell = find(&cells, k2, k3);
+                let ci = cell.stat(stat).expect("stat present");
+                row.push(format!("{}±{}", fmt(ci.mean), fmt((ci.hi - ci.lo) / 2.0)));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("{fig}: {stat} vs k2 (n = {n}, {trials} trials/point)"),
+            &["k2", "k3=0", "k3=10", "k3=100", "k3=1000"],
+            &rows,
+        );
+        let doc = json!({
+            "experiment": fig,
+            "stat": stat,
+            "n": n,
+            "trials": trials,
+            "k2": k2s,
+            "k3": K3S,
+            "cells": cells.iter().map(|c| json!({
+                "k2": c.point.k2, "k3": c.point.k3,
+                "mean": c.stat(stat).unwrap().mean,
+                "lo": c.stat(stat).unwrap().lo,
+                "hi": c.stat(stat).unwrap().hi,
+            })).collect::<Vec<_>>(),
+        });
+        out.push((fig.to_string(), doc));
+    }
+    out
+}
+
+fn find<'a>(cells: &'a [SweepCell], k2: f64, k3: f64) -> &'a SweepCell {
+    cells
+        .iter()
+        .find(|c| (c.point.k2 - k2).abs() < 1e-15 && (c.point.k3 - k3).abs() < 1e-15)
+        .expect("cell exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_increases_with_k2_and_decreases_with_k3() {
+        let opts = ExpOptions { seed: 5, trials_override: Some(3), ..Default::default() };
+        let docs = run(&opts);
+        let fig5 = &docs[0].1;
+        let cells = fig5["cells"].as_array().unwrap();
+        let get = |k2: f64, k3: f64| -> f64 {
+            cells
+                .iter()
+                .find(|c| {
+                    (c["k2"].as_f64().unwrap() - k2).abs() < 1e-12
+                        && (c["k3"].as_f64().unwrap() - k3).abs() < 1e-12
+                })
+                .unwrap()["mean"]
+                .as_f64()
+                .unwrap()
+        };
+        let k2s: Vec<f64> =
+            fig5["k2"].as_array().unwrap().iter().map(|x| x.as_f64().unwrap()).collect();
+        // Fig 5's two trends at the grid extremes.
+        assert!(
+            get(*k2s.last().unwrap(), 0.0) >= get(k2s[0], 0.0),
+            "average degree should rise with k2"
+        );
+        assert!(
+            get(k2s[0], 1000.0) <= get(k2s[0], 0.0) + 0.3,
+            "average degree should fall (or stay) as k3 rises"
+        );
+    }
+}

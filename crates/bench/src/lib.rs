@@ -1,0 +1,161 @@
+//! Experiment harness for the COLD reproduction.
+//!
+//! Every table and figure of the paper has a generator binary in
+//! `src/bin/` that prints the series the paper plots and writes
+//! `results/<id>.json`. The implementations live in [`experiments`] so
+//! they are testable as a library and reusable by the Criterion benches.
+//!
+//! Binaries accept:
+//!
+//! - `--full`: paper-scale trial counts and GA settings (`T = M = 100`,
+//!   20–200 trials/point). Without it, a *quick* mode runs the identical
+//!   code with reduced counts — same code path, smaller ensembles.
+//! - `--seed <u64>`: master seed (default 2014, the paper's year).
+//! - `--out <dir>`: results directory (default `results/`).
+//! - `--trials <k>`: override the per-point trial count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use std::path::PathBuf;
+
+/// Parsed command-line options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Paper-scale mode.
+    pub full: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for JSON results.
+    pub out_dir: PathBuf,
+    /// Optional per-point trial-count override.
+    pub trials_override: Option<usize>,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self { full: false, seed: 2014, out_dir: PathBuf::from("results"), trials_override: None }
+    }
+}
+
+impl ExpOptions {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    opts.seed = v.parse().expect("--seed must be a u64");
+                }
+                "--out" => {
+                    opts.out_dir = PathBuf::from(args.next().expect("--out needs a value"));
+                }
+                "--trials" => {
+                    let v = args.next().expect("--trials needs a value");
+                    opts.trials_override = Some(v.parse().expect("--trials must be a usize"));
+                }
+                other => panic!(
+                    "unknown argument `{other}`; usage: [--full] [--seed N] [--out DIR] [--trials K]"
+                ),
+            }
+        }
+        opts
+    }
+
+    /// Picks the trial count: explicit override, else `full`/`quick`.
+    pub fn trials(&self, quick: usize, full: usize) -> usize {
+        self.trials_override.unwrap_or(if self.full { full } else { quick })
+    }
+
+    /// The GA settings for this mode (paper `100×100` vs quick `40×40`).
+    pub fn ga_settings(&self) -> cold_ga::GaSettings {
+        if self.full {
+            cold_ga::GaSettings::paper_default(0)
+        } else {
+            cold_ga::GaSettings::quick(0)
+        }
+    }
+
+    /// Writes a JSON result document to `out_dir/<name>.json`.
+    pub fn write_json(&self, name: &str, value: &serde_json::Value) {
+        std::fs::create_dir_all(&self.out_dir).expect("create results dir");
+        let path = self.out_dir.join(format!("{name}.json"));
+        std::fs::write(&path, serde_json::to_string_pretty(value).expect("serializable"))
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Prints an aligned text table (the stdout rendition of a figure/table).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(c.len())));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats `x` compactly for tables.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.01 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_respects_mode_and_override() {
+        let mut o = ExpOptions::default();
+        assert_eq!(o.trials(5, 20), 5);
+        o.full = true;
+        assert_eq!(o.trials(5, 20), 20);
+        o.trials_override = Some(7);
+        assert_eq!(o.trials(5, 20), 7);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(2.5), "2.500");
+        assert_eq!(fmt(1e-4), "1.000e-4");
+        assert_eq!(fmt(12345.0), "1.234e4");
+    }
+
+    #[test]
+    fn ga_settings_track_mode() {
+        let quick = ExpOptions::default();
+        assert_eq!(quick.ga_settings().population, 40);
+        let full = ExpOptions { full: true, ..ExpOptions::default() };
+        assert_eq!(full.ga_settings().population, 100);
+    }
+}

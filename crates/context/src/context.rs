@@ -1,0 +1,233 @@
+//! The full random context: PoP locations, populations, traffic (§3.1).
+
+use crate::gravity::GravityModel;
+use crate::points::{PointProcess, PointProcessKind};
+use crate::population::{PopulationKind, PopulationModel};
+use crate::region::{distance_matrix, Point, Region};
+use crate::rng::rng_for;
+use crate::traffic::TrafficMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the context model — everything random about a COLD
+/// synthesis lives here (§3.1: "the context consists of the spatial
+/// locations of the nodes or PoPs; and the traffic matrix").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContextConfig {
+    /// Number of PoPs.
+    pub n: usize,
+    /// Region on which PoPs are placed (unit area).
+    pub region: Region,
+    /// Length scale: sampled coordinates are multiplied by this factor, so
+    /// the region spans `scale` distance units per side. The scale fixes
+    /// the unit system in which `k1 = 1` is meaningful — see
+    /// [`PAPER_REGION_SCALE`].
+    pub scale: f64,
+    /// PoP location process.
+    pub points: PointProcessKind,
+    /// PoP population distribution.
+    pub population: PopulationKind,
+    /// Gravity model settings.
+    pub gravity: GravityModel,
+}
+
+/// The calibrated region side length for the paper's parameter axes.
+///
+/// Costs are relative, so the unit of distance is a free calibration
+/// constant the paper never states. `30` (think "one unit ≈ tens of km on
+/// a continental map") is the scale at which, with `k0 = 10` and `k1 = 1`,
+/// link-existence and link-length costs have the comparable influence §6
+/// describes, and the published `k2`/`k3` axes hit the tree → mesh and
+/// tree → star transitions where Figs 5–9 show them. DESIGN.md §5 derives
+/// the value.
+pub const PAPER_REGION_SCALE: f64 = 30.0;
+
+impl ContextConfig {
+    /// The paper's default model: `n` uniform PoPs on the (scaled) unit
+    /// square, Exp(30) populations, mean-normalized gravity traffic.
+    pub fn paper_default(n: usize) -> Self {
+        Self {
+            n,
+            region: Region::UnitSquare,
+            scale: PAPER_REGION_SCALE,
+            points: PointProcessKind::Uniform,
+            population: PopulationKind::default(),
+            gravity: GravityModel::paper_default(),
+        }
+    }
+
+    /// Generates the context for a given seed. Pure: the same
+    /// `(config, seed)` always produces the same context.
+    pub fn generate(&self, seed: u64) -> Context {
+        // Separate sub-streams so changing the population model does not
+        // perturb the sampled locations (and vice versa).
+        assert!(self.scale > 0.0 && self.scale.is_finite(), "scale must be positive");
+        let mut pos_rng = rng_for(seed, 0x706F73 /* "pos" */);
+        let mut pop_rng = rng_for(seed, 0x706F70 /* "pop" */);
+        let positions: Vec<Point> = self
+            .points
+            .sample(self.n, &self.region, &mut pos_rng)
+            .into_iter()
+            .map(|p| Point::new(p.x * self.scale, p.y * self.scale))
+            .collect();
+        let populations = self.population.sample(self.n, &mut pop_rng);
+        let traffic = self.gravity.traffic_matrix(&populations, Some(&positions));
+        Context::new(positions, populations, traffic)
+    }
+
+    /// Generates an ensemble of `count` contexts with per-trial seeds
+    /// derived from `master_seed`.
+    pub fn ensemble(&self, master_seed: u64, count: usize) -> Vec<Context> {
+        (0..count)
+            .map(|i| self.generate(crate::rng::derive_seed(master_seed, i as u64)))
+            .collect()
+    }
+}
+
+/// A concrete synthesis context: the fixed input to the (deterministic)
+/// optimization stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Context {
+    /// PoP coordinates.
+    pub positions: Vec<Point>,
+    /// PoP populations (drive the gravity model; also used by router-level
+    /// expansion to size PoPs).
+    pub populations: Vec<f64>,
+    /// Offered traffic between each ordered pair of PoPs.
+    pub traffic: TrafficMatrix,
+    /// Precomputed Euclidean distances between PoPs.
+    distances: Vec<Vec<f64>>,
+}
+
+impl Context {
+    /// Assembles a context from parts, precomputing distances.
+    ///
+    /// # Panics
+    /// Panics when the parts disagree on the PoP count.
+    pub fn new(positions: Vec<Point>, populations: Vec<f64>, traffic: TrafficMatrix) -> Self {
+        assert_eq!(positions.len(), populations.len(), "positions vs populations");
+        assert_eq!(positions.len(), traffic.n(), "positions vs traffic");
+        let distances = distance_matrix(&positions);
+        Self { positions, populations, traffic, distances }
+    }
+
+    /// Builds a context around explicit PoP locations (e.g. real city
+    /// coordinates) with generated populations/traffic.
+    pub fn from_positions(
+        positions: Vec<Point>,
+        population: PopulationKind,
+        gravity: GravityModel,
+        seed: u64,
+    ) -> Self {
+        let mut rng = rng_for(seed, 0x706F70);
+        let populations = population.sample(positions.len(), &mut rng);
+        let traffic = gravity.traffic_matrix(&populations, Some(&positions));
+        Self::new(positions, populations, traffic)
+    }
+
+    /// Number of PoPs.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Euclidean distance between PoPs `u` and `v`.
+    #[inline]
+    pub fn distance(&self, u: usize, v: usize) -> f64 {
+        self.distances[u][v]
+    }
+
+    /// A copyable distance closure for graph algorithms.
+    pub fn distance_fn(&self) -> impl Fn(usize, usize) -> f64 + Copy + '_ {
+        move |u, v| self.distances[u][v]
+    }
+
+    /// A copyable traffic closure for routing.
+    pub fn traffic_fn(&self) -> impl Fn(usize, usize) -> f64 + Copy + '_ {
+        self.traffic.as_fn()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_reproducible() {
+        let cfg = ContextConfig::paper_default(12);
+        let a = cfg.generate(99);
+        let b = cfg.generate(99);
+        assert_eq!(a, b);
+        let c = cfg.generate(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dimensions_are_consistent() {
+        let ctx = ContextConfig::paper_default(8).generate(1);
+        assert_eq!(ctx.n(), 8);
+        assert_eq!(ctx.populations.len(), 8);
+        assert_eq!(ctx.traffic.n(), 8);
+        assert_eq!(ctx.distance(3, 3), 0.0);
+        assert!((ctx.distance(0, 1) - ctx.positions[0].distance(&ctx.positions[1])).abs() < 1e-15);
+    }
+
+    #[test]
+    fn traffic_follows_gravity() {
+        let ctx = ContextConfig::paper_default(5).generate(7);
+        let mean = ctx.populations.iter().sum::<f64>() / 5.0;
+        let t01 = ctx.traffic.demand(0, 1);
+        let expected = crate::gravity::PAPER_PER_CAPITA_DEMAND * ctx.populations[0] * ctx.populations[1] / mean;
+        assert!((t01 - expected).abs() < 1e-9 * t01.max(1.0));
+    }
+
+    #[test]
+    fn scale_stretches_positions() {
+        let base = ContextConfig::paper_default(10);
+        let unit = ContextConfig { scale: 1.0, ..base };
+        let a = base.generate(3);
+        let b = unit.generate(3);
+        for (pa, pb) in a.positions.iter().zip(&b.positions) {
+            assert!((pa.x - pb.x * PAPER_REGION_SCALE).abs() < 1e-12);
+            assert!((pa.y - pb.y * PAPER_REGION_SCALE).abs() < 1e-12);
+        }
+        // Distances scale linearly.
+        assert!((a.distance(0, 1) - PAPER_REGION_SCALE * b.distance(0, 1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ensemble_members_differ() {
+        let contexts = ContextConfig::paper_default(6).ensemble(42, 5);
+        assert_eq!(contexts.len(), 5);
+        for i in 0..contexts.len() {
+            for j in (i + 1)..contexts.len() {
+                assert_ne!(contexts[i], contexts[j], "trials {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn population_change_does_not_move_pops() {
+        // Sub-stream separation: altering the population model must leave
+        // sampled locations untouched.
+        let base = ContextConfig::paper_default(10);
+        let heavy =
+            ContextConfig { population: PopulationKind::pareto_1_5(), ..base };
+        let a = base.generate(5);
+        let b = heavy.generate(5);
+        assert_eq!(a.positions, b.positions);
+        assert_ne!(a.populations, b.populations);
+    }
+
+    #[test]
+    fn from_positions_uses_given_coordinates() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)];
+        let ctx = Context::from_positions(
+            pts.clone(),
+            PopulationKind::Constant { value: 2.0 },
+            GravityModel::raw(),
+            3,
+        );
+        assert_eq!(ctx.positions, pts);
+        assert_eq!(ctx.traffic.demand(0, 1), 4.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! The gravity traffic-matrix model (§3.1).
+//!
+//! "Our traffic matrix is created using a gravity model … The gravity model
+//! is created by choosing a random population for each PoP" (§3.1). With
+//! populations `p_i`, the demand between distinct PoPs is
+//! `t(i, j) = s · p_i · p_j` — the maximum-entropy traffic model given row
+//! and column totals [22], and a good match to the distribution of real
+//! traffic matrices [21].
+//!
+//! The paper leaves the gravity constant `s` implicit. The calibrated
+//! default here ([`Normalization::MeanPopulation`], `s = 1/p̄`) is the
+//! choice under which the paper's published axes — `k0 = 10, k1 = 1`,
+//! `k2 ∈ 10⁻⁴…1.6·10⁻³`, `k3 ∈ 10⁰…10³` — reproduce the tree → mesh and
+//! tree → hub-and-spoke transitions where the figures show them (see
+//! DESIGN.md §5). [`Normalization::TotalTraffic`] instead rescales to a
+//! fixed total for experiments that grow traffic independently of PoP
+//! count (the "network growth" scaling of §1 req. 3).
+//!
+//! An optional distance-friction exponent generalizes to the classic
+//! trade-gravity form `t ∝ p_i·p_j / d_ij^friction`; the paper uses no
+//! friction (`friction = 0`), and that is the default.
+
+use crate::region::Point;
+use crate::traffic::TrafficMatrix;
+use serde::{Deserialize, Serialize};
+
+/// How to scale the raw `p_i·p_j` products.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Normalization {
+    /// Use raw products.
+    #[default]
+    None,
+    /// Rescale so the total offered traffic equals the given value.
+    TotalTraffic(
+        /// Desired sum over all ordered pairs (> 0).
+        f64,
+    ),
+    /// Per-capita gravity constant: `t(i,j) = demand · p_i·p_j / p̄` where
+    /// `p̄` is the mean population. With `demand =`
+    /// [`PAPER_PER_CAPITA_DEMAND`] this is the calibration under which the
+    /// paper's `k2` axis (10⁻⁴…1.6·10⁻³ with `k0 = 10, k1 = 1`) spans the
+    /// tree→mesh transition its figures show (see DESIGN.md §5).
+    PerCapita {
+        /// Offered traffic per unit of (normalized) population product.
+        demand: f64,
+    },
+}
+
+/// The calibrated per-capita demand for the paper's parameter axes
+/// (derivation in DESIGN.md §5).
+pub const PAPER_PER_CAPITA_DEMAND: f64 = 8.0;
+
+/// Gravity traffic-matrix generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct GravityModel {
+    /// Output scaling policy.
+    pub normalization: Normalization,
+    /// Distance-friction exponent `γ ≥ 0` in `t ∝ p_i·p_j / d_ij^γ`.
+    /// `0` (default) disables friction, matching the paper.
+    pub friction: f64,
+}
+
+impl GravityModel {
+    /// The paper's model: gravity products with the calibrated per-capita
+    /// constant, no distance friction.
+    pub fn paper_default() -> Self {
+        Self {
+            normalization: Normalization::PerCapita { demand: PAPER_PER_CAPITA_DEMAND },
+            friction: 0.0,
+        }
+    }
+
+    /// Raw-product gravity (no normalization, no friction) — useful when
+    /// the caller controls traffic magnitudes explicitly.
+    pub fn raw() -> Self {
+        Self::default()
+    }
+
+    /// Builds the traffic matrix for the given populations (and, when
+    /// friction is enabled, PoP positions).
+    ///
+    /// # Panics
+    /// Panics if populations are not strictly positive, if `friction > 0`
+    /// but `positions` is `None` or mismatched, or if two PoPs coincide
+    /// while friction is enabled.
+    pub fn traffic_matrix(&self, populations: &[f64], positions: Option<&[Point]>) -> TrafficMatrix {
+        let n = populations.len();
+        assert!(
+            populations.iter().all(|&p| p > 0.0 && p.is_finite()),
+            "populations must be positive and finite"
+        );
+        assert!(self.friction >= 0.0, "friction must be nonnegative");
+        let mut tm = TrafficMatrix::zeros(n);
+        for s in 0..n {
+            for t in 0..n {
+                if s == t {
+                    continue;
+                }
+                let mut demand = populations[s] * populations[t];
+                if self.friction > 0.0 {
+                    let pos = positions.expect("positions required when friction > 0");
+                    assert_eq!(pos.len(), n, "positions must cover every PoP");
+                    let d = pos[s].distance(&pos[t]);
+                    assert!(d > 0.0, "coincident PoPs {s},{t} with friction enabled");
+                    demand /= d.powf(self.friction);
+                }
+                tm.set_demand(s, t, demand);
+            }
+        }
+        match self.normalization {
+            Normalization::None => {}
+            Normalization::TotalTraffic(total) => {
+                assert!(total > 0.0, "total traffic must be positive");
+                let raw = tm.total();
+                if raw > 0.0 {
+                    tm.scale(total / raw);
+                }
+            }
+            Normalization::PerCapita { demand } => {
+                assert!(demand > 0.0, "per-capita demand must be positive");
+                let mean = populations.iter().sum::<f64>() / n.max(1) as f64;
+                if mean > 0.0 {
+                    tm.scale(demand / mean);
+                }
+            }
+        }
+        tm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn products_and_symmetry() {
+        let tm = GravityModel::raw().traffic_matrix(&[2.0, 3.0, 5.0], None);
+        assert_eq!(tm.demand(0, 1), 6.0);
+        assert_eq!(tm.demand(1, 2), 15.0);
+        assert_eq!(tm.demand(0, 2), 10.0);
+        assert!(tm.is_symmetric(1e-12));
+        assert_eq!(tm.demand(1, 1), 0.0);
+    }
+
+    #[test]
+    fn normalization_hits_total() {
+        let g = GravityModel { normalization: Normalization::TotalTraffic(100.0), friction: 0.0 };
+        let tm = g.traffic_matrix(&[1.0, 2.0, 3.0, 4.0], None);
+        assert!((tm.total() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn friction_reduces_long_haul_demand() {
+        let pos = vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0), Point::new(1.0, 0.0)];
+        let g = GravityModel { normalization: Normalization::None, friction: 2.0 };
+        let tm = g.traffic_matrix(&[1.0, 1.0, 1.0], Some(&pos));
+        // Same populations: near pair demand must exceed far pair demand.
+        assert!(tm.demand(0, 1) > tm.demand(0, 2) * 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_population_rejected() {
+        GravityModel::raw().traffic_matrix(&[1.0, 0.0], None);
+    }
+
+    #[test]
+    fn bigger_population_attracts_more_traffic() {
+        let tm = GravityModel::raw().traffic_matrix(&[1.0, 10.0, 1.0], None);
+        assert!(tm.row_sum(1) > tm.row_sum(0));
+    }
+}

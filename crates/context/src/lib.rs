@@ -1,0 +1,41 @@
+//! Random *context* generation for COLD (§3.1 of the paper).
+//!
+//! COLD's generation process is deterministic: "for any given context, the
+//! resulting network would be fixed. To generate the stochastic variety
+//! necessary for simulation, we randomize the context in which the network
+//! is generated" (§1). The context consists of:
+//!
+//! - the spatial locations of the PoPs, drawn from a 2-D point process on a
+//!   region ([`points`], [`region`]);
+//! - a random population per PoP ([`population`]); and
+//! - the traffic matrix derived from populations by a gravity model
+//!   ([`gravity`]).
+//!
+//! The default model matches the paper's: `n` PoPs i.i.d. uniform on the
+//! unit square (a conditioned 2-D Poisson process) and i.i.d.
+//! exponential populations with mean 30. §7 additionally experiments with
+//! bursty (clustered) PoP locations, elongated rectangles, and Pareto
+//! heavy-tailed populations — all provided here so the §7 sensitivity
+//! experiment is reproducible.
+//!
+//! All generators take explicit seeds; a [`Context`] is a pure function of
+//! `(model, seed)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod gravity;
+pub mod import;
+pub mod points;
+pub mod population;
+pub mod region;
+pub mod rng;
+pub mod traffic;
+
+pub use context::{Context, ContextConfig, PAPER_REGION_SCALE};
+pub use gravity::GravityModel;
+pub use points::{MaternCluster, PointProcess, PointProcessKind, UniformPoints};
+pub use population::{PopulationKind, PopulationModel};
+pub use region::{Point, Region};
+pub use traffic::TrafficMatrix;

@@ -1,0 +1,288 @@
+//! PoP-location point processes (§3.1, §7).
+//!
+//! The paper's default "selects n PoP locations independently, and
+//! uniformly at random on the unit square. The result is a 2D Poisson
+//! process conditional on the number of PoPs." §7's sensitivity study also
+//! needs *bursty* locations, for which we provide a Matérn-style cluster
+//! process (parents uniform, children scattered around parents) conditioned
+//! on producing exactly `n` points, plus a jittered grid as an
+//! anti-clustered (regular) extreme.
+//!
+//! The module is deliberately modular — "it is easy to write your own
+//! module for this component, or use real PoP locations if required" — via
+//! the [`PointProcess`] trait.
+
+use crate::region::{Point, Region};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A source of PoP locations.
+pub trait PointProcess {
+    /// Samples exactly `n` points inside `region`.
+    fn sample(&self, n: usize, region: &Region, rng: &mut StdRng) -> Vec<Point>;
+}
+
+/// Uniform i.i.d. points — the paper's default (a conditioned 2-D Poisson
+/// process).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UniformPoints;
+
+/// Samples one uniform point in `region` by rejection from the bounding box
+/// (exact for rectangles; ≈78% acceptance for the disk).
+fn uniform_point(region: &Region, rng: &mut StdRng) -> Point {
+    let (w, h) = region.extent();
+    loop {
+        let p = match region {
+            // The disk is centered at the origin; sample its bounding box.
+            Region::Disk => Point::new(rng.gen_range(-w / 2.0..=w / 2.0), rng.gen_range(-h / 2.0..=h / 2.0)),
+            _ => Point::new(rng.gen_range(0.0..=w), rng.gen_range(0.0..=h)),
+        };
+        if region.contains(&p) {
+            return p;
+        }
+    }
+}
+
+impl PointProcess for UniformPoints {
+    fn sample(&self, n: usize, region: &Region, rng: &mut StdRng) -> Vec<Point> {
+        (0..n).map(|_| uniform_point(region, rng)).collect()
+    }
+}
+
+/// A bursty (clustered) point process in the Matérn-cluster style:
+/// `parents` cluster centers are placed uniformly, then each of the `n`
+/// points picks a parent uniformly and is displaced from it by an isotropic
+/// Gaussian with standard deviation `sigma`, re-sampled until it lands in
+/// the region.
+///
+/// Small `sigma` and few parents ⇒ highly bursty locations (the extreme
+/// case of §7's sensitivity study); large `sigma` recovers near-uniformity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaternCluster {
+    /// Number of cluster centers (≥ 1).
+    pub parents: usize,
+    /// Displacement scale of children around their parent.
+    pub sigma: f64,
+}
+
+impl Default for MaternCluster {
+    fn default() -> Self {
+        Self { parents: 4, sigma: 0.05 }
+    }
+}
+
+/// Standard normal via Box–Muller (avoids a distributions dependency).
+fn std_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+impl PointProcess for MaternCluster {
+    fn sample(&self, n: usize, region: &Region, rng: &mut StdRng) -> Vec<Point> {
+        assert!(self.parents >= 1, "need at least one cluster parent");
+        assert!(self.sigma > 0.0, "sigma must be positive");
+        let parents: Vec<Point> = (0..self.parents).map(|_| uniform_point(region, rng)).collect();
+        (0..n)
+            .map(|_| {
+                let parent = parents[rng.gen_range(0..parents.len())];
+                loop {
+                    let p = Point::new(
+                        parent.x + self.sigma * std_normal(rng),
+                        parent.y + self.sigma * std_normal(rng),
+                    );
+                    if region.contains(&p) {
+                        return p;
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// A jittered grid: the `n` points are laid on a near-square grid and each
+/// is displaced uniformly within its cell. This is the *anti-bursty*
+/// extreme, useful to bracket the uniform default in sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JitteredGrid {
+    /// Jitter amplitude as a fraction of the cell size, in `[0, 1]`.
+    pub jitter: f64,
+}
+
+impl Default for JitteredGrid {
+    fn default() -> Self {
+        Self { jitter: 0.5 }
+    }
+}
+
+impl PointProcess for JitteredGrid {
+    fn sample(&self, n: usize, region: &Region, rng: &mut StdRng) -> Vec<Point> {
+        assert!((0.0..=1.0).contains(&self.jitter), "jitter must be in [0,1]");
+        if n == 0 {
+            return Vec::new();
+        }
+        let (w, h) = region.extent();
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        let (cw, ch) = (w / cols as f64, h / rows as f64);
+        let mut pts = Vec::with_capacity(n);
+        'outer: for r in 0..rows {
+            for c in 0..cols {
+                if pts.len() == n {
+                    break 'outer;
+                }
+                loop {
+                    let cx = (c as f64 + 0.5) * cw;
+                    let cy = (r as f64 + 0.5) * ch;
+                    let p = Point::new(
+                        cx + self.jitter * cw * (rng.gen_range(0.0..1.0) - 0.5),
+                        cy + self.jitter * ch * (rng.gen_range(0.0..1.0) - 0.5),
+                    );
+                    // Grid cells can fall outside non-rectangular regions;
+                    // re-jitter toward a uniform in-region point then.
+                    if region.contains(&p) {
+                        pts.push(p);
+                        break;
+                    }
+                    pts.push(uniform_point(region, rng));
+                    break;
+                }
+            }
+        }
+        pts
+    }
+}
+
+/// Enumerable point-process choices for configs (serializable).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PointProcessKind {
+    /// I.i.d. uniform — the paper default.
+    Uniform,
+    /// Bursty Matérn-style cluster process.
+    Matern(MaternCluster),
+    /// Near-regular jittered grid.
+    Grid(JitteredGrid),
+}
+
+impl Default for PointProcessKind {
+    fn default() -> Self {
+        PointProcessKind::Uniform
+    }
+}
+
+impl PointProcess for PointProcessKind {
+    fn sample(&self, n: usize, region: &Region, rng: &mut StdRng) -> Vec<Point> {
+        match self {
+            PointProcessKind::Uniform => UniformPoints.sample(n, region, rng),
+            PointProcessKind::Matern(m) => m.sample(n, region, rng),
+            PointProcessKind::Grid(g) => g.sample(n, region, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    fn all_inside(pts: &[Point], region: &Region) -> bool {
+        pts.iter().all(|p| region.contains(p))
+    }
+
+    #[test]
+    fn uniform_sample_count_and_bounds() {
+        let mut rng = rng_for(1, 0);
+        for region in [Region::UnitSquare, Region::Rectangle { aspect: 9.0 }, Region::Disk] {
+            let pts = UniformPoints.sample(40, &region, &mut rng);
+            assert_eq!(pts.len(), 40);
+            assert!(all_inside(&pts, &region), "{region:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_is_reproducible() {
+        let a = UniformPoints.sample(10, &Region::UnitSquare, &mut rng_for(7, 0));
+        let b = UniformPoints.sample(10, &Region::UnitSquare, &mut rng_for(7, 0));
+        assert_eq!(a, b);
+        let c = UniformPoints.sample(10, &Region::UnitSquare, &mut rng_for(8, 0));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn matern_points_stay_inside() {
+        let mut rng = rng_for(2, 0);
+        let m = MaternCluster { parents: 3, sigma: 0.02 };
+        let pts = m.sample(60, &Region::UnitSquare, &mut rng);
+        assert_eq!(pts.len(), 60);
+        assert!(all_inside(&pts, &Region::UnitSquare));
+    }
+
+    #[test]
+    fn matern_is_burstier_than_uniform() {
+        // Mean nearest-neighbor distance is smaller under clustering.
+        fn mean_nn(pts: &[Point]) -> f64 {
+            let n = pts.len();
+            let mut total = 0.0;
+            for i in 0..n {
+                let mut best = f64::INFINITY;
+                for j in 0..n {
+                    if i != j {
+                        best = best.min(pts[i].distance(&pts[j]));
+                    }
+                }
+                total += best;
+            }
+            total / n as f64
+        }
+        let mut sums = (0.0, 0.0);
+        for t in 0..20 {
+            let u = UniformPoints.sample(50, &Region::UnitSquare, &mut rng_for(100, t));
+            let m = MaternCluster { parents: 3, sigma: 0.03 }
+                .sample(50, &Region::UnitSquare, &mut rng_for(200, t));
+            sums.0 += mean_nn(&u);
+            sums.1 += mean_nn(&m);
+        }
+        assert!(
+            sums.1 < sums.0 * 0.7,
+            "clustered nn distance {} should be well below uniform {}",
+            sums.1,
+            sums.0
+        );
+    }
+
+    #[test]
+    fn grid_covers_region_evenly() {
+        let mut rng = rng_for(3, 0);
+        let g = JitteredGrid { jitter: 0.2 };
+        let pts = g.sample(25, &Region::UnitSquare, &mut rng);
+        assert_eq!(pts.len(), 25);
+        assert!(all_inside(&pts, &Region::UnitSquare));
+        // Each quadrant should get a reasonable share of a 25-point grid.
+        let q = pts
+            .iter()
+            .filter(|p| p.x < 0.5 && p.y < 0.5)
+            .count();
+        assert!((3..=10).contains(&q), "lower-left quadrant got {q} of 25");
+    }
+
+    #[test]
+    fn kind_dispatch_matches_inner() {
+        let k = PointProcessKind::Uniform;
+        let a = k.sample(5, &Region::UnitSquare, &mut rng_for(4, 0));
+        let b = UniformPoints.sample(5, &Region::UnitSquare, &mut rng_for(4, 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_points_is_fine() {
+        let mut rng = rng_for(5, 0);
+        assert!(UniformPoints.sample(0, &Region::UnitSquare, &mut rng).is_empty());
+        assert!(JitteredGrid::default().sample(0, &Region::UnitSquare, &mut rng).is_empty());
+    }
+}

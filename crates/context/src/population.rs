@@ -1,0 +1,198 @@
+//! PoP population models (§3.1, §7).
+//!
+//! The gravity traffic model "is created by choosing a random population
+//! for each PoP. We tested two types of population model, the exponential
+//! model (populations were independent, identically distributed
+//! exponentials with mean 30), and the Pareto with shape parameters 10/9
+//! and 1.5 (and the same mean), in order to test the impact of varying
+//! degrees of heavy tail" (§3.1). The default is the exponential model.
+//!
+//! All samplers use inverse-CDF transforms of `U(0,1)` draws, so no
+//! distribution crate is required and sequences are reproducible.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A source of i.i.d. PoP populations.
+pub trait PopulationModel {
+    /// Samples `n` populations. All values are strictly positive.
+    fn sample(&self, n: usize, rng: &mut StdRng) -> Vec<f64>;
+
+    /// The distribution's mean (used in tests and for documentation).
+    fn mean(&self) -> f64;
+}
+
+/// The paper's population mean.
+pub const PAPER_MEAN_POPULATION: f64 = 30.0;
+
+/// Population distribution choices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PopulationKind {
+    /// I.i.d. `Exp(mean)` — the paper's default with mean 30.
+    Exponential {
+        /// Distribution mean (> 0).
+        mean: f64,
+    },
+    /// Pareto with the given shape `alpha > 1`, scaled to the given mean.
+    ///
+    /// The paper tests `alpha = 10/9` (infinite variance, extremely heavy
+    /// tail) and `alpha = 1.5`.
+    Pareto {
+        /// Tail index (> 1 so the mean exists).
+        alpha: f64,
+        /// Distribution mean (> 0).
+        mean: f64,
+    },
+    /// Log-normal with the given mean and coefficient of variation —
+    /// a moderate-tail alternative for sensitivity studies.
+    LogNormal {
+        /// Distribution mean (> 0).
+        mean: f64,
+        /// Coefficient of variation (σ/μ of the log-normal itself, > 0).
+        cv: f64,
+    },
+    /// Every PoP has the same population — the degenerate "uniform demand"
+    /// case, useful as a control.
+    Constant {
+        /// The common population value (> 0).
+        value: f64,
+    },
+}
+
+impl Default for PopulationKind {
+    fn default() -> Self {
+        PopulationKind::Exponential { mean: PAPER_MEAN_POPULATION }
+    }
+}
+
+impl PopulationKind {
+    /// Pareto with shape 10/9 and the paper's mean 30 (§3.1, §7).
+    pub fn pareto_10_9() -> Self {
+        PopulationKind::Pareto { alpha: 10.0 / 9.0, mean: PAPER_MEAN_POPULATION }
+    }
+
+    /// Pareto with shape 1.5 and the paper's mean 30 (§3.1, §7).
+    pub fn pareto_1_5() -> Self {
+        PopulationKind::Pareto { alpha: 1.5, mean: PAPER_MEAN_POPULATION }
+    }
+}
+
+impl PopulationModel for PopulationKind {
+    fn sample(&self, n: usize, rng: &mut StdRng) -> Vec<f64> {
+        (0..n)
+            .map(|_| match *self {
+                PopulationKind::Exponential { mean } => {
+                    assert!(mean > 0.0, "mean must be positive");
+                    // Inverse CDF: -mean·ln(U), U ∈ (0,1].
+                    let u: f64 = rng.gen_range(f64::EPSILON..=1.0);
+                    -mean * u.ln()
+                }
+                PopulationKind::Pareto { alpha, mean } => {
+                    assert!(alpha > 1.0, "Pareto mean requires alpha > 1");
+                    assert!(mean > 0.0, "mean must be positive");
+                    // X = xm·U^(-1/alpha) has mean alpha·xm/(alpha-1);
+                    // choose xm to hit the requested mean.
+                    let xm = mean * (alpha - 1.0) / alpha;
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    xm * u.powf(-1.0 / alpha)
+                }
+                PopulationKind::LogNormal { mean, cv } => {
+                    assert!(mean > 0.0 && cv > 0.0, "mean and cv must be positive");
+                    // For LN(μ,σ²): mean = exp(μ+σ²/2), cv² = exp(σ²)−1.
+                    let sigma2 = (1.0 + cv * cv).ln();
+                    let mu = mean.ln() - sigma2 / 2.0;
+                    let z = {
+                        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        let u2: f64 = rng.gen_range(0.0..1.0);
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                    };
+                    (mu + sigma2.sqrt() * z).exp()
+                }
+                PopulationKind::Constant { value } => {
+                    assert!(value > 0.0, "value must be positive");
+                    value
+                }
+            })
+            .collect()
+    }
+
+    fn mean(&self) -> f64 {
+        match *self {
+            PopulationKind::Exponential { mean } => mean,
+            PopulationKind::Pareto { mean, .. } => mean,
+            PopulationKind::LogNormal { mean, .. } => mean,
+            PopulationKind::Constant { value } => value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    fn sample_mean(kind: PopulationKind, n: usize, seed: u64) -> f64 {
+        let xs = kind.sample(n, &mut rng_for(seed, 0));
+        xs.iter().sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_hits_mean() {
+        let m = sample_mean(PopulationKind::default(), 200_000, 1);
+        assert!((m - 30.0).abs() < 0.5, "sample mean {m}");
+    }
+
+    #[test]
+    fn pareto_1_5_hits_mean() {
+        // Heavy tail ⇒ slower convergence; allow wider tolerance.
+        let m = sample_mean(PopulationKind::pareto_1_5(), 400_000, 2);
+        assert!((m - 30.0).abs() < 3.0, "sample mean {m}");
+    }
+
+    #[test]
+    fn pareto_is_heavier_tailed_than_exponential() {
+        let n = 100_000;
+        let exp = PopulationKind::default().sample(n, &mut rng_for(3, 0));
+        let par = PopulationKind::pareto_10_9().sample(n, &mut rng_for(3, 1));
+        let max_exp = exp.iter().cloned().fold(0.0, f64::max);
+        let max_par = par.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max_par > max_exp * 3.0,
+            "pareto max {max_par} should dwarf exponential max {max_exp}"
+        );
+    }
+
+    #[test]
+    fn all_samples_positive() {
+        for kind in [
+            PopulationKind::default(),
+            PopulationKind::pareto_10_9(),
+            PopulationKind::pareto_1_5(),
+            PopulationKind::LogNormal { mean: 30.0, cv: 1.0 },
+            PopulationKind::Constant { value: 30.0 },
+        ] {
+            let xs = kind.sample(10_000, &mut rng_for(4, 0));
+            assert!(xs.iter().all(|&x| x > 0.0 && x.is_finite()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let xs = PopulationKind::Constant { value: 7.0 }.sample(10, &mut rng_for(5, 0));
+        assert!(xs.iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    fn reproducible_across_runs() {
+        let a = PopulationKind::default().sample(20, &mut rng_for(6, 0));
+        let b = PopulationKind::default().sample(20, &mut rng_for(6, 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lognormal_mean_approximately_correct() {
+        let m = sample_mean(PopulationKind::LogNormal { mean: 30.0, cv: 0.8 }, 200_000, 7);
+        assert!((m - 30.0).abs() < 1.0, "sample mean {m}");
+    }
+}

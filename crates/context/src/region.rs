@@ -1,0 +1,159 @@
+//! Regions on which PoP locations are drawn (§3.1, §7).
+//!
+//! The paper's default region is the unit square; §7 reports experiments
+//! with "different region shapes, for instance rectangles with different
+//! aspect ratios" and finds that only quite long-and-thin regions change
+//! the resulting networks significantly. Rectangles (normalized to unit
+//! area, parameterized by aspect ratio) and a disk are provided so that
+//! experiment is reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let (dx, dy) = (self.x - other.x, self.y - other.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// The sampling region for PoP locations.
+///
+/// All regions have unit area so that cost parameters (which multiply link
+/// *lengths*) remain comparable across shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Region {
+    /// The unit square `[0,1]²` — the paper's default.
+    UnitSquare,
+    /// A unit-area rectangle with the given width/height aspect ratio
+    /// (width = √aspect, height = 1/√aspect).
+    Rectangle {
+        /// Width divided by height; must be positive and finite.
+        aspect: f64,
+    },
+    /// A unit-area disk (radius `1/√π`) centered at the origin.
+    Disk,
+}
+
+impl Region {
+    /// Bounding box `(width, height)` of the region.
+    pub fn extent(&self) -> (f64, f64) {
+        match self {
+            Region::UnitSquare => (1.0, 1.0),
+            Region::Rectangle { aspect } => {
+                assert!(aspect.is_finite() && *aspect > 0.0, "aspect must be positive");
+                (aspect.sqrt(), 1.0 / aspect.sqrt())
+            }
+            Region::Disk => {
+                let d = 2.0 / std::f64::consts::PI.sqrt();
+                (d, d)
+            }
+        }
+    }
+
+    /// Whether `p` lies inside the region.
+    pub fn contains(&self, p: &Point) -> bool {
+        match self {
+            Region::UnitSquare => (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y),
+            Region::Rectangle { .. } => {
+                let (w, h) = self.extent();
+                (0.0..=w).contains(&p.x) && (0.0..=h).contains(&p.y)
+            }
+            Region::Disk => {
+                let r = 1.0 / std::f64::consts::PI.sqrt();
+                p.x * p.x + p.y * p.y <= r * r + 1e-12
+            }
+        }
+    }
+
+    /// Area of the region (always 1 by construction; used as a sanity
+    /// invariant in tests).
+    pub fn area(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Symmetric Euclidean distance matrix for a set of points.
+///
+/// `result[u][v] == result[v][u]`, zero diagonal.
+pub fn distance_matrix(points: &[Point]) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut d = vec![vec![0.0f64; n]; n];
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dist = points[u].distance(&points[v]);
+            d[u][v] = dist;
+            d[v][u] = dist;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn unit_square_contains() {
+        let r = Region::UnitSquare;
+        assert!(r.contains(&Point::new(0.5, 0.5)));
+        assert!(r.contains(&Point::new(0.0, 1.0)));
+        assert!(!r.contains(&Point::new(1.1, 0.5)));
+        assert_eq!(r.extent(), (1.0, 1.0));
+    }
+
+    #[test]
+    fn rectangle_preserves_unit_area() {
+        for aspect in [0.25, 1.0, 4.0, 16.0] {
+            let (w, h) = Region::Rectangle { aspect }.extent();
+            assert!((w * h - 1.0).abs() < 1e-12, "aspect {aspect}: {w}×{h}");
+            assert!((w / h - aspect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn disk_contains_center_not_corner() {
+        let r = Region::Disk;
+        assert!(r.contains(&Point::new(0.0, 0.0)));
+        let radius = 1.0 / std::f64::consts::PI.sqrt();
+        assert!(r.contains(&Point::new(radius * 0.99, 0.0)));
+        assert!(!r.contains(&Point::new(radius * 1.01, 0.0)));
+    }
+
+    #[test]
+    fn distance_matrix_symmetric_zero_diagonal() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)];
+        let d = distance_matrix(&pts);
+        for u in 0..3 {
+            assert_eq!(d[u][u], 0.0);
+            for v in 0..3 {
+                assert_eq!(d[u][v], d[v][u]);
+            }
+        }
+        assert_eq!(d[0][1], 1.0);
+        assert!((d[1][2] - 2f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,230 @@
+//! Approximate Bayesian Computation for parameter estimation (§8).
+//!
+//! "We also plan to use statistical estimation techniques, most notably
+//! ABC (Approximate Bayesian Computation) to map real networks to
+//! parameters `k_i`, to assist experimenters in determining appropriate
+//! values for these parameters in specific contexts."
+//!
+//! Implementation: rejection-ABC. Draw `(k2, k3)` candidates from
+//! log-uniform priors, synthesize a small ensemble per candidate, compute
+//! a normalized distance between the ensemble's mean summary statistics
+//! and the target's, and keep the closest candidates as the approximate
+//! posterior. The summary statistics are the tunability metrics of §6
+//! (average degree, CVND, diameter, global clustering), normalized by the
+//! target values so no single statistic dominates.
+
+use crate::stats::NetworkStats;
+use crate::synthesizer::ColdConfig;
+use cold_context::rng::{derive_seed, rng_for};
+use cold_cost::CostParams;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Target summary statistics for the observed network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetSummary {
+    /// Observed average node degree.
+    pub average_degree: f64,
+    /// Observed CVND.
+    pub cvnd: f64,
+    /// Observed hop diameter.
+    pub diameter: f64,
+    /// Observed global clustering coefficient.
+    pub global_clustering: f64,
+}
+
+impl TargetSummary {
+    /// Extracts the summary from computed stats.
+    pub fn from_stats(s: &NetworkStats) -> Self {
+        Self {
+            average_degree: s.average_degree,
+            cvnd: s.cvnd,
+            diameter: s.diameter as f64,
+            global_clustering: s.global_clustering,
+        }
+    }
+
+    /// Normalized L2 distance between this target and observed stats.
+    ///
+    /// Each component is scaled by `max(target, floor)` so relative errors
+    /// are comparable; clustering uses an absolute floor of 0.05 because
+    /// targets of exactly 0 (trees) are common.
+    pub fn distance(&self, s: &NetworkStats) -> f64 {
+        let rel = |target: f64, got: f64, floor: f64| {
+            let scale = target.abs().max(floor);
+            (got - target) / scale
+        };
+        let d = [
+            rel(self.average_degree, s.average_degree, 0.5),
+            rel(self.cvnd, s.cvnd, 0.2),
+            rel(self.diameter, s.diameter as f64, 1.0),
+            rel(self.global_clustering, s.global_clustering, 0.05),
+        ];
+        d.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+/// Log-uniform prior over `(k2, k3)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbcPrior {
+    /// `k2` range (both positive).
+    pub k2: (f64, f64),
+    /// `k3` range (both positive; use a small epsilon instead of 0 so the
+    /// prior stays log-uniform).
+    pub k3: (f64, f64),
+}
+
+impl Default for AbcPrior {
+    fn default() -> Self {
+        Self { k2: (1e-5, 5e-3), k3: (1e-1, 2e3) }
+    }
+}
+
+impl AbcPrior {
+    fn sample(&self, rng: &mut rand::rngs::StdRng) -> (f64, f64) {
+        let draw = |(lo, hi): (f64, f64), r: &mut rand::rngs::StdRng| {
+            assert!(lo > 0.0 && hi > lo, "log-uniform prior needs 0 < lo < hi");
+            (lo.ln() + r.gen_range(0.0..1.0) * (hi.ln() - lo.ln())).exp()
+        };
+        (draw(self.k2, rng), draw(self.k3, rng))
+    }
+}
+
+/// One accepted posterior sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbcSample {
+    /// Candidate bandwidth cost.
+    pub k2: f64,
+    /// Candidate hub cost.
+    pub k3: f64,
+    /// Distance between the candidate ensemble's mean stats and the
+    /// target.
+    pub distance: f64,
+}
+
+/// ABC settings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbcConfig {
+    /// Prior ranges.
+    pub prior: AbcPrior,
+    /// Candidate draws from the prior.
+    pub candidates: usize,
+    /// Networks synthesized per candidate (their mean stats are compared).
+    pub trials_per_candidate: usize,
+    /// Fraction of closest candidates kept as the posterior (0, 1].
+    pub acceptance_quantile: f64,
+}
+
+impl Default for AbcConfig {
+    fn default() -> Self {
+        Self {
+            prior: AbcPrior::default(),
+            candidates: 40,
+            trials_per_candidate: 3,
+            acceptance_quantile: 0.25,
+        }
+    }
+}
+
+/// Runs rejection-ABC: returns accepted samples sorted by ascending
+/// distance (best fit first).
+///
+/// `base` fixes everything except `(k2, k3)` — notably `n`, which should
+/// match the observed network's PoP count.
+pub fn fit(base: &ColdConfig, target: &TargetSummary, cfg: &AbcConfig, seed: u64) -> Vec<AbcSample> {
+    assert!(cfg.candidates >= 1);
+    assert!(cfg.trials_per_candidate >= 1);
+    assert!(cfg.acceptance_quantile > 0.0 && cfg.acceptance_quantile <= 1.0);
+    let mut prior_rng = rng_for(seed, 0xABC);
+    let mut samples: Vec<AbcSample> = (0..cfg.candidates)
+        .map(|i| {
+            let (k2, k3) = cfg.prior.sample(&mut prior_rng);
+            let candidate = ColdConfig {
+                params: CostParams { k2, k3, ..base.params },
+                ..*base
+            };
+            let results =
+                candidate.ensemble(derive_seed(seed, i as u64), cfg.trials_per_candidate);
+            let mean_distance = results
+                .iter()
+                .map(|r| target.distance(&r.stats))
+                .sum::<f64>()
+                / results.len() as f64;
+            AbcSample { k2, k3, distance: mean_distance }
+        })
+        .collect();
+    samples.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+    let keep = ((cfg.candidates as f64) * cfg.acceptance_quantile).ceil() as usize;
+    samples.truncate(keep.max(1));
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_zero_at_target() {
+        let m = cold_graph::AdjacencyMatrix::complete(6);
+        let s = NetworkStats::from_matrix(&m).unwrap();
+        let t = TargetSummary::from_stats(&s);
+        assert_eq!(t.distance(&s), 0.0);
+    }
+
+    #[test]
+    fn distance_grows_with_mismatch() {
+        let clique = NetworkStats::from_matrix(&cold_graph::AdjacencyMatrix::complete(8)).unwrap();
+        let star = NetworkStats::from_matrix(
+            &cold_graph::AdjacencyMatrix::from_edges(8, &(1..8).map(|v| (0, v)).collect::<Vec<_>>())
+                .unwrap(),
+        )
+        .unwrap();
+        let t = TargetSummary::from_stats(&clique);
+        assert!(t.distance(&star) > t.distance(&clique));
+    }
+
+    #[test]
+    fn prior_samples_in_range() {
+        let prior = AbcPrior::default();
+        let mut rng = rng_for(1, 0);
+        for _ in 0..100 {
+            let (k2, k3) = prior.sample(&mut rng);
+            assert!((prior.k2.0..=prior.k2.1).contains(&k2));
+            assert!((prior.k3.0..=prior.k3.1).contains(&k3));
+        }
+    }
+
+    #[test]
+    fn fit_recovers_hubby_targets_with_high_k3() {
+        // Target: a pure star (CVND high, diameter 2). The accepted
+        // posterior should put k3 well above the prior's geometric mean.
+        let n = 10;
+        let star = cold_graph::AdjacencyMatrix::from_edges(
+            n,
+            &(1..n).map(|v| (0, v)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let target = TargetSummary::from_stats(&NetworkStats::from_matrix(&star).unwrap());
+        let base = ColdConfig::quick(n, 1e-4, 10.0);
+        let cfg = AbcConfig {
+            candidates: 12,
+            trials_per_candidate: 2,
+            acceptance_quantile: 0.25,
+            ..Default::default()
+        };
+        let accepted = fit(&base, &target, &cfg, 3);
+        assert!(!accepted.is_empty());
+        assert!(accepted.len() <= 3);
+        // Sorted ascending by distance.
+        for w in accepted.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        let geo_mean_prior = (cfg.prior.k3.0 * cfg.prior.k3.1).sqrt();
+        let best = accepted[0];
+        assert!(
+            best.k3 > geo_mean_prior / 3.0,
+            "best-fit k3 = {} suspiciously low for a star target",
+            best.k3
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Bootstrap confidence intervals.
+//!
+//! Fig 3's "error bars denote 95% bootstrap confidence intervals for the
+//! mean of the results" and Fig 5's "95% confidence intervals based on 200
+//! simulations per data point" both need a percentile bootstrap of the
+//! sample mean, implemented here with a seeded RNG for reproducibility.
+
+use cold_context::rng::rng_for;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A summary of a sample with a bootstrap CI on its mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanCi {
+    /// Sample mean.
+    pub mean: f64,
+    /// Lower CI bound.
+    pub lo: f64,
+    /// Upper CI bound.
+    pub hi: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+/// Percentile-bootstrap CI for the mean of `samples`.
+///
+/// `confidence` is e.g. `0.95`; `resamples` around 1000 is plenty for the
+/// paper's plots. Degenerate inputs (empty → NaN mean; single observation →
+/// zero-width interval) are handled explicitly.
+pub fn bootstrap_mean_ci(
+    samples: &[f64],
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> MeanCi {
+    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0, "confidence in (0,1)");
+    let n = samples.len();
+    if n == 0 {
+        return MeanCi { mean: f64::NAN, lo: f64::NAN, hi: f64::NAN, count: 0 };
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return MeanCi { mean, lo: mean, hi: mean, count: 1 };
+    }
+    let mut rng = rng_for(seed, 0xB005);
+    let mut means: Vec<f64> = (0..resamples.max(2))
+        .map(|_| {
+            let mut s = 0.0;
+            for _ in 0..n {
+                s += samples[rng.gen_range(0..n)];
+            }
+            s / n as f64
+        })
+        .collect();
+    means.sort_by(f64::total_cmp);
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((means.len() as f64) * alpha).floor() as usize;
+    let hi_idx = (((means.len() as f64) * (1.0 - alpha)).ceil() as usize).min(means.len()) - 1;
+    MeanCi { mean, lo: means[lo_idx.min(means.len() - 1)], hi: means[hi_idx], count: n }
+}
+
+/// Simple sample standard deviation (n − 1 denominator); `0` for n < 2.
+pub fn sample_std(samples: &[f64]) -> f64 {
+    let n = samples.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_brackets_mean() {
+        let samples: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_mean_ci(&samples, 0.95, 1000, 1);
+        assert!((ci.mean - 4.5).abs() < 1e-12);
+        assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
+        assert!(ci.hi - ci.lo < 2.0, "CI too wide: [{}, {}]", ci.lo, ci.hi);
+        assert!(ci.hi - ci.lo > 0.0);
+    }
+
+    #[test]
+    fn constant_sample_zero_width() {
+        let ci = bootstrap_mean_ci(&[7.0; 50], 0.95, 500, 2);
+        assert_eq!(ci.mean, 7.0);
+        assert_eq!(ci.lo, 7.0);
+        assert_eq!(ci.hi, 7.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = bootstrap_mean_ci(&[], 0.95, 100, 3);
+        assert!(empty.mean.is_nan());
+        assert_eq!(empty.count, 0);
+        let single = bootstrap_mean_ci(&[3.5], 0.95, 100, 4);
+        assert_eq!((single.lo, single.hi), (3.5, 3.5));
+    }
+
+    #[test]
+    fn reproducible() {
+        let samples: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
+        let a = bootstrap_mean_ci(&samples, 0.9, 500, 5);
+        let b = bootstrap_mean_ci(&samples, 0.9, 500, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wider_confidence_wider_interval() {
+        let samples: Vec<f64> = (0..60).map(|i| ((i * 37) % 17) as f64).collect();
+        let c90 = bootstrap_mean_ci(&samples, 0.90, 2000, 6);
+        let c99 = bootstrap_mean_ci(&samples, 0.99, 2000, 6);
+        assert!(c99.hi - c99.lo >= c90.hi - c90.lo);
+    }
+
+    #[test]
+    fn std_dev_matches_known_value() {
+        assert_eq!(sample_std(&[2.0, 2.0, 2.0]), 0.0);
+        let s = sample_std(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(sample_std(&[1.0]), 0.0);
+    }
+}

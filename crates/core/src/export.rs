@@ -1,0 +1,266 @@
+//! Exporters: hand the synthesized network to simulators and viewers.
+//!
+//! Requirement 5 (§1) is that COLD emits a *network* with "details such as
+//! link capacity, distances, and routing". These exporters serialize that
+//! artifact in three interoperable formats:
+//!
+//! - [`to_dot`] — Graphviz, for quick visual inspection;
+//! - [`to_graphml`] — GraphML with capacity/length/load attributes, the
+//!   lingua franca of ns-3/OMNeT++ tooling and the Topology Zoo itself;
+//! - [`to_json`] — a self-describing JSON document including PoP
+//!   coordinates, populations, links and cost breakdown;
+//! - [`to_svg`] — a standalone vector rendering (hubs highlighted, link
+//!   width ∝ capacity) viewable in any browser without tooling.
+
+use cold_context::Context;
+use cold_cost::Network;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Graphviz DOT rendering (undirected; PoPs positioned by their
+/// coordinates, links labeled with capacity).
+pub fn to_dot(net: &Network, ctx: &Context) -> String {
+    let mut out = String::new();
+    out.push_str("graph cold {\n  layout=neato;\n  node [shape=circle];\n");
+    for v in 0..net.n() {
+        let p = ctx.positions[v];
+        let hub = net.topology.degree(v) > 1;
+        let _ = writeln!(
+            out,
+            "  n{v} [pos=\"{:.4},{:.4}!\", label=\"{v}\"{}];",
+            p.x * 10.0,
+            p.y * 10.0,
+            if hub { ", style=filled, fillcolor=lightblue" } else { "" }
+        );
+    }
+    for l in &net.links {
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [label=\"{:.1}\", len={:.4}];",
+            l.u, l.v, l.capacity, l.length
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// GraphML rendering with typed link attributes.
+pub fn to_graphml(net: &Network, ctx: &Context) -> String {
+    let mut out = String::new();
+    out.push_str(concat!(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n",
+        "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n",
+        "  <key id=\"x\" for=\"node\" attr.name=\"x\" attr.type=\"double\"/>\n",
+        "  <key id=\"y\" for=\"node\" attr.name=\"y\" attr.type=\"double\"/>\n",
+        "  <key id=\"pop\" for=\"node\" attr.name=\"population\" attr.type=\"double\"/>\n",
+        "  <key id=\"len\" for=\"edge\" attr.name=\"length\" attr.type=\"double\"/>\n",
+        "  <key id=\"cap\" for=\"edge\" attr.name=\"capacity\" attr.type=\"double\"/>\n",
+        "  <key id=\"load\" for=\"edge\" attr.name=\"load\" attr.type=\"double\"/>\n",
+        "  <graph id=\"G\" edgedefault=\"undirected\">\n",
+    ));
+    for v in 0..net.n() {
+        let p = ctx.positions[v];
+        let _ = writeln!(
+            out,
+            "    <node id=\"n{v}\"><data key=\"x\">{}</data><data key=\"y\">{}</data><data key=\"pop\">{}</data></node>",
+            p.x, p.y, ctx.populations[v]
+        );
+    }
+    for (i, l) in net.links.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    <edge id=\"e{i}\" source=\"n{}\" target=\"n{}\"><data key=\"len\">{}</data><data key=\"cap\">{}</data><data key=\"load\">{}</data></edge>",
+            l.u, l.v, l.length, l.capacity, l.load
+        );
+    }
+    out.push_str("  </graph>\n</graphml>\n");
+    out
+}
+
+/// JSON document schema for [`to_json`].
+#[derive(Debug, Serialize)]
+struct JsonNetwork {
+    n: usize,
+    pops: Vec<JsonPop>,
+    links: Vec<JsonLink>,
+    cost: JsonCost,
+}
+
+#[derive(Debug, Serialize)]
+struct JsonPop {
+    id: usize,
+    x: f64,
+    y: f64,
+    population: f64,
+    is_hub: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct JsonLink {
+    source: usize,
+    target: usize,
+    length: f64,
+    load: f64,
+    capacity: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct JsonCost {
+    existence: f64,
+    length: f64,
+    bandwidth: f64,
+    hub: f64,
+    total: f64,
+}
+
+/// Standalone SVG rendering: PoPs at their coordinates (hubs highlighted,
+/// radius scaled by population), links with width proportional to
+/// installed capacity. No external tooling needed — open in any browser.
+pub fn to_svg(net: &Network, ctx: &Context) -> String {
+    const CANVAS: f64 = 640.0;
+    const MARGIN: f64 = 40.0;
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in &ctx.positions {
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    let span = (max_x - min_x).max(max_y - min_y).max(1e-9);
+    let sx = |x: f64| MARGIN + (x - min_x) / span * (CANVAS - 2.0 * MARGIN);
+    let sy = |y: f64| CANVAS - MARGIN - (y - min_y) / span * (CANVAS - 2.0 * MARGIN);
+    let max_cap = net.links.iter().map(|l| l.capacity).fold(0.0f64, f64::max).max(1e-9);
+    let max_pop = ctx.populations.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{CANVAS}\" height=\"{CANVAS}\" viewBox=\"0 0 {CANVAS} {CANVAS}\">"
+    );
+    out.push_str("  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    for l in &net.links {
+        let (a, b) = (ctx.positions[l.u], ctx.positions[l.v]);
+        let width = 0.75 + 3.25 * l.capacity / max_cap;
+        let _ = writeln!(
+            out,
+            "  <line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#607080\" stroke-width=\"{width:.2}\" stroke-opacity=\"0.8\"/>",
+            sx(a.x), sy(a.y), sx(b.x), sy(b.y)
+        );
+    }
+    for (v, p) in ctx.positions.iter().enumerate() {
+        let hub = net.topology.degree(v) > 1;
+        let r = 4.0 + 6.0 * (ctx.populations[v] / max_pop).sqrt();
+        let fill = if hub { "#2b6cb0" } else { "#a0aec0" };
+        let _ = writeln!(
+            out,
+            "  <circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{r:.1}\" fill=\"{fill}\" stroke=\"#1a202c\"/>",
+            sx(p.x), sy(p.y)
+        );
+        let _ = writeln!(
+            out,
+            "  <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"9\" text-anchor=\"middle\" fill=\"#1a202c\">{v}</text>",
+            sx(p.x),
+            sy(p.y) - r - 2.0
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// JSON rendering (pretty-printed).
+pub fn to_json(net: &Network, ctx: &Context) -> String {
+    let doc = JsonNetwork {
+        n: net.n(),
+        pops: (0..net.n())
+            .map(|v| JsonPop {
+                id: v,
+                x: ctx.positions[v].x,
+                y: ctx.positions[v].y,
+                population: ctx.populations[v],
+                is_hub: net.topology.degree(v) > 1,
+            })
+            .collect(),
+        links: net
+            .links
+            .iter()
+            .map(|l| JsonLink {
+                source: l.u,
+                target: l.v,
+                length: l.length,
+                load: l.load,
+                capacity: l.capacity,
+            })
+            .collect(),
+        cost: JsonCost {
+            existence: net.cost.existence,
+            length: net.cost.length,
+            bandwidth: net.cost.bandwidth,
+            hub: net.cost.hub,
+            total: net.cost.total(),
+        },
+    };
+    serde_json::to_string_pretty(&doc).expect("serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesizer::ColdConfig;
+
+    fn sample() -> (Network, Context) {
+        let r = ColdConfig::quick(6, 1e-4, 10.0).synthesize(1);
+        (r.network, r.context)
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let (net, ctx) = sample();
+        let dot = to_dot(&net, &ctx);
+        assert!(dot.starts_with("graph cold {"));
+        for v in 0..net.n() {
+            assert!(dot.contains(&format!("n{v} [pos=")), "missing node {v}");
+        }
+        assert_eq!(dot.matches(" -- ").count(), net.link_count());
+    }
+
+    #[test]
+    fn graphml_is_well_formed_enough() {
+        let (net, ctx) = sample();
+        let xml = to_graphml(&net, &ctx);
+        assert!(xml.contains("<graphml"));
+        assert!(xml.ends_with("</graphml>\n"));
+        assert_eq!(xml.matches("<node ").count(), net.n());
+        assert_eq!(xml.matches("<edge ").count(), net.link_count());
+        // Balanced tags.
+        assert_eq!(xml.matches("<graph ").count(), 1);
+        assert_eq!(xml.matches("</graph>").count(), 1);
+    }
+
+    #[test]
+    fn svg_contains_all_elements() {
+        let (net, ctx) = sample();
+        let svg = to_svg(&net, &ctx);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<line ").count(), net.link_count());
+        assert_eq!(svg.matches("<circle ").count(), net.n());
+        // Coordinates stay on the canvas.
+        for cap in svg.split("x1=\"").skip(1) {
+            let x: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=640.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn json_round_trips_structure() {
+        let (net, ctx) = sample();
+        let j = to_json(&net, &ctx);
+        let v: serde_json::Value = serde_json::from_str(&j).expect("valid JSON");
+        assert_eq!(v["n"], net.n());
+        assert_eq!(v["pops"].as_array().unwrap().len(), net.n());
+        assert_eq!(v["links"].as_array().unwrap().len(), net.link_count());
+        let total = v["cost"]["total"].as_f64().unwrap();
+        assert!((total - net.total_cost()).abs() < 1e-9);
+    }
+}

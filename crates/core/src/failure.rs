@@ -1,0 +1,271 @@
+//! Single-link failure analysis — using COLD's networks for the purpose
+//! they were built for.
+//!
+//! The paper's networks exist to drive simulations ("to test new
+//! networking algorithms and protocols whose properties and performance
+//! often depend on the structure of the underlying network", §1). This
+//! module implements the canonical such study: fail each link in turn,
+//! re-route all traffic on the surviving topology, and measure
+//!
+//! - **stranded traffic** (demand with no surviving path),
+//! - **overload** (rerouted load vs installed capacity — meaningful when
+//!   the network was provisioned with an overprovisioning factor `O > 1`),
+//! - **stretch** (geometric route-length inflation).
+//!
+//! Because COLD emits capacities and routing, the whole analysis runs on
+//! the synthesis output alone — requirement 5 of §1 paying off.
+
+use cold_context::Context;
+use cold_cost::Network;
+use cold_graph::routing::route_traffic;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of failing one link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkFailureImpact {
+    /// The failed link's endpoints.
+    pub link: (usize, usize),
+    /// Fraction of total offered traffic with no surviving route.
+    pub stranded_traffic_fraction: f64,
+    /// Maximum rerouted utilization (`new load / installed capacity`) over
+    /// surviving links; `> 1` means congestion under the paper's
+    /// provisioning. `0` when the network disconnects entirely aside from
+    /// stranded pairs with no load shift.
+    pub max_utilization: f64,
+    /// Number of surviving links whose rerouted load exceeds capacity.
+    pub overloaded_links: usize,
+    /// Mean multiplicative stretch of the geometric route length over
+    /// demands that survive (≥ 1).
+    pub mean_stretch: f64,
+}
+
+/// Whole-network failure report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureReport {
+    /// Per-link impacts, ordered as `Network::links`.
+    pub impacts: Vec<LinkFailureImpact>,
+}
+
+impl FailureReport {
+    /// The single worst link by stranded traffic (ties: by utilization).
+    pub fn worst(&self) -> Option<&LinkFailureImpact> {
+        self.impacts.iter().max_by(|a, b| {
+            a.stranded_traffic_fraction
+                .total_cmp(&b.stranded_traffic_fraction)
+                .then(a.max_utilization.total_cmp(&b.max_utilization))
+        })
+    }
+
+    /// Fraction of links whose failure strands no traffic and overloads
+    /// nothing — the "survivable share" of the network.
+    pub fn survivable_link_fraction(&self) -> f64 {
+        if self.impacts.is_empty() {
+            return 1.0;
+        }
+        self.impacts
+            .iter()
+            .filter(|i| i.stranded_traffic_fraction == 0.0 && i.overloaded_links == 0)
+            .count() as f64
+            / self.impacts.len() as f64
+    }
+}
+
+/// Analyzes every single-link failure of `net` in `ctx`.
+///
+/// Capacities are taken from the network as built (`O·w`); with `O = 1`
+/// any reroute overloads something, so provision with
+/// [`cold_cost::CostParams::with_overprovision`] for meaningful headroom
+/// numbers.
+pub fn single_link_failures(net: &Network, ctx: &Context) -> FailureReport {
+    let n = net.n();
+    assert_eq!(ctx.n(), n, "network and context disagree on PoP count");
+    let dist = ctx.distance_fn();
+    let total_traffic = ctx.traffic.total();
+    // Baseline route lengths for stretch.
+    let base = route_traffic(&net.graph(), dist, ctx.traffic_fn())
+        .expect("synthesized networks are connected");
+    let base_len: Vec<Vec<f64>> =
+        (0..n).map(|s| base.trees[s].dist.clone()).collect();
+
+    let mut impacts = Vec::with_capacity(net.links.len());
+    for failed in &net.links {
+        let mut topo = net.topology.clone();
+        topo.set_edge(failed.u, failed.v, false);
+        let g = topo.to_graph();
+        // Route only the demands that still have a path; measure the rest.
+        let comps = cold_graph::components::connected_components(&g);
+        let survives =
+            |s: usize, t: usize| comps.label[s] == comps.label[t];
+        let mut stranded = 0.0f64;
+        for s in 0..n {
+            for t in 0..n {
+                if s != t && !survives(s, t) {
+                    stranded += ctx.traffic.demand(s, t);
+                }
+            }
+        }
+        let routed = route_traffic(&g, dist, |s, t| {
+            if survives(s, t) {
+                ctx.traffic.demand(s, t)
+            } else {
+                0.0
+            }
+        })
+        .expect("stranded demands zeroed, remaining pairs routable");
+        // Installed capacity lookup for surviving links.
+        let mut max_util = 0.0f64;
+        let mut overloaded = 0usize;
+        for (i, &(u, v)) in routed.edges.iter().enumerate() {
+            let installed = net
+                .links
+                .iter()
+                .find(|l| (l.u, l.v) == (u, v))
+                .map(|l| l.capacity)
+                .unwrap_or(0.0);
+            if installed > 0.0 {
+                let util = routed.load[i] / installed;
+                max_util = max_util.max(util);
+                if util > 1.0 + 1e-9 {
+                    overloaded += 1;
+                }
+            } else if routed.load[i] > 0.0 {
+                // Link carried nothing before (zero capacity) but does now.
+                overloaded += 1;
+                max_util = f64::INFINITY;
+            }
+        }
+        // Stretch over surviving demands.
+        let mut stretch_sum = 0.0f64;
+        let mut stretch_count = 0usize;
+        for s in 0..n {
+            for t in 0..n {
+                if s != t && survives(s, t) && ctx.traffic.demand(s, t) > 0.0 {
+                    let before = base_len[s][t];
+                    let after = routed.trees[s].dist[t];
+                    if before > 0.0 {
+                        stretch_sum += after / before;
+                        stretch_count += 1;
+                    }
+                }
+            }
+        }
+        impacts.push(LinkFailureImpact {
+            link: (failed.u, failed.v),
+            stranded_traffic_fraction: if total_traffic > 0.0 {
+                stranded / total_traffic
+            } else {
+                0.0
+            },
+            max_utilization: max_util,
+            overloaded_links: overloaded,
+            mean_stretch: if stretch_count > 0 {
+                stretch_sum / stretch_count as f64
+            } else {
+                1.0
+            },
+        });
+    }
+    FailureReport { impacts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_context::{GravityModel, Point, PopulationKind};
+    use cold_cost::{CostParams, Network};
+    use cold_graph::AdjacencyMatrix;
+
+    fn square_ctx() -> Context {
+        Context::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(0.0, 1.0),
+            ],
+            PopulationKind::Constant { value: 1.0 },
+            GravityModel::raw(),
+            0,
+        )
+    }
+
+    #[test]
+    fn tree_failures_strand_traffic() {
+        let ctx = square_ctx();
+        let star = AdjacencyMatrix::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let net = Network::build(star, &ctx, CostParams::paper(1e-3, 0.0)).unwrap();
+        let report = single_link_failures(&net, &ctx);
+        assert_eq!(report.impacts.len(), 3);
+        for i in &report.impacts {
+            // Cutting a spoke strands one PoP: 2·3 of 12 ordered pairs.
+            assert!((i.stranded_traffic_fraction - 0.5).abs() < 1e-9);
+        }
+        assert_eq!(report.survivable_link_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ring_failures_reroute_everything() {
+        let ctx = square_ctx();
+        let ring = AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        // Provision 4× headroom so reroutes fit.
+        let params = CostParams::paper(1e-3, 0.0).with_overprovision(4.0);
+        let net = Network::build(ring, &ctx, params).unwrap();
+        let report = single_link_failures(&net, &ctx);
+        for i in &report.impacts {
+            assert_eq!(i.stranded_traffic_fraction, 0.0);
+            assert_eq!(i.overloaded_links, 0, "4x headroom must absorb any single failure");
+            assert!(i.max_utilization <= 1.0 + 1e-9);
+            assert!(i.mean_stretch >= 1.0);
+        }
+        assert_eq!(report.survivable_link_fraction(), 1.0);
+    }
+
+    #[test]
+    fn tight_provisioning_overloads_on_reroute() {
+        let ctx = square_ctx();
+        let ring = AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        // O = 1: every reroute must exceed some installed capacity.
+        let net = Network::build(ring, &ctx, CostParams::paper(1e-3, 0.0)).unwrap();
+        let report = single_link_failures(&net, &ctx);
+        for i in &report.impacts {
+            assert_eq!(i.stranded_traffic_fraction, 0.0, "ring survives any single cut");
+            assert!(i.overloaded_links > 0, "O = 1 leaves no headroom");
+            assert!(i.max_utilization > 1.0);
+        }
+    }
+
+    #[test]
+    fn stretch_reflects_detours() {
+        let ctx = square_ctx();
+        let ring = AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let net = Network::build(ring, &ctx, CostParams::paper(1e-3, 0.0)).unwrap();
+        let report = single_link_failures(&net, &ctx);
+        // Failing (0,1): the 0↔1 demand now takes the 3-hop way around
+        // (length 3 vs 1) — mean stretch must be clearly above 1.
+        let impact = report.impacts.iter().find(|i| i.link == (0, 1)).unwrap();
+        assert!(impact.mean_stretch > 1.1, "stretch {}", impact.mean_stretch);
+    }
+
+    #[test]
+    fn worst_link_identified() {
+        let ctx = square_ctx();
+        // Triangle + pendant: the pendant link is the clear worst.
+        let topo = AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let net = Network::build(topo, &ctx, CostParams::paper(1e-3, 0.0)).unwrap();
+        let report = single_link_failures(&net, &ctx);
+        let worst = report.worst().unwrap();
+        assert_eq!(worst.link, (2, 3));
+        assert!(worst.stranded_traffic_fraction > 0.0);
+    }
+
+    #[test]
+    fn end_to_end_on_synthesized_network() {
+        let r = crate::ColdConfig::quick(9, 4e-4, 10.0).synthesize(5);
+        let report = single_link_failures(&r.network, &r.context);
+        assert_eq!(report.impacts.len(), r.network.link_count());
+        for i in &report.impacts {
+            assert!((0.0..=1.0).contains(&i.stranded_traffic_fraction));
+            assert!(i.mean_stretch >= 1.0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Multi-AS synthesis over shared cities (§2's extensibility example, §8).
+//!
+//! "COLD could naturally be extended to multiple ASes. Imagine the PoPs
+//! are in fact cities, in which different networks may have presence. PoP
+//! interconnects in same cities could then be assigned a cost, and we
+//! could run the optimization with respect to this additional cost."
+//!
+//! Implementation: a shared city map is generated once; each AS selects a
+//! population-weighted random subset of cities as its PoPs and runs the
+//! ordinary COLD synthesis on that sub-context. ASes are then peered at
+//! shared cities: for each AS pair, interconnects are opened at their
+//! common cities in descending population order until either `max_peerings`
+//! is reached or the marginal interconnect (whose price is
+//! `interconnect_cost` each) stops being justified by the population it
+//! serves.
+
+use crate::synthesizer::{ColdConfig, SynthesisResult};
+use cold_context::gravity::GravityModel;
+use cold_context::population::{PopulationKind, PopulationModel};
+use cold_context::region::Point;
+use cold_context::rng::{derive_seed, rng_for};
+use cold_context::Context;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a multi-AS synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterAsConfig {
+    /// Number of cities on the shared map.
+    pub cities: usize,
+    /// Number of ASes to synthesize.
+    pub as_count: usize,
+    /// PoPs per AS (must be ≤ cities).
+    pub pops_per_as: usize,
+    /// Fixed cost of opening one interconnect at a shared city.
+    pub interconnect_cost: f64,
+    /// Maximum interconnects per AS pair.
+    pub max_peerings: usize,
+}
+
+impl Default for InterAsConfig {
+    fn default() -> Self {
+        Self { cities: 30, as_count: 3, pops_per_as: 12, interconnect_cost: 20.0, max_peerings: 3 }
+    }
+}
+
+/// One peering between two ASes at a shared city.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Peering {
+    /// First AS index.
+    pub as_a: usize,
+    /// Second AS index.
+    pub as_b: usize,
+    /// City where the interconnect lives.
+    pub city: usize,
+    /// The interconnect's fixed cost.
+    pub cost: f64,
+}
+
+/// A synthesized multi-AS topology.
+#[derive(Debug)]
+pub struct MultiAsNetwork {
+    /// Shared city coordinates.
+    pub cities: Vec<Point>,
+    /// Shared city populations.
+    pub city_population: Vec<f64>,
+    /// Per-AS: which city each PoP lives in (`pops[a][i]` = city of AS
+    /// `a`'s PoP `i`).
+    pub pops: Vec<Vec<usize>>,
+    /// Per-AS synthesis results (intra-AS networks).
+    pub networks: Vec<SynthesisResult>,
+    /// Inter-AS interconnects.
+    pub peerings: Vec<Peering>,
+}
+
+impl MultiAsNetwork {
+    /// Total cost: intra-AS network costs plus interconnect costs.
+    pub fn total_cost(&self) -> f64 {
+        self.networks.iter().map(|r| r.best_cost()).sum::<f64>()
+            + self.peerings.iter().map(|p| p.cost).sum::<f64>()
+    }
+
+    /// Cities where both ASes have a PoP.
+    pub fn shared_cities(&self, a: usize, b: usize) -> Vec<usize> {
+        self.pops[a].iter().copied().filter(|c| self.pops[b].contains(c)).collect()
+    }
+}
+
+/// Synthesizes a multi-AS topology.
+///
+/// `base` supplies the cost parameters and GA settings used for every AS;
+/// its context model is ignored (the shared city map replaces it).
+pub fn synthesize_multi_as(base: &ColdConfig, cfg: &InterAsConfig, seed: u64) -> MultiAsNetwork {
+    assert!(cfg.pops_per_as >= 3, "each AS needs at least 3 PoPs");
+    assert!(cfg.pops_per_as <= cfg.cities, "more PoPs per AS than cities");
+    assert!(cfg.as_count >= 1);
+    // Shared map: uniform cities with exponential populations (the paper's
+    // default context, reused at the city level).
+    let mut map_rng = rng_for(seed, 0xC171);
+    let s = cold_context::PAPER_REGION_SCALE;
+    let cities: Vec<Point> = (0..cfg.cities)
+        .map(|_| Point::new(map_rng.gen_range(0.0..s), map_rng.gen_range(0.0..s)))
+        .collect();
+    let city_population = PopulationKind::default().sample(cfg.cities, &mut map_rng);
+
+    // Each AS picks a population-weighted sample of cities (big cities are
+    // likelier to host many networks, creating shared presence).
+    let total_pop: f64 = city_population.iter().sum();
+    let mut pops: Vec<Vec<usize>> = Vec::with_capacity(cfg.as_count);
+    for a in 0..cfg.as_count {
+        let mut rng = rng_for(seed, 0xA5_00 + a as u64);
+        let mut chosen: Vec<usize> = Vec::with_capacity(cfg.pops_per_as);
+        while chosen.len() < cfg.pops_per_as {
+            // Weighted draw without replacement.
+            let mut target = rng.gen_range(0.0..total_pop);
+            let mut pick = cfg.cities - 1;
+            for (c, &p) in city_population.iter().enumerate() {
+                target -= p;
+                if target < 0.0 {
+                    pick = c;
+                    break;
+                }
+            }
+            if !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        chosen.sort_unstable();
+        pops.push(chosen);
+    }
+
+    // Intra-AS synthesis on each sub-context.
+    let networks: Vec<SynthesisResult> = pops
+        .iter()
+        .enumerate()
+        .map(|(a, cities_of_as)| {
+            let positions: Vec<Point> = cities_of_as.iter().map(|&c| cities[c]).collect();
+            let populations: Vec<f64> =
+                cities_of_as.iter().map(|&c| city_population[c]).collect();
+            let traffic = GravityModel::paper_default().traffic_matrix(&populations, Some(&positions));
+            let ctx = Context::new(positions, populations, traffic);
+            base.synthesize_in_context(ctx, derive_seed(seed, 0x0A50 + a as u64))
+        })
+        .collect();
+
+    // Peering: for each AS pair, open interconnects at shared cities in
+    // descending population order.
+    let mut peerings = Vec::new();
+    for a in 0..cfg.as_count {
+        for b in (a + 1)..cfg.as_count {
+            let mut shared: Vec<usize> =
+                pops[a].iter().copied().filter(|c| pops[b].contains(c)).collect();
+            shared.sort_by(|&x, &y| {
+                city_population[y].total_cmp(&city_population[x]).then(x.cmp(&y))
+            });
+            for &city in shared.iter().take(cfg.max_peerings) {
+                peerings.push(Peering { as_a: a, as_b: b, city, cost: cfg.interconnect_cost });
+            }
+        }
+    }
+    MultiAsNetwork { cities, city_population, pops, networks, peerings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_base() -> ColdConfig {
+        ColdConfig::quick(10, 1e-4, 10.0)
+    }
+
+    #[test]
+    fn multi_as_structure_is_consistent() {
+        let cfg = InterAsConfig { cities: 15, as_count: 3, pops_per_as: 8, ..Default::default() };
+        let m = synthesize_multi_as(&quick_base(), &cfg, 1);
+        assert_eq!(m.networks.len(), 3);
+        assert_eq!(m.pops.len(), 3);
+        for (a, net) in m.networks.iter().enumerate() {
+            assert_eq!(m.pops[a].len(), 8);
+            assert_eq!(net.network.n(), 8);
+            // PoPs sit at their city coordinates.
+            for (i, &c) in m.pops[a].iter().enumerate() {
+                assert_eq!(net.context.positions[i], m.cities[c]);
+            }
+        }
+    }
+
+    #[test]
+    fn peerings_only_at_shared_cities() {
+        let cfg = InterAsConfig { cities: 12, as_count: 3, pops_per_as: 9, ..Default::default() };
+        let m = synthesize_multi_as(&quick_base(), &cfg, 2);
+        for p in &m.peerings {
+            assert!(m.pops[p.as_a].contains(&p.city), "AS {} missing city {}", p.as_a, p.city);
+            assert!(m.pops[p.as_b].contains(&p.city));
+            assert_eq!(p.cost, cfg.interconnect_cost);
+        }
+        // With 9 of 12 cities per AS, every pair must share cities.
+        assert!(!m.peerings.is_empty());
+    }
+
+    #[test]
+    fn peering_cap_respected() {
+        let cfg = InterAsConfig {
+            cities: 10,
+            as_count: 2,
+            pops_per_as: 10,
+            max_peerings: 2,
+            ..Default::default()
+        };
+        let m = synthesize_multi_as(&quick_base(), &cfg, 3);
+        assert!(m.peerings.len() <= 2);
+        // All cities shared ⇒ exactly the cap.
+        assert_eq!(m.peerings.len(), 2);
+        // Interconnects favor the biggest shared cities.
+        let mut picked: Vec<f64> =
+            m.peerings.iter().map(|p| m.city_population[p.city]).collect();
+        picked.sort_by(f64::total_cmp);
+        let max_pop = m.city_population.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(picked.pop().unwrap(), max_pop);
+    }
+
+    #[test]
+    fn total_cost_adds_up() {
+        let cfg = InterAsConfig { cities: 12, as_count: 2, pops_per_as: 8, ..Default::default() };
+        let m = synthesize_multi_as(&quick_base(), &cfg, 4);
+        let sum: f64 = m.networks.iter().map(|r| r.best_cost()).sum::<f64>()
+            + m.peerings.len() as f64 * cfg.interconnect_cost;
+        assert!((m.total_cost() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = InterAsConfig { cities: 12, as_count: 2, pops_per_as: 6, ..Default::default() };
+        let a = synthesize_multi_as(&quick_base(), &cfg, 5);
+        let b = synthesize_multi_as(&quick_base(), &cfg, 5);
+        assert_eq!(a.pops, b.pops);
+        assert_eq!(a.peerings.len(), b.peerings.len());
+        for (x, y) in a.networks.iter().zip(&b.networks) {
+            assert_eq!(x.network.topology, y.network.topology);
+        }
+    }
+}

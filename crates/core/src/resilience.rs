@@ -1,0 +1,223 @@
+//! Redundancy-aware synthesis — the extension §2 invites.
+//!
+//! The PoP-level model deliberately omits redundancy ("We do not include
+//! redundancy, port numbers or other complex constraints at this level",
+//! §3.2), but the paper stresses that "it is generally easy to add
+//! additional costs or constraints to the model" (§2). This module does
+//! exactly that: a wrapper [`Objective`] that adds a *bridge cost* — every
+//! link whose single failure would disconnect the network incurs an extra
+//! penalty — plus survivability analysis of the result.
+//!
+//! With a small bridge cost the GA trades some build-out budget for rings;
+//! with a large one it produces fully 2-edge-connected networks. The cost
+//! stays operationally meaningful: it is the expected price of an outage
+//! on an unprotected link.
+
+use crate::objective::ColdObjective;
+use cold_context::Context;
+use cold_cost::CostParams;
+use cold_ga::Objective;
+use cold_graph::connectivity::{cut_structure, is_two_edge_connected};
+use cold_graph::AdjacencyMatrix;
+use serde::{Deserialize, Serialize};
+
+/// The COLD objective plus a per-bridge outage cost.
+#[derive(Debug, Clone)]
+pub struct ResilientObjective<'a> {
+    inner: ColdObjective<'a>,
+    /// Extra cost charged for every bridge link.
+    pub bridge_cost: f64,
+}
+
+impl<'a> ResilientObjective<'a> {
+    /// Wraps the standard objective with a bridge penalty.
+    ///
+    /// # Panics
+    /// Panics if `bridge_cost` is negative or non-finite.
+    pub fn new(ctx: &'a Context, params: CostParams, bridge_cost: f64) -> Self {
+        assert!(bridge_cost >= 0.0 && bridge_cost.is_finite(), "bridge cost must be >= 0");
+        Self { inner: ColdObjective::new(ctx, params), bridge_cost }
+    }
+
+    /// The wrapped plain objective.
+    pub fn inner(&self) -> &ColdObjective<'a> {
+        &self.inner
+    }
+}
+
+impl Objective for ResilientObjective<'_> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+    fn distance(&self, u: usize, v: usize) -> f64 {
+        self.inner.distance(u, v)
+    }
+    fn cost(&self, topology: &AdjacencyMatrix) -> f64 {
+        let base = self.inner.cost(topology);
+        if self.bridge_cost == 0.0 {
+            return base;
+        }
+        let bridges = cut_structure(&topology.to_graph()).bridges.len();
+        base + self.bridge_cost * bridges as f64
+    }
+}
+
+/// Survivability report for a synthesized topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Survivability {
+    /// Number of bridge links (single points of failure among links).
+    pub bridges: usize,
+    /// Number of articulation PoPs (single points of failure among PoPs).
+    pub articulation_points: usize,
+    /// Whether the network survives any single link failure.
+    pub two_edge_connected: bool,
+    /// Fraction of total offered traffic that would be disconnected by the
+    /// worst single link failure.
+    pub worst_link_failure_traffic_fraction: f64,
+}
+
+/// Analyzes a topology's survivability in a context.
+pub fn survivability(topology: &AdjacencyMatrix, ctx: &Context) -> Survivability {
+    let g = topology.to_graph();
+    let cuts = cut_structure(&g);
+    let total_traffic = ctx.traffic.total();
+    let mut worst = 0.0f64;
+    for &(u, v) in &cuts.bridges {
+        // Removing the bridge splits the network; sum the demand crossing
+        // the cut.
+        let mut cut = topology.clone();
+        cut.set_edge(u, v, false);
+        let comps = cold_graph::components::matrix_components(&cut);
+        let mut crossing = 0.0;
+        for s in 0..ctx.n() {
+            for t in 0..ctx.n() {
+                if s != t && comps.label[s] != comps.label[t] {
+                    crossing += ctx.traffic.demand(s, t);
+                }
+            }
+        }
+        if total_traffic > 0.0 {
+            worst = worst.max(crossing / total_traffic);
+        }
+    }
+    Survivability {
+        bridges: cuts.bridges.len(),
+        articulation_points: cuts.articulation_points.len(),
+        two_edge_connected: is_two_edge_connected(&g),
+        worst_link_failure_traffic_fraction: worst,
+    }
+}
+
+/// Synthesizes a resilience-aware network: the standard pipeline
+/// (heuristic seeds + GA) but optimizing [`ResilientObjective`].
+///
+/// Returns the best topology, its resilient-objective value, and its
+/// survivability report.
+pub fn synthesize_resilient(
+    base: &crate::ColdConfig,
+    bridge_cost: f64,
+    seed: u64,
+) -> (cold_cost::Network, f64, Survivability) {
+    let ctx = base.context.generate(cold_context::rng::derive_seed(seed, 0xC0));
+    let objective = ResilientObjective::new(&ctx, base.params, bridge_cost);
+    // Seed with the plain heuristics (still valid topologies, just scored
+    // differently) exactly as the initialized GA does.
+    let eval = cold_cost::CostEvaluator::new(&ctx, base.params);
+    let seeds: Vec<AdjacencyMatrix> =
+        cold_heuristics::all_heuristics(&eval, &base.random_greedy, seed)
+            .into_iter()
+            .map(|(_, r)| r.topology)
+            .collect();
+    let ga_settings = cold_ga::GaSettings {
+        seed: cold_context::rng::derive_seed(seed, 0x6741),
+        ..base.ga
+    };
+    let engine = cold_ga::GeneticAlgorithm::new(&objective, ga_settings);
+    let result = engine.run_seeded(&seeds);
+    let report = survivability(&result.best.topology, &ctx);
+    let network = cold_cost::Network::build(result.best.topology.clone(), &ctx, base.params)
+        .expect("GA output connected");
+    (network, result.best.cost, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ColdConfig;
+
+    #[test]
+    fn bridge_penalty_added_to_cost() {
+        let cfg = ColdConfig::quick(6, 1e-4, 0.0);
+        let ctx = cfg.context.generate(1);
+        let plain = ColdObjective::new(&ctx, cfg.params);
+        let res = ResilientObjective::new(&ctx, cfg.params, 50.0);
+        // A tree on 6 nodes has 5 bridges.
+        let tree = cold_graph::mst::mst_matrix(6, ctx.distance_fn());
+        assert!((res.cost(&tree) - (plain.cost(&tree) + 250.0)).abs() < 1e-9);
+        // A cycle has none.
+        let ring = AdjacencyMatrix::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+            .unwrap();
+        assert!((res.cost(&ring) - plain.cost(&ring)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survivability_of_tree_vs_ring() {
+        let cfg = ColdConfig::quick(6, 1e-4, 0.0);
+        let ctx = cfg.context.generate(2);
+        let tree = cold_graph::mst::mst_matrix(6, ctx.distance_fn());
+        let s = survivability(&tree, &ctx);
+        assert_eq!(s.bridges, 5);
+        assert!(!s.two_edge_connected);
+        assert!(s.worst_link_failure_traffic_fraction > 0.0);
+        let ring = AdjacencyMatrix::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+            .unwrap();
+        let s = survivability(&ring, &ctx);
+        assert_eq!(s.bridges, 0);
+        assert!(s.two_edge_connected);
+        assert_eq!(s.worst_link_failure_traffic_fraction, 0.0);
+    }
+
+    #[test]
+    fn high_bridge_cost_produces_two_edge_connected_networks() {
+        let cfg = ColdConfig::quick(9, 1e-4, 0.0);
+        let (net, _, report) = synthesize_resilient(&cfg, 1e6, 3);
+        assert!(
+            report.two_edge_connected,
+            "bridge cost 1e6 must eliminate bridges; got {} bridges over {} links",
+            report.bridges,
+            net.link_count()
+        );
+        assert!(net.link_count() >= 9, "2-edge-connected needs >= n links");
+    }
+
+    #[test]
+    fn zero_bridge_cost_reduces_to_plain_cold() {
+        let cfg = ColdConfig::quick(8, 1e-4, 10.0);
+        let (net, cost, _) = synthesize_resilient(&cfg, 0.0, 4);
+        let plain = cfg.synthesize(4);
+        assert_eq!(net.topology, plain.network.topology);
+        assert!((cost - plain.best_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_failure_fraction_counts_both_directions() {
+        // Barbell: bridge splits 3/3; crossing fraction = 2·9·t/(30·t) for
+        // uniform demands = 0.6.
+        let ctx = cold_context::Context::from_positions(
+            (0..6)
+                .map(|i| cold_context::Point::new(i as f64, 0.0))
+                .collect(),
+            cold_context::PopulationKind::Constant { value: 1.0 },
+            cold_context::GravityModel::raw(),
+            0,
+        );
+        let barbell = AdjacencyMatrix::from_edges(
+            6,
+            &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)],
+        )
+        .unwrap();
+        let s = survivability(&barbell, &ctx);
+        assert_eq!(s.bridges, 1);
+        assert!((s.worst_link_failure_traffic_fraction - 0.6).abs() < 1e-9);
+    }
+}

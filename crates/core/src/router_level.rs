@@ -1,0 +1,282 @@
+//! Router-level expansion of a PoP-level network (§1, §8).
+//!
+//! "The generation of the router-level network from the PoP level can be
+//! easily accomplished using either existing probabilistic methods, or
+//! structural methods [6]" (§1); the authors' own code implements the
+//! structural route, where "the internal design of PoPs is almost
+//! completely determined by simple templates" (§3) and the expansion is a
+//! generalized graph product [25].
+//!
+//! This module implements that structural expansion: each PoP is replaced
+//! by a *template* (single router / dual core / core ring / core mesh)
+//! sized by the traffic the PoP originates, intra-PoP links come from the
+//! template, and each inter-PoP link lands on a core router chosen
+//! round-robin — exactly the product-of-graphs shape of ref [25] with the
+//! template as the per-node factor.
+
+use cold_context::Context;
+use cold_cost::Network;
+use serde::{Deserialize, Serialize};
+
+/// Per-PoP internal structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterTemplate {
+    /// One router handles everything (small leaf PoPs).
+    Single,
+    /// Two core routers, interconnected (redundant edge PoPs).
+    DualCore,
+    /// `k ≥ 3` core routers in a ring.
+    CoreRing(
+        /// Ring size.
+        usize,
+    ),
+    /// `k ≥ 3` core routers in a full mesh (the largest PoPs).
+    CoreMesh(
+        /// Mesh size.
+        usize,
+    ),
+}
+
+impl RouterTemplate {
+    /// Number of routers in the template.
+    pub fn router_count(&self) -> usize {
+        match *self {
+            RouterTemplate::Single => 1,
+            RouterTemplate::DualCore => 2,
+            RouterTemplate::CoreRing(k) | RouterTemplate::CoreMesh(k) => k,
+        }
+    }
+
+    /// Intra-PoP links among routers `0..router_count()` (local indices).
+    pub fn internal_links(&self) -> Vec<(usize, usize)> {
+        match *self {
+            RouterTemplate::Single => Vec::new(),
+            RouterTemplate::DualCore => vec![(0, 1)],
+            RouterTemplate::CoreRing(k) => (0..k).map(|i| (i, (i + 1) % k)).collect(),
+            RouterTemplate::CoreMesh(k) => {
+                let mut l = Vec::new();
+                for i in 0..k {
+                    for j in (i + 1)..k {
+                        l.push((i, j));
+                    }
+                }
+                l
+            }
+        }
+    }
+}
+
+/// Thresholds mapping a PoP's originated traffic to a template.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterLevelConfig {
+    /// Traffic a single router can terminate; PoPs originating more get
+    /// multi-router templates.
+    pub router_capacity: f64,
+    /// Cap on routers per PoP.
+    pub max_routers: usize,
+}
+
+impl Default for RouterLevelConfig {
+    fn default() -> Self {
+        Self { router_capacity: 1000.0, max_routers: 8 }
+    }
+}
+
+impl RouterLevelConfig {
+    /// Chooses the template for a PoP originating `traffic`.
+    pub fn template_for(&self, traffic: f64) -> RouterTemplate {
+        assert!(self.router_capacity > 0.0, "router capacity must be positive");
+        assert!(self.max_routers >= 1);
+        let routers = (traffic / self.router_capacity).ceil().max(1.0) as usize;
+        let routers = routers.min(self.max_routers);
+        match routers {
+            1 => RouterTemplate::Single,
+            2 => RouterTemplate::DualCore,
+            k if k <= 4 => RouterTemplate::CoreRing(k),
+            k => RouterTemplate::CoreMesh(k),
+        }
+    }
+}
+
+/// A router-level link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterLink {
+    /// Router index.
+    pub a: usize,
+    /// Router index.
+    pub b: usize,
+    /// `true` for intra-PoP (template) links, `false` for inter-PoP links.
+    pub intra_pop: bool,
+}
+
+/// The expanded router-level network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouterNetwork {
+    /// `router_pop[r]` is the PoP that router `r` belongs to.
+    pub router_pop: Vec<usize>,
+    /// The template used for each PoP.
+    pub pop_template: Vec<RouterTemplate>,
+    /// First router index of each PoP (routers of PoP `p` are
+    /// `pop_offset[p] .. pop_offset[p] + pop_template[p].router_count()`).
+    pub pop_offset: Vec<usize>,
+    /// All router-level links.
+    pub links: Vec<RouterLink>,
+}
+
+impl RouterNetwork {
+    /// Total number of routers.
+    pub fn router_count(&self) -> usize {
+        self.router_pop.len()
+    }
+
+    /// The routers belonging to PoP `p`.
+    pub fn routers_of(&self, p: usize) -> std::ops::Range<usize> {
+        let start = self.pop_offset[p];
+        start..start + self.pop_template[p].router_count()
+    }
+
+    /// Adjacency-matrix view of the router graph.
+    pub fn to_matrix(&self) -> cold_graph::AdjacencyMatrix {
+        let mut m = cold_graph::AdjacencyMatrix::empty(self.router_count());
+        for l in &self.links {
+            m.set_edge(l.a, l.b, true);
+        }
+        m
+    }
+}
+
+/// Expands a PoP-level network to the router level.
+///
+/// Traffic per PoP is its traffic-matrix row+column sum (originated plus
+/// terminated, halved), the natural sizing signal: §3.1 notes that under
+/// heavy-tailed traffic "PoPs will have a wider spread in the numbers of
+/// routers needed".
+pub fn expand(net: &Network, ctx: &Context, cfg: &RouterLevelConfig) -> RouterNetwork {
+    let n = net.n();
+    assert_eq!(ctx.n(), n, "network and context disagree on PoP count");
+    let templates: Vec<RouterTemplate> = (0..n)
+        .map(|p| {
+            let orig = ctx.traffic.row_sum(p);
+            let term: f64 = (0..n).map(|s| ctx.traffic.demand(s, p)).sum();
+            cfg.template_for((orig + term) / 2.0)
+        })
+        .collect();
+    let mut pop_offset = Vec::with_capacity(n);
+    let mut router_pop = Vec::new();
+    for (p, t) in templates.iter().enumerate() {
+        pop_offset.push(router_pop.len());
+        for _ in 0..t.router_count() {
+            router_pop.push(p);
+        }
+    }
+    let mut links = Vec::new();
+    // Intra-PoP template links.
+    for (p, t) in templates.iter().enumerate() {
+        for (i, j) in t.internal_links() {
+            links.push(RouterLink { a: pop_offset[p] + i, b: pop_offset[p] + j, intra_pop: true });
+        }
+    }
+    // Inter-PoP links land on core routers round-robin per PoP.
+    let mut next_port = vec![0usize; n];
+    for l in &net.links {
+        let (pu, pv) = (l.u, l.v);
+        let a = pop_offset[pu] + next_port[pu] % templates[pu].router_count();
+        let b = pop_offset[pv] + next_port[pv] % templates[pv].router_count();
+        next_port[pu] += 1;
+        next_port[pv] += 1;
+        links.push(RouterLink { a, b, intra_pop: false });
+    }
+    RouterNetwork { router_pop, pop_template: templates, pop_offset, links }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesizer::ColdConfig;
+    use cold_context::population::PopulationKind;
+    use cold_context::PopulationModel as _;
+
+    #[test]
+    fn template_thresholds() {
+        let cfg = RouterLevelConfig { router_capacity: 10.0, max_routers: 8 };
+        assert_eq!(cfg.template_for(5.0), RouterTemplate::Single);
+        assert_eq!(cfg.template_for(15.0), RouterTemplate::DualCore);
+        assert_eq!(cfg.template_for(35.0), RouterTemplate::CoreRing(4));
+        assert_eq!(cfg.template_for(75.0), RouterTemplate::CoreMesh(8));
+        assert_eq!(cfg.template_for(1e9), RouterTemplate::CoreMesh(8), "capped");
+    }
+
+    #[test]
+    fn template_links() {
+        assert!(RouterTemplate::Single.internal_links().is_empty());
+        assert_eq!(RouterTemplate::DualCore.internal_links(), vec![(0, 1)]);
+        assert_eq!(RouterTemplate::CoreRing(4).internal_links().len(), 4);
+        assert_eq!(RouterTemplate::CoreMesh(4).internal_links().len(), 6);
+    }
+
+    #[test]
+    fn expansion_preserves_connectivity() {
+        let r = ColdConfig::quick(8, 4e-4, 10.0).synthesize(5);
+        // Size capacity so PoPs land on varied templates.
+        let total = r.context.traffic.total();
+        let cfg = RouterLevelConfig { router_capacity: total / 12.0, max_routers: 6 };
+        let routers = expand(&r.network, &r.context, &cfg);
+        assert!(routers.router_count() >= 8);
+        let m = routers.to_matrix();
+        assert!(cold_graph::components::matrix_is_connected(&m));
+        // Every inter-PoP link of the PoP graph appears exactly once.
+        let inter = routers.links.iter().filter(|l| !l.intra_pop).count();
+        assert_eq!(inter, r.network.link_count());
+    }
+
+    #[test]
+    fn router_pop_mapping_is_consistent() {
+        let r = ColdConfig::quick(6, 1e-4, 10.0).synthesize(6);
+        let cfg = RouterLevelConfig {
+            router_capacity: r.context.traffic.total() / 10.0,
+            max_routers: 5,
+        };
+        let routers = expand(&r.network, &r.context, &cfg);
+        for p in 0..6 {
+            for rt in routers.routers_of(p) {
+                assert_eq!(routers.router_pop[rt], p);
+            }
+        }
+        // Intra-PoP links stay inside one PoP; inter links cross PoPs.
+        for l in &routers.links {
+            let same = routers.router_pop[l.a] == routers.router_pop[l.b];
+            assert_eq!(same, l.intra_pop, "link {l:?}");
+        }
+    }
+
+    #[test]
+    fn heavier_traffic_means_more_routers() {
+        // §3.1's observation: a Pareto traffic model spreads router counts
+        // more than the exponential model.
+        // Decouple from the gravity coupling (where one huge PoP inflates
+        // every other PoP's traffic) and test the sizing rule directly:
+        // per-PoP traffic proportional to its population. A PoP serving
+        // population p terminates ≈ p·(mean demand per capita) traffic.
+        let rl = RouterLevelConfig { router_capacity: 10.0, max_routers: 1000 };
+        let pooled = |kind: PopulationKind| -> Vec<f64> {
+            let mut counts: Vec<f64> = Vec::new();
+            for seed in 0..40u64 {
+                let pops = kind.sample(20, &mut cold_context::rng::rng_for(seed, 0));
+                counts.extend(pops.iter().map(|&p| rl.template_for(p).router_count() as f64));
+            }
+            counts.sort_by(f64::total_cmp);
+            counts
+        };
+        let ratio = |counts: &[f64]| {
+            let p95 = counts[(counts.len() * 95) / 100];
+            let med = counts[counts.len() / 2].max(1.0);
+            p95 / med
+        };
+        let light = ratio(&pooled(PopulationKind::default()));
+        let heavy = ratio(&pooled(PopulationKind::pareto_10_9()));
+        assert!(
+            heavy > light,
+            "heavy-tail p95/median router ratio {heavy} not above exponential {light}"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! The §6 statistics bundle: every topology metric the paper's tunability
+//! study tracks, computed in one pass.
+
+use cold_graph::metrics::{
+    average_local_clustering, average_path_length, degeneracy, degree_assortativity,
+    degree_stats, global_clustering, hop_diameter, node_betweenness, s_metric,
+};
+use cold_graph::{AdjacencyMatrix, Graph};
+use serde::{Deserialize, Serialize};
+
+/// Topology statistics for one network (a connected graph).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Number of PoPs.
+    pub n: usize,
+    /// Number of links.
+    pub m: usize,
+    /// Average node degree (Fig 5).
+    pub average_degree: f64,
+    /// Coefficient of variation of node degree (Fig 8).
+    pub cvnd: f64,
+    /// Hop diameter (Fig 6).
+    pub diameter: usize,
+    /// Global clustering coefficient (Fig 7).
+    pub global_clustering: f64,
+    /// Average local (Watts–Strogatz) clustering.
+    pub local_clustering: f64,
+    /// Average shortest-path length in hops.
+    pub average_path_length: f64,
+    /// Degree assortativity (`None` when undefined, e.g. regular graphs).
+    pub assortativity: Option<f64>,
+    /// Li et al. `s`-metric.
+    pub s_metric: f64,
+    /// Number of hub (core) PoPs, degree > 1 (Fig 9).
+    pub hubs: usize,
+    /// Number of leaf PoPs, degree exactly 1.
+    pub leaves: usize,
+    /// Mean node betweenness.
+    pub mean_betweenness: f64,
+    /// Graph degeneracy (maximum k-core index): 1 for trees, higher for
+    /// meshy backbones.
+    pub degeneracy: usize,
+}
+
+impl NetworkStats {
+    /// Computes the statistics for a connected graph.
+    ///
+    /// # Errors
+    /// [`cold_graph::GraphError::Disconnected`] if the graph is not
+    /// connected (path metrics would be undefined).
+    pub fn compute(g: &Graph) -> Result<Self, cold_graph::GraphError> {
+        let deg = degree_stats(g);
+        let diameter = hop_diameter(g)?;
+        let apl = average_path_length(g)?;
+        let bc = node_betweenness(g);
+        let mean_bc = if bc.is_empty() { 0.0 } else { bc.iter().sum::<f64>() / bc.len() as f64 };
+        Ok(Self {
+            n: g.n(),
+            m: g.m(),
+            average_degree: deg.mean,
+            cvnd: deg.cvnd,
+            diameter,
+            global_clustering: global_clustering(g),
+            local_clustering: average_local_clustering(g),
+            average_path_length: apl,
+            assortativity: degree_assortativity(g),
+            s_metric: s_metric(g),
+            hubs: deg.hubs,
+            leaves: deg.leaves,
+            mean_betweenness: mean_bc,
+            degeneracy: degeneracy(g),
+        })
+    }
+
+    /// Convenience: compute from an adjacency matrix.
+    ///
+    /// # Errors
+    /// See [`NetworkStats::compute`].
+    pub fn from_matrix(m: &AdjacencyMatrix) -> Result<Self, cold_graph::GraphError> {
+        Self::compute(&m.to_graph())
+    }
+
+    /// Extracts the named statistic (used by the generic sweep driver).
+    /// Unknown names return `None`; `assortativity` returns `None` when
+    /// undefined.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        Some(match name {
+            "average_degree" => self.average_degree,
+            "cvnd" => self.cvnd,
+            "diameter" => self.diameter as f64,
+            "global_clustering" => self.global_clustering,
+            "local_clustering" => self.local_clustering,
+            "average_path_length" => self.average_path_length,
+            "s_metric" => self.s_metric,
+            "hubs" => self.hubs as f64,
+            "leaves" => self.leaves as f64,
+            "mean_betweenness" => self.mean_betweenness,
+            "degeneracy" => self.degeneracy as f64,
+            "m" => self.m as f64,
+            "assortativity" => return self.assortativity,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_statistics() {
+        let m = AdjacencyMatrix::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let s = NetworkStats::from_matrix(&m).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.m, 4);
+        assert_eq!(s.diameter, 2);
+        assert_eq!(s.hubs, 1);
+        assert_eq!(s.leaves, 4);
+        assert_eq!(s.global_clustering, 0.0);
+        assert_eq!(s.degeneracy, 1);
+        assert!((s.average_degree - 1.6).abs() < 1e-12);
+        assert!(s.cvnd > 0.7);
+        assert!(s.assortativity.is_some());
+    }
+
+    #[test]
+    fn clique_statistics() {
+        let m = AdjacencyMatrix::complete(5);
+        let s = NetworkStats::from_matrix(&m).unwrap();
+        assert_eq!(s.diameter, 1);
+        assert_eq!(s.global_clustering, 1.0);
+        assert_eq!(s.degeneracy, 4);
+        assert_eq!(s.cvnd, 0.0);
+        assert_eq!(s.leaves, 0);
+        assert_eq!(s.hubs, 5);
+        assert_eq!(s.assortativity, None, "regular graph: undefined");
+    }
+
+    #[test]
+    fn disconnected_is_error() {
+        let m = AdjacencyMatrix::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(NetworkStats::from_matrix(&m).is_err());
+    }
+
+    #[test]
+    fn get_by_name() {
+        let m = AdjacencyMatrix::complete(4);
+        let s = NetworkStats::from_matrix(&m).unwrap();
+        assert_eq!(s.get("average_degree"), Some(3.0));
+        assert_eq!(s.get("diameter"), Some(1.0));
+        assert_eq!(s.get("hubs"), Some(4.0));
+        assert_eq!(s.get("nope"), None);
+    }
+}

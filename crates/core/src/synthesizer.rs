@@ -1,0 +1,271 @@
+//! The top-level COLD synthesis API.
+//!
+//! A [`ColdConfig`] bundles everything: the context model (§3.1), the cost
+//! parameters (§3.2), the GA settings (§4–§5) and the synthesis mode
+//! (plain GA, or the *initialized GA* of Fig 3 that seeds the first
+//! generation with the greedy heuristics' outputs). A synthesis is a pure
+//! function of `(config, seed)`.
+
+use crate::objective::ColdObjective;
+use crate::stats::NetworkStats;
+use cold_context::rng::derive_seed;
+use cold_context::{Context, ContextConfig};
+use cold_cost::{CostParams, Network};
+use cold_ga::{GaSettings, GeneticAlgorithm};
+use cold_heuristics::{all_heuristics, RandomGreedyConfig};
+use serde::{Deserialize, Serialize};
+
+/// How the GA's initial population is seeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SynthesisMode {
+    /// Plain GA: MST + clique + random fill only (the "GA" line of Fig 3).
+    GaOnly,
+    /// Initialized GA: additionally seed with the four greedy heuristics'
+    /// outputs, guaranteeing the result is at least as good as every
+    /// competitor (the "initialised GA" line of Fig 3). This is the
+    /// recommended default.
+    #[default]
+    Initialized,
+}
+
+/// Full configuration of a COLD synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColdConfig {
+    /// Context model (PoP locations, populations, traffic).
+    pub context: ContextConfig,
+    /// Cost parameters `k0…k3` and overprovisioning.
+    pub params: CostParams,
+    /// Genetic-algorithm settings (`seed` field is overridden per trial).
+    pub ga: GaSettings,
+    /// Plain or initialized GA.
+    pub mode: SynthesisMode,
+    /// Random-greedy heuristic configuration (used in initialized mode).
+    pub random_greedy: RandomGreedyConfig,
+}
+
+impl ColdConfig {
+    /// Paper-scale configuration: `T = M = 100` GA, initialized mode,
+    /// `k0 = 10, k1 = 1` and the given `k2, k3`.
+    pub fn paper(n: usize, k2: f64, k3: f64) -> Self {
+        Self {
+            context: ContextConfig::paper_default(n),
+            params: CostParams::paper(k2, k3),
+            ga: GaSettings::paper_default(0),
+            mode: SynthesisMode::Initialized,
+            random_greedy: RandomGreedyConfig::default(),
+        }
+    }
+
+    /// Reduced configuration for tests and quick experiment modes.
+    pub fn quick(n: usize, k2: f64, k3: f64) -> Self {
+        Self {
+            ga: GaSettings::quick(0),
+            random_greedy: RandomGreedyConfig { permutations: 3 },
+            ..Self::paper(n, k2, k3)
+        }
+    }
+
+    /// Synthesizes one network: generates the context for `seed`, then
+    /// optimizes deterministically.
+    pub fn synthesize(&self, seed: u64) -> SynthesisResult {
+        let ctx = self.context.generate(derive_seed(seed, 0xC0))
+            ;
+        self.synthesize_in_context(ctx, seed)
+    }
+
+    /// Optimizes within an explicitly provided context (e.g. real PoP
+    /// locations, or the fixed-context comparisons of Fig 3).
+    pub fn synthesize_in_context(&self, ctx: Context, seed: u64) -> SynthesisResult {
+        let objective = ColdObjective::new(&ctx, self.params);
+        let mut heuristic_costs = Vec::new();
+        let seeds: Vec<cold_graph::AdjacencyMatrix> = match self.mode {
+            SynthesisMode::GaOnly => Vec::new(),
+            SynthesisMode::Initialized => {
+                let hs = all_heuristics(
+                    objective.evaluator(),
+                    &self.random_greedy,
+                    derive_seed(seed, 0x4755),
+                );
+                hs.into_iter()
+                    .map(|(name, r)| {
+                        heuristic_costs.push((name.to_string(), r.cost));
+                        r.topology
+                    })
+                    .collect()
+            }
+        };
+        let ga_settings = GaSettings { seed: derive_seed(seed, 0x6741), ..self.ga };
+        let engine = GeneticAlgorithm::new(&objective, ga_settings);
+        let result = engine.run_seeded(&seeds);
+        let network = Network::build(result.best.topology.clone(), &ctx, self.params)
+            .expect("GA result is connected");
+        let stats = NetworkStats::compute(&network.graph()).expect("connected");
+        SynthesisResult {
+            context: ctx,
+            network,
+            stats,
+            best_cost_history: result.history,
+            final_population_costs: result.final_population.iter().map(|i| i.cost).collect(),
+            heuristic_costs,
+            evaluations: result.evaluations,
+            repair_rate: result.repair_stats.repair_rate(),
+            generations_run: result.generations_run,
+        }
+    }
+
+    /// Synthesizes an ensemble of `count` networks with independent
+    /// contexts, in parallel across trials.
+    ///
+    /// Within each trial the GA runs serially (`parallel = false`) so the
+    /// machine is not oversubscribed; trial-level parallelism dominates
+    /// for ensembles anyway.
+    pub fn ensemble(&self, master_seed: u64, count: usize) -> Vec<SynthesisResult> {
+        let serial = ColdConfig { ga: GaSettings { parallel: false, ..self.ga }, ..*self };
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let workers = workers.min(count).max(1);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, SynthesisResult)>();
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let serial = &serial;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let r = serial.synthesize(derive_seed(master_seed, i as u64));
+                    tx.send((i, r)).expect("result channel open");
+                });
+            }
+        })
+        .expect("ensemble worker panicked");
+        drop(tx);
+        let mut slots: Vec<Option<SynthesisResult>> = (0..count).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots.into_iter().map(|s| s.expect("every trial filled")).collect()
+    }
+}
+
+/// Everything produced by one synthesis.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// The random context the network was designed for.
+    pub context: Context,
+    /// The synthesized network (topology + capacities + routes + cost).
+    pub network: Network,
+    /// Topology statistics (§6).
+    pub stats: NetworkStats,
+    /// Best cost per generation (monotone nonincreasing).
+    pub best_cost_history: Vec<f64>,
+    /// Costs of the whole final GA population (ascending) — §3.3's
+    /// "population of solutions" output.
+    pub final_population_costs: Vec<f64>,
+    /// `(heuristic name, cost)` for each greedy competitor (initialized
+    /// mode only; empty otherwise).
+    pub heuristic_costs: Vec<(String, f64)>,
+    /// Total objective evaluations performed by the GA.
+    pub evaluations: usize,
+    /// Fraction of offspring needing connectivity repair.
+    pub repair_rate: f64,
+    /// Generations actually run.
+    pub generations_run: usize,
+}
+
+impl SynthesisResult {
+    /// Best cost found.
+    pub fn best_cost(&self) -> f64 {
+        self.network.total_cost()
+    }
+
+    /// The cheapest heuristic competitor, if any ran.
+    pub fn best_heuristic(&self) -> Option<(&str, f64)> {
+        self.heuristic_costs
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(n, c)| (n.as_str(), *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let cfg = ColdConfig::quick(10, 1e-4, 10.0);
+        let a = cfg.synthesize(7);
+        let b = cfg.synthesize(7);
+        assert_eq!(a.network.topology, b.network.topology);
+        assert_eq!(a.best_cost_history, b.best_cost_history);
+        let c = cfg.synthesize(8);
+        assert_ne!(a.context, c.context);
+    }
+
+    #[test]
+    fn initialized_beats_every_heuristic() {
+        let cfg = ColdConfig::quick(10, 4e-4, 10.0);
+        let r = cfg.synthesize(3);
+        assert_eq!(r.heuristic_costs.len(), 4);
+        let (name, best_h) = r.best_heuristic().unwrap();
+        assert!(
+            r.best_cost() <= best_h + 1e-9,
+            "GA ({}) worse than {name} ({best_h})",
+            r.best_cost()
+        );
+    }
+
+    #[test]
+    fn ga_only_mode_runs_without_heuristics() {
+        let mut cfg = ColdConfig::quick(8, 1e-4, 0.0);
+        cfg.mode = SynthesisMode::GaOnly;
+        let r = cfg.synthesize(1);
+        assert!(r.heuristic_costs.is_empty());
+        assert!(r.best_cost() > 0.0);
+    }
+
+    #[test]
+    fn ensemble_is_deterministic_and_varied() {
+        let cfg = ColdConfig::quick(8, 1e-4, 10.0);
+        let e1 = cfg.ensemble(5, 4);
+        let e2 = cfg.ensemble(5, 4);
+        assert_eq!(e1.len(), 4);
+        for (a, b) in e1.iter().zip(&e2) {
+            assert_eq!(a.network.topology, b.network.topology);
+        }
+        // Different contexts ⇒ (almost surely) different networks.
+        let distinct = e1
+            .windows(2)
+            .filter(|w| w[0].network.topology != w[1].network.topology)
+            .count();
+        assert!(distinct >= 2, "ensemble members suspiciously identical");
+    }
+
+    #[test]
+    fn history_never_regresses_and_matches_cost() {
+        let cfg = ColdConfig::quick(9, 1e-3, 100.0);
+        let r = cfg.synthesize(11);
+        for w in r.best_cost_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+        let last = *r.best_cost_history.last().unwrap();
+        assert!((last - r.best_cost()).abs() < 1e-9);
+        assert!(!r.final_population_costs.is_empty());
+        assert!((r.final_population_costs[0] - last).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_context_varies_only_via_ga_seed() {
+        // §3.3: "create multiple networks with the same context".
+        let cfg = ColdConfig::quick(9, 4e-4, 10.0);
+        let ctx = cfg.context.generate(99);
+        let a = cfg.synthesize_in_context(ctx.clone(), 1);
+        let b = cfg.synthesize_in_context(ctx.clone(), 2);
+        assert_eq!(a.context, b.context);
+        // Costs may differ slightly between GA seeds but both are valid.
+        assert!(a.best_cost() > 0.0 && b.best_cost() > 0.0);
+    }
+}

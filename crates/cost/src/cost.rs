@@ -1,0 +1,225 @@
+//! The COLD objective function (§3.2.3, eq. 2).
+
+use crate::capacity::{assign_capacities, CapacityPlan};
+use crate::params::CostParams;
+use cold_context::Context;
+use cold_graph::{AdjacencyMatrix, GraphError};
+use serde::{Deserialize, Serialize};
+
+/// Component-wise breakdown of a topology's cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// `k0 · |E|` — link-existence cost.
+    pub existence: f64,
+    /// `k1 · Σ ℓᵢ` — length cost.
+    pub length: f64,
+    /// `k2 · Σ ℓᵢ·wᵢ = k2 · Σ t_r·L_r` — bandwidth cost.
+    pub bandwidth: f64,
+    /// `k3 · |N_C|` — hub complexity cost.
+    pub hub: f64,
+}
+
+impl CostBreakdown {
+    /// Total cost (the GA's fitness value; lower is better).
+    pub fn total(&self) -> f64 {
+        self.existence + self.length + self.bandwidth + self.hub
+    }
+}
+
+/// Evaluates the full cost of `topology` in `ctx` under `params`,
+/// returning the component breakdown and the capacity plan.
+///
+/// # Errors
+/// Propagates routing failures ([`GraphError::Disconnected`],
+/// [`GraphError::SizeMismatch`]). Connectivity is a *constraint*, not a
+/// penalty: COLD repairs disconnected candidates before evaluation
+/// (§4.1.3), so evaluation treats disconnection as an error rather than
+/// assigning a pseudo-cost.
+pub fn evaluate_parts(
+    topology: &AdjacencyMatrix,
+    ctx: &Context,
+    params: &CostParams,
+) -> Result<(CostBreakdown, CapacityPlan), GraphError> {
+    if let Err(e) = params.validate() {
+        panic!("invalid cost params: {e}");
+    }
+    let plan = assign_capacities(topology, ctx, params.overprovision)?;
+    let m = plan.link_count() as f64;
+    let breakdown = CostBreakdown {
+        existence: params.k0 * m,
+        length: params.k1 * plan.total_length(),
+        bandwidth: params.k2 * plan.traffic_weighted_route_length,
+        hub: params.k3
+            * topology.degrees().iter().filter(|&&d| d > 1).count() as f64,
+    };
+    Ok((breakdown, plan))
+}
+
+/// Total cost only — the hot path the GA calls once per candidate per
+/// generation.
+pub fn evaluate(
+    topology: &AdjacencyMatrix,
+    ctx: &Context,
+    params: &CostParams,
+) -> Result<f64, GraphError> {
+    Ok(evaluate_parts(topology, ctx, params)?.0.total())
+}
+
+/// A reusable evaluator bundling a context and parameters.
+///
+/// This is the `Objective` the GA optimizes; bundling lets the engine stay
+/// generic over *what* is being minimized (the extensibility §2 calls out:
+/// "it is generally easy to add additional costs or constraints").
+#[derive(Debug, Clone)]
+pub struct CostEvaluator<'a> {
+    /// The synthesis context (fixed during one optimization).
+    pub ctx: &'a Context,
+    /// The cost parameters.
+    pub params: CostParams,
+}
+
+impl<'a> CostEvaluator<'a> {
+    /// Creates an evaluator.
+    pub fn new(ctx: &'a Context, params: CostParams) -> Self {
+        params.validate().expect("invalid cost params");
+        Self { ctx, params }
+    }
+
+    /// Cost of a (connected) topology.
+    ///
+    /// # Errors
+    /// See [`evaluate`].
+    pub fn cost(&self, topology: &AdjacencyMatrix) -> Result<f64, GraphError> {
+        evaluate(topology, self.ctx, &self.params)
+    }
+
+    /// Cost with full breakdown and capacity plan.
+    ///
+    /// # Errors
+    /// See [`evaluate_parts`].
+    pub fn cost_parts(
+        &self,
+        topology: &AdjacencyMatrix,
+    ) -> Result<(CostBreakdown, CapacityPlan), GraphError> {
+        evaluate_parts(topology, self.ctx, &self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_context::gravity::GravityModel;
+    use cold_context::population::PopulationKind;
+    use cold_context::region::Point;
+
+    fn square_context() -> Context {
+        Context::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(0.0, 1.0),
+            ],
+            PopulationKind::Constant { value: 1.0 },
+            GravityModel::raw(),
+            0,
+        )
+    }
+
+    #[test]
+    fn breakdown_on_ring() {
+        let ctx = square_context();
+        let ring = AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let params = CostParams::new(10.0, 1.0, 0.01, 5.0);
+        let (b, plan) = evaluate_parts(&ring, &ctx, &params).unwrap();
+        assert_eq!(b.existence, 40.0);
+        assert!((b.length - 4.0).abs() < 1e-12);
+        // All 4 nodes have degree 2 ⇒ all are hubs.
+        assert_eq!(b.hub, 20.0);
+        // t·L: 8 adjacent ordered pairs at distance 1 = 8; 4 diagonal
+        // ordered pairs at distance 2 = 8 → 16. Bandwidth = 0.01·16.
+        assert!((b.bandwidth - 0.16).abs() < 1e-12);
+        assert!((b.total() - (40.0 + 4.0 + 0.16 + 20.0)).abs() < 1e-12);
+        assert_eq!(plan.link_count(), 4);
+    }
+
+    #[test]
+    fn star_has_one_hub() {
+        let ctx = square_context();
+        let star = AdjacencyMatrix::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let params = CostParams::new(0.0, 0.0, 0.0, 7.0);
+        let (b, _) = evaluate_parts(&star, &ctx, &params).unwrap();
+        assert_eq!(b.hub, 7.0);
+        assert_eq!(b.total(), 7.0);
+    }
+
+    #[test]
+    fn k0_counts_links() {
+        let ctx = square_context();
+        let full = AdjacencyMatrix::complete(4);
+        let params = CostParams::new(2.0, 0.0, 0.0, 0.0);
+        assert_eq!(evaluate(&full, &ctx, &params).unwrap(), 12.0);
+    }
+
+    #[test]
+    fn disconnected_is_error_not_penalty() {
+        let ctx = square_context();
+        let topo = AdjacencyMatrix::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            evaluate(&topo, &ctx, &CostParams::default()),
+            Err(GraphError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn evaluator_matches_free_function() {
+        let ctx = square_context();
+        let params = CostParams::paper(1e-3, 10.0);
+        let ev = CostEvaluator::new(&ctx, params);
+        let ring = AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(ev.cost(&ring).unwrap(), evaluate(&ring, &ctx, &params).unwrap());
+    }
+
+    #[test]
+    fn bandwidth_identity_holds() {
+        // k2·Σℓw computed from the plan equals the bandwidth component.
+        let ctx = square_context();
+        let topo = AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let params = CostParams::new(0.0, 0.0, 0.5, 0.0);
+        let (b, plan) = evaluate_parts(&topo, &ctx, &params).unwrap();
+        let direct: f64 =
+            plan.length.iter().zip(&plan.load).map(|(&l, &w)| 0.5 * l * w).sum();
+        assert!((b.bandwidth - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_beats_clique_when_k0_dominates() {
+        // §3.2.3: "if this cost dominates, the spanning trees are optimal".
+        let ctx = square_context();
+        let params = CostParams::new(1000.0, 1.0, 1e-6, 0.0);
+        let mst = cold_graph::mst::mst_matrix(4, ctx.distance_fn());
+        let clique = AdjacencyMatrix::complete(4);
+        assert!(evaluate(&mst, &ctx, &params).unwrap() < evaluate(&clique, &ctx, &params).unwrap());
+    }
+
+    #[test]
+    fn clique_beats_tree_when_k2_dominates() {
+        // §3.2.3: "when k2 dominates … the result will be a clique".
+        let ctx = square_context();
+        let params = CostParams::new(0.001, 0.001, 100.0, 0.0);
+        let mst = cold_graph::mst::mst_matrix(4, ctx.distance_fn());
+        let clique = AdjacencyMatrix::complete(4);
+        assert!(evaluate(&clique, &ctx, &params).unwrap() < evaluate(&mst, &ctx, &params).unwrap());
+    }
+
+    #[test]
+    fn star_beats_ring_when_k3_dominates() {
+        // §3.2.3: "If this cost is dominant, the optimal network will have
+        // only one node with degree greater than one".
+        let ctx = square_context();
+        let params = CostParams::new(0.0, 0.0, 0.0, 100.0);
+        let star = AdjacencyMatrix::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let ring = AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert!(evaluate(&star, &ctx, &params).unwrap() < evaluate(&ring, &ctx, &params).unwrap());
+    }
+}

@@ -1,0 +1,135 @@
+//! The cost parameters `k0, k1, k2, k3` (§3.2).
+//!
+//! The four costs are the *only* tuning knobs of the PoP-level model
+//! ("The PoP-level model has only four parameters, and we show why at
+//! least this many are needed", §2), and they are operationally meaningful:
+//!
+//! - `k0`: fixed cost for a link's existence; dominance ⇒ spanning trees.
+//! - `k1`: cost per unit link length (trenching/conduit); dominance ⇒
+//!   minimum spanning tree. The paper normalizes `k1 = 1`.
+//! - `k2`: cost per unit length per unit bandwidth; dominance ⇒ clique.
+//! - `k3`: complexity cost per *core* PoP (degree > 1); dominance ⇒
+//!   hub-and-spoke.
+//!
+//! Costs are relative — only three degrees of freedom — so the presets fix
+//! `k0 = 10, k1 = 1` as the paper's experiments do (§6).
+
+use serde::{Deserialize, Serialize};
+
+/// The COLD cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Per-link existence cost.
+    pub k0: f64,
+    /// Per-unit-length link cost.
+    pub k1: f64,
+    /// Per-unit-length per-unit-bandwidth cost.
+    pub k2: f64,
+    /// Per-core-node (degree > 1) complexity cost.
+    pub k3: f64,
+    /// Overprovisioning factor `O ≥ 1`: installed capacity is `O·wᵢ`.
+    /// Constant across links, so it never changes which topology is optimal
+    /// (§3.2.1); it only scales the reported link capacities.
+    pub overprovision: f64,
+}
+
+impl CostParams {
+    /// Paper baseline: `k0 = 10, k1 = 1`, with caller-chosen `k2, k3`
+    /// (the axes of Figs 3 and 5–9). `O = 1`.
+    pub fn paper(k2: f64, k3: f64) -> Self {
+        Self { k0: 10.0, k1: 1.0, k2, k3, overprovision: 1.0 }
+    }
+
+    /// Fully explicit constructor.
+    pub fn new(k0: f64, k1: f64, k2: f64, k3: f64) -> Self {
+        Self { k0, k1, k2, k3, overprovision: 1.0 }
+    }
+
+    /// Sets the overprovisioning factor.
+    ///
+    /// # Panics
+    /// Panics if `o < 1.0`.
+    pub fn with_overprovision(mut self, o: f64) -> Self {
+        assert!(o >= 1.0, "overprovision factor must be >= 1");
+        self.overprovision = o;
+        self
+    }
+
+    /// Validates that every parameter is finite and nonnegative.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("k0", self.k0),
+            ("k1", self.k1),
+            ("k2", self.k2),
+            ("k3", self.k3),
+            ("overprovision", self.overprovision),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and nonnegative, got {v}"));
+            }
+        }
+        if self.overprovision < 1.0 {
+            return Err(format!("overprovision must be >= 1, got {}", self.overprovision));
+        }
+        Ok(())
+    }
+
+    /// Rescales all four costs by `factor` — a no-op for the optimization
+    /// (costs are relative) but useful when comparing absolute budgets.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            k0: self.k0 * factor,
+            k1: self.k1 * factor,
+            k2: self.k2 * factor,
+            k3: self.k3 * factor,
+            overprovision: self.overprovision,
+        }
+    }
+}
+
+impl Default for CostParams {
+    /// A mid-range default: `k0 = 10, k1 = 1, k2 = 10⁻⁴, k3 = 10` —
+    /// the center of the paper's experimental grid.
+    fn default() -> Self {
+        Self::paper(1e-4, 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_fixes_k0_k1() {
+        let p = CostParams::paper(4e-4, 100.0);
+        assert_eq!(p.k0, 10.0);
+        assert_eq!(p.k1, 1.0);
+        assert_eq!(p.k2, 4e-4);
+        assert_eq!(p.k3, 100.0);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_values() {
+        assert!(CostParams::new(-1.0, 1.0, 0.0, 0.0).validate().is_err());
+        assert!(CostParams::new(1.0, f64::NAN, 0.0, 0.0).validate().is_err());
+        let mut p = CostParams::default();
+        p.overprovision = 0.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn overprovision_builder_panics_below_one() {
+        let _ = CostParams::default().with_overprovision(0.9);
+    }
+
+    #[test]
+    fn scaled_preserves_ratios() {
+        let p = CostParams::paper(2e-4, 50.0).scaled(3.0);
+        assert_eq!(p.k0, 30.0);
+        assert_eq!(p.k1, 3.0);
+        assert!((p.k2 - 6e-4).abs() < 1e-18);
+        assert_eq!(p.k3, 150.0);
+    }
+}

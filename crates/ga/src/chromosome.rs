@@ -1,0 +1,122 @@
+//! The GA's individuals: a topology chromosome with its cached cost.
+
+use cold_graph::AdjacencyMatrix;
+
+/// One member of the GA population.
+///
+/// §4: "Each candidate topology in the current generation is stored as an
+/// n by n adjacency matrix. The costs for each topology are also stored."
+#[derive(Debug, Clone)]
+pub struct Individual {
+    /// The candidate topology (always connected once admitted to a
+    /// generation — the engine repairs offspring before evaluation).
+    pub topology: AdjacencyMatrix,
+    /// The cached objective value.
+    pub cost: f64,
+}
+
+impl Individual {
+    /// Pairs a topology with its cost.
+    pub fn new(topology: AdjacencyMatrix, cost: f64) -> Self {
+        debug_assert!(cost.is_finite(), "individual cost must be finite, got {cost}");
+        Self { topology, cost }
+    }
+}
+
+/// Sorts a population by ascending cost with a deterministic tiebreak on
+/// the chromosome bits (so runs are reproducible even under cost ties).
+pub fn sort_by_cost(population: &mut [Individual]) {
+    population.sort_by(|a, b| {
+        a.cost
+            .total_cmp(&b.cost)
+            .then_with(|| a.topology.edge_count().cmp(&b.topology.edge_count()))
+            .then_with(|| {
+                a.topology
+                    .edges()
+                    .cmp(b.topology.edges())
+            })
+    });
+}
+
+/// Inverse-cost selection weights (§4.1.1/§4.1.2: parents and mutation
+/// sources are "chosen with probability inversely proportional to their
+/// cost"). Costs at or below `f64::EPSILON` are clamped so a zero-cost
+/// individual cannot produce an infinite weight.
+pub fn inverse_cost_weights(population: &[Individual]) -> Vec<f64> {
+    population.iter().map(|ind| 1.0 / ind.cost.max(f64::EPSILON)).collect()
+}
+
+/// Samples an index from `weights` proportionally, using a `[0, 1)` uniform
+/// draw. Deterministic given the draw; never panics for nonempty weights.
+pub fn weighted_pick(weights: &[f64], u: f64) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        // Degenerate: all weights zero — fall back to uniform.
+        return ((u * weights.len() as f64) as usize).min(weights.len() - 1);
+    }
+    let mut target = u * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target < 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ind(n: usize, edges: &[(usize, usize)], cost: f64) -> Individual {
+        Individual::new(AdjacencyMatrix::from_edges(n, edges).unwrap(), cost)
+    }
+
+    #[test]
+    fn sorting_is_by_cost_then_deterministic() {
+        let mut pop = vec![
+            ind(3, &[(0, 1), (1, 2)], 5.0),
+            ind(3, &[(0, 2)], 2.0),
+            ind(3, &[(0, 1)], 2.0),
+        ];
+        sort_by_cost(&mut pop);
+        assert_eq!(pop[0].cost, 2.0);
+        assert_eq!(pop[2].cost, 5.0);
+        // Tie between the two cost-2 individuals broken by edge list:
+        // (0,1) < (0,2).
+        assert!(pop[0].topology.has_edge(0, 1));
+    }
+
+    #[test]
+    fn inverse_weights_favor_cheap() {
+        let pop = vec![ind(2, &[(0, 1)], 1.0), ind(2, &[], 4.0)];
+        let w = inverse_cost_weights(&pop);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_pick_respects_mass() {
+        let w = vec![1.0, 3.0];
+        // First quarter of the unit interval → index 0.
+        assert_eq!(weighted_pick(&w, 0.1), 0);
+        assert_eq!(weighted_pick(&w, 0.24), 0);
+        assert_eq!(weighted_pick(&w, 0.26), 1);
+        assert_eq!(weighted_pick(&w, 0.99), 1);
+    }
+
+    #[test]
+    fn weighted_pick_handles_zero_total() {
+        let w = vec![0.0, 0.0, 0.0];
+        assert_eq!(weighted_pick(&w, 0.0), 0);
+        assert_eq!(weighted_pick(&w, 0.99), 2);
+    }
+
+    #[test]
+    fn zero_cost_is_clamped() {
+        let pop = vec![ind(2, &[(0, 1)], 0.0)];
+        let w = inverse_cost_weights(&pop);
+        assert!(w[0].is_finite());
+    }
+}

@@ -1,0 +1,168 @@
+//! Crossover (§4.1.1).
+//!
+//! "COLD picks `b` topologies uniformly at random as candidates to become
+//! parents, then chooses the best `a` of them as parents … For each of
+//! these possible links, we choose one of the `a` parents at random and
+//! copy whether the link exists or not from that parent. When choosing the
+//! parents at random, they are chosen with probability inversely
+//! proportional to their cost."
+
+use crate::chromosome::{weighted_pick, Individual};
+use crate::settings::GaSettings;
+use cold_graph::AdjacencyMatrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Selects the parent set for one crossover: draw `b` *distinct* candidate
+/// indices uniformly at random (a partial Fisher–Yates shuffle; the whole
+/// population when `b ≥ M`), keep the best `a` by cost.
+///
+/// Returns indices into `population`, sorted by ascending cost.
+pub fn select_parents(
+    population: &[Individual],
+    settings: &GaSettings,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    debug_assert!(!population.is_empty());
+    let m = population.len();
+    let b = settings.tournament_pool.min(m);
+    let a = settings.parents.min(b);
+    // Partial Fisher–Yates: the first b entries become a uniform b-subset.
+    let mut indices: Vec<usize> = (0..m).collect();
+    for i in 0..b {
+        let j = rng.gen_range(i..m);
+        indices.swap(i, j);
+    }
+    let mut pool = indices[..b].to_vec();
+    pool.sort_by(|&x, &y| {
+        population[x]
+            .cost
+            .total_cmp(&population[y].cost)
+            .then_with(|| x.cmp(&y))
+    });
+    pool.truncate(a.max(1));
+    pool
+}
+
+/// Produces one child: each potential link is copied from a parent drawn
+/// with probability inversely proportional to that parent's cost (or
+/// uniformly when `uniform_weights` is set — the ablation variant).
+///
+/// The child may be disconnected; the engine repairs it afterwards
+/// (§4.1.3).
+pub fn crossover_child(
+    population: &[Individual],
+    parent_idx: &[usize],
+    uniform_weights: bool,
+    rng: &mut StdRng,
+) -> AdjacencyMatrix {
+    debug_assert!(!parent_idx.is_empty());
+    let n = population[parent_idx[0]].topology.n();
+    let weights: Vec<f64> = if uniform_weights {
+        vec![1.0; parent_idx.len()]
+    } else {
+        parent_idx.iter().map(|&i| 1.0 / population[i].cost.max(f64::EPSILON)).collect()
+    };
+    let mut child = AdjacencyMatrix::empty(n);
+    for pair in 0..child.pair_count() {
+        let pick = if parent_idx.len() == 1 {
+            0
+        } else {
+            weighted_pick(&weights, rng.gen_range(0.0..1.0))
+        };
+        child.set_bit(pair, population[parent_idx[pick]].topology.bit(pair));
+    }
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn pop() -> Vec<Individual> {
+        vec![
+            Individual::new(AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap(), 1.0),
+            Individual::new(AdjacencyMatrix::complete(4), 10.0),
+            Individual::new(AdjacencyMatrix::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap(), 5.0),
+            Individual::new(AdjacencyMatrix::from_edges(4, &[(0, 3), (1, 3), (2, 3)]).unwrap(), 50.0),
+        ]
+    }
+
+    #[test]
+    fn parents_are_best_of_pool() {
+        let population = pop();
+        let settings = GaSettings { tournament_pool: 4, parents: 2, ..GaSettings::quick(0) };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let parents = select_parents(&population, &settings, &mut rng);
+            assert!(!parents.is_empty() && parents.len() <= 2);
+            // Sorted by cost ascending.
+            for w in parents.windows(2) {
+                assert!(population[w[0]].cost <= population[w[1]].cost);
+            }
+        }
+    }
+
+    #[test]
+    fn worst_topology_rarely_parents() {
+        // §4.1.1: "Choosing parents this way ensures that the worst
+        // topologies will not become parents" (with b covering the
+        // population, the worst can only parent when drawn b times).
+        let population = pop();
+        let settings = GaSettings { tournament_pool: 4, parents: 2, ..GaSettings::quick(0) };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut worst_count = 0;
+        for _ in 0..500 {
+            if select_parents(&population, &settings, &mut rng).contains(&3) {
+                worst_count += 1;
+            }
+        }
+        assert!(worst_count < 50, "worst individual selected {worst_count}/500 times");
+    }
+
+    #[test]
+    fn child_links_come_from_parents() {
+        let population = pop();
+        let mut rng = StdRng::seed_from_u64(3);
+        let child = crossover_child(&population, &[0, 2], false, &mut rng);
+        for pair in 0..child.pair_count() {
+            let from_a = population[0].topology.bit(pair);
+            let from_b = population[2].topology.bit(pair);
+            let c = child.bit(pair);
+            assert!(c == from_a || c == from_b, "pair {pair} invented a link state");
+        }
+    }
+
+    #[test]
+    fn cheaper_parent_contributes_more() {
+        // Parent 0 (cost 1) vs parent 1 (cost 10): on pairs where they
+        // differ, ~91% of copies should come from parent 0.
+        let population = pop();
+        let mut rng = StdRng::seed_from_u64(4);
+        let (mut from_cheap, mut total) = (0usize, 0usize);
+        for _ in 0..300 {
+            let child = crossover_child(&population, &[0, 1], false, &mut rng);
+            for pair in 0..child.pair_count() {
+                let a = population[0].topology.bit(pair);
+                let b = population[1].topology.bit(pair);
+                if a != b {
+                    total += 1;
+                    if child.bit(pair) == a {
+                        from_cheap += 1;
+                    }
+                }
+            }
+        }
+        let frac = from_cheap as f64 / total as f64;
+        assert!((0.85..0.97).contains(&frac), "cheap-parent fraction {frac}");
+    }
+
+    #[test]
+    fn single_parent_clones() {
+        let population = pop();
+        let mut rng = StdRng::seed_from_u64(5);
+        let child = crossover_child(&population, &[2], false, &mut rng);
+        assert_eq!(child, population[2].topology);
+    }
+}

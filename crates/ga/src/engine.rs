@@ -1,0 +1,302 @@
+//! The generational loop (§4.1 steps 2–5).
+
+use crate::chromosome::{inverse_cost_weights, sort_by_cost, weighted_pick, Individual};
+use crate::crossover::{crossover_child, select_parents};
+use crate::init::initial_population;
+use crate::mutation::mutate;
+use crate::repair::{repair, RepairStats};
+use crate::settings::GaSettings;
+use crate::Objective;
+use cold_graph::AdjacencyMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of one GA run.
+#[derive(Debug, Clone)]
+pub struct GaResult {
+    /// The best topology found, with its cost.
+    pub best: Individual,
+    /// Best cost after each generation (index 0 = initial population).
+    pub history: Vec<f64>,
+    /// The full final generation, sorted by ascending cost — §3.3's
+    /// "non-exclusive" property: one run yields a population of good
+    /// topologies for the same context.
+    pub final_population: Vec<Individual>,
+    /// Generations actually executed (≤ `settings.generations` when early
+    /// stopping fires).
+    pub generations_run: usize,
+    /// Total objective evaluations performed.
+    pub evaluations: usize,
+    /// Connectivity-repair activity (§4.1.3 "It is used rarely").
+    pub repair_stats: RepairStats,
+}
+
+/// The COLD genetic algorithm, generic over the [`Objective`].
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm<O: Objective> {
+    objective: O,
+    settings: GaSettings,
+}
+
+impl<O: Objective> GeneticAlgorithm<O> {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    /// Panics when `settings` are inconsistent (see
+    /// [`GaSettings::validate`]).
+    pub fn new(objective: O, settings: GaSettings) -> Self {
+        settings.validate().expect("invalid GA settings");
+        Self { objective, settings }
+    }
+
+    /// The settings in use.
+    pub fn settings(&self) -> &GaSettings {
+        &self.settings
+    }
+
+    /// The objective being minimized.
+    pub fn objective(&self) -> &O {
+        &self.objective
+    }
+
+    /// Runs the GA with no externally provided seed topologies
+    /// (the plain "GA" line of Fig 3).
+    pub fn run(&self) -> GaResult {
+        self.run_seeded(&[])
+    }
+
+    /// Runs the GA with `seeds` added to the initial population — the
+    /// "initialized GA" of Fig 3, guaranteed to end at least as good as
+    /// the best seed.
+    pub fn run_seeded(&self, seeds: &[AdjacencyMatrix]) -> GaResult {
+        let mut rng = StdRng::seed_from_u64(self.settings.seed);
+        let mut evaluations = 0usize;
+        let mut repair_stats = RepairStats::default();
+
+        // Generation 0.
+        let mut topologies = initial_population(&self.objective, &self.settings, seeds, &mut rng);
+        // Initial ER fill and seeds are already connected (init repairs
+        // them), but repair defensively so the invariant is explicit.
+        for t in &mut topologies {
+            repair(t, &self.objective, &mut repair_stats);
+        }
+        let costs = self.evaluate_all(&topologies);
+        evaluations += costs.len();
+        let mut population: Vec<Individual> = topologies
+            .into_iter()
+            .zip(costs)
+            .map(|(t, c)| Individual::new(t, c))
+            .collect();
+        sort_by_cost(&mut population);
+        let mut history = vec![population[0].cost];
+
+        let mut generations_run = 0usize;
+        for _gen in 1..=self.settings.generations {
+            generations_run += 1;
+            // Offspring topologies (children built single-threaded from one
+            // RNG stream for determinism; evaluation is the parallel part).
+            let mut children: Vec<AdjacencyMatrix> =
+                Vec::with_capacity(self.settings.num_crossover + self.settings.num_mutation);
+            for _ in 0..self.settings.num_crossover {
+                let parents = select_parents(&population, &self.settings, &mut rng);
+                children.push(crossover_child(
+                    &population,
+                    &parents,
+                    self.settings.uniform_crossover_weights,
+                    &mut rng,
+                ));
+            }
+            let weights = inverse_cost_weights(&population);
+            for _ in 0..self.settings.num_mutation {
+                let src = weighted_pick(&weights, rng.gen_range(0.0..1.0));
+                let mut child = population[src].topology.clone();
+                mutate(&mut child, &self.objective, &self.settings, &mut rng);
+                children.push(child);
+            }
+            for c in &mut children {
+                repair(c, &self.objective, &mut repair_stats);
+            }
+            let child_costs = self.evaluate_all(&children);
+            evaluations += child_costs.len();
+
+            // Next generation: elites + offspring.
+            let mut next: Vec<Individual> = Vec::with_capacity(self.settings.population);
+            next.extend(population.iter().take(self.settings.num_saved).cloned());
+            next.extend(
+                children
+                    .into_iter()
+                    .zip(child_costs)
+                    .map(|(t, c)| Individual::new(t, c)),
+            );
+            sort_by_cost(&mut next);
+            population = next;
+            history.push(population[0].cost);
+
+            if let Some(es) = self.settings.early_stop {
+                if history.len() > es.window {
+                    let then = history[history.len() - 1 - es.window];
+                    let now = *history.last().expect("nonempty");
+                    if then - now <= es.rel_tol * then.abs() {
+                        break;
+                    }
+                }
+            }
+        }
+
+        GaResult {
+            best: population[0].clone(),
+            history,
+            final_population: population,
+            generations_run,
+            evaluations,
+            repair_stats,
+        }
+    }
+
+    /// Evaluates a batch of topologies, in parallel when configured.
+    fn evaluate_all(&self, topologies: &[AdjacencyMatrix]) -> Vec<f64> {
+        if !self.settings.parallel || topologies.len() < 4 {
+            return topologies.iter().map(|t| self.objective.cost(t)).collect();
+        }
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let workers = workers.min(topologies.len());
+        let mut costs = vec![0.0f64; topologies.len()];
+        let chunk = topologies.len().div_ceil(workers);
+        crossbeam::scope(|scope| {
+            for (slot, topos) in costs.chunks_mut(chunk).zip(topologies.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (c, t) in slot.iter_mut().zip(topos) {
+                        *c = self.objective.cost(t);
+                    }
+                });
+            }
+        })
+        .expect("fitness evaluation worker panicked");
+        costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::EarlyStop;
+    use crate::test_objective::LineObjective;
+    use cold_graph::components::matrix_is_connected;
+
+    fn engine(n: usize, k0: f64, k1: f64, k3: f64, seed: u64) -> GeneticAlgorithm<LineObjective> {
+        GeneticAlgorithm::new(LineObjective { n, k0, k1, k3 }, GaSettings::quick(seed))
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let r = engine(10, 5.0, 1.0, 2.0, 1).run();
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "best cost regressed: {:?}", w);
+        }
+        assert_eq!(r.generations_run, GaSettings::quick(1).generations);
+    }
+
+    #[test]
+    fn best_is_connected_and_first_in_population() {
+        let r = engine(9, 3.0, 1.0, 0.0, 2).run();
+        assert!(matrix_is_connected(&r.best.topology));
+        assert_eq!(r.final_population[0].cost, r.best.cost);
+        for ind in &r.final_population {
+            assert!(matrix_is_connected(&ind.topology));
+        }
+    }
+
+    #[test]
+    fn k1_dominant_finds_mst() {
+        // With only length costs, the optimum is the line-path MST with
+        // total length n−1 and k0 per edge.
+        let n = 8;
+        let r = engine(n, 1.0, 100.0, 0.0, 3).run();
+        let mst_cost = (n - 1) as f64 * (1.0 + 100.0);
+        assert!(
+            (r.best.cost - mst_cost).abs() < 1e-9,
+            "best {} vs MST {}",
+            r.best.cost,
+            mst_cost
+        );
+    }
+
+    #[test]
+    fn k3_dominant_tends_toward_hub_and_spoke() {
+        // Huge hub cost ⇒ the optimum has exactly one core node. §5 shows
+        // the *plain* GA struggles at large k3 (Fig 3 right) — that is the
+        // motivation for the initialized GA — so for the plain quick GA we
+        // only require clear progress toward a hubby topology…
+        let r = engine(8, 0.1, 0.1, 1000.0, 4).run();
+        let hubs = r.best.topology.degrees().iter().filter(|&&d| d > 1).count();
+        assert!(hubs <= 3, "plain GA should get close, got {hubs} hubs");
+        // …while the GA seeded with a star (as the initialized GA would be)
+        // must find the single-hub optimum.
+        let obj = LineObjective { n: 8, k0: 0.1, k1: 0.1, k3: 1000.0 };
+        let star = AdjacencyMatrix::from_edges(
+            8,
+            &(1..8).map(|v| (0, v)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let seeded = GeneticAlgorithm::new(obj, GaSettings::quick(4)).run_seeded(&[star]);
+        let hubs = seeded.best.topology.degrees().iter().filter(|&&d| d > 1).count();
+        assert_eq!(hubs, 1, "initialized GA must reach the single-hub optimum");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = engine(8, 5.0, 1.0, 2.0, 7).run();
+        let b = engine(8, 5.0, 1.0, 2.0, 7).run();
+        assert_eq!(a.best.cost, b.best.cost);
+        assert_eq!(a.best.topology, b.best.topology);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let mut s = GaSettings::quick(8);
+        s.parallel = false;
+        let serial =
+            GeneticAlgorithm::new(LineObjective { n: 8, k0: 5.0, k1: 1.0, k3: 2.0 }, s).run();
+        let parallel = engine(8, 5.0, 1.0, 2.0, 8).run();
+        assert_eq!(serial.best.topology, parallel.best.topology);
+        assert_eq!(serial.history, parallel.history);
+    }
+
+    #[test]
+    fn seeding_guarantees_at_least_seed_quality() {
+        // Seed with the known optimum for k1-dominant costs (the path) and
+        // verify the GA never does worse.
+        let obj = LineObjective { n: 8, k0: 1.0, k1: 50.0, k3: 0.0 };
+        let path = AdjacencyMatrix::from_edges(
+            8,
+            &(0..7).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let seed_cost = obj.cost(&path);
+        let ga = GeneticAlgorithm::new(obj, GaSettings::quick(9));
+        let r = ga.run_seeded(&[path]);
+        assert!(r.best.cost <= seed_cost + 1e-12);
+    }
+
+    #[test]
+    fn early_stop_shortens_run() {
+        let mut s = GaSettings::quick(10);
+        s.early_stop = Some(EarlyStop { window: 3, rel_tol: 0.0 });
+        let r = GeneticAlgorithm::new(LineObjective { n: 6, k0: 1.0, k1: 10.0, k3: 0.0 }, s).run();
+        assert!(r.generations_run <= GaSettings::quick(10).generations);
+        // The small instance converges almost immediately, so the stop rule
+        // must fire well before the cap.
+        assert!(r.generations_run < 40, "ran {} generations", r.generations_run);
+    }
+
+    #[test]
+    fn evaluations_are_counted() {
+        let s = GaSettings::quick(11);
+        let r = GeneticAlgorithm::new(LineObjective { n: 6, k0: 1.0, k1: 1.0, k3: 0.0 }, s).run();
+        let expected = s.population + s.generations * (s.num_crossover + s.num_mutation);
+        assert_eq!(r.evaluations, expected);
+    }
+
+    use crate::Objective;
+}

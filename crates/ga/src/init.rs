@@ -1,0 +1,122 @@
+//! Initial population construction (§4.1 step 1).
+//!
+//! "One starting topology is the minimum spanning tree … One starting
+//! topology is the fully connected topology … Topologies can be provided
+//! directly as input, typically from other optimization methods. The
+//! remaining topologies are generated randomly using Erdos-Renyi graphs
+//! with a chosen probability for each link."
+//!
+//! The *initialized GA* of Fig 3 is exactly the "provided directly as
+//! input" path: seeding with the greedy heuristics' outputs makes the GA's
+//! result at least as good as every competitor.
+
+use crate::settings::GaSettings;
+use crate::Objective;
+use cold_graph::mst::{join_components, mst_matrix};
+use cold_graph::AdjacencyMatrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Builds the first generation's topologies (not yet evaluated).
+///
+/// Order: MST, clique, the provided `seeds` (each repaired if
+/// disconnected), then Erdős–Rényi fill up to `settings.population`. If
+/// MST + clique + seeds exceed the population size, the ER fill is skipped
+/// and the list is truncated (seeds take priority over random fill but
+/// never evict the MST/clique anchors).
+pub fn initial_population<O: Objective>(
+    objective: &O,
+    settings: &GaSettings,
+    seeds: &[AdjacencyMatrix],
+    rng: &mut StdRng,
+) -> Vec<AdjacencyMatrix> {
+    let n = objective.n();
+    let dist = |u: usize, v: usize| objective.distance(u, v);
+    let mut pop: Vec<AdjacencyMatrix> = Vec::with_capacity(settings.population);
+    pop.push(mst_matrix(n, dist));
+    pop.push(AdjacencyMatrix::complete(n));
+    for seed in seeds {
+        assert_eq!(seed.n(), n, "seed topology has wrong node count");
+        let mut s = seed.clone();
+        join_components(&mut s, dist);
+        pop.push(s);
+    }
+    pop.truncate(settings.population.max(2));
+    let p = settings.er_probability(n);
+    while pop.len() < settings.population {
+        let mut m = AdjacencyMatrix::empty(n);
+        for pair in 0..m.pair_count() {
+            if rng.gen_range(0.0..1.0) < p {
+                m.set_bit(pair, true);
+            }
+        }
+        join_components(&mut m, dist);
+        pop.push(m);
+    }
+    pop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_objective::LineObjective;
+    use cold_graph::components::matrix_is_connected;
+    use rand::SeedableRng;
+
+    fn obj(n: usize) -> LineObjective {
+        LineObjective { n, k0: 1.0, k1: 1.0, k3: 0.0 }
+    }
+
+    #[test]
+    fn population_has_requested_size_and_anchors() {
+        let settings = GaSettings::quick(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pop = initial_population(&obj(8), &settings, &[], &mut rng);
+        assert_eq!(pop.len(), settings.population);
+        // Anchor 0: the MST (a spanning tree on the line = path graph).
+        assert_eq!(pop[0].edge_count(), 7);
+        // Anchor 1: the clique.
+        assert_eq!(pop[1].edge_count(), 28);
+    }
+
+    #[test]
+    fn every_member_is_connected() {
+        let settings = GaSettings::quick(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pop = initial_population(&obj(10), &settings, &[], &mut rng);
+        for (i, m) in pop.iter().enumerate() {
+            assert!(matrix_is_connected(m), "member {i} disconnected");
+        }
+    }
+
+    #[test]
+    fn seeds_are_included_and_repaired() {
+        let settings = GaSettings::quick(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        // A deliberately disconnected seed.
+        let seed = AdjacencyMatrix::from_edges(6, &[(0, 1), (3, 4)]).unwrap();
+        let pop = initial_population(&obj(6), &settings, &[seed], &mut rng);
+        assert!(matrix_is_connected(&pop[2]), "seed must be repaired");
+        assert!(pop[2].has_edge(0, 1) && pop[2].has_edge(3, 4), "seed edges preserved");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let settings = GaSettings::quick(6);
+        let a = initial_population(&obj(7), &settings, &[], &mut StdRng::seed_from_u64(9));
+        let b = initial_population(&obj(7), &settings, &[], &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong node count")]
+    fn mismatched_seed_panics() {
+        let settings = GaSettings::quick(7);
+        let mut rng = StdRng::seed_from_u64(4);
+        let seed = AdjacencyMatrix::empty(3);
+        initial_population(&obj(6), &settings, &[seed], &mut rng);
+    }
+}

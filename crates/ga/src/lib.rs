@@ -1,0 +1,111 @@
+//! The COLD Genetic Algorithm (§4–§5 of the paper).
+//!
+//! COLD's optimization problem — minimize eq. (2) over connected graphs —
+//! has no useful decomposition or relaxation, so the paper solves it with a
+//! heuristic Genetic Algorithm chosen for being *flexible* (small changes
+//! accommodate new objectives), *competitive* (seeding the initial
+//! population with other algorithms' outputs guarantees the result is at
+//! least as good as theirs) and *non-exclusive* (one run yields a whole
+//! population of good topologies) (§3.3).
+//!
+//! This crate implements the GA exactly as §4 describes:
+//!
+//! - chromosomes are adjacency matrices ([`chromosome`]);
+//! - the first generation contains the MST, the clique, optional seed
+//!   topologies, and Erdős–Rényi fill ([`init`]);
+//! - crossover picks `b = 10` random candidates, keeps the best `a = 2`,
+//!   and copies each potential link from a parent chosen with probability
+//!   inversely proportional to cost ([`crossover`]);
+//! - mutation is either a geometric(½) link add/remove or a node
+//!   "leaf-ification" ([`mutation`]);
+//! - disconnected offspring are repaired with an inter-component MST
+//!   ([`repair`], §4.1.3);
+//! - the generational loop with elitism and (optional, crossbeam-based)
+//!   parallel fitness evaluation lives in [`engine`].
+//!
+//! The engine is generic over an [`Objective`] so alternative cost models
+//! (multi-AS interconnect costs, router-level objectives, …) plug in
+//! without touching the GA — the extensibility §2 highlights.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chromosome;
+pub mod crossover;
+pub mod engine;
+pub mod init;
+pub mod mutation;
+pub mod repair;
+pub mod settings;
+
+pub use chromosome::Individual;
+pub use engine::{GaResult, GeneticAlgorithm};
+pub use settings::GaSettings;
+
+use cold_graph::AdjacencyMatrix;
+
+/// The fitness interface the GA minimizes.
+///
+/// Implementations must be [`Sync`]: the engine evaluates populations in
+/// parallel. Costs must be finite, non-negative and deterministic — the
+/// engine caches them per individual.
+pub trait Objective: Sync {
+    /// Number of nodes of every candidate topology.
+    fn n(&self) -> usize;
+
+    /// Physical distance between two nodes (drives connectivity repair and
+    /// node mutation's "closest non-leaf" reattachment).
+    fn distance(&self, u: usize, v: usize) -> f64;
+
+    /// Cost of a **connected** topology. The engine repairs candidates
+    /// before calling this, so implementations may treat disconnection as
+    /// a programming error.
+    fn cost(&self, topology: &AdjacencyMatrix) -> f64;
+}
+
+/// Blanket implementation for references, so `&O` can be passed where an
+/// objective is expected.
+impl<O: Objective + ?Sized> Objective for &O {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn distance(&self, u: usize, v: usize) -> f64 {
+        (**self).distance(u, v)
+    }
+    fn cost(&self, topology: &AdjacencyMatrix) -> f64 {
+        (**self).cost(topology)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_objective {
+    use super::Objective;
+    use cold_graph::AdjacencyMatrix;
+
+    /// A cheap deterministic objective for engine tests: nodes on a line,
+    /// cost = k0·|E| + k1·Σℓ + k3·hubs. No routing, so tests are fast and
+    /// the optimum is analytically known for extreme parameters.
+    pub struct LineObjective {
+        pub n: usize,
+        pub k0: f64,
+        pub k1: f64,
+        pub k3: f64,
+    }
+
+    impl Objective for LineObjective {
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn distance(&self, u: usize, v: usize) -> f64 {
+            (u as f64 - v as f64).abs()
+        }
+        fn cost(&self, topo: &AdjacencyMatrix) -> f64 {
+            let mut c = 0.0;
+            for (u, v) in topo.edges() {
+                c += self.k0 + self.k1 * self.distance(u, v);
+            }
+            c += self.k3 * topo.degrees().iter().filter(|&&d| d > 1).count() as f64;
+            c
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Mutation operators (§4.1.2).
+//!
+//! Two mutation types:
+//!
+//! - **Link mutation**: a pair `(m⁺, m⁻)` of geometric(½) counts; `m⁺`
+//!   existing links are removed and `m⁻` absent links are added, "giving an
+//!   average of two link changes each time a mutation occurs".
+//! - **Node mutation**: "one of the non-leaf nodes is chosen uniformly at
+//!   random and made into a leaf node, with its only link now running to
+//!   the closest non-leaf node." This operator is what lets high-`k3`
+//!   optimizations discover hub-and-spoke structure quickly (§7).
+//!
+//! Mutated offspring may be disconnected; the engine repairs them.
+
+use crate::Objective;
+use cold_graph::AdjacencyMatrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples a geometric random variable with success probability `p`,
+/// counting failures before the first success (support `{0, 1, …}`, mean
+/// `(1−p)/p`; `p = ½` ⇒ mean 1).
+pub fn geometric(p: f64, rng: &mut StdRng) -> usize {
+    debug_assert!(p > 0.0 && p <= 1.0);
+    let mut k = 0usize;
+    while rng.gen_range(0.0..1.0) >= p {
+        k += 1;
+        if k > 10_000 {
+            // Practically unreachable for sane p; guards a degenerate RNG.
+            break;
+        }
+    }
+    k
+}
+
+/// Link mutation: removes `m⁺ ~ Geom(p)` random existing links and adds
+/// `m⁻ ~ Geom(p)` random absent links (each capped by availability).
+pub fn link_mutation(topology: &mut AdjacencyMatrix, p: f64, rng: &mut StdRng) {
+    let m_plus = geometric(p, rng);
+    let m_minus = geometric(p, rng);
+    let mut present: Vec<usize> = (0..topology.pair_count()).filter(|&i| topology.bit(i)).collect();
+    let mut absent: Vec<usize> = (0..topology.pair_count()).filter(|&i| !topology.bit(i)).collect();
+    for _ in 0..m_plus.min(present.len()) {
+        let i = rng.gen_range(0..present.len());
+        let pair = present.swap_remove(i);
+        topology.set_bit(pair, false);
+    }
+    for _ in 0..m_minus.min(absent.len()) {
+        let i = rng.gen_range(0..absent.len());
+        let pair = absent.swap_remove(i);
+        topology.set_bit(pair, true);
+    }
+}
+
+/// Node mutation: picks a non-leaf node uniformly at random, removes all
+/// its links, and reattaches it by a single link to the closest remaining
+/// non-leaf node (by `objective.distance`). Falls back to the closest node
+/// of any degree when no other non-leaf remains.
+///
+/// No-op when the graph has no non-leaf node (e.g. a single edge).
+pub fn node_mutation<O: Objective>(
+    topology: &mut AdjacencyMatrix,
+    objective: &O,
+    rng: &mut StdRng,
+) {
+    let n = topology.n();
+    if n < 3 {
+        return;
+    }
+    let degrees = topology.degrees();
+    let non_leaves: Vec<usize> = (0..n).filter(|&v| degrees[v] > 1).collect();
+    if non_leaves.is_empty() {
+        return;
+    }
+    let victim = non_leaves[rng.gen_range(0..non_leaves.len())];
+    // Strip all links from the victim.
+    for u in 0..n {
+        if u != victim && topology.has_edge(u, victim) {
+            topology.set_edge(u, victim, false);
+        }
+    }
+    // Reattach to the closest non-leaf (recomputed after stripping), else
+    // the closest node overall.
+    let degrees = topology.degrees();
+    let candidates: Vec<usize> = {
+        let hubs: Vec<usize> =
+            (0..n).filter(|&v| v != victim && degrees[v] > 1).collect();
+        if hubs.is_empty() {
+            (0..n).filter(|&v| v != victim).collect()
+        } else {
+            hubs
+        }
+    };
+    let closest = candidates
+        .into_iter()
+        .min_by(|&a, &b| {
+            objective
+                .distance(victim, a)
+                .total_cmp(&objective.distance(victim, b))
+                .then(a.cmp(&b))
+        })
+        .expect("n >= 3 guarantees a candidate");
+    topology.set_edge(victim, closest, true);
+}
+
+/// Applies one mutation — node mutation with probability
+/// `settings.node_mutation_prob`, link mutation otherwise.
+pub fn mutate<O: Objective>(
+    topology: &mut AdjacencyMatrix,
+    objective: &O,
+    settings: &crate::GaSettings,
+    rng: &mut StdRng,
+) {
+    if rng.gen_range(0.0..1.0) < settings.node_mutation_prob {
+        node_mutation(topology, objective, rng);
+    } else {
+        link_mutation(topology, settings.link_mutation_p, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_objective::LineObjective;
+    use rand::SeedableRng;
+
+    #[test]
+    fn geometric_mean_is_correct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let sum: usize = (0..n).map(|_| geometric(0.5, &mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn link_mutation_changes_on_average_two_links() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = AdjacencyMatrix::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)]).unwrap();
+        let trials = 20_000;
+        let mut total_changes = 0usize;
+        for _ in 0..trials {
+            let mut m = base.clone();
+            link_mutation(&mut m, 0.5, &mut rng);
+            total_changes += m.hamming_distance(&base).unwrap();
+        }
+        let mean = total_changes as f64 / trials as f64;
+        // Slightly under 2.0 because removals/additions can cap out.
+        assert!((1.7..2.1).contains(&mean), "mean changes {mean}");
+    }
+
+    #[test]
+    fn node_mutation_creates_a_leaf_attached_to_closest_hub() {
+        // Line 0-1-2-3-4 (path): interior nodes are non-leaves.
+        let obj = LineObjective { n: 5, k0: 0.0, k1: 0.0, k3: 0.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw_leafification = false;
+        for _ in 0..50 {
+            let mut m =
+                AdjacencyMatrix::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+            node_mutation(&mut m, &obj, &mut rng);
+            // Victim now has degree exactly 1.
+            let degs = m.degrees();
+            assert!(degs.iter().filter(|&&d| d == 1).count() >= 2);
+            if m.edge_count() < 4 {
+                saw_leafification = true;
+            }
+        }
+        assert!(saw_leafification);
+    }
+
+    #[test]
+    fn node_mutation_reattaches_to_nearest_non_leaf() {
+        // Star + chain: 0 is hub (0-1, 0-2, 0-3), 3-4 chain so 3 is a hub.
+        // Mutating node 3 must reattach it to the closest remaining hub.
+        let obj = LineObjective { n: 5, k0: 0.0, k1: 0.0, k3: 0.0 };
+        // Force the victim to be node 0 or 3 (the only non-leaves).
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..30 {
+            let mut m =
+                AdjacencyMatrix::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]).unwrap();
+            node_mutation(&mut m, &obj, &mut rng);
+            let degs = m.degrees();
+            // Victim ends with degree 1; total edges shrink or stay equal.
+            assert!(m.edge_count() <= 4);
+            assert!(degs.iter().any(|&d| d == 1));
+        }
+    }
+
+    #[test]
+    fn node_mutation_noop_on_single_edge() {
+        let obj = LineObjective { n: 2, k0: 0.0, k1: 0.0, k3: 0.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = AdjacencyMatrix::from_edges(2, &[(0, 1)]).unwrap();
+        let before = m.clone();
+        node_mutation(&mut m, &obj, &mut rng);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn mutate_dispatches_both_kinds() {
+        let obj = LineObjective { n: 6, k0: 0.0, k1: 0.0, k3: 0.0 };
+        let settings = crate::GaSettings { node_mutation_prob: 0.5, ..crate::GaSettings::quick(0) };
+        let mut rng = StdRng::seed_from_u64(6);
+        let base =
+            AdjacencyMatrix::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let mut changed = 0;
+        for _ in 0..100 {
+            let mut m = base.clone();
+            mutate(&mut m, &obj, &settings, &mut rng);
+            if m != base {
+                changed += 1;
+            }
+        }
+        assert!(changed > 50, "mutation changed only {changed}/100 topologies");
+    }
+}

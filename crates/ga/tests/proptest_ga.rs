@@ -1,0 +1,187 @@
+//! Property-based tests on the GA operators and engine.
+
+use cold_ga::chromosome::{inverse_cost_weights, sort_by_cost, weighted_pick, Individual};
+use cold_ga::crossover::{crossover_child, select_parents};
+use cold_ga::mutation::{link_mutation, node_mutation};
+use cold_ga::{GaSettings, GeneticAlgorithm, Objective};
+use cold_graph::components::matrix_is_connected;
+use cold_graph::AdjacencyMatrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic toy objective over points on a line.
+struct LineObj {
+    n: usize,
+    k0: f64,
+    k1: f64,
+    k3: f64,
+}
+
+impl Objective for LineObj {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn distance(&self, u: usize, v: usize) -> f64 {
+        (u as f64 - v as f64).abs()
+    }
+    fn cost(&self, topo: &AdjacencyMatrix) -> f64 {
+        let mut c = 0.0;
+        for (u, v) in topo.edges() {
+            c += self.k0 + self.k1 * self.distance(u, v);
+        }
+        c + self.k3 * topo.degrees().iter().filter(|&&d| d > 1).count() as f64
+    }
+}
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = AdjacencyMatrix> {
+    (3..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), pairs).prop_map(move |bits| {
+            let mut m = AdjacencyMatrix::empty(n);
+            for (p, b) in bits.into_iter().enumerate() {
+                m.set_bit(p, b);
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn crossover_child_never_invents_links(
+        a in arb_graph(9),
+        bits in proptest::collection::vec(any::<bool>(), 36),
+        seed in any::<u64>(),
+    ) {
+        let n = a.n();
+        let mut b = AdjacencyMatrix::empty(n);
+        for p in 0..b.pair_count() {
+            b.set_bit(p, bits[p]);
+        }
+        let pop = vec![Individual::new(a.clone(), 1.0), Individual::new(b.clone(), 2.0)];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let child = crossover_child(&pop, &[0, 1], false, &mut rng);
+        for p in 0..child.pair_count() {
+            prop_assert!(child.bit(p) == a.bit(p) || child.bit(p) == b.bit(p));
+        }
+    }
+
+    #[test]
+    fn link_mutation_preserves_node_count_and_simplicity(
+        m in arb_graph(10),
+        seed in any::<u64>(),
+    ) {
+        let mut g = m.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        link_mutation(&mut g, 0.5, &mut rng);
+        prop_assert_eq!(g.n(), m.n());
+        // Still a simple graph: degrees bounded by n-1 (trivially true for
+        // the representation) and edge count within bounds.
+        prop_assert!(g.edge_count() <= g.pair_count());
+    }
+
+    #[test]
+    fn node_mutation_leaves_victim_with_degree_one(
+        m in arb_graph(10),
+        seed in any::<u64>(),
+    ) {
+        let obj = LineObj { n: m.n(), k0: 1.0, k1: 1.0, k3: 0.0 };
+        let mut g = m.clone();
+        let before_nonleaves: Vec<usize> =
+            (0..m.n()).filter(|&v| m.degree(v) > 1).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        node_mutation(&mut g, &obj, &mut rng);
+        if before_nonleaves.is_empty() {
+            prop_assert_eq!(g, m, "no non-leaf to mutate: must be a no-op");
+        } else {
+            // Exactly one former non-leaf became degree 1, or the graph
+            // changed consistently (victim choice is random).
+            prop_assert_eq!(g.n(), m.n());
+            let ones = (0..g.n()).filter(|&v| g.degree(v) == 1).count();
+            prop_assert!(ones >= 1);
+        }
+    }
+
+    #[test]
+    fn selection_prefers_cheaper_individuals(
+        costs in proptest::collection::vec(0.1f64..100.0, 4..12),
+        seed in any::<u64>(),
+    ) {
+        let n = 5;
+        let pop: Vec<Individual> = costs
+            .iter()
+            .map(|&c| Individual::new(AdjacencyMatrix::complete(n), c))
+            .collect();
+        let settings = GaSettings { tournament_pool: pop.len(), parents: 2, ..GaSettings::quick(0) };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parents = select_parents(&pop, &settings, &mut rng);
+        // With the pool covering everyone, parents are the two cheapest.
+        let mut sorted: Vec<usize> = (0..pop.len()).collect();
+        sorted.sort_by(|&a, &b| pop[a].cost.total_cmp(&pop[b].cost).then(a.cmp(&b)));
+        prop_assert_eq!(parents, sorted[..2].to_vec());
+    }
+
+    #[test]
+    fn weighted_pick_index_in_range(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..20),
+        u in 0.0f64..1.0,
+    ) {
+        let idx = weighted_pick(&weights, u);
+        prop_assert!(idx < weights.len());
+    }
+
+    #[test]
+    fn sort_by_cost_is_total_and_stable_under_equality(
+        costs in proptest::collection::vec(0.0f64..5.0, 2..10),
+    ) {
+        let mut pop: Vec<Individual> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let mut m = AdjacencyMatrix::empty(6);
+                m.set_edge(0, 1 + (i % 5), true);
+                Individual::new(m, c)
+            })
+            .collect();
+        sort_by_cost(&mut pop);
+        for w in pop.windows(2) {
+            prop_assert!(w[0].cost <= w[1].cost);
+        }
+        let weights = inverse_cost_weights(&pop);
+        for w in weights.windows(2) {
+            prop_assert!(w[0] >= w[1], "weights must be antitone in cost");
+        }
+    }
+
+    #[test]
+    fn engine_output_is_always_connected_and_improving(
+        k0 in 0.1f64..20.0,
+        k1 in 0.0f64..5.0,
+        k3 in 0.0f64..100.0,
+        seed in any::<u64>(),
+    ) {
+        let settings = GaSettings {
+            generations: 6,
+            population: 10,
+            num_saved: 2,
+            num_crossover: 5,
+            num_mutation: 3,
+            parallel: false,
+            ..GaSettings::quick(seed)
+        };
+        let engine = GeneticAlgorithm::new(LineObj { n: 7, k0, k1, k3 }, settings);
+        let r = engine.run();
+        prop_assert!(matrix_is_connected(&r.best.topology));
+        for ind in &r.final_population {
+            prop_assert!(matrix_is_connected(&ind.topology));
+        }
+        for w in r.history.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9);
+        }
+        // Elitism: best cost can never exceed the initial best.
+        prop_assert!(r.best.cost <= r.history[0] + 1e-9);
+    }
+}

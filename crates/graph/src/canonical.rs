@@ -1,0 +1,319 @@
+//! Canonical labeling and isomorphism testing for small graphs.
+//!
+//! §2 of the paper shows (Fig 2) that dK-series constraints can pin the
+//! output down to a single graph *up to isomorphism* — an effect that is
+//! "hidden by the graph isomorphism problem". To reproduce that analysis we
+//! need exact isomorphism tests on small graphs, including *labeled*
+//! isomorphism where each node carries a label (its degree in the host
+//! graph, as in the dK-distribution definition).
+//!
+//! The implementation is a classic refine-then-search canonicalizer:
+//! 1. colors are initialized from labels and refined to a fixed point with
+//!    1-dimensional Weisfeiler–Leman (neighbor-color multisets);
+//! 2. all permutations that respect the refined color partition are
+//!    enumerated, and the lexicographically smallest adjacency bitstring is
+//!    the canonical form.
+//!
+//! This is exact (WL colors are isomorphism-invariant, so restricting the
+//! search to color-respecting permutations loses nothing) and fast for the
+//! graph sizes the paper needs (subgraphs of size `d ≤ 5`, example networks
+//! of ≤ 10 nodes). It is **not** intended for large graphs: the search is
+//! factorial within color classes.
+
+use crate::adjacency::AdjacencyMatrix;
+use std::collections::BTreeMap;
+
+/// A canonical form: two (labeled) graphs are isomorphic iff their
+/// canonical forms are equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalForm {
+    /// Number of nodes.
+    pub n: usize,
+    /// Node labels in canonical order (sorted by color class).
+    pub labels: Vec<u32>,
+    /// Bit-packed upper-triangular adjacency of the canonically relabeled
+    /// graph.
+    pub bits: Vec<u64>,
+}
+
+/// Refines node colors to the 1-WL fixed point, starting from `labels`.
+///
+/// Returned colors are isomorphism-invariant: isomorphic labeled graphs get
+/// identical color multisets, and any isomorphism maps color classes onto
+/// color classes.
+fn wl_refine(m: &AdjacencyMatrix, labels: &[u32]) -> Vec<usize> {
+    let n = m.n();
+    // Initial colors: rank of label among sorted distinct labels.
+    let mut distinct: Vec<u32> = labels.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let mut color: Vec<usize> =
+        labels.iter().map(|l| distinct.binary_search(l).expect("label present")).collect();
+    let neighbors: Vec<Vec<usize>> = (0..n).map(|v| m.neighbors(v)).collect();
+    loop {
+        // Signature: (own color, sorted neighbor colors).
+        let mut sigs: Vec<(usize, Vec<usize>)> = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut nc: Vec<usize> = neighbors[v].iter().map(|&u| color[u]).collect();
+            nc.sort_unstable();
+            sigs.push((color[v], nc));
+        }
+        let mut sig_ids: BTreeMap<&(usize, Vec<usize>), usize> = BTreeMap::new();
+        for sig in &sigs {
+            let next = sig_ids.len();
+            sig_ids.entry(sig).or_insert(next);
+        }
+        // Re-rank so ids follow the BTreeMap's (deterministic) sort order —
+        // this keeps the coloring isomorphism-invariant across inputs.
+        let mut ordered: Vec<&(usize, Vec<usize>)> = sig_ids.keys().copied().collect();
+        ordered.sort();
+        let rank: BTreeMap<&(usize, Vec<usize>), usize> =
+            ordered.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let new_color: Vec<usize> = sigs.iter().map(|s| rank[s]).collect();
+        let classes_before = color.iter().collect::<std::collections::BTreeSet<_>>().len();
+        let classes_after = new_color.iter().collect::<std::collections::BTreeSet<_>>().len();
+        let stable = classes_after == classes_before && {
+            // Same partition? (colors may be renamed)
+            let mut map = BTreeMap::new();
+            let mut consistent = true;
+            for v in 0..n {
+                match map.entry(color[v]) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(new_color[v]);
+                    }
+                    std::collections::btree_map::Entry::Occupied(e) => {
+                        if *e.get() != new_color[v] {
+                            consistent = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            consistent
+        };
+        color = new_color;
+        if stable {
+            return color;
+        }
+    }
+}
+
+/// Extracts the upper-triangular bitstring of `m` relabeled by `perm`
+/// (`perm[new_position] = old_node`).
+fn bits_under(m: &AdjacencyMatrix, perm: &[usize]) -> Vec<u64> {
+    let n = m.n();
+    let pairs = n * n.saturating_sub(1) / 2;
+    let mut bits = vec![0u64; pairs.div_ceil(64)];
+    let mut p = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if m.has_edge(perm[i], perm[j]) {
+                bits[p / 64] |= 1u64 << (p % 64);
+            }
+            p += 1;
+        }
+    }
+    bits
+}
+
+/// Computes the canonical form of a labeled graph.
+///
+/// `labels[v]` is an arbitrary node label (e.g. the node's degree in a host
+/// graph for dK subgraph classification). Isomorphisms must preserve labels.
+///
+/// # Panics
+/// Panics if `labels.len() != m.n()`, or if the refined color partition is
+/// so symmetric that more than ~10⁷ permutations would be searched (use
+/// only on small graphs).
+pub fn canonical_form_labeled(m: &AdjacencyMatrix, labels: &[u32]) -> CanonicalForm {
+    let n = m.n();
+    assert_eq!(labels.len(), n, "labels must cover every node");
+    if n == 0 {
+        return CanonicalForm { n: 0, labels: Vec::new(), bits: Vec::new() };
+    }
+    let color = wl_refine(m, labels);
+    // Group nodes by refined color, classes in ascending color order.
+    let max_color = color.iter().copied().max().unwrap_or(0);
+    let mut classes: Vec<Vec<usize>> = vec![Vec::new(); max_color + 1];
+    for (v, &c) in color.iter().enumerate() {
+        classes[c].push(v);
+    }
+    classes.retain(|c| !c.is_empty());
+    // Guard against pathological symmetry.
+    let mut work = 1f64;
+    for c in &classes {
+        for k in 1..=c.len() {
+            work *= k as f64;
+        }
+    }
+    assert!(
+        work <= 1e7,
+        "canonicalization would search {work:.0} permutations; graph too symmetric/large"
+    );
+    // Depth-first search over per-class permutations, tracking the minimum
+    // bitstring.
+    let mut best: Option<Vec<u64>> = None;
+    let mut perm: Vec<usize> = Vec::with_capacity(n);
+    search(m, &classes, 0, &mut perm, &mut best);
+    let perm_labels: Vec<u32> = {
+        // Labels in canonical order: class by class (all nodes in a class
+        // share a label because labels seeded the refinement).
+        classes.iter().flat_map(|c| c.iter().map(|&v| labels[v])).collect()
+    };
+    CanonicalForm { n, labels: perm_labels, bits: best.expect("at least one permutation") }
+}
+
+fn search(
+    m: &AdjacencyMatrix,
+    classes: &[Vec<usize>],
+    class_idx: usize,
+    perm: &mut Vec<usize>,
+    best: &mut Option<Vec<u64>>,
+) {
+    if class_idx == classes.len() {
+        let bits = bits_under(m, perm);
+        match best {
+            None => *best = Some(bits),
+            Some(b) => {
+                if bits < *b {
+                    *best = Some(bits);
+                }
+            }
+        }
+        return;
+    }
+    // Enumerate permutations of this class appended to `perm`.
+    let class = &classes[class_idx];
+    permute_class(m, classes, class_idx, class, &mut vec![false; class.len()], perm, best);
+}
+
+fn permute_class(
+    m: &AdjacencyMatrix,
+    classes: &[Vec<usize>],
+    class_idx: usize,
+    class: &[usize],
+    used: &mut Vec<bool>,
+    perm: &mut Vec<usize>,
+    best: &mut Option<Vec<u64>>,
+) {
+    if used.iter().all(|&u| u) {
+        search(m, classes, class_idx + 1, perm, best);
+        return;
+    }
+    for i in 0..class.len() {
+        if !used[i] {
+            used[i] = true;
+            perm.push(class[i]);
+            permute_class(m, classes, class_idx, class, used, perm, best);
+            perm.pop();
+            used[i] = false;
+        }
+    }
+}
+
+/// Canonical form ignoring labels (all nodes labeled 0).
+pub fn canonical_form(m: &AdjacencyMatrix) -> CanonicalForm {
+    canonical_form_labeled(m, &vec![0u32; m.n()])
+}
+
+/// Exact isomorphism test for small unlabeled graphs.
+pub fn are_isomorphic(a: &AdjacencyMatrix, b: &AdjacencyMatrix) -> bool {
+    a.n() == b.n() && a.edge_count() == b.edge_count() && canonical_form(a) == canonical_form(b)
+}
+
+/// Exact isomorphism test for small labeled graphs.
+pub fn are_isomorphic_labeled(
+    a: &AdjacencyMatrix,
+    la: &[u32],
+    b: &AdjacencyMatrix,
+    lb: &[u32],
+) -> bool {
+    a.n() == b.n()
+        && a.edge_count() == b.edge_count()
+        && canonical_form_labeled(a, la) == canonical_form_labeled(b, lb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> AdjacencyMatrix {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        AdjacencyMatrix::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn relabeled_path_is_isomorphic() {
+        let p = path(5);
+        let q = p.permuted(&[4, 2, 0, 1, 3]);
+        assert!(are_isomorphic(&p, &q));
+    }
+
+    #[test]
+    fn path_vs_star_not_isomorphic() {
+        let p = path(4);
+        let star = AdjacencyMatrix::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert!(!are_isomorphic(&p, &star));
+    }
+
+    #[test]
+    fn cycle_vs_path_plus_edge() {
+        let c4 = AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        // Triangle with pendant has same n and m but different structure.
+        let tri = AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        assert!(!are_isomorphic(&c4, &tri));
+        // And any relabeled 4-cycle matches.
+        let c4b = c4.permuted(&[2, 0, 3, 1]);
+        assert!(are_isomorphic(&c4, &c4b));
+    }
+
+    #[test]
+    fn labels_distinguish_otherwise_isomorphic_graphs() {
+        // Single edge; labels (1,2) vs (2,1) are isomorphic (swap), but
+        // (1,1) vs (1,2) are not.
+        let e = AdjacencyMatrix::from_edges(2, &[(0, 1)]).unwrap();
+        assert!(are_isomorphic_labeled(&e, &[1, 2], &e, &[2, 1]));
+        assert!(!are_isomorphic_labeled(&e, &[1, 1], &e, &[1, 2]));
+    }
+
+    #[test]
+    fn labeled_path_respects_label_placement() {
+        // Path a-b-c with end labels distinct: 1-0-2 ≅ 2-0-1 but ≇ 0-1-2.
+        let p = path(3);
+        assert!(are_isomorphic_labeled(&p, &[1, 0, 2], &p, &[2, 0, 1]));
+        assert!(!are_isomorphic_labeled(&p, &[1, 0, 2], &p, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn canonical_form_is_invariant_under_relabeling() {
+        let g = AdjacencyMatrix::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+            .unwrap();
+        let c1 = canonical_form(&g);
+        let c2 = canonical_form(&g.permuted(&[3, 5, 1, 0, 4, 2]));
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn regular_graphs_still_canonicalize() {
+        // Two non-isomorphic 3-regular graphs on 6 nodes: K_{3,3} vs prism.
+        let k33 = AdjacencyMatrix::from_edges(
+            6,
+            &[(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)],
+        )
+        .unwrap();
+        let prism = AdjacencyMatrix::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)],
+        )
+        .unwrap();
+        assert!(!are_isomorphic(&k33, &prism));
+        assert!(are_isomorphic(&prism, &prism.permuted(&[1, 2, 0, 4, 5, 3])));
+    }
+
+    #[test]
+    fn empty_graph_canonical_form() {
+        let g = AdjacencyMatrix::empty(0);
+        let c = canonical_form(&g);
+        assert_eq!(c.n, 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Exhaustive enumeration of labeled graphs on `n` nodes.
+//!
+//! §5 of the paper validates the GA by "comparing our results to the
+//! results of brute-force enumeration … we at least ensure that for
+//! networks of up to 8 PoPs that the GA always finds the real optimal
+//! solution". This module provides that enumeration: every labeled simple
+//! graph on `n` nodes is an edge-subset bitmask over the `C(n,2)` node
+//! pairs, optionally filtered to connected graphs.
+//!
+//! Feasible sizes: `n = 7` means `2^21 ≈ 2·10⁶` graphs; `n = 8` means
+//! `2^28 ≈ 2.7·10⁸` — enumeration itself is fine, but an APSP-based cost
+//! evaluation per graph makes n = 8 a CPU-days job, so the brute-force
+//! optimality harness (cold-heuristics) caps at `n ≤ 7` (see DESIGN.md §5).
+
+use crate::adjacency::AdjacencyMatrix;
+use crate::union_find::UnionFind;
+
+/// Maximum `n` supported (so the edge mask fits in `u64`).
+pub const MAX_ENUM_NODES: usize = 11;
+
+/// Builds the adjacency matrix for an edge-subset bitmask.
+///
+/// Bit `p` of `mask` corresponds to flat pair index `p` (see
+/// [`AdjacencyMatrix::pair_index`]).
+pub fn matrix_from_mask(n: usize, mask: u64) -> AdjacencyMatrix {
+    let mut m = AdjacencyMatrix::empty(n);
+    let pairs = m.pair_count();
+    for p in 0..pairs {
+        if mask >> p & 1 == 1 {
+            m.set_bit(p, true);
+        }
+    }
+    m
+}
+
+/// Whether the graph encoded by `mask` is connected, without materializing
+/// an adjacency matrix (union-find over the set bits).
+pub fn mask_is_connected(n: usize, mask: u64, pairs: &[(usize, usize)]) -> bool {
+    if n <= 1 {
+        return true;
+    }
+    let mut uf = UnionFind::new(n);
+    let mut bits = mask;
+    while bits != 0 {
+        let p = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        let (u, v) = pairs[p];
+        uf.union(u, v);
+        if uf.set_count() == 1 {
+            return true;
+        }
+    }
+    uf.set_count() == 1
+}
+
+/// The flat pair table `(u, v)` for graphs on `n` nodes, indexed by pair
+/// index — precompute once before a mask sweep.
+pub fn pair_table(n: usize) -> Vec<(usize, usize)> {
+    let m = AdjacencyMatrix::empty(n);
+    (0..m.pair_count()).map(|p| m.index_pair(p)).collect()
+}
+
+/// Invokes `f` for every labeled graph on `n` nodes (as an edge mask), or
+/// only the connected ones when `connected_only` is set.
+///
+/// Visits masks in ascending numeric order, so results are deterministic.
+///
+/// # Panics
+/// Panics if `n > MAX_ENUM_NODES`.
+pub fn for_each_graph_mask(n: usize, connected_only: bool, mut f: impl FnMut(u64)) {
+    assert!(n <= MAX_ENUM_NODES, "enumeration supports n <= {MAX_ENUM_NODES}, got {n}");
+    let pairs = pair_table(n);
+    let total: u64 = 1u64 << pairs.len();
+    // A connected graph on n >= 2 nodes needs >= n-1 edges; cheap popcount
+    // prefilter before the union-find check.
+    let min_edges = n.saturating_sub(1) as u32;
+    let mut mask = 0u64;
+    loop {
+        if !connected_only
+            || (mask.count_ones() >= min_edges && mask_is_connected(n, mask, &pairs))
+        {
+            f(mask);
+        }
+        mask += 1;
+        if mask == total {
+            break;
+        }
+    }
+}
+
+/// Number of connected labeled graphs on `n` nodes (sequence A001187).
+pub fn connected_graph_count(n: usize) -> u64 {
+    let mut count = 0u64;
+    for_each_graph_mask(n, true, |_| count += 1);
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::matrix_is_connected;
+
+    #[test]
+    fn connected_counts_match_oeis_a001187() {
+        // 1, 1, 1, 4, 38, 728, 26704 for n = 0..6.
+        assert_eq!(connected_graph_count(1), 1);
+        assert_eq!(connected_graph_count(2), 1);
+        assert_eq!(connected_graph_count(3), 4);
+        assert_eq!(connected_graph_count(4), 38);
+        assert_eq!(connected_graph_count(5), 728);
+    }
+
+    #[test]
+    fn total_graph_count_is_power_of_two() {
+        let mut count = 0u64;
+        for_each_graph_mask(4, false, |_| count += 1);
+        assert_eq!(count, 1 << 6);
+    }
+
+    #[test]
+    fn mask_connectivity_agrees_with_component_check() {
+        let pairs = pair_table(5);
+        for mask in 0..(1u64 << 10) {
+            let quick = mask_is_connected(5, mask, &pairs);
+            let full = matrix_is_connected(&matrix_from_mask(5, mask));
+            assert_eq!(quick, full, "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn matrix_from_mask_round_trips() {
+        let pairs = pair_table(4);
+        let mask = 0b101010u64 & ((1 << pairs.len()) - 1);
+        let m = matrix_from_mask(4, mask);
+        for (p, &(u, v)) in pairs.iter().enumerate() {
+            assert_eq!(m.has_edge(u, v), mask >> p & 1 == 1);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Adjacency-list graph view used by traversal-heavy algorithms.
+
+use crate::adjacency::AdjacencyMatrix;
+use crate::{GraphError, Result};
+
+/// An undirected simple graph stored as sorted adjacency lists.
+///
+/// [`Graph`] is the *read-optimized* companion to [`AdjacencyMatrix`]: the
+/// GA mutates matrices, but shortest paths, BFS and metrics iterate
+/// neighbors, which adjacency lists serve in O(degree).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+    m: usize,
+}
+
+impl Graph {
+    /// Builds a graph from raw adjacency lists.
+    ///
+    /// Lists are sorted and deduplicated; the symmetric closure is taken so
+    /// callers may supply each edge in either or both directions.
+    ///
+    /// # Panics
+    /// Panics if any neighbor index is out of range or a self-loop appears.
+    pub fn from_adjacency_lists(mut adj: Vec<Vec<usize>>) -> Self {
+        let n = adj.len();
+        // Symmetrize first so one-directional input is accepted.
+        let mut extra: Vec<(usize, usize)> = Vec::new();
+        for (u, nbrs) in adj.iter().enumerate() {
+            for &v in nbrs {
+                assert!(v < n, "neighbor {v} out of range (n={n})");
+                assert_ne!(u, v, "self-loop at {u}");
+                extra.push((v, u));
+            }
+        }
+        for (u, v) in extra {
+            adj[u].push(v);
+        }
+        let mut m = 0usize;
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            m += list.len();
+        }
+        debug_assert!(m % 2 == 0);
+        Self { adj, m: m / 2 }
+    }
+
+    /// Builds a graph on `n` nodes from an edge list.
+    ///
+    /// # Errors
+    /// Returns [`GraphError`] for out-of-range endpoints or self-loops.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+            for &x in &[u, v] {
+                if x >= n {
+                    return Err(GraphError::NodeOutOfRange { index: x, n });
+                }
+            }
+            adj[u].push(v);
+        }
+        Ok(Self::from_adjacency_lists(adj))
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Degrees of all nodes.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adj.iter().map(Vec::len).collect()
+    }
+
+    /// Whether edge `{u, v}` exists (binary search over the sorted list).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Iterator over edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// Converts back to a bit-packed adjacency matrix.
+    pub fn to_adjacency_matrix(&self) -> AdjacencyMatrix {
+        let mut m = AdjacencyMatrix::empty(self.n());
+        for (u, v) in self.edges() {
+            m.set_edge(u, v, true);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_sorted_lists() {
+        let g = Graph::from_edges(4, &[(2, 0), (0, 1), (3, 0)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.m(), 3);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn symmetric_closure_and_dedup() {
+        let g = Graph::from_adjacency_lists(vec![vec![1, 1], vec![0], vec![]]);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert!(matches!(
+            Graph::from_edges(3, &[(0, 4)]),
+            Err(GraphError::NodeOutOfRange { index: 4, n: 3 })
+        ));
+        assert!(matches!(Graph::from_edges(3, &[(1, 1)]), Err(GraphError::SelfLoop(1))));
+    }
+
+    #[test]
+    fn edge_iterator_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn round_trip_with_matrix() {
+        let m = AdjacencyMatrix::from_edges(5, &[(0, 4), (1, 2), (3, 4)]).unwrap();
+        let g = m.to_graph();
+        assert_eq!(g.to_adjacency_matrix(), m);
+    }
+}

@@ -1,0 +1,123 @@
+//! Degree assortativity and Li et al.'s `s`-metric.
+//!
+//! §2 of the paper recalls that Li et al. [1] "introduce the entropy
+//! function for a graph (related to the assortativity)" to expose the flaws
+//! of degree-distribution-only generators: many graphs share a degree
+//! sequence yet differ wildly in how high-degree nodes interconnect. The
+//! `s`-metric `s(G) = Σ_{(u,v)∈E} d_u·d_v` captures exactly that, and the
+//! Pearson degree assortativity is its normalized cousin.
+
+use crate::graph::Graph;
+
+/// Li et al.'s `s`-metric: `Σ over edges of d_u · d_v`.
+///
+/// High values mean high-degree nodes attach to each other (the "scale-free"
+/// corner of the degree-sequence-preserving graph space); heuristically
+/// optimal router topologies sit at *low* `s`.
+pub fn s_metric(g: &Graph) -> f64 {
+    g.edges().map(|(u, v)| (g.degree(u) * g.degree(v)) as f64).sum()
+}
+
+/// `s`-metric normalized by the maximum over graphs with the same degree
+/// sequence, approximated by the standard bound
+/// `s_max ≈ ½ Σ_k d_{(k)}·d'_{(k)}` obtained by pairing the sorted degree
+/// sequence with itself greedily. Returns a value in `(0, 1]`; `None` for
+/// edgeless graphs.
+pub fn normalized_s_metric(g: &Graph) -> Option<f64> {
+    if g.m() == 0 {
+        return None;
+    }
+    let s = s_metric(g);
+    // Greedy upper bound: connect highest-degree stubs together. Each node
+    // of degree d contributes d stubs valued d; sort stubs descending and
+    // pair consecutively.
+    let mut stubs: Vec<usize> = Vec::with_capacity(2 * g.m());
+    for d in g.degrees() {
+        for _ in 0..d {
+            stubs.push(d);
+        }
+    }
+    stubs.sort_unstable_by(|a, b| b.cmp(a));
+    let mut smax = 0.0f64;
+    for pair in stubs.chunks(2) {
+        if let [a, b] = pair {
+            smax += (*a * *b) as f64;
+        }
+    }
+    if smax <= 0.0 {
+        return None;
+    }
+    Some(s / smax)
+}
+
+/// Pearson degree assortativity coefficient (Newman's `r`).
+///
+/// `r ∈ [-1, 1]`: positive when similar-degree nodes connect, negative in
+/// hub-and-spoke topologies. Returns `None` when undefined (no edges, or
+/// zero variance of the edge-end degree distribution — e.g. regular graphs).
+pub fn degree_assortativity(g: &Graph) -> Option<f64> {
+    let m = g.m();
+    if m == 0 {
+        return None;
+    }
+    // Newman (2002): over edges, with j,k the endpoint degrees:
+    // r = [M⁻¹ Σ jk − (M⁻¹ Σ ½(j+k))²] / [M⁻¹ Σ ½(j²+k²) − (M⁻¹ Σ ½(j+k))²]
+    let m_inv = 1.0 / m as f64;
+    let (mut sum_jk, mut sum_half, mut sum_sq) = (0.0f64, 0.0f64, 0.0f64);
+    for (u, v) in g.edges() {
+        let (j, k) = (g.degree(u) as f64, g.degree(v) as f64);
+        sum_jk += j * k;
+        sum_half += 0.5 * (j + k);
+        sum_sq += 0.5 * (j * j + k * k);
+    }
+    let mean = m_inv * sum_half;
+    let denom = m_inv * sum_sq - mean * mean;
+    if denom.abs() < 1e-15 {
+        return None;
+    }
+    Some((m_inv * sum_jk - mean * mean) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_is_maximally_disassortative() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let r = degree_assortativity(&g).unwrap();
+        assert!((r - (-1.0)).abs() < 1e-9, "star r = {r}, expected -1");
+    }
+
+    #[test]
+    fn clique_assortativity_is_undefined() {
+        // All endpoint degrees equal ⇒ zero variance.
+        let g = crate::AdjacencyMatrix::complete(4).to_graph();
+        assert_eq!(degree_assortativity(&g), None);
+    }
+
+    #[test]
+    fn s_metric_values() {
+        // Path 0-1-2: edges (0,1): 1·2, (1,2): 2·1 → s = 4.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(s_metric(&g), 4.0);
+        // Star on 4: each edge 3·1 → s = 9.
+        let star = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(s_metric(&star), 9.0);
+    }
+
+    #[test]
+    fn normalized_s_is_at_most_one() {
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (3, 4), (4, 5), (1, 2)]).unwrap();
+        let ns = normalized_s_metric(&g).unwrap();
+        assert!(ns > 0.0 && ns <= 1.0, "normalized s = {ns}");
+    }
+
+    #[test]
+    fn edgeless_graphs_are_undefined() {
+        let g = Graph::from_edges(3, &[]).unwrap();
+        assert_eq!(degree_assortativity(&g), None);
+        assert_eq!(normalized_s_metric(&g), None);
+        assert_eq!(s_metric(&g), 0.0);
+    }
+}

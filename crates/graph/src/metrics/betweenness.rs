@@ -1,0 +1,154 @@
+//! Node and edge betweenness centrality (Brandes' algorithm, unweighted).
+//!
+//! §6 lists "average node and link betweenness" among the statistics the
+//! authors examined for tunability; this module provides both, normalized
+//! so values are comparable across network sizes.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// Raw per-source accumulation shared by node and edge betweenness.
+///
+/// For each source `s`, runs BFS counting shortest paths (`sigma`) and then
+/// accumulates pair dependencies in reverse BFS order.
+fn brandes<FN, FE>(g: &Graph, mut node_acc: FN, mut edge_acc: FE)
+where
+    FN: FnMut(usize, f64),
+    FE: FnMut(usize, usize, f64),
+{
+    let n = g.n();
+    for s in 0..n {
+        let mut sigma = vec![0.0f64; n];
+        let mut dist = vec![usize::MAX; n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in g.neighbors(u) {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+                if dist[v] == dist[u] + 1 {
+                    sigma[v] += sigma[u];
+                    preds[v].push(u);
+                }
+            }
+        }
+        let mut delta = vec![0.0f64; n];
+        for &w in order.iter().rev() {
+            for &v in &preds[w] {
+                let share = sigma[v] / sigma[w] * (1.0 + delta[w]);
+                edge_acc(v, w, share);
+                delta[v] += share;
+            }
+            if w != s {
+                node_acc(w, delta[w]);
+            }
+        }
+    }
+}
+
+/// Node betweenness centrality for every node (unweighted shortest paths).
+///
+/// Values are for *undirected* graphs: each pair is counted once (the raw
+/// directed accumulation is halved). No further normalization is applied;
+/// divide by `C(n-1, 2)` for the normalized variant.
+pub fn node_betweenness(g: &Graph) -> Vec<f64> {
+    let mut bc = vec![0.0f64; g.n()];
+    brandes(g, |v, d| bc[v] += d, |_, _, _| {});
+    for b in &mut bc {
+        *b /= 2.0;
+    }
+    bc
+}
+
+/// Edge betweenness centrality, aligned with `g.edges()` order.
+///
+/// Each unordered pair of endpoints is counted once (halved directed sum).
+pub fn edge_betweenness(g: &Graph) -> Vec<f64> {
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let mut index = std::collections::HashMap::with_capacity(edges.len());
+    for (i, &e) in edges.iter().enumerate() {
+        index.insert(e, i);
+    }
+    let mut eb = vec![0.0f64; edges.len()];
+    brandes(
+        g,
+        |_, _| {},
+        |u, v, share| {
+            let key = if u < v { (u, v) } else { (v, u) };
+            eb[index[&key]] += share;
+        },
+    );
+    for b in &mut eb {
+        *b /= 2.0;
+    }
+    eb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_center_has_highest_betweenness() {
+        // 0-1-2-3-4: node 2 lies on paths 0↔3, 0↔4, 1↔3, 1↔4 (4 pairs).
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let bc = node_betweenness(&g);
+        assert!((bc[2] - 4.0).abs() < 1e-9, "bc[2] = {}", bc[2]);
+        assert!((bc[1] - 3.0).abs() < 1e-9);
+        assert!((bc[0] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_hub_carries_all_pairs() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let bc = node_betweenness(&g);
+        // Hub lies on C(3,2) = 3 spoke pairs.
+        assert!((bc[0] - 3.0).abs() < 1e-9);
+        assert!(bc[1..].iter().all(|&b| b.abs() < 1e-9));
+    }
+
+    #[test]
+    fn edge_betweenness_on_barbell_bridge() {
+        // Two triangles joined by a bridge (2,3).
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)],
+        )
+        .unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        let eb = edge_betweenness(&g);
+        let bridge = edges.iter().position(|&e| e == (2, 3)).unwrap();
+        // Bridge carries all 3×3 = 9 cross pairs.
+        assert!((eb[bridge] - 9.0).abs() < 1e-9, "bridge eb = {}", eb[bridge]);
+        // Every other edge carries strictly less.
+        for (i, &b) in eb.iter().enumerate() {
+            if i != bridge {
+                assert!(b < 9.0);
+            }
+        }
+    }
+
+    #[test]
+    fn clique_betweenness_is_zero() {
+        let g = crate::AdjacencyMatrix::complete(5).to_graph();
+        assert!(node_betweenness(&g).iter().all(|&b| b.abs() < 1e-9));
+        // Each edge carries exactly its own endpoint pair: eb = 1.
+        assert!(edge_betweenness(&g).iter().all(|&b| (b - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn equal_split_on_even_cycle() {
+        // 4-cycle: opposite pairs have two shortest paths; each middle node
+        // gets half a pair → bc = 0.5 each.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let bc = node_betweenness(&g);
+        assert!(bc.iter().all(|&b| (b - 0.5).abs() < 1e-9), "bc = {bc:?}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Clustering coefficients (Fig 7).
+//!
+//! The paper uses the *global clustering coefficient* (GCC), the ratio of
+//! three times the number of triangles to the number of connected triples
+//! ("the number of triangles present in the graph compared to the maximum
+//! number of triangles possible", §6). Trees score 0, cliques score 1, and
+//! in the Topology Zoo 90% of networks fall below 0.25.
+
+use crate::graph::Graph;
+
+/// Number of triangles (3-cliques) in the graph.
+///
+/// Counts each triangle once by enumerating edges `(u, v)` with `u < v` and
+/// intersecting their sorted neighbor lists above `v`.
+pub fn triangle_count(g: &Graph) -> usize {
+    let mut count = 0usize;
+    for (u, v) in g.edges() {
+        // Intersect neighbors of u and v, counting only w > v so each
+        // triangle {u < v < w} is counted exactly once.
+        let (mut i, mut j) = (0usize, 0usize);
+        let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if nu[i] > v {
+                        count += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Number of connected triples (paths of length 2), `Σ_v C(deg(v), 2)`.
+pub fn connected_triples(g: &Graph) -> usize {
+    g.degrees().iter().map(|&d| d * d.saturating_sub(1) / 2).sum()
+}
+
+/// Global clustering coefficient: `3·triangles / connected triples`.
+///
+/// Returns `0.0` when the graph has no connected triples (e.g. a matching
+/// or an empty graph), matching the convention that a triangle-free sparse
+/// graph has no clustering.
+pub fn global_clustering(g: &Graph) -> f64 {
+    let triples = connected_triples(g);
+    if triples == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(g) as f64 / triples as f64
+}
+
+/// Average local clustering coefficient (Watts–Strogatz): the mean over all
+/// nodes of `triangles through v / C(deg(v), 2)`, counting degree-<2 nodes
+/// as 0.
+pub fn average_local_clustering(g: &Graph) -> f64 {
+    let n = g.n();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for v in 0..n {
+        let nbrs = g.neighbors(v);
+        let d = nbrs.len();
+        if d < 2 {
+            continue;
+        }
+        let mut links = 0usize;
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if g.has_edge(a, b) {
+                    links += 1;
+                }
+            }
+        }
+        total += links as f64 / (d * (d - 1) / 2) as f64;
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_has_zero_clustering() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (2, 3), (2, 4)]).unwrap();
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(global_clustering(&g), 0.0);
+        assert_eq!(average_local_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn clique_has_clustering_one() {
+        let g = crate::AdjacencyMatrix::complete(5).to_graph();
+        assert_eq!(triangle_count(&g), 10); // C(5,3)
+        assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+        assert!((average_local_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_triangle_with_tail() {
+        // Triangle 0-1-2 plus pendant 2-3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        assert_eq!(triangle_count(&g), 1);
+        // Triples: deg = [2,2,3,1] → 1 + 1 + 3 + 0 = 5.
+        assert_eq!(connected_triples(&g), 5);
+        assert!((global_clustering(&g) - 3.0 / 5.0).abs() < 1e-12);
+        // Local: nodes 0,1 have cc 1; node 2 has 1/3; node 3 has 0.
+        assert!((average_local_clustering(&g) - (1.0 + 1.0 + 1.0 / 3.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        assert_eq!(global_clustering(&Graph::from_edges(0, &[]).unwrap()), 0.0);
+        assert_eq!(global_clustering(&Graph::from_edges(2, &[(0, 1)]).unwrap()), 0.0);
+    }
+
+    #[test]
+    fn two_triangles_sharing_an_edge() {
+        // K4 minus one edge: nodes 0-1-2-3, missing (0,3).
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(triangle_count(&g), 2);
+        // degrees [2,3,3,2] → triples 1+3+3+1 = 8; gcc = 6/8.
+        assert!((global_clustering(&g) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Degree-based statistics: average degree, CVND, hubs and leaves.
+//!
+//! The coefficient of variation of node degree (CVND) is the paper's
+//! "hubbiness" measure (§7, Fig 8): the standard deviation of the node
+//! degrees divided by their mean. Some operator networks in the Topology
+//! Zoo reach CVND ≈ 2, which COLD can only reproduce once the hub cost `k3`
+//! is part of the objective — that observation is the point of §7.
+
+use crate::graph::Graph;
+
+/// Summary statistics of a graph's degree sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Mean node degree (`2m/n`).
+    pub mean: f64,
+    /// Population standard deviation of node degree.
+    pub std_dev: f64,
+    /// Coefficient of variation (`std_dev / mean`); `0` when mean is `0`.
+    pub cvnd: f64,
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Number of leaf nodes (degree exactly 1).
+    pub leaves: usize,
+    /// Number of hub / core nodes (degree strictly greater than 1) — the
+    /// set `N_C` whose cardinality Fig 9 plots.
+    pub hubs: usize,
+}
+
+/// Computes [`DegreeStats`] for a graph.
+///
+/// Returns all-zero stats for the empty graph (n = 0).
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.n();
+    if n == 0 {
+        return DegreeStats { mean: 0.0, std_dev: 0.0, cvnd: 0.0, min: 0, max: 0, leaves: 0, hubs: 0 };
+    }
+    let degs = g.degrees();
+    let mean = degs.iter().sum::<usize>() as f64 / n as f64;
+    let var = degs.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    let std_dev = var.sqrt();
+    DegreeStats {
+        mean,
+        std_dev,
+        cvnd: if mean > 0.0 { std_dev / mean } else { 0.0 },
+        min: degs.iter().copied().min().unwrap_or(0),
+        max: degs.iter().copied().max().unwrap_or(0),
+        leaves: degs.iter().filter(|&&d| d == 1).count(),
+        hubs: degs.iter().filter(|&&d| d > 1).count(),
+    }
+}
+
+/// Mean node degree, `2m/n` (Fig 5's y-axis).
+pub fn average_degree(g: &Graph) -> f64 {
+    degree_stats(g).mean
+}
+
+/// Coefficient of variation of node degree (Fig 8's y-axis).
+pub fn cvnd(g: &Graph) -> f64 {
+    degree_stats(g).cvnd
+}
+
+/// Number of leaf PoPs (degree 1).
+pub fn leaf_count(g: &Graph) -> usize {
+    degree_stats(g).leaves
+}
+
+/// Number of hub / core PoPs (degree > 1) — `|N_C|` of §3.2.2, Fig 9.
+pub fn hub_count(g: &Graph) -> usize {
+    degree_stats(g).hubs
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let degs = g.degrees();
+    let max = degs.iter().copied().max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for d in degs {
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_graph_stats() {
+        // Star on 5 nodes: hub degree 4, four leaves.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let s = degree_stats(&g);
+        assert!((s.mean - 1.6).abs() < 1e-12);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.leaves, 4);
+        assert_eq!(s.hubs, 1);
+        // degrees [4,1,1,1,1]: var = (5.76 + 4*0.36)/5 = 1.44, std = 1.2
+        assert!((s.std_dev - 1.2).abs() < 1e-12);
+        assert!((s.cvnd - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regular_graph_has_zero_cvnd() {
+        // 4-cycle: every degree 2.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.cvnd, 0.0);
+        assert_eq!(s.hubs, 4);
+        assert_eq!(s.leaves, 0);
+    }
+
+    #[test]
+    fn tree_average_degree_formula() {
+        // Paper §6: "for a tree the average degree is 2 − 2/n".
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        assert!((average_degree(&g) - (2.0 - 2.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_all_zero() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s, DegreeStats { mean: 0.0, std_dev: 0.0, cvnd: 0.0, min: 0, max: 0, leaves: 0, hubs: 0 });
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]).unwrap();
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h[1], 3); // nodes 1, 2, 4
+        assert_eq!(h[2], 1); // node 3
+        assert_eq!(h[3], 1); // node 0
+    }
+
+    #[test]
+    fn isolated_nodes_count_as_degree_zero() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.leaves, 2);
+        assert_eq!(s.hubs, 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! k-core decomposition.
+//!
+//! The k-core view separates a network's backbone from its fringe: the
+//! k-core is the maximal subgraph in which every node has degree ≥ k
+//! within the subgraph. For PoP-level networks the 2-core is exactly the
+//! meshy backbone left after iteratively stripping leaf PoPs, so core
+//! sizes quantify the hub-and-spoke ↔ mesh axis the COLD cost parameters
+//! tune (complementing CVND and hub counts in §6–§7).
+
+use crate::graph::Graph;
+
+/// Core number of every node (the largest `k` such that the node belongs
+/// to the k-core), via the standard peeling algorithm in O(n + m) with a
+/// bucket queue.
+pub fn core_numbers(g: &Graph) -> Vec<usize> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree = g.degrees();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    // Bucket sort nodes by degree.
+    let mut bins = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bins[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bins.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut order = vec![0usize; n];
+    for v in 0..n {
+        pos[v] = bins[degree[v]];
+        order[pos[v]] = v;
+        bins[degree[v]] += 1;
+    }
+    // Restore bin starts.
+    for d in (1..bins.len()).rev() {
+        bins[d] = bins[d - 1];
+    }
+    bins[0] = 0;
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = order[i];
+        core[v] = degree[v];
+        for &u in g.neighbors(v) {
+            if degree[u] > degree[v] {
+                // Move u one bucket down.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bins[du];
+                let w = order[pw];
+                if u != w {
+                    order[pu] = w;
+                    order[pw] = u;
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bins[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The graph's degeneracy: the maximum core number.
+pub fn degeneracy(g: &Graph) -> usize {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+/// Number of nodes in the k-core.
+pub fn k_core_size(g: &Graph, k: usize) -> usize {
+    core_numbers(g).into_iter().filter(|&c| c >= k).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_is_one_degenerate() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (2, 4), (4, 5)]).unwrap();
+        let core = core_numbers(&g);
+        assert!(core.iter().all(|&c| c == 1), "{core:?}");
+        assert_eq!(degeneracy(&g), 1);
+        assert_eq!(k_core_size(&g, 1), 6);
+        assert_eq!(k_core_size(&g, 2), 0);
+    }
+
+    #[test]
+    fn clique_core_numbers() {
+        let g = crate::AdjacencyMatrix::complete(5).to_graph();
+        assert_eq!(core_numbers(&g), vec![4; 5]);
+        assert_eq!(degeneracy(&g), 4);
+    }
+
+    #[test]
+    fn triangle_with_tails() {
+        // Triangle 0-1-2, tails 2-3-4.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]).unwrap();
+        let core = core_numbers(&g);
+        assert_eq!(core[0], 2);
+        assert_eq!(core[1], 2);
+        assert_eq!(core[2], 2);
+        assert_eq!(core[3], 1);
+        assert_eq!(core[4], 1);
+        assert_eq!(k_core_size(&g, 2), 3);
+    }
+
+    #[test]
+    fn ring_with_spokes_has_two_core_ring() {
+        // 4-ring core {0..3} with one spoke each.
+        let g = Graph::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 5), (2, 6), (3, 7)],
+        )
+        .unwrap();
+        let core = core_numbers(&g);
+        assert_eq!(&core[..4], &[2, 2, 2, 2]);
+        assert_eq!(&core[4..], &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn matches_brute_force_peeling() {
+        // Cross-check against a simple iterative peel.
+        let g = Graph::from_edges(
+            9,
+            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6), (6, 7), (7, 8), (8, 6), (1, 4)],
+        )
+        .unwrap();
+        let fast = core_numbers(&g);
+        // Brute force: for each k, repeatedly strip nodes with degree < k.
+        let n = g.n();
+        let mut slow = vec![0usize; n];
+        for k in 1..n {
+            let mut alive = vec![true; n];
+            loop {
+                let mut changed = false;
+                for v in 0..n {
+                    if alive[v] {
+                        let d = g.neighbors(v).iter().filter(|&&u| alive[u]).count();
+                        if d < k {
+                            alive[v] = false;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for v in 0..n {
+                if alive[v] {
+                    slow[v] = k;
+                }
+            }
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        assert!(core_numbers(&Graph::from_edges(0, &[]).unwrap()).is_empty());
+        let g = Graph::from_edges(3, &[]).unwrap();
+        assert_eq!(core_numbers(&g), vec![0, 0, 0]);
+        assert_eq!(degeneracy(&g), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Topology statistics used throughout the paper's evaluation (§6–§7).
+//!
+//! - [`degree`]: average node degree (Fig 5), coefficient of variation of
+//!   node degree / CVND (Fig 8), hub and leaf counts (Fig 9).
+//! - [`distance`]: hop diameter (Fig 6), average shortest-path length.
+//! - [`clustering`]: global clustering coefficient (Fig 7), local averages.
+//! - [`assortativity`]: degree assortativity and Li et al.'s `s`-metric
+//!   (the "entropy function" of §2).
+//! - [`betweenness`]: node and edge betweenness centrality (mentioned in
+//!   §6's list of examined statistics).
+
+pub mod assortativity;
+pub mod betweenness;
+pub mod clustering;
+pub mod degree;
+pub mod distance;
+pub mod kcore;
+
+pub use assortativity::{degree_assortativity, s_metric};
+pub use betweenness::{edge_betweenness, node_betweenness};
+pub use clustering::{average_local_clustering, global_clustering, triangle_count};
+pub use degree::{average_degree, cvnd, degree_stats, hub_count, leaf_count, DegreeStats};
+pub use distance::{average_path_length, hop_diameter, weighted_diameter};
+pub use kcore::{core_numbers, degeneracy, k_core_size};

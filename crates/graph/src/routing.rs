@@ -1,0 +1,194 @@
+//! Shortest-path routing of a traffic matrix and per-link load accumulation.
+//!
+//! This implements the capacity side of the paper's cost model (§3.2.1):
+//! every demand `t(s, t)` is routed on the shortest geometric path, the
+//! bandwidth `w_i` required on link `i` is the sum of all demands whose
+//! route crosses it, and the bandwidth cost satisfies the identity
+//! `Σ_i k2·ℓ_i·w_i = k2 · Σ_r t_r · L_r` (paper eq. 1 with O = 1; the
+//! overprovisioning factor multiplies capacities uniformly and does not
+//! affect which topology is optimal).
+//!
+//! The per-source accumulation runs in O(n) after each Dijkstra by pushing
+//! subtree demand down the shortest-path tree in decreasing-distance order —
+//! the same trick as Brandes' betweenness accumulation — so the all-pairs
+//! routing is O(n·m·log n + n²), not O(n³·path length).
+
+use crate::graph::Graph;
+use crate::shortest_path::{dijkstra, ShortestPathTree};
+use crate::{GraphError, Result};
+
+/// The outcome of routing a traffic matrix over a topology.
+#[derive(Debug, Clone)]
+pub struct RoutingResult {
+    /// The topology's edges, sorted ascending as `(u, v)` with `u < v`.
+    pub edges: Vec<(usize, usize)>,
+    /// `load[i]` is the total traffic (both directions summed) carried by
+    /// `edges[i]`. This is the required bandwidth `w_i` of §3.2.
+    pub load: Vec<f64>,
+    /// `Σ_r t_r · L_r`: traffic-weighted total route length (eq. 1).
+    pub traffic_weighted_route_length: f64,
+    /// One shortest-path tree per source — the "routing matrix" output the
+    /// paper lists among the GA outputs (§4 Outputs).
+    pub trees: Vec<ShortestPathTree>,
+}
+
+impl RoutingResult {
+    /// Looks up the load on edge `{u, v}`; `None` if not an edge.
+    pub fn load_on(&self, u: usize, v: usize) -> Option<f64> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.binary_search(&key).ok().map(|i| self.load[i])
+    }
+
+    /// The full route for an ordered demand `(s, t)`.
+    pub fn route(&self, s: usize, t: usize) -> Option<Vec<usize>> {
+        self.trees.get(s)?.path_to(t)
+    }
+}
+
+/// Routes the ordered traffic matrix `traffic(s, t)` over `g` with edge
+/// lengths `len(u, v)`, returning per-link loads.
+///
+/// Demands with `s == t` are ignored. Demands must be non-negative.
+///
+/// # Errors
+/// Returns [`GraphError::Disconnected`] if any positive demand connects a
+/// pair with no path.
+pub fn route_traffic(
+    g: &Graph,
+    len: impl Fn(usize, usize) -> f64 + Copy,
+    traffic: impl Fn(usize, usize) -> f64,
+) -> Result<RoutingResult> {
+    let n = g.n();
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    // Pair-index → edge-list position for O(1) load accumulation.
+    let matrix = crate::AdjacencyMatrix::empty(n);
+    let mut edge_slot = vec![usize::MAX; matrix.pair_count()];
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        edge_slot[matrix.pair_index(u, v)] = i;
+    }
+    let mut load = vec![0.0f64; edges.len()];
+    let mut weighted_len = 0.0f64;
+    let mut trees = Vec::with_capacity(n);
+    for s in 0..n {
+        let tree = dijkstra(g, s, len);
+        // Order reachable nodes by decreasing distance for the subtree pass.
+        let mut order: Vec<usize> = (0..n).filter(|&v| v != s && tree.dist[v].is_finite()).collect();
+        order.sort_by(|&a, &b| tree.dist[b].total_cmp(&tree.dist[a]).then(b.cmp(&a)));
+        let mut demand = vec![0.0f64; n];
+        for t in 0..n {
+            if t == s {
+                continue;
+            }
+            let d = traffic(s, t);
+            assert!(d >= 0.0, "negative or NaN demand ({s},{t}): {d}");
+            if d > 0.0 {
+                if !tree.dist[t].is_finite() {
+                    return Err(GraphError::Disconnected);
+                }
+                demand[t] += d;
+                weighted_len += d * tree.dist[t];
+            }
+        }
+        for &v in &order {
+            let p = tree.parent[v];
+            debug_assert_ne!(p, usize::MAX);
+            if demand[v] > 0.0 {
+                let slot = edge_slot[matrix.pair_index(p, v)];
+                debug_assert_ne!(slot, usize::MAX, "tree edge must exist in graph");
+                load[slot] += demand[v];
+                demand[p] += demand[v];
+            }
+        }
+        trees.push(tree);
+    }
+    Ok(RoutingResult { edges, load, traffic_weighted_route_length: weighted_len, trees })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_traffic(_: usize, _: usize) -> f64 {
+        1.0
+    }
+
+    #[test]
+    fn path_graph_loads_peak_in_middle() {
+        // 0-1-2-3: edge (1,2) carries all 4 crossing demands ×2 directions.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let r = route_traffic(&g, |_, _| 1.0, uniform_traffic).unwrap();
+        // (0,1): demands {0}↔{1,2,3} = 3 each way ⇒ 6.
+        assert_eq!(r.load_on(0, 1), Some(6.0));
+        // (1,2): {0,1}↔{2,3} = 4 each way ⇒ 8.
+        assert_eq!(r.load_on(1, 2), Some(8.0));
+        assert_eq!(r.load_on(2, 3), Some(6.0));
+        assert_eq!(r.load_on(0, 2), None);
+    }
+
+    #[test]
+    fn weighted_route_length_matches_link_identity() {
+        // eq. (1): Σ t_r L_r == Σ ℓ_i w_i for any lengths and demands.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap();
+        let len = |u: usize, v: usize| ((u + 2 * v) % 5 + 1) as f64 * 0.1;
+        let sym = move |u: usize, v: usize| if u < v { len(u, v) } else { len(v, u) };
+        let traffic = |s: usize, t: usize| ((s * 3 + t) % 4) as f64;
+        let r = route_traffic(&g, sym, traffic).unwrap();
+        let link_side: f64 = r
+            .edges
+            .iter()
+            .zip(&r.load)
+            .map(|(&(u, v), &w)| sym(u, v) * w)
+            .sum();
+        assert!(
+            (link_side - r.traffic_weighted_route_length).abs() < 1e-9,
+            "Σ ℓ·w = {link_side} vs Σ t·L = {}",
+            r.traffic_weighted_route_length
+        );
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let r = route_traffic(&g, |_, _| 1.0, uniform_traffic).unwrap();
+        // Each spoke edge carries: own↔hub (2) + own↔two other spokes (4) = 6.
+        for v in 1..4 {
+            assert_eq!(r.load_on(0, v), Some(6.0));
+        }
+        assert_eq!(r.route(1, 2), Some(vec![1, 0, 2]));
+    }
+
+    #[test]
+    fn disconnected_with_demand_errors() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(
+            route_traffic(&g, |_, _| 1.0, uniform_traffic).unwrap_err(),
+            GraphError::Disconnected
+        );
+    }
+
+    #[test]
+    fn disconnected_without_demand_is_fine() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        // Traffic only between 0 and 1.
+        let t = |s: usize, d: usize| if s < 2 && d < 2 { 1.0 } else { 0.0 };
+        let r = route_traffic(&g, |_, _| 1.0, t).unwrap();
+        assert_eq!(r.load_on(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn zero_traffic_zero_loads() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let r = route_traffic(&g, |_, _| 1.0, |_, _| 0.0).unwrap();
+        assert!(r.load.iter().all(|&l| l == 0.0));
+        assert_eq!(r.traffic_weighted_route_length, 0.0);
+    }
+
+    #[test]
+    fn asymmetric_demands_sum_onto_undirected_link() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let t = |s: usize, d: usize| if (s, d) == (0, 1) { 3.0 } else if (s, d) == (1, 0) { 5.0 } else { 0.0 };
+        let r = route_traffic(&g, |_, _| 2.0, t).unwrap();
+        assert_eq!(r.load_on(0, 1), Some(8.0));
+        assert_eq!(r.traffic_weighted_route_length, 16.0);
+    }
+}

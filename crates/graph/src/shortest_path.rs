@@ -1,0 +1,222 @@
+//! Dijkstra shortest paths, shortest-path trees, and BFS hop distances.
+//!
+//! COLD routes all traffic on shortest paths by *geometric length* (§3.2.1):
+//! "we will make the natural choice of shortest-path routing in the model,
+//! which will minimize the length of routes, and hence the bandwidth
+//! dependent component of cost". The all-pairs computation here is the
+//! dominant O(n³) term in the GA's runtime (Fig 4).
+
+use crate::graph::Graph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A single-source shortest-path tree.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    /// The source node.
+    pub source: usize,
+    /// `dist[v]` is the shortest distance from `source` to `v`
+    /// (`f64::INFINITY` when unreachable).
+    pub dist: Vec<f64>,
+    /// `parent[v]` is `v`'s predecessor on a shortest path from `source`.
+    /// `parent[source] == source`; unreachable nodes have `usize::MAX`.
+    pub parent: Vec<usize>,
+}
+
+impl ShortestPathTree {
+    /// Reconstructs the node sequence `source → … → target`, or `None` if
+    /// `target` is unreachable.
+    pub fn path_to(&self, target: usize) -> Option<Vec<usize>> {
+        if target == self.source {
+            return Some(vec![self.source]);
+        }
+        if self.parent[target] == usize::MAX {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut v = target;
+        while v != self.source {
+            v = self.parent[v];
+            path.push(v);
+            debug_assert!(path.len() <= self.dist.len(), "parent cycle");
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Whether every node is reachable from the source.
+    pub fn all_reachable(&self) -> bool {
+        self.dist.iter().all(|d| d.is_finite())
+    }
+}
+
+/// Max-heap entry ordered so the smallest `(dist, node)` pops first.
+struct HeapItem {
+    dist: f64,
+    node: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the min element.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Dijkstra's algorithm from `source` with edge lengths given by `len`.
+///
+/// `len(u, v)` is only called for actual edges of `g` and must be
+/// non-negative and finite. Ties are resolved deterministically (by node
+/// index), so the returned tree is a pure function of its inputs.
+///
+/// # Panics
+/// Panics if `source >= g.n()` or a negative/NaN length is produced.
+pub fn dijkstra(g: &Graph, source: usize, len: impl Fn(usize, usize) -> f64) -> ShortestPathTree {
+    let n = g.n();
+    assert!(source < n, "source {source} out of range (n={n})");
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut done = vec![false; n];
+    dist[source] = 0.0;
+    parent[source] = source;
+    let mut heap = BinaryHeap::with_capacity(n);
+    heap.push(HeapItem { dist: 0.0, node: source });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        for &v in g.neighbors(u) {
+            let w = len(u, v);
+            assert!(w >= 0.0, "negative or NaN edge length on ({u},{v}): {w}");
+            let nd = d + w;
+            if nd < dist[v] || (nd == dist[v] && !done[v] && u < parent[v]) {
+                dist[v] = nd;
+                parent[v] = u;
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+    ShortestPathTree { source, dist, parent }
+}
+
+/// All-pairs shortest paths: one [`ShortestPathTree`] per source.
+///
+/// O(n · (m log n)) — the routing/capacity computation of §3.2.1 calls this
+/// once per candidate topology, which is the dominant cost of the GA.
+pub fn apsp(g: &Graph, len: impl Fn(usize, usize) -> f64 + Copy) -> Vec<ShortestPathTree> {
+    (0..g.n()).map(|s| dijkstra(g, s, len)).collect()
+}
+
+/// BFS hop counts from `source`; `usize::MAX` marks unreachable nodes.
+pub fn bfs_hops(g: &Graph, source: usize) -> Vec<usize> {
+    let n = g.n();
+    assert!(source < n, "source {source} out of range (n={n})");
+    let mut hops = vec![usize::MAX; n];
+    hops[source] = 0;
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if hops[v] == usize::MAX {
+                hops[v] = hops[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Square with one diagonal:
+    /// 0-1 (1.0), 1-2 (1.0), 2-3 (1.0), 3-0 (1.0), 0-2 (1.5)
+    fn square() -> (Graph, impl Fn(usize, usize) -> f64 + Copy) {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let len = |u: usize, v: usize| {
+            let (u, v) = if u < v { (u, v) } else { (v, u) };
+            match (u, v) {
+                (0, 2) => 1.5,
+                _ => 1.0,
+            }
+        };
+        (g, len)
+    }
+
+    #[test]
+    fn dijkstra_picks_cheaper_diagonal() {
+        let (g, len) = square();
+        let t = dijkstra(&g, 0, len);
+        assert_eq!(t.dist[0], 0.0);
+        assert_eq!(t.dist[1], 1.0);
+        assert_eq!(t.dist[2], 1.5, "direct diagonal beats the two-hop path of length 2");
+        assert_eq!(t.dist[3], 1.0);
+        assert_eq!(t.path_to(2), Some(vec![0, 2]));
+    }
+
+    #[test]
+    fn path_reconstruction_on_path_graph() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let t = dijkstra(&g, 0, |_, _| 1.0);
+        assert_eq!(t.path_to(3), Some(vec![0, 1, 2, 3]));
+        assert_eq!(t.path_to(0), Some(vec![0]));
+    }
+
+    #[test]
+    fn unreachable_nodes_are_reported() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let t = dijkstra(&g, 0, |_, _| 1.0);
+        assert!(t.dist[2].is_infinite());
+        assert_eq!(t.path_to(2), None);
+        assert!(!t.all_reachable());
+    }
+
+    #[test]
+    fn apsp_is_symmetric_for_undirected_graphs() {
+        let (g, len) = square();
+        let trees = apsp(&g, len);
+        for s in 0..4 {
+            for t in 0..4 {
+                assert!(
+                    (trees[s].dist[t] - trees[t].dist[s]).abs() < 1e-12,
+                    "dist({s},{t}) asymmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_hops_counts_edges() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let h = bfs_hops(&g, 0);
+        assert_eq!(h[..4], [0, 1, 2, 3]);
+        assert_eq!(h[4], usize::MAX);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        // Two equal-length routes 0-1-3 and 0-2-3; tie-break must be stable.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let a = dijkstra(&g, 0, |_, _| 1.0);
+        let b = dijkstra(&g, 0, |_, _| 1.0);
+        assert_eq!(a.parent, b.parent);
+        // Lower-indexed parent wins the tie.
+        assert_eq!(a.parent[3], 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Connected-subgraph census and dK-distributions (§2, Figs 1–2).
+//!
+//! Following Mahadevan et al. (as summarized in the paper §2): label every
+//! node of a connected graph `G` with its degree in `G`; the
+//! *dK-distribution* of `G` is the number of occurrences of each possible
+//! degree-labeled connected (induced) subgraph of size `d`, where two
+//! occurrences count as the same entry when their labeled subgraphs are
+//! isomorphic.
+//!
+//! Fig 1 plots the number of *distinct* entries — the parameter count of
+//! the dK characterization — showing it quickly exceeds `n` itself.
+//!
+//! Subgraph enumeration uses Wernicke's ESU algorithm, which yields every
+//! connected induced subgraph of exactly `d` nodes exactly once.
+
+use crate::adjacency::AdjacencyMatrix;
+use crate::canonical::{canonical_form_labeled, CanonicalForm};
+use crate::graph::Graph;
+use std::collections::HashMap;
+
+/// Enumerates every connected induced subgraph with exactly `d` nodes,
+/// invoking `visit` with the sorted node set of each.
+///
+/// Implementation of the ESU (Enumerate SUbgraphs) algorithm: subgraphs are
+/// grown from each root `v` using only extension nodes with index `> v`,
+/// which guarantees each subgraph is produced exactly once.
+pub fn for_each_connected_subgraph(g: &Graph, d: usize, mut visit: impl FnMut(&[usize])) {
+    if d == 0 || d > g.n() {
+        return;
+    }
+    let n = g.n();
+    let mut sub: Vec<usize> = Vec::with_capacity(d);
+    for v in 0..n {
+        if d == 1 {
+            visit(&[v]);
+            continue;
+        }
+        let ext: Vec<usize> = g.neighbors(v).iter().copied().filter(|&u| u > v).collect();
+        sub.push(v);
+        extend(g, v, &mut sub, ext, d, &mut visit);
+        sub.pop();
+    }
+}
+
+fn extend(
+    g: &Graph,
+    root: usize,
+    sub: &mut Vec<usize>,
+    ext: Vec<usize>,
+    d: usize,
+    visit: &mut impl FnMut(&[usize]),
+) {
+    if sub.len() == d {
+        let mut nodes = sub.clone();
+        nodes.sort_unstable();
+        visit(&nodes);
+        return;
+    }
+    let mut ext = ext;
+    while let Some(w) = ext.pop() {
+        // New extension: remaining candidates plus w's exclusive neighbors
+        // (neighbors > root that are not adjacent to any current sub node).
+        let mut next_ext = ext.clone();
+        for &u in g.neighbors(w) {
+            if u > root
+                && u != w
+                && !sub.contains(&u)
+                && !next_ext.contains(&u)
+                && !sub.iter().any(|&s| g.has_edge(s, u))
+            {
+                next_ext.push(u);
+            }
+        }
+        sub.push(w);
+        extend(g, root, sub, next_ext, d, visit);
+        sub.pop();
+    }
+}
+
+/// Number of connected induced subgraphs of size `d` (no isomorphism
+/// classing — the raw census size).
+pub fn connected_subgraph_count(g: &Graph, d: usize) -> u64 {
+    let mut count = 0u64;
+    for_each_connected_subgraph(g, d, |_| count += 1);
+    count
+}
+
+/// The dK-distribution of `g` for a given `d`: occurrence counts keyed by
+/// the canonical form of each degree-labeled connected induced subgraph.
+///
+/// Node labels are the degrees *in the host graph* `g`, per the dK-series
+/// definition.
+pub fn dk_distribution(g: &Graph, d: usize) -> HashMap<CanonicalForm, u64> {
+    let host_degrees: Vec<u32> = g.degrees().iter().map(|&x| x as u32).collect();
+    let mut dist: HashMap<CanonicalForm, u64> = HashMap::new();
+    for_each_connected_subgraph(g, d, |nodes| {
+        let k = nodes.len();
+        let mut sub = AdjacencyMatrix::empty(k);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if g.has_edge(nodes[i], nodes[j]) {
+                    sub.set_edge(i, j, true);
+                }
+            }
+        }
+        let labels: Vec<u32> = nodes.iter().map(|&v| host_degrees[v]).collect();
+        let form = canonical_form_labeled(&sub, &labels);
+        *dist.entry(form).or_insert(0) += 1;
+    });
+    dist
+}
+
+/// Number of distinct dK entries — the y-axis of Fig 1 ("number of distinct
+/// subgraphs", i.e. the parameter count of the dK specification).
+pub fn dk_parameter_count(g: &Graph, d: usize) -> usize {
+    dk_distribution(g, d).len()
+}
+
+/// Whether two graphs have identical dK-distributions for the given `d`.
+pub fn same_dk_distribution(a: &Graph, b: &Graph, d: usize) -> bool {
+    dk_distribution(a, d) == dk_distribution(b, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn subgraph_counts_on_path() {
+        // A path on n nodes has n−d+1 connected induced subgraphs of size d.
+        let g = path(6);
+        assert_eq!(connected_subgraph_count(&g, 1), 6);
+        assert_eq!(connected_subgraph_count(&g, 2), 5);
+        assert_eq!(connected_subgraph_count(&g, 3), 4);
+        assert_eq!(connected_subgraph_count(&g, 6), 1);
+        assert_eq!(connected_subgraph_count(&g, 7), 0);
+    }
+
+    #[test]
+    fn subgraph_counts_on_triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(connected_subgraph_count(&g, 2), 3);
+        assert_eq!(connected_subgraph_count(&g, 3), 1);
+    }
+
+    #[test]
+    fn subgraph_counts_on_star() {
+        // Star on 5 nodes: every subset containing the hub is connected.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        // Size-3 connected subgraphs: hub + any 2 of 4 spokes = 6.
+        assert_eq!(connected_subgraph_count(&g, 3), 6);
+        assert_eq!(connected_subgraph_count(&g, 5), 1);
+    }
+
+    #[test]
+    fn each_subgraph_enumerated_once() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for_each_connected_subgraph(&g, 3, |nodes| {
+            assert!(seen.insert(nodes.to_vec()), "duplicate subgraph {nodes:?}");
+        });
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn dk2_on_path_counts_edge_classes() {
+        // Path on 4: degree labels [1,2,2,1]; edges (1,2)-labeled: two
+        // occurrences of {1,2}, one of {2,2} → 2 distinct classes.
+        let g = path(4);
+        let dist = dk_distribution(&g, 2);
+        assert_eq!(dist.len(), 2);
+        let mut counts: Vec<u64> = dist.values().copied().collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 2]);
+    }
+
+    #[test]
+    fn dk3_distinguishes_wedge_from_triangle() {
+        // 4-cycle: all size-3 subgraphs are wedges with labels {2,2,2}.
+        let c4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let dist = dk_distribution(&c4, 3);
+        assert_eq!(dist.len(), 1);
+        assert_eq!(*dist.values().next().unwrap(), 4);
+        // Triangle graph: single size-3 class but it IS a triangle — the
+        // canonical forms must differ from the wedge class.
+        let k3 = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let t = dk_distribution(&k3, 3);
+        assert_eq!(t.len(), 1);
+        assert_ne!(dist.keys().next().unwrap().bits, t.keys().next().unwrap().bits);
+    }
+
+    #[test]
+    fn isomorphic_graphs_share_dk() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+            .unwrap();
+        let perm = g.to_adjacency_matrix().permuted(&[2, 4, 0, 5, 1, 3]).to_graph();
+        for d in 1..=4 {
+            assert!(same_dk_distribution(&g, &perm, d), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn parameter_count_grows_with_d() {
+        // A moderately irregular graph: parameter count should not shrink
+        // as d grows from 2 to 3 (Fig 1's qualitative claim).
+        let g = Graph::from_edges(
+            8,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (3, 4), (4, 5), (5, 6), (6, 7), (4, 7), (2, 4)],
+        )
+        .unwrap();
+        let p2 = dk_parameter_count(&g, 2);
+        let p3 = dk_parameter_count(&g, 3);
+        assert!(p2 >= 1);
+        assert!(p3 >= p2, "p3 = {p3} < p2 = {p2}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Disjoint-set forest (union–find) with path halving and union by size.
+//!
+//! Used by Kruskal's MST (§4.1 GA seeding), the connectivity-repair step
+//! (§4.1.3) and fast connectivity predicates during brute-force enumeration.
+
+/// Disjoint-set forest over elements `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), size: vec![1; n], sets: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    /// Returns `true` if they were previously disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_disjoint() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.set_count(), 4);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.set_size(2), 1);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.set_size(1), 3);
+        assert_eq!(uf.set_size(3), 1);
+    }
+
+    #[test]
+    fn full_merge_leaves_one_set() {
+        let mut uf = UnionFind::new(6);
+        for i in 0..5 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.set_count(), 1);
+        for i in 0..6 {
+            assert!(uf.connected(0, i));
+        }
+    }
+}

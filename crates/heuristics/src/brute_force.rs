@@ -1,0 +1,133 @@
+//! Brute-force exact optimum for small instances (§5).
+//!
+//! "We start by comparing our results to the results of brute-force
+//! enumeration … we at least ensure that for networks of up to 8 PoPs that
+//! the GA always finds the real optimal solution."
+//!
+//! Every connected labeled graph on `n` nodes is enumerated (an edge-subset
+//! bitmask sweep) and evaluated. A cheap lower bound prunes most masks
+//! before the expensive routing evaluation: the `k0/k1/k3`-only part of the
+//! cost — which needs no routing — already exceeds the incumbent for most
+//! candidates, because the bandwidth term `k2·Σ t·L` is nonnegative.
+//!
+//! Practical limit: `n ≤ 7` (≈1.9M connected graphs). See DESIGN.md §5 for
+//! why the paper's n = 8 is replaced by n ≤ 7 here.
+
+use crate::HeuristicResult;
+use cold_cost::CostEvaluator;
+use cold_graph::enumerate::{mask_is_connected, matrix_from_mask, pair_table};
+
+/// Hard cap on `n` (2^28 masks at n = 8 with O(n³) evaluation each is a
+/// CPU-days job; 7 keeps the sweep in seconds-to-minutes).
+pub const MAX_BRUTE_FORCE_NODES: usize = 7;
+
+/// Finds the exact minimum-cost connected topology by exhaustive search.
+///
+/// # Panics
+/// Panics if `n > MAX_BRUTE_FORCE_NODES` or `n < 2`.
+pub fn brute_force_optimum(eval: &CostEvaluator<'_>) -> HeuristicResult {
+    let n = eval.ctx.n();
+    assert!(
+        (2..=MAX_BRUTE_FORCE_NODES).contains(&n),
+        "brute force supports 2 <= n <= {MAX_BRUTE_FORCE_NODES}, got {n}"
+    );
+    let pairs = pair_table(n);
+    let total: u64 = 1u64 << pairs.len();
+    // Per-pair fixed cost (k0 + k1·ℓ) for the pruning lower bound.
+    let fixed: Vec<f64> = pairs
+        .iter()
+        .map(|&(u, v)| eval.params.k0 + eval.params.k1 * eval.ctx.distance(u, v))
+        .collect();
+    let min_edges = (n - 1) as u32;
+    let mut best_cost = f64::INFINITY;
+    let mut best_mask = 0u64;
+    for mask in 0..total {
+        if mask.count_ones() < min_edges {
+            continue;
+        }
+        // Lower bound: fixed link costs + hub cost, no routing needed.
+        let mut bound = 0.0;
+        let mut degree = [0u32; MAX_BRUTE_FORCE_NODES];
+        let mut bits = mask;
+        while bits != 0 {
+            let p = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            bound += fixed[p];
+            degree[pairs[p].0] += 1;
+            degree[pairs[p].1] += 1;
+        }
+        bound += eval.params.k3 * degree[..n].iter().filter(|&&d| d > 1).count() as f64;
+        if bound >= best_cost {
+            continue;
+        }
+        if !mask_is_connected(n, mask, &pairs) {
+            continue;
+        }
+        let topo = matrix_from_mask(n, mask);
+        let cost = eval.cost(&topo).expect("connected by construction");
+        if cost < best_cost {
+            best_cost = cost;
+            best_mask = mask;
+        }
+    }
+    HeuristicResult { topology: matrix_from_mask(n, best_mask), cost: best_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_context::ContextConfig;
+    use cold_cost::CostParams;
+    use cold_graph::mst::mst_matrix;
+
+    #[test]
+    fn k1_dominant_optimum_is_mst() {
+        let ctx = ContextConfig::paper_default(5).generate(1);
+        let eval = CostEvaluator::new(&ctx, CostParams::new(0.0, 1000.0, 0.0, 0.0));
+        let r = brute_force_optimum(&eval);
+        let mst = mst_matrix(5, ctx.distance_fn());
+        assert!((r.cost - eval.cost(&mst).unwrap()).abs() < 1e-9);
+        assert_eq!(r.topology.edge_count(), 4);
+    }
+
+    #[test]
+    fn k2_dominant_optimum_is_clique() {
+        let ctx = ContextConfig::paper_default(4).generate(2);
+        let eval = CostEvaluator::new(&ctx, CostParams::new(1e-9, 1e-9, 1000.0, 0.0));
+        let r = brute_force_optimum(&eval);
+        assert_eq!(r.topology.edge_count(), 6, "clique expected when k2 dominates");
+    }
+
+    #[test]
+    fn k3_dominant_optimum_is_single_hub() {
+        let ctx = ContextConfig::paper_default(5).generate(3);
+        let eval = CostEvaluator::new(&ctx, CostParams::new(0.01, 0.01, 0.0, 1e6));
+        let r = brute_force_optimum(&eval);
+        let hubs = r.topology.degrees().iter().filter(|&&d| d > 1).count();
+        assert_eq!(hubs, 1);
+        assert_eq!(r.topology.edge_count(), 4);
+    }
+
+    #[test]
+    fn optimum_beats_all_heuristics() {
+        let ctx = ContextConfig::paper_default(6).generate(4);
+        let eval = CostEvaluator::new(&ctx, CostParams::paper(4e-4, 10.0));
+        let opt = brute_force_optimum(&eval);
+        for (name, r) in crate::all_heuristics(&eval, &Default::default(), 5) {
+            assert!(
+                opt.cost <= r.cost + 1e-9,
+                "{name} ({}) beat the brute-force optimum ({})",
+                r.cost,
+                opt.cost
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force supports")]
+    fn oversized_instance_rejected() {
+        let ctx = ContextConfig::paper_default(9).generate(5);
+        let eval = CostEvaluator::new(&ctx, CostParams::default());
+        brute_force_optimum(&eval);
+    }
+}

@@ -1,0 +1,82 @@
+//! ISP planning scenario — the introduction's motivating example.
+//!
+//! "A newly formed network servicing a burgeoning market in a developing
+//! country wishes primarily to provide connectivity as quickly and as
+//! cheaply as possible. As the market matures there is an incentive to
+//! increase the level of service by providing higher bandwidth, lower
+//! latency, or more reliability." (§1)
+//!
+//! We synthesize the *same* market (same PoP locations and traffic — the
+//! context is held fixed) under three successive business postures and
+//! watch the designed network evolve, then grow the market itself.
+//!
+//! ```sh
+//! cargo run --release --example isp_planning
+//! ```
+
+use cold::{ColdConfig, NetworkStats, SynthesisMode};
+use cold_cost::CostParams;
+
+fn describe(label: &str, r: &cold::SynthesisResult) {
+    let s: &NetworkStats = &r.stats;
+    println!(
+        "{label:<28} links {:>3}  avg deg {:>4.2}  diam {:>2}  gcc {:>5.3}  hubs {:>2}  cost {:>9.1}",
+        r.network.link_count(),
+        s.average_degree,
+        s.diameter,
+        s.global_clustering,
+        s.hubs,
+        r.network.total_cost()
+    );
+}
+
+fn main() {
+    let n = 25;
+    let seed = 7;
+    let base = ColdConfig { mode: SynthesisMode::Initialized, ..ColdConfig::paper(n, 1e-4, 0.0) };
+    // One market: a single fixed context shared by all postures.
+    let ctx = base.context.generate(seed);
+
+    println!("== growth of one ISP across business postures (n = {n}) ==\n");
+    // Posture 1: startup — minimize build-out (k0/k1 dominate, no
+    // bandwidth premium, hubs strongly discouraged to keep ops simple).
+    let startup = ColdConfig { params: CostParams::paper(2.5e-5, 100.0), ..base };
+    // Posture 2: growing — bandwidth starts to matter, some hubs are
+    // affordable.
+    let growing = ColdConfig { params: CostParams::paper(4e-4, 10.0), ..base };
+    // Posture 3: mature — premium service: short routes and high
+    // bandwidth dominate the objective.
+    let mature = ColdConfig { params: CostParams::paper(1.6e-3, 0.0), ..base };
+
+    let r1 = startup.synthesize_in_context(ctx.clone(), seed);
+    let r2 = growing.synthesize_in_context(ctx.clone(), seed);
+    let r3 = mature.synthesize_in_context(ctx.clone(), seed);
+    describe("startup (lean build)", &r1);
+    describe("growing (balanced)", &r2);
+    describe("mature (premium service)", &r3);
+
+    println!(
+        "\nbandwidth share of total cost: startup {:.0}%, growing {:.0}%, mature {:.0}%",
+        100.0 * r1.network.cost.bandwidth / r1.network.total_cost(),
+        100.0 * r2.network.cost.bandwidth / r2.network.total_cost(),
+        100.0 * r3.network.cost.bandwidth / r3.network.total_cost()
+    );
+
+    // Market growth: same posture, scaling the PoP count — §8: "If small
+    // networks can be generated, so can larger networks".
+    println!("\n== market growth at the 'growing' posture ==\n");
+    for (i, n) in [15usize, 25, 40].into_iter().enumerate() {
+        let cfg = ColdConfig {
+            context: cold_context::ContextConfig::paper_default(n),
+            ..growing
+        };
+        let r = cfg.synthesize(seed + i as u64);
+        describe(&format!("market with {n} PoPs"), &r);
+    }
+
+    // Reliability check the paper's requirement 2 (carry all traffic):
+    // every link's installed capacity covers its routed load.
+    let worst = r2.network.plan.max_utilization();
+    println!("\nmax link utilization in the 'growing' design: {worst:.2} (must be <= 1)");
+    assert!(worst <= 1.0 + 1e-9);
+}

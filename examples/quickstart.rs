@@ -1,0 +1,54 @@
+//! Quickstart: synthesize one PoP-level network and inspect it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cold::{ColdConfig, SynthesisMode};
+
+fn main() {
+    // 20 PoPs uniform on the unit square, exponential populations,
+    // gravity traffic; paper cost preset k0 = 10, k1 = 1 with a moderate
+    // bandwidth cost and hub cost.
+    let mut config = ColdConfig::paper(20, 4e-4, 10.0);
+    config.mode = SynthesisMode::Initialized;
+
+    let result = config.synthesize(42);
+    let net = &result.network;
+
+    println!("synthesized a {}-PoP network with {} links", net.n(), net.link_count());
+    println!("total cost        : {:.1}", net.total_cost());
+    println!(
+        "  existence/length/bandwidth/hub = {:.1} / {:.1} / {:.1} / {:.1}",
+        net.cost.existence, net.cost.length, net.cost.bandwidth, net.cost.hub
+    );
+    println!("GA generations    : {}", result.generations_run);
+    println!("objective evals   : {}", result.evaluations);
+    println!("repair rate       : {:.3}", result.repair_rate);
+    if let Some((name, cost)) = result.best_heuristic() {
+        println!("best greedy seed  : {name} at cost {cost:.1}");
+    }
+
+    let s = &result.stats;
+    println!("\ntopology statistics (paper §6):");
+    println!("  average degree  : {:.2}", s.average_degree);
+    println!("  CVND            : {:.2}", s.cvnd);
+    println!("  diameter        : {}", s.diameter);
+    println!("  clustering (GCC): {:.3}", s.global_clustering);
+    println!("  hubs / leaves   : {} / {}", s.hubs, s.leaves);
+
+    println!("\nfirst five links (with the simulation-ready annotations):");
+    for l in net.links.iter().take(5) {
+        println!(
+            "  {:>2} -- {:<2}  length {:.3}  load {:>9.1}  capacity {:>9.1}",
+            l.u, l.v, l.length, l.load, l.capacity
+        );
+    }
+    let route = net.route(0, net.n() - 1).expect("network is connected");
+    println!("\nshortest route 0 -> {}: {:?}", net.n() - 1, route);
+
+    // Export for visualization: `dot -Kneato -Tpng quickstart.dot -o out.png`.
+    let dot = cold::export::to_dot(net, &result.context);
+    std::fs::write("quickstart.dot", dot).expect("write quickstart.dot");
+    println!("\nwrote quickstart.dot (render with: dot -Kneato -Tpng quickstart.dot)");
+}

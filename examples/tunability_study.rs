@@ -1,0 +1,61 @@
+//! Tunability study — dial the cost knobs and watch the network family
+//! change (a miniature of the paper's §6).
+//!
+//! ```sh
+//! cargo run --release --example tunability_study
+//! ```
+
+use cold::sweep::{log_space, SweepPlan, SweepPoint};
+use cold::ColdConfig;
+
+fn main() {
+    let n = 16;
+    let trials = 5;
+    let k2s = log_space(2.5e-5, 1.6e-3, 4);
+    let k3s = [0.0, 10.0, 1000.0];
+    let mut points = Vec::new();
+    for &k3 in &k3s {
+        for &k2 in &k2s {
+            points.push(SweepPoint { k2, k3 });
+        }
+    }
+    let plan = SweepPlan {
+        base: ColdConfig::quick(n, 1e-4, 0.0),
+        points,
+        trials,
+        stats: vec![
+            "average_degree".into(),
+            "cvnd".into(),
+            "diameter".into(),
+            "global_clustering".into(),
+            "hubs".into(),
+        ],
+        seed: 2014,
+        confidence: 0.95,
+    };
+    println!("sweeping {} (k2, k3) points x {trials} trials, n = {n} ...\n", plan.points.len());
+    let cells = plan.run();
+
+    println!(
+        "{:>9} {:>7} | {:>8} {:>6} {:>5} {:>6} {:>5}",
+        "k2", "k3", "avg deg", "cvnd", "diam", "gcc", "hubs"
+    );
+    for c in &cells {
+        println!(
+            "{:>9.1e} {:>7.0} | {:>8.2} {:>6.2} {:>5.1} {:>6.3} {:>5.1}",
+            c.point.k2,
+            c.point.k3,
+            c.stat("average_degree").unwrap().mean,
+            c.stat("cvnd").unwrap().mean,
+            c.stat("diameter").unwrap().mean,
+            c.stat("global_clustering").unwrap().mean,
+            c.stat("hubs").unwrap().mean,
+        );
+    }
+
+    println!("\nreadings (the paper's §6 narrative):");
+    println!("  - average degree rises with k2 (direct links get cheaper relative to routes)");
+    println!("  - CVND and hub concentration respond to k3, not to the context (§7)");
+    println!("  - diameter is lowest at the extremes: meshes (high k2) and stars (high k3)");
+    println!("  - clustering climbs from tree-like (~0) toward cliquish as k2 grows");
+}

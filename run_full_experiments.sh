@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerates every paper artifact at (budgeted) full scale.
+# Per-experiment trial counts are sized for a single-core machine; raise
+# them (or drop --trials entirely for the paper's 20-200) on bigger irons.
+set -e
+cd "$(dirname "$0")"
+B="./target/release"
+$B/fig1 --full
+$B/fig2 --full
+$B/fig8a --full
+$B/table1 --full --trials 12
+$B/fig3 --full --trials 8
+$B/fig4 --full
+$B/fig5 --full --trials 12
+$B/fig8b --full --trials 12
+$B/sec5_bruteforce --full --trials 3
+$B/sec7_context --full --trials 15
+$B/ablations --full --trials 8
+$B/ga_vs_sa --full --trials 8
+echo "ALL EXPERIMENTS DONE"

@@ -1,0 +1,16 @@
+//! Umbrella crate for the COLD workspace.
+//!
+//! This crate exists so the repository-level `examples/` and `tests/`
+//! directories are first-class Cargo targets spanning every member crate.
+//! It re-exports the public API of each crate under one root so examples can
+//! use a single dependency.
+//!
+//! For the actual library documentation start at [`cold`].
+
+pub use cold;
+pub use cold_baselines as baselines;
+pub use cold_context as context;
+pub use cold_cost as cost;
+pub use cold_ga as ga;
+pub use cold_graph as graph;
+pub use cold_heuristics as heuristics;

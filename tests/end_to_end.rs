@@ -1,0 +1,143 @@
+//! End-to-end integration tests across the whole workspace: the full
+//! synthesis pipeline, its invariants, and its reproducibility.
+
+use cold::{ColdConfig, NetworkStats, SynthesisMode};
+use cold_cost::CostParams;
+use cold_graph::components::matrix_is_connected;
+
+#[test]
+fn full_pipeline_produces_consistent_network() {
+    let cfg = ColdConfig::quick(12, 4e-4, 10.0);
+    let r = cfg.synthesize(1);
+    let net = &r.network;
+
+    // Connected, spanning, and capacity-feasible.
+    assert!(matrix_is_connected(&net.topology));
+    assert!(net.link_count() >= net.n() - 1);
+    assert!(net.plan.max_utilization() <= 1.0 + 1e-9);
+
+    // Cost breakdown adds up and matches the link annotations.
+    let recomputed_length: f64 = net.links.iter().map(|l| l.length).sum();
+    assert!((net.cost.length - net.params.k1 * recomputed_length).abs() < 1e-6);
+    assert!(
+        (net.cost.existence - net.params.k0 * net.link_count() as f64).abs() < 1e-9
+    );
+    let bw: f64 = net.links.iter().map(|l| l.length * l.load).sum();
+    assert!((net.cost.bandwidth - net.params.k2 * bw).abs() < 1e-6 * (1.0 + bw.abs()));
+    let hubs = net.topology.degrees().iter().filter(|&&d| d > 1).count();
+    assert!((net.cost.hub - net.params.k3 * hubs as f64).abs() < 1e-9);
+
+    // Every pairwise demand has a route, and the route's links exist.
+    for s in 0..net.n() {
+        for t in 0..net.n() {
+            let route = net.route(s, t).expect("connected network routes everything");
+            assert_eq!(route[0], s);
+            assert_eq!(*route.last().unwrap(), t);
+            for w in route.windows(2) {
+                assert!(net.topology.has_edge(w[0], w[1]), "route uses missing link {w:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn synthesis_is_bitwise_reproducible() {
+    let cfg = ColdConfig::quick(10, 1e-4, 100.0);
+    let a = cfg.synthesize(77);
+    let b = cfg.synthesize(77);
+    assert_eq!(a.network.topology, b.network.topology);
+    assert_eq!(a.best_cost_history, b.best_cost_history);
+    assert_eq!(a.heuristic_costs, b.heuristic_costs);
+    assert_eq!(a.stats, b.stats);
+    // And parallel ensembles reproduce too.
+    let e1 = cfg.ensemble(5, 3);
+    let e2 = cfg.ensemble(5, 3);
+    for (x, y) in e1.iter().zip(&e2) {
+        assert_eq!(x.network.topology, y.network.topology);
+    }
+}
+
+#[test]
+fn initialized_ga_never_loses_to_its_seeds() {
+    for seed in 0..3u64 {
+        let cfg = ColdConfig::quick(11, 1e-3, 10.0);
+        let r = cfg.synthesize(seed);
+        for (name, cost) in &r.heuristic_costs {
+            assert!(
+                r.best_cost() <= cost + 1e-9,
+                "seed {seed}: GA ({}) lost to {name} ({cost})",
+                r.best_cost()
+            );
+        }
+    }
+}
+
+#[test]
+fn cost_parameter_extremes_produce_the_paper_archetypes() {
+    // §3.2.3's four limit cases, end to end at small n.
+    let n = 9;
+    // k0/k1 dominant ⇒ spanning tree (minimum links).
+    let tree = ColdConfig::quick(n, 1e-9, 0.0).synthesize(2);
+    assert_eq!(tree.network.link_count(), n - 1, "k0/k1 dominance must give a tree");
+    // k2 dominant ⇒ clique-ward (at least strictly denser than a tree).
+    let mut meshy_cfg = ColdConfig::quick(n, 10.0, 0.0);
+    meshy_cfg.params = CostParams::new(1e-6, 1e-6, 10.0, 0.0);
+    let mesh = meshy_cfg.synthesize(2);
+    assert_eq!(
+        mesh.network.link_count(),
+        n * (n - 1) / 2,
+        "overwhelming k2 must give the clique"
+    );
+    // k3 dominant ⇒ hub-and-spoke (single core node).
+    let mut hub_cfg = ColdConfig::quick(n, 1e-9, 1e9);
+    hub_cfg.params = CostParams::new(0.01, 0.01, 0.0, 1e9);
+    let hub = hub_cfg.synthesize(2);
+    assert_eq!(hub.stats.hubs, 1, "overwhelming k3 must give a star");
+    assert_eq!(hub.stats.diameter, 2);
+}
+
+#[test]
+fn ensemble_members_are_distinct_networks() {
+    let cfg = ColdConfig::quick(10, 4e-4, 10.0);
+    let ensemble = cfg.ensemble(9, 5);
+    let mut distinct = 0;
+    for i in 0..ensemble.len() {
+        for j in (i + 1)..ensemble.len() {
+            if ensemble[i].network.topology != ensemble[j].network.topology {
+                distinct += 1;
+            }
+        }
+    }
+    assert_eq!(distinct, 10, "all pairs should differ (contexts are randomized)");
+}
+
+#[test]
+fn ga_only_and_initialized_agree_on_easy_instances() {
+    // On an easy instance (k0/k1 dominant, small n) both modes find
+    // tree-cost optima of the same quality.
+    let ctx = ColdConfig::quick(8, 1e-9, 0.0).context.generate(3);
+    let plain = ColdConfig { mode: SynthesisMode::GaOnly, ..ColdConfig::quick(8, 1e-9, 0.0) }
+        .synthesize_in_context(ctx.clone(), 4);
+    let init = ColdConfig::quick(8, 1e-9, 0.0).synthesize_in_context(ctx, 4);
+    assert!((plain.best_cost() - init.best_cost()).abs() < 1e-6 * init.best_cost());
+}
+
+#[test]
+fn stats_agree_with_direct_computation() {
+    let r = ColdConfig::quick(10, 4e-4, 10.0).synthesize(6);
+    let direct = NetworkStats::compute(&r.network.graph()).unwrap();
+    assert_eq!(r.stats, direct);
+}
+
+#[test]
+fn exports_are_consistent_with_each_other() {
+    let r = ColdConfig::quick(8, 4e-4, 10.0).synthesize(7);
+    let dot = cold::export::to_dot(&r.network, &r.context);
+    let xml = cold::export::to_graphml(&r.network, &r.context);
+    let json: serde_json::Value =
+        serde_json::from_str(&cold::export::to_json(&r.network, &r.context)).unwrap();
+    let m = r.network.link_count();
+    assert_eq!(dot.matches(" -- ").count(), m);
+    assert_eq!(xml.matches("<edge ").count(), m);
+    assert_eq!(json["links"].as_array().unwrap().len(), m);
+}

@@ -1,0 +1,164 @@
+//! Integration tests pinning the paper's *claims* (as opposed to code
+//! invariants): the §3.2.3 cost-limit taxonomy against brute force, the
+//! §5 optimality statement, §6 tunability directions, and §7's hub-cost
+//! necessity argument.
+
+use cold::{ColdConfig, SynthesisMode};
+use cold_context::ContextConfig;
+use cold_cost::{CostEvaluator, CostParams};
+use cold_graph::metrics::{cvnd, global_clustering};
+use cold_graph::mst::mst_matrix;
+use cold_heuristics::brute_force_optimum;
+
+/// §3.2.3: "if [k1] dominates, then the optimum solution is a minimum
+/// spanning tree" — verified against exhaustive enumeration.
+#[test]
+fn k1_dominant_brute_force_optimum_is_the_mst() {
+    for seed in 0..3u64 {
+        let ctx = ContextConfig::paper_default(6).generate(seed);
+        let eval = CostEvaluator::new(&ctx, CostParams::new(0.0, 1.0, 0.0, 0.0));
+        let opt = brute_force_optimum(&eval);
+        let mst = mst_matrix(6, ctx.distance_fn());
+        assert!(
+            (opt.cost - eval.cost(&mst).unwrap()).abs() < 1e-9,
+            "seed {seed}: optimum {} vs MST {}",
+            opt.cost,
+            eval.cost(&mst).unwrap()
+        );
+    }
+}
+
+/// §3.2.3: "when k2 dominates … the result will be a clique".
+#[test]
+fn k2_dominant_brute_force_optimum_is_the_clique() {
+    let ctx = ContextConfig::paper_default(5).generate(1);
+    let eval = CostEvaluator::new(&ctx, CostParams::new(1e-9, 1e-9, 1.0, 0.0));
+    let opt = brute_force_optimum(&eval);
+    assert_eq!(opt.topology.edge_count(), 10);
+}
+
+/// §3.2.3: "If [k3] is dominant, the optimal network will have only one
+/// node with degree greater than one".
+#[test]
+fn k3_dominant_brute_force_optimum_is_hub_and_spoke() {
+    let ctx = ContextConfig::paper_default(6).generate(2);
+    let eval = CostEvaluator::new(&ctx, CostParams::new(0.001, 0.001, 0.0, 1e9));
+    let opt = brute_force_optimum(&eval);
+    let hubs = opt.topology.degrees().iter().filter(|&&d| d > 1).count();
+    assert_eq!(hubs, 1);
+}
+
+/// §5: "the GA always finds the real optimal solution" for small networks
+/// (initialized variant; see DESIGN.md §5 for the n ≤ 7 bound).
+#[test]
+fn initialized_ga_matches_brute_force_on_small_instances() {
+    let mut exact = 0;
+    let mut total = 0;
+    for seed in 0..2u64 {
+        for (k2, k3) in [(1e-4, 0.0), (1e-3, 50.0)] {
+            let cfg = ColdConfig::quick(6, k2, k3);
+            let ctx = cfg.context.generate(seed);
+            let eval = CostEvaluator::new(&ctx, cfg.params);
+            let bf = brute_force_optimum(&eval);
+            let ga = cfg.synthesize_in_context(ctx.clone(), seed);
+            total += 1;
+            if (ga.best_cost() - bf.cost).abs() < 1e-9 {
+                exact += 1;
+            }
+        }
+    }
+    assert_eq!(exact, total, "GA missed the optimum on {}/{total} instances", total - exact);
+}
+
+/// §6 (Fig 5): average degree increases with k2.
+#[test]
+fn average_degree_monotone_in_k2_on_shared_contexts() {
+    let n = 10;
+    let (mut lo_sum, mut hi_sum) = (0.0, 0.0);
+    for seed in 0..3u64 {
+        let lo_cfg = ColdConfig::quick(n, 1e-5, 0.0);
+        let hi_cfg = ColdConfig::quick(n, 5e-2, 0.0);
+        let ctx = lo_cfg.context.generate(seed);
+        lo_sum += lo_cfg.synthesize_in_context(ctx.clone(), seed).stats.average_degree;
+        hi_sum += hi_cfg.synthesize_in_context(ctx, seed).stats.average_degree;
+    }
+    assert!(
+        hi_sum > lo_sum + 0.5,
+        "degree must rise with k2: low {lo_sum} vs high {hi_sum} (summed)"
+    );
+}
+
+/// §6 (Fig 7): clustering moves from tree-like 0 toward 1 as k2 grows.
+#[test]
+fn clustering_responds_to_k2() {
+    let n = 9;
+    let lo_cfg = ColdConfig::quick(n, 1e-6, 0.0);
+    let hi_cfg = ColdConfig::quick(n, 1e-1, 0.0);
+    let mut hi_total = 0.0;
+    for seed in 0..3u64 {
+        let ctx = lo_cfg.context.generate(seed);
+        let lo = lo_cfg.synthesize_in_context(ctx.clone(), seed);
+        let hi = hi_cfg.synthesize_in_context(ctx, seed);
+        assert!(global_clustering(&lo.network.graph()) < 0.05, "trees have ~no triangles");
+        hi_total += global_clustering(&hi.network.graph());
+    }
+    assert!(hi_total > 0.5, "huge k2 must produce clustered (clique-ward) networks");
+}
+
+/// §7 (Figs 8–9): the hub cost is what unlocks high CVND; the same
+/// contexts without k3 stay well below.
+#[test]
+fn hub_cost_is_needed_for_high_cvnd() {
+    let n = 11;
+    let mut no_hub = 0.0;
+    let mut with_hub = 0.0;
+    for seed in 0..3u64 {
+        let base = ColdConfig::quick(n, 1e-4, 0.0);
+        let hubby = ColdConfig::quick(n, 1e-4, 500.0);
+        let ctx = base.context.generate(seed);
+        no_hub += cvnd(&base.synthesize_in_context(ctx.clone(), seed).network.graph());
+        with_hub += cvnd(&hubby.synthesize_in_context(ctx, seed).network.graph());
+    }
+    let (no_hub, with_hub) = (no_hub / 3.0, with_hub / 3.0);
+    assert!(no_hub < 1.0, "without k3 the mean CVND ({no_hub}) must stay below 1");
+    assert!(with_hub > 1.2, "with a large k3 the mean CVND ({with_hub}) must exceed 1");
+}
+
+/// §7: heavy-tailed traffic alone (Pareto 10/9 — the extreme the paper
+/// trialled) raises CVND only a little; far less than the hub cost does.
+#[test]
+fn heavy_tailed_traffic_alone_does_not_substitute_for_k3() {
+    let n = 11;
+    let mut pareto_cvnd = 0.0;
+    let mut hub_cvnd = 0.0;
+    for seed in 0..3u64 {
+        let pareto = ColdConfig {
+            context: ContextConfig {
+                population: cold_context::PopulationKind::pareto_10_9(),
+                ..ContextConfig::paper_default(n)
+            },
+            ..ColdConfig::quick(n, 1e-4, 0.0)
+        };
+        let hubby = ColdConfig::quick(n, 1e-4, 500.0);
+        pareto_cvnd += pareto.synthesize(seed).stats.cvnd;
+        hub_cvnd += hubby.synthesize(seed).stats.cvnd;
+    }
+    assert!(
+        hub_cvnd > pareto_cvnd + 0.5,
+        "hub cost ({hub_cvnd}) must beat heavy tails ({pareto_cvnd}) at creating hubs (summed)"
+    );
+}
+
+/// Fig 3's qualitative structure on a shared context: initialized GA ≤
+/// plain GA and ≤ every greedy heuristic.
+#[test]
+fn fig3_ordering_holds_pointwise() {
+    let cfg = ColdConfig::quick(10, 4e-4, 10.0);
+    let ctx = cfg.context.generate(5);
+    let init = cfg.synthesize_in_context(ctx.clone(), 5);
+    let plain = ColdConfig { mode: SynthesisMode::GaOnly, ..cfg }.synthesize_in_context(ctx, 5);
+    assert!(init.best_cost() <= plain.best_cost() + 1e-9);
+    for (name, cost) in &init.heuristic_costs {
+        assert!(init.best_cost() <= cost + 1e-9, "initialized GA lost to {name}");
+    }
+}
