@@ -1,0 +1,258 @@
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! Implements the subset this workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros — with real
+//! wall-clock measurement (warmup, calibrated iterations per sample,
+//! min/median/max over samples). Positional command-line arguments act
+//! as substring filters on benchmark names; flags are ignored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; owns output and name filters.
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion { filters }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, id, 20, f);
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_name.contains(f))
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(self.criterion, &full, self.sample_size, f);
+    }
+
+    /// Benchmarks `f` under `group/id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(self.criterion, &full, self.sample_size, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, optionally combining a function name and parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`-style id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// Id that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measurement.
+pub struct Bencher {
+    iters_per_sample: u64,
+    /// Mean nanoseconds per iteration of each sample, filled by `iter`.
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`, recording per-iteration wall-clock times.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / self.iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_benchmark<F>(criterion: &Criterion, full_name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !criterion.matches(full_name) {
+        return;
+    }
+
+    // Calibration pass: estimate one iteration's cost, then pick an
+    // iteration count per sample targeting ~10 ms of work.
+    let mut probe = Bencher { iters_per_sample: 1, samples_ns: Vec::new(), sample_size: 1 };
+    let warm_start = Instant::now();
+    f(&mut probe);
+    let est_ns = probe.samples_ns.last().copied().unwrap_or(1.0).max(1.0);
+    // Keep warming until ~50 ms have passed so caches and clocks settle.
+    while warm_start.elapsed() < Duration::from_millis(50) {
+        let mut w = Bencher { iters_per_sample: 1, samples_ns: Vec::new(), sample_size: 1 };
+        f(&mut w);
+    }
+
+    let target_sample_ns = 10_000_000.0;
+    let iters_per_sample = ((target_sample_ns / est_ns) as u64).clamp(1, 1_000_000);
+
+    let mut bencher = Bencher {
+        iters_per_sample,
+        samples_ns: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+
+    let mut samples = bencher.samples_ns;
+    if samples.is_empty() {
+        println!("{full_name:<40} (no measurement: routine never called iter)");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{full_name:<40} time:   [{} {} {}]  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max),
+        samples.len(),
+        iters_per_sample,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_without_panicking() {
+        let mut c = Criterion { filters: Vec::new() };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                (0..n).sum::<u64>()
+            });
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filters_skip_unmatched_names() {
+        let mut c = Criterion { filters: vec!["only-this".to_string()] };
+        let mut ran = false;
+        c.bench_function("something-else", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("mst", 30).label, "mst/30");
+        assert_eq!(BenchmarkId::from_parameter(99).label, "99");
+    }
+}

@@ -1,0 +1,72 @@
+//! Vendored, dependency-free stand-in for the slice of `crossbeam` this
+//! workspace uses: [`scope`] with [`Scope::spawn`].
+//!
+//! Since Rust 1.63 the standard library ships scoped threads, so this shim
+//! simply adapts `std::thread::scope` to crossbeam's calling convention:
+//! `scope` returns a `Result` (Err when any spawned thread panicked) and
+//! spawned closures receive an ignored argument (crossbeam passes a
+//! `&Scope` there; every caller in this workspace writes `|_|`).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Error payload of a panicked scope, mirroring `std::thread::Result`.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope handle onto which jobs can be spawned.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure's argument is a placeholder for
+    /// crossbeam's nested-scope handle and is always `()` here.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Runs `f` with a [`Scope`]; all spawned threads are joined before this
+/// returns. Returns `Err` when the closure or any spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scope;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_work_completes_before_scope_returns() {
+        let counter = AtomicUsize::new(0);
+        let mut slots = vec![0usize; 8];
+        scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    *slot = i * 2;
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert_eq!(slots, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

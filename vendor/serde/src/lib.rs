@@ -1,0 +1,237 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! The real serde's zero-copy serializer/deserializer machinery is far
+//! more than this workspace needs: every consumer here serializes configs
+//! and reports to JSON (via the vendored `serde_json`) and occasionally
+//! parses JSON back into a [`Value`] tree. So this stand-in collapses the
+//! data model to exactly that tree:
+//!
+//! - [`Serialize`] is "convert yourself into a [`Value`]";
+//! - [`Deserialize`] is "reconstruct yourself from a [`Value`]";
+//! - the derive macros (re-exported from the vendored `serde_derive`)
+//!   generate those conversions with upstream-compatible shapes
+//!   (externally tagged enums, field-name objects).
+//!
+//! `serde_json` re-exports [`Value`]/[`Map`]/[`Number`] and layers text
+//! parsing/printing on top.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{Map, Number, Value};
+
+/// Types that can be converted into a JSON [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a JSON [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`]; `None` on shape mismatch.
+    fn from_json_value(v: &Value) -> Option<Self>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Option<Self> {
+        Some(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Option<Self> {
+        v.as_bool()
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::UInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Option<Self> {
+                <$t>::try_from(v.as_u64()?).ok()
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 {
+                    Value::Number(Number::UInt(i as u64))
+                } else {
+                    Value::Number(Number::Int(i))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Option<Self> {
+                <$t>::try_from(v.as_i64()?).ok()
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let f = *self as f64;
+                if f.is_finite() {
+                    Value::Number(Number::Float(f))
+                } else {
+                    // JSON has no NaN/Inf; mirror serde_json's Value::Null.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Option<Self> {
+                Some(v.as_f64()? as $t)
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Option<Self> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Option<Self> {
+        v.as_array()?.iter().map(T::from_json_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Null => Some(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Value) -> Option<Self> {
+                let arr = v.as_array()?;
+                Some(($($name::from_json_value(arr.get($idx)?)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(usize::from_json_value(&7usize.to_json_value()), Some(7));
+        assert_eq!(i64::from_json_value(&(-3i64).to_json_value()), Some(-3));
+        assert_eq!(f64::from_json_value(&1.5f64.to_json_value()), Some(1.5));
+        assert_eq!(bool::from_json_value(&true.to_json_value()), Some(true));
+        assert_eq!(String::from_json_value(&"hi".to_json_value()), Some("hi".to_string()));
+        assert_eq!(
+            <Vec<u64>>::from_json_value(&vec![1u64, 2, 3].to_json_value()),
+            Some(vec![1, 2, 3])
+        );
+        assert_eq!(
+            <(f64, f64)>::from_json_value(&(0.5f64, 2.0f64).to_json_value()),
+            Some((0.5, 2.0))
+        );
+        assert_eq!(<Option<u64>>::from_json_value(&Value::Null), Some(None));
+    }
+
+    #[test]
+    fn nan_serializes_to_null() {
+        assert_eq!(f64::NAN.to_json_value(), Value::Null);
+    }
+}

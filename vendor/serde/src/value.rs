@@ -1,0 +1,383 @@
+//! The JSON value tree shared by the vendored `serde` and `serde_json`.
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A nonnegative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A (finite) float.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `f64` (always possible, up to rounding).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::UInt(u) => u as f64,
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The value as `u64` if it is a nonnegative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::UInt(u) => Some(u),
+            Number::Int(i) => u64::try_from(i).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::UInt(u) => i64::try_from(u).ok(),
+            Number::Int(i) => Some(i),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::UInt(a), Number::UInt(b)) => a == b,
+            (Number::Int(a), Number::Int(b)) => a == b,
+            (Number::Float(a), Number::Float(b)) => a == b,
+            // Mixed integer/float compare by numeric value.
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+/// An insertion-ordered JSON object.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts `value` at `key`, replacing (in place) any existing entry.
+    /// Returns the previous value if the key was present.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// The value at `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON document: the vendored serde data model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered).
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`, if this is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is a nonnegative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object member by key (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.get(key)
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// Compact JSON text, matching `serde_json::to_string`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(true) => f.write_str("true"),
+            Value::Bool(false) => f.write_str("false"),
+            Value::Number(n) => match *n {
+                Number::UInt(u) => write!(f, "{u}"),
+                Number::Int(i) => write!(f, "{i}"),
+                Number::Float(x) if x.is_finite() => write!(f, "{x}"),
+                Number::Float(_) => f.write_str("null"),
+            },
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_json_string(f: &mut std::fmt::Formatter<'_>, s: &str) -> std::fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<&String> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &String) -> &Value {
+        &self[key.as_str()]
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_value_eq_uint {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_u64() == u64::try_from(*other).ok()
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+impl_value_eq_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i64() == Some(*other as i64)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+impl_value_eq_int!(i8, i16, i32, i64, isize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::Bool(true));
+        m.insert("b".into(), Value::Null);
+        let old = m.insert("a".into(), Value::Bool(false));
+        assert_eq!(old, Some(Value::Bool(true)));
+        assert_eq!(m.len(), 2);
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b"]);
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let v = Value::Object(Map::new());
+        assert!(v["nope"].is_null());
+        assert!(v["nope"]["deeper"].is_null());
+        assert!(v[3].is_null());
+    }
+
+    #[test]
+    fn numeric_equality_coerces() {
+        assert_eq!(Value::Number(Number::UInt(5)), 5usize);
+        assert!(Value::Number(Number::UInt(5)) == Value::Number(Number::UInt(5)));
+        assert_eq!(Value::Number(Number::Float(2.0)).as_f64(), Some(2.0));
+        assert!(Value::Number(Number::Float(5.0)) == Value::Number(Number::UInt(5)));
+    }
+}

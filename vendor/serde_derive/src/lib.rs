@@ -1,0 +1,435 @@
+//! Vendored, dependency-free stand-in for `serde_derive`.
+//!
+//! The real `serde_derive` (and its `syn`/`quote` dependency tree) is not
+//! available offline, so this crate hand-parses the derive input token
+//! stream and emits `Serialize`/`Deserialize` impls targeting the
+//! workspace's vendored `serde`, whose data model is a JSON value tree
+//! (`serde::Value`). Supported item shapes — everything this workspace
+//! derives on:
+//!
+//! - unit structs, named-field structs, tuple structs;
+//! - enums with unit, tuple and struct variants (externally tagged, like
+//!   upstream serde: `Unit` ↦ `"Unit"`, `New(x)` ↦ `{"New": x}`,
+//!   `Pair(a, b)` ↦ `{"Pair": [a, b]}`, `S { f }` ↦ `{"S": {"f": f}}`).
+//!
+//! Generic types are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` (`fn to_json_value(&self) -> serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, shape } => serialize_struct(name, shape),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (`fn from_json_value(&Value) -> Option<Self>`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, shape } => deserialize_struct(name, shape),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_top_level_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("serde derive (vendored): malformed enum `{name}`");
+            };
+            Item::Enum { name, variants: parse_variants(g.stream()) }
+        }
+        other => panic!("serde derive (vendored): unsupported item kind `{other}`"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        // `#` is always followed by the bracketed attribute body.
+        *i += 2;
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) / pub(super) / …
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive (vendored): expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `field: Type, …` returning the field names. Types are skipped
+/// token-wise, tracking `<…>` nesting so commas inside generics don't
+/// split fields (parens/brackets/braces are already atomic groups).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive (vendored): expected `:` after `{field}`, found {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Counts comma-separated fields at the top level of a tuple-field list.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut fields = 1usize;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                // A trailing comma does not open another field.
+                ',' if angle_depth == 0 && idx + 1 < tokens.len() => fields += 1,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde derive (vendored): explicit discriminants are not supported")
+            }
+            other => panic!("serde derive (vendored): unexpected token after variant: {other:?}"),
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn serialize_struct(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Named(fields) => {
+            let mut b = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                let _ = writeln!(
+                    b,
+                    "__m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_json_value(&self.{f}));"
+                );
+            }
+            b.push_str("::serde::Value::Object(__m)");
+            b
+        }
+        Shape::Tuple(k) => {
+            let mut b = String::from("::serde::Value::Array(::std::vec![");
+            for idx in 0..*k {
+                let _ = write!(b, "::serde::Serialize::to_json_value(&self.{idx}),");
+            }
+            b.push_str("])");
+            b
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vn} => \
+                     ::serde::Value::String(::std::string::String::from(\"{vn}\")),"
+                );
+            }
+            Shape::Tuple(k) => {
+                let binds: Vec<String> = (0..*k).map(|i| format!("__f{i}")).collect();
+                let inner = if *k == 1 {
+                    "::serde::Serialize::to_json_value(__f0)".to_string()
+                } else {
+                    let mut s = String::from("::serde::Value::Array(::std::vec![");
+                    for b in &binds {
+                        let _ = write!(s, "::serde::Serialize::to_json_value({b}),");
+                    }
+                    s.push_str("])");
+                    s
+                };
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vn}({}) => {{\n\
+                         let mut __m = ::serde::Map::new();\n\
+                         __m.insert(::std::string::String::from(\"{vn}\"), {inner});\n\
+                         ::serde::Value::Object(__m)\n\
+                     }}",
+                    binds.join(", ")
+                );
+            }
+            Shape::Named(fields) => {
+                let mut inner = String::from("let mut __i = ::serde::Map::new();\n");
+                for f in fields {
+                    let _ = writeln!(
+                        inner,
+                        "__i.insert(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json_value({f}));"
+                    );
+                }
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vn} {{ {} }} => {{\n\
+                         {inner}\
+                         let mut __m = ::serde::Map::new();\n\
+                         __m.insert(::std::string::String::from(\"{vn}\"), \
+                         ::serde::Value::Object(__i));\n\
+                         ::serde::Value::Object(__m)\n\
+                     }}",
+                    fields.join(", ")
+                );
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!("let _ = __v;\n::std::option::Option::Some({name})"),
+        Shape::Named(fields) => {
+            let mut b = String::from("let __obj = __v.as_object()?;\n");
+            let _ = write!(b, "::std::option::Option::Some({name} {{");
+            for f in fields {
+                let _ = write!(
+                    b,
+                    "\n{f}: ::serde::Deserialize::from_json_value(__obj.get(\"{f}\")?)?,"
+                );
+            }
+            b.push_str("\n})");
+            b
+        }
+        Shape::Tuple(k) => {
+            let mut b = String::from("let __arr = __v.as_array()?;\n");
+            let _ = write!(b, "::std::option::Option::Some({name}(");
+            for idx in 0..*k {
+                let _ = write!(
+                    b,
+                    "::serde::Deserialize::from_json_value(__arr.get({idx})?)?,"
+                );
+            }
+            b.push_str("))");
+            b
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(__v: &::serde::Value) -> ::std::option::Option<Self> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                let _ = writeln!(
+                    unit_arms,
+                    "\"{vn}\" => ::std::option::Option::Some({name}::{vn}),"
+                );
+            }
+            Shape::Tuple(1) => {
+                let _ = writeln!(
+                    tagged_arms,
+                    "\"{vn}\" => ::std::option::Option::Some({name}::{vn}(\
+                     ::serde::Deserialize::from_json_value(__val)?)),"
+                );
+            }
+            Shape::Tuple(k) => {
+                let mut fields = String::new();
+                for idx in 0..*k {
+                    let _ = write!(
+                        fields,
+                        "::serde::Deserialize::from_json_value(__arr.get({idx})?)?,"
+                    );
+                }
+                let _ = writeln!(
+                    tagged_arms,
+                    "\"{vn}\" => {{\n\
+                         let __arr = __val.as_array()?;\n\
+                         ::std::option::Option::Some({name}::{vn}({fields}))\n\
+                     }}"
+                );
+            }
+            Shape::Named(fs) => {
+                let mut fields = String::new();
+                for f in fs {
+                    let _ = write!(
+                        fields,
+                        "\n{f}: ::serde::Deserialize::from_json_value(__o.get(\"{f}\")?)?,"
+                    );
+                }
+                let _ = writeln!(
+                    tagged_arms,
+                    "\"{vn}\" => {{\n\
+                         let __o = __val.as_object()?;\n\
+                         ::std::option::Option::Some({name}::{vn} {{{fields}\n}})\n\
+                     }}"
+                );
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(__v: &::serde::Value) -> ::std::option::Option<Self> {{\n\
+                 if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                     return match __s {{\n{unit_arms}\
+                         _ => ::std::option::Option::None,\n\
+                     }};\n\
+                 }}\n\
+                 let __obj = __v.as_object()?;\n\
+                 let (__tag, __val) = __obj.iter().next()?;\n\
+                 let _ = __val;\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                     _ => ::std::option::Option::None,\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,248 @@
+//! Vendored, dependency-free stand-in for `serde_json`.
+//!
+//! Works against the vendored `serde`'s [`Value`] tree: [`to_string`] /
+//! [`to_string_pretty`] print any [`serde::Serialize`] type as JSON text,
+//! [`from_str`] parses JSON text back into any [`serde::Deserialize`]
+//! type (typically [`Value`] itself), and [`json!`] builds values inline.
+
+pub use serde::{Map, Number, Value};
+
+mod parse;
+mod print;
+
+pub use parse::from_str;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Serializes `value` as compact JSON text.
+///
+/// # Errors
+/// Kept for API compatibility; serialization of a [`Value`] tree cannot
+/// fail (non-finite floats become `null` at [`to_value`] time).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&to_value(value)))
+}
+
+/// Serializes `value` as pretty-printed JSON text (2-space indent).
+///
+/// # Errors
+/// Kept for API compatibility; see [`to_string`].
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&to_value(value)))
+}
+
+/// Error type for JSON parsing (and, vestigially, serialization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Builds a [`Value`] inline.
+///
+/// Supports the subset of the upstream macro this workspace uses: object
+/// literals with string-literal keys (values may themselves be nested
+/// object/array literals), array literals, `null`, `true`/`false`, and
+/// arbitrary serializable expressions (taken by reference, not moved).
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Implementation detail of [`json!`]: a tt-muncher in the style of the
+/// upstream macro, reduced to string-literal object keys.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    //////// entry points ////////
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(::std::vec::Vec::new())
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {{
+        let mut __object = $crate::Map::new();
+        $crate::json_internal!(@object __object ($($tt)+));
+        $crate::Value::Object(__object)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+
+    //////// array muncher: accumulates finished elements in [..] ////////
+    (@array [$($elems:expr,)*]) => {
+        ::std::vec![$($elems,)*]
+    };
+    // Separator (and trailing) commas between elements.
+    (@array [$($elems:expr,)*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+    // Special-form elements must be matched before the expr arms.
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null,] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Bool(true),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Bool(false),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [ $($nested:tt)* ] $($rest:tt)*) => {
+        $crate::json_internal!(
+            @array [$($elems,)* $crate::json_internal!([ $($nested)* ]),] $($rest)*
+        )
+    };
+    (@array [$($elems:expr,)*] { $($nested:tt)* } $($rest:tt)*) => {
+        $crate::json_internal!(
+            @array [$($elems,)* $crate::json_internal!({ $($nested)* }),] $($rest)*
+        )
+    };
+    // A plain expression element: `expr, rest` or a final `expr`.
+    (@array [$($elems:expr,)*] $next:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value(&$next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        ::std::vec![$($elems,)* $crate::to_value(&$last),]
+    };
+
+    //////// object muncher: inserts `"key": value` pairs in order ////////
+    (@object $object:ident ()) => {};
+    // Separator (and trailing) commas between entries.
+    (@object $object:ident (, $($rest:tt)*)) => {
+        $crate::json_internal!(@object $object ($($rest)*));
+    };
+    // Special-form values must be matched before the expr arms.
+    (@object $object:ident ($key:literal : null $($rest:tt)*)) => {
+        $object.insert(::std::string::String::from($key), $crate::Value::Null);
+        $crate::json_internal!(@object $object ($($rest)*));
+    };
+    (@object $object:ident ($key:literal : true $($rest:tt)*)) => {
+        $object.insert(::std::string::String::from($key), $crate::Value::Bool(true));
+        $crate::json_internal!(@object $object ($($rest)*));
+    };
+    (@object $object:ident ($key:literal : false $($rest:tt)*)) => {
+        $object.insert(::std::string::String::from($key), $crate::Value::Bool(false));
+        $crate::json_internal!(@object $object ($($rest)*));
+    };
+    (@object $object:ident ($key:literal : [ $($nested:tt)* ] $($rest:tt)*)) => {
+        $object.insert(
+            ::std::string::String::from($key),
+            $crate::json_internal!([ $($nested)* ]),
+        );
+        $crate::json_internal!(@object $object ($($rest)*));
+    };
+    (@object $object:ident ($key:literal : { $($nested:tt)* } $($rest:tt)*)) => {
+        $object.insert(
+            ::std::string::String::from($key),
+            $crate::json_internal!({ $($nested)* }),
+        );
+        $crate::json_internal!(@object $object ($($rest)*));
+    };
+    // A plain expression value: `"key": expr, rest` or a final one.
+    (@object $object:ident ($key:literal : $value:expr , $($rest:tt)*)) => {
+        $object.insert(::std::string::String::from($key), $crate::to_value(&$value));
+        $crate::json_internal!(@object $object ($($rest)*));
+    };
+    (@object $object:ident ($key:literal : $value:expr)) => {
+        $object.insert(::std::string::String::from($key), $crate::to_value(&$value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_documents() {
+        let xs = vec![1u64, 2, 3];
+        let v = json!({
+            "name": "cold",
+            "n": 3usize,
+            "xs": xs,
+            "rows": xs.iter().map(|&x| json!({"x": x, "sq": x * x})).collect::<Vec<_>>(),
+            "none": json!(null),
+            "inline": {"a": 1u64, "flag": true, "deep": {"b": [1u64, null]}},
+        });
+        assert_eq!(v["name"], "cold");
+        assert_eq!(v["n"], 3usize);
+        assert_eq!(v["xs"].as_array().unwrap().len(), 3);
+        assert_eq!(v["rows"][2]["sq"].as_u64(), Some(9));
+        assert!(v["none"].is_null());
+        assert_eq!(v["inline"]["a"], 1u64);
+        assert_eq!(v["inline"]["flag"], true);
+        assert_eq!(v["inline"]["deep"]["b"][0], 1u64);
+        assert!(v["inline"]["deep"]["b"][1].is_null());
+        // `xs` was borrowed, not moved.
+        assert_eq!(xs.len(), 3);
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let v = json!({
+            "a": 1usize,
+            "b": [1.5f64, -2.0f64],
+            "c": {"nested": true},
+            "s": "quote \" backslash \\ newline \n done",
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).expect("parses");
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({"k": [1u64]});
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 trailing").is_err());
+    }
+
+    #[test]
+    fn numbers_classify_on_parse() {
+        let v: Value = from_str("[5, -5, 5.5, 1e3]").unwrap();
+        assert_eq!(v[0].as_u64(), Some(5));
+        assert_eq!(v[1].as_i64(), Some(-5));
+        assert_eq!(v[1].as_u64(), None);
+        assert_eq!(v[2].as_f64(), Some(5.5));
+        assert_eq!(v[3].as_f64(), Some(1000.0));
+    }
+}
