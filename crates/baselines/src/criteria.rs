@@ -4,7 +4,7 @@
 //! Table 1 compares ER, Waxman, PLRG, HOT, dK-series and COLD on:
 //!
 //! 1. statistical variation, 2. meets constraints, 3. meaningful
-//! parameters, 4. tunable, 5. generates network, 6. simple model.
+//!    parameters, 4. tunable, 5. generates network, 6. simple model.
 //!
 //! Criteria 1, 2, 5 and 6 are *measured* here (distinct outputs across
 //! seeds; connectivity + capacity feasibility; presence of
@@ -166,14 +166,13 @@ pub fn evaluate_model(model: &dyn SynthesisModel, trials: usize, base_seed: u64)
     };
 
     // 5. Generates a network (capacities + routes on every sample).
-    let generates_network =
-        if outputs.iter().all(|o| o.has_capacities && o.has_routes) {
-            Score::Yes
-        } else if outputs.iter().any(|o| o.has_capacities || o.has_routes) {
-            Score::Partial
-        } else {
-            Score::No
-        };
+    let generates_network = if outputs.iter().all(|o| o.has_capacities && o.has_routes) {
+        Score::Yes
+    } else if outputs.iter().any(|o| o.has_capacities || o.has_routes) {
+        Score::Partial
+    } else {
+        Score::No
+    };
 
     let declared = model.declared();
     let simple_model =

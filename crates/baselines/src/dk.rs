@@ -68,7 +68,8 @@ pub fn generate_1k(
     }
     let n = seq.len();
     let mut m = AdjacencyMatrix::empty(n);
-    let mut residual: Vec<(usize, usize)> = seq.iter().copied().enumerate().map(|(v, d)| (d, v)).collect();
+    let mut residual: Vec<(usize, usize)> =
+        seq.iter().copied().enumerate().map(|(v, d)| (d, v)).collect();
     loop {
         residual.sort_unstable_by(|a, b| b.cmp(a));
         let (d, v) = residual[0];
@@ -126,7 +127,9 @@ pub fn double_edge_swap(m: &mut AdjacencyMatrix, rng: &mut StdRng) -> bool {
 /// The joint degree matrix (2K-distribution in its compact form):
 /// `jdm[(a, b)]` with `a ≤ b` counts edges whose endpoint degrees are
 /// `a` and `b`.
-pub fn joint_degree_matrix(m: &AdjacencyMatrix) -> std::collections::BTreeMap<(usize, usize), usize> {
+pub fn joint_degree_matrix(
+    m: &AdjacencyMatrix,
+) -> std::collections::BTreeMap<(usize, usize), usize> {
     let degs = m.degrees();
     let mut jdm = std::collections::BTreeMap::new();
     for (u, v) in m.edges() {
@@ -178,7 +181,11 @@ pub fn two_k_preserving_swap(m: &mut AdjacencyMatrix, rng: &mut StdRng) -> bool 
 /// Samples a graph with the same 2K-distribution as `input` by running
 /// `attempts` 2K-preserving swaps. Returns the final graph and the number
 /// of successful swaps.
-pub fn generate_2k(input: &AdjacencyMatrix, attempts: usize, rng: &mut StdRng) -> (AdjacencyMatrix, usize) {
+pub fn generate_2k(
+    input: &AdjacencyMatrix,
+    attempts: usize,
+    rng: &mut StdRng,
+) -> (AdjacencyMatrix, usize) {
     let mut g = input.clone();
     let mut accepted = 0usize;
     for _ in 0..attempts {
@@ -318,8 +325,9 @@ mod tests {
     fn three_k_overconstrains_small_rigid_graphs() {
         // A ring: every 3K-preserving state of C6 is isomorphic to C6
         // (the paper's clique/ring example).
-        let ring = AdjacencyMatrix::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
-            .unwrap();
+        let ring =
+            AdjacencyMatrix::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+                .unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let (out, _) = sample_same_dk(&ring, 3, 300, &mut rng);
         assert!(are_isomorphic(&ring, &out));
@@ -354,18 +362,27 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let input = AdjacencyMatrix::from_edges(
             10,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9), (9, 0), (0, 5), (2, 7)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (9, 0),
+                (0, 5),
+                (2, 7),
+            ],
         )
         .unwrap();
         let target = joint_degree_matrix(&input);
         let (out, accepted) = generate_2k(&input, 500, &mut rng);
         assert_eq!(joint_degree_matrix(&out), target);
         assert!(accepted > 0, "the chain should move on this symmetric input");
-        assert!(cold_graph::subgraphs::same_dk_distribution(
-            &input.to_graph(),
-            &out.to_graph(),
-            2
-        ));
+        assert!(cold_graph::subgraphs::same_dk_distribution(&input.to_graph(), &out.to_graph(), 2));
     }
 
     #[test]

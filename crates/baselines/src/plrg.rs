@@ -111,10 +111,7 @@ mod tests {
             let er = crate::erdos_renyi::gnm(60, m, &mut rng);
             cv_er += cvnd(&er.to_graph());
         }
-        assert!(
-            cv_plrg > 1.3 * cv_er,
-            "PLRG CVND {cv_plrg} should exceed ER CVND {cv_er}"
-        );
+        assert!(cv_plrg > 1.3 * cv_er, "PLRG CVND {cv_plrg} should exceed ER CVND {cv_er}");
     }
 
     #[test]

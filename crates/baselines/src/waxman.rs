@@ -109,10 +109,12 @@ mod tests {
     fn beta_controls_density() {
         let pts = grid_positions(4);
         let mut rng = StdRng::seed_from_u64(2);
-        let sparse: usize =
-            (0..100).map(|_| Waxman { alpha: 0.5, beta: 0.1 }.sample(&pts, &mut rng).edge_count()).sum();
-        let dense: usize =
-            (0..100).map(|_| Waxman { alpha: 0.5, beta: 0.9 }.sample(&pts, &mut rng).edge_count()).sum();
+        let sparse: usize = (0..100)
+            .map(|_| Waxman { alpha: 0.5, beta: 0.1 }.sample(&pts, &mut rng).edge_count())
+            .sum();
+        let dense: usize = (0..100)
+            .map(|_| Waxman { alpha: 0.5, beta: 0.9 }.sample(&pts, &mut rng).edge_count())
+            .sum();
         assert!(dense > 3 * sparse, "dense {dense} vs sparse {sparse}");
     }
 

@@ -72,9 +72,7 @@ fn bench_heuristics(c: &mut Criterion) {
         b.iter(|| black_box(greedy_attachment(&eval).cost))
     });
     group.bench_function("random_greedy_x3", |b| {
-        b.iter(|| {
-            black_box(random_greedy(&eval, &RandomGreedyConfig { permutations: 3 }, 4).cost)
-        })
+        b.iter(|| black_box(random_greedy(&eval, &RandomGreedyConfig { permutations: 3 }, 4).cost))
     });
     group.finish();
 }

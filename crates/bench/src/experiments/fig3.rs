@@ -31,10 +31,8 @@ pub fn run(opts: &ExpOptions) -> serde_json::Value {
             // Per-trial relative costs, one vector per algorithm.
             let mut rel: Vec<Vec<f64>> = vec![Vec::new(); ALGORITHMS.len()];
             for t in 0..trials {
-                let mut init_cfg = ColdConfig {
-                    ga: opts.ga_settings(),
-                    ..ColdConfig::paper(n, k2, k3)
-                };
+                let mut init_cfg =
+                    ColdConfig { ga: opts.ga_settings(), ..ColdConfig::paper(n, k2, k3) };
                 init_cfg.mode = SynthesisMode::Initialized;
                 let seed = derive_seed(opts.seed, (k3 as u64) << 32 | t as u64);
                 let ctx = init_cfg.context.generate(derive_seed(seed, 0xC0));
@@ -46,10 +44,8 @@ pub fn run(opts: &ExpOptions) -> serde_json::Value {
                 let plain = plain_cfg.synthesize_in_context(ctx, seed);
                 let baseline = init.best_cost();
                 for (name, cost) in &init.heuristic_costs {
-                    let idx = ALGORITHMS
-                        .iter()
-                        .position(|a| a == name)
-                        .expect("known heuristic name");
+                    let idx =
+                        ALGORITHMS.iter().position(|a| a == name).expect("known heuristic name");
                     rel[idx].push(cost / baseline);
                 }
                 rel[4].push(plain.best_cost() / baseline);
@@ -60,7 +56,9 @@ pub fn run(opts: &ExpOptions) -> serde_json::Value {
                 .map(|xs| bootstrap_mean_ci(xs, 0.95, 1000, derive_seed(opts.seed, k2.to_bits())))
                 .collect();
             let mut row = vec![fmt(k2)];
-            row.extend(cis.iter().map(|ci| format!("{}±{}", fmt(ci.mean), fmt((ci.hi - ci.lo) / 2.0))));
+            row.extend(
+                cis.iter().map(|ci| format!("{}±{}", fmt(ci.mean), fmt((ci.hi - ci.lo) / 2.0))),
+            );
             rows.push(row);
             json_points.push(json!({
                 "k2": k2,
@@ -72,7 +70,9 @@ pub fn run(opts: &ExpOptions) -> serde_json::Value {
         let mut headers = vec!["k2"];
         headers.extend(ALGORITHMS);
         print_table(
-            &format!("Figure 3 (k3 = {k3}): cost normalized by initialised GA, n = {n}, {trials} trials"),
+            &format!(
+                "Figure 3 (k3 = {k3}): cost normalized by initialised GA, n = {n}, {trials} trials"
+            ),
             &headers,
             &rows,
         );
@@ -92,21 +92,13 @@ mod tests {
 
     #[test]
     fn initialized_ga_dominates() {
-        let opts = ExpOptions {
-            seed: 3,
-            trials_override: Some(2),
-            ..Default::default()
-        };
+        let opts = ExpOptions { seed: 3, trials_override: Some(2), ..Default::default() };
         let v = run(&opts);
         for panel in v["panels"].as_array().unwrap() {
             for point in panel["points"].as_array().unwrap() {
                 for alg in point["algorithms"].as_array().unwrap() {
                     let mean = alg["mean"].as_f64().unwrap();
-                    assert!(
-                        mean >= 1.0 - 1e-9,
-                        "{} beat the initialised GA: {mean}",
-                        alg["name"]
-                    );
+                    assert!(mean >= 1.0 - 1e-9, "{} beat the initialised GA: {mean}", alg["name"]);
                 }
             }
         }

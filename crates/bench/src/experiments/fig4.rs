@@ -9,8 +9,7 @@ use std::time::Instant;
 
 /// Runs the experiment.
 pub fn run(opts: &ExpOptions) -> serde_json::Value {
-    let sizes: Vec<usize> =
-        if opts.full { vec![10, 20, 40, 80, 160] } else { vec![8, 16, 32, 64] };
+    let sizes: Vec<usize> = if opts.full { vec![10, 20, 40, 80, 160] } else { vec![8, 16, 32, 64] };
     let mut rows = Vec::new();
     let mut points = Vec::new();
     for &n in &sizes {
@@ -20,12 +19,7 @@ pub fn run(opts: &ExpOptions) -> serde_json::Value {
         let r = cfg.synthesize(opts.seed);
         let secs = start.elapsed().as_secs_f64();
         let c = secs / (n as f64).powi(3);
-        rows.push(vec![
-            n.to_string(),
-            fmt(secs),
-            fmt(c),
-            r.evaluations.to_string(),
-        ]);
+        rows.push(vec![n.to_string(), fmt(secs), fmt(c), r.evaluations.to_string()]);
         points.push(json!({"n": n, "seconds": secs, "c_over_n3": c, "evaluations": r.evaluations}));
     }
     print_table(

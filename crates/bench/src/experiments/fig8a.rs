@@ -19,8 +19,7 @@ pub fn run(opts: &ExpOptions) -> serde_json::Value {
     cvnds.sort_by(f64::total_cmp);
 
     let grid: Vec<f64> = (0..=20).map(|i| i as f64 * 0.1).collect();
-    let rows: Vec<Vec<String>> =
-        grid.iter().map(|&x| vec![fmt(x), fmt(ecdf(&cvnds, x))]).collect();
+    let rows: Vec<Vec<String>> = grid.iter().map(|&x| vec![fmt(x), fmt(ecdf(&cvnds, x))]).collect();
     print_table(
         &format!("Figure 8a: CVND empirical CDF over the surrogate zoo ({count} networks)"),
         &["cvnd", "P(CVND <= x)"],

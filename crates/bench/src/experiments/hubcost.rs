@@ -77,7 +77,7 @@ pub fn run(opts: &ExpOptions) -> Vec<(String, serde_json::Value)> {
     out
 }
 
-fn find<'a>(cells: &'a [SweepCell], k2: f64, k3: f64) -> &'a SweepCell {
+fn find(cells: &[SweepCell], k2: f64, k3: f64) -> &SweepCell {
     cells
         .iter()
         .find(|c| (c.point.k2 - k2).abs() < 1e-15 && (c.point.k3 - k3).abs() < 1e-15)

@@ -51,12 +51,7 @@ pub fn run(opts: &ExpOptions) -> serde_json::Value {
                 .filter(|c| c["n"] == n && c["k2"] == k2 && c["k3"] == k3)
                 .filter(|c| c["gap"].as_f64().unwrap().abs() < 1e-9)
                 .count();
-            rows.push(vec![
-                n.to_string(),
-                fmt(k2),
-                fmt(k3),
-                format!("{rate}/{trials}"),
-            ]);
+            rows.push(vec![n.to_string(), fmt(k2), fmt(k3), format!("{rate}/{trials}")]);
         }
     }
     print_table(

@@ -157,12 +157,7 @@ impl SynthesisModel for DkModel {
         // the reference itself (up to isomorphism), so variation dies.
         let mut rng = rng_for(seed, 0);
         let (topology, _) = sample_same_dk(&self.reference, 3, 80, &mut rng);
-        ModelOutput {
-            topology,
-            has_capacities: false,
-            has_routes: false,
-            capacity_feasible: None,
-        }
+        ModelOutput { topology, has_capacities: false, has_routes: false, capacity_feasible: None }
     }
     fn declared(&self) -> DeclaredProperties {
         // The "parameter" is the entire dK distribution (Fig 1): counted
@@ -226,8 +221,7 @@ pub fn run(opts: &ExpOptions) -> serde_json::Value {
             attempt += 1;
         }
     };
-    let dk_params =
-        cold_graph::subgraphs::dk_parameter_count(&reference.to_graph(), 3);
+    let dk_params = cold_graph::subgraphs::dk_parameter_count(&reference.to_graph(), 3);
 
     let models: Vec<Box<dyn SynthesisModel>> = vec![
         Box::new(ErModel { n }),

@@ -13,11 +13,8 @@ use cold::ColdConfig;
 use serde_json::json;
 
 /// The statistics the three figures plot.
-pub const STATS: [(&str, &str); 3] = [
-    ("average_degree", "fig5"),
-    ("diameter", "fig6"),
-    ("global_clustering", "fig7"),
-];
+pub const STATS: [(&str, &str); 3] =
+    [("average_degree", "fig5"), ("diameter", "fig6"), ("global_clustering", "fig7")];
 
 /// The paper's `k3` series.
 pub const K3S: [f64; 4] = [0.0, 10.0, 100.0, 1000.0];
@@ -80,7 +77,7 @@ pub fn run(opts: &ExpOptions) -> Vec<(String, serde_json::Value)> {
     out
 }
 
-fn find<'a>(cells: &'a [SweepCell], k2: f64, k3: f64) -> &'a SweepCell {
+fn find(cells: &[SweepCell], k2: f64, k3: f64) -> &SweepCell {
     cells
         .iter()
         .find(|c| (c.point.k2 - k2).abs() < 1e-15 && (c.point.k3 - k3).abs() < 1e-15)

@@ -77,9 +77,7 @@ impl ContextConfig {
     /// Generates an ensemble of `count` contexts with per-trial seeds
     /// derived from `master_seed`.
     pub fn ensemble(&self, master_seed: u64, count: usize) -> Vec<Context> {
-        (0..count)
-            .map(|i| self.generate(crate::rng::derive_seed(master_seed, i as u64)))
-            .collect()
+        (0..count).map(|i| self.generate(crate::rng::derive_seed(master_seed, i as u64))).collect()
     }
 }
 
@@ -176,7 +174,9 @@ mod tests {
         let ctx = ContextConfig::paper_default(5).generate(7);
         let mean = ctx.populations.iter().sum::<f64>() / 5.0;
         let t01 = ctx.traffic.demand(0, 1);
-        let expected = crate::gravity::PAPER_PER_CAPITA_DEMAND * ctx.populations[0] * ctx.populations[1] / mean;
+        let expected =
+            crate::gravity::PAPER_PER_CAPITA_DEMAND * ctx.populations[0] * ctx.populations[1]
+                / mean;
         assert!((t01 - expected).abs() < 1e-9 * t01.max(1.0));
     }
 
@@ -210,8 +210,7 @@ mod tests {
         // Sub-stream separation: altering the population model must leave
         // sampled locations untouched.
         let base = ContextConfig::paper_default(10);
-        let heavy =
-            ContextConfig { population: PopulationKind::pareto_1_5(), ..base };
+        let heavy = ContextConfig { population: PopulationKind::pareto_1_5(), ..base };
         let a = base.generate(5);
         let b = heavy.generate(5);
         assert_eq!(a.positions, b.positions);

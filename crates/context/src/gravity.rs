@@ -83,7 +83,11 @@ impl GravityModel {
     /// Panics if populations are not strictly positive, if `friction > 0`
     /// but `positions` is `None` or mismatched, or if two PoPs coincide
     /// while friction is enabled.
-    pub fn traffic_matrix(&self, populations: &[f64], positions: Option<&[Point]>) -> TrafficMatrix {
+    pub fn traffic_matrix(
+        &self,
+        populations: &[f64],
+        positions: Option<&[Point]>,
+    ) -> TrafficMatrix {
         let n = populations.len();
         assert!(
             populations.iter().all(|&p| p > 0.0 && p.is_finite()),

@@ -69,7 +69,10 @@ pub fn parse_pop_csv(text: &str) -> Result<Vec<PopRecord>, ImportError> {
         if !(3..=4).contains(&fields.len()) {
             return Err(ImportError {
                 line: line_no,
-                message: format!("expected `name, x, y[, population]`, got {} fields", fields.len()),
+                message: format!(
+                    "expected `name, x, y[, population]`, got {} fields",
+                    fields.len()
+                ),
             });
         }
         if fields[0].is_empty() {
@@ -125,11 +128,8 @@ pub fn context_from_csv(
     let positions: Vec<Point> = records.iter().map(|r| Point::new(r.x, r.y)).collect();
     let mut rng = rng_for(seed, 0x1A90);
     let fallback = fallback_population.sample(records.len(), &mut rng);
-    let populations: Vec<f64> = records
-        .iter()
-        .zip(&fallback)
-        .map(|(r, &f)| r.population.unwrap_or(f))
-        .collect();
+    let populations: Vec<f64> =
+        records.iter().zip(&fallback).map(|(r, &f)| r.population.unwrap_or(f)).collect();
     let traffic = gravity.traffic_matrix(&populations, Some(&positions));
     let names = records.into_iter().map(|r| r.name).collect();
     Ok((Context::new(positions, populations, traffic), names))

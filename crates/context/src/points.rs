@@ -35,7 +35,9 @@ fn uniform_point(region: &Region, rng: &mut StdRng) -> Point {
     loop {
         let p = match region {
             // The disk is centered at the origin; sample its bounding box.
-            Region::Disk => Point::new(rng.gen_range(-w / 2.0..=w / 2.0), rng.gen_range(-h / 2.0..=h / 2.0)),
+            Region::Disk => {
+                Point::new(rng.gen_range(-w / 2.0..=w / 2.0), rng.gen_range(-h / 2.0..=h / 2.0))
+            }
             _ => Point::new(rng.gen_range(0.0..=w), rng.gen_range(0.0..=h)),
         };
         if region.contains(&p) {
@@ -137,21 +139,18 @@ impl PointProcess for JitteredGrid {
                 if pts.len() == n {
                     break 'outer;
                 }
-                loop {
-                    let cx = (c as f64 + 0.5) * cw;
-                    let cy = (r as f64 + 0.5) * ch;
-                    let p = Point::new(
-                        cx + self.jitter * cw * (rng.gen_range(0.0..1.0) - 0.5),
-                        cy + self.jitter * ch * (rng.gen_range(0.0..1.0) - 0.5),
-                    );
-                    // Grid cells can fall outside non-rectangular regions;
-                    // re-jitter toward a uniform in-region point then.
-                    if region.contains(&p) {
-                        pts.push(p);
-                        break;
-                    }
+                let cx = (c as f64 + 0.5) * cw;
+                let cy = (r as f64 + 0.5) * ch;
+                let p = Point::new(
+                    cx + self.jitter * cw * (rng.gen_range(0.0..1.0) - 0.5),
+                    cy + self.jitter * ch * (rng.gen_range(0.0..1.0) - 0.5),
+                );
+                // Grid cells can fall outside non-rectangular regions;
+                // fall back to a uniform in-region point then.
+                if region.contains(&p) {
+                    pts.push(p);
+                } else {
                     pts.push(uniform_point(region, rng));
-                    break;
                 }
             }
         }
@@ -160,20 +159,15 @@ impl PointProcess for JitteredGrid {
 }
 
 /// Enumerable point-process choices for configs (serializable).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum PointProcessKind {
     /// I.i.d. uniform — the paper default.
+    #[default]
     Uniform,
     /// Bursty Matérn-style cluster process.
     Matern(MaternCluster),
     /// Near-regular jittered grid.
     Grid(JitteredGrid),
-}
-
-impl Default for PointProcessKind {
-    fn default() -> Self {
-        PointProcessKind::Uniform
-    }
 }
 
 impl PointProcess for PointProcessKind {
@@ -243,8 +237,11 @@ mod tests {
         let mut sums = (0.0, 0.0);
         for t in 0..20 {
             let u = UniformPoints.sample(50, &Region::UnitSquare, &mut rng_for(100, t));
-            let m = MaternCluster { parents: 3, sigma: 0.03 }
-                .sample(50, &Region::UnitSquare, &mut rng_for(200, t));
+            let m = MaternCluster { parents: 3, sigma: 0.03 }.sample(
+                50,
+                &Region::UnitSquare,
+                &mut rng_for(200, t),
+            );
             sums.0 += mean_nn(&u);
             sums.1 += mean_nn(&m);
         }
@@ -264,10 +261,7 @@ mod tests {
         assert_eq!(pts.len(), 25);
         assert!(all_inside(&pts, &Region::UnitSquare));
         // Each quadrant should get a reasonable share of a 25-point grid.
-        let q = pts
-            .iter()
-            .filter(|p| p.x < 0.5 && p.y < 0.5)
-            .count();
+        let q = pts.iter().filter(|p| p.x < 0.5 && p.y < 0.5).count();
         assert!((3..=10).contains(&q), "lower-left quadrant got {q} of 25");
     }
 

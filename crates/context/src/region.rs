@@ -147,10 +147,10 @@ mod tests {
     fn distance_matrix_symmetric_zero_diagonal() {
         let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)];
         let d = distance_matrix(&pts);
-        for u in 0..3 {
-            assert_eq!(d[u][u], 0.0);
-            for v in 0..3 {
-                assert_eq!(d[u][v], d[v][u]);
+        for (u, row) in d.iter().enumerate() {
+            assert_eq!(row[u], 0.0);
+            for (v, &duv) in row.iter().enumerate() {
+                assert_eq!(duv, d[v][u]);
             }
         }
         assert_eq!(d[0][1], 1.0);

@@ -131,7 +131,12 @@ impl Default for AbcConfig {
 ///
 /// `base` fixes everything except `(k2, k3)` — notably `n`, which should
 /// match the observed network's PoP count.
-pub fn fit(base: &ColdConfig, target: &TargetSummary, cfg: &AbcConfig, seed: u64) -> Vec<AbcSample> {
+pub fn fit(
+    base: &ColdConfig,
+    target: &TargetSummary,
+    cfg: &AbcConfig,
+    seed: u64,
+) -> Vec<AbcSample> {
     assert!(cfg.candidates >= 1);
     assert!(cfg.trials_per_candidate >= 1);
     assert!(cfg.acceptance_quantile > 0.0 && cfg.acceptance_quantile <= 1.0);
@@ -139,16 +144,9 @@ pub fn fit(base: &ColdConfig, target: &TargetSummary, cfg: &AbcConfig, seed: u64
     let mut samples: Vec<AbcSample> = (0..cfg.candidates)
         .map(|i| {
             let (k2, k3) = cfg.prior.sample(&mut prior_rng);
-            let candidate = ColdConfig {
-                params: CostParams { k2, k3, ..base.params },
-                ..*base
-            };
-            let results =
-                candidate.ensemble(derive_seed(seed, i as u64), cfg.trials_per_candidate);
-            let mean_distance = results
-                .iter()
-                .map(|r| target.distance(&r.stats))
-                .sum::<f64>()
+            let candidate = ColdConfig { params: CostParams { k2, k3, ..base.params }, ..*base };
+            let results = candidate.ensemble(derive_seed(seed, i as u64), cfg.trials_per_candidate);
+            let mean_distance = results.iter().map(|r| target.distance(&r.stats)).sum::<f64>()
                 / results.len() as f64;
             AbcSample { k2, k3, distance: mean_distance }
         })
@@ -175,8 +173,11 @@ mod tests {
     fn distance_grows_with_mismatch() {
         let clique = NetworkStats::from_matrix(&cold_graph::AdjacencyMatrix::complete(8)).unwrap();
         let star = NetworkStats::from_matrix(
-            &cold_graph::AdjacencyMatrix::from_edges(8, &(1..8).map(|v| (0, v)).collect::<Vec<_>>())
-                .unwrap(),
+            &cold_graph::AdjacencyMatrix::from_edges(
+                8,
+                &(1..8).map(|v| (0, v)).collect::<Vec<_>>(),
+            )
+            .unwrap(),
         )
         .unwrap();
         let t = TargetSummary::from_stats(&clique);
@@ -199,11 +200,9 @@ mod tests {
         // Target: a pure star (CVND high, diameter 2). The accepted
         // posterior should put k3 well above the prior's geometric mean.
         let n = 10;
-        let star = cold_graph::AdjacencyMatrix::from_edges(
-            n,
-            &(1..n).map(|v| (0, v)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let star =
+            cold_graph::AdjacencyMatrix::from_edges(n, &(1..n).map(|v| (0, v)).collect::<Vec<_>>())
+                .unwrap();
         let target = TargetSummary::from_stats(&NetworkStats::from_matrix(&star).unwrap());
         let base = ColdConfig::quick(n, 1e-4, 10.0);
         let cfg = AbcConfig {

@@ -78,7 +78,8 @@ fn parse_args() -> Args {
             "--out" => args.out = PathBuf::from(value("--out")),
             "--quick" => args.quick = true,
             "--bridge-cost" => {
-                args.bridge_cost = Some(value("--bridge-cost").parse().expect("--bridge-cost: float"))
+                args.bridge_cost =
+                    Some(value("--bridge-cost").parse().expect("--bridge-cost: float"))
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -103,7 +104,10 @@ fn main() {
     let cfg = if args.quick {
         ColdConfig::quick(args.n, args.k2, args.k3)
     } else {
-        ColdConfig { mode: SynthesisMode::Initialized, ..ColdConfig::paper(args.n, args.k2, args.k3) }
+        ColdConfig {
+            mode: SynthesisMode::Initialized,
+            ..ColdConfig::paper(args.n, args.k2, args.k3)
+        }
     };
     for i in 0..args.count {
         let seed = cold_context::rng::derive_seed(args.seed, i as u64);

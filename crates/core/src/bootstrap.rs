@@ -27,12 +27,7 @@ pub struct MeanCi {
 /// `confidence` is e.g. `0.95`; `resamples` around 1000 is plenty for the
 /// paper's plots. Degenerate inputs (empty → NaN mean; single observation →
 /// zero-width interval) are handled explicitly.
-pub fn bootstrap_mean_ci(
-    samples: &[f64],
-    confidence: f64,
-    resamples: usize,
-    seed: u64,
-) -> MeanCi {
+pub fn bootstrap_mean_ci(samples: &[f64], confidence: f64, resamples: usize, seed: u64) -> MeanCi {
     assert!((0.0..1.0).contains(&confidence) && confidence > 0.0, "confidence in (0,1)");
     let n = samples.len();
     if n == 0 {

@@ -129,7 +129,8 @@ pub fn grow_context(
     let mut pop_rng = cold_context::rng::rng_for(seed, 0x67726F + 1);
     let new_points = config.points.sample(extra, &config.region, &mut pos_rng);
     let mut positions = base.positions.clone();
-    positions.extend(new_points.into_iter().map(|p| Point::new(p.x * config.scale, p.y * config.scale)));
+    positions
+        .extend(new_points.into_iter().map(|p| Point::new(p.x * config.scale, p.y * config.scale)));
     let mut populations = base.populations.clone();
     populations.extend(config.population.sample(extra, &mut pop_rng));
     let traffic = config.gravity.traffic_matrix(&populations, Some(&positions));
@@ -167,10 +168,8 @@ pub fn evolve(
         naive.set_edge(v, closest, true);
     }
     let objective = EvolutionObjective::new(grown, params, legacy.clone(), cfg);
-    let engine = GeneticAlgorithm::new(
-        &objective,
-        GaSettings { seed: derive_seed(seed, 0xE7), ..ga },
-    );
+    let engine =
+        GeneticAlgorithm::new(&objective, GaSettings { seed: derive_seed(seed, 0xE7), ..ga });
     let result = engine.run_seeded(&[naive]);
     let best = result.best.topology;
     let mut kept = 0usize;
@@ -198,7 +197,11 @@ mod tests {
     use super::*;
     use crate::ColdConfig;
 
-    fn quick_setup(n0: usize, extra: usize, seed: u64) -> (ColdConfig, Context, AdjacencyMatrix, Context) {
+    fn quick_setup(
+        n0: usize,
+        extra: usize,
+        seed: u64,
+    ) -> (ColdConfig, Context, AdjacencyMatrix, Context) {
         let cfg = ColdConfig::quick(n0, 1e-4, 10.0);
         let base = cfg.synthesize(seed);
         let grown = grow_context(&base.context, &cfg.context, extra, seed + 1);

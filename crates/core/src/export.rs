@@ -155,7 +155,8 @@ pub fn to_svg(net: &Network, ctx: &Context) -> String {
         let _ = writeln!(
             out,
             "  <circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{r:.1}\" fill=\"{fill}\" stroke=\"#1a202c\"/>",
-            sx(p.x), sy(p.y)
+            sx(p.x),
+            sy(p.y)
         );
         let _ = writeln!(
             out,

@@ -84,8 +84,7 @@ pub fn single_link_failures(net: &Network, ctx: &Context) -> FailureReport {
     // Baseline route lengths for stretch.
     let base = route_traffic(&net.graph(), dist, ctx.traffic_fn())
         .expect("synthesized networks are connected");
-    let base_len: Vec<Vec<f64>> =
-        (0..n).map(|s| base.trees[s].dist.clone()).collect();
+    let base_len: Vec<Vec<f64>> = (0..n).map(|s| base.trees[s].dist.clone()).collect();
 
     let mut impacts = Vec::with_capacity(net.links.len());
     for failed in &net.links {
@@ -94,8 +93,7 @@ pub fn single_link_failures(net: &Network, ctx: &Context) -> FailureReport {
         let g = topo.to_graph();
         // Route only the demands that still have a path; measure the rest.
         let comps = cold_graph::components::connected_components(&g);
-        let survives =
-            |s: usize, t: usize| comps.label[s] == comps.label[t];
+        let survives = |s: usize, t: usize| comps.label[s] == comps.label[t];
         let mut stranded = 0.0f64;
         for s in 0..n {
             for t in 0..n {
@@ -104,24 +102,25 @@ pub fn single_link_failures(net: &Network, ctx: &Context) -> FailureReport {
                 }
             }
         }
-        let routed = route_traffic(&g, dist, |s, t| {
-            if survives(s, t) {
-                ctx.traffic.demand(s, t)
-            } else {
-                0.0
-            }
-        })
-        .expect("stranded demands zeroed, remaining pairs routable");
+        let routed =
+            route_traffic(
+                &g,
+                dist,
+                |s, t| {
+                    if survives(s, t) {
+                        ctx.traffic.demand(s, t)
+                    } else {
+                        0.0
+                    }
+                },
+            )
+            .expect("stranded demands zeroed, remaining pairs routable");
         // Installed capacity lookup for surviving links.
         let mut max_util = 0.0f64;
         let mut overloaded = 0usize;
         for (i, &(u, v)) in routed.edges.iter().enumerate() {
-            let installed = net
-                .links
-                .iter()
-                .find(|l| (l.u, l.v) == (u, v))
-                .map(|l| l.capacity)
-                .unwrap_or(0.0);
+            let installed =
+                net.links.iter().find(|l| (l.u, l.v) == (u, v)).map(|l| l.capacity).unwrap_or(0.0);
             if installed > 0.0 {
                 let util = routed.load[i] / installed;
                 max_util = max_util.max(util);
@@ -137,10 +136,9 @@ pub fn single_link_failures(net: &Network, ctx: &Context) -> FailureReport {
         // Stretch over surviving demands.
         let mut stretch_sum = 0.0f64;
         let mut stretch_count = 0usize;
-        for s in 0..n {
-            for t in 0..n {
+        for (s, base_row) in base_len.iter().enumerate() {
+            for (t, &before) in base_row.iter().enumerate() {
                 if s != t && survives(s, t) && ctx.traffic.demand(s, t) > 0.0 {
-                    let before = base_len[s][t];
                     let after = routed.trees[s].dist[t];
                     if before > 0.0 {
                         stretch_sum += after / before;
@@ -158,11 +156,7 @@ pub fn single_link_failures(net: &Network, ctx: &Context) -> FailureReport {
             },
             max_utilization: max_util,
             overloaded_links: overloaded,
-            mean_stretch: if stretch_count > 0 {
-                stretch_sum / stretch_count as f64
-            } else {
-                1.0
-            },
+            mean_stretch: if stretch_count > 0 { stretch_sum / stretch_count as f64 } else { 1.0 },
         });
     }
     FailureReport { impacts }

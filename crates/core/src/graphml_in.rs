@@ -165,12 +165,7 @@ pub fn parse_graphml(text: &str) -> Result<ImportedGraph, GraphMlError> {
         topology.set_edge(u, v, true);
     }
     let positions = if node_data.iter().all(|d| d.contains_key("x") && d.contains_key("y")) {
-        Some(
-            node_data
-                .iter()
-                .map(|d| cold_context::Point::new(d["x"], d["y"]))
-                .collect(),
-        )
+        Some(node_data.iter().map(|d| cold_context::Point::new(d["x"], d["y"])).collect())
     } else {
         None
     };
@@ -271,11 +266,8 @@ mod tests {
         let stats = crate::NetworkStats::from_matrix(&imported.topology).unwrap();
         let target = crate::abc::TargetSummary::from_stats(&stats);
         let cfg = ColdConfig::quick(10, 1e-4, 10.0);
-        let abc_cfg = crate::abc::AbcConfig {
-            candidates: 6,
-            trials_per_candidate: 1,
-            ..Default::default()
-        };
+        let abc_cfg =
+            crate::abc::AbcConfig { candidates: 6, trials_per_candidate: 1, ..Default::default() };
         let posterior = crate::abc::fit(&cfg, &target, &abc_cfg, 4);
         assert!(!posterior.is_empty());
         assert!(posterior[0].distance.is_finite());

@@ -135,9 +135,9 @@ pub fn synthesize_multi_as(base: &ColdConfig, cfg: &InterAsConfig, seed: u64) ->
         .enumerate()
         .map(|(a, cities_of_as)| {
             let positions: Vec<Point> = cities_of_as.iter().map(|&c| cities[c]).collect();
-            let populations: Vec<f64> =
-                cities_of_as.iter().map(|&c| city_population[c]).collect();
-            let traffic = GravityModel::paper_default().traffic_matrix(&populations, Some(&positions));
+            let populations: Vec<f64> = cities_of_as.iter().map(|&c| city_population[c]).collect();
+            let traffic =
+                GravityModel::paper_default().traffic_matrix(&populations, Some(&positions));
             let ctx = Context::new(positions, populations, traffic);
             base.synthesize_in_context(ctx, derive_seed(seed, 0x0A50 + a as u64))
         })
@@ -212,8 +212,7 @@ mod tests {
         // All cities shared ⇒ exactly the cap.
         assert_eq!(m.peerings.len(), 2);
         // Interconnects favor the biggest shared cities.
-        let mut picked: Vec<f64> =
-            m.peerings.iter().map(|p| m.city_population[p.city]).collect();
+        let mut picked: Vec<f64> = m.peerings.iter().map(|p| m.city_population[p.city]).collect();
         picked.sort_by(f64::total_cmp);
         let max_pop = m.city_population.iter().cloned().fold(0.0, f64::max);
         assert_eq!(picked.pop().unwrap(), max_pop);

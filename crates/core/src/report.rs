@@ -32,12 +32,7 @@ pub fn ensemble_report(config: &ColdConfig, ensemble: &[SynthesisResult], seed: 
     let mut out = String::new();
     let n = ensemble[0].network.n();
     let _ = writeln!(out, "# COLD ensemble report\n");
-    let _ = writeln!(
-        out,
-        "- networks: **{}** × {} PoPs (master seed {seed})",
-        ensemble.len(),
-        n
-    );
+    let _ = writeln!(out, "- networks: **{}** × {} PoPs (master seed {seed})", ensemble.len(), n);
     let p = config.params;
     let _ = writeln!(
         out,
@@ -81,16 +76,12 @@ pub fn ensemble_report(config: &ColdConfig, ensemble: &[SynthesisResult], seed: 
 
     // Survivability.
     let _ = writeln!(out, "\n## Survivability\n");
-    let reports: Vec<_> = ensemble
-        .iter()
-        .map(|r| survivability(&r.network.topology, &r.context))
-        .collect();
+    let reports: Vec<_> =
+        ensemble.iter().map(|r| survivability(&r.network.topology, &r.context)).collect();
     let bridges = reports.iter().map(|s| s.bridges as f64).sum::<f64>() / reports.len() as f64;
     let resilient = reports.iter().filter(|s| s.two_edge_connected).count();
-    let worst = reports
-        .iter()
-        .map(|s| s.worst_link_failure_traffic_fraction)
-        .fold(0.0f64, f64::max);
+    let worst =
+        reports.iter().map(|s| s.worst_link_failure_traffic_fraction).fold(0.0f64, f64::max);
     let _ = writeln!(out, "- mean bridge links: {bridges:.1}");
     let _ = writeln!(out, "- 2-edge-connected networks: {resilient}/{}", reports.len());
     let _ = writeln!(
@@ -103,7 +94,15 @@ pub fn ensemble_report(config: &ColdConfig, ensemble: &[SynthesisResult], seed: 
     let _ = writeln!(out, "\n## Optimization\n");
     let evals = mean(|r| r.evaluations as f64);
     let repair = mean(|r| r.repair_rate);
+    let hit_rate = mean(|r| r.eval_stats.hit_rate());
+    let eval_secs = mean(|r| r.eval_stats.eval_seconds);
     let _ = writeln!(out, "- mean objective evaluations per network: {evals:.0}");
+    let _ = writeln!(
+        out,
+        "- mean fitness-cache hit rate: {:.1}% (cached costs skip routing entirely)",
+        100.0 * hit_rate
+    );
+    let _ = writeln!(out, "- mean wall-clock evaluation time per network: {eval_secs:.3} s");
     let _ = writeln!(out, "- mean connectivity-repair rate: {repair:.3}");
     if ensemble.iter().any(|r| !r.heuristic_costs.is_empty()) {
         let _ = writeln!(out, "- seeded with greedy heuristics (initialized GA); GA result ≤ every seed by construction");
@@ -133,11 +132,11 @@ mod tests {
         assert!(md.contains("networks: **4** × 8 PoPs"));
         assert!(md.contains("average node degree"));
         assert!(md.contains("**total**"));
+        assert!(md.contains("fitness-cache hit rate"));
+        assert!(md.contains("wall-clock evaluation time"));
         // Table rows parse as Markdown tables (pipe-delimited, 3+ cells).
-        let stat_rows = md
-            .lines()
-            .filter(|l| l.starts_with("| ") && l.matches('|').count() >= 4)
-            .count();
+        let stat_rows =
+            md.lines().filter(|l| l.starts_with("| ") && l.matches('|').count() >= 4).count();
         assert!(stat_rows >= REPORT_STATS.len(), "stat rows: {stat_rows}");
     }
 

@@ -128,10 +128,8 @@ pub fn synthesize_resilient(
             .into_iter()
             .map(|(_, r)| r.topology)
             .collect();
-    let ga_settings = cold_ga::GaSettings {
-        seed: cold_context::rng::derive_seed(seed, 0x6741),
-        ..base.ga
-    };
+    let ga_settings =
+        cold_ga::GaSettings { seed: cold_context::rng::derive_seed(seed, 0x6741), ..base.ga };
     let engine = cold_ga::GeneticAlgorithm::new(&objective, ga_settings);
     let result = engine.run_seeded(&seeds);
     let report = survivability(&result.best.topology, &ctx);
@@ -155,8 +153,9 @@ mod tests {
         let tree = cold_graph::mst::mst_matrix(6, ctx.distance_fn());
         assert!((res.cost(&tree) - (plain.cost(&tree) + 250.0)).abs() < 1e-9);
         // A cycle has none.
-        let ring = AdjacencyMatrix::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
-            .unwrap();
+        let ring =
+            AdjacencyMatrix::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+                .unwrap();
         assert!((res.cost(&ring) - plain.cost(&ring)).abs() < 1e-9);
     }
 
@@ -169,8 +168,9 @@ mod tests {
         assert_eq!(s.bridges, 5);
         assert!(!s.two_edge_connected);
         assert!(s.worst_link_failure_traffic_fraction > 0.0);
-        let ring = AdjacencyMatrix::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
-            .unwrap();
+        let ring =
+            AdjacencyMatrix::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+                .unwrap();
         let s = survivability(&ring, &ctx);
         assert_eq!(s.bridges, 0);
         assert!(s.two_edge_connected);
@@ -204,9 +204,7 @@ mod tests {
         // Barbell: bridge splits 3/3; crossing fraction = 2·9·t/(30·t) for
         // uniform demands = 0.6.
         let ctx = cold_context::Context::from_positions(
-            (0..6)
-                .map(|i| cold_context::Point::new(i as f64, 0.0))
-                .collect(),
+            (0..6).map(|i| cold_context::Point::new(i as f64, 0.0)).collect(),
             cold_context::PopulationKind::Constant { value: 1.0 },
             cold_context::GravityModel::raw(),
             0,

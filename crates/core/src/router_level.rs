@@ -232,10 +232,8 @@ mod tests {
     #[test]
     fn router_pop_mapping_is_consistent() {
         let r = ColdConfig::quick(6, 1e-4, 10.0).synthesize(6);
-        let cfg = RouterLevelConfig {
-            router_capacity: r.context.traffic.total() / 10.0,
-            max_routers: 5,
-        };
+        let cfg =
+            RouterLevelConfig { router_capacity: r.context.traffic.total() / 10.0, max_routers: 5 };
         let routers = expand(&r.network, &r.context, &cfg);
         for p in 0..6 {
             for rt in routers.routers_of(p) {

@@ -2,8 +2,8 @@
 //! study tracks, computed in one pass.
 
 use cold_graph::metrics::{
-    average_local_clustering, average_path_length, degeneracy, degree_assortativity,
-    degree_stats, global_clustering, hop_diameter, node_betweenness, s_metric,
+    average_local_clustering, average_path_length, degeneracy, degree_assortativity, degree_stats,
+    global_clustering, hop_diameter, node_betweenness, s_metric,
 };
 use cold_graph::{AdjacencyMatrix, Graph};
 use serde::{Deserialize, Serialize};

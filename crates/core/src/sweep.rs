@@ -23,9 +23,7 @@ pub fn log_space(lo: f64, hi: f64, count: usize) -> Vec<f64> {
     }
     assert!(count >= 2);
     let (llo, lhi) = (lo.ln(), hi.ln());
-    (0..count)
-        .map(|i| (llo + (lhi - llo) * i as f64 / (count - 1) as f64).exp())
-        .collect()
+    (0..count).map(|i| (llo + (lhi - llo) * i as f64 / (count - 1) as f64).exp()).collect()
 }
 
 /// One sweep point: a `(k2, k3)` pair.
@@ -106,11 +104,7 @@ impl SweepPlan {
         let mut out = Vec::with_capacity(self.points.len());
         for (i, &point) in self.points.iter().enumerate() {
             let cfg = ColdConfig {
-                params: CostParams {
-                    k2: point.k2,
-                    k3: point.k3,
-                    ..self.base.params
-                },
+                params: CostParams { k2: point.k2, k3: point.k3, ..self.base.params },
                 ..self.base
             };
             let point_seed = cold_context::rng::derive_seed(self.seed, i as u64);
@@ -161,10 +155,7 @@ mod tests {
         let base = ColdConfig::quick(7, 1e-4, 0.0);
         let plan = SweepPlan {
             base,
-            points: vec![
-                SweepPoint { k2: 1e-4, k3: 0.0 },
-                SweepPoint { k2: 1.6e-3, k3: 0.0 },
-            ],
+            points: vec![SweepPoint { k2: 1e-4, k3: 0.0 }, SweepPoint { k2: 1.6e-3, k3: 0.0 }],
             trials: 3,
             stats: vec!["average_degree".into(), "diameter".into()],
             seed: 1,
@@ -191,10 +182,7 @@ mod tests {
         let base = ColdConfig::quick(8, 1e-4, 0.0);
         let plan = SweepPlan {
             base,
-            points: vec![
-                SweepPoint { k2: 1e-5, k3: 0.0 },
-                SweepPoint { k2: 5e-2, k3: 0.0 },
-            ],
+            points: vec![SweepPoint { k2: 1e-5, k3: 0.0 }, SweepPoint { k2: 5e-2, k3: 0.0 }],
             trials: 4,
             stats: vec!["average_degree".into()],
             seed: 2,

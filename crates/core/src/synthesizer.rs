@@ -68,8 +68,7 @@ impl ColdConfig {
     /// Synthesizes one network: generates the context for `seed`, then
     /// optimizes deterministically.
     pub fn synthesize(&self, seed: u64) -> SynthesisResult {
-        let ctx = self.context.generate(derive_seed(seed, 0xC0))
-            ;
+        let ctx = self.context.generate(derive_seed(seed, 0xC0));
         self.synthesize_in_context(ctx, seed)
     }
 
@@ -108,6 +107,7 @@ impl ColdConfig {
             final_population_costs: result.final_population.iter().map(|i| i.cost).collect(),
             heuristic_costs,
             evaluations: result.evaluations,
+            eval_stats: result.eval_stats,
             repair_rate: result.repair_stats.repair_rate(),
             generations_run: result.generations_run,
         }
@@ -167,8 +167,11 @@ pub struct SynthesisResult {
     /// `(heuristic name, cost)` for each greedy competitor (initialized
     /// mode only; empty otherwise).
     pub heuristic_costs: Vec<(String, f64)>,
-    /// Total objective evaluations performed by the GA.
+    /// Objective evaluations requested by the GA (the fitness cache may
+    /// serve some from memory — see [`eval_stats`](Self::eval_stats)).
     pub evaluations: usize,
+    /// Fitness-cache hits/misses and wall-clock evaluation time.
+    pub eval_stats: cold_ga::EvalStats,
     /// Fraction of offspring needing connectivity repair.
     pub repair_rate: f64,
     /// Generations actually run.
@@ -237,10 +240,8 @@ mod tests {
             assert_eq!(a.network.topology, b.network.topology);
         }
         // Different contexts ⇒ (almost surely) different networks.
-        let distinct = e1
-            .windows(2)
-            .filter(|w| w[0].network.topology != w[1].network.topology)
-            .count();
+        let distinct =
+            e1.windows(2).filter(|w| w[0].network.topology != w[1].network.topology).count();
         assert!(distinct >= 2, "ensemble members suspiciously identical");
     }
 
@@ -255,6 +256,16 @@ mod tests {
         assert!((last - r.best_cost()).abs() < 1e-9);
         assert!(!r.final_population_costs.is_empty());
         assert!((r.final_population_costs[0] - last).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eval_stats_are_plumbed_through() {
+        let cfg = ColdConfig::quick(8, 1e-4, 10.0);
+        let r = cfg.synthesize(2);
+        assert_eq!(r.eval_stats.requested, r.evaluations);
+        assert_eq!(r.eval_stats.cache_hits + r.eval_stats.cache_misses, r.evaluations);
+        assert!(r.eval_stats.cache_misses > 0, "something must actually be evaluated");
+        assert!(r.eval_stats.eval_seconds > 0.0);
     }
 
     #[test]

@@ -12,23 +12,37 @@ use cold_graph::routing::{route_traffic, RoutingResult};
 use cold_graph::{AdjacencyMatrix, GraphError};
 
 /// The routed-capacity view of one topology in one context.
+///
+/// The edge list, per-edge loads and `Σ t·L` live in the owned
+/// [`RoutingResult`] and are exposed through accessors — the plan stores
+/// each datum exactly once instead of cloning the routing's vectors.
 #[derive(Debug, Clone)]
 pub struct CapacityPlan {
-    /// Edges sorted ascending as `(u, v)`, `u < v`.
-    pub edges: Vec<(usize, usize)>,
-    /// Geometric length `ℓᵢ` per edge.
+    /// Geometric length `ℓᵢ` per edge (aligned with [`edges`](Self::edges)).
     pub length: Vec<f64>,
-    /// Required bandwidth `wᵢ` per edge (sum of routed demands).
-    pub load: Vec<f64>,
     /// Installed capacity per edge: `O · wᵢ`.
     pub capacity: Vec<f64>,
-    /// `Σ_r t_r·L_r` — the route-length form of the bandwidth cost (eq. 1).
-    pub traffic_weighted_route_length: f64,
-    /// Shortest-path routing trees, one per source PoP.
+    /// The routing this plan was built from: edges, per-edge loads, `Σ t·L`
+    /// and the shortest-path trees, one per source PoP.
     pub routing: RoutingResult,
 }
 
 impl CapacityPlan {
+    /// Edges sorted ascending as `(u, v)`, `u < v`.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.routing.edges
+    }
+
+    /// Required bandwidth `wᵢ` per edge (sum of routed demands).
+    pub fn load(&self) -> &[f64] {
+        &self.routing.load
+    }
+
+    /// `Σ_r t_r·L_r` — the route-length form of the bandwidth cost (eq. 1).
+    pub fn traffic_weighted_route_length(&self) -> f64 {
+        self.routing.traffic_weighted_route_length
+    }
+
     /// Total geometric length of all links.
     pub fn total_length(&self) -> f64 {
         self.length.iter().sum()
@@ -36,13 +50,14 @@ impl CapacityPlan {
 
     /// Number of links.
     pub fn link_count(&self) -> usize {
-        self.edges.len()
+        self.routing.edges.len()
     }
 
     /// Maximum link utilization `wᵢ / capacityᵢ` (equals `1/O` on loaded
     /// links by construction). Returns 0 for an unloaded network.
     pub fn max_utilization(&self) -> f64 {
-        self.load
+        self.routing
+            .load
             .iter()
             .zip(&self.capacity)
             .filter(|&(_, &c)| c > 0.0)
@@ -70,14 +85,7 @@ pub fn assign_capacities(
     let routing = route_traffic(&g, dist, ctx.traffic_fn())?;
     let length: Vec<f64> = routing.edges.iter().map(|&(u, v)| dist(u, v)).collect();
     let capacity: Vec<f64> = routing.load.iter().map(|&w| overprovision * w).collect();
-    Ok(CapacityPlan {
-        edges: routing.edges.clone(),
-        length,
-        load: routing.load.clone(),
-        capacity,
-        traffic_weighted_route_length: routing.traffic_weighted_route_length,
-        routing,
-    })
+    Ok(CapacityPlan { length, capacity, routing })
 }
 
 #[cfg(test)]
@@ -104,11 +112,11 @@ mod tests {
         let plan = assign_capacities(&topo, &ctx, 1.0).unwrap();
         assert_eq!(plan.link_count(), 2);
         // Demands: each ordered pair 1.0. Edge (0,1) carries 0↔1 and 0↔2: 4.
-        assert_eq!(plan.load, vec![4.0, 4.0]);
-        assert_eq!(plan.capacity, plan.load);
+        assert_eq!(plan.load(), [4.0, 4.0]);
+        assert_eq!(plan.capacity, plan.load());
         assert_eq!(plan.total_length(), 2.0);
         // t·L = 4 pairs at length 1 + 2 pairs at length 2 = 8.
-        assert!((plan.traffic_weighted_route_length - 8.0).abs() < 1e-12);
+        assert!((plan.traffic_weighted_route_length() - 8.0).abs() < 1e-12);
     }
 
     #[test]
@@ -116,7 +124,7 @@ mod tests {
         let ctx = line_context();
         let topo = AdjacencyMatrix::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
         let plan = assign_capacities(&topo, &ctx, 2.5).unwrap();
-        assert_eq!(plan.load, vec![4.0, 4.0]);
+        assert_eq!(plan.load(), [4.0, 4.0]);
         assert_eq!(plan.capacity, vec![10.0, 10.0]);
         assert!((plan.max_utilization() - 0.4).abs() < 1e-12);
     }
@@ -147,7 +155,7 @@ mod tests {
         let pl = assign_capacities(&line, &ctx, 1.0).unwrap();
         // With the direct 0–2 link, total t·L stays 8 (the direct link has
         // the same length as the two-hop path) but per-link loads drop.
-        assert!(pt.load.iter().cloned().fold(0.0, f64::max) <= 4.0);
-        assert!(pt.traffic_weighted_route_length <= pl.traffic_weighted_route_length + 1e-12);
+        assert!(pt.load().iter().cloned().fold(0.0, f64::max) <= 4.0);
+        assert!(pt.traffic_weighted_route_length() <= pl.traffic_weighted_route_length() + 1e-12);
     }
 }

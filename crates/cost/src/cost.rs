@@ -3,8 +3,10 @@
 use crate::capacity::{assign_capacities, CapacityPlan};
 use crate::params::CostParams;
 use cold_context::Context;
+use cold_graph::routing::{route_loads_into, RoutingWorkspace};
 use cold_graph::{AdjacencyMatrix, GraphError};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Component-wise breakdown of a topology's cost.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,23 +42,70 @@ pub fn evaluate_parts(
     ctx: &Context,
     params: &CostParams,
 ) -> Result<(CostBreakdown, CapacityPlan), GraphError> {
-    if let Err(e) = params.validate() {
-        panic!("invalid cost params: {e}");
-    }
+    // Params are validated once at `CostEvaluator::new` / config build time;
+    // re-validating per evaluation was pure hot-path overhead.
+    debug_assert!(params.validate().is_ok(), "invalid cost params: {:?}", params.validate());
     let plan = assign_capacities(topology, ctx, params.overprovision)?;
     let m = plan.link_count() as f64;
     let breakdown = CostBreakdown {
         existence: params.k0 * m,
         length: params.k1 * plan.total_length(),
-        bandwidth: params.k2 * plan.traffic_weighted_route_length,
-        hub: params.k3
-            * topology.degrees().iter().filter(|&&d| d > 1).count() as f64,
+        bandwidth: params.k2 * plan.traffic_weighted_route_length(),
+        hub: params.k3 * topology.degrees().iter().filter(|&&d| d > 1).count() as f64,
     };
     Ok((breakdown, plan))
 }
 
-/// Total cost only — the hot path the GA calls once per candidate per
-/// generation.
+thread_local! {
+    /// Per-thread routing scratch for [`evaluate_total`]. Thread-local so
+    /// the GA's parallel fitness workers each reuse their own buffers
+    /// without locking.
+    static ROUTING_SCRATCH: RefCell<(RoutingWorkspace, Vec<f64>)> =
+        RefCell::new((RoutingWorkspace::new(), Vec::new()));
+}
+
+/// Total cost only — the allocation-lean hot path the GA calls once per
+/// candidate per generation.
+///
+/// Skips everything [`evaluate_parts`] materializes for reports: no
+/// [`CapacityPlan`], no shortest-path trees, no edge list; routing runs
+/// through a thread-local reusable workspace. The returned total is
+/// bit-identical to `evaluate_parts(..).0.total()`.
+///
+/// # Errors
+/// As for [`evaluate_parts`].
+pub fn evaluate_total(
+    topology: &AdjacencyMatrix,
+    ctx: &Context,
+    params: &CostParams,
+) -> Result<f64, GraphError> {
+    debug_assert!(params.validate().is_ok(), "invalid cost params: {:?}", params.validate());
+    if topology.n() != ctx.n() {
+        return Err(GraphError::SizeMismatch { expected: ctx.n(), actual: topology.n() });
+    }
+    let g = topology.to_graph();
+    let dist = ctx.distance_fn();
+    let weighted = ROUTING_SCRATCH.with(|s| {
+        let (ws, load) = &mut *s.borrow_mut();
+        route_loads_into(&g, dist, ctx.traffic_fn(), ws, load)
+    })?;
+    // |E| and Σℓ accumulated in the same edge order as the capacity plan so
+    // the length sum rounds identically.
+    let mut links = 0usize;
+    let mut total_length = 0.0f64;
+    for (u, v) in g.edges() {
+        links += 1;
+        total_length += dist(u, v);
+    }
+    let hubs = (0..g.n()).filter(|&v| g.degree(v) > 1).count();
+    Ok(params.k0 * links as f64
+        + params.k1 * total_length
+        + params.k2 * weighted
+        + params.k3 * hubs as f64)
+}
+
+/// Total cost only, via the full [`evaluate_parts`] pipeline — see
+/// [`evaluate_total`] for the equivalent lean path.
 pub fn evaluate(
     topology: &AdjacencyMatrix,
     ctx: &Context,
@@ -85,12 +134,13 @@ impl<'a> CostEvaluator<'a> {
         Self { ctx, params }
     }
 
-    /// Cost of a (connected) topology.
+    /// Cost of a (connected) topology — the GA's fitness call, routed
+    /// through the allocation-lean [`evaluate_total`] path.
     ///
     /// # Errors
-    /// See [`evaluate`].
+    /// See [`evaluate_total`].
     pub fn cost(&self, topology: &AdjacencyMatrix) -> Result<f64, GraphError> {
-        evaluate(topology, self.ctx, &self.params)
+        evaluate_total(topology, self.ctx, &self.params)
     }
 
     /// Cost with full breakdown and capacity plan.
@@ -187,9 +237,66 @@ mod tests {
         let topo = AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
         let params = CostParams::new(0.0, 0.0, 0.5, 0.0);
         let (b, plan) = evaluate_parts(&topo, &ctx, &params).unwrap();
-        let direct: f64 =
-            plan.length.iter().zip(&plan.load).map(|(&l, &w)| 0.5 * l * w).sum();
+        let direct: f64 = plan.length.iter().zip(plan.load()).map(|(&l, &w)| 0.5 * l * w).sum();
         assert!((b.bandwidth - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_total_is_bit_identical_to_parts() {
+        let ctx = square_context();
+        let params = CostParams::paper(3e-4, 12.0).with_overprovision(1.5);
+        let topologies = [
+            AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap(),
+            AdjacencyMatrix::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap(),
+            AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap(),
+            AdjacencyMatrix::complete(4),
+        ];
+        for topo in &topologies {
+            let full = evaluate_parts(topo, &ctx, &params).unwrap().0.total();
+            let lean = evaluate_total(topo, &ctx, &params).unwrap();
+            assert_eq!(lean, full, "paths must agree bit-for-bit");
+            // And the scratch must not leak state between evaluations.
+            assert_eq!(evaluate_total(topo, &ctx, &params).unwrap(), lean);
+        }
+    }
+
+    #[test]
+    fn evaluate_total_propagates_errors() {
+        let ctx = square_context();
+        let params = CostParams::default();
+        let disconnected = AdjacencyMatrix::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            evaluate_total(&disconnected, &ctx, &params),
+            Err(GraphError::Disconnected)
+        ));
+        let wrong_n = AdjacencyMatrix::complete(5);
+        assert!(matches!(
+            evaluate_total(&wrong_n, &ctx, &params),
+            Err(GraphError::SizeMismatch { expected: 4, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn coincident_pops_cost_both_paths() {
+        // Two PoPs at identical coordinates: the zero-length link must still
+        // carry (and charge for) the full subtree's bandwidth on both
+        // evaluation paths.
+        let ctx = Context::from_positions(
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(1.0, 0.0)],
+            PopulationKind::Constant { value: 1.0 },
+            GravityModel::raw(),
+            0,
+        );
+        let topo = AdjacencyMatrix::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        let params = CostParams::new(0.0, 0.0, 1.0, 0.0);
+        let (b, plan) = evaluate_parts(&topo, &ctx, &params).unwrap();
+        // Unit demands: pairs (0,1) and (0,2) each route over the length-1
+        // link, (1,2) over the length-0 link ⇒ Σ t·L = 4.
+        assert_eq!(b.bandwidth, 4.0);
+        // The zero-length link still carries its four demands.
+        let zero_link = plan.edges().iter().position(|&e| e == (1, 2)).unwrap();
+        assert_eq!(plan.load()[zero_link], 4.0);
+        assert_eq!(evaluate_total(&topo, &ctx, &params).unwrap(), b.total());
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod network;
 pub mod params;
 
 pub use capacity::{assign_capacities, CapacityPlan};
-pub use cost::{evaluate, evaluate_parts, CostBreakdown, CostEvaluator};
+pub use cost::{evaluate, evaluate_parts, evaluate_total, CostBreakdown, CostEvaluator};
 pub use network::Network;
 pub use params::CostParams;

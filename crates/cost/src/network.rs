@@ -55,14 +55,14 @@ impl Network {
     ) -> Result<Self, GraphError> {
         let (cost, plan) = evaluate_parts(&topology, ctx, &params)?;
         let links = plan
-            .edges
+            .edges()
             .iter()
             .enumerate()
             .map(|(i, &(u, v))| Link {
                 u,
                 v,
                 length: plan.length[i],
-                load: plan.load[i],
+                load: plan.load()[i],
                 capacity: plan.capacity[i],
             })
             .collect();

@@ -113,8 +113,7 @@ mod tests {
     fn validate_rejects_bad_values() {
         assert!(CostParams::new(-1.0, 1.0, 0.0, 0.0).validate().is_err());
         assert!(CostParams::new(1.0, f64::NAN, 0.0, 0.0).validate().is_err());
-        let mut p = CostParams::default();
-        p.overprovision = 0.5;
+        let p = CostParams { overprovision: 0.5, ..Default::default() };
         assert!(p.validate().is_err());
     }
 

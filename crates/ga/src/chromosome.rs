@@ -30,11 +30,7 @@ pub fn sort_by_cost(population: &mut [Individual]) {
         a.cost
             .total_cmp(&b.cost)
             .then_with(|| a.topology.edge_count().cmp(&b.topology.edge_count()))
-            .then_with(|| {
-                a.topology
-                    .edges()
-                    .cmp(b.topology.edges())
-            })
+            .then_with(|| a.topology.edges().cmp(b.topology.edges()))
     });
 }
 
@@ -75,11 +71,8 @@ mod tests {
 
     #[test]
     fn sorting_is_by_cost_then_deterministic() {
-        let mut pop = vec![
-            ind(3, &[(0, 1), (1, 2)], 5.0),
-            ind(3, &[(0, 2)], 2.0),
-            ind(3, &[(0, 1)], 2.0),
-        ];
+        let mut pop =
+            vec![ind(3, &[(0, 1), (1, 2)], 5.0), ind(3, &[(0, 2)], 2.0), ind(3, &[(0, 1)], 2.0)];
         sort_by_cost(&mut pop);
         assert_eq!(pop[0].cost, 2.0);
         assert_eq!(pop[2].cost, 5.0);

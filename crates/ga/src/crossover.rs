@@ -35,10 +35,7 @@ pub fn select_parents(
     }
     let mut pool = indices[..b].to_vec();
     pool.sort_by(|&x, &y| {
-        population[x]
-            .cost
-            .total_cmp(&population[y].cost)
-            .then_with(|| x.cmp(&y))
+        population[x].cost.total_cmp(&population[y].cost).then_with(|| x.cmp(&y))
     });
     pool.truncate(a.max(1));
     pool
@@ -82,10 +79,19 @@ mod tests {
 
     fn pop() -> Vec<Individual> {
         vec![
-            Individual::new(AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap(), 1.0),
+            Individual::new(
+                AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap(),
+                1.0,
+            ),
             Individual::new(AdjacencyMatrix::complete(4), 10.0),
-            Individual::new(AdjacencyMatrix::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap(), 5.0),
-            Individual::new(AdjacencyMatrix::from_edges(4, &[(0, 3), (1, 3), (2, 3)]).unwrap(), 50.0),
+            Individual::new(
+                AdjacencyMatrix::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap(),
+                5.0,
+            ),
+            Individual::new(
+                AdjacencyMatrix::from_edges(4, &[(0, 3), (1, 3), (2, 3)]).unwrap(),
+                50.0,
+            ),
         ]
     }
 

@@ -10,6 +10,8 @@ use crate::Objective;
 use cold_graph::AdjacencyMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::Instant;
 
 /// Outcome of one GA run.
 #[derive(Debug, Clone)]
@@ -25,10 +27,47 @@ pub struct GaResult {
     /// Generations actually executed (≤ `settings.generations` when early
     /// stopping fires).
     pub generations_run: usize,
-    /// Total objective evaluations performed.
+    /// Objective evaluations *requested* (population + offspring per
+    /// generation). With the fitness cache on, the number actually computed
+    /// is [`eval_stats.cache_misses`](EvalStats::cache_misses).
     pub evaluations: usize,
+    /// Fitness-evaluation accounting (cache hits/misses, wall-clock time).
+    pub eval_stats: EvalStats,
     /// Connectivity-repair activity (§4.1.3 "It is used rarely").
     pub repair_stats: RepairStats,
+}
+
+/// Objective-evaluation accounting for one GA run.
+///
+/// The invariant `requested == cache_hits + cache_misses` always holds;
+/// with [`GaSettings::fitness_cache`] off, `cache_hits == 0`. Hits and
+/// misses depend only on the (deterministic) sequence of evaluated
+/// topologies, so they are identical between serial and parallel runs with
+/// the same seed; only `eval_seconds` is wall-clock and machine-dependent.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvalStats {
+    /// Costs requested across the run.
+    pub requested: usize,
+    /// Requests served from the chromosome-keyed memo cache. Duplicates
+    /// *within* one batch count as hits: they are evaluated once.
+    pub cache_hits: usize,
+    /// Requests that actually ran the objective.
+    pub cache_misses: usize,
+    /// Wall-clock seconds spent inside objective evaluation (the timed
+    /// region excludes cache bookkeeping).
+    pub eval_seconds: f64,
+}
+
+impl EvalStats {
+    /// Fraction of requests served from the cache (0 when nothing was
+    /// requested).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requested == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requested as f64
+        }
+    }
 }
 
 /// The COLD genetic algorithm, generic over the [`Objective`].
@@ -70,8 +109,12 @@ impl<O: Objective> GeneticAlgorithm<O> {
     /// the best seed.
     pub fn run_seeded(&self, seeds: &[AdjacencyMatrix]) -> GaResult {
         let mut rng = StdRng::seed_from_u64(self.settings.seed);
-        let mut evaluations = 0usize;
         let mut repair_stats = RepairStats::default();
+        let mut stats = EvalStats::default();
+        // Chromosome-keyed fitness memo: the adjacency bitset hashes/compares
+        // directly, and costs are pure functions of it.
+        let mut cache: Option<HashMap<AdjacencyMatrix, f64>> =
+            self.settings.fitness_cache.then(HashMap::new);
 
         // Generation 0.
         let mut topologies = initial_population(&self.objective, &self.settings, seeds, &mut rng);
@@ -80,13 +123,9 @@ impl<O: Objective> GeneticAlgorithm<O> {
         for t in &mut topologies {
             repair(t, &self.objective, &mut repair_stats);
         }
-        let costs = self.evaluate_all(&topologies);
-        evaluations += costs.len();
-        let mut population: Vec<Individual> = topologies
-            .into_iter()
-            .zip(costs)
-            .map(|(t, c)| Individual::new(t, c))
-            .collect();
+        let costs = self.evaluate_all(&topologies, cache.as_mut(), &mut stats);
+        let mut population: Vec<Individual> =
+            topologies.into_iter().zip(costs).map(|(t, c)| Individual::new(t, c)).collect();
         sort_by_cost(&mut population);
         let mut history = vec![population[0].cost];
 
@@ -116,18 +155,12 @@ impl<O: Objective> GeneticAlgorithm<O> {
             for c in &mut children {
                 repair(c, &self.objective, &mut repair_stats);
             }
-            let child_costs = self.evaluate_all(&children);
-            evaluations += child_costs.len();
+            let child_costs = self.evaluate_all(&children, cache.as_mut(), &mut stats);
 
             // Next generation: elites + offspring.
             let mut next: Vec<Individual> = Vec::with_capacity(self.settings.population);
             next.extend(population.iter().take(self.settings.num_saved).cloned());
-            next.extend(
-                children
-                    .into_iter()
-                    .zip(child_costs)
-                    .map(|(t, c)| Individual::new(t, c)),
-            );
+            next.extend(children.into_iter().zip(child_costs).map(|(t, c)| Individual::new(t, c)));
             sort_by_cost(&mut next);
             population = next;
             history.push(population[0].cost);
@@ -148,30 +181,89 @@ impl<O: Objective> GeneticAlgorithm<O> {
             history,
             final_population: population,
             generations_run,
-            evaluations,
+            evaluations: stats.requested,
+            eval_stats: stats,
             repair_stats,
         }
     }
 
-    /// Evaluates a batch of topologies, in parallel when configured.
-    fn evaluate_all(&self, topologies: &[AdjacencyMatrix]) -> Vec<f64> {
-        if !self.settings.parallel || topologies.len() < 4 {
-            return topologies.iter().map(|t| self.objective.cost(t)).collect();
+    /// Evaluates a batch of topologies, consulting and filling the fitness
+    /// memo `cache` when one is supplied.
+    ///
+    /// The cache phase is serial in both serial and parallel modes, so the
+    /// hit/miss counters — and, costs being pure, every returned value — are
+    /// independent of `settings.parallel`. Within-batch duplicates resolve
+    /// to one evaluation even on the very first batch.
+    fn evaluate_all(
+        &self,
+        topologies: &[AdjacencyMatrix],
+        cache: Option<&mut HashMap<AdjacencyMatrix, f64>>,
+        stats: &mut EvalStats,
+    ) -> Vec<f64> {
+        stats.requested += topologies.len();
+        let Some(cache) = cache else {
+            stats.cache_misses += topologies.len();
+            let all: Vec<&AdjacencyMatrix> = topologies.iter().collect();
+            return self.evaluate_batch(&all, stats);
+        };
+        // Resolve each request to Ok(cached cost) or Err(index into the
+        // unique pending list).
+        let mut pending: Vec<&AdjacencyMatrix> = Vec::new();
+        let mut first_seen: HashMap<&AdjacencyMatrix, usize> = HashMap::new();
+        let resolved: Vec<Result<f64, usize>> = topologies
+            .iter()
+            .map(|t| {
+                if let Some(&c) = cache.get(t) {
+                    stats.cache_hits += 1;
+                    Ok(c)
+                } else if let Some(&k) = first_seen.get(t) {
+                    stats.cache_hits += 1;
+                    Err(k)
+                } else {
+                    stats.cache_misses += 1;
+                    first_seen.insert(t, pending.len());
+                    pending.push(t);
+                    Err(pending.len() - 1)
+                }
+            })
+            .collect();
+        let fresh = self.evaluate_batch(&pending, stats);
+        for (t, &c) in pending.iter().zip(&fresh) {
+            cache.insert((*t).clone(), c);
         }
-        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-        let workers = workers.min(topologies.len());
-        let mut costs = vec![0.0f64; topologies.len()];
-        let chunk = topologies.len().div_ceil(workers);
-        crossbeam::scope(|scope| {
-            for (slot, topos) in costs.chunks_mut(chunk).zip(topologies.chunks(chunk)) {
-                scope.spawn(move |_| {
-                    for (c, t) in slot.iter_mut().zip(topos) {
-                        *c = self.objective.cost(t);
-                    }
-                });
-            }
-        })
-        .expect("fitness evaluation worker panicked");
+        resolved
+            .into_iter()
+            .map(|r| match r {
+                Ok(c) => c,
+                Err(k) => fresh[k],
+            })
+            .collect()
+    }
+
+    /// Runs the objective over `batch`, in parallel when configured, adding
+    /// the elapsed wall-clock time to `stats.eval_seconds`.
+    fn evaluate_batch(&self, batch: &[&AdjacencyMatrix], stats: &mut EvalStats) -> Vec<f64> {
+        let start = Instant::now();
+        let costs = if !self.settings.parallel || batch.len() < 4 {
+            batch.iter().map(|t| self.objective.cost(t)).collect()
+        } else {
+            let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+            let workers = workers.min(batch.len());
+            let mut costs = vec![0.0f64; batch.len()];
+            let chunk = batch.len().div_ceil(workers);
+            crossbeam::scope(|scope| {
+                for (slot, topos) in costs.chunks_mut(chunk).zip(batch.chunks(chunk)) {
+                    scope.spawn(move |_| {
+                        for (c, t) in slot.iter_mut().zip(topos) {
+                            *c = self.objective.cost(t);
+                        }
+                    });
+                }
+            })
+            .expect("fitness evaluation worker panicked");
+            costs
+        };
+        stats.eval_seconds += start.elapsed().as_secs_f64();
         costs
     }
 }
@@ -213,12 +305,7 @@ mod tests {
         let n = 8;
         let r = engine(n, 1.0, 100.0, 0.0, 3).run();
         let mst_cost = (n - 1) as f64 * (1.0 + 100.0);
-        assert!(
-            (r.best.cost - mst_cost).abs() < 1e-9,
-            "best {} vs MST {}",
-            r.best.cost,
-            mst_cost
-        );
+        assert!((r.best.cost - mst_cost).abs() < 1e-9, "best {} vs MST {}", r.best.cost, mst_cost);
     }
 
     #[test]
@@ -233,11 +320,8 @@ mod tests {
         // …while the GA seeded with a star (as the initialized GA would be)
         // must find the single-hub optimum.
         let obj = LineObjective { n: 8, k0: 0.1, k1: 0.1, k3: 1000.0 };
-        let star = AdjacencyMatrix::from_edges(
-            8,
-            &(1..8).map(|v| (0, v)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let star =
+            AdjacencyMatrix::from_edges(8, &(1..8).map(|v| (0, v)).collect::<Vec<_>>()).unwrap();
         let seeded = GeneticAlgorithm::new(obj, GaSettings::quick(4)).run_seeded(&[star]);
         let hubs = seeded.best.topology.degrees().iter().filter(|&&d| d > 1).count();
         assert_eq!(hubs, 1, "initialized GA must reach the single-hub optimum");
@@ -268,11 +352,8 @@ mod tests {
         // Seed with the known optimum for k1-dominant costs (the path) and
         // verify the GA never does worse.
         let obj = LineObjective { n: 8, k0: 1.0, k1: 50.0, k3: 0.0 };
-        let path = AdjacencyMatrix::from_edges(
-            8,
-            &(0..7).map(|i| (i, i + 1)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let path = AdjacencyMatrix::from_edges(8, &(0..7).map(|i| (i, i + 1)).collect::<Vec<_>>())
+            .unwrap();
         let seed_cost = obj.cost(&path);
         let ga = GeneticAlgorithm::new(obj, GaSettings::quick(9));
         let r = ga.run_seeded(&[path]);
@@ -296,7 +377,104 @@ mod tests {
         let r = GeneticAlgorithm::new(LineObjective { n: 6, k0: 1.0, k1: 1.0, k3: 0.0 }, s).run();
         let expected = s.population + s.generations * (s.num_crossover + s.num_mutation);
         assert_eq!(r.evaluations, expected);
+        assert_eq!(r.eval_stats.requested, expected);
+        assert_eq!(r.eval_stats.cache_hits + r.eval_stats.cache_misses, expected);
+    }
+
+    /// Counts how many times the objective is actually evaluated.
+    struct CountingObjective {
+        inner: LineObjective,
+        calls: AtomicUsize,
+    }
+
+    impl CountingObjective {
+        fn new(inner: LineObjective) -> Self {
+            Self { inner, calls: AtomicUsize::new(0) }
+        }
+    }
+
+    impl Objective for CountingObjective {
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+
+        fn distance(&self, u: usize, v: usize) -> f64 {
+            self.inner.distance(u, v)
+        }
+
+        fn cost(&self, topology: &AdjacencyMatrix) -> f64 {
+            self.calls.fetch_add(1, AtomicOrdering::Relaxed);
+            self.inner.cost(topology)
+        }
+    }
+
+    #[test]
+    fn duplicates_in_one_batch_evaluated_once() {
+        let obj = CountingObjective::new(LineObjective { n: 5, k0: 1.0, k1: 1.0, k3: 0.0 });
+        let mut s = GaSettings::quick(1);
+        s.parallel = false;
+        let ga = GeneticAlgorithm::new(&obj, s);
+        let a = AdjacencyMatrix::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let b = AdjacencyMatrix::complete(5);
+        let batch = vec![a.clone(), a.clone(), b.clone(), a.clone()];
+        let mut cache = Some(std::collections::HashMap::new());
+        let mut stats = EvalStats::default();
+        let costs = ga.evaluate_all(&batch, cache.as_mut(), &mut stats);
+        assert_eq!(obj.calls.load(AtomicOrdering::Relaxed), 2, "a and b each routed once");
+        assert_eq!(costs[0], costs[1]);
+        assert_eq!(costs[1], costs[3]);
+        assert_eq!(stats.requested, 4);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_misses, 2);
+        // A second identical batch is served entirely from the cache.
+        let again = ga.evaluate_all(&batch, cache.as_mut(), &mut stats);
+        assert_eq!(again, costs);
+        assert_eq!(obj.calls.load(AtomicOrdering::Relaxed), 2);
+        assert_eq!(stats.cache_hits, 6);
+        assert_eq!(stats.cache_misses, 2);
+    }
+
+    #[test]
+    fn cache_misses_equal_actual_objective_calls() {
+        let obj = CountingObjective::new(LineObjective { n: 6, k0: 2.0, k1: 1.0, k3: 1.0 });
+        let mut s = GaSettings::quick(12);
+        s.parallel = false;
+        let r = GeneticAlgorithm::new(&obj, s).run();
+        assert_eq!(r.eval_stats.cache_misses, obj.calls.load(AtomicOrdering::Relaxed));
+        assert!(r.eval_stats.cache_hits > 0, "a converging quick run must produce duplicates");
+        assert_eq!(r.eval_stats.cache_hits + r.eval_stats.cache_misses, r.evaluations);
+        assert!(r.eval_stats.eval_seconds >= 0.0);
+    }
+
+    #[test]
+    fn cache_counters_agree_across_parallelism() {
+        let mut s = GaSettings::quick(13);
+        s.parallel = false;
+        let serial =
+            GeneticAlgorithm::new(LineObjective { n: 8, k0: 5.0, k1: 1.0, k3: 2.0 }, s).run();
+        let parallel = engine(8, 5.0, 1.0, 2.0, 13).run();
+        assert_eq!(serial.eval_stats.cache_hits, parallel.eval_stats.cache_hits);
+        assert_eq!(serial.eval_stats.cache_misses, parallel.eval_stats.cache_misses);
+        assert_eq!(serial.eval_stats.requested, parallel.eval_stats.requested);
+    }
+
+    #[test]
+    fn cached_run_is_bit_identical_to_uncached() {
+        let obj = LineObjective { n: 8, k0: 5.0, k1: 1.0, k3: 2.0 };
+        let mut s = GaSettings::quick(14);
+        s.fitness_cache = false;
+        let uncached = GeneticAlgorithm::new(&obj, s).run();
+        assert_eq!(uncached.eval_stats.cache_hits, 0, "cache off must never report hits");
+        assert_eq!(uncached.eval_stats.cache_misses, uncached.evaluations);
+        let cached = GeneticAlgorithm::new(&obj, GaSettings::quick(14)).run();
+        assert_eq!(cached.best.cost, uncached.best.cost);
+        assert_eq!(cached.best.topology, uncached.best.topology);
+        assert_eq!(cached.history, uncached.history);
+        let fp: Vec<_> = cached.final_population.iter().map(|i| i.cost).collect();
+        let fu: Vec<_> = uncached.final_population.iter().map(|i| i.cost).collect();
+        assert_eq!(fp, fu);
     }
 
     use crate::Objective;
+    use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 }

@@ -39,7 +39,7 @@ pub mod repair;
 pub mod settings;
 
 pub use chromosome::Individual;
-pub use engine::{GaResult, GeneticAlgorithm};
+pub use engine::{EvalStats, GaResult, GeneticAlgorithm};
 pub use settings::GaSettings;
 
 use cold_graph::AdjacencyMatrix;

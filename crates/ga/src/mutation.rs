@@ -83,8 +83,7 @@ pub fn node_mutation<O: Objective>(
     // the closest node overall.
     let degrees = topology.degrees();
     let candidates: Vec<usize> = {
-        let hubs: Vec<usize> =
-            (0..n).filter(|&v| v != victim && degrees[v] > 1).collect();
+        let hubs: Vec<usize> = (0..n).filter(|&v| v != victim && degrees[v] > 1).collect();
         if hubs.is_empty() {
             (0..n).filter(|&v| v != victim).collect()
         } else {
@@ -94,10 +93,7 @@ pub fn node_mutation<O: Objective>(
     let closest = candidates
         .into_iter()
         .min_by(|&a, &b| {
-            objective
-                .distance(victim, a)
-                .total_cmp(&objective.distance(victim, b))
-                .then(a.cmp(&b))
+            objective.distance(victim, a).total_cmp(&objective.distance(victim, b)).then(a.cmp(&b))
         })
         .expect("n >= 3 guarantees a candidate");
     topology.set_edge(victim, closest, true);
@@ -136,7 +132,8 @@ mod tests {
     #[test]
     fn link_mutation_changes_on_average_two_links() {
         let mut rng = StdRng::seed_from_u64(2);
-        let base = AdjacencyMatrix::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)]).unwrap();
+        let base =
+            AdjacencyMatrix::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)]).unwrap();
         let trials = 20_000;
         let mut total_changes = 0usize;
         for _ in 0..trials {
@@ -156,8 +153,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut saw_leafification = false;
         for _ in 0..50 {
-            let mut m =
-                AdjacencyMatrix::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+            let mut m = AdjacencyMatrix::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
             node_mutation(&mut m, &obj, &mut rng);
             // Victim now has degree exactly 1.
             let degs = m.degrees();
@@ -177,13 +173,12 @@ mod tests {
         // Force the victim to be node 0 or 3 (the only non-leaves).
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..30 {
-            let mut m =
-                AdjacencyMatrix::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]).unwrap();
+            let mut m = AdjacencyMatrix::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]).unwrap();
             node_mutation(&mut m, &obj, &mut rng);
             let degs = m.degrees();
             // Victim ends with degree 1; total edges shrink or stay equal.
             assert!(m.edge_count() <= 4);
-            assert!(degs.iter().any(|&d| d == 1));
+            assert!(degs.contains(&1));
         }
     }
 

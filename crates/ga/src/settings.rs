@@ -46,6 +46,12 @@ pub struct GaSettings {
     pub seed: u64,
     /// Evaluate fitness in parallel with scoped threads.
     pub parallel: bool,
+    /// Memoize fitness by chromosome (adjacency bitset), so duplicate
+    /// offspring — common once the population starts converging — are never
+    /// re-routed. Costs are deterministic functions of the topology, so the
+    /// cache changes no result, only the work done (see
+    /// [`GaResult::eval_stats`](crate::GaResult)).
+    pub fitness_cache: bool,
     /// Optional early stop: abort when the best cost has not improved by
     /// more than `rel_tol` over the last `window` generations. The paper
     /// notes `T = 100` "proved to function similarly" to such a rule (§5).
@@ -78,6 +84,7 @@ impl GaSettings {
             init_er_probability: None,
             seed,
             parallel: true,
+            fitness_cache: true,
             early_stop: None,
         }
     }
@@ -172,6 +179,7 @@ mod tests {
         assert_eq!(s.population, 100);
         assert_eq!(s.tournament_pool, 10);
         assert_eq!(s.parents, 2);
+        assert!(s.fitness_cache, "memoization is on by default");
     }
 
     #[test]

@@ -58,8 +58,8 @@ proptest! {
     ) {
         let n = a.n();
         let mut b = AdjacencyMatrix::empty(n);
-        for p in 0..b.pair_count() {
-            b.set_bit(p, bits[p]);
+        for (p, &bit) in bits.iter().enumerate().take(b.pair_count()) {
+            b.set_bit(p, bit);
         }
         let pop = vec![Individual::new(a.clone(), 1.0), Individual::new(b.clone(), 2.0)];
         let mut rng = StdRng::seed_from_u64(seed);

@@ -28,10 +28,7 @@ impl AdjacencyMatrix {
     /// Creates an empty graph (no edges) on `n` nodes.
     pub fn empty(n: usize) -> Self {
         let pairs = n * n.saturating_sub(1) / 2;
-        Self {
-            n,
-            bits: vec![0u64; pairs.div_ceil(64)],
-        }
+        Self { n, bits: vec![0u64; pairs.div_ceil(64)] }
     }
 
     /// Creates the complete graph on `n` nodes.
@@ -214,12 +211,7 @@ impl AdjacencyMatrix {
         if self.n != other.n {
             return Err(GraphError::SizeMismatch { expected: self.n, actual: other.n });
         }
-        Ok(self
-            .bits
-            .iter()
-            .zip(&other.bits)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum())
+        Ok(self.bits.iter().zip(&other.bits).map(|(a, b)| (a ^ b).count_ones() as usize).sum())
     }
 
     /// Returns a copy with nodes relabeled by `perm` (`perm[old] = new`).

@@ -286,8 +286,11 @@ mod tests {
 
     #[test]
     fn canonical_form_is_invariant_under_relabeling() {
-        let g = AdjacencyMatrix::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
-            .unwrap();
+        let g = AdjacencyMatrix::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)],
+        )
+        .unwrap();
         let c1 = canonical_form(&g);
         let c2 = canonical_form(&g.permuted(&[3, 5, 1, 0, 4, 2]));
         assert_eq!(c1, c2);

@@ -116,11 +116,8 @@ mod tests {
     #[test]
     fn barbell_bridge_detected() {
         // Two triangles joined by the single edge (2, 3).
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)])
+            .unwrap();
         let c = cut_structure(&g);
         assert_eq!(c.bridges, vec![(2, 3)]);
         assert_eq!(c.articulation_points, vec![2, 3]);

@@ -76,8 +76,7 @@ pub fn for_each_graph_mask(n: usize, connected_only: bool, mut f: impl FnMut(u64
     let min_edges = n.saturating_sub(1) as u32;
     let mut mask = 0u64;
     loop {
-        if !connected_only
-            || (mask.count_ones() >= min_edges && mask_is_connected(n, mask, &pairs))
+        if !connected_only || (mask.count_ones() >= min_edges && mask_is_connected(n, mask, &pairs))
         {
             f(mask);
         }

@@ -42,7 +42,7 @@ impl Graph {
             list.dedup();
             m += list.len();
         }
-        debug_assert!(m % 2 == 0);
+        debug_assert!(m.is_multiple_of(2));
         Self { adj, m: m / 2 }
     }
 

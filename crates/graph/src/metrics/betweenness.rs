@@ -117,11 +117,8 @@ mod tests {
     #[test]
     fn edge_betweenness_on_barbell_bridge() {
         // Two triangles joined by a bridge (2,3).
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)])
+            .unwrap();
         let edges: Vec<_> = g.edges().collect();
         let eb = edge_betweenness(&g);
         let bridge = edges.iter().position(|&e| e == (2, 3)).unwrap();

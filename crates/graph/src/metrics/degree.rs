@@ -34,7 +34,15 @@ pub struct DegreeStats {
 pub fn degree_stats(g: &Graph) -> DegreeStats {
     let n = g.n();
     if n == 0 {
-        return DegreeStats { mean: 0.0, std_dev: 0.0, cvnd: 0.0, min: 0, max: 0, leaves: 0, hubs: 0 };
+        return DegreeStats {
+            mean: 0.0,
+            std_dev: 0.0,
+            cvnd: 0.0,
+            min: 0,
+            max: 0,
+            leaves: 0,
+            hubs: 0,
+        };
     }
     let degs = g.degrees();
     let mean = degs.iter().sum::<usize>() as f64 / n as f64;
@@ -123,7 +131,10 @@ mod tests {
     fn empty_graph_is_all_zero() {
         let g = Graph::from_edges(0, &[]).unwrap();
         let s = degree_stats(&g);
-        assert_eq!(s, DegreeStats { mean: 0.0, std_dev: 0.0, cvnd: 0.0, min: 0, max: 0, leaves: 0, hubs: 0 });
+        assert_eq!(
+            s,
+            DegreeStats { mean: 0.0, std_dev: 0.0, cvnd: 0.0, min: 0, max: 0, leaves: 0, hubs: 0 }
+        );
     }
 
     #[test]

@@ -114,11 +114,9 @@ mod tests {
     #[test]
     fn ring_with_spokes_has_two_core_ring() {
         // 4-ring core {0..3} with one spoke each.
-        let g = Graph::from_edges(
-            8,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 5), (2, 6), (3, 7)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 5), (2, 6), (3, 7)])
+                .unwrap();
         let core = core_numbers(&g);
         assert_eq!(&core[..4], &[2, 2, 2, 2]);
         assert_eq!(&core[4..], &[1, 1, 1, 1]);
@@ -129,7 +127,20 @@ mod tests {
         // Cross-check against a simple iterative peel.
         let g = Graph::from_edges(
             9,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6), (6, 7), (7, 8), (8, 6), (1, 4)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 6),
+                (1, 4),
+            ],
         )
         .unwrap();
         let fast = core_numbers(&g);

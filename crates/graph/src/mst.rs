@@ -37,10 +37,7 @@ pub fn mst_kruskal(n: usize, weight: impl Fn(usize, usize) -> f64) -> Vec<Weight
         }
     }
     edges.sort_by(|a, b| {
-        a.weight
-            .total_cmp(&b.weight)
-            .then_with(|| a.u.cmp(&b.u))
-            .then_with(|| a.v.cmp(&b.v))
+        a.weight.total_cmp(&b.weight).then_with(|| a.u.cmp(&b.u)).then_with(|| a.v.cmp(&b.v))
     });
     let mut uf = UnionFind::new(n);
     let mut out = Vec::with_capacity(n - 1);
@@ -67,9 +64,9 @@ pub fn mst_prim(n: usize, weight: impl Fn(usize, usize) -> f64) -> Vec<WeightedE
     let mut best = vec![f64::INFINITY; n];
     let mut best_from = vec![0usize; n];
     in_tree[0] = true;
-    for v in 1..n {
-        best[v] = weight(0, v);
-        assert!(!best[v].is_nan(), "NaN weight for pair (0,{v})");
+    for (v, b) in best.iter_mut().enumerate().skip(1) {
+        *b = weight(0, v);
+        assert!(!b.is_nan(), "NaN weight for pair (0,{v})");
     }
     let mut out = Vec::with_capacity(n - 1);
     for _ in 1..n {
@@ -135,8 +132,7 @@ pub fn join_components(
                         None => true,
                         Some(cur) => {
                             cand.weight < cur.weight
-                                || (cand.weight == cur.weight
-                                    && (cand.u, cand.v) < (cur.u, cur.v))
+                                || (cand.weight == cur.weight && (cand.u, cand.v) < (cur.u, cur.v))
                         }
                     };
                     if better {

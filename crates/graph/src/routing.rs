@@ -9,12 +9,28 @@
 //! affect which topology is optimal).
 //!
 //! The per-source accumulation runs in O(n) after each Dijkstra by pushing
-//! subtree demand down the shortest-path tree in decreasing-distance order —
-//! the same trick as Brandes' betweenness accumulation — so the all-pairs
-//! routing is O(n·m·log n + n²), not O(n³·path length).
+//! subtree demand down the shortest-path tree in children-before-parents
+//! order — the same trick as Brandes' betweenness accumulation — so the
+//! all-pairs routing is O(n·m·log n + n²), not O(n³·path length). The
+//! ordering must *not* be by decreasing distance: with zero-length edges
+//! (coincident PoPs) a parent and child tie on distance, and a distance
+//! ordering could process the parent first and silently drop the child's
+//! subtree load.
+//!
+//! Two entry points share that core. [`route_traffic`] materializes the
+//! full [`RoutingResult`] (edge list, per-edge loads, shortest-path trees)
+//! for reports and capacity plans; it orders the pass by decreasing tree
+//! *depth* (hops), counting-sorted in O(n). [`route_loads_into`] is the
+//! allocation-lean variant for objective evaluation — it reuses a
+//! [`RoutingWorkspace`], runs Dijkstra over a precomputed CSR, and walks
+//! the recorded settle order in reverse (children settle strictly after
+//! parents, zero-length edges included) without building trees, an edge
+//! list, or a depth pass. Both orders are valid children-first traversals;
+//! per-link loads can differ between the two entry points only by
+//! floating-point summation order (≈1 ULP), while `Σ t·L` is bit-identical.
 
 use crate::graph::Graph;
-use crate::shortest_path::{dijkstra, ShortestPathTree};
+use crate::shortest_path::{dijkstra, DijkstraWorkspace, ShortestPathTree};
 use crate::{GraphError, Result};
 
 /// The outcome of routing a traffic matrix over a topology.
@@ -61,47 +77,261 @@ pub fn route_traffic(
     let n = g.n();
     let edges: Vec<(usize, usize)> = g.edges().collect();
     // Pair-index → edge-list position for O(1) load accumulation.
-    let matrix = crate::AdjacencyMatrix::empty(n);
-    let mut edge_slot = vec![usize::MAX; matrix.pair_count()];
+    let mut edge_slot = vec![usize::MAX; pair_count(n)];
     for (i, &(u, v)) in edges.iter().enumerate() {
-        edge_slot[matrix.pair_index(u, v)] = i;
+        edge_slot[pair_slot(n, u, v)] = i;
     }
     let mut load = vec![0.0f64; edges.len()];
     let mut weighted_len = 0.0f64;
     let mut trees = Vec::with_capacity(n);
+    let mut scratch = SubtreeScratch::default();
     for s in 0..n {
         let tree = dijkstra(g, s, len);
-        // Order reachable nodes by decreasing distance for the subtree pass.
-        let mut order: Vec<usize> = (0..n).filter(|&v| v != s && tree.dist[v].is_finite()).collect();
-        order.sort_by(|&a, &b| tree.dist[b].total_cmp(&tree.dist[a]).then(b.cmp(&a)));
-        let mut demand = vec![0.0f64; n];
-        for t in 0..n {
-            if t == s {
-                continue;
-            }
-            let d = traffic(s, t);
-            assert!(d >= 0.0, "negative or NaN demand ({s},{t}): {d}");
-            if d > 0.0 {
-                if !tree.dist[t].is_finite() {
-                    return Err(GraphError::Disconnected);
-                }
-                demand[t] += d;
-                weighted_len += d * tree.dist[t];
-            }
-        }
-        for &v in &order {
-            let p = tree.parent[v];
-            debug_assert_ne!(p, usize::MAX);
-            if demand[v] > 0.0 {
-                let slot = edge_slot[matrix.pair_index(p, v)];
+        weighted_len +=
+            accumulate_source(s, &tree.dist, &tree.parent, &traffic, &mut scratch, |p, v, d| {
+                let slot = edge_slot[pair_slot(n, p, v)];
                 debug_assert_ne!(slot, usize::MAX, "tree edge must exist in graph");
-                load[slot] += demand[v];
-                demand[p] += demand[v];
-            }
-        }
+                load[slot] += d;
+            })?;
         trees.push(tree);
     }
     Ok(RoutingResult { edges, load, traffic_weighted_route_length: weighted_len, trees })
+}
+
+/// Reusable scratch for [`route_loads_into`]: the Dijkstra buffers, the
+/// CSR adjacency with precomputed arc lengths, and the per-source demand
+/// vector of the subtree pass. One workspace per worker thread makes
+/// repeated objective evaluations allocation-free after warm-up.
+#[derive(Debug, Default)]
+pub struct RoutingWorkspace {
+    dijkstra: DijkstraWorkspace,
+    scratch: SubtreeScratch,
+    csr: CsrScratch,
+}
+
+/// CSR adjacency with per-arc lengths, rebuilt once per topology so the n
+/// per-source Dijkstras read contiguous arrays instead of calling the
+/// length closure ~2m times each.
+#[derive(Debug, Default)]
+struct CsrScratch {
+    start: Vec<usize>,
+    node: Vec<usize>,
+    len: Vec<f64>,
+}
+
+impl CsrScratch {
+    fn build(&mut self, g: &Graph, len: impl Fn(usize, usize) -> f64) {
+        let n = g.n();
+        self.start.clear();
+        self.node.clear();
+        self.len.clear();
+        self.start.reserve(n + 1);
+        self.start.push(0);
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                let w = len(u, v);
+                assert!(w >= 0.0, "negative or NaN edge length on ({u},{v}): {w}");
+                self.node.push(v);
+                self.len.push(w);
+            }
+            self.start.push(self.node.len());
+        }
+    }
+}
+
+impl RoutingWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Buffers of the per-source subtree-accumulation pass.
+#[derive(Debug, Default)]
+struct SubtreeScratch {
+    demand: Vec<f64>,
+    depth: Vec<usize>,
+    counts: Vec<usize>,
+    order: Vec<usize>,
+}
+
+/// Routes `traffic` over `g` like [`route_traffic`], but accumulates loads
+/// into `load` (indexed by upper-triangle node-pair index, the ordering of
+/// [`crate::AdjacencyMatrix::pair_index`]; non-edges stay `0.0`) and returns
+/// `Σ_r t_r·L_r` — without materializing shortest-path trees, an edge list,
+/// or any per-call allocation beyond growing the reused buffers.
+///
+/// The returned `Σ t·L` is bit-identical to [`route_traffic`]'s (same
+/// Dijkstra, same demand loop). Per-link loads agree up to floating-point
+/// summation order: subtree demand is pushed down in reverse settle order
+/// here versus decreasing-depth order there, so a node's children can
+/// accumulate into its demand in a different sequence (≈1 ULP).
+///
+/// # Errors
+/// Returns [`GraphError::Disconnected`] if any positive demand connects a
+/// pair with no path.
+pub fn route_loads_into(
+    g: &Graph,
+    len: impl Fn(usize, usize) -> f64 + Copy,
+    traffic: impl Fn(usize, usize) -> f64,
+    ws: &mut RoutingWorkspace,
+    load: &mut Vec<f64>,
+) -> Result<f64> {
+    let n = g.n();
+    load.clear();
+    load.resize(pair_count(n), 0.0);
+    let RoutingWorkspace { dijkstra, scratch, csr } = ws;
+    csr.build(g, len);
+    let mut weighted_len = 0.0f64;
+    for s in 0..n {
+        dijkstra.run_csr(s, &csr.start, &csr.node, &csr.len);
+        weighted_len += collect_demands(s, dijkstra.dist(), &traffic, &mut scratch.demand)?;
+        // Push subtree demand down the tree in reverse settle order: every
+        // tree child settled strictly after its parent (zero-length edges
+        // included), so the reversal processes children first.
+        let parent = dijkstra.parent();
+        for &v in dijkstra.settle_order().iter().rev() {
+            let d = scratch.demand[v];
+            if v != s && d > 0.0 {
+                let p = parent[v];
+                load[pair_slot(n, p, v)] += d;
+                scratch.demand[p] += d;
+            }
+        }
+    }
+    Ok(weighted_len)
+}
+
+/// Number of unordered node pairs on `n` nodes.
+#[inline]
+fn pair_count(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Flat upper-triangle index of the unordered pair `{u, v}`, matching
+/// [`crate::AdjacencyMatrix::pair_index`] without needing a matrix.
+#[inline]
+fn pair_slot(n: usize, u: usize, v: usize) -> usize {
+    debug_assert!(u != v && u < n && v < n, "bad pair ({u},{v}) for n={n}");
+    let (i, j) = if u < v { (u, v) } else { (v, u) };
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
+
+/// Collects the demands out of source `s`, pushes them down the
+/// shortest-path tree in decreasing-depth order, and reports each tree
+/// link's contribution through `add_load(parent, node, demand)`.
+/// Returns `Σ_t t(s,t)·dist[t]`.
+fn accumulate_source(
+    s: usize,
+    dist: &[f64],
+    parent: &[usize],
+    traffic: &impl Fn(usize, usize) -> f64,
+    scratch: &mut SubtreeScratch,
+    mut add_load: impl FnMut(usize, usize, f64),
+) -> Result<f64> {
+    let weighted = collect_demands(s, dist, traffic, &mut scratch.demand)?;
+    let demand = &mut scratch.demand;
+    tree_depths(s, dist, parent, &mut scratch.depth);
+    order_by_depth_desc(&scratch.depth, &mut scratch.counts, &mut scratch.order);
+    for &v in &scratch.order {
+        if demand[v] > 0.0 {
+            let p = parent[v];
+            debug_assert_ne!(p, usize::MAX);
+            add_load(p, v, demand[v]);
+            demand[p] += demand[v];
+        }
+    }
+    Ok(weighted)
+}
+
+/// Fills `demand` with the demands out of source `s` (rejecting positive
+/// demand to unreachable nodes) and returns `Σ_t t(s,t)·dist[t]`. Both
+/// routing entry points share this loop so their `Σ t·L` stays
+/// bit-identical.
+fn collect_demands(
+    s: usize,
+    dist: &[f64],
+    traffic: &impl Fn(usize, usize) -> f64,
+    demand: &mut Vec<f64>,
+) -> Result<f64> {
+    let n = dist.len();
+    demand.clear();
+    demand.resize(n, 0.0);
+    let mut weighted = 0.0f64;
+    for t in 0..n {
+        if t == s {
+            continue;
+        }
+        let d = traffic(s, t);
+        assert!(d >= 0.0, "negative or NaN demand ({s},{t}): {d}");
+        if d > 0.0 {
+            if !dist[t].is_finite() {
+                return Err(GraphError::Disconnected);
+            }
+            demand[t] += d;
+            weighted += d * dist[t];
+        }
+    }
+    Ok(weighted)
+}
+
+/// Computes each reachable node's hop depth in the shortest-path tree
+/// (`usize::MAX` for unreachable nodes) by memoized parent walks — O(n)
+/// amortized, since every node's depth is assigned exactly once.
+fn tree_depths(source: usize, dist: &[f64], parent: &[usize], depth: &mut Vec<usize>) {
+    let n = dist.len();
+    depth.clear();
+    depth.resize(n, usize::MAX);
+    depth[source] = 0;
+    for start in 0..n {
+        if depth[start] != usize::MAX || !dist[start].is_finite() {
+            continue;
+        }
+        // Walk up to the first node of known depth, then assign the chain.
+        let mut v = start;
+        let mut steps = 0usize;
+        while depth[v] == usize::MAX {
+            v = parent[v];
+            steps += 1;
+        }
+        let mut d = depth[v] + steps;
+        let mut v = start;
+        while depth[v] == usize::MAX {
+            depth[v] = d;
+            d -= 1;
+            v = parent[v];
+        }
+    }
+}
+
+/// Counting-sorts the reachable non-source nodes by *decreasing* tree depth
+/// into `order`, so every child precedes its parent. A zero-length tree
+/// edge gives parent and child equal *distance* but never equal depth,
+/// which is why depth (not distance) must order the subtree pass.
+fn order_by_depth_desc(depth: &[usize], counts: &mut Vec<usize>, order: &mut Vec<usize>) {
+    let max_depth = depth.iter().filter(|&&d| d != usize::MAX).max().copied().unwrap_or(0);
+    counts.clear();
+    counts.resize(max_depth + 1, 0);
+    for &d in depth {
+        if d != usize::MAX && d > 0 {
+            counts[d] += 1;
+        }
+    }
+    // Turn counts into bucket start offsets for descending depth.
+    let mut acc = 0usize;
+    for d in (1..=max_depth).rev() {
+        let c = counts[d];
+        counts[d] = acc;
+        acc += c;
+    }
+    order.clear();
+    order.resize(acc, 0);
+    for (v, &d) in depth.iter().enumerate() {
+        if d != usize::MAX && d > 0 {
+            order[counts[d]] = v;
+            counts[d] += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -133,12 +363,7 @@ mod tests {
         let sym = move |u: usize, v: usize| if u < v { len(u, v) } else { len(v, u) };
         let traffic = |s: usize, t: usize| ((s * 3 + t) % 4) as f64;
         let r = route_traffic(&g, sym, traffic).unwrap();
-        let link_side: f64 = r
-            .edges
-            .iter()
-            .zip(&r.load)
-            .map(|(&(u, v), &w)| sym(u, v) * w)
-            .sum();
+        let link_side: f64 = r.edges.iter().zip(&r.load).map(|(&(u, v), &w)| sym(u, v) * w).sum();
         assert!(
             (link_side - r.traffic_weighted_route_length).abs() < 1e-9,
             "Σ ℓ·w = {link_side} vs Σ t·L = {}",
@@ -184,9 +409,103 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_edge_does_not_drop_subtree_loads() {
+        // Two PoPs at identical coordinates: nodes 1 and 2 coincide, so the
+        // edge (1,2) has length 0. In the tree from source 0, node 2 is the
+        // parent of node 1 at *equal distance*; the old decreasing-distance
+        // ordering processed the parent first and dropped the child's
+        // subtree demand from edge (0,2).
+        let g = Graph::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        let len = |u: usize, v: usize| {
+            let (u, v) = if u < v { (u, v) } else { (v, u) };
+            if (u, v) == (1, 2) {
+                0.0
+            } else {
+                1.0
+            }
+        };
+        let r = route_traffic(&g, len, uniform_traffic).unwrap();
+        // (0,2) carries 0↔1 and 0↔2: four unit demands.
+        assert_eq!(r.load_on(0, 2), Some(4.0));
+        // (1,2) carries 0↔1 and 1↔2: four unit demands.
+        assert_eq!(r.load_on(1, 2), Some(4.0));
+        // And the eq. (1) identity must hold: Σ ℓ·w = 1·4 + 0·4 = Σ t·L.
+        let link_side: f64 = r.edges.iter().zip(&r.load).map(|(&(u, v), &w)| len(u, v) * w).sum();
+        assert_eq!(link_side, r.traffic_weighted_route_length);
+        // The lean path (reverse settle order) must not drop the load
+        // either.
+        let mut ws = RoutingWorkspace::new();
+        let mut load = Vec::new();
+        let weighted = route_loads_into(&g, len, uniform_traffic, &mut ws, &mut load).unwrap();
+        assert_eq!(weighted, r.traffic_weighted_route_length);
+        assert_eq!(load[pair_slot(3, 0, 2)], 4.0);
+        assert_eq!(load[pair_slot(3, 1, 2)], 4.0);
+    }
+
+    #[test]
+    fn route_loads_into_matches_route_traffic() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap();
+        let len = |u: usize, v: usize| ((u + 2 * v) % 5 + 1) as f64 * 0.1;
+        let sym = move |u: usize, v: usize| if u < v { len(u, v) } else { len(v, u) };
+        let traffic = |s: usize, t: usize| ((s * 3 + t) % 4) as f64;
+        let full = route_traffic(&g, sym, traffic).unwrap();
+        let mut ws = RoutingWorkspace::new();
+        let mut load = Vec::new();
+        let weighted = route_loads_into(&g, sym, traffic, &mut ws, &mut load).unwrap();
+        assert_eq!(weighted, full.traffic_weighted_route_length, "Σ t·L must be bit-identical");
+        assert_eq!(load.len(), 10);
+        let m = crate::AdjacencyMatrix::from_edges(5, &full.edges).unwrap();
+        for (i, &(u, v)) in full.edges.iter().enumerate() {
+            assert_eq!(load[m.pair_index(u, v)], full.load[i], "load on ({u},{v})");
+        }
+        // Non-edges carry nothing.
+        let carried: f64 = full.load.iter().sum();
+        let total: f64 = load.iter().sum();
+        assert_eq!(carried, total);
+    }
+
+    #[test]
+    fn route_loads_into_reuses_workspace_across_graphs() {
+        let mut ws = RoutingWorkspace::new();
+        let mut load = Vec::new();
+        // Larger graph first, then smaller: buffers must shrink correctly.
+        let big = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        route_loads_into(&big, |_, _| 1.0, uniform_traffic, &mut ws, &mut load).unwrap();
+        let small = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let weighted =
+            route_loads_into(&small, |_, _| 1.0, uniform_traffic, &mut ws, &mut load).unwrap();
+        let full = route_traffic(&small, |_, _| 1.0, uniform_traffic).unwrap();
+        assert_eq!(weighted, full.traffic_weighted_route_length);
+        assert_eq!(load.len(), 6);
+        let m = crate::AdjacencyMatrix::from_edges(4, &full.edges).unwrap();
+        for (i, &(u, v)) in full.edges.iter().enumerate() {
+            assert_eq!(load[m.pair_index(u, v)], full.load[i]);
+        }
+    }
+
+    #[test]
+    fn route_loads_into_reports_disconnection() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut ws = RoutingWorkspace::new();
+        let mut load = Vec::new();
+        assert_eq!(
+            route_loads_into(&g, |_, _| 1.0, uniform_traffic, &mut ws, &mut load).unwrap_err(),
+            GraphError::Disconnected
+        );
+    }
+
+    #[test]
     fn asymmetric_demands_sum_onto_undirected_link() {
         let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
-        let t = |s: usize, d: usize| if (s, d) == (0, 1) { 3.0 } else if (s, d) == (1, 0) { 5.0 } else { 0.0 };
+        let t = |s: usize, d: usize| {
+            if (s, d) == (0, 1) {
+                3.0
+            } else if (s, d) == (1, 0) {
+                5.0
+            } else {
+                0.0
+            }
+        };
         let r = route_traffic(&g, |_, _| 2.0, t).unwrap();
         assert_eq!(r.load_on(0, 1), Some(8.0));
         assert_eq!(r.traffic_weighted_route_length, 16.0);

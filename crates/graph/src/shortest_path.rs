@@ -51,6 +51,7 @@ impl ShortestPathTree {
 }
 
 /// Max-heap entry ordered so the smallest `(dist, node)` pops first.
+#[derive(Debug)]
 struct HeapItem {
     dist: f64,
     node: usize,
@@ -70,10 +71,163 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the min element.
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then_with(|| other.node.cmp(&self.node))
+        other.dist.total_cmp(&self.dist).then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Reusable buffers for repeated Dijkstra runs.
+///
+/// All-pairs routing runs one Dijkstra per source per candidate topology,
+/// which makes the four per-call allocations (`dist`, `parent`, `done` and
+/// the heap) the dominant allocator traffic of the GA's hot path. A
+/// workspace amortizes them: [`run`](Self::run) reuses the buffers and the
+/// results stay readable through [`dist`](Self::dist) /
+/// [`parent`](Self::parent) until the next run.
+#[derive(Debug, Default)]
+pub struct DijkstraWorkspace {
+    dist: Vec<f64>,
+    parent: Vec<usize>,
+    done: Vec<bool>,
+    heap: BinaryHeap<HeapItem>,
+    order: Vec<usize>,
+}
+
+impl DijkstraWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs Dijkstra from `source`, overwriting the workspace buffers.
+    ///
+    /// Produces bit-identical distances and parents to [`dijkstra`].
+    ///
+    /// # Panics
+    /// As for [`dijkstra`].
+    pub fn run(&mut self, g: &Graph, source: usize, len: impl Fn(usize, usize) -> f64) {
+        run_dijkstra(
+            g,
+            source,
+            len,
+            &mut self.dist,
+            &mut self.parent,
+            &mut self.done,
+            &mut self.heap,
+            &mut self.order,
+        );
+    }
+
+    /// Runs Dijkstra from `source` over a CSR adjacency: node `u`'s
+    /// neighbors are `node[start[u]..start[u + 1]]` with arc lengths at the
+    /// same indices of `len` (`n = start.len() - 1`).
+    ///
+    /// With a CSR built in the same neighbor order from the same length
+    /// function, this is bit-identical to [`run`](Self::run) — the
+    /// relaxation sequence and arithmetic are unchanged, only the length
+    /// lookups are precomputed. Repeated sources on one graph amortize the
+    /// CSR build, and the contiguous length array replaces ~2m closure
+    /// calls per source.
+    ///
+    /// # Panics
+    /// Panics if `source >= n`. Lengths must already be validated
+    /// non-negative by the CSR builder.
+    pub fn run_csr(&mut self, source: usize, start: &[usize], node: &[usize], len: &[f64]) {
+        let n = start.len().saturating_sub(1);
+        assert!(source < n, "source {source} out of range (n={n})");
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.parent.clear();
+        self.parent.resize(n, usize::MAX);
+        self.done.clear();
+        self.done.resize(n, false);
+        self.heap.clear();
+        self.order.clear();
+        self.dist[source] = 0.0;
+        self.parent[source] = source;
+        self.heap.push(HeapItem { dist: 0.0, node: source });
+        while let Some(HeapItem { dist: d, node: u }) = self.heap.pop() {
+            if self.done[u] {
+                continue;
+            }
+            self.done[u] = true;
+            self.order.push(u);
+            for k in start[u]..start[u + 1] {
+                let v = node[k];
+                let nd = d + len[k];
+                if nd < self.dist[v] || (nd == self.dist[v] && !self.done[v] && u < self.parent[v])
+                {
+                    self.dist[v] = nd;
+                    self.parent[v] = u;
+                    self.heap.push(HeapItem { dist: nd, node: v });
+                }
+            }
+        }
+    }
+
+    /// Distances of the last run (`f64::INFINITY` when unreachable).
+    pub fn dist(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Parent pointers of the last run (`parent[source] == source`,
+    /// `usize::MAX` when unreachable).
+    pub fn parent(&self) -> &[usize] {
+        &self.parent
+    }
+
+    /// Settle order of the last run: reachable nodes in the order Dijkstra
+    /// finalized them (nondecreasing distance, source first; unreachable
+    /// nodes absent). Every tree child appears strictly *after* its parent
+    /// — zero-length edges included, since a child's final label is
+    /// assigned no earlier than at its parent's settling and it pops
+    /// strictly later — so the reversed order is a children-first
+    /// traversal of the shortest-path tree.
+    pub fn settle_order(&self) -> &[usize] {
+        &self.order
+    }
+}
+
+/// Shared Dijkstra core writing into caller-provided buffers.
+#[allow(clippy::too_many_arguments)]
+fn run_dijkstra(
+    g: &Graph,
+    source: usize,
+    len: impl Fn(usize, usize) -> f64,
+    dist: &mut Vec<f64>,
+    parent: &mut Vec<usize>,
+    done: &mut Vec<bool>,
+    heap: &mut BinaryHeap<HeapItem>,
+    order: &mut Vec<usize>,
+) {
+    let n = g.n();
+    assert!(source < n, "source {source} out of range (n={n})");
+    dist.clear();
+    dist.resize(n, f64::INFINITY);
+    parent.clear();
+    parent.resize(n, usize::MAX);
+    done.clear();
+    done.resize(n, false);
+    heap.clear();
+    order.clear();
+    dist[source] = 0.0;
+    parent[source] = source;
+    heap.push(HeapItem { dist: 0.0, node: source });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        order.push(u);
+        for &v in g.neighbors(u) {
+            let w = len(u, v);
+            assert!(w >= 0.0, "negative or NaN edge length on ({u},{v}): {w}");
+            let nd = d + w;
+            if nd < dist[v] || (nd == dist[v] && !done[v] && u < parent[v]) {
+                dist[v] = nd;
+                parent[v] = u;
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
     }
 }
 
@@ -87,30 +241,12 @@ impl Ord for HeapItem {
 /// Panics if `source >= g.n()` or a negative/NaN length is produced.
 pub fn dijkstra(g: &Graph, source: usize, len: impl Fn(usize, usize) -> f64) -> ShortestPathTree {
     let n = g.n();
-    assert!(source < n, "source {source} out of range (n={n})");
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent = vec![usize::MAX; n];
-    let mut done = vec![false; n];
-    dist[source] = 0.0;
-    parent[source] = source;
+    let mut dist = Vec::with_capacity(n);
+    let mut parent = Vec::with_capacity(n);
+    let mut done = Vec::with_capacity(n);
     let mut heap = BinaryHeap::with_capacity(n);
-    heap.push(HeapItem { dist: 0.0, node: source });
-    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
-        if done[u] {
-            continue;
-        }
-        done[u] = true;
-        for &v in g.neighbors(u) {
-            let w = len(u, v);
-            assert!(w >= 0.0, "negative or NaN edge length on ({u},{v}): {w}");
-            let nd = d + w;
-            if nd < dist[v] || (nd == dist[v] && !done[v] && u < parent[v]) {
-                dist[v] = nd;
-                parent[v] = u;
-                heap.push(HeapItem { dist: nd, node: v });
-            }
-        }
-    }
+    let mut order = Vec::with_capacity(n);
+    run_dijkstra(g, source, len, &mut dist, &mut parent, &mut done, &mut heap, &mut order);
     ShortestPathTree { source, dist, parent }
 }
 
@@ -207,6 +343,68 @@ mod tests {
         let h = bfs_hops(&g, 0);
         assert_eq!(h[..4], [0, 1, 2, 3]);
         assert_eq!(h[4], usize::MAX);
+    }
+
+    #[test]
+    fn workspace_matches_fresh_dijkstra_across_reuse() {
+        let (g, len) = square();
+        let other = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let mut ws = DijkstraWorkspace::new();
+        for s in 0..4 {
+            ws.run(&g, s, len);
+            let fresh = dijkstra(&g, s, len);
+            assert_eq!(ws.dist(), &fresh.dist[..]);
+            assert_eq!(ws.parent(), &fresh.parent[..]);
+        }
+        // Reuse on a *larger* graph must resize, not truncate.
+        ws.run(&other, 5, |_, _| 1.0);
+        let fresh = dijkstra(&other, 5, |_, _| 1.0);
+        assert_eq!(ws.dist(), &fresh.dist[..]);
+        assert_eq!(ws.parent(), &fresh.parent[..]);
+    }
+
+    #[test]
+    fn csr_run_matches_closure_run_and_orders_children_after_parents() {
+        // Includes a zero-length edge (1,2): settle order must still place
+        // tree child after parent despite the distance tie.
+        let g = Graph::from_edges(4, &[(0, 2), (1, 2), (1, 3)]).unwrap();
+        let len = |u: usize, v: usize| {
+            let (u, v) = if u < v { (u, v) } else { (v, u) };
+            if (u, v) == (1, 2) {
+                0.0
+            } else {
+                1.0
+            }
+        };
+        // CSR in g.neighbors order.
+        let n = g.n();
+        let (mut start, mut node, mut elen) = (vec![0], Vec::new(), Vec::new());
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                node.push(v);
+                elen.push(len(u, v));
+            }
+            start.push(node.len());
+        }
+        let mut csr_ws = DijkstraWorkspace::new();
+        let mut ws = DijkstraWorkspace::new();
+        for s in 0..n {
+            csr_ws.run_csr(s, &start, &node, &elen);
+            ws.run(&g, s, len);
+            assert_eq!(csr_ws.dist(), ws.dist());
+            assert_eq!(csr_ws.parent(), ws.parent());
+            assert_eq!(csr_ws.settle_order(), ws.settle_order());
+            let order = csr_ws.settle_order();
+            assert_eq!(order[0], s, "source settles first");
+            assert_eq!(order.len(), n, "connected: everyone settles");
+            let pos = |x: usize| order.iter().position(|&v| v == x).unwrap();
+            for v in 0..n {
+                if v != s {
+                    let p = csr_ws.parent()[v];
+                    assert!(pos(p) < pos(v), "parent {p} must settle before child {v} (s={s})");
+                }
+            }
+        }
     }
 
     #[test]

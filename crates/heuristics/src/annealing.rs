@@ -167,8 +167,8 @@ pub fn anneal<P: AnnealingProblem>(
         let cand_cost = problem.cost(&candidate);
         evaluations += 1;
         let delta = cand_cost - state_cost;
-        let accept = delta <= 0.0
-            || (temp > 0.0 && rng.gen_range(0.0..1.0) < (-delta / temp).exp());
+        let accept =
+            delta <= 0.0 || (temp > 0.0 && rng.gen_range(0.0..1.0) < (-delta / temp).exp());
         if accept {
             state = candidate;
             state_cost = cand_cost;
@@ -253,15 +253,16 @@ mod tests {
         // warm-started at the optimum it never leaves it.
         let ctx = ContextConfig::paper_default(8).generate(4);
         let p = Problem(CostEvaluator::new(&ctx, CostParams::new(0.01, 0.01, 0.0, 1e6)));
-        let s = AnnealingSettings { steps: 4000, node_move_prob: 0.5, seed: 5, ..Default::default() };
+        let s =
+            AnnealingSettings { steps: 4000, node_move_prob: 0.5, seed: 5, ..Default::default() };
         let start = cold_graph::mst::mst_matrix(8, ctx.distance_fn());
         let start_hubs = start.degrees().iter().filter(|&&d| d > 1).count();
         let r = anneal(&p, &s, Some(start));
         let hubs = r.best.degrees().iter().filter(|&&d| d > 1).count();
         assert!(hubs < start_hubs, "SA must shed hubs: {start_hubs} -> {hubs}");
         // Warm start at the star: no move improves, so SA must return it.
-        let star = AdjacencyMatrix::from_edges(8, &(1..8).map(|v| (0, v)).collect::<Vec<_>>())
-            .unwrap();
+        let star =
+            AdjacencyMatrix::from_edges(8, &(1..8).map(|v| (0, v)).collect::<Vec<_>>()).unwrap();
         let star_cost = p.cost(&star);
         let warm = anneal(&p, &s, Some(star));
         assert!((warm.best_cost - star_cost).abs() < 1e-9);

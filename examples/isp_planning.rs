@@ -66,10 +66,7 @@ fn main() {
     // networks can be generated, so can larger networks".
     println!("\n== market growth at the 'growing' posture ==\n");
     for (i, n) in [15usize, 25, 40].into_iter().enumerate() {
-        let cfg = ColdConfig {
-            context: cold_context::ContextConfig::paper_default(n),
-            ..growing
-        };
+        let cfg = ColdConfig { context: cold_context::ContextConfig::paper_default(n), ..growing };
         let r = cfg.synthesize(seed + i as u64);
         describe(&format!("market with {n} PoPs"), &r);
     }

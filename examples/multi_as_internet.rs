@@ -49,10 +49,8 @@ fn main() {
 
     // Router-level expansion of AS0.
     let as0 = &multi.networks[0];
-    let rl_cfg = RouterLevelConfig {
-        router_capacity: as0.context.traffic.total() / 16.0,
-        max_routers: 6,
-    };
+    let rl_cfg =
+        RouterLevelConfig { router_capacity: as0.context.traffic.total() / 16.0, max_routers: 6 };
     let routers = expand(&as0.network, &as0.context, &rl_cfg);
     println!(
         "\nrouter-level expansion of AS0: {} PoPs -> {} routers, {} links ({} intra-PoP)",

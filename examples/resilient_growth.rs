@@ -22,7 +22,12 @@ fn main() {
 
     // Step 1: green-field design for the initial market.
     let v1 = cfg.synthesize(seed);
-    println!("year 1: {} PoPs, {} links, cost {:.1}", v1.network.n(), v1.network.link_count(), v1.best_cost());
+    println!(
+        "year 1: {} PoPs, {} links, cost {:.1}",
+        v1.network.n(),
+        v1.network.link_count(),
+        v1.best_cost()
+    );
     let s1 = survivability(&v1.network.topology, &v1.context);
     println!(
         "        bridges {}, worst single-link failure strands {:.0}% of traffic",

@@ -81,10 +81,7 @@ fn main() {
     // generated for).
     let report = cold::failure::single_link_failures(&target_net.network, &target_net.context);
     let worst = report.worst().expect("network has links");
-    println!(
-        "\nfailure analysis of member 0 ({} links):",
-        report.impacts.len()
-    );
+    println!("\nfailure analysis of member 0 ({} links):", report.impacts.len());
     println!(
         "  worst link {:?}: strands {:.0}% of traffic, mean stretch {:.2}",
         worst.link,

@@ -19,9 +19,7 @@ fn full_pipeline_produces_consistent_network() {
     // Cost breakdown adds up and matches the link annotations.
     let recomputed_length: f64 = net.links.iter().map(|l| l.length).sum();
     assert!((net.cost.length - net.params.k1 * recomputed_length).abs() < 1e-6);
-    assert!(
-        (net.cost.existence - net.params.k0 * net.link_count() as f64).abs() < 1e-9
-    );
+    assert!((net.cost.existence - net.params.k0 * net.link_count() as f64).abs() < 1e-9);
     let bw: f64 = net.links.iter().map(|l| l.length * l.load).sum();
     assert!((net.cost.bandwidth - net.params.k2 * bw).abs() < 1e-6 * (1.0 + bw.abs()));
     let hubs = net.topology.degrees().iter().filter(|&&d| d > 1).count();
@@ -83,11 +81,7 @@ fn cost_parameter_extremes_produce_the_paper_archetypes() {
     let mut meshy_cfg = ColdConfig::quick(n, 10.0, 0.0);
     meshy_cfg.params = CostParams::new(1e-6, 1e-6, 10.0, 0.0);
     let mesh = meshy_cfg.synthesize(2);
-    assert_eq!(
-        mesh.network.link_count(),
-        n * (n - 1) / 2,
-        "overwhelming k2 must give the clique"
-    );
+    assert_eq!(mesh.network.link_count(), n * (n - 1) / 2, "overwhelming k2 must give the clique");
     // k3 dominant ⇒ hub-and-spoke (single core node).
     let mut hub_cfg = ColdConfig::quick(n, 1e-9, 1e9);
     hub_cfg.params = CostParams::new(0.01, 0.01, 0.0, 1e9);

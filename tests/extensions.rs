@@ -35,13 +35,9 @@ fn tiny_ga(seed: u64) -> GaSettings {
 
 #[test]
 fn imported_cities_flow_through_the_whole_pipeline() {
-    let (ctx, names) = context_from_csv(
-        CITIES,
-        PopulationKind::Constant { value: 1.0 },
-        GravityModel::raw(),
-        0,
-    )
-    .unwrap();
+    let (ctx, names) =
+        context_from_csv(CITIES, PopulationKind::Constant { value: 1.0 }, GravityModel::raw(), 0)
+            .unwrap();
     assert_eq!(names.len(), 8);
     let cfg = ColdConfig {
         context: cold_context::ContextConfig::paper_default(8),
@@ -85,10 +81,7 @@ fn resilient_objective_is_never_cheaper_than_plain() {
 
 #[test]
 fn resilience_hardening_reduces_worst_case_failures() {
-    let cfg = ColdConfig {
-        ga: tiny_ga(0),
-        ..ColdConfig::quick(10, 1e-4, 0.0)
-    };
+    let cfg = ColdConfig { ga: tiny_ga(0), ..ColdConfig::quick(10, 1e-4, 0.0) };
     let seed = 3;
     let plain = cfg.synthesize(seed);
     let plain_report = survivability(&plain.network.topology, &plain.context);

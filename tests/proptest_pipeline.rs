@@ -24,9 +24,9 @@ fn tiny_ga(seed: u64) -> GaSettings {
 fn arb_params() -> impl Strategy<Value = CostParams> {
     // Log-uniform-ish ranges covering all the paper's regimes.
     (
-        0.0f64..50.0,           // k0
-        0.0f64..5.0,            // k1
-        -14f64..-4.0,           // ln k2
+        0.0f64..50.0,                         // k0
+        0.0f64..5.0,                          // k1
+        -14f64..-4.0,                         // ln k2
         proptest::option::of(0.0f64..2000.0), // k3 (None -> 0)
     )
         .prop_map(|(k0, k1, lk2, k3)| CostParams::new(k0, k1, lk2.exp(), k3.unwrap_or(0.0)))

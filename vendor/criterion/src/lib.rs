@@ -18,10 +18,7 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        let filters = std::env::args()
-            .skip(1)
-            .filter(|a| !a.starts_with('-'))
-            .collect();
+        let filters = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
         Criterion { filters }
     }
 }
@@ -131,8 +128,7 @@ impl Bencher {
                 black_box(routine());
             }
             let elapsed = start.elapsed();
-            self.samples_ns
-                .push(elapsed.as_nanos() as f64 / self.iters_per_sample as f64);
+            self.samples_ns.push(elapsed.as_nanos() as f64 / self.iters_per_sample as f64);
         }
     }
 }
@@ -160,11 +156,8 @@ where
     let target_sample_ns = 10_000_000.0;
     let iters_per_sample = ((target_sample_ns / est_ns) as u64).clamp(1, 1_000_000);
 
-    let mut bencher = Bencher {
-        iters_per_sample,
-        samples_ns: Vec::with_capacity(sample_size),
-        sample_size,
-    };
+    let mut bencher =
+        Bencher { iters_per_sample, samples_ns: Vec::with_capacity(sample_size), sample_size };
     f(&mut bencher);
 
     let mut samples = bencher.samples_ns;

@@ -532,11 +532,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "proptest `always_fails` failed")]
     fn failures_panic_with_context() {
-        crate::test_runner::run_cases(
-            &ProptestConfig::with_cases(3),
-            "always_fails",
-            |_rng| Err(TestCaseError::fail("boom")),
-        );
+        crate::test_runner::run_cases(&ProptestConfig::with_cases(3), "always_fails", |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
     }
 
     #[test]

@@ -60,8 +60,12 @@ pub trait SeedableRng: Sized {
 pub trait SampleUniform: PartialOrd + Copy {
     /// Uniform draw from `[low, high)` (`inclusive = false`) or
     /// `[low, high]` (`inclusive = true`).
-    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
-        -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {

@@ -144,7 +144,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         let field = expect_ident(&tokens, &mut i);
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => panic!("serde derive (vendored): expected `:` after `{field}`, found {other:?}"),
+            other => {
+                panic!("serde derive (vendored): expected `:` after `{field}`, found {other:?}")
+            }
         }
         let mut angle_depth = 0i32;
         while let Some(t) = tokens.get(i) {
@@ -342,10 +344,7 @@ fn deserialize_struct(name: &str, shape: &Shape) -> String {
             let mut b = String::from("let __arr = __v.as_array()?;\n");
             let _ = write!(b, "::std::option::Option::Some({name}(");
             for idx in 0..*k {
-                let _ = write!(
-                    b,
-                    "::serde::Deserialize::from_json_value(__arr.get({idx})?)?,"
-                );
+                let _ = write!(b, "::serde::Deserialize::from_json_value(__arr.get({idx})?)?,");
             }
             b.push_str("))");
             b
@@ -368,10 +367,8 @@ fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
         let vn = &v.name;
         match &v.shape {
             Shape::Unit => {
-                let _ = writeln!(
-                    unit_arms,
-                    "\"{vn}\" => ::std::option::Option::Some({name}::{vn}),"
-                );
+                let _ =
+                    writeln!(unit_arms, "\"{vn}\" => ::std::option::Option::Some({name}::{vn}),");
             }
             Shape::Tuple(1) => {
                 let _ = writeln!(
