@@ -3,7 +3,7 @@
 //! Table 1 compares against "HOT graphs" in the Li et al. / Fabrikant et
 //! al. tradition. The tractable published generator in that family is
 //! Fabrikant, Koutsoupias & Papadimitriou's tree model (the paper's
-//! ref [17]): nodes arrive at uniformly random positions and each attaches
+//! ref \[17\]): nodes arrive at uniformly random positions and each attaches
 //! to the existing node `v` minimizing
 //!
 //! ```text

@@ -1,4 +1,4 @@
-//! Power-Law Random Graphs (Aiello–Chung–Lu) (§2, ref [11]).
+//! Power-Law Random Graphs (Aiello–Chung–Lu) (§2, ref \[11\]).
 //!
 //! The PLRG "addresses the observed power-law node degree distribution of
 //! networks in measurement studies" but, the paper argues, its parameters

@@ -1,0 +1,77 @@
+//! Overhead of the `cold-obs` instrumentation on the objective hot path.
+//!
+//! The acceptance bar for the telemetry layer is <2% regression on the
+//! objective evaluation at n = 50 when tracing is off. Three variants of
+//! the same workload pin that down:
+//!
+//! - `untimed`: `evaluate_total_untimed`, the raw objective with no
+//!   instrumentation at all (the floor).
+//! - `timer_disabled`: `evaluate_total`, whose scoped timer is gated on
+//!   one relaxed atomic load — the shape every untraced run pays.
+//! - `timer_enabled`: the same call with the registry recording, which
+//!   adds two `Instant` reads and a mutex-guarded histogram update per
+//!   evaluation (what `--journal`/`--progress` runs pay; no sink I/O is
+//!   involved since emission only happens at generation granularity).
+
+use cold::ColdConfig;
+use cold_cost::{evaluate_total, evaluate_total_untimed, CostEvaluator, CostParams};
+use cold_graph::AdjacencyMatrix;
+use cold_heuristics::{greedy_attachment, mst_heuristic};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const N: usize = 50;
+
+/// GA-representative topologies at n = 50 (same mix as `objective.rs`).
+fn topologies() -> (cold_context::Context, CostParams, Vec<AdjacencyMatrix>) {
+    let cfg = ColdConfig::paper(N, 4e-4, 10.0);
+    let ctx = cfg.context.generate(1);
+    let eval = CostEvaluator::new(&ctx, cfg.params);
+    let mst = mst_heuristic(&eval).topology;
+    let greedy = greedy_attachment(&eval).topology;
+    let mut thick = mst.clone();
+    for i in (0..N - 5).step_by(3) {
+        thick.set_edge(i, i + 5, true);
+    }
+    (ctx, cfg.params, vec![mst, greedy, thick])
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let (ctx, params, topos) = topologies();
+    let mut group = c.benchmark_group("obs_overhead_n50");
+    group.bench_function("untimed", |b| {
+        cold_obs::set_timers_enabled(false);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in &topos {
+                acc += evaluate_total_untimed(black_box(t), &ctx, &params).unwrap();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("timer_disabled", |b| {
+        cold_obs::set_timers_enabled(false);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in &topos {
+                acc += evaluate_total(black_box(t), &ctx, &params).unwrap();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("timer_enabled", |b| {
+        cold_obs::set_timers_enabled(true);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in &topos {
+                acc += evaluate_total(black_box(t), &ctx, &params).unwrap();
+            }
+            black_box(acc)
+        });
+        cold_obs::set_timers_enabled(false);
+        cold_obs::reset();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Figure 8(a): the CVND distribution of real PoP-level networks.
 //!
-//! The paper plots the empirical CDF over the Topology Zoo [16], noting
+//! The paper plots the empirical CDF over the Topology Zoo \[16\], noting
 //! "about 15% of the networks have a CVND over 1, a value unattainable
 //! without a node-based cost". The zoo dataset is substituted by the
 //! calibrated surrogate of [`cold::zoo`] (see DESIGN.md §5); the

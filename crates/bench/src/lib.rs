@@ -13,6 +13,10 @@
 //! - `--seed <u64>`: master seed (default 2014, the paper's year).
 //! - `--out <dir>`: results directory (default `results/`).
 //! - `--trials <k>`: override the per-point trial count.
+//! - `--journal <path>`: opt-in telemetry — write a `cold-obs` JSONL run
+//!   journal with one event per GA generation of every trial.
+//! - `--progress`: opt-in telemetry — live per-generation lines on
+//!   stderr instead of a journal.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,8 +66,18 @@ impl ExpOptions {
                     let v = args.next().expect("--trials needs a value");
                     opts.trials_override = Some(v.parse().expect("--trials must be a usize"));
                 }
+                "--journal" => {
+                    let path = PathBuf::from(args.next().expect("--journal needs a path"));
+                    cold_obs::configure(cold_obs::TraceMode::Journal(path.clone()))
+                        .unwrap_or_else(|e| panic!("--journal {}: {e}", path.display()));
+                }
+                "--progress" => {
+                    cold_obs::configure(cold_obs::TraceMode::Progress)
+                        .expect("progress sink is infallible");
+                }
                 other => panic!(
-                    "unknown argument `{other}`; usage: [--full] [--seed N] [--out DIR] [--trials K]"
+                    "unknown argument `{other}`; usage: [--full] [--seed N] [--out DIR] \
+                     [--trials K] [--journal PATH] [--progress]"
                 ),
             }
         }
@@ -84,13 +98,17 @@ impl ExpOptions {
         }
     }
 
-    /// Writes a JSON result document to `out_dir/<name>.json`.
+    /// Writes a JSON result document to `out_dir/<name>.json`. When
+    /// telemetry is active (`--journal`/`--progress`/`COLD_TRACE`) this
+    /// also emits a registry snapshot, so every experiment's journal ends
+    /// with a `metrics` event without each binary opting in.
     pub fn write_json(&self, name: &str, value: &serde_json::Value) {
         std::fs::create_dir_all(&self.out_dir).expect("create results dir");
         let path = self.out_dir.join(format!("{name}.json"));
         std::fs::write(&path, serde_json::to_string_pretty(value).expect("serializable"))
             .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());
+        cold_obs::emit_metrics_snapshot();
     }
 }
 

@@ -4,11 +4,11 @@
 //! is created by choosing a random population for each PoP" (§3.1). With
 //! populations `p_i`, the demand between distinct PoPs is
 //! `t(i, j) = s · p_i · p_j` — the maximum-entropy traffic model given row
-//! and column totals [22], and a good match to the distribution of real
-//! traffic matrices [21].
+//! and column totals \[22\], and a good match to the distribution of real
+//! traffic matrices \[21\].
 //!
 //! The paper leaves the gravity constant `s` implicit. The calibrated
-//! default here ([`Normalization::MeanPopulation`], `s = 1/p̄`) is the
+//! default here ([`Normalization::PerCapita`], `s = 1/p̄`) is the
 //! choice under which the paper's published axes — `k0 = 10, k1 = 1`,
 //! `k2 ∈ 10⁻⁴…1.6·10⁻³`, `k3 ∈ 10⁰…10³` — reproduce the tree → mesh and
 //! tree → hub-and-spoke transitions where the figures show them (see

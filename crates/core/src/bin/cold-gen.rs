@@ -7,6 +7,12 @@
 //! cold-gen --n 30 --k2 4e-4 --k3 10 --seed 1 --count 5 \
 //!          --format graphml --out networks/
 //! ```
+//!
+//! Telemetry: `--journal <path>` writes a JSONL run journal (one
+//! `generation` event per GA generation), `--progress` prints live
+//! per-generation lines to stderr, `--quiet` silences the normal stdout
+//! chatter. The `COLD_TRACE` environment variable offers the same
+//! switches to any binary in the workspace; the explicit flags win.
 
 use cold::{export, ColdConfig, SynthesisMode};
 use std::path::PathBuf;
@@ -22,6 +28,9 @@ struct Args {
     out: PathBuf,
     quick: bool,
     bridge_cost: Option<f64>,
+    journal: Option<PathBuf>,
+    progress: bool,
+    quiet: bool,
 }
 
 impl Default for Args {
@@ -36,6 +45,9 @@ impl Default for Args {
             out: PathBuf::from("."),
             quick: false,
             bridge_cost: None,
+            journal: None,
+            progress: false,
+            quiet: false,
         }
     }
 }
@@ -55,6 +67,9 @@ OPTIONS:
     --out <DIR>         output directory                   [default: .]
     --quick             reduced GA (T = M = 40) for fast previews
     --bridge-cost <F>   resilience extension: per-bridge outage cost
+    --journal <PATH>    write a JSONL run journal (per-generation traces)
+    --progress          live per-generation progress lines on stderr
+    --quiet             suppress normal stdout output
     --help              print this help
 ";
 
@@ -81,6 +96,9 @@ fn parse_args() -> Args {
                 args.bridge_cost =
                     Some(value("--bridge-cost").parse().expect("--bridge-cost: float"))
             }
+            "--journal" => args.journal = Some(PathBuf::from(value("--journal"))),
+            "--progress" => args.progress = true,
+            "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -95,11 +113,21 @@ fn parse_args() -> Args {
         eprintln!("invalid --format `{}`\n\n{USAGE}", args.format);
         std::process::exit(2);
     }
+    if args.journal.is_some() && args.progress {
+        eprintln!("--journal and --progress are mutually exclusive\n\n{USAGE}");
+        std::process::exit(2);
+    }
     args
 }
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.journal {
+        cold_obs::configure(cold_obs::TraceMode::Journal(path.clone()))
+            .unwrap_or_else(|e| panic!("--journal {}: {e}", path.display()));
+    } else if args.progress {
+        cold_obs::configure(cold_obs::TraceMode::Progress).expect("progress sink is infallible");
+    }
     std::fs::create_dir_all(&args.out).expect("create output directory");
     let cfg = if args.quick {
         ColdConfig::quick(args.n, args.k2, args.k3)
@@ -127,7 +155,9 @@ fn main() {
         let write = |ext: &str, body: String| {
             let path = stem.with_extension(ext);
             std::fs::write(&path, body).expect("write output file");
-            println!("wrote {}", path.display());
+            if !args.quiet {
+                println!("wrote {}", path.display());
+            }
         };
         match args.format.as_str() {
             "json" => write("json", export::to_json(&network, &context)),
@@ -142,11 +172,21 @@ fn main() {
             }
             _ => unreachable!("validated in parse_args"),
         }
-        println!(
-            "  network {i}: {} PoPs, {} links, cost {:.1}{note}",
-            network.n(),
-            network.link_count(),
-            network.total_cost()
-        );
+        if !args.quiet {
+            println!(
+                "  network {i}: {} PoPs, {} links, cost {:.1}{note}",
+                network.n(),
+                network.link_count(),
+                network.total_cost()
+            );
+        }
+    }
+    // Close the journal (or progress stream) with a registry summary so
+    // offline analysis sees where the wall-time went.
+    cold_obs::emit_metrics_snapshot();
+    if let Some(path) = &args.journal {
+        if !args.quiet {
+            println!("journal: {}", path.display());
+        }
     }
 }

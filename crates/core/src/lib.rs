@@ -46,7 +46,7 @@
 //! - [`sweep`] — parameter sweeps over `(k2, k3)` grids with parallel
 //!   trials (Figs 5–9).
 //! - [`zoo`] — a surrogate "Topology Zoo" standing in for the dataset of
-//!   ref [16] (see DESIGN.md §5 for the substitution rationale).
+//!   ref \[16\] (see DESIGN.md §5 for the substitution rationale).
 //! - [`router_level`] — template-based router-level expansion of a
 //!   PoP-level network (the layered step previewed in §1/§8).
 //! - [`inter_as`] — multi-AS synthesis over shared cities (§2's

@@ -107,6 +107,26 @@ pub fn ensemble_report(config: &ColdConfig, ensemble: &[SynthesisResult], seed: 
     if ensemble.iter().any(|r| !r.heuristic_costs.is_empty()) {
         let _ = writeln!(out, "- seeded with greedy heuristics (initialized GA); GA result ≤ every seed by construction");
     }
+
+    // Per-run optimizer telemetry: every counter `SynthesisResult` carries
+    // is rendered, so two configs can be compared run by run rather than
+    // through ensemble means alone.
+    let _ = writeln!(out, "\n### Per-run optimizer telemetry\n");
+    let _ = writeln!(out, "| run | generations | evaluations | cache hit rate | eval wall-time |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for (i, r) in ensemble.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "| {i} | {} | {} | {:.1}% | {:.3} s |",
+            r.generations_run,
+            r.evaluations,
+            100.0 * r.eval_stats.hit_rate(),
+            r.eval_stats.eval_seconds
+        );
+    }
+    if let Some(path) = ensemble.iter().find_map(|r| r.journal_path.as_deref()) {
+        let _ = writeln!(out, "\nPer-generation traces: `{}`", path.display());
+    }
     out
 }
 
@@ -134,6 +154,15 @@ mod tests {
         assert!(md.contains("**total**"));
         assert!(md.contains("fitness-cache hit rate"));
         assert!(md.contains("wall-clock evaluation time"));
+        assert!(md.contains("### Per-run optimizer telemetry"));
+        // One telemetry row per ensemble member, each rendering hit rate
+        // and eval wall-time.
+        let telemetry_rows = md
+            .lines()
+            .skip_while(|l| !l.contains("Per-run optimizer telemetry"))
+            .filter(|l| l.ends_with(" s |"))
+            .count();
+        assert_eq!(telemetry_rows, ensemble.len());
         // Table rows parse as Markdown tables (pipe-delimited, 3+ cells).
         let stat_rows =
             md.lines().filter(|l| l.starts_with("| ") && l.matches('|').count() >= 4).count();

@@ -2,16 +2,16 @@
 //!
 //! "The generation of the router-level network from the PoP level can be
 //! easily accomplished using either existing probabilistic methods, or
-//! structural methods [6]" (§1); the authors' own code implements the
+//! structural methods \[6\]" (§1); the authors' own code implements the
 //! structural route, where "the internal design of PoPs is almost
 //! completely determined by simple templates" (§3) and the expansion is a
-//! generalized graph product [25].
+//! generalized graph product \[25\].
 //!
 //! This module implements that structural expansion: each PoP is replaced
 //! by a *template* (single router / dual core / core ring / core mesh)
 //! sized by the traffic the PoP originates, intra-PoP links come from the
 //! template, and each inter-PoP link lands on a core router chosen
-//! round-robin — exactly the product-of-graphs shape of ref [25] with the
+//! round-robin — exactly the product-of-graphs shape of ref \[25\] with the
 //! template as the per-node factor.
 
 use cold_context::Context;

@@ -101,6 +101,7 @@ impl SweepPlan {
         &self,
         mut observe: impl FnMut(SynthesisResult) -> SynthesisResult,
     ) -> Vec<SweepCell> {
+        let _span = cold_obs::span("core.sweep");
         let mut out = Vec::with_capacity(self.points.len());
         for (i, &point) in self.points.iter().enumerate() {
             let cfg = ColdConfig {

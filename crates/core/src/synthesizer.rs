@@ -74,7 +74,25 @@ impl ColdConfig {
 
     /// Optimizes within an explicitly provided context (e.g. real PoP
     /// locations, or the fixed-context comparisons of Fig 3).
+    ///
+    /// When telemetry is active (`COLD_TRACE` or [`cold_obs::configure`])
+    /// the run emits a `run_start` event, one `generation` event per GA
+    /// generation, and a `run_end` summary, all tagged with `seed` as the
+    /// run identifier; the journal file (if any) is echoed into
+    /// [`SynthesisResult::journal_path`]. Tracing never changes the
+    /// synthesized network: observers receive read-only records.
     pub fn synthesize_in_context(&self, ctx: Context, seed: u64) -> SynthesisResult {
+        let _span = cold_obs::span("core.synthesize");
+        let traced = cold_obs::is_enabled();
+        if traced {
+            cold_obs::emit(&cold_obs::Event::RunStart(cold_obs::RunStart {
+                run: cold_obs::run_id(seed),
+                n: ctx.n(),
+                mode: format!("{:?}", self.mode),
+                generations: self.ga.generations,
+                population: self.ga.population,
+            }));
+        }
         let objective = ColdObjective::new(&ctx, self.params);
         let mut heuristic_costs = Vec::new();
         let seeds: Vec<cold_graph::AdjacencyMatrix> = match self.mode {
@@ -95,11 +113,28 @@ impl ColdConfig {
         };
         let ga_settings = GaSettings { seed: derive_seed(seed, 0x6741), ..self.ga };
         let engine = GeneticAlgorithm::new(&objective, ga_settings);
-        let result = engine.run_seeded(&seeds);
+        let result = if traced {
+            let mut observer = cold_obs::TraceObserver::new(seed);
+            engine.run_traced(&seeds, Some(&mut observer))
+        } else {
+            engine.run_seeded(&seeds)
+        };
+        if traced {
+            cold_obs::emit(&cold_obs::Event::RunEnd(cold_obs::RunEnd {
+                run: cold_obs::run_id(seed),
+                generations_run: result.generations_run,
+                best_cost: result.best.cost,
+                evaluations: result.evaluations,
+                cache_hit_rate: result.eval_stats.hit_rate(),
+                eval_seconds: result.eval_stats.eval_seconds,
+                repair_rate: result.repair_stats.repair_rate(),
+            }));
+        }
         let network = Network::build(result.best.topology.clone(), &ctx, self.params)
             .expect("GA result is connected");
         let stats = NetworkStats::compute(&network.graph()).expect("connected");
         SynthesisResult {
+            journal_path: cold_obs::journal_path(),
             context: ctx,
             network,
             stats,
@@ -120,6 +155,7 @@ impl ColdConfig {
     /// machine is not oversubscribed; trial-level parallelism dominates
     /// for ensembles anyway.
     pub fn ensemble(&self, master_seed: u64, count: usize) -> Vec<SynthesisResult> {
+        let _span = cold_obs::span("core.ensemble");
         let serial = ColdConfig { ga: GaSettings { parallel: false, ..self.ga }, ..*self };
         let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
         let workers = workers.min(count).max(1);
@@ -153,6 +189,11 @@ impl ColdConfig {
 /// Everything produced by one synthesis.
 #[derive(Debug, Clone)]
 pub struct SynthesisResult {
+    /// The JSONL run journal this synthesis appended to, when journal
+    /// tracing was active (`COLD_TRACE=journal:<path>` or an explicit
+    /// [`cold_obs::configure`]); `None` otherwise. Lets downstream tools
+    /// pair a result with its per-generation trace.
+    pub journal_path: Option<std::path::PathBuf>,
     /// The random context the network was designed for.
     pub context: Context,
     /// The synthesized network (topology + capacities + routes + cost).

@@ -1,4 +1,4 @@
-//! A surrogate "Internet Topology Zoo" (substitution for ref [16]).
+//! A surrogate "Internet Topology Zoo" (substitution for ref \[16\]).
 //!
 //! The paper calibrates COLD's tunable range against the Topology Zoo — a
 //! dataset of operator-drawn PoP-level maps — most visibly in Fig 8(a)'s

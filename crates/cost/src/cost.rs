@@ -42,6 +42,7 @@ pub fn evaluate_parts(
     ctx: &Context,
     params: &CostParams,
 ) -> Result<(CostBreakdown, CapacityPlan), GraphError> {
+    let _timer = cold_obs::timer("cost.evaluate_parts");
     // Params are validated once at `CostEvaluator::new` / config build time;
     // re-validating per evaluation was pure hot-path overhead.
     debug_assert!(params.validate().is_ok(), "invalid cost params: {:?}", params.validate());
@@ -75,6 +76,21 @@ thread_local! {
 /// # Errors
 /// As for [`evaluate_parts`].
 pub fn evaluate_total(
+    topology: &AdjacencyMatrix,
+    ctx: &Context,
+    params: &CostParams,
+) -> Result<f64, GraphError> {
+    let _timer = cold_obs::timer("cost.evaluate_total");
+    evaluate_total_untimed(topology, ctx, params)
+}
+
+/// [`evaluate_total`] without the `cold-obs` scoped timer.
+///
+/// Exists so the `obs_overhead` bench can measure the disabled-telemetry
+/// timer cost directly (instrumented-but-off vs. bare); library and GA
+/// callers should use [`evaluate_total`].
+#[doc(hidden)]
+pub fn evaluate_total_untimed(
     topology: &AdjacencyMatrix,
     ctx: &Context,
     params: &CostParams,

@@ -28,6 +28,8 @@ pub mod network;
 pub mod params;
 
 pub use capacity::{assign_capacities, CapacityPlan};
+#[doc(hidden)]
+pub use cost::evaluate_total_untimed;
 pub use cost::{evaluate, evaluate_parts, evaluate_total, CostBreakdown, CostEvaluator};
 pub use network::Network;
 pub use params::CostParams;

@@ -8,9 +8,10 @@ use crate::repair::{repair, RepairStats};
 use crate::settings::GaSettings;
 use crate::Objective;
 use cold_graph::AdjacencyMatrix;
+use cold_obs::{GenerationObserver, GenerationRecord};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Outcome of one GA run.
@@ -108,6 +109,23 @@ impl<O: Objective> GeneticAlgorithm<O> {
     /// "initialized GA" of Fig 3, guaranteed to end at least as good as
     /// the best seed.
     pub fn run_seeded(&self, seeds: &[AdjacencyMatrix]) -> GaResult {
+        self.run_traced(seeds, None)
+    }
+
+    /// [`run_seeded`](Self::run_seeded) with an optional per-generation
+    /// telemetry observer.
+    ///
+    /// The observer fires exactly once per *executed* generation (so
+    /// `generations_run` times), after selection, with a
+    /// [`GenerationRecord`] computed read-only from engine state: the
+    /// observer never sees the population or the RNG, so a traced run is
+    /// bit-identical to an untraced one. With `None`, no telemetry values
+    /// (including the diversity scan) are computed at all.
+    pub fn run_traced(
+        &self,
+        seeds: &[AdjacencyMatrix],
+        mut observer: Option<&mut dyn GenerationObserver>,
+    ) -> GaResult {
         let mut rng = StdRng::seed_from_u64(self.settings.seed);
         let mut repair_stats = RepairStats::default();
         let mut stats = EvalStats::default();
@@ -130,6 +148,10 @@ impl<O: Objective> GeneticAlgorithm<O> {
         let mut history = vec![population[0].cost];
 
         let mut generations_run = 0usize;
+        // Telemetry deltas: counter states at the end of the previous
+        // generation, so each record reports per-generation activity.
+        let mut prev_stats = stats;
+        let mut prev_repaired = repair_stats.repaired;
         for _gen in 1..=self.settings.generations {
             generations_run += 1;
             // Offspring topologies (children built single-threaded from one
@@ -164,6 +186,19 @@ impl<O: Objective> GeneticAlgorithm<O> {
             sort_by_cost(&mut next);
             population = next;
             history.push(population[0].cost);
+
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.on_generation(&generation_record(
+                    generations_run,
+                    &population,
+                    &stats,
+                    &prev_stats,
+                    repair_stats.repaired - prev_repaired,
+                    &self.settings,
+                ));
+                prev_stats = stats;
+                prev_repaired = repair_stats.repaired;
+            }
 
             if let Some(es) = self.settings.early_stop {
                 if history.len() > es.window {
@@ -243,6 +278,7 @@ impl<O: Objective> GeneticAlgorithm<O> {
     /// Runs the objective over `batch`, in parallel when configured, adding
     /// the elapsed wall-clock time to `stats.eval_seconds`.
     fn evaluate_batch(&self, batch: &[&AdjacencyMatrix], stats: &mut EvalStats) -> Vec<f64> {
+        let _batch_timer = cold_obs::timer("ga.evaluate_batch");
         let start = Instant::now();
         let costs = if !self.settings.parallel || batch.len() < 4 {
             batch.iter().map(|t| self.objective.cost(t)).collect()
@@ -265,6 +301,36 @@ impl<O: Objective> GeneticAlgorithm<O> {
         };
         stats.eval_seconds += start.elapsed().as_secs_f64();
         costs
+    }
+}
+
+/// Builds the telemetry record for a just-selected generation. Read-only
+/// over the (cost-sorted) population and counter snapshots; only called
+/// when an observer is attached, so untraced runs skip the diversity scan
+/// entirely.
+fn generation_record(
+    generation: usize,
+    population: &[Individual],
+    stats: &EvalStats,
+    prev_stats: &EvalStats,
+    repairs: usize,
+    settings: &GaSettings,
+) -> GenerationRecord {
+    let costs = population.iter().map(|i| i.cost);
+    let mean = costs.clone().sum::<f64>() / population.len() as f64;
+    let distinct: HashSet<&AdjacencyMatrix> = population.iter().map(|i| &i.topology).collect();
+    GenerationRecord {
+        generation,
+        best: population[0].cost,
+        mean,
+        worst: population[population.len() - 1].cost,
+        diversity: distinct.len() as f64 / population.len() as f64,
+        cache_hits: stats.cache_hits - prev_stats.cache_hits,
+        cache_misses: stats.cache_misses - prev_stats.cache_misses,
+        crossover: settings.num_crossover,
+        mutation: settings.num_mutation,
+        repairs,
+        eval_seconds: stats.eval_seconds - prev_stats.eval_seconds,
     }
 }
 
@@ -473,6 +539,84 @@ mod tests {
         let fp: Vec<_> = cached.final_population.iter().map(|i| i.cost).collect();
         let fu: Vec<_> = uncached.final_population.iter().map(|i| i.cost).collect();
         assert_eq!(fp, fu);
+    }
+
+    /// Collects every record handed to the observer.
+    #[derive(Default)]
+    struct RecordingObserver {
+        records: Vec<GenerationRecord>,
+    }
+
+    impl GenerationObserver for RecordingObserver {
+        fn on_generation(&mut self, record: &GenerationRecord) {
+            self.records.push(record.clone());
+        }
+    }
+
+    #[test]
+    fn observer_fires_once_per_generation_with_monotone_best() {
+        let ga = engine(8, 5.0, 1.0, 2.0, 21);
+        let mut obs = RecordingObserver::default();
+        let r = ga.run_traced(&[], Some(&mut obs));
+        assert_eq!(
+            obs.records.len(),
+            r.generations_run,
+            "exactly one observer event per executed generation"
+        );
+        assert_eq!(r.generations_run, ga.settings().generations, "no early stop configured");
+        for (k, rec) in obs.records.iter().enumerate() {
+            assert_eq!(rec.generation, k + 1, "generations are 1-based and in order");
+            // Elitism ⇒ the best of generation g equals history[g].
+            assert_eq!(rec.best, r.history[k + 1]);
+            assert!(
+                rec.best <= rec.mean + 1e-12 && rec.mean <= rec.worst + 1e-12,
+                "best ≤ mean ≤ worst must hold ({} / {} / {})",
+                rec.best,
+                rec.mean,
+                rec.worst
+            );
+            assert!(rec.diversity > 0.0 && rec.diversity <= 1.0);
+            assert_eq!(rec.crossover, ga.settings().num_crossover);
+            assert_eq!(rec.mutation, ga.settings().num_mutation);
+            assert!(rec.eval_seconds >= 0.0);
+        }
+        for w in obs.records.windows(2) {
+            assert!(w[1].best <= w[0].best + 1e-12, "best fitness regressed: {w:?}");
+        }
+        // Per-generation deltas sum back to the run totals (generation 0's
+        // initial-population evaluations are not observer events).
+        let hits: usize = obs.records.iter().map(|r| r.cache_hits).sum();
+        let misses: usize = obs.records.iter().map(|r| r.cache_misses).sum();
+        let gen0 = ga.settings().population;
+        assert_eq!(hits + misses + gen0, r.eval_stats.requested);
+    }
+
+    #[test]
+    fn observer_respects_early_stop() {
+        let mut s = GaSettings::quick(22);
+        s.early_stop = Some(EarlyStop { window: 3, rel_tol: 0.0 });
+        let ga = GeneticAlgorithm::new(LineObjective { n: 6, k0: 1.0, k1: 10.0, k3: 0.0 }, s);
+        let mut obs = RecordingObserver::default();
+        let r = ga.run_traced(&[], Some(&mut obs));
+        assert!(r.generations_run < s.generations, "early stop must fire on this instance");
+        assert_eq!(obs.records.len(), r.generations_run);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_to_unobserved() {
+        let plain = engine(8, 5.0, 1.0, 2.0, 23).run();
+        let mut obs = RecordingObserver::default();
+        let traced = engine(8, 5.0, 1.0, 2.0, 23).run_traced(&[], Some(&mut obs));
+        assert_eq!(plain.best.cost, traced.best.cost);
+        assert_eq!(plain.best.topology, traced.best.topology);
+        assert_eq!(plain.history, traced.history);
+        // eval_seconds is wall-clock; only the counters are deterministic.
+        assert_eq!(plain.eval_stats.requested, traced.eval_stats.requested);
+        assert_eq!(plain.eval_stats.cache_hits, traced.eval_stats.cache_hits);
+        assert_eq!(plain.eval_stats.cache_misses, traced.eval_stats.cache_misses);
+        let fp: Vec<_> = plain.final_population.iter().map(|i| i.cost).collect();
+        let ft: Vec<_> = traced.final_population.iter().map(|i| i.cost).collect();
+        assert_eq!(fp, ft);
     }
 
     use crate::Objective;

@@ -42,6 +42,10 @@ pub use chromosome::Individual;
 pub use engine::{EvalStats, GaResult, GeneticAlgorithm};
 pub use settings::GaSettings;
 
+// Telemetry hook types, re-exported so engine callers can attach
+// observers without depending on `cold-obs` directly.
+pub use cold_obs::{GenerationObserver, GenerationRecord};
+
 use cold_graph::AdjacencyMatrix;
 
 /// The fitness interface the GA minimizes.

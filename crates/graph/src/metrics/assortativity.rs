@@ -1,6 +1,6 @@
 //! Degree assortativity and Li et al.'s `s`-metric.
 //!
-//! §2 of the paper recalls that Li et al. [1] "introduce the entropy
+//! §2 of the paper recalls that Li et al. \[1\] "introduce the entropy
 //! function for a graph (related to the assortativity)" to expose the flaws
 //! of degree-distribution-only generators: many graphs share a degree
 //! sequence yet differ wildly in how high-degree nodes interconnect. The

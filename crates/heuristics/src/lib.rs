@@ -12,7 +12,7 @@
 //! - [`mst_hubs`]: hubs are connected by a minimum spanning tree;
 //! - [`greedy_attach`]: each new hub adds its cost-greedy choice of links
 //!   to existing hubs;
-//! - [`random_greedy`]: nodes are considered for promotion in random
+//! - [`random_greedy()`]: nodes are considered for promotion in random
 //!   permutation order (greedy links), best of many permutations.
 //!
 //! These heuristics serve two roles in the paper: independent competitors

@@ -3,7 +3,7 @@
 //! "A random permutation of all the nodes is chosen. The algorithm then
 //! iterates over the PoPs in this order. For each PoP it decides whether
 //! changing it to a hub reduces the cost of the network, and if so, the
-//! node [is] made a hub. New hubs are linked to the existing hubs greedily:
+//! node \[is\] made a hub. New hubs are linked to the existing hubs greedily:
 //! picking the lowest cost connecting link, etc., until there are no more
 //! cost reductions. Once all the PoPs in the permutation have been
 //! evaluated, the process repeats for many different random permutations."

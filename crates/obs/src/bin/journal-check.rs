@@ -1,0 +1,103 @@
+//! `journal-check` — validates a COLD JSONL run journal.
+//!
+//! ```sh
+//! journal-check run.jsonl            # schema-validate every line
+//! journal-check --expect-runs 3 run.jsonl
+//! ```
+//!
+//! Exits 0 when every line parses as a known event with the documented
+//! schema (and any `--expect-*` assertions hold), 1 otherwise — the CI
+//! telemetry smoke test runs this over a `cold-gen --journal` output.
+
+use cold_obs::{parse_journal, Event};
+
+const USAGE: &str = "journal-check — validate a COLD JSONL run journal
+
+USAGE:
+    journal-check [--expect-runs <N>] <journal.jsonl>
+";
+
+fn main() {
+    let mut expect_runs: Option<usize> = None;
+    let mut path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--expect-runs" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                });
+                expect_runs = Some(v.parse().expect("--expect-runs: integer"));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(arg),
+            other => {
+                eprintln!("unexpected argument `{other}`\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("journal-check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let events = match parse_journal(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("journal-check: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut runs = 0usize;
+    let mut generations = 0usize;
+    let mut failures = Vec::new();
+    for event in &events {
+        match event {
+            Event::RunStart(_) => runs += 1,
+            Event::Generation(g) => {
+                generations += 1;
+                if !g.record.best.is_finite() || g.record.best > g.record.mean + 1e-12 {
+                    failures.push(format!(
+                        "run {} gen {}: best {} exceeds mean {}",
+                        g.run, g.record.generation, g.record.best, g.record.mean
+                    ));
+                }
+            }
+            Event::RunEnd(e) => {
+                if !(0.0..=1.0).contains(&e.cache_hit_rate) {
+                    failures
+                        .push(format!("run {}: hit rate {} out of range", e.run, e.cache_hit_rate));
+                }
+            }
+            Event::Span(_) | Event::Metrics(_) => {}
+        }
+    }
+    if let Some(expected) = expect_runs {
+        if runs != expected {
+            failures.push(format!("expected {expected} run_start events, found {runs}"));
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("journal-check: {path}: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "journal-check: {path}: OK ({} events, {runs} runs, {generations} generation traces)",
+        events.len()
+    );
+}

@@ -1,0 +1,453 @@
+//! The telemetry event model and its JSONL schema.
+//!
+//! A run journal is a JSON-Lines file: one JSON object per line, each
+//! with a string `"event"` discriminator. The schema (documented in
+//! DESIGN.md §9) is deliberately flat — every field is a JSON number,
+//! string or array — so any log tooling can consume it without knowing
+//! this crate. [`Event::to_value`] / [`Event::from_value`] convert
+//! to/from the vendored `serde_json` tree, and [`parse_journal`] is the
+//! shared validator used by the round-trip tests, the `journal-check`
+//! binary and the CI smoke test.
+
+use serde_json::{json, Map, Value};
+
+/// Per-generation observations handed to a [`GenerationObserver`].
+///
+/// All fields are *deltas or states of the generation just completed*:
+/// counters count this generation's activity, not run totals. The record
+/// is computed read-only from engine state after selection, so observing
+/// a run cannot change its result (see DESIGN.md §9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationRecord {
+    /// 1-based index of the completed generation.
+    pub generation: usize,
+    /// Best (lowest) cost in the surviving population.
+    pub best: f64,
+    /// Mean cost of the surviving population.
+    pub mean: f64,
+    /// Worst (highest) cost in the surviving population.
+    pub worst: f64,
+    /// Distinct chromosomes / population size, in `(0, 1]` — 1.0 means
+    /// every individual is unique, small values mean convergence.
+    pub diversity: f64,
+    /// Fitness-cache hits during this generation's evaluations.
+    pub cache_hits: usize,
+    /// Fitness-cache misses (actual objective runs) this generation.
+    pub cache_misses: usize,
+    /// Offspring produced by crossover this generation.
+    pub crossover: usize,
+    /// Offspring produced by mutation this generation.
+    pub mutation: usize,
+    /// Offspring that needed connectivity repair this generation.
+    pub repairs: usize,
+    /// Wall-clock seconds spent in objective evaluation this generation.
+    pub eval_seconds: f64,
+}
+
+/// Observer hook invoked by `cold-ga`'s engine once per executed
+/// generation. Implementations must treat the record as read-only
+/// telemetry; they get no access to the population or RNG, which is what
+/// makes the determinism guarantee structural rather than behavioral.
+pub trait GenerationObserver {
+    /// Called after selection, once per generation, in order.
+    fn on_generation(&mut self, record: &GenerationRecord);
+}
+
+/// Start-of-run marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStart {
+    /// Run identifier (the synthesis seed, as 16 lowercase hex digits).
+    pub run: String,
+    /// Number of PoPs.
+    pub n: usize,
+    /// Synthesis mode label (e.g. `"Initialized"`).
+    pub mode: String,
+    /// Configured generation cap `T`.
+    pub generations: usize,
+    /// Population size `M`.
+    pub population: usize,
+}
+
+/// One generation of one run (a [`GenerationRecord`] tagged with its run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationEvent {
+    /// Run identifier matching the enclosing [`RunStart::run`].
+    pub run: String,
+    /// The per-generation observations.
+    pub record: GenerationRecord,
+}
+
+/// End-of-run summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunEnd {
+    /// Run identifier.
+    pub run: String,
+    /// Generations actually executed (≤ the configured cap).
+    pub generations_run: usize,
+    /// Final best cost.
+    pub best_cost: f64,
+    /// Objective evaluations requested across the run.
+    pub evaluations: usize,
+    /// Fraction of requests served by the fitness cache.
+    pub cache_hit_rate: f64,
+    /// Total wall-clock seconds inside objective evaluation.
+    pub eval_seconds: f64,
+    /// Fraction of offspring needing connectivity repair.
+    pub repair_rate: f64,
+}
+
+/// A completed coarse phase (synthesize / ensemble / sweep).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Span name, e.g. `"core.synthesize"`.
+    pub name: String,
+    /// Elapsed wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// A registry snapshot, usually emitted once at process exit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsEvent {
+    /// `(name, metric)` pairs sorted by name.
+    pub metrics: Vec<(String, crate::Metric)>,
+}
+
+/// Any line of a run journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// `{"event":"run_start",...}`
+    RunStart(RunStart),
+    /// `{"event":"generation",...}`
+    Generation(GenerationEvent),
+    /// `{"event":"run_end",...}`
+    RunEnd(RunEnd),
+    /// `{"event":"span",...}`
+    Span(SpanEvent),
+    /// `{"event":"metrics",...}`
+    Metrics(MetricsEvent),
+}
+
+/// Formats a run seed as the journal's 16-hex-digit run identifier.
+pub fn run_id(seed: u64) -> String {
+    format!("{seed:016x}")
+}
+
+impl Event {
+    /// The `"event"` discriminator string.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart(_) => "run_start",
+            Event::Generation(_) => "generation",
+            Event::RunEnd(_) => "run_end",
+            Event::Span(_) => "span",
+            Event::Metrics(_) => "metrics",
+        }
+    }
+
+    /// Converts the event into its JSON object form.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Event::RunStart(e) => json!({
+                "event": "run_start",
+                "run": e.run,
+                "n": e.n,
+                "mode": e.mode,
+                "generations": e.generations,
+                "population": e.population,
+            }),
+            Event::Generation(e) => {
+                let r = &e.record;
+                json!({
+                    "event": "generation",
+                    "run": e.run,
+                    "gen": r.generation,
+                    "best": r.best,
+                    "mean": r.mean,
+                    "worst": r.worst,
+                    "diversity": r.diversity,
+                    "cache_hits": r.cache_hits,
+                    "cache_misses": r.cache_misses,
+                    "crossover": r.crossover,
+                    "mutation": r.mutation,
+                    "repairs": r.repairs,
+                    "eval_seconds": r.eval_seconds,
+                })
+            }
+            Event::RunEnd(e) => json!({
+                "event": "run_end",
+                "run": e.run,
+                "generations_run": e.generations_run,
+                "best_cost": e.best_cost,
+                "evaluations": e.evaluations,
+                "cache_hit_rate": e.cache_hit_rate,
+                "eval_seconds": e.eval_seconds,
+                "repair_rate": e.repair_rate,
+            }),
+            Event::Span(e) => json!({
+                "event": "span",
+                "name": e.name,
+                "seconds": e.seconds,
+            }),
+            Event::Metrics(e) => {
+                let metrics: Vec<Value> = e
+                    .metrics
+                    .iter()
+                    .map(|(name, m)| match *m {
+                        crate::Metric::Counter(c) => json!({
+                            "name": name,
+                            "kind": "counter",
+                            "count": c,
+                        }),
+                        crate::Metric::Histogram { count, sum, min, max } => json!({
+                            "name": name,
+                            "kind": "histogram",
+                            "count": count,
+                            "sum": sum,
+                            "min": min,
+                            "max": max,
+                        }),
+                    })
+                    .collect();
+                json!({ "event": "metrics", "metrics": metrics })
+            }
+        }
+    }
+
+    /// Serializes the event as one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("Value serialization is infallible")
+    }
+
+    /// Parses an event back from its JSON object form, validating the
+    /// schema: the discriminator must be known and every documented field
+    /// present with the right JSON type.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated rule.
+    pub fn from_value(v: &Value) -> Result<Event, String> {
+        let obj = v.as_object().ok_or("event line is not a JSON object")?;
+        let kind = str_field(obj, "event")?;
+        match kind.as_str() {
+            "run_start" => Ok(Event::RunStart(RunStart {
+                run: str_field(obj, "run")?,
+                n: usize_field(obj, "n")?,
+                mode: str_field(obj, "mode")?,
+                generations: usize_field(obj, "generations")?,
+                population: usize_field(obj, "population")?,
+            })),
+            "generation" => Ok(Event::Generation(GenerationEvent {
+                run: str_field(obj, "run")?,
+                record: GenerationRecord {
+                    generation: usize_field(obj, "gen")?,
+                    best: f64_field(obj, "best")?,
+                    mean: f64_field(obj, "mean")?,
+                    worst: f64_field(obj, "worst")?,
+                    diversity: f64_field(obj, "diversity")?,
+                    cache_hits: usize_field(obj, "cache_hits")?,
+                    cache_misses: usize_field(obj, "cache_misses")?,
+                    crossover: usize_field(obj, "crossover")?,
+                    mutation: usize_field(obj, "mutation")?,
+                    repairs: usize_field(obj, "repairs")?,
+                    eval_seconds: f64_field(obj, "eval_seconds")?,
+                },
+            })),
+            "run_end" => Ok(Event::RunEnd(RunEnd {
+                run: str_field(obj, "run")?,
+                generations_run: usize_field(obj, "generations_run")?,
+                best_cost: f64_field(obj, "best_cost")?,
+                evaluations: usize_field(obj, "evaluations")?,
+                cache_hit_rate: f64_field(obj, "cache_hit_rate")?,
+                eval_seconds: f64_field(obj, "eval_seconds")?,
+                repair_rate: f64_field(obj, "repair_rate")?,
+            })),
+            "span" => Ok(Event::Span(SpanEvent {
+                name: str_field(obj, "name")?,
+                seconds: f64_field(obj, "seconds")?,
+            })),
+            "metrics" => {
+                let arr = obj
+                    .get("metrics")
+                    .and_then(Value::as_array)
+                    .ok_or("metrics event: field `metrics` missing or not an array")?;
+                let mut metrics = Vec::with_capacity(arr.len());
+                for m in arr {
+                    let mo = m.as_object().ok_or("metrics entry is not an object")?;
+                    let name = str_field(mo, "name")?;
+                    let metric = match str_field(mo, "kind")?.as_str() {
+                        "counter" => crate::Metric::Counter(u64_field(mo, "count")?),
+                        "histogram" => crate::Metric::Histogram {
+                            count: u64_field(mo, "count")?,
+                            sum: f64_field(mo, "sum")?,
+                            min: f64_field(mo, "min")?,
+                            max: f64_field(mo, "max")?,
+                        },
+                        other => return Err(format!("unknown metric kind `{other}`")),
+                    };
+                    metrics.push((name, metric));
+                }
+                Ok(Event::Metrics(MetricsEvent { metrics }))
+            }
+            other => Err(format!("unknown event kind `{other}`")),
+        }
+    }
+}
+
+fn str_field(obj: &Map, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("field `{key}` missing or not a string"))
+}
+
+fn usize_field(obj: &Map, key: &str) -> Result<usize, String> {
+    u64_field(obj, key).map(|u| u as usize)
+}
+
+fn u64_field(obj: &Map, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("field `{key}` missing or not a nonnegative integer"))
+}
+
+fn f64_field(obj: &Map, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("field `{key}` missing or not a number"))
+}
+
+/// Parses and schema-validates a whole JSONL journal.
+///
+/// Blank lines are rejected (a truncated write must not validate), and
+/// every line must parse as JSON *and* as a known event shape.
+///
+/// # Errors
+/// `"line <k>: <why>"` for the first offending line.
+pub fn parse_journal(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let value: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {}: invalid JSON: {e}", i + 1))?;
+        let event = Event::from_value(&value).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(event);
+    }
+    if events.is_empty() {
+        return Err("journal is empty".into());
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::RunStart(RunStart {
+                run: run_id(0xC01D),
+                n: 8,
+                mode: "Initialized".into(),
+                generations: 40,
+                population: 40,
+            }),
+            Event::Generation(GenerationEvent {
+                run: run_id(0xC01D),
+                record: GenerationRecord {
+                    generation: 1,
+                    best: 123.456,
+                    mean: 150.0,
+                    worst: 201.25,
+                    diversity: 0.925,
+                    cache_hits: 3,
+                    cache_misses: 29,
+                    crossover: 20,
+                    mutation: 12,
+                    repairs: 1,
+                    eval_seconds: 0.0123,
+                },
+            }),
+            Event::Span(SpanEvent { name: "core.synthesize".into(), seconds: 1.5 }),
+            Event::RunEnd(RunEnd {
+                run: run_id(0xC01D),
+                generations_run: 40,
+                best_cost: 101.5,
+                evaluations: 1320,
+                cache_hit_rate: 0.25,
+                eval_seconds: 0.5,
+                repair_rate: 0.03,
+            }),
+            Event::Metrics(MetricsEvent {
+                metrics: vec![
+                    (
+                        "cost.evaluate_total".into(),
+                        crate::Metric::Histogram { count: 990, sum: 0.4, min: 0.0001, max: 0.01 },
+                    ),
+                    ("obs.events".into(), crate::Metric::Counter(42)),
+                ],
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_jsonl_text() {
+        for event in sample_events() {
+            let line = event.to_json_line();
+            let value: Value = serde_json::from_str(&line).expect("line parses as JSON");
+            let back = Event::from_value(&value).expect("schema validates");
+            assert_eq!(back, event, "round-trip changed the event");
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_field_by_field() {
+        let events = sample_events();
+        let text: String =
+            events.iter().map(|e| e.to_json_line() + "\n").collect::<Vec<_>>().join("");
+        let back = parse_journal(&text).expect("journal validates");
+        assert_eq!(back.len(), events.len());
+        for (a, b) in back.iter().zip(&events) {
+            assert_eq!(a, b);
+        }
+        // Field-by-field spot checks through the raw JSON, so a schema
+        // rename cannot slip through the typed round-trip unnoticed.
+        let first: Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(first["event"].as_str(), Some("run_start"));
+        assert_eq!(first["run"].as_str(), Some("000000000000c01d"));
+        assert_eq!(first["n"].as_u64(), Some(8));
+        let second: Value = serde_json::from_str(text.lines().nth(1).unwrap()).unwrap();
+        for key in [
+            "run",
+            "gen",
+            "best",
+            "mean",
+            "worst",
+            "diversity",
+            "cache_hits",
+            "cache_misses",
+            "crossover",
+            "mutation",
+            "repairs",
+            "eval_seconds",
+        ] {
+            assert!(!second[key].is_null(), "generation event missing `{key}`");
+        }
+    }
+
+    #[test]
+    fn malformed_journals_are_rejected() {
+        assert!(parse_journal("").is_err(), "empty journal must not validate");
+        assert!(parse_journal("{\"event\":\"generation\"}\n").is_err(), "missing fields");
+        assert!(parse_journal("{\"event\":\"warp\"}\n").is_err(), "unknown kind");
+        assert!(parse_journal("not json\n").is_err(), "non-JSON line");
+        // A valid line followed by a truncated one still fails.
+        let good = Event::Span(SpanEvent { name: "s".into(), seconds: 0.0 }).to_json_line();
+        let truncated = &good[..good.len() - 4];
+        assert!(parse_journal(&format!("{good}\n{truncated}\n")).is_err());
+    }
+
+    #[test]
+    fn run_id_is_16_hex_digits() {
+        assert_eq!(run_id(7), "0000000000000007");
+        assert_eq!(run_id(u64::MAX), "ffffffffffffffff");
+        assert_eq!(run_id(0).len(), 16);
+    }
+}

@@ -1,0 +1,226 @@
+//! The global metric registry: named counters and duration histograms
+//! behind one mutex, fed by [`ScopedTimer`]s and [`counter_add`].
+//!
+//! Everything here is gated on [`timers_enabled`]: when telemetry is off
+//! (the default) a timer or counter call costs exactly one relaxed atomic
+//! load and touches no lock, so instrumented hot paths stay hot. The gate
+//! is flipped by [`crate::configure`] alongside the trace sink, or
+//! directly with [`set_timers_enabled`] for registry-only use.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Global on/off switch for timers and counters.
+static TIMERS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The registry storage. Keys are `&'static str` so instrumentation sites
+/// pay no allocation.
+static REGISTRY: Mutex<Option<HashMap<&'static str, Metric>>> = Mutex::new(None);
+
+/// One registry slot: a monotonically increasing counter or a duration
+/// histogram (count/sum/min/max — enough for mean and range without
+/// storing samples).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Metric {
+    /// An event count.
+    Counter(u64),
+    /// Aggregated elapsed-seconds observations.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observed seconds.
+        sum: f64,
+        /// Smallest observation.
+        min: f64,
+        /// Largest observation.
+        max: f64,
+    },
+}
+
+/// True when timers and counters record into the registry.
+#[inline]
+pub fn timers_enabled() -> bool {
+    TIMERS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables timer/counter recording. [`crate::configure`]
+/// calls this; call it directly to use the registry without a trace sink.
+pub fn set_timers_enabled(enabled: bool) {
+    TIMERS_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Adds `delta` to the counter `name` (no-op while disabled).
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !timers_enabled() {
+        return;
+    }
+    let mut guard = REGISTRY.lock().expect("metric registry poisoned");
+    let map = guard.get_or_insert_with(HashMap::new);
+    match map.entry(name).or_insert(Metric::Counter(0)) {
+        Metric::Counter(c) => *c += delta,
+        Metric::Histogram { .. } => {
+            debug_assert!(false, "metric `{name}` registered as a histogram");
+        }
+    }
+}
+
+/// Records one elapsed-seconds observation under `name`.
+pub fn observe_seconds(name: &'static str, seconds: f64) {
+    let mut guard = REGISTRY.lock().expect("metric registry poisoned");
+    let map = guard.get_or_insert_with(HashMap::new);
+    match map.entry(name).or_insert(Metric::Histogram {
+        count: 0,
+        sum: 0.0,
+        min: f64::INFINITY,
+        max: 0.0,
+    }) {
+        Metric::Histogram { count, sum, min, max } => {
+            *count += 1;
+            *sum += seconds;
+            *min = min.min(seconds);
+            *max = max.max(seconds);
+        }
+        Metric::Counter(_) => {
+            debug_assert!(false, "metric `{name}` registered as a counter");
+        }
+    }
+}
+
+/// A snapshot of the whole registry, sorted by name for stable output.
+pub fn snapshot() -> Vec<(String, Metric)> {
+    let guard = REGISTRY.lock().expect("metric registry poisoned");
+    let mut out: Vec<(String, Metric)> = guard
+        .as_ref()
+        .map(|m| m.iter().map(|(k, v)| (k.to_string(), *v)).collect())
+        .unwrap_or_default();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Clears every metric (tests and fresh CLI runs).
+pub fn reset() {
+    *REGISTRY.lock().expect("metric registry poisoned") = None;
+}
+
+/// RAII timer: measures from construction to drop and records into the
+/// histogram `name`. Construct via [`timer`]; when telemetry is disabled
+/// the instant is never taken and drop is a no-op.
+#[derive(Debug)]
+#[must_use = "a timer measures until it is dropped"]
+pub struct ScopedTimer {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl ScopedTimer {
+    /// Elapsed seconds so far (`None` when the timer is disabled).
+    pub fn elapsed_seconds(&self) -> Option<f64> {
+        self.start.map(|s| s.elapsed().as_secs_f64())
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            observe_seconds(self.name, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Starts a scoped timer for `name`. The disabled path is one relaxed
+/// atomic load.
+#[inline]
+pub fn timer(name: &'static str) -> ScopedTimer {
+    let start = timers_enabled().then(Instant::now);
+    ScopedTimer { name, start }
+}
+
+/// RAII span: a [`ScopedTimer`] that additionally emits an
+/// [`Event::Span`](crate::Event::Span) to the active trace sink on drop.
+/// Use for coarse phases (a synthesis, an ensemble, a sweep), not
+/// per-candidate hot paths.
+#[derive(Debug)]
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let seconds = start.elapsed().as_secs_f64();
+            observe_seconds(self.name, seconds);
+            crate::emit(&crate::Event::Span(crate::SpanEvent {
+                name: self.name.to_string(),
+                seconds,
+            }));
+        }
+    }
+}
+
+/// Starts a span for `name` (no-op while telemetry is disabled).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    let start = timers_enabled().then(Instant::now);
+    Span { name, start }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::telemetry_lock;
+
+    #[test]
+    fn disabled_timers_record_nothing() {
+        let _guard = telemetry_lock();
+        set_timers_enabled(false);
+        reset();
+        {
+            let t = timer("test.disabled");
+            assert!(t.elapsed_seconds().is_none());
+        }
+        counter_add("test.disabled_counter", 3);
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_timers_and_counters_aggregate() {
+        let _guard = telemetry_lock();
+        set_timers_enabled(true);
+        reset();
+        for _ in 0..3 {
+            let _t = timer("test.hist");
+        }
+        counter_add("test.count", 2);
+        counter_add("test.count", 5);
+        let snap = snapshot();
+        set_timers_enabled(false);
+        let hist = snap.iter().find(|(n, _)| n == "test.hist").expect("histogram recorded");
+        match hist.1 {
+            Metric::Histogram { count, sum, min, max } => {
+                assert_eq!(count, 3);
+                assert!(sum >= 0.0 && min <= max);
+            }
+            Metric::Counter(_) => panic!("expected histogram"),
+        }
+        let counter = snap.iter().find(|(n, _)| n == "test.count").expect("counter recorded");
+        assert_eq!(counter.1, Metric::Counter(7));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_reset_clears() {
+        let _guard = telemetry_lock();
+        set_timers_enabled(true);
+        reset();
+        counter_add("z.last", 1);
+        counter_add("a.first", 1);
+        let names: Vec<String> = snapshot().into_iter().map(|(n, _)| n).collect();
+        set_timers_enabled(false);
+        assert_eq!(names, vec!["a.first".to_string(), "z.last".to_string()]);
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

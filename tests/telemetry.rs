@@ -1,0 +1,149 @@
+//! Integration tests for the `cold-obs` telemetry layer: a real synthesis
+//! run journaled to disk, the JSONL schema round-tripped through the
+//! vendored `serde_json`, and the determinism guarantee (tracing on vs.
+//! off) checked at the `ColdConfig` level.
+
+use cold::ColdConfig;
+use cold_obs::{parse_journal, Event, TraceMode};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serializes tests in this binary that flip the process-global telemetry
+/// state (sink, timer gate). Without it `cargo test`'s parallel threads
+/// would race on enable/disable.
+fn telemetry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_journal(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("cold-telemetry-{}-{name}.jsonl", std::process::id()))
+}
+
+#[test]
+fn journal_records_one_event_per_generation_and_round_trips() {
+    let _guard = telemetry_lock();
+    let path = temp_journal("roundtrip");
+    cold_obs::configure(TraceMode::Journal(path.clone())).expect("journal sink");
+    let cfg = ColdConfig::quick(10, 4e-4, 10.0);
+    let result = cfg.synthesize(42);
+    cold_obs::configure(TraceMode::Off).expect("disable sink");
+
+    assert_eq!(result.journal_path.as_deref(), Some(path.as_path()));
+    let text = std::fs::read_to_string(&path).expect("journal written");
+    let events = parse_journal(&text).expect("every line is a valid event");
+
+    // Exactly one run_start and one run_end, same run id, framing the
+    // generation events.
+    let starts: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::RunStart(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    let ends: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::RunEnd(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(starts.len(), 1);
+    assert_eq!(ends.len(), 1);
+    assert_eq!(starts[0].run, ends[0].run);
+    assert_eq!(starts[0].n, 10);
+    assert_eq!(starts[0].generations, cfg.ga.generations);
+
+    // One generation event per executed generation, 1-based and ordered,
+    // with monotone non-increasing best fitness (elitism).
+    let gens: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Generation(g) => Some(g),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(gens.len(), result.generations_run);
+    for (i, g) in gens.iter().enumerate() {
+        assert_eq!(g.run, starts[0].run);
+        assert_eq!(g.record.generation, i + 1);
+        assert!(g.record.best <= g.record.mean + 1e-12);
+        assert!(g.record.mean <= g.record.worst + 1e-12);
+        assert!((0.0..=1.0).contains(&g.record.diversity));
+        if i > 0 {
+            assert!(g.record.best <= gens[i - 1].record.best + 1e-12, "best regressed at {i}");
+        }
+    }
+
+    // The run_end summary matches what the synthesis result reports.
+    assert_eq!(ends[0].generations_run, result.generations_run);
+    assert_eq!(ends[0].evaluations, result.evaluations);
+    assert!((ends[0].best_cost - result.network.total_cost()).abs() < 1e-9);
+    assert!((0.0..=1.0).contains(&ends[0].cache_hit_rate));
+
+    // Schema round-trip through the vendored serde_json: serialize each
+    // parsed event back to a JSONL line, re-parse, and re-serialize; the
+    // fixed point must be reached after one cycle.
+    for event in &events {
+        let line = event.to_json_line();
+        let reparsed = parse_journal(&line).expect("re-serialized event parses");
+        assert_eq!(reparsed.len(), 1);
+        assert_eq!(reparsed[0].to_json_line(), line, "round-trip changed the event");
+    }
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tracing_does_not_perturb_synthesis() {
+    let _guard = telemetry_lock();
+    cold_obs::configure(TraceMode::Off).expect("start untraced");
+    let cfg = ColdConfig::quick(9, 4e-4, 10.0);
+    let plain = cfg.synthesize(7);
+    assert_eq!(plain.journal_path, None);
+
+    let path = temp_journal("determinism");
+    cold_obs::configure(TraceMode::Journal(path.clone())).expect("journal sink");
+    let traced = cfg.synthesize(7);
+    cold_obs::configure(TraceMode::Off).expect("disable sink");
+
+    // Bit-identical topology and cost; identical deterministic counters.
+    // (eval_seconds is wall-clock and legitimately differs.)
+    assert_eq!(plain.network.topology, traced.network.topology);
+    assert_eq!(plain.network.total_cost(), traced.network.total_cost());
+    assert_eq!(plain.evaluations, traced.evaluations);
+    assert_eq!(plain.generations_run, traced.generations_run);
+    assert_eq!(plain.eval_stats.requested, traced.eval_stats.requested);
+    assert_eq!(plain.eval_stats.cache_hits, traced.eval_stats.cache_hits);
+    assert_eq!(plain.eval_stats.cache_misses, traced.eval_stats.cache_misses);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn metrics_snapshot_lands_in_journal() {
+    let _guard = telemetry_lock();
+    let path = temp_journal("metrics");
+    cold_obs::configure(TraceMode::Journal(path.clone())).expect("journal sink");
+    let cfg = ColdConfig::quick(8, 4e-4, 10.0);
+    let _ = cfg.synthesize(5);
+    cold_obs::emit_metrics_snapshot();
+    cold_obs::configure(TraceMode::Off).expect("disable sink");
+
+    let text = std::fs::read_to_string(&path).expect("journal written");
+    let events = parse_journal(&text).expect("valid journal");
+    let metrics = events
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            Event::Metrics(m) => Some(m),
+            _ => None,
+        })
+        .expect("snapshot event present");
+    let names: Vec<&str> = metrics.metrics.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(names.contains(&"cost.evaluate_total"), "timers recorded: {names:?}");
+    assert!(names.contains(&"ga.evaluate_batch"), "timers recorded: {names:?}");
+
+    std::fs::remove_file(&path).ok();
+    cold_obs::reset();
+}
