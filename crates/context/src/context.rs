@@ -55,12 +55,36 @@ impl ContextConfig {
         }
     }
 
+    /// Checks the configuration for internal consistency.
+    ///
+    /// This is the typed-error face of the `assert!`s that used to live in
+    /// [`generate`](Self::generate): the synthesizer calls it up front so
+    /// a bad config surfaces as a recordable error before any work starts.
+    ///
+    /// # Errors
+    /// A human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n < 2 {
+            return Err(format!("need at least 2 PoPs, got {}", self.n));
+        }
+        if !self.scale.is_finite() || self.scale <= 0.0 {
+            return Err(format!("scale must be positive and finite, got {}", self.scale));
+        }
+        self.population.validate().map_err(|why| format!("population model: {why}"))
+    }
+
     /// Generates the context for a given seed. Pure: the same
     /// `(config, seed)` always produces the same context.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid — use
+    /// [`validate`](Self::validate) first for a recoverable check.
     pub fn generate(&self, seed: u64) -> Context {
         // Separate sub-streams so changing the population model does not
         // perturb the sampled locations (and vice versa).
-        assert!(self.scale > 0.0 && self.scale.is_finite(), "scale must be positive");
+        if let Err(why) = self.validate() {
+            panic!("invalid context config: {why}");
+        }
         let mut pos_rng = rng_for(seed, 0x706F73 /* "pos" */);
         let mut pop_rng = rng_for(seed, 0x706F70 /* "pop" */);
         let positions: Vec<Point> = self
@@ -215,6 +239,17 @@ mod tests {
         let b = heavy.generate(5);
         assert_eq!(a.positions, b.positions);
         assert_ne!(a.populations, b.populations);
+    }
+
+    #[test]
+    fn validate_screens_bad_configs() {
+        let good = ContextConfig::paper_default(8);
+        assert!(good.validate().is_ok());
+        assert!(ContextConfig { n: 1, ..good }.validate().is_err());
+        assert!(ContextConfig { scale: 0.0, ..good }.validate().is_err());
+        assert!(ContextConfig { scale: f64::NAN, ..good }.validate().is_err());
+        let bad_pop = ContextConfig { population: PopulationKind::Constant { value: 0.0 }, ..good };
+        assert!(bad_pop.validate().is_err());
     }
 
     #[test]

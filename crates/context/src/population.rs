@@ -76,21 +76,69 @@ impl PopulationKind {
     pub fn pareto_1_5() -> Self {
         PopulationKind::Pareto { alpha: 1.5, mean: PAPER_MEAN_POPULATION }
     }
+
+    /// Checks the distribution parameters, once, before any sampling.
+    ///
+    /// Replaces the per-draw `assert!`s that used to sit inside the
+    /// sampling closure (n identical checks per call, and a panic as the
+    /// only failure signal). Callers that want a typed error — the
+    /// synthesizer's config validation — call this directly.
+    ///
+    /// # Errors
+    /// A human-readable description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            PopulationKind::Exponential { mean } => {
+                if !mean.is_finite() || mean <= 0.0 {
+                    return Err(format!(
+                        "exponential mean must be positive and finite, got {mean}"
+                    ));
+                }
+            }
+            PopulationKind::Pareto { alpha, mean } => {
+                if !alpha.is_finite() || alpha <= 1.0 {
+                    return Err(format!("Pareto mean requires finite alpha > 1, got {alpha}"));
+                }
+                if !mean.is_finite() || mean <= 0.0 {
+                    return Err(format!("Pareto mean must be positive and finite, got {mean}"));
+                }
+            }
+            PopulationKind::LogNormal { mean, cv } => {
+                if !mean.is_finite() || mean <= 0.0 || !cv.is_finite() || cv <= 0.0 {
+                    return Err(format!(
+                        "log-normal mean and cv must be positive and finite, got mean {mean}, cv {cv}"
+                    ));
+                }
+            }
+            PopulationKind::Constant { value } => {
+                if !value.is_finite() || value <= 0.0 {
+                    return Err(format!(
+                        "constant population must be positive and finite, got {value}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl PopulationModel for PopulationKind {
     fn sample(&self, n: usize, rng: &mut StdRng) -> Vec<f64> {
+        if let Err(why) = self.validate() {
+            panic!("invalid population model: {why}");
+        }
         (0..n)
             .map(|_| match *self {
                 PopulationKind::Exponential { mean } => {
-                    assert!(mean > 0.0, "mean must be positive");
-                    // Inverse CDF: -mean·ln(U), U ∈ (0,1].
-                    let u: f64 = rng.gen_range(f64::EPSILON..=1.0);
+                    // Inverse CDF: -mean·ln(U). The draw must be half-open
+                    // — `U ∈ [EPSILON, 1.0]` *inclusive* let u = 1.0 map to
+                    // ln(1) = 0, a zero population that breaks this
+                    // trait's strict-positivity contract (and downstream,
+                    // a zero gravity-model traffic row).
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
                     -mean * u.ln()
                 }
                 PopulationKind::Pareto { alpha, mean } => {
-                    assert!(alpha > 1.0, "Pareto mean requires alpha > 1");
-                    assert!(mean > 0.0, "mean must be positive");
                     // X = xm·U^(-1/alpha) has mean alpha·xm/(alpha-1);
                     // choose xm to hit the requested mean.
                     let xm = mean * (alpha - 1.0) / alpha;
@@ -98,7 +146,6 @@ impl PopulationModel for PopulationKind {
                     xm * u.powf(-1.0 / alpha)
                 }
                 PopulationKind::LogNormal { mean, cv } => {
-                    assert!(mean > 0.0 && cv > 0.0, "mean and cv must be positive");
                     // For LN(μ,σ²): mean = exp(μ+σ²/2), cv² = exp(σ²)−1.
                     let sigma2 = (1.0 + cv * cv).ln();
                     let mu = mean.ln() - sigma2 / 2.0;
@@ -109,10 +156,7 @@ impl PopulationModel for PopulationKind {
                     };
                     (mu + sigma2.sqrt() * z).exp()
                 }
-                PopulationKind::Constant { value } => {
-                    assert!(value > 0.0, "value must be positive");
-                    value
-                }
+                PopulationKind::Constant { value } => value,
             })
             .collect()
     }
@@ -188,6 +232,41 @@ mod tests {
         let a = PopulationKind::default().sample(20, &mut rng_for(6, 0));
         let b = PopulationKind::default().sample(20, &mut rng_for(6, 0));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        for bad in [
+            PopulationKind::Exponential { mean: 0.0 },
+            PopulationKind::Exponential { mean: -1.0 },
+            PopulationKind::Exponential { mean: f64::NAN },
+            PopulationKind::Pareto { alpha: 1.0, mean: 30.0 },
+            PopulationKind::Pareto { alpha: 1.5, mean: f64::INFINITY },
+            PopulationKind::LogNormal { mean: 30.0, cv: 0.0 },
+            PopulationKind::Constant { value: -5.0 },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must not validate");
+        }
+        for good in [
+            PopulationKind::default(),
+            PopulationKind::pareto_10_9(),
+            PopulationKind::LogNormal { mean: 30.0, cv: 1.0 },
+            PopulationKind::Constant { value: 7.0 },
+        ] {
+            assert!(good.validate().is_ok(), "{good:?} must validate");
+        }
+    }
+
+    #[test]
+    fn exponential_draw_is_half_open() {
+        // Regression for the `..=1.0` inclusive draw: u = 1.0 maps through
+        // -mean·ln(u) to a *zero* population. The half-open fix makes
+        // every sample strictly positive by construction; sweep many seeds
+        // so the check covers a wide swath of the underlying u stream.
+        for seed in 0..50u64 {
+            let xs = PopulationKind::default().sample(5_000, &mut rng_for(seed, 0));
+            assert!(xs.iter().all(|&x| x > 0.0), "seed {seed} produced a non-positive sample");
+        }
     }
 
     #[test]

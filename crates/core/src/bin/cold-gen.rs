@@ -13,8 +13,19 @@
 //! per-generation lines to stderr, `--quiet` silences the normal stdout
 //! chatter. The `COLD_TRACE` environment variable offers the same
 //! switches to any binary in the workspace; the explicit flags win.
+//!
+//! Crash safety: `--checkpoint-every N` snapshots the campaign to a
+//! sidecar JSON file after every N completed trials (atomic
+//! write-then-rename), and `--resume <path>` picks a killed campaign back
+//! up from its snapshot — completed trials are rebuilt from the record
+//! instead of re-run, and the final ensemble is bit-identical to an
+//! uninterrupted run. `--halt-after K` exits with code 3 after K freshly
+//! synthesized trials, a deterministic stand-in for `kill -9` that the CI
+//! crash-recovery smoke test drives. See DESIGN.md §10.
 
-use cold::{export, ColdConfig, SynthesisMode};
+use cold::{export, CampaignCheckpoint, ColdConfig, SynthesisMode};
+use cold_context::Context;
+use cold_cost::Network;
 use std::path::PathBuf;
 
 #[derive(Debug)]
@@ -31,6 +42,10 @@ struct Args {
     journal: Option<PathBuf>,
     progress: bool,
     quiet: bool,
+    checkpoint_every: Option<usize>,
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    halt_after: Option<usize>,
 }
 
 impl Default for Args {
@@ -48,7 +63,31 @@ impl Default for Args {
             journal: None,
             progress: false,
             quiet: false,
+            checkpoint_every: None,
+            checkpoint: None,
+            resume: None,
+            halt_after: None,
         }
+    }
+}
+
+impl Args {
+    /// Checkpointed-campaign mode: any crash-safety flag switches the
+    /// trial loop over to [`cold::run_campaign`].
+    fn campaign(&self) -> bool {
+        self.checkpoint_every.is_some()
+            || self.checkpoint.is_some()
+            || self.resume.is_some()
+            || self.halt_after.is_some()
+    }
+
+    /// Where snapshots go: explicit `--checkpoint`, else the file being
+    /// resumed (so one file tracks the whole campaign), else a sidecar in
+    /// the output directory.
+    fn checkpoint_path(&self) -> PathBuf {
+        self.checkpoint.clone().or_else(|| self.resume.clone()).unwrap_or_else(|| {
+            self.out.join(format!("cold_campaign_seed{:016x}.ckpt.json", self.seed))
+        })
     }
 }
 
@@ -71,6 +110,22 @@ OPTIONS:
     --progress          live per-generation progress lines on stderr
     --quiet             suppress normal stdout output
     --help              print this help
+
+CRASH SAFETY:
+    --checkpoint-every <N>  snapshot the campaign after every N completed
+                            trials (atomic write; implies N=1 when any
+                            other crash-safety flag is set without it)
+    --checkpoint <PATH>     snapshot file
+                            [default: <out>/cold_campaign_seed<seed>.ckpt.json]
+    --resume <PATH>         resume a killed campaign from its snapshot;
+                            completed trials are rebuilt, not re-run, and
+                            the ensemble matches an uninterrupted run
+    --halt-after <K>        exit with code 3 after K freshly synthesized
+                            trials, leaving the snapshot on disk (crash
+                            injection for recovery tests)
+
+    Crash-safety flags cover the standard synthesis path and cannot be
+    combined with --bridge-cost.
 ";
 
 fn parse_args() -> Args {
@@ -99,6 +154,16 @@ fn parse_args() -> Args {
             "--journal" => args.journal = Some(PathBuf::from(value("--journal"))),
             "--progress" => args.progress = true,
             "--quiet" => args.quiet = true,
+            "--checkpoint-every" => {
+                args.checkpoint_every =
+                    Some(value("--checkpoint-every").parse().expect("--checkpoint-every: integer"))
+            }
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(value("--checkpoint"))),
+            "--resume" => args.resume = Some(PathBuf::from(value("--resume"))),
+            "--halt-after" => {
+                args.halt_after =
+                    Some(value("--halt-after").parse().expect("--halt-after: integer"))
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -117,7 +182,97 @@ fn parse_args() -> Args {
         eprintln!("--journal and --progress are mutually exclusive\n\n{USAGE}");
         std::process::exit(2);
     }
+    if args.checkpoint_every == Some(0) {
+        eprintln!("--checkpoint-every must be >= 1\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    if args.halt_after == Some(0) {
+        eprintln!("--halt-after must be >= 1\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    if args.campaign() && args.bridge_cost.is_some() {
+        eprintln!("crash-safety flags cannot be combined with --bridge-cost\n\n{USAGE}");
+        std::process::exit(2);
+    }
     args
+}
+
+/// Writes the chosen export format(s) for one synthesized network and
+/// prints the per-network summary line.
+fn export_network(args: &Args, i: usize, network: &Network, context: &Context, note: &str) {
+    let stem_seed = cold_context::rng::derive_seed(args.seed, i as u64);
+    let stem = args.out.join(format!("cold_n{}_seed{stem_seed:016x}", args.n));
+    let write = |ext: &str, body: String| {
+        let path = stem.with_extension(ext);
+        std::fs::write(&path, body).expect("write output file");
+        if !args.quiet {
+            println!("wrote {}", path.display());
+        }
+    };
+    match args.format.as_str() {
+        "json" => write("json", export::to_json(network, context)),
+        "dot" => write("dot", export::to_dot(network, context)),
+        "graphml" => write("graphml", export::to_graphml(network, context)),
+        "svg" => write("svg", export::to_svg(network, context)),
+        "all" => {
+            write("json", export::to_json(network, context));
+            write("dot", export::to_dot(network, context));
+            write("graphml", export::to_graphml(network, context));
+            write("svg", export::to_svg(network, context));
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+    if !args.quiet {
+        println!(
+            "  network {i}: {} PoPs, {} links, cost {:.1}{note}",
+            network.n(),
+            network.link_count(),
+            network.total_cost()
+        );
+    }
+}
+
+/// The checkpointed trial loop: [`cold::run_campaign`] with export and
+/// `--halt-after` crash injection in the per-trial hook.
+fn run_checkpointed(args: &Args, cfg: &ColdConfig) {
+    let every = args.checkpoint_every.unwrap_or(1);
+    let ckpt_path = args.checkpoint_path();
+    let resume = args.resume.as_ref().map(|p| {
+        CampaignCheckpoint::load(p).unwrap_or_else(|e| {
+            eprintln!("--resume {}: {e}", p.display());
+            std::process::exit(2);
+        })
+    });
+    let rebuilt = resume.as_ref().map_or(0, |s| s.records.len());
+    if !args.quiet {
+        if rebuilt > 0 {
+            println!("resuming campaign: {rebuilt}/{} trials from snapshot", args.count);
+        }
+        println!("checkpoint: {} (every {every} trial(s))", ckpt_path.display());
+    }
+    let mut fresh = 0usize;
+    let outcome =
+        cold::run_campaign(cfg, args.seed, args.count, every, &ckpt_path, resume, |i, r| {
+            export_network(args, i, &r.network, &r.context, "");
+            // Only freshly synthesized trials count toward --halt-after;
+            // the snapshot covering this trial is already on disk.
+            if i >= rebuilt {
+                fresh += 1;
+                if Some(fresh) == args.halt_after {
+                    cold_obs::emit_metrics_snapshot();
+                    eprintln!(
+                        "halted after {fresh} fresh trial(s); resume with --resume {}",
+                        ckpt_path.display()
+                    );
+                    std::process::exit(3);
+                }
+            }
+        });
+    if let Err(e) = outcome {
+        eprintln!("campaign failed: {e}");
+        eprintln!("completed trials are recoverable: --resume {}", ckpt_path.display());
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -137,48 +292,24 @@ fn main() {
             ..ColdConfig::paper(args.n, args.k2, args.k3)
         }
     };
-    for i in 0..args.count {
-        let seed = cold_context::rng::derive_seed(args.seed, i as u64);
-        let (network, context, note) = if let Some(bc) = args.bridge_cost {
-            let (net, _, report) = cold::resilience::synthesize_resilient(&cfg, bc, seed);
-            let ctx = cfg.context.generate(cold_context::rng::derive_seed(seed, 0xC0));
-            let note = format!(
-                ", bridges {} (2-edge-connected: {})",
-                report.bridges, report.two_edge_connected
-            );
-            (net, ctx, note)
-        } else {
-            let r = cfg.synthesize(seed);
-            (r.network, r.context, String::new())
-        };
-        let stem = args.out.join(format!("cold_n{}_seed{seed:016x}", args.n));
-        let write = |ext: &str, body: String| {
-            let path = stem.with_extension(ext);
-            std::fs::write(&path, body).expect("write output file");
-            if !args.quiet {
-                println!("wrote {}", path.display());
-            }
-        };
-        match args.format.as_str() {
-            "json" => write("json", export::to_json(&network, &context)),
-            "dot" => write("dot", export::to_dot(&network, &context)),
-            "graphml" => write("graphml", export::to_graphml(&network, &context)),
-            "svg" => write("svg", export::to_svg(&network, &context)),
-            "all" => {
-                write("json", export::to_json(&network, &context));
-                write("dot", export::to_dot(&network, &context));
-                write("graphml", export::to_graphml(&network, &context));
-                write("svg", export::to_svg(&network, &context));
-            }
-            _ => unreachable!("validated in parse_args"),
-        }
-        if !args.quiet {
-            println!(
-                "  network {i}: {} PoPs, {} links, cost {:.1}{note}",
-                network.n(),
-                network.link_count(),
-                network.total_cost()
-            );
+    if args.campaign() {
+        run_checkpointed(&args, &cfg);
+    } else {
+        for i in 0..args.count {
+            let seed = cold_context::rng::derive_seed(args.seed, i as u64);
+            let (network, context, note) = if let Some(bc) = args.bridge_cost {
+                let (net, _, report) = cold::resilience::synthesize_resilient(&cfg, bc, seed);
+                let ctx = cfg.context.generate(cold_context::rng::derive_seed(seed, 0xC0));
+                let note = format!(
+                    ", bridges {} (2-edge-connected: {})",
+                    report.bridges, report.two_edge_connected
+                );
+                (net, ctx, note)
+            } else {
+                let r = cfg.synthesize(seed);
+                (r.network, r.context, String::new())
+            };
+            export_network(&args, i, &network, &context, &note);
         }
     }
     // Close the journal (or progress stream) with a registry summary so

@@ -1,0 +1,571 @@
+//! Crash-safe campaign checkpoints for ensemble synthesis.
+//!
+//! A *campaign* is the serial trial loop `cold-gen` runs: `count` trials
+//! with per-trial seeds `derive_seed(master_seed, i)`. The checkpoint
+//! design exploits that everything a trial produces is a pure function of
+//! `(config, seed)`: a [`TrialRecord`] stores only the small deterministic
+//! outputs (topology edges, history, counters) and
+//! [`TrialRecord::rebuild`] reconstructs the full [`SynthesisResult`] —
+//! context, capacitated network, statistics — by re-deriving them, which
+//! costs milliseconds instead of a GA run.
+//!
+//! Snapshots are single JSON documents written atomically (temp file +
+//! rename in the destination directory), so a crash mid-write leaves the
+//! previous snapshot intact, never a truncated one. See DESIGN.md §10.
+
+use crate::error::ColdError;
+use crate::synthesizer::{ColdConfig, SynthesisResult};
+use cold_context::rng::derive_seed;
+use cold_cost::Network;
+use cold_graph::AdjacencyMatrix;
+use serde::{Deserialize as _, Serialize as _};
+use serde_json::{json, Value};
+use std::path::Path;
+
+/// The deterministic outputs of one completed trial — everything needed
+/// to reproduce its [`SynthesisResult`] without re-running the GA.
+///
+/// `eval_seconds` inside [`eval_stats`](Self::eval_stats) is the one
+/// wall-clock field: it round-trips exactly through the checkpoint (so a
+/// resumed campaign reports the time the original leg actually spent) but
+/// is exempt from bit-identity comparisons against an uninterrupted run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// Zero-based trial index within the campaign.
+    pub trial: usize,
+    /// The per-trial seed (`derive_seed(master_seed, trial)`).
+    pub seed: u64,
+    /// Node count of the synthesized topology.
+    pub n: usize,
+    /// Edges of the best topology, ascending.
+    pub edges: Vec<(usize, usize)>,
+    /// Best cost per generation.
+    pub best_cost_history: Vec<f64>,
+    /// Final GA population costs, ascending.
+    pub final_population_costs: Vec<f64>,
+    /// `(heuristic name, cost)` pairs (initialized mode only).
+    pub heuristic_costs: Vec<(String, f64)>,
+    /// Objective evaluations requested.
+    pub evaluations: usize,
+    /// Fitness-cache counters and wall-clock evaluation time.
+    pub eval_stats: cold_ga::EvalStats,
+    /// Fraction of offspring needing connectivity repair.
+    pub repair_rate: f64,
+    /// Generations actually run.
+    pub generations_run: usize,
+}
+
+impl TrialRecord {
+    /// Distills a completed trial into its checkpointable form.
+    pub fn from_result(trial: usize, seed: u64, r: &SynthesisResult) -> Self {
+        Self {
+            trial,
+            seed,
+            n: r.network.topology.n(),
+            edges: r.network.topology.edges().collect(),
+            best_cost_history: r.best_cost_history.clone(),
+            final_population_costs: r.final_population_costs.clone(),
+            heuristic_costs: r.heuristic_costs.clone(),
+            evaluations: r.evaluations,
+            eval_stats: r.eval_stats,
+            repair_rate: r.repair_rate,
+            generations_run: r.generations_run,
+        }
+    }
+
+    /// Reconstructs the full [`SynthesisResult`] by re-deriving the
+    /// deterministic parts: the context is regenerated from the seed, the
+    /// network rebuilt (capacities, routes, cost) from the stored edges,
+    /// and the statistics recomputed. Bit-identical to the original for
+    /// every deterministic field.
+    ///
+    /// # Errors
+    /// [`ColdError::Checkpoint`] when the stored topology does not fit
+    /// the config (node-count mismatch, invalid edge, disconnected).
+    pub fn rebuild(&self, config: &ColdConfig) -> Result<SynthesisResult, ColdError> {
+        if self.n != config.context.n {
+            return Err(ColdError::Checkpoint(format!(
+                "trial {}: topology has {} nodes, config expects {}",
+                self.trial, self.n, config.context.n
+            )));
+        }
+        let topology = AdjacencyMatrix::from_edges(self.n, &self.edges).map_err(|e| {
+            ColdError::Checkpoint(format!("trial {}: bad topology: {e:?}", self.trial))
+        })?;
+        let ctx = config.context.generate(derive_seed(self.seed, 0xC0));
+        let network = Network::build(topology, &ctx, config.params).map_err(|e| {
+            ColdError::Checkpoint(format!("trial {}: stored topology unusable: {e:?}", self.trial))
+        })?;
+        let stats = crate::stats::NetworkStats::compute(&network.graph())
+            .expect("network built above is connected");
+        Ok(SynthesisResult {
+            journal_path: cold_obs::journal_path(),
+            context: ctx,
+            network,
+            stats,
+            best_cost_history: self.best_cost_history.clone(),
+            final_population_costs: self.final_population_costs.clone(),
+            heuristic_costs: self.heuristic_costs.clone(),
+            evaluations: self.evaluations,
+            eval_stats: self.eval_stats,
+            repair_rate: self.repair_rate,
+            generations_run: self.generations_run,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        json!({
+            "trial": self.trial,
+            "seed": self.seed,
+            "n": self.n,
+            "edges": Value::Array(
+                self.edges.iter().map(|&(u, v)| json!([u, v])).collect()
+            ),
+            "best_cost_history": Value::Array(
+                self.best_cost_history.iter().map(|&h| json!(h)).collect()
+            ),
+            "final_population_costs": Value::Array(
+                self.final_population_costs.iter().map(|&c| json!(c)).collect()
+            ),
+            "heuristic_costs": Value::Array(
+                self.heuristic_costs
+                    .iter()
+                    .map(|(name, cost)| json!({ "name": name, "cost": *cost }))
+                    .collect()
+            ),
+            "evaluations": self.evaluations,
+            "eval_stats": {
+                "requested": self.eval_stats.requested,
+                "cache_hits": self.eval_stats.cache_hits,
+                "cache_misses": self.eval_stats.cache_misses,
+                "eval_seconds": self.eval_stats.eval_seconds,
+            },
+            "repair_rate": self.repair_rate,
+            "generations_run": self.generations_run,
+        })
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let mut edges = Vec::new();
+        for e in v.get("edges").and_then(Value::as_array).ok_or("trial: `edges` missing")? {
+            let pair = e.as_array().filter(|p| p.len() == 2).ok_or("trial: edge is not a pair")?;
+            let u = pair[0].as_u64().ok_or("trial: edge endpoint not an integer")? as usize;
+            let w = pair[1].as_u64().ok_or("trial: edge endpoint not an integer")? as usize;
+            edges.push((u, w));
+        }
+        let mut heuristic_costs = Vec::new();
+        for h in v
+            .get("heuristic_costs")
+            .and_then(Value::as_array)
+            .ok_or("trial: `heuristic_costs` missing")?
+        {
+            let name = h
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("trial: heuristic name missing")?
+                .to_string();
+            let cost =
+                h.get("cost").and_then(Value::as_f64).ok_or("trial: heuristic cost missing")?;
+            heuristic_costs.push((name, cost));
+        }
+        let es = v.get("eval_stats").ok_or("trial: `eval_stats` missing")?;
+        Ok(Self {
+            trial: usize_field(v, "trial")?,
+            seed: v.get("seed").and_then(Value::as_u64).ok_or("trial: `seed` missing")?,
+            n: usize_field(v, "n")?,
+            edges,
+            best_cost_history: f64_array(v, "best_cost_history")?,
+            final_population_costs: f64_array(v, "final_population_costs")?,
+            heuristic_costs,
+            evaluations: usize_field(v, "evaluations")?,
+            eval_stats: cold_ga::EvalStats {
+                requested: usize_field(es, "requested")?,
+                cache_hits: usize_field(es, "cache_hits")?,
+                cache_misses: usize_field(es, "cache_misses")?,
+                eval_seconds: f64_field(es, "eval_seconds")?,
+            },
+            repair_rate: f64_field(v, "repair_rate")?,
+            generations_run: usize_field(v, "generations_run")?,
+        })
+    }
+}
+
+fn usize_field(v: &Value, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .map(|u| u as usize)
+        .ok_or_else(|| format!("field `{key}` missing or not a nonnegative integer"))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("field `{key}` missing or not a number"))
+}
+
+fn f64_array(v: &Value, key: &str) -> Result<Vec<f64>, String> {
+    v.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("field `{key}` missing or not an array"))?
+        .iter()
+        .map(|x| x.as_f64().ok_or_else(|| format!("`{key}` entry is not a number")))
+        .collect()
+}
+
+/// A resumable snapshot of a serial synthesis campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCheckpoint {
+    /// The configuration the campaign runs under. A resume validates this
+    /// against the caller's config — silently continuing a campaign with
+    /// different parameters would poison the ensemble.
+    pub config: ColdConfig,
+    /// Master seed; trial `i` runs with `derive_seed(master_seed, i)`.
+    pub master_seed: u64,
+    /// Total trials in the campaign.
+    pub count: usize,
+    /// Completed trials, a prefix `0..records.len()` of the campaign.
+    pub records: Vec<TrialRecord>,
+}
+
+impl CampaignCheckpoint {
+    /// Converts the snapshot into its JSON object form.
+    pub fn to_value(&self) -> Value {
+        json!({
+            "kind": "cold-campaign-checkpoint",
+            "version": 1u64,
+            "config": self.config.to_json_value(),
+            "master_seed": self.master_seed,
+            "count": self.count,
+            "records": Value::Array(self.records.iter().map(TrialRecord::to_value).collect()),
+        })
+    }
+
+    /// Parses and schema-validates a snapshot.
+    ///
+    /// # Errors
+    /// [`ColdError::Checkpoint`] describing the first violated rule.
+    pub fn from_value(v: &Value) -> Result<Self, ColdError> {
+        let fail = |why: String| ColdError::Checkpoint(why);
+        match v.get("kind").and_then(Value::as_str) {
+            Some("cold-campaign-checkpoint") => {}
+            Some(other) => return Err(fail(format!("not a campaign checkpoint (kind `{other}`)"))),
+            None => return Err(fail("not a campaign checkpoint (missing `kind`)".into())),
+        }
+        match v.get("version").and_then(Value::as_u64) {
+            Some(1) => {}
+            other => {
+                return Err(fail(format!("unsupported campaign checkpoint version {other:?}")))
+            }
+        }
+        let config = v
+            .get("config")
+            .and_then(ColdConfig::from_json_value)
+            .ok_or_else(|| fail("field `config` missing or malformed".into()))?;
+        let master_seed = v
+            .get("master_seed")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| fail("field `master_seed` missing".into()))?;
+        let count = usize_field(v, "count").map_err(fail)?;
+        let mut records = Vec::new();
+        for (i, r) in v
+            .get("records")
+            .and_then(Value::as_array)
+            .ok_or_else(|| fail("field `records` missing or not an array".into()))?
+            .iter()
+            .enumerate()
+        {
+            let record = TrialRecord::from_value(r).map_err(fail)?;
+            if record.trial != i {
+                return Err(fail(format!(
+                    "records must be the contiguous prefix 0..: slot {i} holds trial {}",
+                    record.trial
+                )));
+            }
+            records.push(record);
+        }
+        if records.len() > count {
+            return Err(fail(format!("{} records exceed campaign size {count}", records.len())));
+        }
+        Ok(Self { config, master_seed, count, records })
+    }
+
+    /// Serializes the snapshot as one JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("Value serialization is infallible")
+    }
+
+    /// Parses a snapshot from JSON text.
+    ///
+    /// # Errors
+    /// [`ColdError::Checkpoint`] for invalid JSON or schema violations.
+    pub fn from_json(text: &str) -> Result<Self, ColdError> {
+        let v: Value = serde_json::from_str(text)
+            .map_err(|e| ColdError::Checkpoint(format!("invalid JSON: {e}")))?;
+        Self::from_value(&v)
+    }
+
+    /// Writes the snapshot atomically: the document lands in a temp file
+    /// next to `path`, then replaces it with one `rename`. A crash at any
+    /// point leaves either the old snapshot or the new one — never a
+    /// truncated hybrid.
+    ///
+    /// # Errors
+    /// [`ColdError::Io`] when the write or rename fails.
+    pub fn save(&self, path: &Path) -> Result<(), ColdError> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json() + "\n")?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads a snapshot back from disk.
+    ///
+    /// # Errors
+    /// [`ColdError::Io`] when the file is unreadable, and
+    /// [`ColdError::Checkpoint`] when its contents do not validate.
+    pub fn load(path: &Path) -> Result<Self, ColdError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// Rejects a snapshot that belongs to a different campaign.
+    ///
+    /// # Errors
+    /// [`ColdError::Checkpoint`] naming the first mismatching field.
+    pub fn validate_against(
+        &self,
+        config: &ColdConfig,
+        master_seed: u64,
+        count: usize,
+    ) -> Result<(), ColdError> {
+        if self.config != *config {
+            return Err(ColdError::Checkpoint(
+                "snapshot config differs from requested config".into(),
+            ));
+        }
+        if self.master_seed != master_seed {
+            return Err(ColdError::Checkpoint(format!(
+                "snapshot master seed {:#x} differs from requested {master_seed:#x}",
+                self.master_seed
+            )));
+        }
+        if self.count != count {
+            return Err(ColdError::Checkpoint(format!(
+                "snapshot campaign size {} differs from requested {count}",
+                self.count
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Runs (or resumes) a serial checkpointed campaign.
+///
+/// Trials execute in index order with the same per-trial seeds as
+/// [`ColdConfig::ensemble`]; after every `checkpoint_every`-th completed
+/// trial a [`CampaignCheckpoint`] is written atomically to
+/// `checkpoint_path` (and a `checkpoint` journal event emitted when
+/// tracing is active). With `resume`, the snapshot's completed trials are
+/// rebuilt instead of re-run, and execution continues with the first
+/// missing trial — the returned results are bit-identical (modulo the
+/// wall-clock `eval_seconds`) to an uninterrupted campaign, which the
+/// workspace `checkpoint_resume` test pins.
+///
+/// `on_trial` fires once per result, in trial order, for both rebuilt and
+/// freshly-run trials — CLI progress/export hooks go there. For fresh
+/// trials it fires *after* the snapshot write, so a hook that kills the
+/// process never loses the trial it just saw.
+///
+/// # Errors
+/// Any [`ColdError`] from validation, trial synthesis, checkpoint
+/// rebuilding, or snapshot I/O. Unlike the parallel ensemble there is no
+/// in-loop retry: the checkpoint already bounds lost work, and the CLI
+/// reports the failed trial with the snapshot path for a manual resume.
+pub fn run_campaign(
+    config: &ColdConfig,
+    master_seed: u64,
+    count: usize,
+    checkpoint_every: usize,
+    checkpoint_path: &Path,
+    resume: Option<CampaignCheckpoint>,
+    mut on_trial: impl FnMut(usize, &SynthesisResult),
+) -> Result<Vec<SynthesisResult>, ColdError> {
+    if checkpoint_every == 0 {
+        return Err(ColdError::Checkpoint("checkpoint interval must be >= 1".into()));
+    }
+    config.validate()?;
+    let mut records: Vec<TrialRecord> = match resume {
+        None => Vec::new(),
+        Some(snapshot) => {
+            snapshot.validate_against(config, master_seed, count)?;
+            snapshot.records
+        }
+    };
+    let mut results = Vec::with_capacity(count);
+    for record in &records {
+        let r = record.rebuild(config)?;
+        on_trial(record.trial, &r);
+        results.push(r);
+    }
+    for i in results.len()..count {
+        let seed = derive_seed(master_seed, i as u64);
+        let r = config.try_synthesize(seed)?;
+        records.push(TrialRecord::from_result(i, seed, &r));
+        let completed = i + 1;
+        // Snapshot *before* the hook: a hook that aborts the process (the
+        // CLI's --halt-after does exactly that) still leaves the trial it
+        // just observed recoverable on disk.
+        if completed % checkpoint_every == 0 && completed < count {
+            let snapshot = CampaignCheckpoint {
+                config: *config,
+                master_seed,
+                count,
+                records: records.clone(),
+            };
+            snapshot.save(checkpoint_path)?;
+            if cold_obs::is_enabled() {
+                cold_obs::emit(&cold_obs::Event::Checkpoint(cold_obs::CheckpointEvent {
+                    path: checkpoint_path.display().to_string(),
+                    completed,
+                    total: count,
+                }));
+            }
+        }
+        on_trial(i, &r);
+        results.push(r);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cold-campaign-{}-{name}.json", std::process::id()));
+        p
+    }
+
+    fn assert_same_deterministic_fields(a: &SynthesisResult, b: &SynthesisResult) {
+        assert_eq!(a.network.topology, b.network.topology);
+        assert_eq!(a.context, b.context);
+        assert_eq!(a.best_cost_history, b.best_cost_history);
+        assert_eq!(a.final_population_costs, b.final_population_costs);
+        assert_eq!(a.heuristic_costs, b.heuristic_costs);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.eval_stats.requested, b.eval_stats.requested);
+        assert_eq!(a.eval_stats.cache_hits, b.eval_stats.cache_hits);
+        assert_eq!(a.eval_stats.cache_misses, b.eval_stats.cache_misses);
+        assert_eq!(a.repair_rate, b.repair_rate);
+        assert_eq!(a.generations_run, b.generations_run);
+        assert_eq!(a.stats, b.stats);
+        assert!((a.network.total_cost() - b.network.total_cost()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trial_record_rebuilds_bit_identically() {
+        let cfg = ColdConfig::quick(8, 1e-4, 10.0);
+        let seed = derive_seed(42, 0);
+        let original = cfg.synthesize(seed);
+        let record = TrialRecord::from_result(0, seed, &original);
+        let rebuilt = record.rebuild(&cfg).expect("rebuild");
+        assert_same_deterministic_fields(&original, &rebuilt);
+        // The wall-clock field round-trips the *recorded* value exactly.
+        assert_eq!(rebuilt.eval_stats.eval_seconds, original.eval_stats.eval_seconds);
+    }
+
+    #[test]
+    fn campaign_checkpoint_round_trips_through_json() {
+        let cfg = ColdConfig::quick(8, 1e-4, 10.0);
+        let seed = derive_seed(7, 0);
+        let r = cfg.synthesize(seed);
+        let snapshot = CampaignCheckpoint {
+            config: cfg,
+            master_seed: 7,
+            count: 3,
+            records: vec![TrialRecord::from_result(0, seed, &r)],
+        };
+        let back = CampaignCheckpoint::from_json(&snapshot.to_json()).expect("round trip");
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn corrupt_campaign_documents_are_rejected() {
+        assert!(CampaignCheckpoint::from_json("").is_err());
+        assert!(CampaignCheckpoint::from_json("{}").is_err());
+        assert!(CampaignCheckpoint::from_json("{\"kind\":\"cold-ga-checkpoint\"}").is_err());
+        let cfg = ColdConfig::quick(8, 1e-4, 10.0);
+        let r = cfg.synthesize(derive_seed(7, 0));
+        let good = CampaignCheckpoint {
+            config: cfg,
+            master_seed: 7,
+            count: 2,
+            records: vec![TrialRecord::from_result(0, derive_seed(7, 0), &r)],
+        }
+        .to_json();
+        assert!(CampaignCheckpoint::from_json(&good[..good.len() / 2]).is_err(), "truncation");
+        let tampered = good.replace("\"count\":2", "\"count\":0");
+        assert!(CampaignCheckpoint::from_json(&tampered).is_err(), "records exceed count");
+    }
+
+    #[test]
+    fn resume_validation_rejects_foreign_campaigns() {
+        let cfg = ColdConfig::quick(8, 1e-4, 10.0);
+        let snapshot =
+            CampaignCheckpoint { config: cfg, master_seed: 5, count: 4, records: Vec::new() };
+        assert!(snapshot.validate_against(&cfg, 5, 4).is_ok());
+        assert!(snapshot.validate_against(&cfg, 6, 4).is_err(), "seed mismatch");
+        assert!(snapshot.validate_against(&cfg, 5, 8).is_err(), "count mismatch");
+        let other = ColdConfig::quick(9, 1e-4, 10.0);
+        assert!(snapshot.validate_against(&other, 5, 4).is_err(), "config mismatch");
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_bit_identically() {
+        let cfg = ColdConfig::quick(7, 1e-4, 10.0);
+        let path = tmp_path("resume");
+        let _ = std::fs::remove_file(&path);
+
+        // Uninterrupted reference.
+        let full = run_campaign(&cfg, 11, 4, 1, &path, None, |_, _| {}).expect("full run");
+        let _ = std::fs::remove_file(&path);
+
+        // First leg: simulate a crash by stopping after 2 trials via the
+        // on_trial hook (panic caught here, as a kill would).
+        let leg = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_campaign(&cfg, 11, 4, 1, &path, None, |i, _| {
+                if i == 1 {
+                    panic!("simulated crash after trial 1");
+                }
+            })
+        }));
+        assert!(leg.is_err(), "first leg must die mid-campaign");
+        let snapshot = CampaignCheckpoint::load(&path).expect("crash left a valid snapshot");
+        // Snapshots are written before on_trial fires, so the crash in the
+        // trial-1 hook still left trial 1 on disk.
+        assert_eq!(snapshot.records.len(), 2, "both completed trials checkpointed");
+
+        // Second leg: resume and complete.
+        let resumed =
+            run_campaign(&cfg, 11, 4, 1, &path, Some(snapshot), |_, _| {}).expect("resumed run");
+        assert_eq!(resumed.len(), full.len());
+        for (a, b) in full.iter().zip(&resumed) {
+            assert_same_deterministic_fields(a, b);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn campaign_checkpoint_cadence_and_final_trial_skip() {
+        let cfg = ColdConfig::quick(7, 1e-4, 10.0);
+        let path = tmp_path("cadence");
+        let _ = std::fs::remove_file(&path);
+        let results = run_campaign(&cfg, 3, 4, 2, &path, None, |_, _| {}).expect("run");
+        assert_eq!(results.len(), 4);
+        // every=2, count=4: snapshot after trial 2 only (after trial 4 the
+        // campaign is complete — nothing to resume).
+        let snapshot = CampaignCheckpoint::load(&path).expect("snapshot written");
+        assert_eq!(snapshot.records.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -72,6 +72,8 @@
 
 pub mod abc;
 pub mod bootstrap;
+pub mod checkpoint;
+pub mod error;
 pub mod evolution;
 pub mod export;
 pub mod failure;
@@ -86,9 +88,13 @@ pub mod sweep;
 pub mod synthesizer;
 pub mod zoo;
 
+pub use checkpoint::{run_campaign, CampaignCheckpoint, TrialRecord};
+pub use error::ColdError;
 pub use objective::ColdObjective;
 pub use stats::NetworkStats;
-pub use synthesizer::{ColdConfig, SynthesisMode, SynthesisResult};
+pub use synthesizer::{
+    ColdConfig, EnsembleOutcome, SynthesisMode, SynthesisResult, TrialFailure, TrialRunner,
+};
 
 // Re-export the component crates so `cold` is a one-stop dependency.
 pub use cold_baselines as baselines;

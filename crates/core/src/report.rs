@@ -8,7 +8,7 @@
 
 use crate::bootstrap::bootstrap_mean_ci;
 use crate::resilience::survivability;
-use crate::synthesizer::{ColdConfig, SynthesisResult};
+use crate::synthesizer::{ColdConfig, EnsembleOutcome, SynthesisResult};
 use std::fmt::Write as _;
 
 /// Statistics included in the report, in order.
@@ -130,6 +130,65 @@ pub fn ensemble_report(config: &ColdConfig, ensemble: &[SynthesisResult], seed: 
     out
 }
 
+/// Renders the report for a fault-tolerant ensemble run
+/// ([`ColdConfig::synthesize_ensemble`]): the standard report over the
+/// trials that completed, followed by a failure table when any trial
+/// failed. A fully-lost ensemble still yields a document (provenance
+/// header plus the failure table) rather than a panic, so a CI job always
+/// has an artifact to attach.
+pub fn outcome_report(config: &ColdConfig, outcome: &EnsembleOutcome, seed: u64) -> String {
+    let completed: Vec<SynthesisResult> = outcome.results.iter().map(|(_, r)| r.clone()).collect();
+    let mut out = if completed.is_empty() {
+        format!(
+            "# COLD ensemble report\n\n- networks: **0** of {} requested \
+             (master seed {seed}) — every trial failed\n",
+            outcome.total
+        )
+    } else {
+        ensemble_report(config, &completed, seed)
+    };
+    out.push_str(&failure_section(outcome));
+    out
+}
+
+/// The `## Trial failures` section: empty string for a clean run, else a
+/// summary line and one table row per failed *attempt* (a trial that
+/// panicked and then succeeded on its retry seed contributes one row,
+/// marked recovered).
+fn failure_section(outcome: &EnsembleOutcome) -> String {
+    if outcome.failures.is_empty() {
+        return String::new();
+    }
+    let lost = outcome.lost_trials();
+    let failed_trials: std::collections::BTreeSet<usize> =
+        outcome.failures.iter().map(|f| f.trial).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "\n## Trial failures\n");
+    let _ = writeln!(
+        out,
+        "{} of {} trials failed at least once; {} recovered on a retry seed, {} lost \
+         (ensemble statistics above cover completed trials only).\n",
+        failed_trials.len(),
+        outcome.total,
+        failed_trials.len() - lost.len(),
+        lost.len()
+    );
+    let _ = writeln!(out, "| trial | attempt | seed | error | outcome |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for f in &outcome.failures {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:#018x} | {} | {} |",
+            f.trial,
+            f.attempt,
+            f.seed,
+            f.error,
+            if f.recovered { "recovered" } else { "lost" }
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +250,58 @@ mod tests {
     fn empty_ensemble_rejected() {
         let cfg = ColdConfig::quick(6, 1e-4, 0.0);
         ensemble_report(&cfg, &[], 0);
+    }
+
+    #[test]
+    fn clean_outcome_report_has_no_failure_section() {
+        let cfg = ColdConfig::quick(7, 1e-4, 10.0);
+        let outcome = cfg.synthesize_ensemble(9, 3);
+        assert!(outcome.is_complete());
+        let md = outcome_report(&cfg, &outcome, 9);
+        assert!(!md.contains("## Trial failures"));
+        assert!(md.contains("networks: **3**"));
+    }
+
+    #[test]
+    fn failure_table_reports_recovered_and_lost_trials() {
+        let cfg = ColdConfig::quick(7, 1e-4, 10.0);
+        // Trial 1 panics once then recovers; trial 2 fails both attempts.
+        let outcome = cfg.ensemble_with_runner(9, 4, &|c, seed, trial, attempt| {
+            if trial == 1 && attempt == 1 {
+                panic!("injected flake");
+            }
+            if trial == 2 {
+                panic!("injected hard failure");
+            }
+            c.try_synthesize(seed)
+        });
+        assert_eq!(outcome.lost_trials(), vec![2]);
+        let md = outcome_report(&cfg, &outcome, 9);
+        assert!(md.contains("## Trial failures"));
+        assert!(
+            md.contains("2 of 4 trials failed at least once; 1 recovered on a retry seed, 1 lost")
+        );
+        assert!(md.contains("injected flake"));
+        assert!(md.contains("injected hard failure"));
+        assert!(md.contains("| recovered |"));
+        assert!(md.contains("| lost |"));
+        // Three failed attempts → three table rows (trial 1 once, trial 2
+        // twice).
+        let rows =
+            md.lines().filter(|l| l.ends_with("| recovered |") || l.ends_with("| lost |")).count();
+        assert_eq!(rows, 3);
+        // The statistics above cover the 3 completed trials.
+        assert!(md.contains("networks: **3**"));
+    }
+
+    #[test]
+    fn fully_lost_ensemble_still_yields_a_document() {
+        let cfg = ColdConfig::quick(7, 1e-4, 10.0);
+        let outcome = cfg.ensemble_with_runner(9, 2, &|_, _, _, _| panic!("everything is on fire"));
+        assert!(outcome.results.is_empty());
+        let md = outcome_report(&cfg, &outcome, 9);
+        assert!(md.contains("every trial failed"));
+        assert!(md.contains("## Trial failures"));
+        assert!(md.contains("everything is on fire"));
     }
 }

@@ -42,6 +42,10 @@ pub struct SweepCell {
     pub point: SweepPoint,
     /// Statistic name → mean and CI over the ensemble.
     pub stats: Vec<(String, MeanCi)>,
+    /// Trials at this point that produced no network even after the
+    /// fault-tolerant ensemble's retry; their samples are simply absent
+    /// from [`stats`](Self::stats) (the CIs widen accordingly).
+    pub lost_trials: usize,
 }
 
 impl SweepCell {
@@ -96,7 +100,14 @@ impl SweepPlan {
     }
 
     /// Runs the sweep with a per-trial post-processing hook (e.g. to also
-    /// capture raw values). The hook sees every [`SynthesisResult`].
+    /// capture raw values). The hook sees every completed
+    /// [`SynthesisResult`].
+    ///
+    /// Trials run through the fault-tolerant ensemble
+    /// ([`ColdConfig::synthesize_ensemble`]): a panicking trial is retried
+    /// once on a fresh seed, and a trial lost even then drops out of the
+    /// point's samples (counted in [`SweepCell::lost_trials`]) instead of
+    /// tearing down the whole sweep.
     pub fn run_with(
         &self,
         mut observe: impl FnMut(SynthesisResult) -> SynthesisResult,
@@ -109,8 +120,10 @@ impl SweepPlan {
                 ..self.base
             };
             let point_seed = cold_context::rng::derive_seed(self.seed, i as u64);
-            let results = cfg.ensemble(point_seed, self.trials);
-            let results: Vec<SynthesisResult> = results.into_iter().map(&mut observe).collect();
+            let outcome = cfg.synthesize_ensemble(point_seed, self.trials);
+            let lost_trials = outcome.lost_trials().len();
+            let results: Vec<SynthesisResult> =
+                outcome.results.into_iter().map(|(_, r)| observe(r)).collect();
             let stats = self
                 .stats
                 .iter()
@@ -121,7 +134,7 @@ impl SweepPlan {
                     (name.clone(), ci)
                 })
                 .collect();
-            out.push(SweepCell { point, stats });
+            out.push(SweepCell { point, stats, lost_trials });
         }
         out
     }
@@ -173,6 +186,7 @@ mod tests {
             assert!(deg.mean >= 2.0 - 2.0 / 7.0 - 1e-9 && deg.mean <= 6.0);
             assert!(cell.stat("diameter").is_some());
             assert!(cell.stat("nonexistent").is_none());
+            assert_eq!(cell.lost_trials, 0, "clean sweep loses no trials");
         }
     }
 

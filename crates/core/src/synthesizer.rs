@@ -6,6 +6,7 @@
 //! generation with the greedy heuristics' outputs). A synthesis is a pure
 //! function of `(config, seed)`.
 
+use crate::error::{panic_message, ColdError};
 use crate::objective::ColdObjective;
 use crate::stats::NetworkStats;
 use cold_context::rng::derive_seed;
@@ -14,6 +15,12 @@ use cold_cost::{CostParams, Network};
 use cold_ga::{GaSettings, GeneticAlgorithm};
 use cold_heuristics::{all_heuristics, RandomGreedyConfig};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Salt mixed into the master seed for one-shot retries of failed trials,
+/// so the retry runs a fresh (but still deterministic) random stream
+/// instead of replaying the exact failure.
+const RETRY_SALT: u64 = 0x5245_5452; // "RETR"
 
 /// How the GA's initial population is seeded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -65,11 +72,35 @@ impl ColdConfig {
         }
     }
 
+    /// Checks the whole configuration — context model, cost parameters
+    /// and GA settings — before any work starts.
+    ///
+    /// # Errors
+    /// [`ColdError::Config`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), ColdError> {
+        self.context.validate().map_err(|why| ColdError::Config(format!("context: {why}")))?;
+        self.params.validate().map_err(|why| ColdError::Config(format!("cost params: {why}")))?;
+        self.ga.validate().map_err(|why| ColdError::Config(format!("GA settings: {why}")))?;
+        Ok(())
+    }
+
     /// Synthesizes one network: generates the context for `seed`, then
     /// optimizes deterministically.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or a misbehaving cost model —
+    /// use [`try_synthesize`](Self::try_synthesize) for a typed error.
     pub fn synthesize(&self, seed: u64) -> SynthesisResult {
+        self.try_synthesize(seed).expect("synthesis failed")
+    }
+
+    /// Fallible [`synthesize`](Self::synthesize): configuration problems
+    /// and GA failures (e.g. a non-finite cost) surface as [`ColdError`]
+    /// so ensemble drivers can record and retry the trial.
+    pub fn try_synthesize(&self, seed: u64) -> Result<SynthesisResult, ColdError> {
+        self.validate()?;
         let ctx = self.context.generate(derive_seed(seed, 0xC0));
-        self.synthesize_in_context(ctx, seed)
+        self.try_synthesize_in_context(ctx, seed)
     }
 
     /// Optimizes within an explicitly provided context (e.g. real PoP
@@ -82,6 +113,20 @@ impl ColdConfig {
     /// [`SynthesisResult::journal_path`]. Tracing never changes the
     /// synthesized network: observers receive read-only records.
     pub fn synthesize_in_context(&self, ctx: Context, seed: u64) -> SynthesisResult {
+        self.try_synthesize_in_context(ctx, seed).expect("synthesis failed")
+    }
+
+    /// Fallible [`synthesize_in_context`](Self::synthesize_in_context).
+    ///
+    /// # Errors
+    /// [`ColdError::Config`] for inconsistent settings,
+    /// [`ColdError::Ga`] when the engine rejects the run (e.g. a cost
+    /// model producing NaN).
+    pub fn try_synthesize_in_context(
+        &self,
+        ctx: Context,
+        seed: u64,
+    ) -> Result<SynthesisResult, ColdError> {
         let _span = cold_obs::span("core.synthesize");
         let traced = cold_obs::is_enabled();
         if traced {
@@ -112,12 +157,12 @@ impl ColdConfig {
             }
         };
         let ga_settings = GaSettings { seed: derive_seed(seed, 0x6741), ..self.ga };
-        let engine = GeneticAlgorithm::new(&objective, ga_settings);
+        let engine = GeneticAlgorithm::try_new(&objective, ga_settings)?;
         let result = if traced {
             let mut observer = cold_obs::TraceObserver::new(seed);
-            engine.run_traced(&seeds, Some(&mut observer))
+            engine.try_run_traced(&seeds, Some(&mut observer))?
         } else {
-            engine.run_seeded(&seeds)
+            engine.try_run_traced(&seeds, None)?
         };
         if traced {
             cold_obs::emit(&cold_obs::Event::RunEnd(cold_obs::RunEnd {
@@ -133,7 +178,7 @@ impl ColdConfig {
         let network = Network::build(result.best.topology.clone(), &ctx, self.params)
             .expect("GA result is connected");
         let stats = NetworkStats::compute(&network.graph()).expect("connected");
-        SynthesisResult {
+        Ok(SynthesisResult {
             journal_path: cold_obs::journal_path(),
             context: ctx,
             network,
@@ -145,7 +190,7 @@ impl ColdConfig {
             eval_stats: result.eval_stats,
             repair_rate: result.repair_stats.repair_rate(),
             generations_run: result.generations_run,
-        }
+        })
     }
 
     /// Synthesizes an ensemble of `count` networks with independent
@@ -154,13 +199,62 @@ impl ColdConfig {
     /// Within each trial the GA runs serially (`parallel = false`) so the
     /// machine is not oversubscribed; trial-level parallelism dominates
     /// for ensembles anyway.
+    ///
+    /// # Panics
+    /// Panics when a trial fails *and* its one-shot retry also fails —
+    /// use [`synthesize_ensemble`](Self::synthesize_ensemble) to degrade
+    /// gracefully to a partial ensemble instead.
     pub fn ensemble(&self, master_seed: u64, count: usize) -> Vec<SynthesisResult> {
+        let outcome = self.synthesize_ensemble(master_seed, count);
+        if let Some(f) = outcome.failures.iter().find(|f| !f.recovered) {
+            panic!("ensemble trial {} failed after retry: {}", f.trial, f.error);
+        }
+        outcome.results.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Fault-tolerant [`ensemble`](Self::ensemble): a trial that fails —
+    /// a typed [`ColdError`] from [`try_synthesize`](Self::try_synthesize)
+    /// or an outright panic, caught at the worker boundary so the
+    /// crossbeam scope is never poisoned — is recorded, journaled as a
+    /// `trial_failed` event, and retried once on a fresh salted seed.
+    /// Trials whose retry also fails are dropped from the ensemble; the
+    /// returned [`EnsembleOutcome`] carries the surviving results plus a
+    /// failure table, so a 100-trial campaign with one bad trial yields
+    /// 99 networks and an audit trail instead of an abort.
+    ///
+    /// Successful trials are bit-identical to [`ensemble`](Self::ensemble)
+    /// output: seeds derive the same way and retries never perturb other
+    /// trials' streams.
+    pub fn synthesize_ensemble(&self, master_seed: u64, count: usize) -> EnsembleOutcome {
+        self.ensemble_with_runner(master_seed, count, &|cfg, seed, _trial, _attempt| {
+            cfg.try_synthesize(seed)
+        })
+    }
+
+    /// [`synthesize_ensemble`](Self::synthesize_ensemble) with an
+    /// injectable trial runner — the seam failure-injection tests (in this
+    /// crate and downstream) use to make a chosen `(trial, attempt)` panic
+    /// or error deterministically. The runner receives
+    /// `(config, seed, trial, attempt)` and the real pipeline is simply
+    /// `config.try_synthesize(seed)`.
+    pub fn ensemble_with_runner(
+        &self,
+        master_seed: u64,
+        count: usize,
+        run_trial: &TrialRunner,
+    ) -> EnsembleOutcome {
         let _span = cold_obs::span("core.ensemble");
         let serial = ColdConfig { ga: GaSettings { parallel: false, ..self.ga }, ..*self };
         let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
         let workers = workers.min(count).max(1);
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let (tx, rx) = std::sync::mpsc::channel::<(usize, SynthesisResult)>();
+        enum Message {
+            // Boxed: a SynthesisResult is orders of magnitude larger than
+            // the failure record, and every message would pay its size.
+            Done(usize, Box<SynthesisResult>),
+            Failed { trial: usize, attempt: usize, seed: u64, error: ColdError },
+        }
+        let (tx, rx) = std::sync::mpsc::channel::<Message>();
         crossbeam::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
@@ -171,18 +265,114 @@ impl ColdConfig {
                     if i >= count {
                         break;
                     }
-                    let r = serial.synthesize(derive_seed(master_seed, i as u64));
-                    tx.send((i, r)).expect("result channel open");
+                    for attempt in 1..=2usize {
+                        let seed = if attempt == 1 {
+                            derive_seed(master_seed, i as u64)
+                        } else {
+                            derive_seed(derive_seed(master_seed, RETRY_SALT), i as u64)
+                        };
+                        // The catch_unwind boundary keeps a panicking
+                        // objective (or any other bug inside one trial)
+                        // from unwinding into the crossbeam scope, which
+                        // would re-raise and poison the whole ensemble.
+                        let outcome =
+                            catch_unwind(AssertUnwindSafe(|| run_trial(serial, seed, i, attempt)))
+                                .unwrap_or_else(|payload| {
+                                    Err(ColdError::TrialPanic(panic_message(payload.as_ref())))
+                                });
+                        match outcome {
+                            Ok(r) => {
+                                tx.send(Message::Done(i, Box::new(r)))
+                                    .expect("result channel open");
+                                break;
+                            }
+                            Err(error) => {
+                                if cold_obs::is_enabled() {
+                                    cold_obs::emit(&cold_obs::Event::TrialFailed(
+                                        cold_obs::TrialFailed {
+                                            trial: i,
+                                            attempt,
+                                            seed,
+                                            error: error.to_string(),
+                                        },
+                                    ));
+                                }
+                                tx.send(Message::Failed { trial: i, attempt, seed, error })
+                                    .expect("result channel open");
+                            }
+                        }
+                    }
                 });
             }
         })
-        .expect("ensemble worker panicked");
+        .expect("ensemble scope never sees a worker panic");
         drop(tx);
-        let mut slots: Vec<Option<SynthesisResult>> = (0..count).map(|_| None).collect();
-        for (i, r) in rx {
-            slots[i] = Some(r);
+        let mut results: Vec<(usize, SynthesisResult)> = Vec::new();
+        let mut failures: Vec<TrialFailure> = Vec::new();
+        for msg in rx {
+            match msg {
+                Message::Done(i, r) => results.push((i, *r)),
+                Message::Failed { trial, attempt, seed, error } => {
+                    failures.push(TrialFailure { trial, attempt, seed, error, recovered: false })
+                }
+            }
         }
-        slots.into_iter().map(|s| s.expect("every trial filled")).collect()
+        results.sort_by_key(|(i, _)| *i);
+        let completed: std::collections::HashSet<usize> = results.iter().map(|(i, _)| *i).collect();
+        for f in &mut failures {
+            f.recovered = completed.contains(&f.trial);
+        }
+        failures.sort_by_key(|f| (f.trial, f.attempt));
+        EnsembleOutcome { total: count, results, failures }
+    }
+}
+
+/// A single-trial runner injected into
+/// [`ensemble_with_runner`](ColdConfig::ensemble_with_runner): receives
+/// `(config, seed, trial, attempt)` and produces one synthesis result. The
+/// production runner is `config.try_synthesize(seed)`; tests substitute
+/// runners that panic or error on a chosen `(trial, attempt)`.
+pub type TrialRunner =
+    dyn Fn(&ColdConfig, u64, usize, usize) -> Result<SynthesisResult, ColdError> + Sync;
+
+/// One failed attempt of one ensemble trial.
+#[derive(Debug)]
+pub struct TrialFailure {
+    /// Zero-based trial index within the ensemble.
+    pub trial: usize,
+    /// 1-based attempt that failed (1 = first try, 2 = the retry).
+    pub attempt: usize,
+    /// The derived seed the failing attempt ran with.
+    pub seed: u64,
+    /// What went wrong.
+    pub error: ColdError,
+    /// Whether a later attempt of the same trial succeeded.
+    pub recovered: bool,
+}
+
+/// Result of a fault-tolerant ensemble: the trials that completed (tagged
+/// with their index, ascending) plus a table of every failed attempt.
+#[derive(Debug)]
+pub struct EnsembleOutcome {
+    /// Trials requested.
+    pub total: usize,
+    /// `(trial index, result)` for each completed trial, ascending.
+    pub results: Vec<(usize, SynthesisResult)>,
+    /// Every failed attempt, in `(trial, attempt)` order. A trial with a
+    /// failed first attempt and a successful retry appears here once with
+    /// `recovered = true` *and* in [`results`](Self::results).
+    pub failures: Vec<TrialFailure>,
+}
+
+impl EnsembleOutcome {
+    /// Whether every requested trial produced a network.
+    pub fn is_complete(&self) -> bool {
+        self.results.len() == self.total
+    }
+
+    /// Trials that produced no network even after the retry.
+    pub fn lost_trials(&self) -> Vec<usize> {
+        (0..self.total).filter(|&i| !self.results.iter().any(|&(j, _)| j == i)).collect()
     }
 }
 
@@ -307,6 +497,84 @@ mod tests {
         assert_eq!(r.eval_stats.cache_hits + r.eval_stats.cache_misses, r.evaluations);
         assert!(r.eval_stats.cache_misses > 0, "something must actually be evaluated");
         assert!(r.eval_stats.eval_seconds > 0.0);
+    }
+
+    #[test]
+    fn ensemble_survives_a_panicking_trial_and_recovers_via_retry() {
+        let cfg = ColdConfig::quick(8, 1e-4, 10.0);
+        let reference = cfg.ensemble(5, 4);
+        // Trial 2's first attempt panics; its retry (fresh salted seed)
+        // succeeds. The scope must not poison and every trial must fill.
+        let outcome = cfg.ensemble_with_runner(5, 4, &|c, seed, trial, attempt| {
+            if trial == 2 && attempt == 1 {
+                panic!("injected objective failure");
+            }
+            c.try_synthesize(seed)
+        });
+        assert!(outcome.is_complete(), "retry must recover the trial");
+        assert_eq!(outcome.failures.len(), 1);
+        let f = &outcome.failures[0];
+        assert_eq!((f.trial, f.attempt), (2, 1));
+        assert!(f.recovered);
+        assert!(matches!(f.error, ColdError::TrialPanic(_)));
+        assert!(f.error.to_string().contains("injected objective failure"));
+        // Unaffected trials are bit-identical to the clean ensemble; the
+        // recovered trial ran a different (salted) seed.
+        for (i, r) in &outcome.results {
+            if *i != 2 {
+                assert_eq!(r.network.topology, reference[*i].network.topology, "trial {i}");
+            }
+        }
+        let retried_seed = derive_seed(derive_seed(5, super::RETRY_SALT), 2);
+        let expected_retry = cfg.synthesize(retried_seed);
+        let (_, recovered) = outcome.results.iter().find(|(i, _)| *i == 2).unwrap();
+        assert_eq!(recovered.network.topology, expected_retry.network.topology);
+    }
+
+    #[test]
+    fn ensemble_degrades_to_partial_when_retry_also_fails() {
+        let cfg = ColdConfig::quick(8, 1e-4, 10.0);
+        let outcome = cfg.ensemble_with_runner(5, 4, &|c, seed, trial, _attempt| {
+            if trial == 1 {
+                return Err(ColdError::Config("injected persistent failure".into()));
+            }
+            c.try_synthesize(seed)
+        });
+        assert!(!outcome.is_complete());
+        assert_eq!(outcome.results.len(), 3, "three trials survive");
+        assert_eq!(outcome.lost_trials(), vec![1]);
+        assert_eq!(outcome.failures.len(), 2, "both attempts recorded");
+        assert!(outcome.failures.iter().all(|f| f.trial == 1 && !f.recovered));
+        assert_eq!(
+            outcome.failures.iter().map(|f| f.attempt).collect::<Vec<_>>(),
+            vec![1, 2],
+            "attempts recorded in order"
+        );
+    }
+
+    #[test]
+    fn resilient_ensemble_matches_plain_ensemble_when_nothing_fails() {
+        let cfg = ColdConfig::quick(8, 1e-4, 10.0);
+        let plain = cfg.ensemble(9, 3);
+        let outcome = cfg.synthesize_ensemble(9, 3);
+        assert!(outcome.is_complete() && outcome.failures.is_empty());
+        for ((i, a), b) in outcome.results.iter().zip(&plain) {
+            assert_eq!(a.network.topology, b.network.topology, "trial {i}");
+            assert_eq!(a.best_cost_history, b.best_cost_history);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors_not_panics() {
+        let mut cfg = ColdConfig::quick(8, 1e-4, 10.0);
+        cfg.context.scale = f64::NAN;
+        match cfg.try_synthesize(1) {
+            Err(ColdError::Config(why)) => assert!(why.contains("scale"), "{why}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        let mut cfg = ColdConfig::quick(8, 1e-4, 10.0);
+        cfg.ga.population = 0;
+        assert!(matches!(cfg.try_synthesize(1), Err(ColdError::Config(_))));
     }
 
     #[test]

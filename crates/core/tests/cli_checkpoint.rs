@@ -1,0 +1,139 @@
+//! End-to-end crash recovery through the `cold-gen` binary: halt a
+//! campaign mid-ensemble with `--halt-after` (the deterministic stand-in
+//! for `kill -9`), resume it with `--resume`, and require the output
+//! directory to match an uninterrupted run file-for-file.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cold-gen")).args(args).output().expect("spawn cold-gen")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("cold-gen-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).expect("create temp out dir");
+    p
+}
+
+/// Sorted `(file name, contents)` of every exported network in `dir`
+/// (checkpoint sidecars excluded).
+fn exports(dir: &Path) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = std::fs::read_dir(dir)
+        .expect("read out dir")
+        .map(|e| e.expect("dir entry"))
+        .filter(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.ends_with(".json") && !name.ends_with(".ckpt.json")
+        })
+        .map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            let body = std::fs::read_to_string(e.path()).expect("read export");
+            (name, body)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn halt_then_resume_matches_uninterrupted_run_file_for_file() {
+    let dir_a = temp_dir("full");
+    let dir_b = temp_dir("resumed");
+    let common = ["--quick", "--n", "8", "--seed", "77", "--count", "3", "--quiet"];
+
+    // Reference: one uninterrupted run.
+    let full = run(&[&common[..], &["--out", dir_a.to_str().unwrap()]].concat());
+    assert!(full.status.success(), "full run failed: {}", String::from_utf8_lossy(&full.stderr));
+
+    // Leg 1: checkpoint every trial, halt (exit code 3) after the first
+    // fresh trial — the snapshot must already be on disk.
+    let halted = run(&[
+        &common[..],
+        &["--out", dir_b.to_str().unwrap(), "--checkpoint-every", "1", "--halt-after", "1"],
+    ]
+    .concat());
+    assert_eq!(halted.status.code(), Some(3), "halt leg must exit 3");
+    let ckpt = dir_b.join("cold_campaign_seed000000000000004d.ckpt.json");
+    assert!(ckpt.exists(), "halt left no snapshot at {}", ckpt.display());
+    assert!(exports(&dir_b).len() < 3, "halted leg must not finish the campaign");
+
+    // Leg 2: resume from the snapshot and finish.
+    let resumed = run(&[
+        &common[..],
+        &["--out", dir_b.to_str().unwrap(), "--resume", ckpt.to_str().unwrap()],
+    ]
+    .concat());
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+
+    // The resumed directory reproduces the uninterrupted one exactly.
+    let a = exports(&dir_a);
+    let b = exports(&dir_b);
+    assert_eq!(a.len(), 3);
+    assert_eq!(a, b, "resumed campaign exports differ from uninterrupted run");
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn resume_with_mismatched_campaign_is_a_clean_error() {
+    let dir = temp_dir("mismatch");
+    let halted = run(&[
+        "--quick",
+        "--n",
+        "8",
+        "--seed",
+        "77",
+        "--count",
+        "3",
+        "--quiet",
+        "--out",
+        dir.to_str().unwrap(),
+        "--checkpoint-every",
+        "1",
+        "--halt-after",
+        "1",
+    ]);
+    assert_eq!(halted.status.code(), Some(3));
+    let ckpt = dir.join("cold_campaign_seed000000000000004d.ckpt.json");
+
+    // Same snapshot, different master seed: rejected, not silently mixed.
+    let wrong = run(&[
+        "--quick",
+        "--n",
+        "8",
+        "--seed",
+        "78",
+        "--count",
+        "3",
+        "--quiet",
+        "--out",
+        dir.to_str().unwrap(),
+        "--resume",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(wrong.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&wrong.stderr);
+    assert!(stderr.contains("checkpoint rejected"), "stderr: {stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_safety_flag_validation() {
+    // Zero intervals and incompatible modes are parse-time errors (exit 2).
+    for bad in [
+        &["--checkpoint-every", "0"][..],
+        &["--halt-after", "0"][..],
+        &["--bridge-cost", "5", "--checkpoint-every", "2"][..],
+    ] {
+        let out = run(&[&["--quick", "--n", "8", "--quiet"][..], bad].concat());
+        assert_eq!(out.status.code(), Some(2), "args {bad:?} must be rejected");
+    }
+}

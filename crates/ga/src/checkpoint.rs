@@ -1,0 +1,330 @@
+//! Crash-safe GA run snapshots.
+//!
+//! A [`GaCheckpoint`] captures everything the generational loop needs to
+//! continue a run exactly where it stopped: the surviving population with
+//! cached costs, the best-cost history, the evaluation/repair counters,
+//! the fitness memo cache, and — crucially — the raw RNG stream state.
+//! Resuming from a checkpoint is bit-identical to never having stopped
+//! (pinned by `engine` tests and the workspace `checkpoint_resume`
+//! integration test): the RNG continues mid-stream and the restored
+//! cache reproduces the same hit/miss sequence.
+//!
+//! Serialization uses the vendored `serde_json` only, as one JSON object
+//! (see DESIGN.md §10 for the schema). Cache entries are sorted by
+//! chromosome so the serialized form is deterministic.
+
+use crate::chromosome::Individual;
+use crate::engine::EvalStats;
+use crate::repair::RepairStats;
+use crate::settings::GaSettings;
+use cold_graph::AdjacencyMatrix;
+use serde::{Deserialize as _, Serialize as _};
+use serde_json::{json, Value};
+
+/// A resumable snapshot of a GA run after a completed generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaCheckpoint {
+    /// The settings of the run that produced this snapshot. A resume
+    /// validates these against the engine's settings — continuing a run
+    /// under different parameters would silently change its meaning.
+    pub settings: GaSettings,
+    /// Completed generations (`history.len() - 1`).
+    pub generation: usize,
+    /// Raw xoshiro256++ state of the engine RNG, captured *after* the
+    /// checkpointed generation, so the resumed stream continues exactly.
+    pub rng_state: [u64; 4],
+    /// The surviving population, cost-sorted, with cached costs.
+    pub population: Vec<Individual>,
+    /// Best cost after each generation so far (index 0 = initial
+    /// population).
+    pub history: Vec<f64>,
+    /// Evaluation counters at the snapshot point.
+    pub eval_stats: EvalStats,
+    /// Repair counters at the snapshot point.
+    pub repair_stats: RepairStats,
+    /// The fitness memo cache, present iff `settings.fitness_cache`.
+    /// Restoring it keeps the resumed hit/miss counters — and therefore
+    /// the whole [`EvalStats`] — identical to an uninterrupted run.
+    pub cache: Option<Vec<(AdjacencyMatrix, f64)>>,
+}
+
+/// Serializes a chromosome as `{"n": …, "edges": [[u, v], …]}`.
+fn topology_to_value(t: &AdjacencyMatrix) -> Value {
+    let edges: Vec<Value> =
+        t.edges().map(|(u, v)| Value::Array(vec![json!(u), json!(v)])).collect();
+    json!({ "n": t.n(), "edges": Value::Array(edges) })
+}
+
+/// Parses a chromosome serialized by [`topology_to_value`].
+fn topology_from_value(v: &Value) -> Result<AdjacencyMatrix, String> {
+    let n =
+        v.get("n").and_then(Value::as_u64).ok_or("topology: field `n` missing or not an integer")?
+            as usize;
+    let edges = v
+        .get("edges")
+        .and_then(Value::as_array)
+        .ok_or("topology: field `edges` missing or not an array")?;
+    let mut pairs = Vec::with_capacity(edges.len());
+    for e in edges {
+        let pair = e.as_array().filter(|p| p.len() == 2).ok_or("topology: edge is not a pair")?;
+        let u = pair[0].as_u64().ok_or("topology: edge endpoint not an integer")? as usize;
+        let v = pair[1].as_u64().ok_or("topology: edge endpoint not an integer")? as usize;
+        pairs.push((u, v));
+    }
+    AdjacencyMatrix::from_edges(n, &pairs).map_err(|e| format!("topology: {e:?}"))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("field `{key}` missing or not a number"))
+}
+
+fn usize_field(v: &Value, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .map(|u| u as usize)
+        .ok_or_else(|| format!("field `{key}` missing or not a nonnegative integer"))
+}
+
+impl GaCheckpoint {
+    /// Converts the snapshot into its JSON object form.
+    pub fn to_value(&self) -> Value {
+        let population: Vec<Value> = self
+            .population
+            .iter()
+            .map(|ind| json!({ "topology": topology_to_value(&ind.topology), "cost": ind.cost }))
+            .collect();
+        let cache = match &self.cache {
+            None => Value::Null,
+            Some(entries) => {
+                // Deterministic serialization: the engine's HashMap has no
+                // stable order, so sort by chromosome bits.
+                let mut sorted: Vec<&(AdjacencyMatrix, f64)> = entries.iter().collect();
+                sorted.sort_by(|a, b| {
+                    a.0.edge_count()
+                        .cmp(&b.0.edge_count())
+                        .then_with(|| a.0.edges().cmp(b.0.edges()))
+                });
+                Value::Array(
+                    sorted
+                        .into_iter()
+                        .map(|(t, c)| json!({ "topology": topology_to_value(t), "cost": *c }))
+                        .collect(),
+                )
+            }
+        };
+        json!({
+            "kind": "cold-ga-checkpoint",
+            "version": 1u64,
+            "settings": self.settings.to_json_value(),
+            "generation": self.generation,
+            "rng_state": Value::Array(self.rng_state.iter().map(|&w| json!(w)).collect()),
+            "population": Value::Array(population),
+            "history": Value::Array(self.history.iter().map(|&h| json!(h)).collect()),
+            "eval_stats": {
+                "requested": self.eval_stats.requested,
+                "cache_hits": self.eval_stats.cache_hits,
+                "cache_misses": self.eval_stats.cache_misses,
+                "eval_seconds": self.eval_stats.eval_seconds,
+            },
+            "repair_stats": {
+                "repaired": self.repair_stats.repaired,
+                "inspected": self.repair_stats.inspected,
+                "links_added": self.repair_stats.links_added,
+            },
+            "cache": cache,
+        })
+    }
+
+    /// Parses a snapshot back from its JSON object form, validating the
+    /// schema.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated rule.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        match v.get("kind").and_then(Value::as_str) {
+            Some("cold-ga-checkpoint") => {}
+            Some(other) => return Err(format!("not a GA checkpoint (kind `{other}`)")),
+            None => return Err("not a GA checkpoint (missing `kind`)".into()),
+        }
+        match v.get("version").and_then(Value::as_u64) {
+            Some(1) => {}
+            other => return Err(format!("unsupported GA checkpoint version {other:?}")),
+        }
+        let settings = v
+            .get("settings")
+            .and_then(GaSettings::from_json_value)
+            .ok_or("field `settings` missing or malformed")?;
+        let rng_words = v
+            .get("rng_state")
+            .and_then(Value::as_array)
+            .filter(|a| a.len() == 4)
+            .ok_or("field `rng_state` must be a 4-element array")?;
+        let mut rng_state = [0u64; 4];
+        for (slot, w) in rng_state.iter_mut().zip(rng_words) {
+            *slot = w.as_u64().ok_or("rng_state word is not a u64")?;
+        }
+        let mut population = Vec::new();
+        for ind in v
+            .get("population")
+            .and_then(Value::as_array)
+            .ok_or("field `population` missing or not an array")?
+        {
+            let topology =
+                topology_from_value(ind.get("topology").ok_or("population entry: no topology")?)?;
+            let cost = f64_field(ind, "cost")?;
+            population.push(Individual { topology, cost });
+        }
+        let mut history = Vec::new();
+        for h in v
+            .get("history")
+            .and_then(Value::as_array)
+            .ok_or("field `history` missing or not an array")?
+        {
+            history.push(h.as_f64().ok_or("history entry is not a number")?);
+        }
+        let es = v.get("eval_stats").ok_or("field `eval_stats` missing")?;
+        let eval_stats = EvalStats {
+            requested: usize_field(es, "requested")?,
+            cache_hits: usize_field(es, "cache_hits")?,
+            cache_misses: usize_field(es, "cache_misses")?,
+            eval_seconds: f64_field(es, "eval_seconds")?,
+        };
+        let rs = v.get("repair_stats").ok_or("field `repair_stats` missing")?;
+        let repair_stats = RepairStats {
+            repaired: usize_field(rs, "repaired")?,
+            inspected: usize_field(rs, "inspected")?,
+            links_added: usize_field(rs, "links_added")?,
+        };
+        let cache = match v.get("cache") {
+            None | Some(Value::Null) => None,
+            Some(Value::Array(entries)) => {
+                let mut out = Vec::with_capacity(entries.len());
+                for e in entries {
+                    let t =
+                        topology_from_value(e.get("topology").ok_or("cache entry: no topology")?)?;
+                    out.push((t, f64_field(e, "cost")?));
+                }
+                Some(out)
+            }
+            Some(_) => return Err("field `cache` must be null or an array".into()),
+        };
+        Ok(Self {
+            settings,
+            generation: history.len().checked_sub(1).ok_or("history must be nonempty")?,
+            rng_state,
+            population,
+            history,
+            eval_stats,
+            repair_stats,
+            cache,
+        })
+        .and_then(|ckpt| {
+            let claimed = usize_field(v, "generation")?;
+            if claimed != ckpt.generation {
+                return Err(format!(
+                    "generation {claimed} disagrees with history length {}",
+                    ckpt.history.len()
+                ));
+            }
+            if ckpt.population.is_empty() {
+                return Err("population is empty".into());
+            }
+            Ok(ckpt)
+        })
+    }
+
+    /// Serializes the snapshot as one JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("Value serialization is infallible")
+    }
+
+    /// Parses a snapshot from JSON text.
+    ///
+    /// # Errors
+    /// Invalid JSON or schema violations, as a human-readable string.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        Self::from_value(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GaCheckpoint {
+        let a = AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let b = AdjacencyMatrix::complete(4);
+        GaCheckpoint {
+            settings: GaSettings::quick(7),
+            generation: 2,
+            rng_state: [u64::MAX, 1, 0x1234_5678_9ABC_DEF0, 42],
+            population: vec![
+                Individual { topology: a.clone(), cost: 12.5 },
+                Individual { topology: b.clone(), cost: 99.0 },
+            ],
+            history: vec![15.0, 13.0, 12.5],
+            eval_stats: EvalStats {
+                requested: 120,
+                cache_hits: 20,
+                cache_misses: 100,
+                eval_seconds: 0.125,
+            },
+            repair_stats: RepairStats { repaired: 3, inspected: 80, links_added: 4 },
+            cache: Some(vec![(b, 99.0), (a, 12.5)]),
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let ckpt = sample();
+        let back = GaCheckpoint::from_json(&ckpt.to_json()).expect("round trip");
+        assert_eq!(back.settings, ckpt.settings);
+        assert_eq!(back.generation, ckpt.generation);
+        assert_eq!(back.rng_state, ckpt.rng_state, "full-width u64 state must survive JSON");
+        assert_eq!(back.history, ckpt.history);
+        assert_eq!(back.eval_stats, ckpt.eval_stats);
+        assert_eq!(back.repair_stats, ckpt.repair_stats);
+        assert_eq!(back.population.len(), ckpt.population.len());
+        for (x, y) in back.population.iter().zip(&ckpt.population) {
+            assert_eq!(x.topology, y.topology);
+            assert_eq!(x.cost, y.cost);
+        }
+        // The cache is serialized sorted; compare as sets.
+        let mut a = back.cache.unwrap();
+        let mut b = ckpt.cache.unwrap();
+        let key = |e: &(AdjacencyMatrix, f64)| e.0.edges().collect::<Vec<_>>();
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a.len(), b.len());
+        for ((ta, ca), (tb, cb)) in a.iter().zip(&b) {
+            assert_eq!(ta, tb);
+            assert_eq!(ca, cb);
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        // HashMap-order independence: reversed cache entries serialize to
+        // the same bytes.
+        let ckpt = sample();
+        let mut rev = ckpt.clone();
+        rev.cache.as_mut().unwrap().reverse();
+        assert_eq!(ckpt.to_json(), rev.to_json());
+    }
+
+    #[test]
+    fn corrupt_documents_are_rejected() {
+        assert!(GaCheckpoint::from_json("").is_err());
+        assert!(GaCheckpoint::from_json("{}").is_err());
+        assert!(GaCheckpoint::from_json("{\"kind\":\"other\"}").is_err());
+        let good = sample().to_json();
+        // Truncation must not validate.
+        assert!(GaCheckpoint::from_json(&good[..good.len() / 2]).is_err());
+        // A generation/history mismatch must not validate.
+        let tampered = good.replace("\"generation\":2", "\"generation\":9");
+        assert!(GaCheckpoint::from_json(&tampered).is_err());
+    }
+}

@@ -6,7 +6,7 @@ use cold_graph::AdjacencyMatrix;
 ///
 /// §4: "Each candidate topology in the current generation is stored as an
 /// n by n adjacency matrix. The costs for each topology are also stored."
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Individual {
     /// The candidate topology (always connected once admitted to a
     /// generation — the engine repairs offspring before evaluation).
@@ -17,6 +17,11 @@ pub struct Individual {
 
 impl Individual {
     /// Pairs a topology with its cost.
+    ///
+    /// Finiteness is *enforced* at the engine's evaluation boundary
+    /// (`evaluate_batch` returns [`GaError::NonFiniteCost`](crate::GaError)
+    /// in every build profile); the `debug_assert!` here is only a
+    /// backstop for direct constructions in tests.
     pub fn new(topology: AdjacencyMatrix, cost: f64) -> Self {
         debug_assert!(cost.is_finite(), "individual cost must be finite, got {cost}");
         Self { topology, cost }
@@ -43,12 +48,21 @@ pub fn inverse_cost_weights(population: &[Individual]) -> Vec<f64> {
 }
 
 /// Samples an index from `weights` proportionally, using a `[0, 1)` uniform
-/// draw. Deterministic given the draw; never panics for nonempty weights.
+/// draw. Deterministic given the draw; always returns a valid index for
+/// nonempty weights — degenerate inputs (all-zero mass, non-finite sums)
+/// fall back to a uniform pick instead of biasing toward the last index or
+/// reading out of range.
+///
+/// # Panics
+/// Panics on empty `weights` in every build profile: the old
+/// `debug_assert!` let release builds fall through to `weights.len() - 1`,
+/// which wraps to `usize::MAX` and indexes out of bounds at the call site.
 pub fn weighted_pick(weights: &[f64], u: f64) -> usize {
-    debug_assert!(!weights.is_empty());
+    assert!(!weights.is_empty(), "weighted_pick needs at least one weight");
     let total: f64 = weights.iter().sum();
-    if total <= 0.0 {
-        // Degenerate: all weights zero — fall back to uniform.
+    if !total.is_finite() || total <= 0.0 {
+        // Degenerate: all weights zero, or the sum overflowed/NaN'd (both
+        // caught by the finiteness test) — fall back to uniform.
         return ((u * weights.len() as f64) as usize).min(weights.len() - 1);
     }
     let mut target = u * total;
@@ -58,6 +72,8 @@ pub fn weighted_pick(weights: &[f64], u: f64) -> usize {
             return i;
         }
     }
+    // u at the top of the open interval can survive the loop through
+    // floating-point rounding; the last index is the correct limit.
     weights.len() - 1
 }
 
@@ -104,6 +120,39 @@ mod tests {
         let w = vec![0.0, 0.0, 0.0];
         assert_eq!(weighted_pick(&w, 0.0), 0);
         assert_eq!(weighted_pick(&w, 0.99), 2);
+    }
+
+    #[test]
+    fn weighted_pick_draw_at_open_boundary_stays_in_range() {
+        // The largest f64 strictly below 1.0 — the extreme of the engine's
+        // `gen_range(0.0..1.0)` draw — must map to the last index, not
+        // past it, for both proportional and degenerate fallback paths.
+        let top = 1.0_f64.next_down();
+        for w in [vec![1.0, 3.0, 2.0], vec![0.0, 0.0, 0.0]] {
+            let i = weighted_pick(&w, top);
+            assert_eq!(i, w.len() - 1, "u→1⁻ picks the final index, got {i}");
+        }
+        assert_eq!(weighted_pick(&[5.0], top), 0);
+    }
+
+    #[test]
+    fn weighted_pick_non_finite_total_falls_back_to_uniform() {
+        // An ∞ or NaN mass sum must not bias every pick to index 0 (∞
+        // total makes `u * total` ∞, never < 0 after one subtraction) —
+        // the uniform fallback keeps selection usable.
+        for w in [vec![f64::INFINITY, 1.0, 1.0], vec![f64::NAN, 1.0, 1.0]] {
+            assert_eq!(weighted_pick(&w, 0.0), 0);
+            assert_eq!(weighted_pick(&w, 0.5), 1);
+            assert_eq!(weighted_pick(&w, 0.99), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn weighted_pick_rejects_empty_weights() {
+        // Must panic with a message in release builds too — the old
+        // debug_assert! left `weights.len() - 1` to wrap in release.
+        weighted_pick(&[], 0.5);
     }
 
     #[test]

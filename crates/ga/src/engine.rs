@@ -1,7 +1,9 @@
 //! The generational loop (§4.1 steps 2–5).
 
+use crate::checkpoint::GaCheckpoint;
 use crate::chromosome::{inverse_cost_weights, sort_by_cost, weighted_pick, Individual};
 use crate::crossover::{crossover_child, select_parents};
+use crate::error::GaError;
 use crate::init::initial_population;
 use crate::mutation::mutate;
 use crate::repair::{repair, RepairStats};
@@ -13,6 +15,21 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
+
+/// Periodic checkpointing configuration for a resumable run.
+///
+/// The engine invokes `sink` with a fresh [`GaCheckpoint`] after every
+/// `every`-th completed generation (and never for the generation an early
+/// stop fires on — the run ends there anyway). The sink is expected to
+/// persist the snapshot; persistence failures should be handled inside
+/// the sink (log and continue), since a failed checkpoint write must not
+/// kill an otherwise healthy run.
+pub struct CheckpointHook<'a> {
+    /// Generations between snapshots (≥ 1).
+    pub every: usize,
+    /// Receives each snapshot.
+    pub sink: &'a mut dyn FnMut(&GaCheckpoint),
+}
 
 /// Outcome of one GA run.
 #[derive(Debug, Clone)]
@@ -85,8 +102,14 @@ impl<O: Objective> GeneticAlgorithm<O> {
     /// Panics when `settings` are inconsistent (see
     /// [`GaSettings::validate`]).
     pub fn new(objective: O, settings: GaSettings) -> Self {
-        settings.validate().expect("invalid GA settings");
-        Self { objective, settings }
+        Self::try_new(objective, settings).expect("invalid GA settings")
+    }
+
+    /// Fallible [`new`](Self::new): inconsistent settings are reported as
+    /// [`GaError::InvalidSettings`] instead of aborting the process.
+    pub fn try_new(objective: O, settings: GaSettings) -> Result<Self, GaError> {
+        settings.validate().map_err(GaError::InvalidSettings)?;
+        Ok(Self { objective, settings })
     }
 
     /// The settings in use.
@@ -124,35 +147,106 @@ impl<O: Objective> GeneticAlgorithm<O> {
     pub fn run_traced(
         &self,
         seeds: &[AdjacencyMatrix],
-        mut observer: Option<&mut dyn GenerationObserver>,
+        observer: Option<&mut dyn GenerationObserver>,
     ) -> GaResult {
-        let mut rng = StdRng::seed_from_u64(self.settings.seed);
-        let mut repair_stats = RepairStats::default();
-        let mut stats = EvalStats::default();
-        // Chromosome-keyed fitness memo: the adjacency bitset hashes/compares
-        // directly, and costs are pure functions of it.
-        let mut cache: Option<HashMap<AdjacencyMatrix, f64>> =
-            self.settings.fitness_cache.then(HashMap::new);
+        self.try_run_traced(seeds, observer).expect("GA run failed")
+    }
 
-        // Generation 0.
-        let mut topologies = initial_population(&self.objective, &self.settings, seeds, &mut rng);
-        // Initial ER fill and seeds are already connected (init repairs
-        // them), but repair defensively so the invariant is explicit.
-        for t in &mut topologies {
-            repair(t, &self.objective, &mut repair_stats);
+    /// Fallible [`run_traced`](Self::run_traced): an objective that
+    /// produces a non-finite cost surfaces as
+    /// [`GaError::NonFiniteCost`] instead of corrupting selection (or
+    /// panicking), so ensemble drivers can record and retry the trial.
+    pub fn try_run_traced(
+        &self,
+        seeds: &[AdjacencyMatrix],
+        observer: Option<&mut dyn GenerationObserver>,
+    ) -> Result<GaResult, GaError> {
+        self.run_resumable(seeds, observer, None, None)
+    }
+
+    /// The master entry point: [`try_run_traced`](Self::try_run_traced)
+    /// plus crash-safety hooks.
+    ///
+    /// With a [`CheckpointHook`], the engine hands a [`GaCheckpoint`] to
+    /// the sink after every `every`-th completed generation. With
+    /// `resume`, the run continues from the given snapshot instead of
+    /// building a fresh initial population (`seeds` are ignored — they
+    /// only influence generation 0, which already happened). A resumed
+    /// run is bit-identical to an uninterrupted one with the same
+    /// settings: the RNG stream continues mid-sequence, and the restored
+    /// fitness cache reproduces the same hit/miss counters. Only
+    /// `eval_stats.eval_seconds` is wall-clock and may differ.
+    ///
+    /// # Errors
+    /// [`GaError::Checkpoint`] when `resume` disagrees with the engine's
+    /// settings or objective shape; [`GaError::NonFiniteCost`] when the
+    /// objective misbehaves.
+    pub fn run_resumable(
+        &self,
+        seeds: &[AdjacencyMatrix],
+        mut observer: Option<&mut dyn GenerationObserver>,
+        mut checkpoint: Option<CheckpointHook<'_>>,
+        resume: Option<GaCheckpoint>,
+    ) -> Result<GaResult, GaError> {
+        if let Some(hook) = &checkpoint {
+            if hook.every == 0 {
+                return Err(GaError::Checkpoint("checkpoint interval must be >= 1".into()));
+            }
         }
-        let costs = self.evaluate_all(&topologies, cache.as_mut(), &mut stats);
-        let mut population: Vec<Individual> =
-            topologies.into_iter().zip(costs).map(|(t, c)| Individual::new(t, c)).collect();
-        sort_by_cost(&mut population);
-        let mut history = vec![population[0].cost];
+        let mut rng;
+        let mut repair_stats;
+        let mut stats;
+        let mut cache: Option<HashMap<AdjacencyMatrix, f64>>;
+        let mut population: Vec<Individual>;
+        let mut history;
+        let mut generations_run;
+        match resume {
+            None => {
+                rng = StdRng::seed_from_u64(self.settings.seed);
+                repair_stats = RepairStats::default();
+                stats = EvalStats::default();
+                // Chromosome-keyed fitness memo: the adjacency bitset
+                // hashes/compares directly, and costs are pure functions
+                // of it.
+                cache = self.settings.fitness_cache.then(HashMap::new);
 
-        let mut generations_run = 0usize;
+                // Generation 0.
+                let mut topologies =
+                    initial_population(&self.objective, &self.settings, seeds, &mut rng);
+                // Initial ER fill and seeds are already connected (init
+                // repairs them), but repair defensively so the invariant
+                // is explicit.
+                for t in &mut topologies {
+                    repair(t, &self.objective, &mut repair_stats);
+                }
+                let costs = self.evaluate_all(&topologies, cache.as_mut(), &mut stats)?;
+                population =
+                    topologies.into_iter().zip(costs).map(|(t, c)| Individual::new(t, c)).collect();
+                sort_by_cost(&mut population);
+                history = vec![population[0].cost];
+                generations_run = 0usize;
+            }
+            Some(ckpt) => {
+                self.validate_resume(&ckpt)?;
+                rng = StdRng::from_state(ckpt.rng_state);
+                repair_stats = ckpt.repair_stats;
+                stats = ckpt.eval_stats;
+                cache = if self.settings.fitness_cache {
+                    Some(ckpt.cache.unwrap_or_default().into_iter().collect())
+                } else {
+                    None
+                };
+                population = ckpt.population;
+                history = ckpt.history;
+                generations_run = ckpt.generation;
+            }
+        }
+
         // Telemetry deltas: counter states at the end of the previous
         // generation, so each record reports per-generation activity.
         let mut prev_stats = stats;
         let mut prev_repaired = repair_stats.repaired;
-        for _gen in 1..=self.settings.generations {
+        for _gen in (generations_run + 1)..=self.settings.generations {
             generations_run += 1;
             // Offspring topologies (children built single-threaded from one
             // RNG stream for determinism; evaluation is the parallel part).
@@ -177,7 +271,7 @@ impl<O: Objective> GeneticAlgorithm<O> {
             for c in &mut children {
                 repair(c, &self.objective, &mut repair_stats);
             }
-            let child_costs = self.evaluate_all(&children, cache.as_mut(), &mut stats);
+            let child_costs = self.evaluate_all(&children, cache.as_mut(), &mut stats)?;
 
             // Next generation: elites + offspring.
             let mut next: Vec<Individual> = Vec::with_capacity(self.settings.population);
@@ -209,9 +303,32 @@ impl<O: Objective> GeneticAlgorithm<O> {
                     }
                 }
             }
+
+            // Snapshot *after* the generation is fully committed (and not
+            // when early-stop just ended the run — there is nothing left
+            // to resume). The RNG state is captured post-generation, so a
+            // resumed stream continues exactly where this one is.
+            if let Some(hook) = checkpoint.as_mut() {
+                if generations_run % hook.every == 0 && generations_run < self.settings.generations
+                {
+                    let snapshot = GaCheckpoint {
+                        settings: self.settings,
+                        generation: generations_run,
+                        rng_state: rng.state(),
+                        population: population.clone(),
+                        history: history.clone(),
+                        eval_stats: stats,
+                        repair_stats,
+                        cache: cache
+                            .as_ref()
+                            .map(|c| c.iter().map(|(t, v)| (t.clone(), *v)).collect()),
+                    };
+                    (hook.sink)(&snapshot);
+                }
+            }
         }
 
-        GaResult {
+        Ok(GaResult {
             best: population[0].clone(),
             history,
             final_population: population,
@@ -219,7 +336,40 @@ impl<O: Objective> GeneticAlgorithm<O> {
             evaluations: stats.requested,
             eval_stats: stats,
             repair_stats,
+        })
+    }
+
+    /// Rejects a resume snapshot that cannot possibly belong to this
+    /// engine: continuing under different settings or a different node
+    /// count would silently change what the run means.
+    fn validate_resume(&self, ckpt: &GaCheckpoint) -> Result<(), GaError> {
+        if ckpt.settings != self.settings {
+            return Err(GaError::Checkpoint(
+                "snapshot settings differ from engine settings".into(),
+            ));
         }
+        if ckpt.generation > self.settings.generations {
+            return Err(GaError::Checkpoint(format!(
+                "snapshot is {} generations in, past the configured {}",
+                ckpt.generation, self.settings.generations
+            )));
+        }
+        let n = self.objective.n();
+        for ind in &ckpt.population {
+            if ind.topology.n() != n {
+                return Err(GaError::Checkpoint(format!(
+                    "snapshot population has {}-node topologies, objective expects {n}",
+                    ind.topology.n()
+                )));
+            }
+            if !ind.cost.is_finite() {
+                return Err(GaError::Checkpoint(format!(
+                    "snapshot population carries non-finite cost {}",
+                    ind.cost
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Evaluates a batch of topologies, consulting and filling the fitness
@@ -234,7 +384,7 @@ impl<O: Objective> GeneticAlgorithm<O> {
         topologies: &[AdjacencyMatrix],
         cache: Option<&mut HashMap<AdjacencyMatrix, f64>>,
         stats: &mut EvalStats,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, GaError> {
         stats.requested += topologies.len();
         let Some(cache) = cache else {
             stats.cache_misses += topologies.len();
@@ -262,22 +412,33 @@ impl<O: Objective> GeneticAlgorithm<O> {
                 }
             })
             .collect();
-        let fresh = self.evaluate_batch(&pending, stats);
+        let fresh = self.evaluate_batch(&pending, stats)?;
         for (t, &c) in pending.iter().zip(&fresh) {
             cache.insert((*t).clone(), c);
         }
-        resolved
+        Ok(resolved
             .into_iter()
             .map(|r| match r {
                 Ok(c) => c,
                 Err(k) => fresh[k],
             })
-            .collect()
+            .collect())
     }
 
     /// Runs the objective over `batch`, in parallel when configured, adding
     /// the elapsed wall-clock time to `stats.eval_seconds`.
-    fn evaluate_batch(&self, batch: &[&AdjacencyMatrix], stats: &mut EvalStats) -> Vec<f64> {
+    ///
+    /// Every cost is validated for finiteness here — the single boundary
+    /// all evaluations pass through — so a NaN/∞ from a misbehaving
+    /// objective is caught in release builds too (the old `debug_assert!`
+    /// in [`Individual::new`] vanished under `--release`, and a NaN cost
+    /// then won every selection tournament via the `EPSILON` clamp in
+    /// `inverse_cost_weights`).
+    fn evaluate_batch(
+        &self,
+        batch: &[&AdjacencyMatrix],
+        stats: &mut EvalStats,
+    ) -> Result<Vec<f64>, GaError> {
         let _batch_timer = cold_obs::timer("ga.evaluate_batch");
         let start = Instant::now();
         let costs = if !self.settings.parallel || batch.len() < 4 {
@@ -300,7 +461,14 @@ impl<O: Objective> GeneticAlgorithm<O> {
             costs
         };
         stats.eval_seconds += start.elapsed().as_secs_f64();
-        costs
+        if let Some((batch_index, &bad)) = costs.iter().enumerate().find(|(_, c)| !c.is_finite()) {
+            return Err(GaError::NonFiniteCost {
+                batch_index,
+                cost: bad,
+                edges: batch[batch_index].edge_count(),
+            });
+        }
+        Ok(costs)
     }
 }
 
@@ -485,7 +653,7 @@ mod tests {
         let batch = vec![a.clone(), a.clone(), b.clone(), a.clone()];
         let mut cache = Some(std::collections::HashMap::new());
         let mut stats = EvalStats::default();
-        let costs = ga.evaluate_all(&batch, cache.as_mut(), &mut stats);
+        let costs = ga.evaluate_all(&batch, cache.as_mut(), &mut stats).unwrap();
         assert_eq!(obj.calls.load(AtomicOrdering::Relaxed), 2, "a and b each routed once");
         assert_eq!(costs[0], costs[1]);
         assert_eq!(costs[1], costs[3]);
@@ -493,7 +661,7 @@ mod tests {
         assert_eq!(stats.cache_hits, 2);
         assert_eq!(stats.cache_misses, 2);
         // A second identical batch is served entirely from the cache.
-        let again = ga.evaluate_all(&batch, cache.as_mut(), &mut stats);
+        let again = ga.evaluate_all(&batch, cache.as_mut(), &mut stats).unwrap();
         assert_eq!(again, costs);
         assert_eq!(obj.calls.load(AtomicOrdering::Relaxed), 2);
         assert_eq!(stats.cache_hits, 6);
@@ -617,6 +785,131 @@ mod tests {
         let fp: Vec<_> = plain.final_population.iter().map(|i| i.cost).collect();
         let ft: Vec<_> = traced.final_population.iter().map(|i| i.cost).collect();
         assert_eq!(fp, ft);
+    }
+
+    /// Captures every checkpoint the engine emits.
+    fn run_with_checkpoints(
+        ga: &GeneticAlgorithm<LineObjective>,
+        every: usize,
+    ) -> (GaResult, Vec<GaCheckpoint>) {
+        let mut snaps = Vec::new();
+        let mut sink = |c: &GaCheckpoint| snaps.push(c.clone());
+        let hook = CheckpointHook { every, sink: &mut sink };
+        let r = ga.run_resumable(&[], None, Some(hook), None).unwrap();
+        (r, snaps)
+    }
+
+    fn assert_results_bit_identical(a: &GaResult, b: &GaResult) {
+        assert_eq!(a.best.cost, b.best.cost);
+        assert_eq!(a.best.topology, b.best.topology);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.generations_run, b.generations_run);
+        assert_eq!(a.evaluations, b.evaluations);
+        // eval_seconds is wall-clock; every other stat is deterministic.
+        assert_eq!(a.eval_stats.requested, b.eval_stats.requested);
+        assert_eq!(a.eval_stats.cache_hits, b.eval_stats.cache_hits);
+        assert_eq!(a.eval_stats.cache_misses, b.eval_stats.cache_misses);
+        assert_eq!(a.repair_stats, b.repair_stats);
+        let fa: Vec<_> = a.final_population.iter().map(|i| (i.topology.clone(), i.cost)).collect();
+        let fb: Vec<_> = b.final_population.iter().map(|i| (i.topology.clone(), i.cost)).collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn checkpointed_run_is_bit_identical_to_plain() {
+        let ga = engine(8, 5.0, 1.0, 2.0, 31);
+        let plain = ga.run();
+        let (snapped, snaps) = run_with_checkpoints(&ga, 5);
+        assert_results_bit_identical(&plain, &snapped);
+        let expected = (ga.settings().generations - 1) / 5;
+        assert_eq!(snaps.len(), expected, "one snapshot per 5 completed generations");
+        for s in &snaps {
+            assert_eq!(s.generation + 1, s.history.len());
+            assert!(s.cache.is_some(), "quick settings keep the fitness cache on");
+        }
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_is_bit_identical() {
+        let ga = engine(8, 5.0, 1.0, 2.0, 32);
+        let uninterrupted = ga.run();
+        let (_, snaps) = run_with_checkpoints(&ga, 7);
+        assert!(snaps.len() >= 2, "need several snapshots to make this meaningful");
+        for snap in snaps {
+            // Round-trip through JSON first: resuming from the *serialized*
+            // form is what the integration path exercises.
+            let restored = GaCheckpoint::from_json(&snap.to_json()).unwrap();
+            let resumed = ga.run_resumable(&[], None, None, Some(restored)).unwrap();
+            assert_results_bit_identical(&uninterrupted, &resumed);
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_settings() {
+        let ga = engine(8, 5.0, 1.0, 2.0, 33);
+        let (_, snaps) = run_with_checkpoints(&ga, 5);
+        let snap = snaps.into_iter().next().unwrap();
+        let other = engine(8, 5.0, 1.0, 2.0, 34); // different seed ⇒ different run
+        let err = other.run_resumable(&[], None, None, Some(snap.clone())).unwrap_err();
+        assert!(matches!(err, GaError::Checkpoint(_)), "got {err:?}");
+        // Node-count mismatch is also rejected.
+        let small = engine(6, 5.0, 1.0, 2.0, 33);
+        let err = small.run_resumable(&[], None, None, Some(snap)).unwrap_err();
+        assert!(matches!(err, GaError::Checkpoint(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn zero_checkpoint_interval_is_rejected() {
+        let ga = engine(6, 1.0, 1.0, 0.0, 35);
+        let mut sink = |_: &GaCheckpoint| {};
+        let hook = CheckpointHook { every: 0, sink: &mut sink };
+        let err = ga.run_resumable(&[], None, Some(hook), None).unwrap_err();
+        assert!(matches!(err, GaError::Checkpoint(_)), "got {err:?}");
+    }
+
+    /// An objective that returns NaN for any topology with at least
+    /// `poison_at` edges — the misbehaving-cost-model stand-in.
+    struct PoisonObjective {
+        inner: LineObjective,
+        poison_at: usize,
+    }
+
+    impl Objective for PoisonObjective {
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+        fn distance(&self, u: usize, v: usize) -> f64 {
+            self.inner.distance(u, v)
+        }
+        fn cost(&self, topology: &AdjacencyMatrix) -> f64 {
+            if topology.edge_count() >= self.poison_at {
+                f64::NAN
+            } else {
+                self.inner.cost(topology)
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_cost_is_a_typed_error_not_a_winner() {
+        // The initial population always contains the clique, which has the
+        // maximum edge count, so poisoning dense topologies trips on
+        // generation 0 in every profile (this guards the release-build
+        // path where `debug_assert!` is compiled out).
+        let obj = PoisonObjective {
+            inner: LineObjective { n: 6, k0: 1.0, k1: 1.0, k3: 0.0 },
+            poison_at: 10,
+        };
+        let err = GeneticAlgorithm::new(obj, GaSettings::quick(36))
+            .try_run_traced(&[], None)
+            .unwrap_err();
+        match err {
+            GaError::NonFiniteCost { cost, edges, .. } => {
+                assert!(cost.is_nan());
+                assert!(edges >= 10);
+            }
+            other => panic!("expected NonFiniteCost, got {other:?}"),
+        }
     }
 
     use crate::Objective;

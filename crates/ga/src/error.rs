@@ -1,0 +1,63 @@
+//! Typed errors for the GA engine.
+//!
+//! The engine's boundary checks used to be `assert!`/`debug_assert!`
+//! calls, which abort the process in debug builds and are compiled out
+//! entirely in release builds — the worst of both worlds for a long
+//! ensemble campaign. Every condition a caller can plausibly trigger
+//! (bad settings, an objective that produces a non-finite cost, an
+//! incompatible checkpoint) is now reported as a [`GaError`] so the
+//! trial can be recorded and retried instead of killing the run.
+
+use std::fmt;
+
+/// An error surfaced by the GA engine instead of a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GaError {
+    /// The [`GaSettings`](crate::GaSettings) are internally inconsistent.
+    InvalidSettings(String),
+    /// The objective returned a non-finite cost. Selection weights are
+    /// inverse costs, so a NaN here would otherwise *win* every
+    /// tournament (NaN maps through `f64::max` to the `EPSILON` clamp);
+    /// the engine validates at the evaluation boundary and refuses.
+    NonFiniteCost {
+        /// Position of the offending topology within its evaluation batch.
+        batch_index: usize,
+        /// The offending value (NaN or ±∞).
+        cost: f64,
+        /// Edge count of the offending topology, for diagnostics.
+        edges: usize,
+    },
+    /// A resume checkpoint does not match this engine (different
+    /// settings, wrong population shape, or a corrupt snapshot).
+    Checkpoint(String),
+}
+
+impl fmt::Display for GaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GaError::InvalidSettings(why) => write!(f, "invalid GA settings: {why}"),
+            GaError::NonFiniteCost { batch_index, cost, edges } => write!(
+                f,
+                "objective returned non-finite cost {cost} for batch item {batch_index} \
+                 ({edges} edges); refusing to admit it to the population"
+            ),
+            GaError::Checkpoint(why) => write!(f, "checkpoint rejected: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GaError::NonFiniteCost { batch_index: 3, cost: f64::NAN, edges: 7 };
+        let s = e.to_string();
+        assert!(s.contains("NaN") && s.contains("batch item 3") && s.contains("7 edges"));
+        assert!(GaError::InvalidSettings("x".into()).to_string().contains("invalid GA settings"));
+        assert!(GaError::Checkpoint("y".into()).to_string().contains("rejected"));
+    }
+}

@@ -30,16 +30,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod chromosome;
 pub mod crossover;
 pub mod engine;
+pub mod error;
 pub mod init;
 pub mod mutation;
 pub mod repair;
 pub mod settings;
 
+pub use checkpoint::GaCheckpoint;
 pub use chromosome::Individual;
-pub use engine::{EvalStats, GaResult, GeneticAlgorithm};
+pub use engine::{CheckpointHook, EvalStats, GaResult, GeneticAlgorithm};
+pub use error::GaError;
 pub use settings::GaSettings;
 
 // Telemetry hook types, re-exported so engine callers can attach

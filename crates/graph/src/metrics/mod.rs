@@ -16,7 +16,7 @@ pub mod degree;
 pub mod distance;
 pub mod kcore;
 
-pub use assortativity::{degree_assortativity, s_metric};
+pub use assortativity::{degree_assortativity, normalized_s_metric, s_metric};
 pub use betweenness::{edge_betweenness, node_betweenness};
 pub use clustering::{average_local_clustering, global_clustering, triangle_count};
 pub use degree::{average_degree, cvnd, degree_stats, hub_count, leaf_count, DegreeStats};

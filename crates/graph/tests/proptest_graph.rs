@@ -2,7 +2,8 @@
 
 use cold_graph::components::{matrix_components, matrix_is_connected};
 use cold_graph::metrics::{
-    average_degree, degree_stats, global_clustering, hop_diameter, node_betweenness,
+    average_degree, degree_assortativity, degree_stats, global_clustering, hop_diameter,
+    node_betweenness, normalized_s_metric, s_metric,
 };
 use cold_graph::mst::{join_components, mst_kruskal, mst_prim, total_weight};
 use cold_graph::routing::route_traffic;
@@ -27,6 +28,31 @@ fn arb_graph(max_n: usize) -> impl Strategy<Value = AdjacencyMatrix> {
 /// Strategy: random positions on the unit square for `n` nodes.
 fn positions(n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
     proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), n)
+}
+
+/// Strategy: a random *regular* graph (every node the same degree) — a
+/// cycle, a complete graph, or a perfect matching.
+fn arb_regular_graph(max_n: usize) -> impl Strategy<Value = AdjacencyMatrix> {
+    (0usize..3, 3..=max_n).prop_map(|(kind, n)| match kind {
+        0 => {
+            // Cycle: 2-regular.
+            let mut m = AdjacencyMatrix::empty(n);
+            for i in 0..n {
+                m.set_edge(i, (i + 1) % n, true);
+            }
+            m
+        }
+        1 => AdjacencyMatrix::complete(n), // (n−1)-regular
+        _ => {
+            // Perfect matching on an even node count: 1-regular.
+            let n = n - n % 2;
+            let mut m = AdjacencyMatrix::empty(n);
+            for i in (0..n).step_by(2) {
+                m.set_edge(i, i + 1, true);
+            }
+            m
+        }
+    })
 }
 
 fn euclid(pos: &[(f64, f64)]) -> impl Fn(usize, usize) -> f64 + Copy + '_ {
@@ -269,6 +295,51 @@ proptest! {
             }
         }
         prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn regular_graphs_have_undefined_assortativity(m in arb_regular_graph(10)) {
+        // All endpoint degrees equal ⇒ zero variance ⇒ Newman's r is
+        // 0/0; the contract is `None`, never NaN or a panic.
+        prop_assert_eq!(degree_assortativity(&m.to_graph()), None);
+    }
+
+    #[test]
+    fn assortativity_is_in_minus_one_one_when_defined(m in arb_graph(10)) {
+        let g = m.to_graph();
+        if let Some(r) = degree_assortativity(&g) {
+            prop_assert!(g.m() > 0, "defined r requires edges");
+            prop_assert!(r.is_finite(), "r = {}", r);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {}", r);
+        }
+    }
+
+    #[test]
+    fn normalized_s_metric_contracts(m in arb_graph(10)) {
+        let g = m.to_graph();
+        match normalized_s_metric(&g) {
+            None => prop_assert_eq!(g.m(), 0, "None is reserved for edgeless graphs"),
+            Some(ns) => {
+                prop_assert!(g.m() > 0);
+                prop_assert!(ns > 0.0 && ns <= 1.0 + 1e-12, "normalized s = {}", ns);
+            }
+        }
+    }
+
+    #[test]
+    fn s_metric_edgeless_and_lower_bound_contracts(m in arb_graph(10)) {
+        let g = m.to_graph();
+        let s = s_metric(&g);
+        if g.m() == 0 {
+            // Edgeless: s is exactly zero and both derived metrics are
+            // undefined rather than NaN.
+            prop_assert_eq!(s, 0.0);
+            prop_assert_eq!(degree_assortativity(&g), None);
+            prop_assert_eq!(normalized_s_metric(&g), None);
+        } else {
+            // Every edge contributes d_u·d_v ≥ 1.
+            prop_assert!(s >= g.m() as f64, "s = {} below edge count {}", s, g.m());
+        }
     }
 
     #[test]

@@ -3,22 +3,27 @@
 //! ```sh
 //! journal-check run.jsonl            # schema-validate every line
 //! journal-check --expect-runs 3 run.jsonl
+//! journal-check --min-checkpoints 1 --max-failures 0 run.jsonl
 //! ```
 //!
 //! Exits 0 when every line parses as a known event with the documented
-//! schema (and any `--expect-*` assertions hold), 1 otherwise — the CI
-//! telemetry smoke test runs this over a `cold-gen --journal` output.
+//! schema (and any `--expect-*`/`--min-*`/`--max-*` assertions hold),
+//! 1 otherwise — the CI telemetry smoke test runs this over a
+//! `cold-gen --journal` output, and the crash-recovery smoke over the
+//! resumed leg's journal.
 
 use cold_obs::{parse_journal, Event};
 
 const USAGE: &str = "journal-check — validate a COLD JSONL run journal
 
 USAGE:
-    journal-check [--expect-runs <N>] <journal.jsonl>
+    journal-check [--expect-runs <N>] [--min-checkpoints <N>] [--max-failures <N>] <journal.jsonl>
 ";
 
 fn main() {
     let mut expect_runs: Option<usize> = None;
+    let mut min_checkpoints: Option<usize> = None;
+    let mut max_failures: Option<usize> = None;
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -29,6 +34,20 @@ fn main() {
                     std::process::exit(2);
                 });
                 expect_runs = Some(v.parse().expect("--expect-runs: integer"));
+            }
+            "--min-checkpoints" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                });
+                min_checkpoints = Some(v.parse().expect("--min-checkpoints: integer"));
+            }
+            "--max-failures" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                });
+                max_failures = Some(v.parse().expect("--max-failures: integer"));
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -63,6 +82,8 @@ fn main() {
 
     let mut runs = 0usize;
     let mut generations = 0usize;
+    let mut checkpoints = 0usize;
+    let mut trial_failures = 0usize;
     let mut failures = Vec::new();
     for event in &events {
         match event {
@@ -82,12 +103,37 @@ fn main() {
                         .push(format!("run {}: hit rate {} out of range", e.run, e.cache_hit_rate));
                 }
             }
+            Event::TrialFailed(t) => {
+                trial_failures += 1;
+                if t.attempt == 0 {
+                    failures.push(format!("trial {}: attempt numbers are 1-based", t.trial));
+                }
+            }
+            Event::Checkpoint(c) => {
+                checkpoints += 1;
+                if c.completed > c.total {
+                    failures.push(format!(
+                        "checkpoint {}: completed {} exceeds total {}",
+                        c.path, c.completed, c.total
+                    ));
+                }
+            }
             Event::Span(_) | Event::Metrics(_) => {}
         }
     }
     if let Some(expected) = expect_runs {
         if runs != expected {
             failures.push(format!("expected {expected} run_start events, found {runs}"));
+        }
+    }
+    if let Some(min) = min_checkpoints {
+        if checkpoints < min {
+            failures.push(format!("expected >= {min} checkpoint events, found {checkpoints}"));
+        }
+    }
+    if let Some(max) = max_failures {
+        if trial_failures > max {
+            failures.push(format!("expected <= {max} trial_failed events, found {trial_failures}"));
         }
     }
     if !failures.is_empty() {
@@ -97,7 +143,8 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "journal-check: {path}: OK ({} events, {runs} runs, {generations} generation traces)",
+        "journal-check: {path}: OK ({} events, {runs} runs, {generations} generation traces, \
+         {checkpoints} checkpoints, {trial_failures} trial failures)",
         events.len()
     );
 }

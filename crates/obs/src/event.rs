@@ -112,6 +112,34 @@ pub struct MetricsEvent {
     pub metrics: Vec<(String, crate::Metric)>,
 }
 
+/// One ensemble/sweep trial failed (panicked or returned an error).
+///
+/// A resilient ensemble records the failure and keeps going; this event
+/// is the durable audit trail of what went wrong and whether the retry
+/// recovered it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialFailed {
+    /// Zero-based index of the trial within its ensemble.
+    pub trial: usize,
+    /// 1-based attempt number that failed (1 = first try, 2 = the retry).
+    pub attempt: usize,
+    /// The derived seed the failing attempt ran with.
+    pub seed: u64,
+    /// Human-readable failure description (panic payload or typed error).
+    pub error: String,
+}
+
+/// A campaign checkpoint was written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointEvent {
+    /// Path the snapshot was (atomically) written to.
+    pub path: String,
+    /// Trials already completed at snapshot time.
+    pub completed: usize,
+    /// Total trials in the campaign.
+    pub total: usize,
+}
+
 /// Any line of a run journal.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -125,6 +153,10 @@ pub enum Event {
     Span(SpanEvent),
     /// `{"event":"metrics",...}`
     Metrics(MetricsEvent),
+    /// `{"event":"trial_failed",...}`
+    TrialFailed(TrialFailed),
+    /// `{"event":"checkpoint",...}`
+    Checkpoint(CheckpointEvent),
 }
 
 /// Formats a run seed as the journal's 16-hex-digit run identifier.
@@ -141,6 +173,8 @@ impl Event {
             Event::RunEnd(_) => "run_end",
             Event::Span(_) => "span",
             Event::Metrics(_) => "metrics",
+            Event::TrialFailed(_) => "trial_failed",
+            Event::Checkpoint(_) => "checkpoint",
         }
     }
 
@@ -210,6 +244,19 @@ impl Event {
                     .collect();
                 json!({ "event": "metrics", "metrics": metrics })
             }
+            Event::TrialFailed(e) => json!({
+                "event": "trial_failed",
+                "trial": e.trial,
+                "attempt": e.attempt,
+                "seed": e.seed,
+                "error": e.error,
+            }),
+            Event::Checkpoint(e) => json!({
+                "event": "checkpoint",
+                "path": e.path,
+                "completed": e.completed,
+                "total": e.total,
+            }),
         }
     }
 
@@ -287,6 +334,17 @@ impl Event {
                 }
                 Ok(Event::Metrics(MetricsEvent { metrics }))
             }
+            "trial_failed" => Ok(Event::TrialFailed(TrialFailed {
+                trial: usize_field(obj, "trial")?,
+                attempt: usize_field(obj, "attempt")?,
+                seed: u64_field(obj, "seed")?,
+                error: str_field(obj, "error")?,
+            })),
+            "checkpoint" => Ok(Event::Checkpoint(CheckpointEvent {
+                path: str_field(obj, "path")?,
+                completed: usize_field(obj, "completed")?,
+                total: usize_field(obj, "total")?,
+            })),
             other => Err(format!("unknown event kind `{other}`")),
         }
     }
@@ -383,6 +441,17 @@ mod tests {
                     ),
                     ("obs.events".into(), crate::Metric::Counter(42)),
                 ],
+            }),
+            Event::TrialFailed(TrialFailed {
+                trial: 3,
+                attempt: 1,
+                seed: u64::MAX, // full-width seeds must survive JSON
+                error: "GA worker panicked: objective returned NaN".into(),
+            }),
+            Event::Checkpoint(CheckpointEvent {
+                path: "runs/ensemble.ckpt.json".into(),
+                completed: 4,
+                total: 16,
             }),
         ]
     }

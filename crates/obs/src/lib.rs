@@ -44,8 +44,8 @@ mod event;
 pub mod registry;
 
 pub use event::{
-    parse_journal, run_id, Event, GenerationEvent, GenerationObserver, GenerationRecord,
-    MetricsEvent, RunEnd, RunStart, SpanEvent,
+    parse_journal, run_id, CheckpointEvent, Event, GenerationEvent, GenerationObserver,
+    GenerationRecord, MetricsEvent, RunEnd, RunStart, SpanEvent, TrialFailed,
 };
 pub use registry::{
     counter_add, observe_seconds, reset, set_timers_enabled, snapshot, span, timer, timers_enabled,
@@ -233,6 +233,13 @@ fn progress_line(event: &Event) -> String {
             e.repair_rate
         ),
         Event::Span(e) => format!("[cold] span {}: {:.3}s", e.name, e.seconds),
+        Event::TrialFailed(e) => format!(
+            "[cold] trial {} attempt {} FAILED (seed {:#x}): {}",
+            e.trial, e.attempt, e.seed, e.error
+        ),
+        Event::Checkpoint(e) => {
+            format!("[cold] checkpoint {}/{} trials -> {}", e.completed, e.total, e.path)
+        }
         Event::Metrics(e) => {
             let mut out = String::from("[cold] metrics:");
             for (name, m) in &e.metrics {
