@@ -12,6 +12,11 @@
 //!   adds two `Instant` reads and a mutex-guarded histogram update per
 //!   evaluation (what `--journal`/`--progress` runs pay; no sink I/O is
 //!   involved since emission only happens at generation granularity).
+//! - `faults_disarmed`: `evaluate_total` with the fault-injection layer
+//!   explicitly cleared, pinning the disarmed chaos-harness cost — one
+//!   relaxed atomic load in front of the timer gate. The same <2% bar
+//!   (vs. `untimed`) covers this path: with `COLD_FAULTS` unset, the
+//!   guards must be free.
 
 use cold::ColdConfig;
 use cold_cost::{evaluate_total, evaluate_total_untimed, CostEvaluator, CostParams};
@@ -49,6 +54,17 @@ fn bench_obs_overhead(c: &mut Criterion) {
         });
     });
     group.bench_function("timer_disabled", |b| {
+        cold_obs::set_timers_enabled(false);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in &topos {
+                acc += evaluate_total(black_box(t), &ctx, &params).unwrap();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("faults_disarmed", |b| {
+        cold_fault::clear();
         cold_obs::set_timers_enabled(false);
         b.iter(|| {
             let mut acc = 0.0;

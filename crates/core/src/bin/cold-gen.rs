@@ -46,6 +46,9 @@ struct Args {
     checkpoint: Option<PathBuf>,
     resume: Option<PathBuf>,
     halt_after: Option<usize>,
+    trial_deadline: Option<f64>,
+    stall_gens: Option<usize>,
+    faults: Option<String>,
 }
 
 impl Default for Args {
@@ -67,6 +70,9 @@ impl Default for Args {
             checkpoint: None,
             resume: None,
             halt_after: None,
+            trial_deadline: None,
+            stall_gens: None,
+            faults: None,
         }
     }
 }
@@ -126,6 +132,32 @@ CRASH SAFETY:
 
     Crash-safety flags cover the standard synthesis path and cannot be
     combined with --bridge-cost.
+
+RUNTIME GUARDS:
+    --trial-deadline <SECS> per-trial wall-clock deadline; an overrunning
+                            trial is abandoned by the watchdog. In an
+                            ensemble it is retried once on a salted seed;
+                            a campaign aborts with a resumable snapshot.
+                            Cannot be combined with --bridge-cost.
+    --stall-gens <K>        terminate a GA run after K consecutive
+                            generations without best-cost improvement
+                            (reported as a `stalled` stop reason)
+
+FAULT INJECTION:
+    --faults <SPEC>         arm deterministic fault injection, e.g.
+                            `eval.panic:1` (fire on the 1st hit) or
+                            `eval.nan:p=0.05` (5% of hits, derived from
+                            --seed). Same syntax as COLD_FAULTS; the flag
+                            wins over the environment.
+
+EXIT CODES:
+    0   success
+    1   synthesis or campaign failure (campaigns leave a resumable
+        snapshot; see stderr)
+    2   flag or validation error
+    3   injected halt (--halt-after), snapshot left on disk
+    4   a trial exceeded --trial-deadline
+    5   a GA run stalled under --stall-gens (outputs still written)
 ";
 
 fn parse_args() -> Args {
@@ -164,6 +196,15 @@ fn parse_args() -> Args {
                 args.halt_after =
                     Some(value("--halt-after").parse().expect("--halt-after: integer"))
             }
+            "--trial-deadline" => {
+                args.trial_deadline =
+                    Some(value("--trial-deadline").parse().expect("--trial-deadline: float"))
+            }
+            "--stall-gens" => {
+                args.stall_gens =
+                    Some(value("--stall-gens").parse().expect("--stall-gens: integer"))
+            }
+            "--faults" => args.faults = Some(value("--faults")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -192,6 +233,20 @@ fn parse_args() -> Args {
     }
     if args.campaign() && args.bridge_cost.is_some() {
         eprintln!("crash-safety flags cannot be combined with --bridge-cost\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    if let Some(d) = args.trial_deadline {
+        if !d.is_finite() || d <= 0.0 {
+            eprintln!("--trial-deadline must be a positive number of seconds\n\n{USAGE}");
+            std::process::exit(2);
+        }
+        if args.bridge_cost.is_some() {
+            eprintln!("--trial-deadline cannot be combined with --bridge-cost\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+    if args.stall_gens == Some(0) {
+        eprintln!("--stall-gens must be >= 1\n\n{USAGE}");
         std::process::exit(2);
     }
     args
@@ -233,8 +288,9 @@ fn export_network(args: &Args, i: usize, network: &Network, context: &Context, n
 }
 
 /// The checkpointed trial loop: [`cold::run_campaign`] with export and
-/// `--halt-after` crash injection in the per-trial hook.
-fn run_checkpointed(args: &Args, cfg: &ColdConfig) {
+/// `--halt-after` crash injection in the per-trial hook. Returns whether
+/// any trial's GA run stalled (for the exit-5 path).
+fn run_checkpointed(args: &Args, cfg: &ColdConfig) -> bool {
     let every = args.checkpoint_every.unwrap_or(1);
     let ckpt_path = args.checkpoint_path();
     let resume = args.resume.as_ref().map(|p| {
@@ -250,9 +306,19 @@ fn run_checkpointed(args: &Args, cfg: &ColdConfig) {
         }
         println!("checkpoint: {} (every {every} trial(s))", ckpt_path.display());
     }
+    let deadline = args.trial_deadline.map(std::time::Duration::from_secs_f64);
     let mut fresh = 0usize;
-    let outcome =
-        cold::run_campaign(cfg, args.seed, args.count, every, &ckpt_path, resume, |i, r| {
+    let mut stalled = false;
+    let outcome = cold::run_campaign(
+        cfg,
+        args.seed,
+        args.count,
+        every,
+        &ckpt_path,
+        resume,
+        deadline,
+        |i, r: &cold::SynthesisResult| {
+            stalled |= r.stop_reason == cold::StopReason::Stalled;
             export_network(args, i, &r.network, &r.context, "");
             // Only freshly synthesized trials count toward --halt-after;
             // the snapshot covering this trial is already on disk.
@@ -267,12 +333,18 @@ fn run_checkpointed(args: &Args, cfg: &ColdConfig) {
                     std::process::exit(3);
                 }
             }
-        });
+        },
+    );
     if let Err(e) = outcome {
         eprintln!("campaign failed: {e}");
         eprintln!("completed trials are recoverable: --resume {}", ckpt_path.display());
+        cold_obs::emit_metrics_snapshot();
+        if matches!(e, cold::ColdError::DeadlineExceeded { .. }) {
+            std::process::exit(4);
+        }
         std::process::exit(1);
     }
+    stalled
 }
 
 fn main() {
@@ -283,8 +355,19 @@ fn main() {
     } else if args.progress {
         cold_obs::configure(cold_obs::TraceMode::Progress).expect("progress sink is infallible");
     }
+    // Arm fault injection: the explicit flag wins over COLD_FAULTS; either
+    // way the schedule derives from the master seed so a chaos run is as
+    // reproducible as a clean one.
+    if let Some(spec) = &args.faults {
+        cold_fault::configure(spec, args.seed).unwrap_or_else(|e| {
+            eprintln!("--faults: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        });
+    } else if cold_fault::armed() {
+        cold_fault::reseed(args.seed);
+    }
     std::fs::create_dir_all(&args.out).expect("create output directory");
-    let cfg = if args.quick {
+    let mut cfg = if args.quick {
         ColdConfig::quick(args.n, args.k2, args.k3)
     } else {
         ColdConfig {
@@ -292,8 +375,39 @@ fn main() {
             ..ColdConfig::paper(args.n, args.k2, args.k3)
         }
     };
+    if let Some(k) = args.stall_gens {
+        cfg.ga.stall_gens = Some(k);
+    }
+    let mut stalled = false;
     if args.campaign() {
-        run_checkpointed(&args, &cfg);
+        stalled = run_checkpointed(&args, &cfg);
+    } else if let Some(secs) = args.trial_deadline {
+        // Deadline-guarded ensemble: an overrunning trial is abandoned,
+        // retried once on a salted seed, and at worst lost — never a wedge.
+        let deadline = std::time::Duration::from_secs_f64(secs);
+        let outcome = cfg.synthesize_ensemble_guarded(args.seed, args.count, Some(deadline));
+        for (i, r) in &outcome.results {
+            stalled |= r.stop_reason == cold::StopReason::Stalled;
+            export_network(&args, *i, &r.network, &r.context, "");
+        }
+        for f in &outcome.failures {
+            eprintln!(
+                "trial {} attempt {} failed ({}){}",
+                f.trial,
+                f.attempt,
+                f.error,
+                if f.recovered { "; retry recovered it" } else { "" }
+            );
+        }
+        if !outcome.is_complete() {
+            let lost = outcome.lost_trials();
+            eprintln!("lost trials after retry: {lost:?}");
+            cold_obs::emit_metrics_snapshot();
+            let deadline_lost = outcome.failures.iter().any(|f| {
+                !f.recovered && matches!(f.error, cold::ColdError::DeadlineExceeded { .. })
+            });
+            std::process::exit(if deadline_lost { 4 } else { 1 });
+        }
     } else {
         for i in 0..args.count {
             let seed = cold_context::rng::derive_seed(args.seed, i as u64);
@@ -307,6 +421,7 @@ fn main() {
                 (net, ctx, note)
             } else {
                 let r = cfg.synthesize(seed);
+                stalled |= r.stop_reason == cold::StopReason::Stalled;
                 (r.network, r.context, String::new())
             };
             export_network(&args, i, &network, &context, &note);
@@ -319,5 +434,10 @@ fn main() {
         if !args.quiet {
             println!("journal: {}", path.display());
         }
+    }
+    if stalled {
+        let k = args.stall_gens.unwrap_or(0);
+        eprintln!("one or more GA runs stalled (no improvement in {k} generations)");
+        std::process::exit(5);
     }
 }

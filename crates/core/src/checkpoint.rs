@@ -53,6 +53,9 @@ pub struct TrialRecord {
     pub repair_rate: f64,
     /// Generations actually run.
     pub generations_run: usize,
+    /// Why the trial's GA run returned (completion, early stop, or the
+    /// stall guard), serialized as its wire name.
+    pub stop_reason: cold_ga::StopReason,
 }
 
 impl TrialRecord {
@@ -70,6 +73,7 @@ impl TrialRecord {
             eval_stats: r.eval_stats,
             repair_rate: r.repair_rate,
             generations_run: r.generations_run,
+            stop_reason: r.stop_reason,
         }
     }
 
@@ -110,6 +114,7 @@ impl TrialRecord {
             eval_stats: self.eval_stats,
             repair_rate: self.repair_rate,
             generations_run: self.generations_run,
+            stop_reason: self.stop_reason,
         })
     }
 
@@ -142,6 +147,7 @@ impl TrialRecord {
             },
             "repair_rate": self.repair_rate,
             "generations_run": self.generations_run,
+            "stop_reason": self.stop_reason.as_str(),
         })
     }
 
@@ -186,6 +192,11 @@ impl TrialRecord {
             },
             repair_rate: f64_field(v, "repair_rate")?,
             generations_run: usize_field(v, "generations_run")?,
+            stop_reason: v
+                .get("stop_reason")
+                .and_then(Value::as_str)
+                .and_then(cold_ga::StopReason::parse)
+                .ok_or("trial: `stop_reason` missing or unknown")?,
         })
     }
 }
@@ -310,11 +321,22 @@ impl CampaignCheckpoint {
     /// truncated hybrid.
     ///
     /// # Errors
-    /// [`ColdError::Io`] when the write or rename fails.
+    /// [`ColdError::Io`] naming `path` when the write or rename fails (or
+    /// a `campaign.io_err` fault is armed and fires).
     pub fn save(&self, path: &Path) -> Result<(), ColdError> {
+        if cold_fault::armed() && cold_fault::should_fire("campaign.io_err") {
+            return Err(ColdError::Io(std::io::Error::other(format!(
+                "{}: injected campaign checkpoint I/O failure",
+                path.display()
+            ))));
+        }
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_json() + "\n")?;
-        std::fs::rename(&tmp, path)?;
+        std::fs::write(&tmp, self.to_json() + "\n").map_err(|e| {
+            ColdError::Io(std::io::Error::new(e.kind(), format!("{}: {e}", tmp.display())))
+        })?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            ColdError::Io(std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+        })?;
         Ok(())
     }
 
@@ -322,9 +344,18 @@ impl CampaignCheckpoint {
     ///
     /// # Errors
     /// [`ColdError::Io`] when the file is unreadable, and
-    /// [`ColdError::Checkpoint`] when its contents do not validate.
+    /// [`ColdError::Checkpoint`] when its contents do not validate; both
+    /// name `path`.
     pub fn load(path: &Path) -> Result<Self, ColdError> {
-        Self::from_json(&std::fs::read_to_string(path)?)
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            ColdError::Io(std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+        })?;
+        Self::from_json(&text).map_err(|e| match e {
+            ColdError::Checkpoint(why) => {
+                ColdError::Checkpoint(format!("{}: {why}", path.display()))
+            }
+            other => other,
+        })
     }
 
     /// Rejects a snapshot that belongs to a different campaign.
@@ -375,11 +406,18 @@ impl CampaignCheckpoint {
 /// trials it fires *after* the snapshot write, so a hook that kills the
 /// process never loses the trial it just saw.
 ///
+/// With `trial_deadline`, each fresh trial runs under the wall-clock
+/// watchdog: an overrunning trial is abandoned, journaled as
+/// `trial_deadline_exceeded` (when tracing is active), and aborts the
+/// campaign with [`ColdError::DeadlineExceeded`] — the checkpoint on disk
+/// still holds every completed trial, so the campaign resumes from there.
+///
 /// # Errors
 /// Any [`ColdError`] from validation, trial synthesis, checkpoint
 /// rebuilding, or snapshot I/O. Unlike the parallel ensemble there is no
 /// in-loop retry: the checkpoint already bounds lost work, and the CLI
 /// reports the failed trial with the snapshot path for a manual resume.
+#[allow(clippy::too_many_arguments)]
 pub fn run_campaign(
     config: &ColdConfig,
     master_seed: u64,
@@ -387,6 +425,7 @@ pub fn run_campaign(
     checkpoint_every: usize,
     checkpoint_path: &Path,
     resume: Option<CampaignCheckpoint>,
+    trial_deadline: Option<std::time::Duration>,
     mut on_trial: impl FnMut(usize, &SynthesisResult),
 ) -> Result<Vec<SynthesisResult>, ColdError> {
     if checkpoint_every == 0 {
@@ -408,7 +447,23 @@ pub fn run_campaign(
     }
     for i in results.len()..count {
         let seed = derive_seed(master_seed, i as u64);
-        let r = config.try_synthesize(seed)?;
+        let r = match trial_deadline {
+            None => config.try_synthesize(seed)?,
+            Some(d) => crate::synthesizer::run_with_deadline(config, seed, d).inspect_err(|e| {
+                if cold_obs::is_enabled() {
+                    if let ColdError::DeadlineExceeded { seconds } = e {
+                        cold_obs::emit(&cold_obs::Event::TrialDeadlineExceeded(
+                            cold_obs::TrialDeadlineExceeded {
+                                trial: i,
+                                attempt: 1,
+                                seed,
+                                seconds: *seconds,
+                            },
+                        ));
+                    }
+                }
+            })?,
+        };
         records.push(TrialRecord::from_result(i, seed, &r));
         let completed = i + 1;
         // Snapshot *before* the hook: a hook that aborts the process (the
@@ -527,13 +582,13 @@ mod tests {
         let _ = std::fs::remove_file(&path);
 
         // Uninterrupted reference.
-        let full = run_campaign(&cfg, 11, 4, 1, &path, None, |_, _| {}).expect("full run");
+        let full = run_campaign(&cfg, 11, 4, 1, &path, None, None, |_, _| {}).expect("full run");
         let _ = std::fs::remove_file(&path);
 
         // First leg: simulate a crash by stopping after 2 trials via the
         // on_trial hook (panic caught here, as a kill would).
         let leg = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_campaign(&cfg, 11, 4, 1, &path, None, |i, _| {
+            run_campaign(&cfg, 11, 4, 1, &path, None, None, |i, _| {
                 if i == 1 {
                     panic!("simulated crash after trial 1");
                 }
@@ -546,8 +601,8 @@ mod tests {
         assert_eq!(snapshot.records.len(), 2, "both completed trials checkpointed");
 
         // Second leg: resume and complete.
-        let resumed =
-            run_campaign(&cfg, 11, 4, 1, &path, Some(snapshot), |_, _| {}).expect("resumed run");
+        let resumed = run_campaign(&cfg, 11, 4, 1, &path, Some(snapshot), None, |_, _| {})
+            .expect("resumed run");
         assert_eq!(resumed.len(), full.len());
         for (a, b) in full.iter().zip(&resumed) {
             assert_same_deterministic_fields(a, b);
@@ -560,7 +615,7 @@ mod tests {
         let cfg = ColdConfig::quick(7, 1e-4, 10.0);
         let path = tmp_path("cadence");
         let _ = std::fs::remove_file(&path);
-        let results = run_campaign(&cfg, 3, 4, 2, &path, None, |_, _| {}).expect("run");
+        let results = run_campaign(&cfg, 3, 4, 2, &path, None, None, |_, _| {}).expect("run");
         assert_eq!(results.len(), 4);
         // every=2, count=4: snapshot after trial 2 only (after trial 4 the
         // campaign is complete — nothing to resume).

@@ -26,6 +26,13 @@ pub enum ColdError {
     Checkpoint(String),
     /// Reading or writing a checkpoint file failed.
     Io(std::io::Error),
+    /// A trial overran its wall-clock deadline and was abandoned by the
+    /// watchdog (see `run_with_deadline`); the trial counts as lost after
+    /// its retry, exactly like a panic.
+    DeadlineExceeded {
+        /// The configured deadline, in seconds.
+        seconds: f64,
+    },
 }
 
 impl fmt::Display for ColdError {
@@ -36,6 +43,9 @@ impl fmt::Display for ColdError {
             ColdError::TrialPanic(msg) => write!(f, "trial panicked: {msg}"),
             ColdError::Checkpoint(why) => write!(f, "checkpoint rejected: {why}"),
             ColdError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            ColdError::DeadlineExceeded { seconds } => {
+                write!(f, "trial exceeded its {seconds}s wall-clock deadline")
+            }
         }
     }
 }
@@ -90,6 +100,7 @@ mod tests {
                 ColdError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")),
                 "checkpoint I/O failed",
             ),
+            (ColdError::DeadlineExceeded { seconds: 30.0 }, "wall-clock deadline"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

@@ -89,11 +89,13 @@ pub mod synthesizer;
 pub mod zoo;
 
 pub use checkpoint::{run_campaign, CampaignCheckpoint, TrialRecord};
+pub use cold_ga::StopReason;
 pub use error::ColdError;
 pub use objective::ColdObjective;
 pub use stats::NetworkStats;
 pub use synthesizer::{
-    ColdConfig, EnsembleOutcome, SynthesisMode, SynthesisResult, TrialFailure, TrialRunner,
+    join_abandoned_watchdog_threads, ColdConfig, EnsembleOutcome, SynthesisMode, SynthesisResult,
+    TrialFailure, TrialRunner, RETRY_SALT,
 };
 
 // Re-export the component crates so `cold` is a one-stop dependency.

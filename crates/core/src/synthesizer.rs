@@ -19,8 +19,78 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Salt mixed into the master seed for one-shot retries of failed trials,
 /// so the retry runs a fresh (but still deterministic) random stream
-/// instead of replaying the exact failure.
-const RETRY_SALT: u64 = 0x5245_5452; // "RETR"
+/// instead of replaying the exact failure. Public so the retry-seed
+/// soundness test can pin the derivation
+/// `derive_seed(derive_seed(master, RETRY_SALT), trial)` against the
+/// original trial seeds.
+pub const RETRY_SALT: u64 = 0x5245_5452; // "RETR"
+
+/// How long the `trial.hang` fault sleeps, in milliseconds. Long enough
+/// to overrun any test deadline by a wide margin, short enough that an
+/// abandoned hanging attempt drains quickly in
+/// [`join_abandoned_watchdog_threads`].
+const HANG_MS: u64 = 2000;
+
+/// Watchdog-abandoned trial threads. [`run_with_deadline`] detaches the
+/// worker when the deadline fires (a scoped thread would have to be
+/// joined, wedging the caller on the very hang it guards against); the
+/// handle lands here so tests can drain stragglers before the next case
+/// arms its own faults.
+static ABANDONED_WATCHDOGS: std::sync::Mutex<Vec<std::thread::JoinHandle<()>>> =
+    std::sync::Mutex::new(Vec::new());
+
+/// Joins every watchdog-abandoned trial thread that is still running.
+///
+/// Production callers never need this — abandoned threads hold no locks
+/// and die with the process. The chaos test suite calls it between cases
+/// so a straggling (injected-hang) attempt cannot consume the next
+/// case's one-shot fault triggers.
+#[doc(hidden)]
+pub fn join_abandoned_watchdog_threads() {
+    let handles: Vec<_> = {
+        let mut guard = ABANDONED_WATCHDOGS.lock().expect("watchdog registry lock");
+        guard.drain(..).collect()
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Runs one trial on a detached thread with a wall-clock deadline.
+///
+/// Returns the trial's own result when it finishes in time, or
+/// [`ColdError::DeadlineExceeded`] when the deadline fires first — in
+/// which case the worker thread is *abandoned* (registered in the
+/// straggler registry), not killed: Rust has no safe thread
+/// cancellation, so the guard's job is to keep the ensemble moving, not
+/// to reclaim the wedged thread.
+pub(crate) fn run_with_deadline(
+    cfg: &ColdConfig,
+    seed: u64,
+    deadline: std::time::Duration,
+) -> Result<SynthesisResult, ColdError> {
+    let cfg = *cfg;
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| cfg.try_synthesize(seed)))
+            .unwrap_or_else(|payload| Err(ColdError::TrialPanic(panic_message(payload.as_ref()))));
+        // The receiver is gone when the deadline already fired; the
+        // result is then dropped with the thread.
+        let _ = tx.send(outcome);
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(outcome) => {
+            let _ = worker.join();
+            outcome
+        }
+        Err(_) => {
+            let mut guard = ABANDONED_WATCHDOGS.lock().expect("watchdog registry lock");
+            guard.retain(|h| !h.is_finished());
+            guard.push(worker);
+            Err(ColdError::DeadlineExceeded { seconds: deadline.as_secs_f64() })
+        }
+    }
+}
 
 /// How the GA's initial population is seeded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -99,6 +169,9 @@ impl ColdConfig {
     /// so ensemble drivers can record and retry the trial.
     pub fn try_synthesize(&self, seed: u64) -> Result<SynthesisResult, ColdError> {
         self.validate()?;
+        if cold_fault::armed() && cold_fault::should_fire("trial.hang") {
+            std::thread::sleep(std::time::Duration::from_millis(HANG_MS));
+        }
         let ctx = self.context.generate(derive_seed(seed, 0xC0));
         self.try_synthesize_in_context(ctx, seed)
     }
@@ -165,6 +238,14 @@ impl ColdConfig {
             engine.try_run_traced(&seeds, None)?
         };
         if traced {
+            if result.stop_reason == cold_ga::StopReason::Stalled {
+                cold_obs::emit(&cold_obs::Event::GaStalled(cold_obs::GaStalled {
+                    run: cold_obs::run_id(seed),
+                    generation: result.generations_run,
+                    stall_gens: self.ga.stall_gens.unwrap_or(0),
+                    best: result.best.cost,
+                }));
+            }
             cold_obs::emit(&cold_obs::Event::RunEnd(cold_obs::RunEnd {
                 run: cold_obs::run_id(seed),
                 generations_run: result.generations_run,
@@ -190,6 +271,7 @@ impl ColdConfig {
             eval_stats: result.eval_stats,
             repair_rate: result.repair_stats.repair_rate(),
             generations_run: result.generations_run,
+            stop_reason: result.stop_reason,
         })
     }
 
@@ -229,6 +311,27 @@ impl ColdConfig {
         self.ensemble_with_runner(master_seed, count, &|cfg, seed, _trial, _attempt| {
             cfg.try_synthesize(seed)
         })
+    }
+
+    /// [`synthesize_ensemble`](Self::synthesize_ensemble) with an optional
+    /// per-trial wall-clock deadline. A trial that overruns is abandoned
+    /// by the watchdog and degrades into the
+    /// normal failure accounting — [`ColdError::DeadlineExceeded`] in the
+    /// failure table, a retry on the salted seed, and a lost trial if the
+    /// retry also overruns — instead of wedging the whole ensemble.
+    /// `deadline: None` is exactly [`Self::synthesize_ensemble`].
+    pub fn synthesize_ensemble_guarded(
+        &self,
+        master_seed: u64,
+        count: usize,
+        deadline: Option<std::time::Duration>,
+    ) -> EnsembleOutcome {
+        match deadline {
+            None => self.synthesize_ensemble(master_seed, count),
+            Some(d) => self.ensemble_with_runner(master_seed, count, &move |cfg, seed, _t, _a| {
+                run_with_deadline(cfg, seed, d)
+            }),
+        }
     }
 
     /// [`synthesize_ensemble`](Self::synthesize_ensemble) with an
@@ -288,6 +391,16 @@ impl ColdConfig {
                             }
                             Err(error) => {
                                 if cold_obs::is_enabled() {
+                                    if let ColdError::DeadlineExceeded { seconds } = &error {
+                                        cold_obs::emit(&cold_obs::Event::TrialDeadlineExceeded(
+                                            cold_obs::TrialDeadlineExceeded {
+                                                trial: i,
+                                                attempt,
+                                                seed,
+                                                seconds: *seconds,
+                                            },
+                                        ));
+                                    }
                                     cold_obs::emit(&cold_obs::Event::TrialFailed(
                                         cold_obs::TrialFailed {
                                             trial: i,
@@ -407,6 +520,8 @@ pub struct SynthesisResult {
     pub repair_rate: f64,
     /// Generations actually run.
     pub generations_run: usize,
+    /// Why the GA returned (completion, early stop, or the stall guard).
+    pub stop_reason: cold_ga::StopReason,
 }
 
 impl SynthesisResult {

@@ -80,6 +80,17 @@ pub fn evaluate_total(
     ctx: &Context,
     params: &CostParams,
 ) -> Result<f64, GraphError> {
+    if cold_fault::armed() {
+        if cold_fault::should_fire("eval.panic") {
+            panic!("cold-fault: injected panic at eval.panic");
+        }
+        if cold_fault::should_fire("eval.nan") {
+            return Ok(f64::NAN);
+        }
+        if cold_fault::should_fire("eval.slow") {
+            std::thread::sleep(std::time::Duration::from_millis(15));
+        }
+    }
     let _timer = cold_obs::timer("cost.evaluate_total");
     evaluate_total_untimed(topology, ctx, params)
 }

@@ -248,6 +248,42 @@ impl GaCheckpoint {
         let v: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
         Self::from_value(&v)
     }
+
+    /// Persists the snapshot to `path` atomically: the JSON is written to
+    /// a `.tmp` sibling and renamed over the target, so a crash (or an
+    /// injected `ga.checkpoint_write_err` fault) mid-write never corrupts
+    /// an existing snapshot.
+    ///
+    /// # Errors
+    /// [`crate::GaError::Checkpoint`] naming `path`, on I/O failure or an
+    /// injected fault.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), crate::GaError> {
+        use crate::GaError;
+        if cold_fault::armed() && cold_fault::should_fire("ga.checkpoint_write_err") {
+            return Err(GaError::Checkpoint(format!(
+                "{}: injected checkpoint write failure",
+                path.display()
+            )));
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())
+            .map_err(|e| GaError::Checkpoint(format!("{}: write failed: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| GaError::Checkpoint(format!("{}: rename failed: {e}", path.display())))
+    }
+
+    /// Loads a snapshot saved by [`save`](Self::save).
+    ///
+    /// # Errors
+    /// [`crate::GaError::Checkpoint`] naming `path`: unreadable file, invalid
+    /// JSON (truncated/garbage documents included), or schema violations.
+    /// Never panics on corrupt input.
+    pub fn load(path: &std::path::Path) -> Result<Self, crate::GaError> {
+        use crate::GaError;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| GaError::Checkpoint(format!("{}: read failed: {e}", path.display())))?;
+        Self::from_json(&text).map_err(|e| GaError::Checkpoint(format!("{}: {e}", path.display())))
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,44 @@ pub struct CheckpointHook<'a> {
     pub sink: &'a mut dyn FnMut(&GaCheckpoint),
 }
 
+/// Why a GA run returned: normal completion, the convergence-plateau
+/// early stop, or the stall guard.
+///
+/// Serialized as a lowercase snake_case string (`"completed"`,
+/// `"early_stopped"`, `"stalled"`) in trial records and journals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// All `generations` ran (or the run was resumed past them).
+    Completed,
+    /// [`GaSettings::early_stop`] fired: the best cost plateaued within
+    /// `rel_tol` over the trailing window.
+    EarlyStopped,
+    /// [`GaSettings::stall_gens`] fired: no strict best-cost improvement
+    /// for that many consecutive generations.
+    Stalled,
+}
+
+impl StopReason {
+    /// The stable wire name used in trial records and journals.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::Completed => "completed",
+            StopReason::EarlyStopped => "early_stopped",
+            StopReason::Stalled => "stalled",
+        }
+    }
+
+    /// Parses a wire name produced by [`as_str`](Self::as_str).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "completed" => Some(StopReason::Completed),
+            "early_stopped" => Some(StopReason::EarlyStopped),
+            "stalled" => Some(StopReason::Stalled),
+            _ => None,
+        }
+    }
+}
+
 /// Outcome of one GA run.
 #[derive(Debug, Clone)]
 pub struct GaResult {
@@ -53,6 +91,8 @@ pub struct GaResult {
     pub eval_stats: EvalStats,
     /// Connectivity-repair activity (§4.1.3 "It is used rarely").
     pub repair_stats: RepairStats,
+    /// Why the run returned (completion, early stop, or stall guard).
+    pub stop_reason: StopReason,
 }
 
 /// Objective-evaluation accounting for one GA run.
@@ -242,6 +282,13 @@ impl<O: Objective> GeneticAlgorithm<O> {
             }
         }
 
+        // Stall counter: consecutive trailing generations without strict
+        // best-cost improvement. Best cost is monotone nonincreasing, so
+        // the counter is recomputable from `history` alone — a resumed run
+        // restores it without any checkpoint schema change.
+        let mut stall_count = history.windows(2).rev().take_while(|w| w[1] >= w[0]).count();
+        let mut stop_reason = StopReason::Completed;
+
         // Telemetry deltas: counter states at the end of the previous
         // generation, so each record reports per-generation activity.
         let mut prev_stats = stats;
@@ -299,8 +346,18 @@ impl<O: Objective> GeneticAlgorithm<O> {
                     let then = history[history.len() - 1 - es.window];
                     let now = *history.last().expect("nonempty");
                     if then - now <= es.rel_tol * then.abs() {
+                        stop_reason = StopReason::EarlyStopped;
                         break;
                     }
+                }
+            }
+
+            let improved = history[history.len() - 1] < history[history.len() - 2];
+            stall_count = if improved { 0 } else { stall_count + 1 };
+            if let Some(k) = self.settings.stall_gens {
+                if stall_count >= k {
+                    stop_reason = StopReason::Stalled;
+                    break;
                 }
             }
 
@@ -336,6 +393,7 @@ impl<O: Objective> GeneticAlgorithm<O> {
             evaluations: stats.requested,
             eval_stats: stats,
             repair_stats,
+            stop_reason,
         })
     }
 
@@ -810,6 +868,7 @@ mod tests {
         assert_eq!(a.eval_stats.cache_hits, b.eval_stats.cache_hits);
         assert_eq!(a.eval_stats.cache_misses, b.eval_stats.cache_misses);
         assert_eq!(a.repair_stats, b.repair_stats);
+        assert_eq!(a.stop_reason, b.stop_reason);
         let fa: Vec<_> = a.final_population.iter().map(|i| (i.topology.clone(), i.cost)).collect();
         let fb: Vec<_> = b.final_population.iter().map(|i| (i.topology.clone(), i.cost)).collect();
         assert_eq!(fa, fb);
@@ -910,6 +969,103 @@ mod tests {
             }
             other => panic!("expected NonFiniteCost, got {other:?}"),
         }
+    }
+
+    /// A flat objective: nothing ever strictly improves, so the stall
+    /// guard must fire after exactly `stall_gens` generations.
+    struct FlatObjective {
+        n: usize,
+    }
+
+    impl Objective for FlatObjective {
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn distance(&self, _: usize, _: usize) -> f64 {
+            1.0
+        }
+        fn cost(&self, _: &AdjacencyMatrix) -> f64 {
+            42.0
+        }
+    }
+
+    #[test]
+    fn stop_reason_reflects_how_the_run_ended() {
+        let full = engine(6, 1.0, 1.0, 0.0, 40).run();
+        assert_eq!(full.stop_reason, StopReason::Completed);
+
+        let mut s = GaSettings::quick(40);
+        s.early_stop = Some(EarlyStop { window: 3, rel_tol: 0.0 });
+        let early =
+            GeneticAlgorithm::new(LineObjective { n: 6, k0: 1.0, k1: 10.0, k3: 0.0 }, s).run();
+        assert_eq!(early.stop_reason, StopReason::EarlyStopped);
+    }
+
+    #[test]
+    fn stall_guard_terminates_flat_runs() {
+        let mut s = GaSettings::quick(41);
+        s.stall_gens = Some(4);
+        let r = GeneticAlgorithm::new(FlatObjective { n: 6 }, s).run();
+        assert_eq!(r.stop_reason, StopReason::Stalled);
+        assert_eq!(r.generations_run, 4, "flat objective stalls after exactly stall_gens");
+        assert_eq!(r.history.len(), 5);
+    }
+
+    #[test]
+    fn stall_counter_survives_resume_bit_identically() {
+        // The stall counter is recomputed from `history` on resume, so a
+        // resumed stalled run must end at the same generation with the
+        // same stop reason as an uninterrupted one.
+        let mut s = GaSettings::quick(42);
+        s.stall_gens = Some(6);
+        let ga = GeneticAlgorithm::new(FlatObjective { n: 6 }, s);
+        let uninterrupted = ga.run_resumable(&[], None, None, None).unwrap();
+        assert_eq!(uninterrupted.stop_reason, StopReason::Stalled);
+        let mut snaps = Vec::new();
+        let mut sink = |c: &GaCheckpoint| snaps.push(c.clone());
+        let hook = CheckpointHook { every: 2, sink: &mut sink };
+        ga.run_resumable(&[], None, Some(hook), None).unwrap();
+        assert!(snaps.len() >= 2, "expected snapshots at generations 2 and 4");
+        for snap in snaps {
+            let restored = GaCheckpoint::from_json(&snap.to_json()).unwrap();
+            let resumed = ga.run_resumable(&[], None, None, Some(restored)).unwrap();
+            assert_results_bit_identical(&uninterrupted, &resumed);
+        }
+    }
+
+    #[test]
+    fn stop_reason_wire_names_round_trip() {
+        for r in [StopReason::Completed, StopReason::EarlyStopped, StopReason::Stalled] {
+            assert_eq!(StopReason::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(StopReason::parse("wedged"), None);
+    }
+
+    #[test]
+    fn checkpoint_save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("cold-ga-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let ga = engine(8, 5.0, 1.0, 2.0, 43);
+        let (_, snaps) = run_with_checkpoints(&ga, 10);
+        let snap = snaps.into_iter().next().unwrap();
+        snap.save(&path).unwrap();
+        let back = GaCheckpoint::load(&path).unwrap();
+        // Cache entry order is HashMap-dependent in the live snapshot;
+        // the serialized form is the canonical (sorted) one.
+        assert_eq!(back.to_json(), snap.to_json());
+        // Corrupt documents surface as typed errors that name the path.
+        std::fs::write(&path, &snap.to_json()[..40]).unwrap();
+        let err = GaCheckpoint::load(&path).unwrap_err();
+        match err {
+            GaError::Checkpoint(msg) => {
+                assert!(msg.contains("snap.json"), "error must name the path: {msg}");
+            }
+            other => panic!("expected Checkpoint, got {other:?}"),
+        }
+        let missing = GaCheckpoint::load(&dir.join("absent.json")).unwrap_err();
+        assert!(matches!(missing, GaError::Checkpoint(m) if m.contains("absent.json")));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     use crate::Objective;

@@ -42,9 +42,9 @@ pub mod settings;
 
 pub use checkpoint::GaCheckpoint;
 pub use chromosome::Individual;
-pub use engine::{CheckpointHook, EvalStats, GaResult, GeneticAlgorithm};
+pub use engine::{CheckpointHook, EvalStats, GaResult, GeneticAlgorithm, StopReason};
 pub use error::GaError;
-pub use settings::GaSettings;
+pub use settings::{EarlyStop, GaSettings};
 
 // Telemetry hook types, re-exported so engine callers can attach
 // observers without depending on `cold-obs` directly.

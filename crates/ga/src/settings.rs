@@ -56,6 +56,13 @@ pub struct GaSettings {
     /// more than `rel_tol` over the last `window` generations. The paper
     /// notes `T = 100` "proved to function similarly" to such a rule (§5).
     pub early_stop: Option<EarlyStop>,
+    /// Optional stall guard: terminate the run (with
+    /// [`StopReason::Stalled`](crate::StopReason)) after this many
+    /// consecutive generations without *strict* best-cost improvement.
+    /// Unlike [`early_stop`](Self::early_stop), which models the paper's
+    /// convergence plateau, this is a runtime guard against degenerate
+    /// objectives that never improve at all.
+    pub stall_gens: Option<usize>,
 }
 
 /// Early-stopping rule (relative-improvement plateau).
@@ -86,6 +93,7 @@ impl GaSettings {
             parallel: true,
             fitness_cache: true,
             early_stop: None,
+            stall_gens: None,
         }
     }
 
@@ -144,6 +152,9 @@ impl GaSettings {
             if es.window == 0 || es.rel_tol < 0.0 {
                 return Err("early_stop needs window >= 1 and rel_tol >= 0".into());
             }
+        }
+        if self.stall_gens == Some(0) {
+            return Err("stall_gens needs window >= 1".into());
         }
         Ok(())
     }

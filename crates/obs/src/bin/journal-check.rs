@@ -84,6 +84,9 @@ fn main() {
     let mut generations = 0usize;
     let mut checkpoints = 0usize;
     let mut trial_failures = 0usize;
+    let mut deadline_exceeded = 0usize;
+    let mut stalls = 0usize;
+    let mut faults = 0usize;
     let mut failures = Vec::new();
     for event in &events {
         match event {
@@ -118,6 +121,36 @@ fn main() {
                     ));
                 }
             }
+            Event::TrialDeadlineExceeded(d) => {
+                deadline_exceeded += 1;
+                if d.attempt == 0 {
+                    failures.push(format!("trial {}: attempt numbers are 1-based", d.trial));
+                }
+                if !d.seconds.is_finite() || d.seconds <= 0.0 {
+                    failures.push(format!(
+                        "trial {}: deadline {} must be a positive number of seconds",
+                        d.trial, d.seconds
+                    ));
+                }
+            }
+            Event::GaStalled(s) => {
+                stalls += 1;
+                if s.stall_gens == 0 {
+                    failures.push(format!("run {}: stall window must be >= 1", s.run));
+                }
+                if s.generation < s.stall_gens {
+                    failures.push(format!(
+                        "run {}: stalled at gen {} before the {}-generation window could elapse",
+                        s.run, s.generation, s.stall_gens
+                    ));
+                }
+            }
+            Event::FaultInjected(f) => {
+                faults += 1;
+                if f.hit == 0 {
+                    failures.push(format!("fault {}: hit indices are 1-based", f.site));
+                }
+            }
             Event::Span(_) | Event::Metrics(_) => {}
         }
     }
@@ -144,7 +177,8 @@ fn main() {
     }
     println!(
         "journal-check: {path}: OK ({} events, {runs} runs, {generations} generation traces, \
-         {checkpoints} checkpoints, {trial_failures} trial failures)",
+         {checkpoints} checkpoints, {trial_failures} trial failures, {deadline_exceeded} \
+         deadline overruns, {stalls} stalls, {faults} injected faults)",
         events.len()
     );
 }

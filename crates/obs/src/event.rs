@@ -140,6 +140,45 @@ pub struct CheckpointEvent {
     pub total: usize,
 }
 
+/// A trial overran its wall-clock deadline and was abandoned by the
+/// watchdog. Always accompanied by a `trial_failed` event for the same
+/// `(trial, attempt)` — this event carries the guard-specific context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialDeadlineExceeded {
+    /// Zero-based index of the trial within its ensemble/campaign.
+    pub trial: usize,
+    /// 1-based attempt number that timed out.
+    pub attempt: usize,
+    /// The derived seed the abandoned attempt ran with.
+    pub seed: u64,
+    /// The configured deadline, in seconds.
+    pub seconds: f64,
+}
+
+/// A GA run was terminated by the stall detector: `stall_gens`
+/// generations passed without strict best-fitness improvement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaStalled {
+    /// Run identifier (the synthesis seed, as 16 lowercase hex digits).
+    pub run: String,
+    /// The generation the run stopped after.
+    pub generation: usize,
+    /// The configured stall window that was exhausted.
+    pub stall_gens: usize,
+    /// Best cost at the stall point.
+    pub best: f64,
+}
+
+/// A `cold-fault` injection site fired. Chaos-run journals carry one of
+/// these per injected fault, making the chaos schedule auditable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjected {
+    /// The injection-site name (e.g. `"eval.nan"`).
+    pub site: String,
+    /// 1-based hit index at which the site fired.
+    pub hit: u64,
+}
+
 /// Any line of a run journal.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -157,6 +196,12 @@ pub enum Event {
     TrialFailed(TrialFailed),
     /// `{"event":"checkpoint",...}`
     Checkpoint(CheckpointEvent),
+    /// `{"event":"trial_deadline_exceeded",...}`
+    TrialDeadlineExceeded(TrialDeadlineExceeded),
+    /// `{"event":"ga_stalled",...}`
+    GaStalled(GaStalled),
+    /// `{"event":"fault_injected",...}`
+    FaultInjected(FaultInjected),
 }
 
 /// Formats a run seed as the journal's 16-hex-digit run identifier.
@@ -175,6 +220,9 @@ impl Event {
             Event::Metrics(_) => "metrics",
             Event::TrialFailed(_) => "trial_failed",
             Event::Checkpoint(_) => "checkpoint",
+            Event::TrialDeadlineExceeded(_) => "trial_deadline_exceeded",
+            Event::GaStalled(_) => "ga_stalled",
+            Event::FaultInjected(_) => "fault_injected",
         }
     }
 
@@ -256,6 +304,25 @@ impl Event {
                 "path": e.path,
                 "completed": e.completed,
                 "total": e.total,
+            }),
+            Event::TrialDeadlineExceeded(e) => json!({
+                "event": "trial_deadline_exceeded",
+                "trial": e.trial,
+                "attempt": e.attempt,
+                "seed": e.seed,
+                "seconds": e.seconds,
+            }),
+            Event::GaStalled(e) => json!({
+                "event": "ga_stalled",
+                "run": e.run,
+                "generation": e.generation,
+                "stall_gens": e.stall_gens,
+                "best": e.best,
+            }),
+            Event::FaultInjected(e) => json!({
+                "event": "fault_injected",
+                "site": e.site,
+                "hit": e.hit,
             }),
         }
     }
@@ -344,6 +411,22 @@ impl Event {
                 path: str_field(obj, "path")?,
                 completed: usize_field(obj, "completed")?,
                 total: usize_field(obj, "total")?,
+            })),
+            "trial_deadline_exceeded" => Ok(Event::TrialDeadlineExceeded(TrialDeadlineExceeded {
+                trial: usize_field(obj, "trial")?,
+                attempt: usize_field(obj, "attempt")?,
+                seed: u64_field(obj, "seed")?,
+                seconds: f64_field(obj, "seconds")?,
+            })),
+            "ga_stalled" => Ok(Event::GaStalled(GaStalled {
+                run: str_field(obj, "run")?,
+                generation: usize_field(obj, "generation")?,
+                stall_gens: usize_field(obj, "stall_gens")?,
+                best: f64_field(obj, "best")?,
+            })),
+            "fault_injected" => Ok(Event::FaultInjected(FaultInjected {
+                site: str_field(obj, "site")?,
+                hit: u64_field(obj, "hit")?,
             })),
             other => Err(format!("unknown event kind `{other}`")),
         }
@@ -453,6 +536,19 @@ mod tests {
                 completed: 4,
                 total: 16,
             }),
+            Event::TrialDeadlineExceeded(TrialDeadlineExceeded {
+                trial: 7,
+                attempt: 2,
+                seed: u64::MAX,
+                seconds: 30.0,
+            }),
+            Event::GaStalled(GaStalled {
+                run: run_id(0xC01D),
+                generation: 57,
+                stall_gens: 25,
+                best: 101.5,
+            }),
+            Event::FaultInjected(FaultInjected { site: "eval.nan".into(), hit: 12 }),
         ]
     }
 

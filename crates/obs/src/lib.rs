@@ -44,8 +44,9 @@ mod event;
 pub mod registry;
 
 pub use event::{
-    parse_journal, run_id, CheckpointEvent, Event, GenerationEvent, GenerationObserver,
-    GenerationRecord, MetricsEvent, RunEnd, RunStart, SpanEvent, TrialFailed,
+    parse_journal, run_id, CheckpointEvent, Event, FaultInjected, GaStalled, GenerationEvent,
+    GenerationObserver, GenerationRecord, MetricsEvent, RunEnd, RunStart, SpanEvent,
+    TrialDeadlineExceeded, TrialFailed,
 };
 pub use registry::{
     counter_add, observe_seconds, reset, set_timers_enabled, snapshot, span, timer, timers_enabled,
@@ -239,6 +240,17 @@ fn progress_line(event: &Event) -> String {
         ),
         Event::Checkpoint(e) => {
             format!("[cold] checkpoint {}/{} trials -> {}", e.completed, e.total, e.path)
+        }
+        Event::TrialDeadlineExceeded(e) => format!(
+            "[cold] trial {} attempt {} DEADLINE EXCEEDED ({}s, seed {:#x})",
+            e.trial, e.attempt, e.seconds, e.seed
+        ),
+        Event::GaStalled(e) => format!(
+            "[cold] run {} STALLED at gen {}: no improvement in {} generations (best {:.3})",
+            e.run, e.generation, e.stall_gens, e.best
+        ),
+        Event::FaultInjected(e) => {
+            format!("[cold] fault {} injected at hit {}", e.site, e.hit)
         }
         Event::Metrics(e) => {
             let mut out = String::from("[cold] metrics:");

@@ -95,6 +95,59 @@ fn journal_records_one_event_per_generation_and_round_trips() {
 }
 
 #[test]
+fn guard_and_fault_events_round_trip_through_the_journal() {
+    let _guard = telemetry_lock();
+    let path = temp_journal("guard-events");
+    cold_obs::configure(TraceMode::Journal(path.clone())).expect("journal sink");
+    cold_obs::emit(&Event::TrialDeadlineExceeded(cold_obs::TrialDeadlineExceeded {
+        trial: 3,
+        attempt: 2,
+        seed: u64::MAX,
+        seconds: 0.25,
+    }));
+    cold_obs::emit(&Event::GaStalled(cold_obs::GaStalled {
+        run: cold_obs::run_id(0xBEEF),
+        generation: 57,
+        stall_gens: 25,
+        best: 101.5,
+    }));
+    cold_obs::emit(&Event::FaultInjected(cold_obs::FaultInjected {
+        site: "eval.nan".into(),
+        hit: 12,
+    }));
+    cold_obs::configure(TraceMode::Off).expect("disable sink");
+
+    let text = std::fs::read_to_string(&path).expect("journal written");
+    let events = parse_journal(&text).expect("every line is a valid event");
+    assert_eq!(events.len(), 3);
+    match &events[0] {
+        Event::TrialDeadlineExceeded(d) => {
+            assert_eq!((d.trial, d.attempt, d.seed), (3, 2, u64::MAX));
+            assert_eq!(d.seconds, 0.25);
+        }
+        other => panic!("expected trial_deadline_exceeded, got {other:?}"),
+    }
+    match &events[1] {
+        Event::GaStalled(s) => {
+            assert_eq!((s.generation, s.stall_gens), (57, 25));
+            assert_eq!(s.best, 101.5);
+        }
+        other => panic!("expected ga_stalled, got {other:?}"),
+    }
+    match &events[2] {
+        Event::FaultInjected(f) => assert_eq!((f.site.as_str(), f.hit), ("eval.nan", 12)),
+        other => panic!("expected fault_injected, got {other:?}"),
+    }
+    // One serialize→parse→serialize cycle is a fixed point.
+    for event in &events {
+        let line = event.to_json_line();
+        let reparsed = parse_journal(&line).expect("re-serialized event parses");
+        assert_eq!(reparsed[0].to_json_line(), line);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn tracing_does_not_perturb_synthesis() {
     let _guard = telemetry_lock();
     cold_obs::configure(TraceMode::Off).expect("start untraced");
