@@ -14,7 +14,7 @@
 //! previous snapshot intact, never a truncated one. See DESIGN.md §10.
 
 use crate::error::ColdError;
-use crate::synthesizer::{ColdConfig, SynthesisResult};
+use crate::synthesizer::{ColdConfig, ProgressSink, SynthesisResult, RETRY_SALT};
 use cold_context::rng::derive_seed;
 use cold_cost::Network;
 use cold_graph::AdjacencyMatrix;
@@ -426,6 +426,62 @@ pub fn run_campaign(
     checkpoint_path: &Path,
     resume: Option<CampaignCheckpoint>,
     trial_deadline: Option<std::time::Duration>,
+    on_trial: impl FnMut(usize, &SynthesisResult),
+) -> Result<Vec<SynthesisResult>, ColdError> {
+    run_campaign_controlled(
+        config,
+        master_seed,
+        count,
+        checkpoint_every,
+        checkpoint_path,
+        resume,
+        trial_deadline,
+        CampaignControl::default(),
+        on_trial,
+    )
+}
+
+/// Runtime control surface of [`run_campaign_controlled`] — everything a
+/// long-lived driver (the `cold-serve` worker pool) layers on top of the
+/// plain CLI campaign.
+#[derive(Default)]
+pub struct CampaignControl<'a> {
+    /// Live per-generation progress callback, forwarded into each fresh
+    /// trial's GA run (see [`ProgressSink`]). Rebuilt trials report no
+    /// generations — they never re-run the GA.
+    pub progress: Option<ProgressSink>,
+    /// Graceful-drain flag, checked *between* trials: when set, the
+    /// campaign snapshots its completed prefix and returns
+    /// [`ColdError::Canceled`]. The trial in flight when the flag flips
+    /// always runs to completion — cancellation never corrupts a trial.
+    pub cancel: Option<&'a std::sync::atomic::AtomicBool>,
+    /// Retry each failed trial once on the salted seed
+    /// `derive_seed(derive_seed(master_seed, RETRY_SALT), trial)` — the
+    /// exact derivation [`ColdConfig::synthesize_ensemble`] uses — before
+    /// giving up. Failed attempts are journaled as `trial_failed`; the
+    /// retry's seed is recorded in the trial's [`TrialRecord`], so
+    /// checkpoints of retried campaigns resume correctly.
+    pub retry_salted: bool,
+}
+
+/// [`run_campaign`] with a [`CampaignControl`]: live progress, graceful
+/// cancellation, and ensemble-style salted retries. `cold-serve` runs
+/// every job through this path; `run_campaign` itself delegates here
+/// with the default (no-op) control, so the CLI behavior is unchanged.
+///
+/// # Errors
+/// Everything [`run_campaign`] can return, plus [`ColdError::Canceled`]
+/// when the control's cancel flag stops the campaign between trials.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_controlled(
+    config: &ColdConfig,
+    master_seed: u64,
+    count: usize,
+    checkpoint_every: usize,
+    checkpoint_path: &Path,
+    resume: Option<CampaignCheckpoint>,
+    trial_deadline: Option<std::time::Duration>,
+    control: CampaignControl<'_>,
     mut on_trial: impl FnMut(usize, &SynthesisResult),
 ) -> Result<Vec<SynthesisResult>, ColdError> {
     if checkpoint_every == 0 {
@@ -445,24 +501,77 @@ pub fn run_campaign(
         on_trial(record.trial, &r);
         results.push(r);
     }
+    let save_snapshot = |records: &Vec<TrialRecord>, completed: usize| -> Result<(), ColdError> {
+        let snapshot =
+            CampaignCheckpoint { config: *config, master_seed, count, records: records.clone() };
+        snapshot.save(checkpoint_path)?;
+        if cold_obs::is_enabled() {
+            cold_obs::emit(&cold_obs::Event::Checkpoint(cold_obs::CheckpointEvent {
+                path: checkpoint_path.display().to_string(),
+                completed,
+                total: count,
+            }));
+        }
+        Ok(())
+    };
+    let canceled =
+        || control.cancel.is_some_and(|flag| flag.load(std::sync::atomic::Ordering::SeqCst));
     for i in results.len()..count {
-        let seed = derive_seed(master_seed, i as u64);
-        let r = match trial_deadline {
-            None => config.try_synthesize(seed)?,
-            Some(d) => crate::synthesizer::run_with_deadline(config, seed, d).inspect_err(|e| {
-                if cold_obs::is_enabled() {
-                    if let ColdError::DeadlineExceeded { seconds } = e {
-                        cold_obs::emit(&cold_obs::Event::TrialDeadlineExceeded(
-                            cold_obs::TrialDeadlineExceeded {
-                                trial: i,
-                                attempt: 1,
-                                seed,
-                                seconds: *seconds,
-                            },
-                        ));
-                    }
+        if canceled() {
+            // Drain: make the completed prefix durable even when the
+            // cancel lands off the checkpoint cadence.
+            if !records.is_empty() {
+                save_snapshot(&records, results.len())?;
+            }
+            return Err(ColdError::Canceled { completed: results.len() });
+        }
+        let attempts: usize = if control.retry_salted { 2 } else { 1 };
+        let mut trial_outcome: Option<(u64, SynthesisResult)> = None;
+        let mut last_err: Option<ColdError> = None;
+        for attempt in 1..=attempts {
+            let seed = if attempt == 1 {
+                derive_seed(master_seed, i as u64)
+            } else {
+                derive_seed(derive_seed(master_seed, RETRY_SALT), i as u64)
+            };
+            let outcome = match trial_deadline {
+                None => config.try_synthesize_progress(seed, control.progress.clone()),
+                Some(d) => {
+                    crate::synthesizer::run_with_deadline(config, seed, d, control.progress.clone())
                 }
-            })?,
+            };
+            match outcome {
+                Ok(r) => {
+                    trial_outcome = Some((seed, r));
+                    break;
+                }
+                Err(e) => {
+                    if cold_obs::is_enabled() {
+                        if let ColdError::DeadlineExceeded { seconds } = &e {
+                            cold_obs::emit(&cold_obs::Event::TrialDeadlineExceeded(
+                                cold_obs::TrialDeadlineExceeded {
+                                    trial: i,
+                                    attempt,
+                                    seed,
+                                    seconds: *seconds,
+                                },
+                            ));
+                        }
+                        if control.retry_salted {
+                            cold_obs::emit(&cold_obs::Event::TrialFailed(cold_obs::TrialFailed {
+                                trial: i,
+                                attempt,
+                                seed,
+                                error: e.to_string(),
+                            }));
+                        }
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        let Some((seed, r)) = trial_outcome else {
+            return Err(last_err.expect("a failed trial always records its error"));
         };
         records.push(TrialRecord::from_result(i, seed, &r));
         let completed = i + 1;
@@ -470,20 +579,7 @@ pub fn run_campaign(
         // CLI's --halt-after does exactly that) still leaves the trial it
         // just observed recoverable on disk.
         if completed % checkpoint_every == 0 && completed < count {
-            let snapshot = CampaignCheckpoint {
-                config: *config,
-                master_seed,
-                count,
-                records: records.clone(),
-            };
-            snapshot.save(checkpoint_path)?;
-            if cold_obs::is_enabled() {
-                cold_obs::emit(&cold_obs::Event::Checkpoint(cold_obs::CheckpointEvent {
-                    path: checkpoint_path.display().to_string(),
-                    completed,
-                    total: count,
-                }));
-            }
+            save_snapshot(&records, completed)?;
         }
         on_trial(i, &r);
         results.push(r);

@@ -33,6 +33,13 @@ pub enum ColdError {
         /// The configured deadline, in seconds.
         seconds: f64,
     },
+    /// A controlled campaign was asked to stop between trials (graceful
+    /// drain). Completed trials are already checkpointed, so a resume
+    /// picks up exactly where the cancel landed.
+    Canceled {
+        /// Trials completed (and checkpointed) before the cancel.
+        completed: usize,
+    },
 }
 
 impl fmt::Display for ColdError {
@@ -45,6 +52,9 @@ impl fmt::Display for ColdError {
             ColdError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
             ColdError::DeadlineExceeded { seconds } => {
                 write!(f, "trial exceeded its {seconds}s wall-clock deadline")
+            }
+            ColdError::Canceled { completed } => {
+                write!(f, "campaign canceled after {completed} completed trial(s)")
             }
         }
     }
@@ -101,6 +111,7 @@ mod tests {
                 "checkpoint I/O failed",
             ),
             (ColdError::DeadlineExceeded { seconds: 30.0 }, "wall-clock deadline"),
+            (ColdError::Canceled { completed: 2 }, "canceled after 2"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

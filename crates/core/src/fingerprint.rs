@@ -1,0 +1,183 @@
+//! Canonical configuration fingerprints.
+//!
+//! `cold-serve`'s result cache and the campaign checkpoints both need a
+//! *stable identity* for "the same synthesis request": two semantically
+//! equal [`ColdConfig`]s must map to the same key no matter how their
+//! JSON form was produced (field order, whitespace, integer vs. float
+//! spelling of the same number). This module provides that identity as a
+//! 64-bit hash of a **canonical JSON** rendering:
+//!
+//! 1. serialize to the vendored `serde_json` [`Value`] tree,
+//! 2. recursively sort every object's keys,
+//! 3. print compactly (no whitespace, shortest round-trip floats),
+//! 4. hash the UTF-8 bytes with FNV-1a (64-bit).
+//!
+//! The hash is *not* cryptographic — it guards cache identity against
+//! accidents, not adversaries, which is all a result cache keyed by the
+//! caller's own config needs. Collisions are detectable downstream
+//! because the cache stores the full config alongside the result.
+
+use crate::synthesizer::ColdConfig;
+use serde::Serialize as _;
+use serde_json::Value;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Hashes a byte string with 64-bit FNV-1a.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Returns a copy of `v` with every object's keys sorted, recursively.
+/// Arrays keep their order (array order is semantically meaningful).
+fn sort_keys(v: &Value) -> Value {
+    match v {
+        Value::Object(map) => {
+            let mut entries: Vec<(&String, &Value)> = map.iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            let mut out = serde_json::Map::new();
+            for (k, val) in entries {
+                out.insert(k.clone(), sort_keys(val));
+            }
+            Value::Object(out)
+        }
+        Value::Array(items) => Value::Array(items.iter().map(sort_keys).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Renders a JSON value in canonical form: object keys sorted
+/// recursively, compact output, shortest round-trip float formatting.
+/// Two [`Value`] trees that differ only in object key order produce
+/// byte-identical canonical text.
+pub fn canonical_json(v: &Value) -> String {
+    serde_json::to_string(&sort_keys(v)).expect("Value serialization is infallible")
+}
+
+/// The canonical 64-bit fingerprint of any JSON value (FNV-1a over
+/// [`canonical_json`]).
+pub fn value_fingerprint(v: &Value) -> u64 {
+    fnv1a64(canonical_json(v).as_bytes())
+}
+
+impl ColdConfig {
+    /// A canonical, order-stable 64-bit fingerprint of this
+    /// configuration: equal configs — including configs reconstructed
+    /// from JSON with reordered fields — fingerprint equal, and any
+    /// semantic change (a different `n`, `k2`, GA setting, mode, …)
+    /// changes the fingerprint with overwhelming probability.
+    ///
+    /// This is the identity `cold-serve` keys its content-addressed
+    /// result cache on (combined with the request seed and trial count
+    /// via [`job_fingerprint`]), and a compact alternative to the
+    /// field-by-field comparison in
+    /// [`CampaignCheckpoint::validate_against`](crate::CampaignCheckpoint::validate_against).
+    pub fn fingerprint(&self) -> u64 {
+        value_fingerprint(&self.to_json_value())
+    }
+}
+
+/// The cache identity of one synthesis *request*: the config fingerprint
+/// folded together with the master seed and trial count, again through
+/// canonical JSON so the derivation is documentable and re-implementable
+/// from the wire format alone.
+pub fn job_fingerprint(config: &ColdConfig, seed: u64, count: usize) -> u64 {
+    let v = serde_json::json!({
+        "config": config.to_json_value(),
+        "seed": seed,
+        "count": count,
+    });
+    value_fingerprint(&v)
+}
+
+/// Formats a fingerprint the way job ids and cache directories spell it:
+/// 16 lowercase hex digits.
+pub fn fingerprint_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn canonical_json_is_key_order_independent() {
+        let mut a = serde_json::Map::new();
+        a.insert("zeta".into(), json!(1));
+        a.insert("alpha".into(), json!({"y": 2, "x": [3, {"b": 4, "a": 5}]}));
+        let mut b = serde_json::Map::new();
+        b.insert("alpha".into(), json!({"x": [3, {"a": 5, "b": 4}], "y": 2}));
+        b.insert("zeta".into(), json!(1));
+        let (a, b) = (Value::Object(a), Value::Object(b));
+        assert_eq!(canonical_json(&a), canonical_json(&b));
+        assert_eq!(value_fingerprint(&a), value_fingerprint(&b));
+        // Array order stays significant.
+        assert_ne!(canonical_json(&json!([1, 2])), canonical_json(&json!([2, 1])));
+    }
+
+    #[test]
+    fn semantically_equal_configs_fingerprint_equal() {
+        let a = ColdConfig::quick(12, 4e-4, 10.0);
+        let b = ColdConfig::quick(12, 4e-4, 10.0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A config that round-trips through JSON keeps its fingerprint:
+        // this is what makes the fingerprint usable as a wire-level cache
+        // key (the server parses configs out of request bodies).
+        use serde::Deserialize as _;
+        let via_json = ColdConfig::from_json_value(&a.to_json_value()).expect("round trip");
+        assert_eq!(via_json, a);
+        assert_eq!(via_json.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn any_semantic_change_changes_the_fingerprint() {
+        let base = ColdConfig::quick(12, 4e-4, 10.0);
+        let fp = base.fingerprint();
+        let mut n = base;
+        n.context.n = 13;
+        assert_ne!(n.fingerprint(), fp, "n");
+        let mut k2 = base;
+        k2.params.k2 *= 2.0;
+        assert_ne!(k2.fingerprint(), fp, "k2");
+        let mut ga = base;
+        ga.ga.generations += 1;
+        assert_ne!(ga.fingerprint(), fp, "generations");
+        let mut mode = base;
+        mode.mode = crate::SynthesisMode::GaOnly;
+        assert_ne!(mode.fingerprint(), fp, "mode");
+        assert_ne!(ColdConfig::paper(12, 4e-4, 10.0).fingerprint(), fp, "paper vs quick");
+    }
+
+    #[test]
+    fn job_fingerprint_separates_seed_and_count() {
+        let cfg = ColdConfig::quick(10, 4e-4, 10.0);
+        let base = job_fingerprint(&cfg, 1, 2);
+        assert_eq!(job_fingerprint(&cfg, 1, 2), base, "deterministic");
+        assert_ne!(job_fingerprint(&cfg, 2, 2), base, "seed matters");
+        assert_ne!(job_fingerprint(&cfg, 1, 3), base, "count matters");
+        assert_ne!(cfg.fingerprint(), base, "job identity differs from bare config identity");
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fingerprint_hex_is_16_lowercase_digits() {
+        assert_eq!(fingerprint_hex(0xC01D), "000000000000c01d");
+        assert_eq!(fingerprint_hex(u64::MAX), "ffffffffffffffff");
+    }
+}

@@ -77,6 +77,7 @@ pub mod error;
 pub mod evolution;
 pub mod export;
 pub mod failure;
+pub mod fingerprint;
 pub mod graphml_in;
 pub mod inter_as;
 pub mod objective;
@@ -88,14 +89,17 @@ pub mod sweep;
 pub mod synthesizer;
 pub mod zoo;
 
-pub use checkpoint::{run_campaign, CampaignCheckpoint, TrialRecord};
+pub use checkpoint::{
+    run_campaign, run_campaign_controlled, CampaignCheckpoint, CampaignControl, TrialRecord,
+};
 pub use cold_ga::StopReason;
 pub use error::ColdError;
+pub use fingerprint::{canonical_json, fingerprint_hex, job_fingerprint, value_fingerprint};
 pub use objective::ColdObjective;
 pub use stats::NetworkStats;
 pub use synthesizer::{
-    join_abandoned_watchdog_threads, ColdConfig, EnsembleOutcome, SynthesisMode, SynthesisResult,
-    TrialFailure, TrialRunner, RETRY_SALT,
+    join_abandoned_watchdog_threads, ColdConfig, EnsembleOutcome, ProgressSink, SynthesisMode,
+    SynthesisResult, TrialFailure, TrialRunner, RETRY_SALT,
 };
 
 // Re-export the component crates so `cold` is a one-stop dependency.

@@ -31,6 +31,42 @@ pub const RETRY_SALT: u64 = 0x5245_5452; // "RETR"
 /// [`join_abandoned_watchdog_threads`].
 const HANG_MS: u64 = 2000;
 
+/// A thread-safe per-generation progress callback.
+///
+/// This is the serve-layer's live-progress hook: the GA engine already
+/// reports one read-only [`cold_obs::GenerationRecord`] per generation to
+/// its [`cold_obs::GenerationObserver`]; a `ProgressSink` receives the
+/// same records through an `Arc`d closure so it can cross the thread
+/// boundary of the deadline watchdog (the trace observer, by contrast,
+/// lives on the synthesis thread). Sinks must be cheap and read-only —
+/// they run on the synthesis thread between generations.
+pub type ProgressSink = std::sync::Arc<dyn Fn(&cold_obs::GenerationRecord) + Send + Sync>;
+
+/// Fans one generation record out to the trace observer (when telemetry
+/// is enabled) and an optional [`ProgressSink`] — the single observer
+/// slot `cold-ga` exposes, multiplexed.
+struct ObserverFanout {
+    trace: Option<cold_obs::TraceObserver>,
+    progress: Option<ProgressSink>,
+}
+
+impl ObserverFanout {
+    fn is_active(&self) -> bool {
+        self.trace.is_some() || self.progress.is_some()
+    }
+}
+
+impl cold_obs::GenerationObserver for ObserverFanout {
+    fn on_generation(&mut self, record: &cold_obs::GenerationRecord) {
+        if let Some(trace) = &mut self.trace {
+            trace.on_generation(record);
+        }
+        if let Some(sink) = &self.progress {
+            sink(record);
+        }
+    }
+}
+
 /// Watchdog-abandoned trial threads. [`run_with_deadline`] detaches the
 /// worker when the deadline fires (a scoped thread would have to be
 /// joined, wedging the caller on the very hang it guards against); the
@@ -68,12 +104,16 @@ pub(crate) fn run_with_deadline(
     cfg: &ColdConfig,
     seed: u64,
     deadline: std::time::Duration,
+    progress: Option<ProgressSink>,
 ) -> Result<SynthesisResult, ColdError> {
     let cfg = *cfg;
     let (tx, rx) = std::sync::mpsc::channel();
     let worker = std::thread::spawn(move || {
-        let outcome = catch_unwind(AssertUnwindSafe(|| cfg.try_synthesize(seed)))
-            .unwrap_or_else(|payload| Err(ColdError::TrialPanic(panic_message(payload.as_ref()))));
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| cfg.try_synthesize_progress(seed, progress)))
+                .unwrap_or_else(|payload| {
+                    Err(ColdError::TrialPanic(panic_message(payload.as_ref())))
+                });
         // The receiver is gone when the deadline already fired; the
         // result is then dropped with the thread.
         let _ = tx.send(outcome);
@@ -168,12 +208,26 @@ impl ColdConfig {
     /// and GA failures (e.g. a non-finite cost) surface as [`ColdError`]
     /// so ensemble drivers can record and retry the trial.
     pub fn try_synthesize(&self, seed: u64) -> Result<SynthesisResult, ColdError> {
+        self.try_synthesize_progress(seed, None)
+    }
+
+    /// [`try_synthesize`](Self::try_synthesize) with an optional live
+    /// per-generation [`ProgressSink`]. The sink is a strictly read-only
+    /// consumer of the same [`cold_obs::GenerationRecord`]s the trace
+    /// observer sees, so attaching one never changes the synthesized
+    /// network — `cold-serve` uses this to report job progress while a
+    /// synthesis runs.
+    pub fn try_synthesize_progress(
+        &self,
+        seed: u64,
+        progress: Option<ProgressSink>,
+    ) -> Result<SynthesisResult, ColdError> {
         self.validate()?;
         if cold_fault::armed() && cold_fault::should_fire("trial.hang") {
             std::thread::sleep(std::time::Duration::from_millis(HANG_MS));
         }
         let ctx = self.context.generate(derive_seed(seed, 0xC0));
-        self.try_synthesize_in_context(ctx, seed)
+        self.try_synthesize_in_context_progress(ctx, seed, progress)
     }
 
     /// Optimizes within an explicitly provided context (e.g. real PoP
@@ -199,6 +253,18 @@ impl ColdConfig {
         &self,
         ctx: Context,
         seed: u64,
+    ) -> Result<SynthesisResult, ColdError> {
+        self.try_synthesize_in_context_progress(ctx, seed, None)
+    }
+
+    /// [`try_synthesize_in_context`](Self::try_synthesize_in_context)
+    /// with an optional live per-generation [`ProgressSink`] (see
+    /// [`try_synthesize_progress`](Self::try_synthesize_progress)).
+    pub fn try_synthesize_in_context_progress(
+        &self,
+        ctx: Context,
+        seed: u64,
+        progress: Option<ProgressSink>,
     ) -> Result<SynthesisResult, ColdError> {
         let _span = cold_obs::span("core.synthesize");
         let traced = cold_obs::is_enabled();
@@ -231,8 +297,9 @@ impl ColdConfig {
         };
         let ga_settings = GaSettings { seed: derive_seed(seed, 0x6741), ..self.ga };
         let engine = GeneticAlgorithm::try_new(&objective, ga_settings)?;
-        let result = if traced {
-            let mut observer = cold_obs::TraceObserver::new(seed);
+        let mut observer =
+            ObserverFanout { trace: traced.then(|| cold_obs::TraceObserver::new(seed)), progress };
+        let result = if observer.is_active() {
             engine.try_run_traced(&seeds, Some(&mut observer))?
         } else {
             engine.try_run_traced(&seeds, None)?
@@ -329,7 +396,7 @@ impl ColdConfig {
         match deadline {
             None => self.synthesize_ensemble(master_seed, count),
             Some(d) => self.ensemble_with_runner(master_seed, count, &move |cfg, seed, _t, _a| {
-                run_with_deadline(cfg, seed, d)
+                run_with_deadline(cfg, seed, d, None)
             }),
         }
     }

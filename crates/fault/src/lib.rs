@@ -14,6 +14,7 @@
 //! | `ga.checkpoint_write_err` | `cold-ga::GaCheckpoint::save` | fails the snapshot write with `GaError::Checkpoint` |
 //! | `trial.hang`              | `cold::ColdConfig::try_synthesize` | sleeps long enough to trip the trial deadline watchdog |
 //! | `campaign.io_err`         | `cold::CampaignCheckpoint::save` | fails the campaign snapshot write with `ColdError::Io` |
+//! | `serve.worker_panic`      | `cold-serve` worker loop | panics inside a synthesis worker (caught; the job fails, the server survives) |
 //!
 //! ## Arming faults
 //!
@@ -63,13 +64,14 @@ use std::sync::{Mutex, Once};
 /// Every site name the workspace instruments. [`configure`] rejects
 /// schedules naming anything else, so a typo in `COLD_FAULTS` is an
 /// error, not a silently dead schedule.
-pub const SITES: [&str; 6] = [
+pub const SITES: [&str; 7] = [
     "eval.panic",
     "eval.nan",
     "eval.slow",
     "ga.checkpoint_write_err",
     "trial.hang",
     "campaign.io_err",
+    "serve.worker_panic",
 ];
 
 /// When a rule fires.

@@ -87,6 +87,9 @@ fn main() {
     let mut deadline_exceeded = 0usize;
     let mut stalls = 0usize;
     let mut faults = 0usize;
+    let mut jobs = 0usize;
+    let mut job_failures = 0usize;
+    let mut cache_hits = 0usize;
     let mut failures = Vec::new();
     for event in &events {
         match event {
@@ -151,6 +154,39 @@ fn main() {
                     failures.push(format!("fault {}: hit indices are 1-based", f.site));
                 }
             }
+            Event::JobSubmitted(j) => {
+                jobs += 1;
+                if j.count == 0 {
+                    failures.push(format!("job {}: trial count must be >= 1", j.id));
+                }
+                if j.id.len() != 16 || !j.id.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    failures.push(format!("job {}: id is not a 16-hex-digit fingerprint", j.id));
+                }
+            }
+            Event::JobStarted(_) => {}
+            Event::JobDone(j) => {
+                if !j.seconds.is_finite() || j.seconds < 0.0 {
+                    failures.push(format!(
+                        "job {}: duration {} must be a non-negative number of seconds",
+                        j.id, j.seconds
+                    ));
+                }
+            }
+            Event::JobFailed(j) => {
+                job_failures += 1;
+                if j.error.is_empty() {
+                    failures.push(format!("job {}: failed without an error message", j.id));
+                }
+            }
+            Event::CacheHit(c) => {
+                cache_hits += 1;
+                if c.kind != "result" && c.kind != "inflight" {
+                    failures.push(format!(
+                        "job {}: cache hit kind `{}` is not `result` or `inflight`",
+                        c.id, c.kind
+                    ));
+                }
+            }
             Event::Span(_) | Event::Metrics(_) => {}
         }
     }
@@ -178,7 +214,8 @@ fn main() {
     println!(
         "journal-check: {path}: OK ({} events, {runs} runs, {generations} generation traces, \
          {checkpoints} checkpoints, {trial_failures} trial failures, {deadline_exceeded} \
-         deadline overruns, {stalls} stalls, {faults} injected faults)",
+         deadline overruns, {stalls} stalls, {faults} injected faults, {jobs} jobs, \
+         {job_failures} job failures, {cache_hits} cache hits)",
         events.len()
     );
 }

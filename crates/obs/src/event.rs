@@ -179,6 +179,63 @@ pub struct FaultInjected {
     pub hit: u64,
 }
 
+/// A synthesis job entered the `cold-serve` queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSubmitted {
+    /// Content-addressed job id (16 hex digits — the canonical config
+    /// fingerprint, see `cold::job_fingerprint`).
+    pub id: String,
+    /// Number of PoPs in the requested config.
+    pub n: usize,
+    /// Trials (networks) the job will synthesize.
+    pub count: usize,
+    /// Master seed of the request.
+    pub seed: u64,
+}
+
+/// A `cold-serve` worker picked a job up from the queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStarted {
+    /// Content-addressed job id.
+    pub id: String,
+    /// Trials rebuilt from a campaign checkpoint instead of re-run — a
+    /// restarted server resuming an interrupted job reports how much
+    /// work the checkpoint saved here.
+    pub resumed: usize,
+}
+
+/// A `cold-serve` job completed and its result entered the cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobDone {
+    /// Content-addressed job id.
+    pub id: String,
+    /// Trials synthesized (or rebuilt) for the result.
+    pub trials: usize,
+    /// Wall-clock seconds from worker pickup to cached result.
+    pub seconds: f64,
+}
+
+/// A `cold-serve` job failed (synthesis error, worker panic, or a lost
+/// trial after the salted retry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobFailed {
+    /// Content-addressed job id.
+    pub id: String,
+    /// Human-readable failure description.
+    pub error: String,
+}
+
+/// A `cold-serve` submission was answered from the content-addressed
+/// result cache (or coalesced onto an identical in-flight job).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheHit {
+    /// Content-addressed job id.
+    pub id: String,
+    /// `"result"` when served from the on-disk cache, `"inflight"` when
+    /// coalesced onto a queued/running identical job.
+    pub kind: String,
+}
+
 /// Any line of a run journal.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -202,6 +259,16 @@ pub enum Event {
     GaStalled(GaStalled),
     /// `{"event":"fault_injected",...}`
     FaultInjected(FaultInjected),
+    /// `{"event":"job_submitted",...}`
+    JobSubmitted(JobSubmitted),
+    /// `{"event":"job_started",...}`
+    JobStarted(JobStarted),
+    /// `{"event":"job_done",...}`
+    JobDone(JobDone),
+    /// `{"event":"job_failed",...}`
+    JobFailed(JobFailed),
+    /// `{"event":"cache_hit",...}`
+    CacheHit(CacheHit),
 }
 
 /// Formats a run seed as the journal's 16-hex-digit run identifier.
@@ -223,6 +290,11 @@ impl Event {
             Event::TrialDeadlineExceeded(_) => "trial_deadline_exceeded",
             Event::GaStalled(_) => "ga_stalled",
             Event::FaultInjected(_) => "fault_injected",
+            Event::JobSubmitted(_) => "job_submitted",
+            Event::JobStarted(_) => "job_started",
+            Event::JobDone(_) => "job_done",
+            Event::JobFailed(_) => "job_failed",
+            Event::CacheHit(_) => "cache_hit",
         }
     }
 
@@ -323,6 +395,34 @@ impl Event {
                 "event": "fault_injected",
                 "site": e.site,
                 "hit": e.hit,
+            }),
+            Event::JobSubmitted(e) => json!({
+                "event": "job_submitted",
+                "id": e.id,
+                "n": e.n,
+                "count": e.count,
+                "seed": e.seed,
+            }),
+            Event::JobStarted(e) => json!({
+                "event": "job_started",
+                "id": e.id,
+                "resumed": e.resumed,
+            }),
+            Event::JobDone(e) => json!({
+                "event": "job_done",
+                "id": e.id,
+                "trials": e.trials,
+                "seconds": e.seconds,
+            }),
+            Event::JobFailed(e) => json!({
+                "event": "job_failed",
+                "id": e.id,
+                "error": e.error,
+            }),
+            Event::CacheHit(e) => json!({
+                "event": "cache_hit",
+                "id": e.id,
+                "kind": e.kind,
             }),
         }
     }
@@ -427,6 +527,29 @@ impl Event {
             "fault_injected" => Ok(Event::FaultInjected(FaultInjected {
                 site: str_field(obj, "site")?,
                 hit: u64_field(obj, "hit")?,
+            })),
+            "job_submitted" => Ok(Event::JobSubmitted(JobSubmitted {
+                id: str_field(obj, "id")?,
+                n: usize_field(obj, "n")?,
+                count: usize_field(obj, "count")?,
+                seed: u64_field(obj, "seed")?,
+            })),
+            "job_started" => Ok(Event::JobStarted(JobStarted {
+                id: str_field(obj, "id")?,
+                resumed: usize_field(obj, "resumed")?,
+            })),
+            "job_done" => Ok(Event::JobDone(JobDone {
+                id: str_field(obj, "id")?,
+                trials: usize_field(obj, "trials")?,
+                seconds: f64_field(obj, "seconds")?,
+            })),
+            "job_failed" => Ok(Event::JobFailed(JobFailed {
+                id: str_field(obj, "id")?,
+                error: str_field(obj, "error")?,
+            })),
+            "cache_hit" => Ok(Event::CacheHit(CacheHit {
+                id: str_field(obj, "id")?,
+                kind: str_field(obj, "kind")?,
             })),
             other => Err(format!("unknown event kind `{other}`")),
         }
@@ -549,6 +672,19 @@ mod tests {
                 best: 101.5,
             }),
             Event::FaultInjected(FaultInjected { site: "eval.nan".into(), hit: 12 }),
+            Event::JobSubmitted(JobSubmitted {
+                id: "00c0ffee00c0ffee".into(),
+                n: 12,
+                count: 4,
+                seed: u64::MAX,
+            }),
+            Event::JobStarted(JobStarted { id: "00c0ffee00c0ffee".into(), resumed: 2 }),
+            Event::JobDone(JobDone { id: "00c0ffee00c0ffee".into(), trials: 4, seconds: 1.75 }),
+            Event::JobFailed(JobFailed {
+                id: "00c0ffee00c0ffee".into(),
+                error: "trial panicked: injected".into(),
+            }),
+            Event::CacheHit(CacheHit { id: "00c0ffee00c0ffee".into(), kind: "result".into() }),
         ]
     }
 

@@ -44,9 +44,9 @@ mod event;
 pub mod registry;
 
 pub use event::{
-    parse_journal, run_id, CheckpointEvent, Event, FaultInjected, GaStalled, GenerationEvent,
-    GenerationObserver, GenerationRecord, MetricsEvent, RunEnd, RunStart, SpanEvent,
-    TrialDeadlineExceeded, TrialFailed,
+    parse_journal, run_id, CacheHit, CheckpointEvent, Event, FaultInjected, GaStalled,
+    GenerationEvent, GenerationObserver, GenerationRecord, JobDone, JobFailed, JobStarted,
+    JobSubmitted, MetricsEvent, RunEnd, RunStart, SpanEvent, TrialDeadlineExceeded, TrialFailed,
 };
 pub use registry::{
     counter_add, observe_seconds, reset, set_timers_enabled, snapshot, span, timer, timers_enabled,
@@ -252,6 +252,17 @@ fn progress_line(event: &Event) -> String {
         Event::FaultInjected(e) => {
             format!("[cold] fault {} injected at hit {}", e.site, e.hit)
         }
+        Event::JobSubmitted(e) => {
+            format!("[cold] job {} submitted: n={} count={} seed {:#x}", e.id, e.n, e.count, e.seed)
+        }
+        Event::JobStarted(e) => {
+            format!("[cold] job {} started ({} trial(s) resumed)", e.id, e.resumed)
+        }
+        Event::JobDone(e) => {
+            format!("[cold] job {} done: {} trials in {:.3}s", e.id, e.trials, e.seconds)
+        }
+        Event::JobFailed(e) => format!("[cold] job {} FAILED: {}", e.id, e.error),
+        Event::CacheHit(e) => format!("[cold] job {} cache hit ({})", e.id, e.kind),
         Event::Metrics(e) => {
             let mut out = String::from("[cold] metrics:");
             for (name, m) in &e.metrics {

@@ -1,0 +1,308 @@
+//! `cold-loadgen` — closed-loop load generator for `cold-serve`.
+//!
+//! ```sh
+//! cold-loadgen --addr 127.0.0.1:8093 --clients 4 --jobs 16 --distinct 4
+//! cold-loadgen --addr 127.0.0.1:8093 --rps 50 --jobs 200
+//! ```
+//!
+//! `--jobs` submissions are spread over `--clients` closed-loop clients;
+//! seeds cycle through `--distinct` values, so the run exercises all
+//! three service paths at once: cold synthesis (first submission of each
+//! seed), in-flight deduplication (resubmission while the first is
+//! running), and result-cache hits (resubmission after completion). Each
+//! client polls its job to completion and records submit and end-to-end
+//! latencies; the tool prints a latency histogram and per-path counts,
+//! and exits 1 if any job failed.
+
+use cold::ColdConfig;
+use cold_serve::http::client_request;
+use serde::Serialize as _;
+use serde_json::Value;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "cold-loadgen — closed-loop load generator for cold-serve
+
+USAGE:
+    cold-loadgen --addr <HOST:PORT> [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>   cold-serve address (required)
+    --clients <N>        concurrent closed-loop clients (default 4)
+    --jobs <N>           total submissions across all clients (default 16)
+    --distinct <K>       distinct seeds cycled through (default 4)
+    --n <POPS>           PoPs per synthesized network (default 8)
+    --count <N>          ensemble trials per job (default 1)
+    --seed <BASE>        base seed; job i uses BASE + (i mod K) (default 0)
+    --rps <R>            target submissions/second across clients (default unpaced)
+    --poll-ms <MS>       status poll interval (default 25)
+    -h, --help           show this help
+";
+
+#[derive(Clone)]
+struct Opts {
+    addr: String,
+    clients: usize,
+    jobs: usize,
+    distinct: usize,
+    n: usize,
+    count: usize,
+    seed: u64,
+    rps: Option<f64>,
+    poll_ms: u64,
+}
+
+#[derive(Default)]
+struct Tally {
+    accepted: usize,
+    cached: usize,
+    deduplicated: usize,
+    rejected: usize,
+    failed: usize,
+    submit_latencies: Vec<f64>,
+    e2e_latencies: Vec<f64>,
+}
+
+fn main() {
+    let opts = parse_args();
+    let bodies: Vec<String> = (0..opts.distinct)
+        .map(|k| {
+            let config = ColdConfig::quick(opts.n, 4e-4, 10.0);
+            let doc = serde_json::json!({
+                "config": config.to_json_value(),
+                "seed": opts.seed + k as u64,
+                "count": opts.count,
+            });
+            serde_json::to_string(&doc).expect("job body serializes")
+        })
+        .collect();
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let tally = Arc::new(Mutex::new(Tally::default()));
+    let started = Instant::now();
+
+    let mut handles = Vec::new();
+    for _ in 0..opts.clients.max(1) {
+        let opts = opts.clone();
+        let bodies = bodies.clone();
+        let next = Arc::clone(&next);
+        let tally = Arc::clone(&tally);
+        handles
+            .push(std::thread::spawn(move || run_client(&opts, &bodies, &next, &tally, started)));
+    }
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let tally = Arc::try_unwrap(tally).ok().expect("clients done").into_inner().expect("tally");
+    report(&tally, opts.jobs, elapsed);
+    if tally.failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn run_client(
+    opts: &Opts,
+    bodies: &[String],
+    next: &AtomicUsize,
+    tally: &Mutex<Tally>,
+    started: Instant,
+) {
+    loop {
+        let i = next.fetch_add(1, Ordering::SeqCst);
+        if i >= opts.jobs {
+            return;
+        }
+        // Open-loop pacing when --rps is set: submission i is scheduled
+        // at i/R seconds into the run.
+        if let Some(rps) = opts.rps {
+            let due = started + Duration::from_secs_f64(i as f64 / rps);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let body = &bodies[i % bodies.len()];
+
+        // Submit, honoring Retry-After on backpressure.
+        let submit_start = Instant::now();
+        let (id, outcome) = loop {
+            let resp = match client_request(&opts.addr, "POST", "/jobs", Some(body)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("cold-loadgen: submit failed: {e}");
+                    tally.lock().expect("tally").failed += 1;
+                    return;
+                }
+            };
+            if resp.status == 503 {
+                tally.lock().expect("tally").rejected += 1;
+                let secs: f64 =
+                    resp.header("retry-after").and_then(|v| v.parse().ok()).unwrap_or(1.0);
+                std::thread::sleep(Duration::from_secs_f64(secs.min(5.0)));
+                continue;
+            }
+            let doc: Value = match serde_json::from_str(&resp.body) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("cold-loadgen: bad response body ({e}): {}", resp.body);
+                    tally.lock().expect("tally").failed += 1;
+                    return;
+                }
+            };
+            let id = doc["id"].as_str().unwrap_or_default().to_string();
+            let outcome = if doc["cached"].as_bool() == Some(true) {
+                "cached"
+            } else if doc["deduplicated"].as_bool() == Some(true) {
+                "deduplicated"
+            } else {
+                "accepted"
+            };
+            break (id, outcome);
+        };
+        let submit_secs = submit_start.elapsed().as_secs_f64();
+        {
+            let mut t = tally.lock().expect("tally");
+            t.submit_latencies.push(submit_secs);
+            match outcome {
+                "cached" => t.cached += 1,
+                "deduplicated" => t.deduplicated += 1,
+                _ => t.accepted += 1,
+            }
+        }
+
+        // Poll to completion (closed loop).
+        loop {
+            let resp = match client_request(&opts.addr, "GET", &format!("/jobs/{id}"), None) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("cold-loadgen: poll failed: {e}");
+                    tally.lock().expect("tally").failed += 1;
+                    return;
+                }
+            };
+            let doc: Value = serde_json::from_str(&resp.body).unwrap_or(Value::Null);
+            match doc["status"].as_str() {
+                Some("done") => break,
+                Some("failed") => {
+                    eprintln!(
+                        "cold-loadgen: job {id} failed: {}",
+                        doc["error"].as_str().unwrap_or("unknown")
+                    );
+                    tally.lock().expect("tally").failed += 1;
+                    return;
+                }
+                _ => std::thread::sleep(Duration::from_millis(opts.poll_ms)),
+            }
+        }
+        tally.lock().expect("tally").e2e_latencies.push(submit_start.elapsed().as_secs_f64());
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn report(tally: &Tally, jobs: usize, elapsed: f64) {
+    let mut submit = tally.submit_latencies.clone();
+    submit.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mut e2e = tally.e2e_latencies.clone();
+    e2e.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    println!("cold-loadgen: {jobs} submissions in {elapsed:.3}s ({:.1} jobs/s)", {
+        jobs as f64 / elapsed.max(1e-9)
+    });
+    println!(
+        "  paths: {} cold (accepted), {} deduplicated (in-flight), {} cached, \
+         {} rejected (503), {} failed",
+        tally.accepted, tally.deduplicated, tally.cached, tally.rejected, tally.failed
+    );
+    for (name, lat) in [("submit", &submit), ("end-to-end", &e2e)] {
+        if lat.is_empty() {
+            continue;
+        }
+        let mean = lat.iter().sum::<f64>() / lat.len() as f64;
+        println!(
+            "  {name} latency: mean {:.4}s p50 {:.4}s p90 {:.4}s p99 {:.4}s max {:.4}s",
+            mean,
+            percentile(lat, 50.0),
+            percentile(lat, 90.0),
+            percentile(lat, 99.0),
+            lat.last().copied().unwrap_or(0.0),
+        );
+    }
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        addr: String::new(),
+        clients: 4,
+        jobs: 16,
+        distinct: 4,
+        n: 8,
+        count: 1,
+        seed: 0,
+        rps: None,
+        poll_ms: 25,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value\n\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    let parse_or_usage = |flag: &str, v: String| -> u64 {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{flag}: integer expected\n\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = value(&mut args, "--addr"),
+            "--clients" => {
+                opts.clients = parse_or_usage("--clients", value(&mut args, "--clients")) as usize
+            }
+            "--jobs" => opts.jobs = parse_or_usage("--jobs", value(&mut args, "--jobs")) as usize,
+            "--distinct" => {
+                opts.distinct =
+                    (parse_or_usage("--distinct", value(&mut args, "--distinct")) as usize).max(1);
+            }
+            "--n" => opts.n = parse_or_usage("--n", value(&mut args, "--n")) as usize,
+            "--count" => {
+                opts.count = parse_or_usage("--count", value(&mut args, "--count")) as usize
+            }
+            "--seed" => opts.seed = parse_or_usage("--seed", value(&mut args, "--seed")),
+            "--rps" => {
+                let v = value(&mut args, "--rps");
+                opts.rps = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--rps: number expected\n\n{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
+            "--poll-ms" => {
+                opts.poll_ms = parse_or_usage("--poll-ms", value(&mut args, "--poll-ms"))
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unexpected argument `{other}`\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.addr.is_empty() {
+        eprintln!("--addr is required\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    opts
+}

@@ -1,0 +1,154 @@
+//! `cold-serve` — the COLD synthesis service.
+//!
+//! ```sh
+//! cold-serve --addr 127.0.0.1:0 --workers 2 --cache-dir runs/serve-cache
+//! cold-serve --journal runs/serve.jsonl --deadline 60
+//! cold-serve --faults serve.worker_panic:1 --faults-seed 7   # chaos smoke
+//! ```
+//!
+//! Prints `cold-serve listening on http://<addr>` (resolving ephemeral
+//! ports) on stdout once bound — scripts scrape that line. Drains
+//! gracefully on SIGTERM / SIGINT / `POST /admin/shutdown`: in-flight
+//! campaigns cancel at their next trial boundary with the completed
+//! prefix checkpointed, so restarting with the same `--cache-dir`
+//! resumes them.
+
+use cold_serve::{Server, ServerConfig};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const USAGE: &str = "cold-serve — COLD synthesis service
+
+USAGE:
+    cold-serve [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>      bind address (default 127.0.0.1:8093; port 0 = ephemeral)
+    --workers <N>           synthesis worker threads (default 2)
+    --http-threads <N>      HTTP handler threads (default 4)
+    --queue <N>             job queue capacity; full queue answers 503 (default 16)
+    --cache-dir <PATH>      content-addressed result cache (default cold-serve-cache)
+    --deadline <SECS>       per-trial wall-clock deadline (default none)
+    --journal <PATH>        append a JSONL event journal (job + synthesis events)
+    --faults <SPEC>         arm deterministic fault injection (COLD_FAULTS syntax)
+    --faults-seed <N>       seed for probabilistic fault triggers (default 0)
+    -h, --help              show this help
+";
+
+/// Set from the signal handler; polled by the main thread.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `on_signal` only performs an atomic store, which is
+    // async-signal-safe; `signal(2)` is in every libc std already links.
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+fn main() {
+    let mut config = ServerConfig { addr: "127.0.0.1:8093".into(), ..ServerConfig::default() };
+    let mut journal: Option<PathBuf> = None;
+    let mut faults: Option<String> = None;
+    let mut faults_seed = 0u64;
+
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value\n\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = value(&mut args, "--addr"),
+            "--workers" => {
+                config.workers = value(&mut args, "--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("--workers: integer expected\n\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--http-threads" => {
+                config.http_threads =
+                    value(&mut args, "--http-threads").parse().unwrap_or_else(|_| {
+                        eprintln!("--http-threads: integer expected\n\n{USAGE}");
+                        std::process::exit(2);
+                    });
+            }
+            "--queue" => {
+                config.queue_capacity = value(&mut args, "--queue").parse().unwrap_or_else(|_| {
+                    eprintln!("--queue: integer expected\n\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--cache-dir" => config.cache_dir = PathBuf::from(value(&mut args, "--cache-dir")),
+            "--deadline" => {
+                let secs: f64 = value(&mut args, "--deadline").parse().unwrap_or_else(|_| {
+                    eprintln!("--deadline: seconds expected\n\n{USAGE}");
+                    std::process::exit(2);
+                });
+                config.trial_deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--journal" => journal = Some(PathBuf::from(value(&mut args, "--journal"))),
+            "--faults" => faults = Some(value(&mut args, "--faults")),
+            "--faults-seed" => {
+                faults_seed = value(&mut args, "--faults-seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--faults-seed: integer expected\n\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unexpected argument `{other}`\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = &journal {
+        cold_obs::configure(cold_obs::TraceMode::Journal(path.clone()))
+            .unwrap_or_else(|e| panic!("--journal {}: {e}", path.display()));
+    }
+    if let Some(spec) = &faults {
+        cold_fault::configure(spec, faults_seed).unwrap_or_else(|e| {
+            eprintln!("--faults: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        });
+    }
+
+    install_signal_handlers();
+
+    let handle = match Server::start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cold-serve: startup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("cold-serve listening on http://{}", handle.local_addr());
+    std::io::stdout().flush().expect("stdout flush");
+
+    while !SIGNALED.load(Ordering::SeqCst) && !handle.is_draining() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("cold-serve: draining (campaigns cancel at their next trial boundary)");
+    handle.shutdown();
+    handle.join();
+    eprintln!("cold-serve: drained; unfinished jobs resume on restart");
+}

@@ -1,0 +1,154 @@
+//! The content-addressed result cache.
+//!
+//! Layout under the cache directory, one subdirectory per job id (the
+//! canonical [`cold::job_fingerprint`] in hex):
+//!
+//! ```text
+//! <cache_dir>/<id>/job.json     — the JobSpec, written at accept time
+//! <cache_dir>/<id>/ckpt.json    — the campaign checkpoint (while running)
+//! <cache_dir>/<id>/result.json  — the final result document (done jobs)
+//! ```
+//!
+//! `result.json` is written atomically (temp + rename), so its presence
+//! *is* the done-ness predicate: a job directory with `job.json` but no
+//! `result.json` is unfinished work that a restarted server re-enqueues
+//! and resumes from `ckpt.json`.
+
+use crate::job::JobSpec;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A handle on the on-disk cache directory.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache at `dir`.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(Self { dir: dir.to_path_buf() })
+    }
+
+    /// The job directory for `id`.
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.dir.join(id)
+    }
+
+    /// The campaign checkpoint path for `id`.
+    pub fn checkpoint_path(&self, id: &str) -> PathBuf {
+        self.job_dir(id).join("ckpt.json")
+    }
+
+    /// Persists the job spec (accept time).
+    ///
+    /// # Errors
+    /// Propagates I/O failures; the submit handler answers 503.
+    pub fn store_spec(&self, id: &str, spec: &JobSpec) -> io::Result<()> {
+        let dir = self.job_dir(id);
+        fs::create_dir_all(&dir)?;
+        let text = serde_json::to_string(&spec.to_value()).expect("spec serializes");
+        write_atomic(&dir.join("job.json"), text.as_bytes())
+    }
+
+    /// The cached result document for `id`, if the job completed.
+    pub fn lookup(&self, id: &str) -> Option<String> {
+        fs::read_to_string(self.job_dir(id).join("result.json")).ok()
+    }
+
+    /// Stores the final result document atomically.
+    ///
+    /// # Errors
+    /// Propagates I/O failures; the worker marks the job failed.
+    pub fn store_result(&self, id: &str, doc: &str) -> io::Result<()> {
+        let dir = self.job_dir(id);
+        fs::create_dir_all(&dir)?;
+        write_atomic(&dir.join("result.json"), doc.as_bytes())
+    }
+
+    /// Unfinished jobs left behind by a previous process: directories
+    /// with a parseable `job.json` but no `result.json`. Sorted by id so
+    /// restart-time requeue order is deterministic.
+    pub fn scan_unfinished(&self) -> Vec<(String, JobSpec)> {
+        let mut out = Vec::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return out;
+        };
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            if !dir.is_dir() || dir.join("result.json").exists() {
+                continue;
+            }
+            let Ok(text) = fs::read_to_string(dir.join("job.json")) else {
+                continue;
+            };
+            let Ok(spec) = JobSpec::from_json(&text) else {
+                continue;
+            };
+            let id = spec.id();
+            // Only trust directories whose name matches the content hash;
+            // anything else is a stray file, not an accepted job.
+            if dir.file_name().and_then(|n| n.to_str()) == Some(id.as_str()) {
+                out.push((id, spec));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// Write-then-rename so readers never observe a half-written document.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold::ColdConfig;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cold-serve-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn results_round_trip_and_gate_doneness() {
+        let dir = temp_dir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let spec = JobSpec { config: ColdConfig::quick(8, 4e-4, 10.0), seed: 1, count: 1 };
+        let id = spec.id();
+
+        cache.store_spec(&id, &spec).unwrap();
+        assert_eq!(cache.lookup(&id), None, "no result yet");
+        assert_eq!(cache.scan_unfinished(), vec![(id.clone(), spec)]);
+
+        cache.store_result(&id, "{\"ok\":true}").unwrap();
+        assert_eq!(cache.lookup(&id).as_deref(), Some("{\"ok\":true}"));
+        assert!(cache.scan_unfinished().is_empty(), "done jobs are not rescanned");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_ignores_mismatched_and_malformed_directories() {
+        let dir = temp_dir("strays");
+        let cache = ResultCache::open(&dir).unwrap();
+        let spec = JobSpec { config: ColdConfig::quick(8, 4e-4, 10.0), seed: 2, count: 1 };
+        // A spec stored under the wrong id must not be resurrected.
+        cache.store_spec("0000000000000000", &spec).unwrap();
+        // A directory with garbage instead of a spec is skipped.
+        fs::create_dir_all(dir.join("deadbeefdeadbeef")).unwrap();
+        fs::write(dir.join("deadbeefdeadbeef/job.json"), "not json").unwrap();
+        assert!(cache.scan_unfinished().is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,281 @@
+//! A minimal HTTP/1.1 codec over `std::net::TcpStream`.
+//!
+//! `cold-serve` speaks just enough HTTP for its five routes: one request
+//! per connection (`Connection: close` on every response), `Content-Length`
+//! bodies only (no chunked encoding), and hard limits on header and body
+//! size so a misbehaving client cannot exhaust the server. The same module
+//! provides the tiny blocking client used by `cold-loadgen` and the
+//! integration tests.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line plus headers.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body (a `ColdConfig` document is ~1 KiB).
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path only; no query parsing).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+/// `io::Error` on a malformed request line/headers, an oversized head or
+/// body, or a connection error. The caller answers malformed requests
+/// with a 400 and closes.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+
+    // Read up to the blank line separating head from body.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(bad("request head exceeds 16 KiB"));
+        }
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-request"));
+        }
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).map_err(|_| bad("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or_else(|| bad("missing method"))?.to_string();
+    let path = parts.next().ok_or_else(|| bad("missing request target"))?.to_string();
+    let version = parts.next().ok_or_else(|| bad("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| bad("malformed header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v.parse().map_err(|_| bad("content-length is not an integer"))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("request body exceeds 1 MiB"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Request { method, path, headers, body })
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `404`, …).
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Extra headers beyond the always-present set.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from an already-serialized document.
+    pub fn json(status: u16, body: String) -> Self {
+        Self { status, content_type: "application/json", headers: Vec::new(), body: body.into() }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// The typed error body every non-2xx route answer uses:
+    /// `{"error":{"kind":…,"message":…}}`.
+    pub fn error(status: u16, kind: &str, message: &str) -> Self {
+        let doc = serde_json::json!({ "error": { "kind": kind, "message": message } });
+        Self::json(status, serde_json::to_string(&doc).expect("error body serializes"))
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serializes the response (with `Content-Length` and
+    /// `Connection: close`) onto `stream`.
+    ///
+    /// # Errors
+    /// Propagates write failures; the caller drops the connection.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let reason = reason_phrase(self.status);
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A parsed client-side view of one HTTP exchange.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body as text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Performs one blocking HTTP exchange against `addr` (e.g.
+/// `127.0.0.1:8093`). The tiny client behind `cold-loadgen` and the
+/// integration tests; relies on the server's `Connection: close`.
+///
+/// # Errors
+/// Connection or protocol failures as `io::Error`.
+pub fn client_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| bad("response has no head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Ok(ClientResponse { status, headers, body: body.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trips a request and response over a real socket pair.
+    #[test]
+    fn request_and_response_round_trip_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/jobs");
+            assert_eq!(req.body, b"{\"n\":8}");
+            Response::json(202, "{\"id\":\"abc\"}".into())
+                .with_header("retry-after", "1")
+                .write_to(&mut stream)
+                .unwrap();
+        });
+        let resp = client_request(&addr.to_string(), "POST", "/jobs", Some("{\"n\":8}")).unwrap();
+        assert_eq!(resp.status, 202);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.body, "{\"id\":\"abc\"}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_request(&mut stream).expect_err("oversized head must be rejected")
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let huge = format!("GET /x HTTP/1.1\r\nx-pad: {}\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        stream.write_all(huge.as_bytes()).unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn typed_error_bodies_are_json() {
+        let resp = Response::error(404, "not_found", "no such job");
+        let v: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v["error"]["kind"].as_str(), Some("not_found"));
+        assert_eq!(v["error"]["message"].as_str(), Some("no such job"));
+    }
+}

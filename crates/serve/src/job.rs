@@ -1,0 +1,210 @@
+//! Job identity, specification, and lifecycle state.
+//!
+//! A *job* is one synthesis request: a [`ColdConfig`], a master seed, and
+//! a trial count. Its identity is the content-addressed fingerprint
+//! [`cold::job_fingerprint`] of exactly those three things, rendered as
+//! 16 hex digits — two requests that mean the same synthesis share an id
+//! no matter how their JSON was spelled, which is what makes the result
+//! cache and in-flight deduplication correct by construction.
+
+use cold::ColdConfig;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::sync::Mutex;
+
+/// One synthesis request, as submitted to `POST /jobs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// The synthesis configuration.
+    pub config: ColdConfig,
+    /// Master seed (trial `i` derives its own seed from it).
+    pub seed: u64,
+    /// Number of ensemble trials.
+    pub count: usize,
+}
+
+impl JobSpec {
+    /// Parses a request body: `{"config": {...}, "seed": N, "count": N}`.
+    /// `seed` defaults to 0 and `count` to 1; `config` is mandatory.
+    ///
+    /// # Errors
+    /// A human-readable message for the 400 response.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let obj = v.as_object().ok_or("request body must be a JSON object")?;
+        let config_value = obj.get("config").ok_or("missing required field `config`")?;
+        let config = ColdConfig::from_json_value(config_value)
+            .ok_or("field `config` is not a valid ColdConfig document")?;
+        config.validate().map_err(|e| e.to_string())?;
+        let seed = match obj.get("seed") {
+            None => 0,
+            Some(s) => s.as_u64().ok_or("field `seed` must be a nonnegative integer")?,
+        };
+        let count = match obj.get("count") {
+            None => 1,
+            Some(c) => c.as_u64().ok_or("field `count` must be a positive integer")? as usize,
+        };
+        if count == 0 {
+            return Err("field `count` must be >= 1".into());
+        }
+        Ok(Self { config, seed, count })
+    }
+
+    /// Parses a JSON text body (the `POST /jobs` entry point).
+    ///
+    /// # Errors
+    /// A human-readable message for the 400 response.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        Self::from_value(&v)
+    }
+
+    /// The job's JSON object form (persisted as `job.json` in the cache).
+    pub fn to_value(&self) -> Value {
+        serde_json::json!({
+            "config": self.config.to_json_value(),
+            "seed": self.seed,
+            "count": self.count,
+        })
+    }
+
+    /// The content-addressed job id: 16 hex digits of
+    /// [`cold::job_fingerprint`].
+    pub fn id(&self) -> String {
+        cold::fingerprint_hex(cold::job_fingerprint(&self.config, self.seed, self.count))
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// Waiting in the queue.
+    Queued,
+    /// A worker is running its campaign.
+    Running,
+    /// Finished; the result document is in the cache.
+    Done,
+    /// Failed terminally (after the worker-level retry).
+    Failed(String),
+    /// Interrupted by a graceful drain; a restarted server resumes it
+    /// from its campaign checkpoint.
+    Interrupted,
+}
+
+impl JobStatus {
+    /// The wire name of this status.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Interrupted => "interrupted",
+        }
+    }
+}
+
+/// Live progress of a running job, updated by the worker's progress sink
+/// and `on_trial` callback.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JobProgress {
+    /// Trials completed (including checkpoint-resumed ones).
+    pub trials_done: usize,
+    /// Latest GA generation reported by the current trial.
+    pub generation: usize,
+    /// Best cost seen in the current trial so far.
+    pub best: f64,
+}
+
+/// The registry entry for one job: spec plus mutexed live state.
+#[derive(Debug)]
+pub struct JobEntry {
+    /// The immutable request.
+    pub spec: JobSpec,
+    /// Current lifecycle status.
+    pub status: Mutex<JobStatus>,
+    /// Live progress (meaningful while `Running`).
+    pub progress: Mutex<JobProgress>,
+}
+
+impl JobEntry {
+    /// A fresh queued entry for `spec`.
+    pub fn new(spec: JobSpec) -> Self {
+        Self {
+            spec,
+            status: Mutex::new(JobStatus::Queued),
+            progress: Mutex::new(JobProgress::default()),
+        }
+    }
+
+    /// Snapshot of the status document served by `GET /jobs/{id}`.
+    pub fn status_value(&self, id: &str) -> Value {
+        let status = self.status.lock().expect("job status poisoned").clone();
+        let progress = *self.progress.lock().expect("job progress poisoned");
+        let mut doc = serde_json::Map::new();
+        doc.insert("id".into(), Value::String(id.to_string()));
+        doc.insert("status".into(), Value::String(status.name().to_string()));
+        doc.insert("seed".into(), self.spec.seed.to_json_value());
+        doc.insert("count".into(), self.spec.count.to_json_value());
+        doc.insert("trials_done".into(), progress.trials_done.to_json_value());
+        if matches!(status, JobStatus::Running) {
+            doc.insert("generation".into(), progress.generation.to_json_value());
+            doc.insert("best".into(), progress.best.to_json_value());
+        }
+        if let JobStatus::Failed(why) = &status {
+            doc.insert("error".into(), Value::String(why.clone()));
+        }
+        Value::Object(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec { config: ColdConfig::quick(8, 4e-4, 10.0), seed: 7, count: 2 }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json_and_keeps_its_id() {
+        let spec = spec();
+        let text = serde_json::to_string(&spec.to_value()).unwrap();
+        let back = JobSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.id(), spec.id());
+        assert_eq!(spec.id().len(), 16);
+    }
+
+    #[test]
+    fn defaults_and_malformed_bodies() {
+        let config =
+            serde_json::to_string(&ColdConfig::quick(8, 4e-4, 10.0).to_json_value()).unwrap();
+        let spec = JobSpec::from_json(&format!("{{\"config\":{config}}}")).unwrap();
+        assert_eq!((spec.seed, spec.count), (0, 1));
+
+        assert!(JobSpec::from_json("not json").is_err());
+        assert!(JobSpec::from_json("{}").unwrap_err().contains("config"));
+        assert!(JobSpec::from_json("{\"config\":{\"bogus\":1}}").is_err());
+        assert!(JobSpec::from_json(&format!("{{\"config\":{config},\"count\":0}}"))
+            .unwrap_err()
+            .contains(">= 1"));
+    }
+
+    #[test]
+    fn status_document_reflects_lifecycle() {
+        let entry = JobEntry::new(spec());
+        let id = entry.spec.id();
+        let doc = entry.status_value(&id);
+        assert_eq!(doc["status"].as_str(), Some("queued"));
+        *entry.status.lock().unwrap() = JobStatus::Running;
+        *entry.progress.lock().unwrap() =
+            JobProgress { trials_done: 1, generation: 12, best: 99.5 };
+        let doc = entry.status_value(&id);
+        assert_eq!(doc["status"].as_str(), Some("running"));
+        assert_eq!(doc["trials_done"].as_u64(), Some(1));
+        assert_eq!(doc["generation"].as_u64(), Some(12));
+        *entry.status.lock().unwrap() = JobStatus::Failed("boom".into());
+        let doc = entry.status_value(&id);
+        assert_eq!(doc["error"].as_str(), Some("boom"));
+    }
+}

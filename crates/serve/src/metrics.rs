@@ -1,0 +1,82 @@
+//! Prometheus-style text rendering of the `cold-obs` metric registry.
+//!
+//! The registry stores dotted names (`serve.jobs_submitted`,
+//! `cost.evaluate_total`); `/metrics` exposes them with the conventional
+//! `cold_` namespace and underscores, counters as-is and histograms as
+//! the `_count` / `_sum` / `_min` / `_max` quadruple the registry keeps.
+
+use cold_obs::Metric;
+
+/// Counter names the serve layer increments (registered lazily on first
+/// touch, like every `cold-obs` metric).
+pub mod names {
+    /// HTTP requests handled, any route.
+    pub const HTTP_REQUESTS: &str = "serve.http_requests";
+    /// Jobs accepted into the queue.
+    pub const JOBS_SUBMITTED: &str = "serve.jobs_submitted";
+    /// Jobs that completed and cached a result.
+    pub const JOBS_COMPLETED: &str = "serve.jobs_completed";
+    /// Jobs that failed terminally.
+    pub const JOBS_FAILED: &str = "serve.jobs_failed";
+    /// Submissions answered from the on-disk result cache.
+    pub const CACHE_HITS_RESULT: &str = "serve.cache_hits_result";
+    /// Submissions coalesced onto an in-flight job.
+    pub const CACHE_HITS_INFLIGHT: &str = "serve.cache_hits_inflight";
+    /// Submissions refused with 503 (queue at capacity).
+    pub const QUEUE_REJECTIONS: &str = "serve.queue_rejections";
+    /// Worker panics contained by the job boundary.
+    pub const WORKER_PANICS: &str = "serve.worker_panics";
+    /// Wall-clock seconds per completed job (histogram).
+    pub const JOB_SECONDS: &str = "serve.job_seconds";
+}
+
+/// Renders the current registry snapshot as Prometheus exposition text.
+pub fn render() -> String {
+    let mut out = String::new();
+    for (name, metric) in cold_obs::snapshot() {
+        let flat = format!("cold_{}", name.replace('.', "_"));
+        match metric {
+            Metric::Counter(c) => {
+                out.push_str(&format!("# TYPE {flat} counter\n{flat} {c}\n"));
+            }
+            Metric::Histogram { count, sum, min, max } => {
+                out.push_str(&format!(
+                    "# TYPE {flat} summary\n{flat}_count {count}\n{flat}_sum {sum}\n\
+                     {flat}_min {min}\n{flat}_max {max}\n"
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Reads the value of counter `flat_name` out of rendered exposition
+/// text — the assertion helper the smoke tests and loadgen use.
+pub fn parse_counter(text: &str, flat_name: &str) -> Option<u64> {
+    text.lines()
+        .find(|l| l.starts_with(flat_name) && l.split(' ').next() == Some(flat_name))
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_flattens_names_and_round_trips_counters() {
+        // The registry is process-global; scope this test's effect.
+        cold_obs::set_timers_enabled(true);
+        cold_obs::reset();
+        cold_obs::counter_add(names::JOBS_SUBMITTED, 3);
+        cold_obs::observe_seconds(names::JOB_SECONDS, 0.5);
+        let text = render();
+        cold_obs::set_timers_enabled(false);
+        cold_obs::reset();
+
+        assert_eq!(parse_counter(&text, "cold_serve_jobs_submitted"), Some(3));
+        assert!(text.contains("# TYPE cold_serve_jobs_submitted counter"));
+        assert!(text.contains("cold_serve_job_seconds_count 1"));
+        assert!(text.contains("cold_serve_job_seconds_sum 0.5"));
+    }
+}

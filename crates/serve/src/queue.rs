@@ -1,0 +1,147 @@
+//! A bounded FIFO work queue with blocking pop and explicit close.
+//!
+//! `push` applies backpressure by *refusing* when full — the HTTP layer
+//! turns that into a `503` with `Retry-After` instead of buffering
+//! unboundedly. `pop` blocks workers on a condvar until an item arrives
+//! or the queue is closed for shutdown; `push_forced` bypasses the bound
+//! for restart-time requeues of already-accepted jobs, which must never
+//! be dropped just because the configured bound shrank.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Returned by [`BoundedQueue::push`] when the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` (>= 1) queued items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be >= 1");
+        Self {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `item`, or refuses with [`QueueFull`] at capacity.
+    /// Pushing to a closed queue also refuses (shutdown is a full stop).
+    ///
+    /// # Errors
+    /// [`QueueFull`] — the caller answers 503 with `Retry-After`.
+    pub fn push(&self, item: T) -> Result<(), QueueFull> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        inner.items.push_back(item);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `item` ignoring the bound (restart-time requeue of jobs
+    /// the service already accepted in a previous life).
+    pub fn push_forced(&self, item: T) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return;
+        }
+        inner.items.push_back(item);
+        self.ready.notify_one();
+    }
+
+    /// Blocks until an item is available (returning it) or the queue is
+    /// closed and drained (returning `None` — the worker exits).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes refuse,
+    /// and blocked `pop`s wake up.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued (for `/healthz`).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_refuses_at_capacity_and_preserves_fifo_order() {
+        let q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(QueueFull));
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers_and_drains_pending_items() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push("pending").unwrap();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(item) = q.pop() {
+                    seen.push(item);
+                }
+                seen
+            })
+        };
+        // Give the consumer a moment to drain and block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), vec!["pending"]);
+        assert_eq!(q.push("late"), Err(QueueFull));
+    }
+
+    #[test]
+    fn forced_push_ignores_the_bound_but_not_the_close() {
+        let q = BoundedQueue::new(1);
+        q.push(1).unwrap();
+        q.push_forced(2);
+        assert_eq!(q.len(), 2);
+        q.close();
+        q.push_forced(3);
+        assert_eq!(q.len(), 2, "closed queue refuses even forced pushes");
+    }
+}

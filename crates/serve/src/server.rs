@@ -1,0 +1,534 @@
+//! The synthesis server: accept loop, HTTP thread pool, synthesis
+//! worker pool, job registry, and graceful drain.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  TcpListener ──accept──▶ [acceptor thread] ──mpsc──▶ [HTTP pool ×H]
+//!                                                        │ POST /jobs
+//!                                                        ▼
+//!                registry (id → JobEntry) ◀──── BoundedQueue of job ids
+//!                                                        │ pop
+//!                                                        ▼
+//!                                              [synthesis workers ×N]
+//!                                   run_campaign_controlled (ckpt.json)
+//!                                                        │
+//!                                                        ▼
+//!                                        ResultCache (result.json)
+//! ```
+//!
+//! HTTP threads only ever do cheap work (hashing, cache lookup, queue
+//! push); every synthesis runs on a worker through
+//! [`cold::run_campaign_controlled`] with `checkpoint_every = 1`, so the
+//! wall-clock deadline, stall detection, and salted-retry machinery all
+//! apply, and a drain (SIGTERM or `POST /admin/shutdown`) cancels at the
+//! next trial boundary with the completed prefix already checkpointed —
+//! a restarted server re-scans the cache directory and resumes.
+
+use crate::cache::ResultCache;
+use crate::http::{read_request, Request, Response};
+use crate::job::{JobEntry, JobProgress, JobSpec, JobStatus};
+use crate::metrics::{self, names};
+use crate::queue::{BoundedQueue, QueueFull};
+use cold::{CampaignCheckpoint, CampaignControl, ColdError, ProgressSink};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Synthesis workers. 0 is allowed (jobs queue but never run) — the
+    /// queue tests rely on it for determinism.
+    pub workers: usize,
+    /// HTTP handler threads.
+    pub http_threads: usize,
+    /// Bounded job-queue capacity; a full queue answers 503.
+    pub queue_capacity: usize,
+    /// Content-addressed result cache directory.
+    pub cache_dir: PathBuf,
+    /// Optional per-trial wall-clock deadline.
+    pub trial_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            http_threads: 4,
+            queue_capacity: 16,
+            cache_dir: PathBuf::from("cold-serve-cache"),
+            trial_deadline: None,
+        }
+    }
+}
+
+/// State shared by the acceptor, HTTP pool, and workers.
+struct Shared {
+    registry: Mutex<HashMap<String, Arc<JobEntry>>>,
+    queue: BoundedQueue<String>,
+    cache: ResultCache,
+    shutdown: AtomicBool,
+    trial_deadline: Option<Duration>,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a drain has been requested (signal, admin route, or
+    /// [`ServerHandle::shutdown`]).
+    pub fn is_draining(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain: stop accepting, cancel campaigns at
+    /// their next trial boundary (checkpointed), then stop.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the drain completes and every thread has exited.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// The `cold-serve` server.
+pub struct Server;
+
+impl Server {
+    /// Binds, re-enqueues unfinished jobs from the cache directory, and
+    /// starts the acceptor, HTTP pool, and worker pool.
+    ///
+    /// # Errors
+    /// Propagates bind and cache-directory failures.
+    pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+        let cache = ResultCache::open(&config.cache_dir)?;
+        // The service is always observable: counters feed `/metrics`.
+        cold_obs::set_timers_enabled(true);
+
+        let shared = Arc::new(Shared {
+            registry: Mutex::new(HashMap::new()),
+            queue: BoundedQueue::new(config.queue_capacity.max(1)),
+            cache,
+            shutdown: AtomicBool::new(false),
+            trial_deadline: config.trial_deadline,
+        });
+
+        // Resume-on-restart: anything accepted but unfinished by a
+        // previous process goes back on the queue (bypassing the bound —
+        // these jobs were already admitted once).
+        {
+            let mut registry = shared.registry.lock().expect("registry poisoned");
+            for (id, spec) in shared.cache.scan_unfinished() {
+                registry.insert(id.clone(), Arc::new(JobEntry::new(spec)));
+                shared.queue.push_forced(id);
+            }
+        }
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let mut worker_handles = Vec::new();
+        for w in 0..config.workers {
+            let shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("cold-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut http_handles = Vec::new();
+        for h in 0..config.http_threads.max(1) {
+            let shared = Arc::clone(&shared);
+            let conn_rx = Arc::clone(&conn_rx);
+            http_handles.push(
+                std::thread::Builder::new().name(format!("cold-serve-http-{h}")).spawn(
+                    move || loop {
+                        let stream = conn_rx.lock().expect("conn queue poisoned").recv();
+                        match stream {
+                            Ok(mut stream) => handle_connection(&shared, &mut stream),
+                            Err(_) => break, // acceptor hung up: drain done
+                        }
+                    },
+                )?,
+            );
+        }
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new().name("cold-serve-accept".into()).spawn(move || {
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nonblocking(false);
+                            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                            if conn_tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+                // Drain sequence: stop HTTP, then stop workers. Campaigns
+                // in flight observe the shutdown flag as their cancel
+                // signal and return at the next trial boundary.
+                drop(conn_tx);
+                for h in http_handles {
+                    let _ = h.join();
+                }
+                shared.queue.close();
+                for w in worker_handles {
+                    let _ = w.join();
+                }
+            })?
+        };
+
+        Ok(ServerHandle { shared, addr, acceptor: Some(acceptor) })
+    }
+}
+
+// ---------------------------------------------------------------------
+// HTTP routing
+// ---------------------------------------------------------------------
+
+fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
+    let response = match read_request(stream) {
+        Ok(request) => {
+            cold_obs::counter_add(names::HTTP_REQUESTS, 1);
+            route(shared, &request)
+        }
+        Err(e) => Response::error(400, "bad_request", &e.to_string()),
+    };
+    let _ = response.write_to(stream);
+}
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => Response::text(200, metrics::render()),
+        ("POST", "/jobs") => submit(shared, &request.body),
+        ("POST", "/admin/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::json(200, "{\"ok\":true,\"draining\":true}".into())
+        }
+        ("GET", _) if path.starts_with("/jobs/") => {
+            let rest = &path["/jobs/".len()..];
+            match rest.strip_suffix("/result") {
+                Some(id) => result(shared, id),
+                None if rest.contains('/') => Response::error(404, "not_found", "no such route"),
+                None => status(shared, rest),
+            }
+        }
+        (_, "/jobs") | (_, "/healthz") | (_, "/metrics") | (_, "/admin/shutdown") => {
+            Response::error(405, "method_not_allowed", "wrong method for this route")
+        }
+        _ => Response::error(404, "not_found", "no such route"),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let registry = shared.registry.lock().expect("registry poisoned");
+    let doc = serde_json::json!({
+        "ok": true,
+        "draining": shared.shutdown.load(Ordering::SeqCst),
+        "queued": shared.queue.len(),
+        "jobs": registry.len(),
+    });
+    Response::json(200, serde_json::to_string(&doc).expect("healthz serializes"))
+}
+
+fn submit(shared: &Shared, body: &[u8]) -> Response {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "bad_request", "body is not UTF-8"),
+    };
+    let spec = match JobSpec::from_json(text) {
+        Ok(s) => s,
+        Err(msg) => return Response::error(400, "bad_request", &msg),
+    };
+    let id = spec.id();
+
+    // 1. Completed before (this or a previous process): serve from cache.
+    if shared.cache.lookup(&id).is_some() {
+        return answer_cache_hit(&id, "result");
+    }
+
+    // Hold the registry lock across check-and-insert so two identical
+    // concurrent submissions cannot both enqueue.
+    let mut registry = shared.registry.lock().expect("registry poisoned");
+
+    // 2. Identical job already in flight: coalesce onto it.
+    if let Some(entry) = registry.get(&id) {
+        let current = entry.status.lock().expect("job status poisoned").clone();
+        match current {
+            JobStatus::Queued | JobStatus::Running | JobStatus::Interrupted => {
+                return answer_cache_hit(&id, "inflight");
+            }
+            JobStatus::Done => return answer_cache_hit(&id, "result"),
+            JobStatus::Failed(_) => {
+                // A resubmission of a failed job is a fresh attempt.
+                match shared.queue.push(id.clone()) {
+                    Err(QueueFull) => return answer_queue_full(),
+                    Ok(()) => {
+                        *entry.status.lock().expect("job status poisoned") = JobStatus::Queued;
+                        *entry.progress.lock().expect("job progress poisoned") =
+                            JobProgress::default();
+                        return answer_accepted(shared, &id, &spec);
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. New job: reserve a queue slot, persist the spec, register.
+    match shared.queue.push(id.clone()) {
+        Err(QueueFull) => answer_queue_full(),
+        Ok(()) => {
+            if let Err(e) = shared.cache.store_spec(&id, &spec) {
+                eprintln!("cold-serve: job {id}: spec not persisted ({e}); resume disabled");
+            }
+            registry.insert(id.clone(), Arc::new(JobEntry::new(spec)));
+            answer_accepted(shared, &id, &spec)
+        }
+    }
+}
+
+fn answer_cache_hit(id: &str, kind: &str) -> Response {
+    let counter =
+        if kind == "result" { names::CACHE_HITS_RESULT } else { names::CACHE_HITS_INFLIGHT };
+    cold_obs::counter_add(counter, 1);
+    cold_obs::emit(&cold_obs::Event::CacheHit(cold_obs::CacheHit {
+        id: id.to_string(),
+        kind: kind.to_string(),
+    }));
+    let doc = if kind == "result" {
+        serde_json::json!({ "id": id, "status": "done", "cached": true })
+    } else {
+        serde_json::json!({ "id": id, "status": "pending", "deduplicated": true })
+    };
+    Response::json(200, serde_json::to_string(&doc).expect("hit doc serializes"))
+}
+
+fn answer_queue_full() -> Response {
+    cold_obs::counter_add(names::QUEUE_REJECTIONS, 1);
+    Response::error(503, "queue_full", "job queue is at capacity; retry shortly")
+        .with_header("retry-after", "1")
+}
+
+fn answer_accepted(shared: &Shared, id: &str, spec: &JobSpec) -> Response {
+    cold_obs::counter_add(names::JOBS_SUBMITTED, 1);
+    cold_obs::emit(&cold_obs::Event::JobSubmitted(cold_obs::JobSubmitted {
+        id: id.to_string(),
+        n: spec.config.context.n,
+        count: spec.count,
+        seed: spec.seed,
+    }));
+    let doc = serde_json::json!({ "id": id, "status": "queued", "queued": shared.queue.len() });
+    Response::json(202, serde_json::to_string(&doc).expect("accept doc serializes"))
+}
+
+fn status(shared: &Shared, id: &str) -> Response {
+    let registry = shared.registry.lock().expect("registry poisoned");
+    if let Some(entry) = registry.get(id) {
+        return Response::json(
+            200,
+            serde_json::to_string(&entry.status_value(id)).expect("status serializes"),
+        );
+    }
+    drop(registry);
+    if shared.cache.lookup(id).is_some() {
+        let doc = serde_json::json!({ "id": id, "status": "done", "cached": true });
+        return Response::json(200, serde_json::to_string(&doc).expect("status serializes"));
+    }
+    Response::error(404, "not_found", "no such job")
+}
+
+fn result(shared: &Shared, id: &str) -> Response {
+    if let Some(doc) = shared.cache.lookup(id) {
+        return Response::json(200, doc);
+    }
+    let registry = shared.registry.lock().expect("registry poisoned");
+    if let Some(entry) = registry.get(id) {
+        return Response::json(
+            202,
+            serde_json::to_string(&entry.status_value(id)).expect("status serializes"),
+        );
+    }
+    Response::error(404, "not_found", "no such job")
+}
+
+// ---------------------------------------------------------------------
+// Synthesis workers
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    while let Some(id) = shared.queue.pop() {
+        let entry = {
+            let registry = shared.registry.lock().expect("registry poisoned");
+            registry.get(&id).cloned()
+        };
+        let Some(entry) = entry else {
+            continue; // registry and queue are only ever updated together
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            *entry.status.lock().expect("job status poisoned") = JobStatus::Interrupted;
+            continue;
+        }
+        run_job(shared, &id, &entry);
+    }
+}
+
+/// Runs one job through the guarded campaign path. A panic anywhere in
+/// the trial (including the armed `serve.worker_panic` fault site) is
+/// contained at this boundary: the first panic retries the job — the
+/// checkpoint means no completed trial reruns — and a second panic fails
+/// the job, never the server.
+fn run_job(shared: &Shared, id: &str, entry: &Arc<JobEntry>) {
+    *entry.status.lock().expect("job status poisoned") = JobStatus::Running;
+    let started = Instant::now();
+    let ckpt_path = shared.cache.checkpoint_path(id);
+
+    for attempt in 1..=2u32 {
+        let resume = CampaignCheckpoint::load(&ckpt_path).ok();
+        let resumed = resume.as_ref().map(|c| c.records.len()).unwrap_or(0);
+        cold_obs::emit(&cold_obs::Event::JobStarted(cold_obs::JobStarted {
+            id: id.to_string(),
+            resumed,
+        }));
+
+        let progress_entry = Arc::clone(entry);
+        let sink: ProgressSink = Arc::new(move |record: &cold_obs::GenerationRecord| {
+            let mut p = progress_entry.progress.lock().expect("job progress poisoned");
+            p.generation = record.generation;
+            p.best = record.best;
+        });
+        let trial_entry = Arc::clone(entry);
+
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            if cold_fault::should_fire("serve.worker_panic") {
+                panic!("injected fault: serve.worker_panic");
+            }
+            cold::run_campaign_controlled(
+                &entry.spec.config,
+                entry.spec.seed,
+                entry.spec.count,
+                1, // checkpoint every trial: drains lose nothing
+                &ckpt_path,
+                resume,
+                shared.trial_deadline,
+                CampaignControl {
+                    progress: Some(sink),
+                    cancel: Some(&shared.shutdown),
+                    retry_salted: true,
+                },
+                |i, _| {
+                    trial_entry.progress.lock().expect("job progress poisoned").trials_done = i + 1;
+                },
+            )
+        }));
+
+        match outcome {
+            Ok(Ok(results)) => {
+                finish_job(shared, id, entry, &results, started);
+                return;
+            }
+            Ok(Err(ColdError::Canceled { .. })) => {
+                // Graceful drain: checkpointed; a restart resumes it.
+                *entry.status.lock().expect("job status poisoned") = JobStatus::Interrupted;
+                return;
+            }
+            Ok(Err(e)) => {
+                fail_job(id, entry, &e.to_string());
+                return;
+            }
+            Err(payload) => {
+                cold_obs::counter_add(names::WORKER_PANICS, 1);
+                let msg = cold::error::panic_message(payload.as_ref());
+                if attempt == 2 {
+                    fail_job(id, entry, &format!("worker panicked twice: {msg}"));
+                    return;
+                }
+                // First panic: loop around and retry from the checkpoint.
+            }
+        }
+    }
+}
+
+fn finish_job(
+    shared: &Shared,
+    id: &str,
+    entry: &Arc<JobEntry>,
+    results: &[cold::SynthesisResult],
+    started: Instant,
+) {
+    let spec = entry.spec;
+    let report = cold::report::ensemble_report(&spec.config, results, spec.seed);
+    let topologies: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            serde_json::from_str(&cold::export::to_json(&r.network, &r.context))
+                .expect("exporter emits valid JSON")
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "id": id,
+        "seed": spec.seed,
+        "count": spec.count,
+        "report": report,
+        "topologies": topologies,
+    });
+    let text = serde_json::to_string(&doc).expect("result doc serializes");
+    if let Err(e) = shared.cache.store_result(id, &text) {
+        fail_job(id, entry, &format!("result not persisted: {e}"));
+        return;
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    cold_obs::counter_add(names::JOBS_COMPLETED, 1);
+    cold_obs::observe_seconds(names::JOB_SECONDS, seconds);
+    cold_obs::emit(&cold_obs::Event::JobDone(cold_obs::JobDone {
+        id: id.to_string(),
+        trials: results.len(),
+        seconds,
+    }));
+    *entry.status.lock().expect("job status poisoned") = JobStatus::Done;
+}
+
+fn fail_job(id: &str, entry: &Arc<JobEntry>, why: &str) {
+    cold_obs::counter_add(names::JOBS_FAILED, 1);
+    cold_obs::emit(&cold_obs::Event::JobFailed(cold_obs::JobFailed {
+        id: id.to_string(),
+        error: why.to_string(),
+    }));
+    *entry.status.lock().expect("job status poisoned") = JobStatus::Failed(why.to_string());
+}

@@ -1,0 +1,425 @@
+//! End-to-end tests for `cold-serve` over real TCP sockets.
+//!
+//! Every in-process test mutates process-global telemetry/fault state
+//! (the journal sink, the metric registry, armed faults), so they all
+//! serialize on one mutex and reset that state up front.
+
+use cold::ColdConfig;
+use cold_serve::http::client_request;
+use cold_serve::{Server, ServerConfig, ServerHandle};
+use serde::Serialize as _;
+use serde_json::Value;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+fn global_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cold-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fresh_globals(journal: Option<&PathBuf>) {
+    cold_fault::clear();
+    cold_obs::reset();
+    match journal {
+        Some(path) => {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).expect("journal dir");
+            }
+            let _ = std::fs::remove_file(path);
+            cold_obs::configure(cold_obs::TraceMode::Journal(path.clone())).expect("journal sink");
+        }
+        None => cold_obs::configure(cold_obs::TraceMode::Off).expect("sink off"),
+    }
+}
+
+fn start(config: ServerConfig) -> (ServerHandle, String) {
+    let handle = Server::start(config).expect("server starts");
+    let addr = handle.local_addr().to_string();
+    (handle, addr)
+}
+
+fn job_body(n: usize, seed: u64, count: usize) -> String {
+    let config = ColdConfig::quick(n, 4e-4, 10.0);
+    let doc = serde_json::json!({
+        "config": config.to_json_value(),
+        "seed": seed,
+        "count": count,
+    });
+    serde_json::to_string(&doc).expect("body serializes")
+}
+
+fn parse_body(body: &str) -> Value {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("bad JSON body ({e}): {body}"))
+}
+
+/// Polls `GET /jobs/{id}` until its status is one of `until` (returning
+/// the final document) or the deadline passes (panicking).
+fn poll_until(addr: &str, id: &str, until: &[&str], deadline: Duration) -> Value {
+    let started = Instant::now();
+    loop {
+        let resp = client_request(addr, "GET", &format!("/jobs/{id}"), None).expect("poll");
+        let doc = parse_body(&resp.body);
+        if let Some(status) = doc["status"].as_str() {
+            if until.contains(&status) {
+                return doc;
+            }
+        }
+        assert!(
+            started.elapsed() < deadline,
+            "job {id} did not reach {until:?} within {deadline:?}; last: {doc:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn read_journal(path: &PathBuf) -> Vec<cold_obs::Event> {
+    let text = std::fs::read_to_string(path).expect("journal written");
+    cold_obs::parse_journal(&text).expect("journal validates")
+}
+
+#[test]
+fn submit_poll_result_then_cache_hit() {
+    let _guard = global_lock();
+    let dir = temp_dir("happy");
+    let journal = dir.join("serve.jsonl");
+    fresh_globals(Some(&journal));
+
+    let (handle, addr) =
+        start(ServerConfig { workers: 1, cache_dir: dir.join("cache"), ..ServerConfig::default() });
+
+    // Cold submission: accepted and queued.
+    let body = job_body(8, 11, 2);
+    let resp = client_request(&addr, "POST", "/jobs", Some(&body)).expect("submit");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let id = parse_body(&resp.body)["id"].as_str().expect("id").to_string();
+    assert_eq!(id.len(), 16);
+
+    // Live status then completion.
+    let done = poll_until(&addr, &id, &["done"], Duration::from_secs(120));
+    assert_eq!(done["trials_done"].as_u64(), Some(2));
+
+    // The result document has the report and one topology per trial.
+    let resp = client_request(&addr, "GET", &format!("/jobs/{id}/result"), None).expect("result");
+    assert_eq!(resp.status, 200);
+    let doc = parse_body(&resp.body);
+    assert!(doc["report"].as_str().expect("report").contains("COLD ensemble report"));
+    assert_eq!(doc["topologies"].as_array().expect("topologies").len(), 2);
+
+    // Identical resubmission — different JSON spelling would hash the
+    // same, but even the same body must short-circuit to the cache.
+    let resp = client_request(&addr, "POST", "/jobs", Some(&body)).expect("resubmit");
+    assert_eq!(resp.status, 200);
+    let doc = parse_body(&resp.body);
+    assert_eq!(doc["cached"].as_bool(), Some(true));
+    assert_eq!(doc["id"].as_str(), Some(id.as_str()));
+
+    // /metrics moved: one submission, one completion, one result hit.
+    let metrics = client_request(&addr, "GET", "/metrics", None).expect("metrics").body;
+    let counter = |name: &str| cold_serve::metrics::parse_counter(&metrics, name);
+    assert_eq!(counter("cold_serve_jobs_submitted"), Some(1));
+    assert_eq!(counter("cold_serve_jobs_completed"), Some(1));
+    assert_eq!(counter("cold_serve_cache_hits_result"), Some(1));
+
+    handle.shutdown();
+    handle.join();
+
+    // The journal recorded the whole lifecycle, including the cache hit.
+    let events = read_journal(&journal);
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert!(kinds.contains(&"job_submitted"));
+    assert!(kinds.contains(&"job_started"));
+    assert!(kinds.contains(&"job_done"));
+    assert!(kinds.contains(&"cache_hit"));
+    for event in &events {
+        if let cold_obs::Event::CacheHit(hit) = event {
+            assert_eq!((hit.id.as_str(), hit.kind.as_str()), (id.as_str(), "result"));
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn queue_backpressure_dedup_and_typed_errors() {
+    let _guard = global_lock();
+    let dir = temp_dir("queue");
+    fresh_globals(None);
+
+    // No workers: the queue fills deterministically and nothing drains.
+    let (handle, addr) = start(ServerConfig {
+        workers: 0,
+        queue_capacity: 2,
+        cache_dir: dir.join("cache"),
+        ..ServerConfig::default()
+    });
+
+    let first = job_body(8, 1, 1);
+    let resp = client_request(&addr, "POST", "/jobs", Some(&first)).expect("submit 1");
+    assert_eq!(resp.status, 202);
+    let id = parse_body(&resp.body)["id"].as_str().expect("id").to_string();
+    let resp = client_request(&addr, "POST", "/jobs", Some(&job_body(8, 2, 1))).expect("submit 2");
+    assert_eq!(resp.status, 202);
+
+    // Queue full: 503 with Retry-After and a typed body.
+    let resp = client_request(&addr, "POST", "/jobs", Some(&job_body(8, 3, 1))).expect("submit 3");
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    let doc = parse_body(&resp.body);
+    assert_eq!(doc["error"]["kind"].as_str(), Some("queue_full"));
+
+    // An identical in-flight submission coalesces — it does NOT consume
+    // a queue slot and does NOT get rejected even though the queue is full.
+    let resp = client_request(&addr, "POST", "/jobs", Some(&first)).expect("dedup");
+    assert_eq!(resp.status, 200);
+    let doc = parse_body(&resp.body);
+    assert_eq!(doc["deduplicated"].as_bool(), Some(true));
+    assert_eq!(doc["id"].as_str(), Some(id.as_str()));
+
+    // Unknown job id: typed 404.
+    let resp = client_request(&addr, "GET", "/jobs/ffffffffffffffff", None).expect("status");
+    assert_eq!(resp.status, 404);
+    assert_eq!(parse_body(&resp.body)["error"]["kind"].as_str(), Some("not_found"));
+
+    // Malformed config: typed 400.
+    let resp = client_request(&addr, "POST", "/jobs", Some("{\"config\":{\"nope\":1}}"))
+        .expect("malformed");
+    assert_eq!(resp.status, 400);
+    assert_eq!(parse_body(&resp.body)["error"]["kind"].as_str(), Some("bad_request"));
+
+    // Result of a queued job: 202 (not ready), with its status document.
+    let resp = client_request(&addr, "GET", &format!("/jobs/{id}/result"), None).expect("result");
+    assert_eq!(resp.status, 202);
+    assert_eq!(parse_body(&resp.body)["status"].as_str(), Some("queued"));
+
+    // Wrong method: 405.
+    let resp = client_request(&addr, "GET", "/jobs", None).expect("wrong method");
+    assert_eq!(resp.status, 405);
+
+    // Backpressure is visible in /metrics.
+    let metrics = client_request(&addr, "GET", "/metrics", None).expect("metrics").body;
+    assert_eq!(
+        cold_serve::metrics::parse_counter(&metrics, "cold_serve_queue_rejections"),
+        Some(1)
+    );
+    assert_eq!(
+        cold_serve::metrics::parse_counter(&metrics, "cold_serve_cache_hits_inflight"),
+        Some(1)
+    );
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_panic_is_contained_and_the_job_retries() {
+    let _guard = global_lock();
+    let dir = temp_dir("chaos-retry");
+    let journal = dir.join("serve.jsonl");
+    fresh_globals(Some(&journal));
+    // One-shot: the first job attempt panics, the retry runs clean.
+    cold_fault::configure("serve.worker_panic:1", 7).expect("arm fault");
+
+    let (handle, addr) =
+        start(ServerConfig { workers: 1, cache_dir: dir.join("cache"), ..ServerConfig::default() });
+
+    let resp = client_request(&addr, "POST", "/jobs", Some(&job_body(8, 21, 1))).expect("submit");
+    assert_eq!(resp.status, 202);
+    let id = parse_body(&resp.body)["id"].as_str().expect("id").to_string();
+    let done = poll_until(&addr, &id, &["done"], Duration::from_secs(120));
+    assert_eq!(done["status"].as_str(), Some("done"));
+
+    // The server stayed responsive and counted the contained panic.
+    let resp = client_request(&addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(resp.status, 200);
+    let metrics = client_request(&addr, "GET", "/metrics", None).expect("metrics").body;
+    assert_eq!(cold_serve::metrics::parse_counter(&metrics, "cold_serve_worker_panics"), Some(1));
+
+    handle.shutdown();
+    handle.join();
+    cold_fault::clear();
+
+    // Journal: the fault fired, the job still completed, and the retry's
+    // job_started is visible (two starts for one job).
+    let events = read_journal(&journal);
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert!(kinds.contains(&"fault_injected"));
+    assert!(kinds.contains(&"job_done"));
+    assert_eq!(kinds.iter().filter(|k| **k == "job_started").count(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repeated_worker_panics_fail_the_job_but_not_the_server() {
+    let _guard = global_lock();
+    let dir = temp_dir("chaos-fail");
+    fresh_globals(None);
+    // Every hit panics: both attempts die, the job fails terminally.
+    cold_fault::configure("serve.worker_panic:p=1.0", 7).expect("arm fault");
+
+    let (handle, addr) =
+        start(ServerConfig { workers: 1, cache_dir: dir.join("cache"), ..ServerConfig::default() });
+
+    let resp = client_request(&addr, "POST", "/jobs", Some(&job_body(8, 31, 1))).expect("submit");
+    assert_eq!(resp.status, 202);
+    let id = parse_body(&resp.body)["id"].as_str().expect("id").to_string();
+    let failed = poll_until(&addr, &id, &["failed"], Duration::from_secs(120));
+    assert!(failed["error"].as_str().expect("error").contains("panicked twice"));
+
+    // Disarm and prove the server (and the same worker) still serves.
+    cold_fault::clear();
+    let resp = client_request(&addr, "POST", "/jobs", Some(&job_body(8, 32, 1))).expect("submit");
+    assert_eq!(resp.status, 202);
+    let id2 = parse_body(&resp.body)["id"].as_str().expect("id").to_string();
+    poll_until(&addr, &id2, &["done"], Duration::from_secs(120));
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn drain_checkpoints_and_a_restarted_server_resumes() {
+    let _guard = global_lock();
+    let dir = temp_dir("drain");
+    let cache_dir = dir.join("cache");
+    let journal_a = dir.join("serve-a.jsonl");
+    let journal_b = dir.join("serve-b.jsonl");
+    fresh_globals(Some(&journal_a));
+
+    let (handle, addr) =
+        start(ServerConfig { workers: 1, cache_dir: cache_dir.clone(), ..ServerConfig::default() });
+
+    // Enough trials that a drain triggered after the first completes is
+    // guaranteed to land between trials, leaving work to resume.
+    let body = job_body(8, 41, 12);
+    let resp = client_request(&addr, "POST", "/jobs", Some(&body)).expect("submit");
+    assert_eq!(resp.status, 202);
+    let id = parse_body(&resp.body)["id"].as_str().expect("id").to_string();
+
+    // Wait for the first checkpointed trial, then drain via the admin
+    // route (the same flag SIGTERM sets).
+    let started = Instant::now();
+    loop {
+        let resp = client_request(&addr, "GET", &format!("/jobs/{id}"), None).expect("poll");
+        let doc = parse_body(&resp.body);
+        if doc["trials_done"].as_u64().unwrap_or(0) >= 1 {
+            break;
+        }
+        assert!(started.elapsed() < Duration::from_secs(120), "first trial never completed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let resp = client_request(&addr, "POST", "/admin/shutdown", None).expect("shutdown");
+    assert_eq!(resp.status, 200);
+    handle.join();
+
+    // The job is unfinished on disk: no result, but a checkpoint.
+    let cache = cold_serve::ResultCache::open(&cache_dir).expect("cache");
+    assert!(cache.lookup(&id).is_none(), "drained job must not have a result yet");
+    assert!(cache.checkpoint_path(&id).exists(), "drain must leave a checkpoint");
+
+    // Restart on the same cache dir: the job is re-enqueued and resumed.
+    fresh_globals(Some(&journal_b));
+    let (handle, addr) =
+        start(ServerConfig { workers: 1, cache_dir: cache_dir.clone(), ..ServerConfig::default() });
+    let done = poll_until(&addr, &id, &["done"], Duration::from_secs(240));
+    assert_eq!(done["trials_done"].as_u64(), Some(12));
+    let resp = client_request(&addr, "GET", &format!("/jobs/{id}/result"), None).expect("result");
+    assert_eq!(resp.status, 200);
+    assert_eq!(parse_body(&resp.body)["topologies"].as_array().expect("topologies").len(), 12);
+
+    handle.shutdown();
+    handle.join();
+
+    // The restart's journal proves it resumed rather than started over.
+    let resumed = read_journal(&journal_b)
+        .iter()
+        .find_map(|e| match e {
+            cold_obs::Event::JobStarted(s) if s.id == id => Some(s.resumed),
+            _ => None,
+        })
+        .expect("restarted server emitted job_started");
+    assert!(resumed >= 1, "resume must pick up checkpointed trials, got {resumed}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binaries_smoke_loadgen_and_sigterm_drain() {
+    let _guard = global_lock();
+    let dir = temp_dir("bins");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let journal = dir.join("serve.jsonl");
+
+    let mut serve = std::process::Command::new(env!("CARGO_BIN_EXE_cold-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--cache-dir",
+            dir.join("cache").to_str().expect("utf-8 path"),
+            "--journal",
+            journal.to_str().expect("utf-8 path"),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("cold-serve spawns");
+
+    // Scrape the ephemeral address from the startup line.
+    let addr = {
+        use std::io::{BufRead, BufReader};
+        let stdout = serve.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("startup line");
+        line.trim()
+            .strip_prefix("cold-serve listening on http://")
+            .unwrap_or_else(|| panic!("unexpected startup line: {line}"))
+            .to_string()
+    };
+
+    // Drive it with the loadgen binary: 6 submissions over 2 distinct
+    // seeds exercise cold, deduplicated, and cached paths.
+    let loadgen = std::process::Command::new(env!("CARGO_BIN_EXE_cold-loadgen"))
+        .args(["--addr", &addr, "--clients", "2", "--jobs", "6", "--distinct", "2"])
+        .output()
+        .expect("cold-loadgen runs");
+    let report = String::from_utf8_lossy(&loadgen.stdout);
+    assert!(loadgen.status.success(), "loadgen failed: {report}");
+    assert!(report.contains("cold-loadgen: 6 submissions"), "unexpected report: {report}");
+
+    // The service did real work and the cache was hit.
+    let metrics = client_request(&addr, "GET", "/metrics", None).expect("metrics").body;
+    let counter = |name: &str| cold_serve::metrics::parse_counter(&metrics, name).unwrap_or(0);
+    assert_eq!(counter("cold_serve_jobs_completed"), 2, "{metrics}");
+    assert_eq!(
+        counter("cold_serve_cache_hits_result") + counter("cold_serve_cache_hits_inflight"),
+        4,
+        "{metrics}"
+    );
+
+    // SIGTERM: the server drains and exits 0.
+    let pid = serve.id().to_string();
+    let killed =
+        std::process::Command::new("kill").args(["-TERM", &pid]).status().expect("kill runs");
+    assert!(killed.success());
+    let status = serve.wait().expect("serve exits");
+    assert!(status.success(), "cold-serve exited {status:?}");
+
+    // Its journal validates and contains the serve event kinds.
+    let text = std::fs::read_to_string(&journal).expect("journal written");
+    let events = cold_obs::parse_journal(&text).expect("journal validates");
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert!(kinds.contains(&"job_submitted"));
+    assert!(kinds.contains(&"job_done"));
+    assert!(kinds.contains(&"cache_hit"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -148,6 +148,75 @@ fn guard_and_fault_events_round_trip_through_the_journal() {
 }
 
 #[test]
+fn serve_events_round_trip_through_the_journal() {
+    let _guard = telemetry_lock();
+    let path = temp_journal("serve-events");
+    cold_obs::configure(TraceMode::Journal(path.clone())).expect("journal sink");
+    let id = "00c0ffee00c0ffee".to_string();
+    cold_obs::emit(&Event::JobSubmitted(cold_obs::JobSubmitted {
+        id: id.clone(),
+        n: 12,
+        count: 4,
+        seed: u64::MAX,
+    }));
+    cold_obs::emit(&Event::JobStarted(cold_obs::JobStarted { id: id.clone(), resumed: 2 }));
+    cold_obs::emit(&Event::CacheHit(cold_obs::CacheHit {
+        id: id.clone(),
+        kind: "inflight".into(),
+    }));
+    cold_obs::emit(&Event::JobDone(cold_obs::JobDone { id: id.clone(), trials: 4, seconds: 1.75 }));
+    cold_obs::emit(&Event::JobFailed(cold_obs::JobFailed {
+        id: id.clone(),
+        error: "trial panicked: injected".into(),
+    }));
+    cold_obs::configure(TraceMode::Off).expect("disable sink");
+
+    let text = std::fs::read_to_string(&path).expect("journal written");
+    let events = parse_journal(&text).expect("every line is a valid event");
+    assert_eq!(events.len(), 5);
+    match &events[0] {
+        Event::JobSubmitted(j) => {
+            assert_eq!(j.id, id);
+            assert_eq!((j.n, j.count, j.seed), (12, 4, u64::MAX));
+        }
+        other => panic!("expected job_submitted, got {other:?}"),
+    }
+    match &events[1] {
+        Event::JobStarted(j) => assert_eq!((j.id.as_str(), j.resumed), (id.as_str(), 2)),
+        other => panic!("expected job_started, got {other:?}"),
+    }
+    match &events[2] {
+        Event::CacheHit(c) => {
+            assert_eq!((c.id.as_str(), c.kind.as_str()), (id.as_str(), "inflight"))
+        }
+        other => panic!("expected cache_hit, got {other:?}"),
+    }
+    match &events[3] {
+        Event::JobDone(j) => {
+            assert_eq!((j.id.as_str(), j.trials), (id.as_str(), 4));
+            assert_eq!(j.seconds, 1.75);
+        }
+        other => panic!("expected job_done, got {other:?}"),
+    }
+    match &events[4] {
+        Event::JobFailed(j) => {
+            assert_eq!(
+                (j.id.as_str(), j.error.as_str()),
+                (id.as_str(), "trial panicked: injected")
+            );
+        }
+        other => panic!("expected job_failed, got {other:?}"),
+    }
+    // One serialize→parse→serialize cycle is a fixed point.
+    for event in &events {
+        let line = event.to_json_line();
+        let reparsed = parse_journal(&line).expect("re-serialized event parses");
+        assert_eq!(reparsed[0].to_json_line(), line);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn tracing_does_not_perturb_synthesis() {
     let _guard = telemetry_lock();
     cold_obs::configure(TraceMode::Off).expect("start untraced");
