@@ -167,6 +167,30 @@ impl Context {
     pub fn traffic_fn(&self) -> impl Fn(usize, usize) -> f64 + Copy + '_ {
         self.traffic.as_fn()
     }
+
+    /// The `k` geographically nearest other PoPs of every PoP, each list
+    /// sorted by `(distance, id)` ascending, so the result is a pure
+    /// function of the positions (ties cannot reorder under equal
+    /// coordinates). With `k >= n - 1` every list is simply all other
+    /// PoPs by distance.
+    ///
+    /// This is the candidate-edge universe for pruned mutation at large
+    /// `n`: long-haul links the optimizer would never keep are excluded
+    /// up front, which bounds the per-offspring dirty set for
+    /// delta-evaluation.
+    pub fn k_nearest(&self, k: usize) -> Vec<Vec<usize>> {
+        let n = self.n();
+        (0..n)
+            .map(|u| {
+                let mut others: Vec<usize> = (0..n).filter(|&v| v != u).collect();
+                others.sort_by(|&a, &b| {
+                    self.distances[u][a].total_cmp(&self.distances[u][b]).then(a.cmp(&b))
+                });
+                others.truncate(k);
+                others
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +274,29 @@ mod tests {
         assert!(ContextConfig { scale: f64::NAN, ..good }.validate().is_err());
         let bad_pop = ContextConfig { population: PopulationKind::Constant { value: 0.0 }, ..good };
         assert!(bad_pop.validate().is_err());
+    }
+
+    #[test]
+    fn k_nearest_sorts_by_distance_then_id_and_truncates() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 1.0), // ties with 1 at distance 1 from 0
+        ];
+        let ctx = Context::from_positions(
+            pts,
+            PopulationKind::Constant { value: 1.0 },
+            GravityModel::raw(),
+            1,
+        );
+        let nn = ctx.k_nearest(2);
+        assert_eq!(nn.len(), 4);
+        assert_eq!(nn[0], vec![1, 3], "equal distances break ties by id");
+        assert_eq!(nn[2], vec![1, 0]);
+        // k >= n-1 yields everyone, sorted.
+        assert_eq!(ctx.k_nearest(10)[0], vec![1, 3, 2]);
+        assert_eq!(ctx.k_nearest(0)[1], Vec::<usize>::new());
     }
 
     #[test]

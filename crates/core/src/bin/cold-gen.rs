@@ -38,6 +38,7 @@ struct Args {
     format: String,
     out: PathBuf,
     quick: bool,
+    ga_only: bool,
     bridge_cost: Option<f64>,
     journal: Option<PathBuf>,
     progress: bool,
@@ -48,6 +49,7 @@ struct Args {
     halt_after: Option<usize>,
     trial_deadline: Option<f64>,
     stall_gens: Option<usize>,
+    mutation_neighbors: Option<usize>,
     faults: Option<String>,
 }
 
@@ -62,6 +64,7 @@ impl Default for Args {
             format: "json".into(),
             out: PathBuf::from("."),
             quick: false,
+            ga_only: false,
             bridge_cost: None,
             journal: None,
             progress: false,
@@ -72,6 +75,7 @@ impl Default for Args {
             halt_after: None,
             trial_deadline: None,
             stall_gens: None,
+            mutation_neighbors: None,
             faults: None,
         }
     }
@@ -111,6 +115,9 @@ OPTIONS:
     --format <F>        json | dot | graphml | svg | all   [default: json]
     --out <DIR>         output directory                   [default: .]
     --quick             reduced GA (T = M = 40) for fast previews
+    --ga-only           skip heuristic population seeding (the random
+                        greedy pass costs O(n^2) evaluations; combine
+                        with --mutation-neighbors at large n)
     --bridge-cost <F>   resilience extension: per-bridge outage cost
     --journal <PATH>    write a JSONL run journal (per-generation traces)
     --progress          live per-generation progress lines on stderr
@@ -142,6 +149,11 @@ RUNTIME GUARDS:
     --stall-gens <K>        terminate a GA run after K consecutive
                             generations without best-cost improvement
                             (reported as a `stalled` stop reason)
+    --mutation-neighbors <K>
+                            restrict mutation link additions to each
+                            PoP's K geographically nearest neighbors
+                            (recommended for large n; changes the GA's
+                            random stream, not its guarantees)
 
 FAULT INJECTION:
     --faults <SPEC>         arm deterministic fault injection, e.g.
@@ -179,6 +191,7 @@ fn parse_args() -> Args {
             "--format" => args.format = value("--format"),
             "--out" => args.out = PathBuf::from(value("--out")),
             "--quick" => args.quick = true,
+            "--ga-only" => args.ga_only = true,
             "--bridge-cost" => {
                 args.bridge_cost =
                     Some(value("--bridge-cost").parse().expect("--bridge-cost: float"))
@@ -203,6 +216,11 @@ fn parse_args() -> Args {
             "--stall-gens" => {
                 args.stall_gens =
                     Some(value("--stall-gens").parse().expect("--stall-gens: integer"))
+            }
+            "--mutation-neighbors" => {
+                args.mutation_neighbors = Some(
+                    value("--mutation-neighbors").parse().expect("--mutation-neighbors: integer"),
+                )
             }
             "--faults" => args.faults = Some(value("--faults")),
             "--help" | "-h" => {
@@ -375,8 +393,18 @@ fn main() {
             ..ColdConfig::paper(args.n, args.k2, args.k3)
         }
     };
+    if args.ga_only {
+        cfg.mode = SynthesisMode::GaOnly;
+    }
     if let Some(k) = args.stall_gens {
         cfg.ga.stall_gens = Some(k);
+    }
+    if let Some(k) = args.mutation_neighbors {
+        cfg.ga.mutation_neighbors = Some(k);
+        cfg.ga.validate().unwrap_or_else(|e| {
+            eprintln!("--mutation-neighbors: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        });
     }
     let mut stalled = false;
     if args.campaign() {

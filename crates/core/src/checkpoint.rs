@@ -144,6 +144,8 @@ impl TrialRecord {
                 "cache_hits": self.eval_stats.cache_hits,
                 "cache_misses": self.eval_stats.cache_misses,
                 "eval_seconds": self.eval_stats.eval_seconds,
+                "delta_evals": self.eval_stats.delta_evals,
+                "full_evals": self.eval_stats.full_evals,
             },
             "repair_rate": self.repair_rate,
             "generations_run": self.generations_run,
@@ -189,6 +191,10 @@ impl TrialRecord {
                 cache_hits: usize_field(es, "cache_hits")?,
                 cache_misses: usize_field(es, "cache_misses")?,
                 eval_seconds: f64_field(es, "eval_seconds")?,
+                // Lenient: checkpoints written before the delta/full split
+                // existed simply report zeros.
+                delta_evals: es.get("delta_evals").and_then(Value::as_u64).unwrap_or(0) as usize,
+                full_evals: es.get("full_evals").and_then(Value::as_u64).unwrap_or(0) as usize,
             },
             repair_rate: f64_field(v, "repair_rate")?,
             generations_run: usize_field(v, "generations_run")?,

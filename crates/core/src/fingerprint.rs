@@ -19,7 +19,7 @@
 
 use crate::synthesizer::ColdConfig;
 use serde::Serialize as _;
-use serde_json::Value;
+use serde_json::{Number, Value};
 
 /// FNV-1a offset basis (64-bit).
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
@@ -36,8 +36,9 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Returns a copy of `v` with every object's keys sorted, recursively.
-/// Arrays keep their order (array order is semantically meaningful).
+/// Returns a copy of `v` with every object's keys sorted, recursively,
+/// and every number in canonical form. Arrays keep their order (array
+/// order is semantically meaningful).
 fn sort_keys(v: &Value) -> Value {
     match v {
         Value::Object(map) => {
@@ -50,8 +51,27 @@ fn sort_keys(v: &Value) -> Value {
             Value::Object(out)
         }
         Value::Array(items) => Value::Array(items.iter().map(sort_keys).collect()),
+        Value::Number(n) => Value::Number(canonical_number(*n)),
         other => other.clone(),
     }
+}
+
+/// Canonicalizes a JSON number so equal values render equal bytes.
+///
+/// Printing already collapses most spellings: the shortest round-trip
+/// `Display` form never uses exponent notation, so `1e3`, `1000.0` and
+/// `1000` all print `1000` whichever `Number` variant the parser chose.
+/// The one value `Display` splits is the IEEE signed zero: `-0.0` prints
+/// `-0` while `0.0` prints `0`, even though the two compare equal — so a
+/// config spelling a parameter `-0.0` would get a different job id and
+/// silently split the result cache. Fold negative zero into positive.
+fn canonical_number(n: Number) -> Number {
+    if let Number::Float(f) = n {
+        if f == 0.0 {
+            return Number::Float(0.0);
+        }
+    }
+    n
 }
 
 /// Renders a JSON value in canonical form: object keys sorted
@@ -122,6 +142,34 @@ mod tests {
         assert_eq!(value_fingerprint(&a), value_fingerprint(&b));
         // Array order stays significant.
         assert_ne!(canonical_json(&json!([1, 2])), canonical_json(&json!([2, 1])));
+    }
+
+    #[test]
+    fn adversarial_float_pairs_canonicalize_together_or_apart_correctly() {
+        let fp = |text: &str| {
+            value_fingerprint(&serde_json::from_str(text).expect("valid JSON test vector"))
+        };
+        // Equal values, different spellings → one canonical form.
+        assert_eq!(fp(r#"{"x":-0.0}"#), fp(r#"{"x":0.0}"#), "signed zero");
+        assert_eq!(fp(r#"{"x":-0.0}"#), fp(r#"{"x":0}"#), "signed zero vs integer zero");
+        assert_eq!(fp(r#"{"x":-0e7}"#), fp(r#"{"x":0}"#), "signed zero, exponent form");
+        assert_eq!(fp(r#"{"x":1e3}"#), fp(r#"{"x":1000.0}"#), "exponent vs decimal");
+        assert_eq!(fp(r#"{"x":1e3}"#), fp(r#"{"x":1000}"#), "exponent vs integer");
+        assert_eq!(fp(r#"{"x":4e-4}"#), fp(r#"{"x":0.0004}"#), "negative exponent");
+        assert_eq!(fp(r#"{"x":2.0}"#), fp(r#"{"x":2}"#), "integral float vs integer");
+        assert_eq!(fp(r#"{"x":-5.0}"#), fp(r#"{"x":-5}"#), "negative integral float");
+        assert_eq!(
+            fp(r#"{"x":0.30000000000000004}"#),
+            fp(r#"{"x":3.0000000000000004e-1}"#),
+            "shortest round-trip form is spelling-independent"
+        );
+        // Distinct values stay distinct.
+        assert_ne!(fp(r#"{"x":0.3}"#), fp(r#"{"x":0.30000000000000004}"#), "adjacent floats");
+        assert_ne!(fp(r#"{"x":1e3}"#), fp(r#"{"x":1001}"#));
+        assert_ne!(fp(r#"{"x":-0.0}"#), fp(r#"{"x":-1e-300}"#), "tiny negative is not zero");
+        // Direct canonical-text checks for the signed-zero fold.
+        assert_eq!(canonical_json(&json!({ "x": -0.0 })), r#"{"x":0}"#);
+        assert_eq!(canonical_json(&json!([-0.0, 0.0])), "[0,0]");
     }
 
     #[test]

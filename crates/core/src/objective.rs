@@ -1,8 +1,8 @@
 //! The COLD cost function packaged as a GA [`Objective`].
 
 use cold_context::Context;
-use cold_cost::{CostEvaluator, CostParams};
-use cold_ga::Objective;
+use cold_cost::{CostEvaluator, CostParams, DeltaEval};
+use cold_ga::{Objective, ObjectiveSession};
 use cold_graph::AdjacencyMatrix;
 
 /// Adapter: evaluates eq. (2) for the GA.
@@ -50,6 +50,40 @@ impl Objective for ColdObjective<'_> {
         self.eval
             .cost(topology)
             .expect("GA repairs candidates before evaluation; topology must be connected")
+    }
+
+    fn session(&self) -> Box<dyn ObjectiveSession + '_> {
+        Box::new(DeltaSession { delta: DeltaEval::new(self.eval.ctx, self.eval.params) })
+    }
+
+    fn k_nearest(&self, k: usize) -> Vec<Vec<usize>> {
+        // Same values as the trait default (the context precomputes the
+        // distance matrix the default would query), but authoritative:
+        // the candidate universe comes straight from the geographic
+        // context.
+        self.eval.ctx.k_nearest(k)
+    }
+}
+
+/// Per-worker incremental evaluation session: wraps
+/// [`cold_cost::DeltaEval`], whose results are bit-identical to
+/// [`CostEvaluator::cost`], so the GA sees delta evaluation purely as a
+/// speedup.
+struct DeltaSession<'a> {
+    delta: DeltaEval<'a>,
+}
+
+impl ObjectiveSession for DeltaSession<'_> {
+    fn cost(&mut self, topology: &AdjacencyMatrix, base: Option<&AdjacencyMatrix>) -> f64 {
+        self.delta
+            .eval(topology, base)
+            .expect("GA repairs candidates before evaluation; topology must be connected")
+    }
+    fn delta_evals(&self) -> usize {
+        self.delta.delta_evals()
+    }
+    fn full_evals(&self) -> usize {
+        self.delta.full_evals()
     }
 }
 

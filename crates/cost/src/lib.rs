@@ -15,6 +15,9 @@
 //! - [`capacity`]: shortest-path routing of the traffic matrix and link
 //!   bandwidth assignment (§3.2.1).
 //! - [`cost`]: the objective function, with a component breakdown.
+//! - [`delta`]: incremental re-evaluation — repairs only the
+//!   shortest-path trees a mutation's flipped edges touch, bit-identical
+//!   to the full pass.
 //! - [`network`]: the full synthesized-network output — links, lengths,
 //!   capacities and routes — "more than just a series of connected nodes"
 //!   (§2 item 5).
@@ -24,6 +27,7 @@
 
 pub mod capacity;
 pub mod cost;
+pub mod delta;
 pub mod network;
 pub mod params;
 
@@ -31,5 +35,6 @@ pub use capacity::{assign_capacities, CapacityPlan};
 #[doc(hidden)]
 pub use cost::evaluate_total_untimed;
 pub use cost::{evaluate, evaluate_parts, evaluate_total, CostBreakdown, CostEvaluator};
+pub use delta::DeltaEval;
 pub use network::Network;
 pub use params::CostParams;

@@ -190,6 +190,9 @@ impl GaCheckpoint {
             cache_hits: usize_field(es, "cache_hits")?,
             cache_misses: usize_field(es, "cache_misses")?,
             eval_seconds: f64_field(es, "eval_seconds")?,
+            // The delta/full split is in-memory telemetry only: resumed
+            // runs restart it at zero alongside the fresh sessions.
+            ..EvalStats::default()
         };
         let rs = v.get("repair_stats").ok_or("field `repair_stats` missing")?;
         let repair_stats = RepairStats {
@@ -307,6 +310,7 @@ mod tests {
                 cache_hits: 20,
                 cache_misses: 100,
                 eval_seconds: 0.125,
+                ..EvalStats::default()
             },
             repair_stats: RepairStats { repaired: 3, inspected: 80, links_added: 4 },
             cache: Some(vec![(b, 99.0), (a, 12.5)]),

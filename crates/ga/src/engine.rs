@@ -8,7 +8,7 @@ use crate::init::initial_population;
 use crate::mutation::mutate;
 use crate::repair::{repair, RepairStats};
 use crate::settings::GaSettings;
-use crate::Objective;
+use crate::{Objective, ObjectiveSession};
 use cold_graph::AdjacencyMatrix;
 use cold_obs::{GenerationObserver, GenerationRecord};
 use rand::rngs::StdRng;
@@ -114,6 +114,18 @@ pub struct EvalStats {
     /// Wall-clock seconds spent inside objective evaluation (the timed
     /// region excludes cache bookkeeping).
     pub eval_seconds: f64,
+    /// Cache misses answered *incrementally* by a stateful
+    /// [`ObjectiveSession`] (shortest-path-tree
+    /// repair instead of full re-routing). `delta_evals + full_evals ==
+    /// cache_misses`. Unlike the cache counters, the split may vary with
+    /// `settings.parallel` and thread count — which session sees which
+    /// candidate is a scheduling detail — while every returned cost stays
+    /// bit-identical. Not serialized into checkpoints: a resumed run
+    /// restarts both counters at zero.
+    pub delta_evals: usize,
+    /// Cache misses answered by a full from-scratch evaluation (stateless
+    /// objectives count every miss here).
+    pub full_evals: usize,
 }
 
 impl EvalStats {
@@ -233,6 +245,35 @@ impl<O: Objective> GeneticAlgorithm<O> {
                 return Err(GaError::Checkpoint("checkpoint interval must be >= 1".into()));
             }
         }
+        // One evaluation session per worker thread, kept alive across
+        // generations so stateful objectives (delta evaluators) can carry
+        // routing state from parents to offspring.
+        let workers = if self.settings.parallel {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            1
+        };
+        let mut sessions: Vec<Box<dyn ObjectiveSession + '_>> =
+            (0..workers).map(|_| self.objective.session()).collect();
+
+        // Candidate-link pruning: the sorted pair-index universe link
+        // mutation may add from. A pair qualifies when either endpoint is
+        // among the other's k nearest (the relation is not symmetric).
+        let universe: Option<Vec<usize>> = self.settings.mutation_neighbors.map(|k| {
+            let probe = AdjacencyMatrix::empty(self.objective.n());
+            let mut pairs: Vec<usize> = self
+                .objective
+                .k_nearest(k)
+                .into_iter()
+                .enumerate()
+                .flat_map(|(u, vs)| vs.into_iter().map(move |v| (u, v)))
+                .map(|(u, v)| probe.pair_index(u, v))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            pairs
+        });
+
         let mut rng;
         let mut repair_stats;
         let mut stats;
@@ -259,7 +300,14 @@ impl<O: Objective> GeneticAlgorithm<O> {
                 for t in &mut topologies {
                     repair(t, &self.objective, &mut repair_stats);
                 }
-                let costs = self.evaluate_all(&topologies, cache.as_mut(), &mut stats)?;
+                let bases = vec![None; topologies.len()];
+                let costs = self.evaluate_all(
+                    &topologies,
+                    &bases,
+                    &mut sessions,
+                    cache.as_mut(),
+                    &mut stats,
+                )?;
                 population =
                     topologies.into_iter().zip(costs).map(|(t, c)| Individual::new(t, c)).collect();
                 sort_by_cost(&mut population);
@@ -299,8 +347,15 @@ impl<O: Objective> GeneticAlgorithm<O> {
             // RNG stream for determinism; evaluation is the parallel part).
             let mut children: Vec<AdjacencyMatrix> =
                 Vec::with_capacity(self.settings.num_crossover + self.settings.num_mutation);
+            // Each child's lineage — the population index of the topology
+            // it was derived from — becomes the delta-evaluation base
+            // hint. Repair may perturb the child further; sessions diff
+            // against the hint themselves, so a stale hint only costs
+            // work, never correctness.
+            let mut base_idx: Vec<usize> = Vec::with_capacity(children.capacity());
             for _ in 0..self.settings.num_crossover {
                 let parents = select_parents(&population, &self.settings, &mut rng);
+                base_idx.push(parents[0]); // best (lowest-cost) parent
                 children.push(crossover_child(
                     &population,
                     &parents,
@@ -312,13 +367,17 @@ impl<O: Objective> GeneticAlgorithm<O> {
             for _ in 0..self.settings.num_mutation {
                 let src = weighted_pick(&weights, rng.gen_range(0.0..1.0));
                 let mut child = population[src].topology.clone();
-                mutate(&mut child, &self.objective, &self.settings, &mut rng);
+                mutate(&mut child, &self.objective, &self.settings, universe.as_deref(), &mut rng);
+                base_idx.push(src);
                 children.push(child);
             }
             for c in &mut children {
                 repair(c, &self.objective, &mut repair_stats);
             }
-            let child_costs = self.evaluate_all(&children, cache.as_mut(), &mut stats)?;
+            let bases: Vec<Option<&AdjacencyMatrix>> =
+                base_idx.iter().map(|&i| Some(&population[i].topology)).collect();
+            let child_costs =
+                self.evaluate_all(&children, &bases, &mut sessions, cache.as_mut(), &mut stats)?;
 
             // Next generation: elites + offspring.
             let mut next: Vec<Individual> = Vec::with_capacity(self.settings.population);
@@ -431,56 +490,70 @@ impl<O: Objective> GeneticAlgorithm<O> {
     }
 
     /// Evaluates a batch of topologies, consulting and filling the fitness
-    /// memo `cache` when one is supplied.
+    /// memo `cache` when one is supplied. `bases` carries each candidate's
+    /// lineage hint for incremental sessions (aligned with `topologies`).
     ///
     /// The cache phase is serial in both serial and parallel modes, so the
     /// hit/miss counters — and, costs being pure, every returned value — are
     /// independent of `settings.parallel`. Within-batch duplicates resolve
     /// to one evaluation even on the very first batch.
-    fn evaluate_all(
-        &self,
+    fn evaluate_all<'s>(
+        &'s self,
         topologies: &[AdjacencyMatrix],
+        bases: &[Option<&AdjacencyMatrix>],
+        sessions: &mut [Box<dyn ObjectiveSession + 's>],
         cache: Option<&mut HashMap<AdjacencyMatrix, f64>>,
         stats: &mut EvalStats,
     ) -> Result<Vec<f64>, GaError> {
+        debug_assert_eq!(topologies.len(), bases.len());
         stats.requested += topologies.len();
-        let Some(cache) = cache else {
-            stats.cache_misses += topologies.len();
-            let all: Vec<&AdjacencyMatrix> = topologies.iter().collect();
-            return self.evaluate_batch(&all, stats);
-        };
-        // Resolve each request to Ok(cached cost) or Err(index into the
-        // unique pending list).
-        let mut pending: Vec<&AdjacencyMatrix> = Vec::new();
-        let mut first_seen: HashMap<&AdjacencyMatrix, usize> = HashMap::new();
-        let resolved: Vec<Result<f64, usize>> = topologies
-            .iter()
-            .map(|t| {
-                if let Some(&c) = cache.get(t) {
-                    stats.cache_hits += 1;
-                    Ok(c)
-                } else if let Some(&k) = first_seen.get(t) {
-                    stats.cache_hits += 1;
-                    Err(k)
-                } else {
-                    stats.cache_misses += 1;
-                    first_seen.insert(t, pending.len());
-                    pending.push(t);
-                    Err(pending.len() - 1)
-                }
-            })
-            .collect();
-        let fresh = self.evaluate_batch(&pending, stats)?;
-        for (t, &c) in pending.iter().zip(&fresh) {
-            cache.insert((*t).clone(), c);
-        }
-        Ok(resolved
-            .into_iter()
-            .map(|r| match r {
-                Ok(c) => c,
-                Err(k) => fresh[k],
-            })
-            .collect())
+        let result = (|| {
+            let Some(cache) = cache else {
+                stats.cache_misses += topologies.len();
+                let all: Vec<&AdjacencyMatrix> = topologies.iter().collect();
+                return self.evaluate_batch(&all, bases, sessions, stats);
+            };
+            // Resolve each request to Ok(cached cost) or Err(index into the
+            // unique pending list).
+            let mut pending: Vec<&AdjacencyMatrix> = Vec::new();
+            let mut pending_bases: Vec<Option<&AdjacencyMatrix>> = Vec::new();
+            let mut first_seen: HashMap<&AdjacencyMatrix, usize> = HashMap::new();
+            let resolved: Vec<Result<f64, usize>> = topologies
+                .iter()
+                .zip(bases)
+                .map(|(t, b)| {
+                    if let Some(&c) = cache.get(t) {
+                        stats.cache_hits += 1;
+                        Ok(c)
+                    } else if let Some(&k) = first_seen.get(t) {
+                        stats.cache_hits += 1;
+                        Err(k)
+                    } else {
+                        stats.cache_misses += 1;
+                        first_seen.insert(t, pending.len());
+                        pending.push(t);
+                        pending_bases.push(*b);
+                        Err(pending.len() - 1)
+                    }
+                })
+                .collect();
+            let fresh = self.evaluate_batch(&pending, &pending_bases, sessions, stats)?;
+            for (t, &c) in pending.iter().zip(&fresh) {
+                cache.insert((*t).clone(), c);
+            }
+            Ok(resolved
+                .into_iter()
+                .map(|r| match r {
+                    Ok(c) => c,
+                    Err(k) => fresh[k],
+                })
+                .collect())
+        })();
+        // Session counters are cumulative; publish the current totals so
+        // checkpoints and per-generation records see a consistent split.
+        stats.delta_evals = sessions.iter().map(|s| s.delta_evals()).sum();
+        stats.full_evals = sessions.iter().map(|s| s.full_evals()).sum();
+        result
     }
 
     /// Runs the objective over `batch`, in parallel when configured, adding
@@ -492,25 +565,32 @@ impl<O: Objective> GeneticAlgorithm<O> {
     /// in [`Individual::new`] vanished under `--release`, and a NaN cost
     /// then won every selection tournament via the `EPSILON` clamp in
     /// `inverse_cost_weights`).
-    fn evaluate_batch(
-        &self,
+    fn evaluate_batch<'s>(
+        &'s self,
         batch: &[&AdjacencyMatrix],
+        bases: &[Option<&AdjacencyMatrix>],
+        sessions: &mut [Box<dyn ObjectiveSession + 's>],
         stats: &mut EvalStats,
     ) -> Result<Vec<f64>, GaError> {
         let _batch_timer = cold_obs::timer("ga.evaluate_batch");
         let start = Instant::now();
-        let costs = if !self.settings.parallel || batch.len() < 4 {
-            batch.iter().map(|t| self.objective.cost(t)).collect()
+        let costs = if !self.settings.parallel || batch.len() < 4 || sessions.len() == 1 {
+            let session = &mut sessions[0];
+            batch.iter().zip(bases).map(|(t, b)| session.cost(t, *b)).collect()
         } else {
-            let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-            let workers = workers.min(batch.len());
+            let workers = sessions.len().min(batch.len());
             let mut costs = vec![0.0f64; batch.len()];
             let chunk = batch.len().div_ceil(workers);
             crossbeam::scope(|scope| {
-                for (slot, topos) in costs.chunks_mut(chunk).zip(batch.chunks(chunk)) {
+                for (((slot, topos), base_chunk), session) in costs
+                    .chunks_mut(chunk)
+                    .zip(batch.chunks(chunk))
+                    .zip(bases.chunks(chunk))
+                    .zip(sessions.iter_mut())
+                {
                     scope.spawn(move |_| {
-                        for (c, t) in slot.iter_mut().zip(topos) {
-                            *c = self.objective.cost(t);
+                        for ((c, t), b) in slot.iter_mut().zip(topos).zip(base_chunk) {
+                            *c = session.cost(t, *b);
                         }
                     });
                 }
@@ -553,6 +633,8 @@ fn generation_record(
         diversity: distinct.len() as f64 / population.len() as f64,
         cache_hits: stats.cache_hits - prev_stats.cache_hits,
         cache_misses: stats.cache_misses - prev_stats.cache_misses,
+        delta_evals: stats.delta_evals - prev_stats.delta_evals,
+        full_evals: stats.full_evals - prev_stats.full_evals,
         crossover: settings.num_crossover,
         mutation: settings.num_mutation,
         repairs,
@@ -709,21 +791,28 @@ mod tests {
         let a = AdjacencyMatrix::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
         let b = AdjacencyMatrix::complete(5);
         let batch = vec![a.clone(), a.clone(), b.clone(), a.clone()];
+        let bases = vec![None; batch.len()];
+        let mut sessions = vec![ga.objective().session()];
         let mut cache = Some(std::collections::HashMap::new());
         let mut stats = EvalStats::default();
-        let costs = ga.evaluate_all(&batch, cache.as_mut(), &mut stats).unwrap();
+        let costs =
+            ga.evaluate_all(&batch, &bases, &mut sessions, cache.as_mut(), &mut stats).unwrap();
         assert_eq!(obj.calls.load(AtomicOrdering::Relaxed), 2, "a and b each routed once");
         assert_eq!(costs[0], costs[1]);
         assert_eq!(costs[1], costs[3]);
         assert_eq!(stats.requested, 4);
         assert_eq!(stats.cache_hits, 2);
         assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.full_evals, 2, "stateless sessions answer every miss in full");
+        assert_eq!(stats.delta_evals, 0);
         // A second identical batch is served entirely from the cache.
-        let again = ga.evaluate_all(&batch, cache.as_mut(), &mut stats).unwrap();
+        let again =
+            ga.evaluate_all(&batch, &bases, &mut sessions, cache.as_mut(), &mut stats).unwrap();
         assert_eq!(again, costs);
         assert_eq!(obj.calls.load(AtomicOrdering::Relaxed), 2);
         assert_eq!(stats.cache_hits, 6);
         assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.full_evals, 2);
     }
 
     #[test]

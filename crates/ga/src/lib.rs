@@ -25,7 +25,12 @@
 //!
 //! The engine is generic over an [`Objective`] so alternative cost models
 //! (multi-AS interconnect costs, router-level objectives, …) plug in
-//! without touching the GA — the extensibility §2 highlights.
+//! without touching the GA — the extensibility §2 highlights. Objectives
+//! that can evaluate incrementally open per-worker [`ObjectiveSession`]s,
+//! which receive each offspring's lineage (its parent topology) and may
+//! repair cached routing state instead of recomputing from scratch — the
+//! results must be, and for `cold-cost`'s delta evaluator are,
+//! bit-identical either way.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,6 +74,79 @@ pub trait Objective: Sync {
     /// before calling this, so implementations may treat disconnection as
     /// a programming error.
     fn cost(&self, topology: &AdjacencyMatrix) -> f64;
+
+    /// Opens a per-worker evaluation session. The engine keeps one session
+    /// per evaluation thread alive across generations, so stateful
+    /// implementations (incremental/delta evaluators) can reuse routing
+    /// state between offspring. The default session is stateless and just
+    /// forwards to [`cost`](Self::cost).
+    ///
+    /// Sessions must agree bit-for-bit with [`cost`](Self::cost): the
+    /// engine treats them as a transparent optimization and mixes session
+    /// results with cached `cost` results freely.
+    fn session(&self) -> Box<dyn ObjectiveSession + '_> {
+        Box::new(StatelessSession { objective: self, full: 0 })
+    }
+
+    /// The `k` nearest other nodes of every node under
+    /// [`distance`](Self::distance), each list sorted by `(distance, id)`
+    /// ascending. This is the candidate-link universe for pruned mutation
+    /// (`GaSettings::mutation_neighbors`); implementations with
+    /// precomputed geometry can override it with a cheaper/authoritative
+    /// version.
+    fn k_nearest(&self, k: usize) -> Vec<Vec<usize>> {
+        let n = self.n();
+        (0..n)
+            .map(|u| {
+                let mut others: Vec<usize> = (0..n).filter(|&v| v != u).collect();
+                others.sort_by(|&a, &b| {
+                    self.distance(u, a).total_cmp(&self.distance(u, b)).then(a.cmp(&b))
+                });
+                others.truncate(k);
+                others
+            })
+            .collect()
+    }
+}
+
+/// A per-worker fitness evaluation session (see [`Objective::session`]).
+///
+/// `cost` takes an optional `base` — the topology the candidate was
+/// derived from (its better crossover parent or its mutation source).
+/// Incremental evaluators use it as a re-anchoring hint; stateless
+/// sessions ignore it. Results must not depend on `base` or on which
+/// session evaluates which candidate — only the work done may vary.
+pub trait ObjectiveSession: Send {
+    /// Cost of a **connected** topology, bit-identical to
+    /// [`Objective::cost`].
+    fn cost(&mut self, topology: &AdjacencyMatrix, base: Option<&AdjacencyMatrix>) -> f64;
+
+    /// Evaluations this session answered incrementally.
+    fn delta_evals(&self) -> usize {
+        0
+    }
+
+    /// Evaluations this session answered with a full recomputation.
+    fn full_evals(&self) -> usize {
+        0
+    }
+}
+
+/// The default stateless session: forwards to [`Objective::cost`] and
+/// counts every call as a full evaluation.
+struct StatelessSession<'a, O: Objective + ?Sized> {
+    objective: &'a O,
+    full: usize,
+}
+
+impl<O: Objective + ?Sized> ObjectiveSession for StatelessSession<'_, O> {
+    fn cost(&mut self, topology: &AdjacencyMatrix, _base: Option<&AdjacencyMatrix>) -> f64 {
+        self.full += 1;
+        self.objective.cost(topology)
+    }
+    fn full_evals(&self) -> usize {
+        self.full
+    }
 }
 
 /// Blanket implementation for references, so `&O` can be passed where an
@@ -82,6 +160,12 @@ impl<O: Objective + ?Sized> Objective for &O {
     }
     fn cost(&self, topology: &AdjacencyMatrix) -> f64 {
         (**self).cost(topology)
+    }
+    fn session(&self) -> Box<dyn ObjectiveSession + '_> {
+        (**self).session()
+    }
+    fn k_nearest(&self, k: usize) -> Vec<Vec<usize>> {
+        (**self).k_nearest(k)
     }
 }
 

@@ -36,10 +36,28 @@ pub fn geometric(p: f64, rng: &mut StdRng) -> usize {
 /// Link mutation: removes `m⁺ ~ Geom(p)` random existing links and adds
 /// `m⁻ ~ Geom(p)` random absent links (each capped by availability).
 pub fn link_mutation(topology: &mut AdjacencyMatrix, p: f64, rng: &mut StdRng) {
+    link_mutation_in(topology, p, None, rng);
+}
+
+/// Link mutation over a restricted candidate universe: like
+/// [`link_mutation`], but when `universe` is `Some(pairs)` (sorted pair
+/// indices) only those pairs may be **added**. Removals always range over
+/// every existing link, so pruning never strands an edge the optimizer
+/// wants gone. `None` is exactly [`link_mutation`] — same RNG stream,
+/// same results.
+pub fn link_mutation_in(
+    topology: &mut AdjacencyMatrix,
+    p: f64,
+    universe: Option<&[usize]>,
+    rng: &mut StdRng,
+) {
     let m_plus = geometric(p, rng);
     let m_minus = geometric(p, rng);
     let mut present: Vec<usize> = (0..topology.pair_count()).filter(|&i| topology.bit(i)).collect();
-    let mut absent: Vec<usize> = (0..topology.pair_count()).filter(|&i| !topology.bit(i)).collect();
+    let mut absent: Vec<usize> = match universe {
+        Some(pairs) => pairs.iter().copied().filter(|&i| !topology.bit(i)).collect(),
+        None => (0..topology.pair_count()).filter(|&i| !topology.bit(i)).collect(),
+    };
     for _ in 0..m_plus.min(present.len()) {
         let i = rng.gen_range(0..present.len());
         let pair = present.swap_remove(i);
@@ -100,17 +118,20 @@ pub fn node_mutation<O: Objective>(
 }
 
 /// Applies one mutation — node mutation with probability
-/// `settings.node_mutation_prob`, link mutation otherwise.
+/// `settings.node_mutation_prob`, link mutation otherwise. `universe`
+/// restricts link *additions* when candidate-link pruning is active
+/// (`GaSettings::mutation_neighbors`); the engine precomputes it once.
 pub fn mutate<O: Objective>(
     topology: &mut AdjacencyMatrix,
     objective: &O,
     settings: &crate::GaSettings,
+    universe: Option<&[usize]>,
     rng: &mut StdRng,
 ) {
     if rng.gen_range(0.0..1.0) < settings.node_mutation_prob {
         node_mutation(topology, objective, rng);
     } else {
-        link_mutation(topology, settings.link_mutation_p, rng);
+        link_mutation_in(topology, settings.link_mutation_p, universe, rng);
     }
 }
 
@@ -202,11 +223,46 @@ mod tests {
         let mut changed = 0;
         for _ in 0..100 {
             let mut m = base.clone();
-            mutate(&mut m, &obj, &settings, &mut rng);
+            mutate(&mut m, &obj, &settings, None, &mut rng);
             if m != base {
                 changed += 1;
             }
         }
         assert!(changed > 50, "mutation changed only {changed}/100 topologies");
+    }
+
+    #[test]
+    fn restricted_universe_only_adds_allowed_pairs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = AdjacencyMatrix::from_edges(8, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        // Only pairs (0,1), (0,2), (4,5) may ever be added.
+        let allowed: Vec<usize> =
+            vec![base.pair_index(0, 1), base.pair_index(0, 2), base.pair_index(4, 5)];
+        let mut sorted = allowed.clone();
+        sorted.sort_unstable();
+        for _ in 0..500 {
+            let mut m = base.clone();
+            link_mutation_in(&mut m, 0.5, Some(&sorted), &mut rng);
+            for (u, v) in m.edges() {
+                let p = m.pair_index(u, v);
+                assert!(base.bit(p) || sorted.contains(&p), "added disallowed pair ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn none_universe_matches_unrestricted_rng_stream() {
+        // `link_mutation_in(.., None, ..)` must be byte-for-byte the old
+        // operator: same RNG consumption, same offspring.
+        let base = AdjacencyMatrix::from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]).unwrap();
+        let mut a_rng = StdRng::seed_from_u64(9);
+        let mut b_rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let mut a = base.clone();
+            let mut b = base.clone();
+            link_mutation(&mut a, 0.5, &mut a_rng);
+            link_mutation_in(&mut b, 0.5, None, &mut b_rng);
+            assert_eq!(a, b);
+        }
     }
 }

@@ -56,6 +56,18 @@ pub struct GaSettings {
     /// more than `rel_tol` over the last `window` generations. The paper
     /// notes `T = 100` "proved to function similarly" to such a rule (§5).
     pub early_stop: Option<EarlyStop>,
+    /// Candidate-link pruning for large `n`: when `Some(k)`, link
+    /// mutation only *adds* links between geographic `k`-nearest
+    /// neighbors (under [`Objective::distance`](crate::Objective); a pair
+    /// qualifies when either endpoint is among the other's `k` nearest).
+    /// Removals stay unrestricted and connectivity repair may still
+    /// introduce longer links, so the search space keeps every connected
+    /// topology reachable — pruning only biases *proposals* toward the
+    /// short links the optimizer keeps anyway, which also bounds the
+    /// dirty set incremental evaluation has to repair per offspring.
+    /// `None` (the default) mutates over all pairs, preserving the
+    /// paper's operator and existing RNG streams.
+    pub mutation_neighbors: Option<usize>,
     /// Optional stall guard: terminate the run (with
     /// [`StopReason::Stalled`](crate::StopReason)) after this many
     /// consecutive generations without *strict* best-cost improvement.
@@ -93,6 +105,7 @@ impl GaSettings {
             parallel: true,
             fitness_cache: true,
             early_stop: None,
+            mutation_neighbors: None,
             stall_gens: None,
         }
     }
@@ -156,6 +169,9 @@ impl GaSettings {
         if self.stall_gens == Some(0) {
             return Err("stall_gens needs window >= 1".into());
         }
+        if self.mutation_neighbors == Some(0) {
+            return Err("mutation_neighbors needs k >= 1".into());
+        }
         Ok(())
     }
 
@@ -214,6 +230,15 @@ mod tests {
         assert!(s.validate().is_err());
         s.parents = 0;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_zero_mutation_neighbors() {
+        let mut s = GaSettings::paper_default(0);
+        s.mutation_neighbors = Some(0);
+        assert!(s.validate().is_err());
+        s.mutation_neighbors = Some(1);
+        assert!(s.validate().is_ok());
     }
 
     #[test]

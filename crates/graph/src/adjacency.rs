@@ -214,6 +214,40 @@ impl AdjacencyMatrix {
         Ok(self.bits.iter().zip(&other.bits).map(|(a, b)| (a ^ b).count_ones() as usize).sum())
     }
 
+    /// The node pairs where two same-sized graphs differ, as `(u, v)`
+    /// with `u < v` in ascending pair order — or `None` as soon as more
+    /// than `max` differences exist (the early abort keeps "is this a
+    /// small delta?" O(words) instead of materializing a huge diff when
+    /// two chromosomes are unrelated).
+    ///
+    /// # Errors
+    /// Returns [`GraphError::SizeMismatch`] when `n` differs.
+    pub fn diff_pairs_up_to(
+        &self,
+        other: &Self,
+        max: usize,
+    ) -> Result<Option<Vec<(usize, usize)>>> {
+        if self.n != other.n {
+            return Err(GraphError::SizeMismatch { expected: self.n, actual: other.n });
+        }
+        let mut diff = Vec::new();
+        for (w, (a, b)) in self.bits.iter().zip(&other.bits).enumerate() {
+            let mut x = a ^ b;
+            if x == 0 {
+                continue;
+            }
+            if diff.len() + x.count_ones() as usize > max {
+                return Ok(None);
+            }
+            while x != 0 {
+                let p = w * 64 + x.trailing_zeros() as usize;
+                diff.push(self.index_pair(p));
+                x &= x - 1;
+            }
+        }
+        Ok(Some(diff))
+    }
+
     /// Returns a copy with nodes relabeled by `perm` (`perm[old] = new`).
     ///
     /// # Panics
@@ -336,6 +370,30 @@ mod tests {
         assert_eq!(a.hamming_distance(&a).unwrap(), 0);
         let c = AdjacencyMatrix::empty(5);
         assert!(a.hamming_distance(&c).is_err());
+    }
+
+    #[test]
+    fn diff_pairs_reports_flips_in_ascending_pair_order_with_early_abort() {
+        let a = AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let b = AdjacencyMatrix::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(a.diff_pairs_up_to(&b, 4).unwrap(), Some(vec![(1, 2), (2, 3)]));
+        assert_eq!(a.diff_pairs_up_to(&b, 2).unwrap(), Some(vec![(1, 2), (2, 3)]));
+        assert_eq!(a.diff_pairs_up_to(&b, 1).unwrap(), None, "more flips than max");
+        assert_eq!(a.diff_pairs_up_to(&a, 0).unwrap(), Some(vec![]));
+        assert!(a.diff_pairs_up_to(&AdjacencyMatrix::empty(5), 10).is_err());
+        // Spans multiple words: complete vs empty on n = 20 (190 pairs).
+        let full = AdjacencyMatrix::complete(20);
+        let none = AdjacencyMatrix::empty(20);
+        let d = full.diff_pairs_up_to(&none, 190).unwrap().unwrap();
+        assert_eq!(d.len(), 190);
+        let mut expect = Vec::new();
+        for u in 0..20 {
+            for v in (u + 1)..20 {
+                expect.push((u, v));
+            }
+        }
+        assert_eq!(d, expect, "ascending flat pair order");
+        assert_eq!(full.diff_pairs_up_to(&none, 189).unwrap(), None);
     }
 
     #[test]

@@ -244,6 +244,27 @@ fn accumulate_source(
     Ok(weighted)
 }
 
+/// `Σ_t t(s,t)·dist[t]` for one source, with exactly the arithmetic and
+/// accumulation order [`route_loads_into`] uses per source.
+///
+/// This is the building block incremental (delta) evaluation needs: after
+/// repairing a single source's distance row it can recompute just that
+/// source's weighted-demand contribution and still fold the per-source
+/// terms in ascending source order, making the total bit-identical to a
+/// full re-route. `demand` is a reusable scratch buffer (overwritten).
+///
+/// # Errors
+/// Returns [`GraphError::Disconnected`] if any positive demand out of `s`
+/// targets a node with non-finite `dist`.
+pub fn source_weighted_demand(
+    s: usize,
+    dist: &[f64],
+    traffic: impl Fn(usize, usize) -> f64,
+    demand: &mut Vec<f64>,
+) -> Result<f64> {
+    collect_demands(s, dist, &traffic, demand)
+}
+
 /// Fills `demand` with the demands out of source `s` (rejecting positive
 /// demand to unreachable nodes) and returns `Σ_t t(s,t)·dist[t]`. Both
 /// routing entry points share this loop so their `Σ t·L` stays
@@ -490,6 +511,34 @@ mod tests {
         let mut load = Vec::new();
         assert_eq!(
             route_loads_into(&g, |_, _| 1.0, uniform_traffic, &mut ws, &mut load).unwrap_err(),
+            GraphError::Disconnected
+        );
+    }
+
+    #[test]
+    fn source_weighted_demand_folds_to_the_routed_total_bit_for_bit() {
+        // Per-source terms computed through the public wrapper, folded in
+        // ascending source order, must equal route_loads_into's Σ t·L
+        // exactly — this identity is what lets delta-evaluation recompute
+        // only repaired sources.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap();
+        let len = |u: usize, v: usize| ((u + 2 * v) % 5 + 1) as f64 * 0.1;
+        let sym = move |u: usize, v: usize| if u < v { len(u, v) } else { len(v, u) };
+        let traffic = |s: usize, t: usize| ((s * 3 + t) % 4) as f64;
+        let mut ws = RoutingWorkspace::new();
+        let mut load = Vec::new();
+        let total = route_loads_into(&g, sym, traffic, &mut ws, &mut load).unwrap();
+        let mut demand = Vec::new();
+        let mut folded = 0.0f64;
+        for s in 0..g.n() {
+            let tree = dijkstra(&g, s, sym);
+            folded += source_weighted_demand(s, &tree.dist, traffic, &mut demand).unwrap();
+        }
+        assert_eq!(folded, total, "per-source fold must be bit-identical");
+        // Positive demand to an unreachable target is still an error.
+        let dist = vec![0.0, 1.0, f64::INFINITY];
+        assert_eq!(
+            source_weighted_demand(0, &dist, |_, _| 1.0, &mut demand).unwrap_err(),
             GraphError::Disconnected
         );
     }

@@ -154,8 +154,13 @@ impl DijkstraWorkspace {
             for k in start[u]..start[u + 1] {
                 let v = node[k];
                 let nd = d + len[k];
-                if nd < self.dist[v] || (nd == self.dist[v] && !self.done[v] && u < self.parent[v])
-                {
+                // Strict `<` makes the parent the *first* relaxer to reach
+                // the final label. Relaxers are settled vertices, so they
+                // arrive in `(dist, id)` heap order: under equal-cost paths
+                // the parent is canonically the predecessor minimizing
+                // `(dist[u], u)` — a property of the label set, not of the
+                // relaxation schedule, so delta-repaired trees agree.
+                if nd < self.dist[v] {
                     self.dist[v] = nd;
                     self.parent[v] = u;
                     self.heap.push(HeapItem { dist: nd, node: v });
@@ -222,7 +227,9 @@ fn run_dijkstra(
             let w = len(u, v);
             assert!(w >= 0.0, "negative or NaN edge length on ({u},{v}): {w}");
             let nd = d + w;
-            if nd < dist[v] || (nd == dist[v] && !done[v] && u < parent[v]) {
+            // Same canonical tie-break as `run_csr`: first relaxer wins,
+            // which in settle order is the `(dist[u], u)`-minimal parent.
+            if nd < dist[v] {
                 dist[v] = nd;
                 parent[v] = u;
                 heap.push(HeapItem { dist: nd, node: v });
@@ -234,8 +241,10 @@ fn run_dijkstra(
 /// Dijkstra's algorithm from `source` with edge lengths given by `len`.
 ///
 /// `len(u, v)` is only called for actual edges of `g` and must be
-/// non-negative and finite. Ties are resolved deterministically (by node
-/// index), so the returned tree is a pure function of its inputs.
+/// non-negative and finite. Equal-cost ties are resolved deterministically:
+/// the parent is the predecessor minimizing `(dist, node id)`, so the
+/// returned tree is a pure function of its inputs and agrees bit-for-bit
+/// with incrementally repaired trees.
 ///
 /// # Panics
 /// Panics if `source >= g.n()` or a negative/NaN length is produced.
@@ -416,5 +425,50 @@ mod tests {
         assert_eq!(a.parent, b.parent);
         // Lower-indexed parent wins the tie.
         assert_eq!(a.parent[3], 1);
+    }
+
+    #[test]
+    fn equal_cost_parallel_routes_pick_the_dist_then_id_minimal_parent() {
+        // Ladder with many parallel equal-weight routes: 0-{1,2}-{3,4}-5,
+        // plus a same-length route into 3 via higher-indexed 4 won't matter.
+        // Every tie must resolve to the predecessor with the smallest
+        // (dist, id), independent of relaxation schedule.
+        let g =
+            Graph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (1, 4), (2, 4), (3, 5), (4, 5)])
+                .unwrap();
+        let t = dijkstra(&g, 0, |_, _| 1.0);
+        assert_eq!(t.dist, vec![0.0, 1.0, 1.0, 2.0, 2.0, 3.0]);
+        // 3 and 4 are reachable at cost 2 via both 1 and 2; 1 settles first.
+        assert_eq!(t.parent[3], 1);
+        assert_eq!(t.parent[4], 1);
+        // 5 is reachable at cost 3 via both 3 and 4; 3 settles first.
+        assert_eq!(t.parent[5], 3);
+
+        // The CSR runner agrees exactly, and so does a CSR with the
+        // neighbor lists reversed — the canonical parent does not depend
+        // on per-vertex relaxation order.
+        let n = g.n();
+        let build = |rev: bool| {
+            let (mut start, mut node, mut elen) = (vec![0], Vec::new(), Vec::new());
+            for u in 0..n {
+                let mut nbrs: Vec<usize> = g.neighbors(u).to_vec();
+                if rev {
+                    nbrs.reverse();
+                }
+                for v in nbrs {
+                    node.push(v);
+                    elen.push(1.0);
+                }
+                start.push(node.len());
+            }
+            (start, node, elen)
+        };
+        for rev in [false, true] {
+            let (start, node, elen) = build(rev);
+            let mut ws = DijkstraWorkspace::new();
+            ws.run_csr(0, &start, &node, &elen);
+            assert_eq!(ws.dist(), &t.dist[..], "rev={rev}");
+            assert_eq!(ws.parent(), &t.parent[..], "rev={rev}");
+        }
     }
 }

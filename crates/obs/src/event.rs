@@ -34,6 +34,13 @@ pub struct GenerationRecord {
     pub cache_hits: usize,
     /// Fitness-cache misses (actual objective runs) this generation.
     pub cache_misses: usize,
+    /// Cache misses answered incrementally (delta evaluation) this
+    /// generation. `delta_evals + full_evals == cache_misses`; stateless
+    /// objectives report 0 here.
+    pub delta_evals: usize,
+    /// Cache misses answered by a full from-scratch evaluation this
+    /// generation.
+    pub full_evals: usize,
     /// Offspring produced by crossover this generation.
     pub crossover: usize,
     /// Offspring produced by mutation this generation.
@@ -321,6 +328,8 @@ impl Event {
                     "diversity": r.diversity,
                     "cache_hits": r.cache_hits,
                     "cache_misses": r.cache_misses,
+                    "delta_evals": r.delta_evals,
+                    "full_evals": r.full_evals,
                     "crossover": r.crossover,
                     "mutation": r.mutation,
                     "repairs": r.repairs,
@@ -459,6 +468,8 @@ impl Event {
                     diversity: f64_field(obj, "diversity")?,
                     cache_hits: usize_field(obj, "cache_hits")?,
                     cache_misses: usize_field(obj, "cache_misses")?,
+                    delta_evals: usize_field(obj, "delta_evals")?,
+                    full_evals: usize_field(obj, "full_evals")?,
                     crossover: usize_field(obj, "crossover")?,
                     mutation: usize_field(obj, "mutation")?,
                     repairs: usize_field(obj, "repairs")?,
@@ -623,6 +634,8 @@ mod tests {
                     diversity: 0.925,
                     cache_hits: 3,
                     cache_misses: 29,
+                    delta_evals: 24,
+                    full_evals: 5,
                     crossover: 20,
                     mutation: 12,
                     repairs: 1,
@@ -724,6 +737,8 @@ mod tests {
             "diversity",
             "cache_hits",
             "cache_misses",
+            "delta_evals",
+            "full_evals",
             "crossover",
             "mutation",
             "repairs",

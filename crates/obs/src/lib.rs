@@ -366,6 +366,8 @@ mod tests {
             diversity: 1.0,
             cache_hits: 0,
             cache_misses: 5,
+            delta_evals: 4,
+            full_evals: 1,
             crossover: 2,
             mutation: 1,
             repairs: 0,

@@ -135,6 +135,33 @@ mod tests {
     }
 
     #[test]
+    fn closing_an_idle_queue_wakes_parked_workers_without_a_stray_push() {
+        // Drain-on-idle regression: workers blocked in `pop` on an *empty*
+        // queue must be released by `close()` alone. If close ever stops
+        // notifying the condvar, this test hangs on join until the harness
+        // timeout instead of finishing in milliseconds.
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Let every worker reach the condvar wait before closing.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let start = std::time::Instant::now();
+        q.close();
+        for w in workers {
+            assert_eq!(w.join().unwrap(), None, "idle workers exit with None");
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "idle drain took {:?}; workers were not woken by close",
+            start.elapsed()
+        );
+    }
+
+    #[test]
     fn forced_push_ignores_the_bound_but_not_the_close() {
         let q = BoundedQueue::new(1);
         q.push(1).unwrap();
