@@ -17,6 +17,13 @@
 //!   relaxed atomic load in front of the timer gate. The same <2% bar
 //!   (vs. `untimed`) covers this path: with `COLD_FAULTS` unset, the
 //!   guards must be free.
+//! - `span_disabled`: the evaluation wrapped in a `cold_obs::span` scope
+//!   with telemetry off — the trace-context machinery (scope
+//!   constructor, thread-local stack, span-id minting) must collapse to
+//!   the same one-atomic-load gate, so the same <2% bar applies.
+//! - `span_enabled_no_sink`: the same wrapped call with timers recording
+//!   but no journal sink — the per-span cost of trace bookkeeping
+//!   (push/pop, id mint, histogram update) off the disabled path.
 
 use cold::ColdConfig;
 use cold_cost::{evaluate_total, evaluate_total_untimed, CostEvaluator, CostParams};
@@ -73,6 +80,30 @@ fn bench_obs_overhead(c: &mut Criterion) {
             }
             black_box(acc)
         });
+    });
+    group.bench_function("span_disabled", |b| {
+        cold_obs::set_timers_enabled(false);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in &topos {
+                let _span = cold_obs::span("bench.eval");
+                acc += evaluate_total(black_box(t), &ctx, &params).unwrap();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("span_enabled_no_sink", |b| {
+        cold_obs::set_timers_enabled(true);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in &topos {
+                let _span = cold_obs::span("bench.eval");
+                acc += evaluate_total(black_box(t), &ctx, &params).unwrap();
+            }
+            black_box(acc)
+        });
+        cold_obs::set_timers_enabled(false);
+        cold_obs::reset();
     });
     group.bench_function("timer_enabled", |b| {
         cold_obs::set_timers_enabled(true);

@@ -373,6 +373,10 @@ fn main() {
     } else if args.progress {
         cold_obs::configure(cold_obs::TraceMode::Progress).expect("progress sink is infallible");
     }
+    // Root trace scope for the whole invocation: the trace id is the run
+    // id of the master seed, so journal joins need no side tables. Inert
+    // when no sink is configured.
+    let _trace = cold_obs::trace::root("cli.run", &cold_obs::run_id(args.seed));
     // Arm fault injection: the explicit flag wins over COLD_FAULTS; either
     // way the schedule derives from the master seed so a chaos run is as
     // reproducible as a clean one.

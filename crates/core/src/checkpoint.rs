@@ -330,6 +330,7 @@ impl CampaignCheckpoint {
     /// [`ColdError::Io`] naming `path` when the write or rename fails (or
     /// a `campaign.io_err` fault is armed and fires).
     pub fn save(&self, path: &Path) -> Result<(), ColdError> {
+        let _timer = cold_obs::timer("core.checkpoint_save");
         if cold_fault::armed() && cold_fault::should_fire("campaign.io_err") {
             return Err(ColdError::Io(std::io::Error::other(format!(
                 "{}: injected campaign checkpoint I/O failure",
@@ -493,6 +494,9 @@ pub fn run_campaign_controlled(
     if checkpoint_every == 0 {
         return Err(ColdError::Checkpoint("checkpoint interval must be >= 1".into()));
     }
+    // One campaign span per invocation: trial spans (and their GA
+    // generations) nest under it in the trace tree.
+    let _span = cold_obs::span("core.campaign");
     config.validate()?;
     let mut records: Vec<TrialRecord> = match resume {
         None => Vec::new(),

@@ -108,7 +108,11 @@ pub(crate) fn run_with_deadline(
 ) -> Result<SynthesisResult, ColdError> {
     let cfg = *cfg;
     let (tx, rx) = std::sync::mpsc::channel();
+    // Trace context is thread-local; snapshot it here and re-install it
+    // on the worker so the trial's events stay under the caller's span.
+    let trace_ctx = cold_obs::trace::current();
     let worker = std::thread::spawn(move || {
+        let _trace = trace_ctx.map(cold_obs::trace::enter);
         let outcome =
             catch_unwind(AssertUnwindSafe(|| cfg.try_synthesize_progress(seed, progress)))
                 .unwrap_or_else(|payload| {
@@ -282,11 +286,14 @@ impl ColdConfig {
         let seeds: Vec<cold_graph::AdjacencyMatrix> = match self.mode {
             SynthesisMode::GaOnly => Vec::new(),
             SynthesisMode::Initialized => {
-                let hs = all_heuristics(
-                    objective.evaluator(),
-                    &self.random_greedy,
-                    derive_seed(seed, 0x4755),
-                );
+                let hs = {
+                    let _t = cold_obs::timer("core.heuristic_seed");
+                    all_heuristics(
+                        objective.evaluator(),
+                        &self.random_greedy,
+                        derive_seed(seed, 0x4755),
+                    )
+                };
                 hs.into_iter()
                     .map(|(name, r)| {
                         heuristic_costs.push((name.to_string(), r.cost));
@@ -425,60 +432,70 @@ impl ColdConfig {
             Failed { trial: usize, attempt: usize, seed: u64, error: ColdError },
         }
         let (tx, rx) = std::sync::mpsc::channel::<Message>();
+        // Snapshot the ensemble span's context so every worker thread
+        // (and hence every trial span) nests under it.
+        let trace_ctx = cold_obs::trace::current();
         crossbeam::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
                 let serial = &serial;
-                scope.spawn(move |_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= count {
-                        break;
-                    }
-                    for attempt in 1..=2usize {
-                        let seed = if attempt == 1 {
-                            derive_seed(master_seed, i as u64)
-                        } else {
-                            derive_seed(derive_seed(master_seed, RETRY_SALT), i as u64)
-                        };
-                        // The catch_unwind boundary keeps a panicking
-                        // objective (or any other bug inside one trial)
-                        // from unwinding into the crossbeam scope, which
-                        // would re-raise and poison the whole ensemble.
-                        let outcome =
-                            catch_unwind(AssertUnwindSafe(|| run_trial(serial, seed, i, attempt)))
-                                .unwrap_or_else(|payload| {
-                                    Err(ColdError::TrialPanic(panic_message(payload.as_ref())))
-                                });
-                        match outcome {
-                            Ok(r) => {
-                                tx.send(Message::Done(i, Box::new(r)))
-                                    .expect("result channel open");
-                                break;
-                            }
-                            Err(error) => {
-                                if cold_obs::is_enabled() {
-                                    if let ColdError::DeadlineExceeded { seconds } = &error {
-                                        cold_obs::emit(&cold_obs::Event::TrialDeadlineExceeded(
-                                            cold_obs::TrialDeadlineExceeded {
+                let trace_ctx = trace_ctx.clone();
+                scope.spawn(move |_| {
+                    let _trace = trace_ctx.map(cold_obs::trace::enter);
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        for attempt in 1..=2usize {
+                            let seed = if attempt == 1 {
+                                derive_seed(master_seed, i as u64)
+                            } else {
+                                derive_seed(derive_seed(master_seed, RETRY_SALT), i as u64)
+                            };
+                            // The catch_unwind boundary keeps a panicking
+                            // objective (or any other bug inside one trial)
+                            // from unwinding into the crossbeam scope, which
+                            // would re-raise and poison the whole ensemble.
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                run_trial(serial, seed, i, attempt)
+                            }))
+                            .unwrap_or_else(|payload| {
+                                Err(ColdError::TrialPanic(panic_message(payload.as_ref())))
+                            });
+                            match outcome {
+                                Ok(r) => {
+                                    tx.send(Message::Done(i, Box::new(r)))
+                                        .expect("result channel open");
+                                    break;
+                                }
+                                Err(error) => {
+                                    if cold_obs::is_enabled() {
+                                        if let ColdError::DeadlineExceeded { seconds } = &error {
+                                            cold_obs::emit(
+                                                &cold_obs::Event::TrialDeadlineExceeded(
+                                                    cold_obs::TrialDeadlineExceeded {
+                                                        trial: i,
+                                                        attempt,
+                                                        seed,
+                                                        seconds: *seconds,
+                                                    },
+                                                ),
+                                            );
+                                        }
+                                        cold_obs::emit(&cold_obs::Event::TrialFailed(
+                                            cold_obs::TrialFailed {
                                                 trial: i,
                                                 attempt,
                                                 seed,
-                                                seconds: *seconds,
+                                                error: error.to_string(),
                                             },
                                         ));
                                     }
-                                    cold_obs::emit(&cold_obs::Event::TrialFailed(
-                                        cold_obs::TrialFailed {
-                                            trial: i,
-                                            attempt,
-                                            seed,
-                                            error: error.to_string(),
-                                        },
-                                    ));
+                                    tx.send(Message::Failed { trial: i, attempt, seed, error })
+                                        .expect("result channel open");
                                 }
-                                tx.send(Message::Failed { trial: i, attempt, seed, error })
-                                    .expect("result channel open");
                             }
                         }
                     }

@@ -273,12 +273,21 @@ impl<'a> DeltaEval<'a> {
             }
         }
         let _timer = cold_obs::timer("cost.evaluate_total");
+        // Attribute this evaluation's wall time to the delta or full
+        // histogram depending on which path actually resolved it.
+        let start = if cold_obs::timers_enabled() { Some(std::time::Instant::now()) } else { None };
+        let observe = |path: &'static str, start: Option<std::time::Instant>| {
+            if let Some(start) = start {
+                cold_obs::observe_seconds(path, start.elapsed().as_secs_f64());
+            }
+        };
         if topology.n() != self.ctx.n() {
             return Err(GraphError::SizeMismatch { expected: self.ctx.n(), actual: topology.n() });
         }
         if self.anchor.is_some() {
             if let Some(total) = self.try_delta(topology)? {
                 self.delta_evals += 1;
+                observe("cost.eval_delta_seconds", start);
                 return Ok(total);
             }
             // Too far from the anchor. If the candidate is close to its
@@ -293,6 +302,7 @@ impl<'a> DeltaEval<'a> {
                     self.reanchors += 1;
                     if let Some(total) = self.try_delta(topology)? {
                         self.delta_evals += 1;
+                        observe("cost.eval_delta_seconds", start);
                         return Ok(total);
                     }
                 }
@@ -300,6 +310,7 @@ impl<'a> DeltaEval<'a> {
         }
         let total = self.full_anchor(topology)?;
         self.full_evals += 1;
+        observe("cost.eval_full_seconds", start);
         Ok(total)
     }
 

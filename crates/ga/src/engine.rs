@@ -291,7 +291,9 @@ impl<O: Objective> GeneticAlgorithm<O> {
                 // of it.
                 cache = self.settings.fitness_cache.then(HashMap::new);
 
-                // Generation 0.
+                // Generation 0. Seeding is one-shot, so it gets its own
+                // histogram rather than a per-generation record field.
+                let seed_start = cold_obs::timers_enabled().then(Instant::now);
                 let mut topologies =
                     initial_population(&self.objective, &self.settings, seeds, &mut rng);
                 // Initial ER fill and seeds are already connected (init
@@ -299,6 +301,9 @@ impl<O: Objective> GeneticAlgorithm<O> {
                 // is explicit.
                 for t in &mut topologies {
                     repair(t, &self.objective, &mut repair_stats);
+                }
+                if let Some(start) = seed_start {
+                    cold_obs::observe_seconds("ga.seed_seconds", start.elapsed().as_secs_f64());
                 }
                 let bases = vec![None; topologies.len()];
                 let costs = self.evaluate_all(
@@ -343,6 +348,12 @@ impl<O: Objective> GeneticAlgorithm<O> {
         let mut prev_repaired = repair_stats.repaired;
         for _gen in (generations_run + 1)..=self.settings.generations {
             generations_run += 1;
+            // Phase attribution (selection/crossover/mutation vs repair)
+            // feeds the per-generation record and the `ga.*` histograms;
+            // timing stays off unless someone is listening so the
+            // disabled path keeps its <2% overhead bar.
+            let timed = observer.is_some() || cold_obs::timers_enabled();
+            let breed_start = timed.then(Instant::now);
             // Offspring topologies (children built single-threaded from one
             // RNG stream for determinism; evaluation is the parallel part).
             let mut children: Vec<AdjacencyMatrix> =
@@ -371,9 +382,14 @@ impl<O: Objective> GeneticAlgorithm<O> {
                 base_idx.push(src);
                 children.push(child);
             }
+            let breed_seconds = breed_start.map_or(0.0, |s| s.elapsed().as_secs_f64());
+            let repair_start = timed.then(Instant::now);
             for c in &mut children {
                 repair(c, &self.objective, &mut repair_stats);
             }
+            let repair_seconds = repair_start.map_or(0.0, |s| s.elapsed().as_secs_f64());
+            cold_obs::observe_seconds("ga.breed_seconds", breed_seconds);
+            cold_obs::observe_seconds("ga.repair_seconds", repair_seconds);
             let bases: Vec<Option<&AdjacencyMatrix>> =
                 base_idx.iter().map(|&i| Some(&population[i].topology)).collect();
             let child_costs =
@@ -395,6 +411,8 @@ impl<O: Objective> GeneticAlgorithm<O> {
                     &prev_stats,
                     repair_stats.repaired - prev_repaired,
                     &self.settings,
+                    breed_seconds,
+                    repair_seconds,
                 ));
                 prev_stats = stats;
                 prev_repaired = repair_stats.repaired;
@@ -439,6 +457,7 @@ impl<O: Objective> GeneticAlgorithm<O> {
                             .as_ref()
                             .map(|c| c.iter().map(|(t, v)| (t.clone(), *v)).collect()),
                     };
+                    let _sink_timer = cold_obs::timer("ga.checkpoint_sink");
                     (hook.sink)(&snapshot);
                 }
             }
@@ -614,6 +633,7 @@ impl<O: Objective> GeneticAlgorithm<O> {
 /// over the (cost-sorted) population and counter snapshots; only called
 /// when an observer is attached, so untraced runs skip the diversity scan
 /// entirely.
+#[allow(clippy::too_many_arguments)]
 fn generation_record(
     generation: usize,
     population: &[Individual],
@@ -621,6 +641,8 @@ fn generation_record(
     prev_stats: &EvalStats,
     repairs: usize,
     settings: &GaSettings,
+    breed_seconds: f64,
+    repair_seconds: f64,
 ) -> GenerationRecord {
     let costs = population.iter().map(|i| i.cost);
     let mean = costs.clone().sum::<f64>() / population.len() as f64;
@@ -639,6 +661,8 @@ fn generation_record(
         mutation: settings.num_mutation,
         repairs,
         eval_seconds: stats.eval_seconds - prev_stats.eval_seconds,
+        breed_seconds,
+        repair_seconds,
     }
 }
 

@@ -1,0 +1,468 @@
+//! `cold-trace` — offline analysis of COLD JSONL run journals.
+//!
+//! ```sh
+//! cold-trace summary run.jsonl             # per-trace phase breakdown (tree view)
+//! cold-trace top run.jsonl --k 5           # slowest trials and generations
+//! cold-trace bench run.jsonl --out BENCH_obs.json
+//! cold-trace diff BENCH_obs.json fresh.jsonl --threshold 0.10
+//! ```
+//!
+//! Everything is reconstructed from the journal alone: phase seconds come
+//! from the per-generation `eval_seconds`/`breed_seconds`/`repair_seconds`
+//! fields, checkpoint I/O from the `core.checkpoint_save`/`ga.checkpoint_sink`
+//! spans, and per-trial wall time from the `core.synthesize` spans (joined
+//! to their `run_start` events through the shared trace span id).
+//!
+//! `diff` compares phase *shares* (fractions of attributed time) and
+//! deterministic counters rather than raw wall-clock, so a baseline
+//! profile checked into CI stays meaningful across machine speeds. Each
+//! side may be a journal or a profile JSON written by `bench`. Exits 1
+//! when any share shifts by more than the threshold or a work counter
+//! grows by more than the threshold, 2 on usage errors.
+
+use std::collections::HashMap;
+
+use cold_obs::{parse_journal_traced, Event};
+
+const USAGE: &str = "cold-trace — analyze COLD JSONL run journals
+
+USAGE:
+    cold-trace summary <journal.jsonl>
+    cold-trace top <journal.jsonl> [--k <N>]
+    cold-trace bench <journal.jsonl> [--out <profile.json>]
+    cold-trace diff <baseline> <candidate> [--threshold <FRACTION>]
+
+`diff` inputs may each be a journal or a profile JSON written by `bench`.
+";
+
+/// Phase names in display order; `checkpoint` covers save + sink spans.
+const PHASES: [&str; 4] = ["eval", "breed", "repair", "checkpoint"];
+
+/// The aggregate a journal reduces to: attributed seconds per phase plus
+/// the deterministic work counters a regression diff can trust.
+#[derive(Debug, Default, Clone)]
+struct Profile {
+    /// Seconds per phase, keyed by [`PHASES`] entries.
+    phase_seconds: HashMap<&'static str, f64>,
+    runs: u64,
+    generations: u64,
+    evaluations: u64,
+    delta_evals: u64,
+    full_evals: u64,
+    /// `(run id, wall seconds)` per completed trial, unsorted.
+    trials: Vec<(String, f64)>,
+    /// `(run id, generation, attributed seconds)` per generation.
+    gen_seconds: Vec<(String, usize, f64)>,
+}
+
+impl Profile {
+    fn phase(&self, name: &str) -> f64 {
+        self.phase_seconds.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Total attributed seconds across all phases.
+    fn attributed(&self) -> f64 {
+        PHASES.iter().map(|p| self.phase(p)).sum()
+    }
+
+    fn count(&self, name: &str) -> u64 {
+        match name {
+            "runs" => self.runs,
+            "generations" => self.generations,
+            "evaluations" => self.evaluations,
+            "delta_evals" => self.delta_evals,
+            "full_evals" => self.full_evals,
+            _ => unreachable!("unknown counter {name}"),
+        }
+    }
+}
+
+const COUNTERS: [&str; 5] = ["runs", "generations", "evaluations", "delta_evals", "full_evals"];
+
+/// Reduces a parsed journal to a [`Profile`]. Trial wall time joins each
+/// `core.synthesize` span close to the `run_start` sharing its span id;
+/// journals without trace envelopes still profile (trials keep a
+/// placeholder run label).
+fn profile(events: &[(Event, Option<cold_obs::trace::TraceFields>)]) -> Profile {
+    let mut p = Profile::default();
+    // span_id of the enclosing trial scope -> run id, from run_start.
+    let mut span_to_run: HashMap<&str, &str> = HashMap::new();
+    for (event, fields) in events {
+        if let (Event::RunStart(r), Some(f)) = (event, fields) {
+            span_to_run.insert(f.span_id.as_str(), r.run.as_str());
+        }
+    }
+    for (event, fields) in events {
+        match event {
+            Event::RunStart(_) => p.runs += 1,
+            Event::RunEnd(r) => p.evaluations += r.evaluations as u64,
+            Event::Generation(g) => {
+                let r = &g.record;
+                p.generations += 1;
+                p.delta_evals += r.delta_evals as u64;
+                p.full_evals += r.full_evals as u64;
+                *p.phase_seconds.entry("eval").or_default() += r.eval_seconds;
+                *p.phase_seconds.entry("breed").or_default() += r.breed_seconds;
+                *p.phase_seconds.entry("repair").or_default() += r.repair_seconds;
+                p.gen_seconds.push((
+                    g.run.clone(),
+                    r.generation,
+                    r.eval_seconds + r.breed_seconds + r.repair_seconds,
+                ));
+            }
+            Event::Span(s) => match s.name.as_str() {
+                "core.checkpoint_save" | "ga.checkpoint_sink" => {
+                    *p.phase_seconds.entry("checkpoint").or_default() += s.seconds;
+                }
+                "core.synthesize" => {
+                    let run = fields
+                        .as_ref()
+                        .and_then(|f| span_to_run.get(f.span_id.as_str()).copied())
+                        .unwrap_or("(untraced trial)");
+                    p.trials.push((run.to_string(), s.seconds));
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    p
+}
+
+fn load_journal(path: &str) -> Vec<(Event, Option<cold_obs::trace::TraceFields>)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cold-trace: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    parse_journal_traced(&text).unwrap_or_else(|e| {
+        eprintln!("cold-trace: {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Loads one `diff` side: a `bench` profile JSON when the file parses as
+/// one, otherwise a journal to profile on the fly.
+fn load_side(path: &str) -> Profile {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cold-trace: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    if let Ok(v) = serde_json::from_str::<serde_json::Value>(&text) {
+        if v["profile"] == "cold-trace" {
+            let mut p = Profile::default();
+            for phase in PHASES {
+                if let Some(s) = v["phases"][phase].as_f64() {
+                    p.phase_seconds.insert(phase, s);
+                }
+            }
+            let count = |name: &str| v["counts"][name].as_u64().unwrap_or(0);
+            p.runs = count("runs");
+            p.generations = count("generations");
+            p.evaluations = count("evaluations");
+            p.delta_evals = count("delta_evals");
+            p.full_evals = count("full_evals");
+            return p;
+        }
+    }
+    profile(&parse_journal_traced(&text).unwrap_or_else(|e| {
+        eprintln!("cold-trace: {path}: neither a bench profile nor a valid journal: {e}");
+        std::process::exit(1);
+    }))
+}
+
+fn profile_json(p: &Profile) -> serde_json::Value {
+    serde_json::json!({
+        "profile": "cold-trace",
+        "phases": {
+            "eval": p.phase("eval"),
+            "breed": p.phase("breed"),
+            "repair": p.phase("repair"),
+            "checkpoint": p.phase("checkpoint"),
+        },
+        "counts": {
+            "runs": p.runs,
+            "generations": p.generations,
+            "evaluations": p.evaluations,
+            "delta_evals": p.delta_evals,
+            "full_evals": p.full_evals,
+        },
+    })
+}
+
+/// Renders the per-phase tree for one journal. `other` is trial wall
+/// time not attributed to any phase (scheduler, bookkeeping, seeding).
+fn render_summary(path: &str, p: &Profile) -> String {
+    let trial_wall: f64 = p.trials.iter().map(|(_, s)| s).sum();
+    let attributed = p.attributed();
+    let total = trial_wall.max(attributed);
+    let pct = |s: f64| if total > 0.0 { 100.0 * s / total } else { 0.0 };
+    let mut out = format!(
+        "cold-trace: {path}\n\
+         └─ {} trial(s) · {} generation(s) · {} eval(s) (delta {} / full {}) · wall {:.3}s\n",
+        p.runs, p.generations, p.evaluations, p.delta_evals, p.full_evals, total
+    );
+    for phase in PHASES {
+        let s = p.phase(phase);
+        out.push_str(&format!("   ├─ {phase:<11} {s:>9.3}s  {:>5.1}%\n", pct(s)));
+    }
+    let other = (total - attributed).max(0.0);
+    out.push_str(&format!("   └─ {:<11} {other:>9.3}s  {:>5.1}%\n", "other", pct(other)));
+    out
+}
+
+fn render_top(p: &Profile, k: usize) -> String {
+    let mut trials = p.trials.clone();
+    trials.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut gens = p.gen_seconds.clone();
+    gens.sort_by(|a, b| b.2.total_cmp(&a.2));
+    let mut out = format!("top {k} slowest trials:\n");
+    for (run, seconds) in trials.iter().take(k) {
+        out.push_str(&format!("   {seconds:>9.3}s  run {run}\n"));
+    }
+    if trials.is_empty() {
+        out.push_str("   (no completed trial spans in journal)\n");
+    }
+    out.push_str(&format!("top {k} slowest generations:\n"));
+    for (run, generation, seconds) in gens.iter().take(k) {
+        out.push_str(&format!("   {seconds:>9.3}s  run {run} gen {generation}\n"));
+    }
+    if gens.is_empty() {
+        out.push_str("   (no generation records in journal)\n");
+    }
+    out
+}
+
+/// Compares phase shares (absolute delta) and work counters (relative
+/// growth) against `threshold`; returns human-readable regressions.
+fn diff(base: &Profile, cand: &Profile, threshold: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    let (bt, ct) = (base.attributed(), cand.attributed());
+    for phase in PHASES {
+        let bs = if bt > 0.0 { base.phase(phase) / bt } else { 0.0 };
+        let cs = if ct > 0.0 { cand.phase(phase) / ct } else { 0.0 };
+        if cs - bs > threshold {
+            regressions.push(format!(
+                "phase `{phase}` share grew {:.1}% -> {:.1}% (+{:.1} points, threshold {:.1})",
+                100.0 * bs,
+                100.0 * cs,
+                100.0 * (cs - bs),
+                100.0 * threshold
+            ));
+        }
+    }
+    for counter in COUNTERS {
+        let (b, c) = (base.count(counter), cand.count(counter));
+        let growth = (c as f64 - b as f64) / (b.max(1) as f64);
+        if growth > threshold {
+            regressions.push(format!(
+                "counter `{counter}` grew {b} -> {c} (+{:.1}%, threshold {:.1}%)",
+                100.0 * growth,
+                100.0 * threshold
+            ));
+        }
+    }
+    regressions
+}
+
+fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("cold-trace: {flag} needs a value\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let Some(command) = args.first().cloned() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    args.remove(0);
+    match command.as_str() {
+        "summary" => {
+            let [path] = args.as_slice() else {
+                eprintln!("cold-trace summary needs exactly one journal\n\n{USAGE}");
+                std::process::exit(2);
+            };
+            print!("{}", render_summary(path, &profile(&load_journal(path))));
+        }
+        "top" => {
+            let k: usize = flag_value(&mut args, "--k")
+                .map(|v| {
+                    v.parse().unwrap_or_else(|_| {
+                        eprintln!("cold-trace: --k: integer expected\n\n{USAGE}");
+                        std::process::exit(2);
+                    })
+                })
+                .unwrap_or(5);
+            let [path] = args.as_slice() else {
+                eprintln!("cold-trace top needs exactly one journal\n\n{USAGE}");
+                std::process::exit(2);
+            };
+            print!("{}", render_top(&profile(&load_journal(path)), k));
+        }
+        "bench" => {
+            let out = flag_value(&mut args, "--out");
+            let [path] = args.as_slice() else {
+                eprintln!("cold-trace bench needs exactly one journal\n\n{USAGE}");
+                std::process::exit(2);
+            };
+            let text = serde_json::to_string_pretty(&profile_json(&profile(&load_journal(path))))
+                .expect("profile serialization is infallible");
+            match out {
+                Some(out_path) => {
+                    if let Err(e) = std::fs::write(&out_path, format!("{text}\n")) {
+                        eprintln!("cold-trace: cannot write {out_path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("cold-trace: wrote profile to {out_path}");
+                }
+                None => println!("{text}"),
+            }
+        }
+        "diff" => {
+            let threshold: f64 = flag_value(&mut args, "--threshold")
+                .map(|v| {
+                    v.parse().unwrap_or_else(|_| {
+                        eprintln!("cold-trace: --threshold: fraction expected\n\n{USAGE}");
+                        std::process::exit(2);
+                    })
+                })
+                .unwrap_or(0.10);
+            let [base_path, cand_path] = args.as_slice() else {
+                eprintln!("cold-trace diff needs a baseline and a candidate\n\n{USAGE}");
+                std::process::exit(2);
+            };
+            let regressions = diff(&load_side(base_path), &load_side(cand_path), threshold);
+            if regressions.is_empty() {
+                println!("cold-trace: {cand_path} within {:.1}% of {base_path}", 100.0 * threshold);
+            } else {
+                for r in &regressions {
+                    eprintln!("cold-trace: REGRESSION {cand_path} vs {base_path}: {r}");
+                }
+                std::process::exit(1);
+            }
+        }
+        other => {
+            eprintln!("cold-trace: unknown command `{other}`\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cold_obs::{GenerationEvent, GenerationRecord, RunStart, SpanEvent};
+
+    fn record(generation: usize, eval: f64, breed: f64, repair: f64) -> GenerationRecord {
+        GenerationRecord {
+            generation,
+            best: 1.0,
+            mean: 2.0,
+            worst: 3.0,
+            diversity: 1.0,
+            cache_hits: 0,
+            cache_misses: 4,
+            delta_evals: 3,
+            full_evals: 1,
+            crossover: 2,
+            mutation: 1,
+            repairs: 0,
+            eval_seconds: eval,
+            breed_seconds: breed,
+            repair_seconds: repair,
+        }
+    }
+
+    fn traced(events: Vec<Event>) -> Vec<(Event, Option<cold_obs::trace::TraceFields>)> {
+        events.into_iter().map(|e| (e, None)).collect()
+    }
+
+    #[test]
+    fn profiles_accumulate_phase_seconds_and_counts() {
+        let events = traced(vec![
+            Event::RunStart(RunStart {
+                run: "r".into(),
+                n: 10,
+                mode: "Initialized".into(),
+                generations: 2,
+                population: 8,
+            }),
+            Event::Generation(GenerationEvent {
+                run: "r".into(),
+                record: record(1, 0.5, 0.2, 0.1),
+            }),
+            Event::Generation(GenerationEvent {
+                run: "r".into(),
+                record: record(2, 0.5, 0.2, 0.1),
+            }),
+            Event::Span(SpanEvent { name: "core.checkpoint_save".into(), seconds: 0.05 }),
+            Event::Span(SpanEvent { name: "core.synthesize".into(), seconds: 2.0 }),
+        ]);
+        let p = profile(&events);
+        assert_eq!(p.runs, 1);
+        assert_eq!(p.generations, 2);
+        assert_eq!(p.delta_evals, 6);
+        assert_eq!(p.full_evals, 2);
+        assert!((p.phase("eval") - 1.0).abs() < 1e-12);
+        assert!((p.phase("breed") - 0.4).abs() < 1e-12);
+        assert!((p.phase("repair") - 0.2).abs() < 1e-12);
+        assert!((p.phase("checkpoint") - 0.05).abs() < 1e-12);
+        assert_eq!(p.trials.len(), 1);
+        let text = render_summary("x.jsonl", &p);
+        assert!(text.contains("eval"), "{text}");
+        assert!(text.contains("2.000s"), "trial wall dominates total: {text}");
+    }
+
+    #[test]
+    fn diff_flags_share_shifts_and_count_growth_only_past_threshold() {
+        let mut base = Profile::default();
+        base.phase_seconds.insert("eval", 0.8);
+        base.phase_seconds.insert("breed", 0.2);
+        base.generations = 100;
+        let same = base.clone();
+        assert!(diff(&base, &same, 0.10).is_empty());
+
+        // A faster machine with identical shares must not regress.
+        let mut faster = Profile::default();
+        faster.phase_seconds.insert("eval", 0.08);
+        faster.phase_seconds.insert("breed", 0.02);
+        faster.generations = 100;
+        assert!(diff(&base, &faster, 0.10).is_empty());
+
+        // Repair appearing from nowhere shifts shares.
+        let mut shifted = base.clone();
+        shifted.phase_seconds.insert("repair", 0.5);
+        let r = diff(&base, &shifted, 0.10);
+        assert!(r.iter().any(|m| m.contains("`repair`")), "{r:?}");
+
+        // Work growth beyond threshold regresses; shrinkage never does.
+        let mut grown = base.clone();
+        grown.generations = 120;
+        assert!(diff(&base, &grown, 0.10).iter().any(|m| m.contains("`generations`")));
+        let mut shrunk = base.clone();
+        shrunk.generations = 50;
+        assert!(diff(&base, &shrunk, 0.10).is_empty());
+    }
+
+    #[test]
+    fn profile_json_round_trips_through_a_bench_file() {
+        let mut p = Profile::default();
+        p.phase_seconds.insert("eval", 1.5);
+        p.runs = 2;
+        p.evaluations = 400;
+        let v = profile_json(&p);
+        assert_eq!(v["profile"], "cold-trace");
+        assert_eq!(v["phases"]["eval"].as_f64(), Some(1.5));
+        assert_eq!(v["counts"]["evaluations"].as_u64(), Some(400));
+    }
+}

@@ -11,19 +11,28 @@
 //! 1 otherwise — the CI telemetry smoke test runs this over a
 //! `cold-gen --journal` output, and the crash-recovery smoke over the
 //! resumed leg's journal.
+//!
+//! Trace envelopes (`trace_id`/`span_id`/`parent_id`) are always checked
+//! for well-formedness and causal consistency: every `parent_id` must
+//! resolve to a span seen on the same trace, and every trace must have a
+//! root. `--require-trace` additionally demands that *every* event carry
+//! a trace envelope (the contract for served jobs).
 
-use cold_obs::{parse_journal, Event};
+use cold_obs::trace::validate_trace;
+use cold_obs::{parse_journal_traced, Event};
 
 const USAGE: &str = "journal-check — validate a COLD JSONL run journal
 
 USAGE:
-    journal-check [--expect-runs <N>] [--min-checkpoints <N>] [--max-failures <N>] <journal.jsonl>
+    journal-check [--expect-runs <N>] [--min-checkpoints <N>] [--max-failures <N>] \
+[--require-trace] <journal.jsonl>
 ";
 
 fn main() {
     let mut expect_runs: Option<usize> = None;
     let mut min_checkpoints: Option<usize> = None;
     let mut max_failures: Option<usize> = None;
+    let mut require_trace = false;
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +58,7 @@ fn main() {
                 });
                 max_failures = Some(v.parse().expect("--max-failures: integer"));
             }
+            "--require-trace" => require_trace = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -72,13 +82,16 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let events = match parse_journal(&text) {
+    let traced = match parse_journal_traced(&text) {
         Ok(events) => events,
         Err(e) => {
             eprintln!("journal-check: {path}: {e}");
             std::process::exit(1);
         }
     };
+
+    let mut failures = validate_trace(&traced, require_trace);
+    let events: Vec<Event> = traced.into_iter().map(|(e, _)| e).collect();
 
     let mut runs = 0usize;
     let mut generations = 0usize;
@@ -90,7 +103,6 @@ fn main() {
     let mut jobs = 0usize;
     let mut job_failures = 0usize;
     let mut cache_hits = 0usize;
-    let mut failures = Vec::new();
     for event in &events {
         match event {
             Event::RunStart(_) => runs += 1,
@@ -101,6 +113,18 @@ fn main() {
                         "run {} gen {}: best {} exceeds mean {}",
                         g.run, g.record.generation, g.record.best, g.record.mean
                     ));
+                }
+                for (phase, seconds) in [
+                    ("eval_seconds", g.record.eval_seconds),
+                    ("breed_seconds", g.record.breed_seconds),
+                    ("repair_seconds", g.record.repair_seconds),
+                ] {
+                    if !seconds.is_finite() || seconds < 0.0 {
+                        failures.push(format!(
+                            "run {} gen {}: {phase} {seconds} must be non-negative seconds",
+                            g.run, g.record.generation
+                        ));
+                    }
                 }
             }
             Event::RunEnd(e) => {
@@ -187,7 +211,7 @@ fn main() {
                     ));
                 }
             }
-            Event::Span(_) | Event::Metrics(_) => {}
+            Event::Span(_) | Event::SpanStart(_) | Event::Metrics(_) => {}
         }
     }
     if let Some(expected) = expect_runs {

@@ -49,6 +49,11 @@ pub struct GenerationRecord {
     pub repairs: usize,
     /// Wall-clock seconds spent in objective evaluation this generation.
     pub eval_seconds: f64,
+    /// Wall-clock seconds spent breeding offspring (parent selection,
+    /// crossover, mutation) this generation.
+    pub breed_seconds: f64,
+    /// Wall-clock seconds spent in connectivity repair this generation.
+    pub repair_seconds: f64,
 }
 
 /// Observer hook invoked by `cold-ga`'s engine once per executed
@@ -110,6 +115,16 @@ pub struct SpanEvent {
     pub name: String,
     /// Elapsed wall-clock seconds.
     pub seconds: f64,
+}
+
+/// A coarse phase *opened*. Emitted when a trace scope is pushed so the
+/// span id is anchored in the journal before any of its children — which
+/// is what keeps `parent_id` resolution valid even when a crash truncates
+/// the journal before the closing [`SpanEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStartEvent {
+    /// Span name, e.g. `"core.campaign"`.
+    pub name: String,
 }
 
 /// A registry snapshot, usually emitted once at process exit.
@@ -254,6 +269,8 @@ pub enum Event {
     RunEnd(RunEnd),
     /// `{"event":"span",...}`
     Span(SpanEvent),
+    /// `{"event":"span_start",...}`
+    SpanStart(SpanStartEvent),
     /// `{"event":"metrics",...}`
     Metrics(MetricsEvent),
     /// `{"event":"trial_failed",...}`
@@ -291,6 +308,7 @@ impl Event {
             Event::Generation(_) => "generation",
             Event::RunEnd(_) => "run_end",
             Event::Span(_) => "span",
+            Event::SpanStart(_) => "span_start",
             Event::Metrics(_) => "metrics",
             Event::TrialFailed(_) => "trial_failed",
             Event::Checkpoint(_) => "checkpoint",
@@ -334,6 +352,8 @@ impl Event {
                     "mutation": r.mutation,
                     "repairs": r.repairs,
                     "eval_seconds": r.eval_seconds,
+                    "breed_seconds": r.breed_seconds,
+                    "repair_seconds": r.repair_seconds,
                 })
             }
             Event::RunEnd(e) => json!({
@@ -351,6 +371,10 @@ impl Event {
                 "name": e.name,
                 "seconds": e.seconds,
             }),
+            Event::SpanStart(e) => json!({
+                "event": "span_start",
+                "name": e.name,
+            }),
             Event::Metrics(e) => {
                 let metrics: Vec<Value> = e
                     .metrics
@@ -361,13 +385,19 @@ impl Event {
                             "kind": "counter",
                             "count": c,
                         }),
-                        crate::Metric::Histogram { count, sum, min, max } => json!({
+                        crate::Metric::Gauge(g) => json!({
+                            "name": name,
+                            "kind": "gauge",
+                            "value": g,
+                        }),
+                        crate::Metric::Histogram { count, sum, min, max, buckets } => json!({
                             "name": name,
                             "kind": "histogram",
                             "count": count,
                             "sum": sum,
                             "min": min,
                             "max": max,
+                            "buckets": buckets.to_vec(),
                         }),
                     })
                     .collect();
@@ -474,6 +504,8 @@ impl Event {
                     mutation: usize_field(obj, "mutation")?,
                     repairs: usize_field(obj, "repairs")?,
                     eval_seconds: f64_field(obj, "eval_seconds")?,
+                    breed_seconds: f64_field(obj, "breed_seconds")?,
+                    repair_seconds: f64_field(obj, "repair_seconds")?,
                 },
             })),
             "run_end" => Ok(Event::RunEnd(RunEnd {
@@ -489,6 +521,7 @@ impl Event {
                 name: str_field(obj, "name")?,
                 seconds: f64_field(obj, "seconds")?,
             })),
+            "span_start" => Ok(Event::SpanStart(SpanStartEvent { name: str_field(obj, "name")? })),
             "metrics" => {
                 let arr = obj
                     .get("metrics")
@@ -500,12 +533,36 @@ impl Event {
                     let name = str_field(mo, "name")?;
                     let metric = match str_field(mo, "kind")?.as_str() {
                         "counter" => crate::Metric::Counter(u64_field(mo, "count")?),
-                        "histogram" => crate::Metric::Histogram {
-                            count: u64_field(mo, "count")?,
-                            sum: f64_field(mo, "sum")?,
-                            min: f64_field(mo, "min")?,
-                            max: f64_field(mo, "max")?,
-                        },
+                        "gauge" => crate::Metric::Gauge(
+                            mo.get("value")
+                                .and_then(Value::as_i64)
+                                .ok_or("gauge entry: field `value` missing or not an integer")?,
+                        ),
+                        "histogram" => {
+                            let arr = mo.get("buckets").and_then(Value::as_array).ok_or(
+                                "histogram entry: field `buckets` missing or not an array",
+                            )?;
+                            if arr.len() != crate::registry::BUCKETS {
+                                return Err(format!(
+                                    "histogram entry: expected {} buckets, got {}",
+                                    crate::registry::BUCKETS,
+                                    arr.len()
+                                ));
+                            }
+                            let mut buckets = [0u64; crate::registry::BUCKETS];
+                            for (slot, v) in buckets.iter_mut().zip(arr) {
+                                *slot = v
+                                    .as_u64()
+                                    .ok_or("histogram bucket is not a nonnegative integer")?;
+                            }
+                            crate::Metric::Histogram {
+                                count: u64_field(mo, "count")?,
+                                sum: f64_field(mo, "sum")?,
+                                min: f64_field(mo, "min")?,
+                                max: f64_field(mo, "max")?,
+                                buckets,
+                            }
+                        }
                         other => return Err(format!("unknown metric kind `{other}`")),
                     };
                     metrics.push((name, metric));
@@ -611,6 +668,31 @@ pub fn parse_journal(text: &str) -> Result<Vec<Event>, String> {
     Ok(events)
 }
 
+/// Like [`parse_journal`], but additionally extracts (and validates the
+/// shape of) the trace envelope — `trace_id` / `span_id` / `parent_id` —
+/// each line carries. Causal invariants across lines are checked
+/// separately by [`crate::trace::validate_trace`].
+///
+/// # Errors
+/// `"line <k>: <why>"` for the first offending line.
+pub fn parse_journal_traced(
+    text: &str,
+) -> Result<Vec<(Event, Option<crate::trace::TraceFields>)>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let value: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {}: invalid JSON: {e}", i + 1))?;
+        let event = Event::from_value(&value).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let fields = crate::trace::TraceFields::from_value(&value)
+            .map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push((event, fields));
+    }
+    if out.is_empty() {
+        return Err("journal is empty".into());
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -640,8 +722,11 @@ mod tests {
                     mutation: 12,
                     repairs: 1,
                     eval_seconds: 0.0123,
+                    breed_seconds: 0.002,
+                    repair_seconds: 0.0004,
                 },
             }),
+            Event::SpanStart(SpanStartEvent { name: "core.synthesize".into() }),
             Event::Span(SpanEvent { name: "core.synthesize".into(), seconds: 1.5 }),
             Event::RunEnd(RunEnd {
                 run: run_id(0xC01D),
@@ -656,9 +741,21 @@ mod tests {
                 metrics: vec![
                     (
                         "cost.evaluate_total".into(),
-                        crate::Metric::Histogram { count: 990, sum: 0.4, min: 0.0001, max: 0.01 },
+                        crate::Metric::Histogram {
+                            count: 990,
+                            sum: 0.4,
+                            min: 0.0001,
+                            max: 0.01,
+                            buckets: {
+                                let mut b = [0u64; crate::registry::BUCKETS];
+                                b[2] = 980;
+                                b[6] = 10;
+                                b
+                            },
+                        },
                     ),
                     ("obs.events".into(), crate::Metric::Counter(42)),
+                    ("serve.queue_depth".into(), crate::Metric::Gauge(-3)),
                 ],
             }),
             Event::TrialFailed(TrialFailed {
@@ -743,9 +840,31 @@ mod tests {
             "mutation",
             "repairs",
             "eval_seconds",
+            "breed_seconds",
+            "repair_seconds",
         ] {
             assert!(!second[key].is_null(), "generation event missing `{key}`");
         }
+    }
+
+    #[test]
+    fn traced_parsing_extracts_the_envelope() {
+        let plain = Event::Span(SpanEvent { name: "s".into(), seconds: 0.0 }).to_json_line();
+        let mut value = Event::SpanStart(SpanStartEvent { name: "s".into() }).to_value();
+        let Value::Object(obj) = &mut value else { panic!("events serialize to objects") };
+        obj.insert("trace_id".into(), Value::String("00000000000000aa".into()));
+        obj.insert("span_id".into(), Value::String("00000000000000bb".into()));
+        let stamped = serde_json::to_string(&value).unwrap();
+        let parsed = parse_journal_traced(&format!("{stamped}\n{plain}\n")).expect("validates");
+        assert_eq!(parsed.len(), 2);
+        let envelope = parsed[0].1.as_ref().expect("first line stamped");
+        assert_eq!(envelope.trace_id, "00000000000000aa");
+        assert_eq!(envelope.span_id, "00000000000000bb");
+        assert_eq!(envelope.parent_id, None);
+        assert_eq!(parsed[1].1, None, "unstamped line parses with an empty envelope");
+        // A malformed envelope fails the whole parse.
+        let bad = stamped.replace("00000000000000aa", "WAT");
+        assert!(parse_journal_traced(&format!("{bad}\n")).is_err());
     }
 
     #[test]

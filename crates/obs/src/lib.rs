@@ -42,15 +42,17 @@
 
 mod event;
 pub mod registry;
+pub mod trace;
 
 pub use event::{
-    parse_journal, run_id, CacheHit, CheckpointEvent, Event, FaultInjected, GaStalled,
-    GenerationEvent, GenerationObserver, GenerationRecord, JobDone, JobFailed, JobStarted,
-    JobSubmitted, MetricsEvent, RunEnd, RunStart, SpanEvent, TrialDeadlineExceeded, TrialFailed,
+    parse_journal, parse_journal_traced, run_id, CacheHit, CheckpointEvent, Event, FaultInjected,
+    GaStalled, GenerationEvent, GenerationObserver, GenerationRecord, JobDone, JobFailed,
+    JobStarted, JobSubmitted, MetricsEvent, RunEnd, RunStart, SpanEvent, SpanStartEvent,
+    TrialDeadlineExceeded, TrialFailed,
 };
 pub use registry::{
-    counter_add, observe_seconds, reset, set_timers_enabled, snapshot, span, timer, timers_enabled,
-    Metric, ScopedTimer, Span,
+    counter_add, gauge_add, gauge_set, observe_seconds, reset, set_timers_enabled, snapshot, span,
+    timer, timers_enabled, Metric, ScopedTimer, Span,
 };
 
 use std::fs::OpenOptions;
@@ -178,16 +180,31 @@ pub fn journal_path() -> Option<PathBuf> {
 
 /// Routes one event to the active sink; a no-op while disabled. Journal
 /// lines are written and flushed under one lock, so events from parallel
-/// ensemble trials interleave *between* lines, never within one.
+/// ensemble trials interleave *between* lines, never within one. Journal
+/// lines are stamped with this thread's current [`trace`] context.
 pub fn emit(event: &Event) {
     if !is_enabled() {
         return;
     }
+    emit_stamped(event, trace::current().as_ref());
+}
+
+/// Like [`emit`], but stamps an explicit trace context instead of this
+/// thread's current scope — for events attributed to a span the caller
+/// minted separately (e.g. per-generation leaf spans).
+pub fn emit_with_ctx(event: &Event, ctx: Option<&trace::TraceCtx>) {
+    if !is_enabled() {
+        return;
+    }
+    emit_stamped(event, ctx);
+}
+
+fn emit_stamped(event: &Event, ctx: Option<&trace::TraceCtx>) {
     let mut sink = SINK.lock().expect("trace sink poisoned");
     let Some(state) = sink.as_mut() else { return };
     match &mut state.writer {
         Some(writer) => {
-            let line = event.to_json_line();
+            let line = stamped_line(event, ctx);
             // A failed telemetry write must not kill the synthesis; drop
             // the line and keep going.
             let _ = writeln!(writer, "{line}");
@@ -195,6 +212,21 @@ pub fn emit(event: &Event) {
         }
         None => eprintln!("{}", progress_line(event)),
     }
+}
+
+/// The JSONL form of an event with the trace envelope (if any) merged
+/// into the top-level object.
+fn stamped_line(event: &Event, ctx: Option<&trace::TraceCtx>) -> String {
+    let Some(ctx) = ctx else { return event.to_json_line() };
+    let mut value = event.to_value();
+    if let serde_json::Value::Object(obj) = &mut value {
+        obj.insert("trace_id".into(), serde_json::Value::String(ctx.trace_id.clone()));
+        obj.insert("span_id".into(), serde_json::Value::String(ctx.span_id.clone()));
+        if let Some(parent) = &ctx.parent_id {
+            obj.insert("parent_id".into(), serde_json::Value::String(parent.clone()));
+        }
+    }
+    serde_json::to_string(&value).expect("event serialization is infallible")
 }
 
 /// Renders the human-readable progress form of an event.
@@ -234,6 +266,7 @@ fn progress_line(event: &Event) -> String {
             e.repair_rate
         ),
         Event::Span(e) => format!("[cold] span {}: {:.3}s", e.name, e.seconds),
+        Event::SpanStart(e) => format!("[cold] span {} start", e.name),
         Event::TrialFailed(e) => format!(
             "[cold] trial {} attempt {} FAILED (seed {:#x}): {}",
             e.trial, e.attempt, e.seed, e.error
@@ -270,7 +303,10 @@ fn progress_line(event: &Event) -> String {
                     Metric::Counter(c) => {
                         out.push_str(&format!("\n[cold]   {name}: {c}"));
                     }
-                    Metric::Histogram { count, sum, min, max } => {
+                    Metric::Gauge(g) => {
+                        out.push_str(&format!("\n[cold]   {name}: {g} (gauge)"));
+                    }
+                    Metric::Histogram { count, sum, min, max, .. } => {
                         let mean = if count == 0 { 0.0 } else { sum / count as f64 };
                         out.push_str(&format!(
                             "\n[cold]   {name}: n={count} total {sum:.4}s \
@@ -312,7 +348,13 @@ impl TraceObserver {
 
 impl GenerationObserver for TraceObserver {
     fn on_generation(&mut self, record: &GenerationRecord) {
-        emit(&Event::Generation(GenerationEvent { run: self.run.clone(), record: record.clone() }));
+        // Each generation gets its own leaf span under the enclosing
+        // trial scope, so slow generations are addressable in traces.
+        let ctx = trace::child_ctx();
+        emit_with_ctx(
+            &Event::Generation(GenerationEvent { run: self.run.clone(), record: record.clone() }),
+            ctx.as_ref(),
+        );
     }
 }
 
@@ -372,6 +414,8 @@ mod tests {
             mutation: 1,
             repairs: 0,
             eval_seconds: 0.0,
+            breed_seconds: 0.0,
+            repair_seconds: 0.0,
         });
         configure(TraceMode::Off).unwrap();
         assert!(!is_enabled());
@@ -416,7 +460,13 @@ mod tests {
         let line = progress_line(&Event::Metrics(MetricsEvent {
             metrics: vec![(
                 "a.timer".into(),
-                Metric::Histogram { count: 2, sum: 1.0, min: 0.4, max: 0.6 },
+                Metric::Histogram {
+                    count: 2,
+                    sum: 1.0,
+                    min: 0.4,
+                    max: 0.6,
+                    buckets: [0; registry::BUCKETS],
+                },
             )],
         }));
         assert!(line.contains("a.timer"));

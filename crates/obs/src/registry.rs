@@ -1,11 +1,12 @@
-//! The global metric registry: named counters and duration histograms
-//! behind one mutex, fed by [`ScopedTimer`]s and [`counter_add`].
+//! The global metric registry: named counters, gauges and duration
+//! histograms behind one mutex, fed by [`ScopedTimer`]s, [`counter_add`]
+//! and the gauge setters.
 //!
 //! Everything here is gated on [`timers_enabled`]: when telemetry is off
-//! (the default) a timer or counter call costs exactly one relaxed atomic
-//! load and touches no lock, so instrumented hot paths stay hot. The gate
-//! is flipped by [`crate::configure`] alongside the trace sink, or
-//! directly with [`set_timers_enabled`] for registry-only use.
+//! (the default) a timer, counter or gauge call costs exactly one relaxed
+//! atomic load and touches no lock, so instrumented hot paths stay hot.
+//! The gate is flipped by [`crate::configure`] alongside the trace sink,
+//! or directly with [`set_timers_enabled`] for registry-only use.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -19,13 +20,28 @@ static TIMERS_ENABLED: AtomicBool = AtomicBool::new(false);
 /// pay no allocation.
 static REGISTRY: Mutex<Option<HashMap<&'static str, Metric>>> = Mutex::new(None);
 
-/// One registry slot: a monotonically increasing counter or a duration
-/// histogram (count/sum/min/max — enough for mean and range without
-/// storing samples).
+/// Number of log-scale histogram buckets (see [`BUCKET_BOUNDS`]).
+pub const BUCKETS: usize = 15;
+
+/// Upper bounds (inclusive, in seconds) of the histogram buckets: a
+/// half-decade log scale from 10µs to 100s. Observations above the last
+/// bound land only in `count`/`sum` (the `+Inf` bucket in Prometheus
+/// exposition).
+pub const BUCKET_BOUNDS: [f64; BUCKETS] = [
+    1e-5, 3.2e-5, 1e-4, 3.2e-4, 1e-3, 3.2e-3, 1e-2, 3.2e-2, 1e-1, 3.2e-1, 1.0, 3.2, 10.0, 32.0,
+    100.0,
+];
+
+/// One registry slot: a monotonically increasing counter, a settable
+/// gauge, or a duration histogram (count/sum/min/max plus log-scale
+/// bucket counts — enough for mean, range and a latency distribution
+/// without storing samples).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Metric {
     /// An event count.
     Counter(u64),
+    /// A point-in-time level (queue depth, in-flight jobs, live workers).
+    Gauge(i64),
     /// Aggregated elapsed-seconds observations.
     Histogram {
         /// Number of observations.
@@ -36,7 +52,24 @@ pub enum Metric {
         min: f64,
         /// Largest observation.
         max: f64,
+        /// Per-bucket (non-cumulative) observation counts; bucket `i`
+        /// holds observations `<= BUCKET_BOUNDS[i]` that fit no earlier
+        /// bucket. Overflow beyond the last bound is `count - Σ buckets`.
+        buckets: [u64; BUCKETS],
     },
+}
+
+impl Metric {
+    /// A zeroed histogram, the identity for [`observe_seconds`].
+    pub fn empty_histogram() -> Metric {
+        Metric::Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+            buckets: [0; BUCKETS],
+        }
+    }
 }
 
 /// True when timers and counters record into the registry.
@@ -60,31 +93,56 @@ pub fn counter_add(name: &'static str, delta: u64) {
     let map = guard.get_or_insert_with(HashMap::new);
     match map.entry(name).or_insert(Metric::Counter(0)) {
         Metric::Counter(c) => *c += delta,
-        Metric::Histogram { .. } => {
-            debug_assert!(false, "metric `{name}` registered as a histogram");
-        }
+        _ => debug_assert!(false, "metric `{name}` registered with another kind"),
     }
 }
 
-/// Records one elapsed-seconds observation under `name`.
-pub fn observe_seconds(name: &'static str, seconds: f64) {
+/// Sets the gauge `name` to an absolute level (no-op while disabled).
+pub fn gauge_set(name: &'static str, value: i64) {
+    if !timers_enabled() {
+        return;
+    }
     let mut guard = REGISTRY.lock().expect("metric registry poisoned");
     let map = guard.get_or_insert_with(HashMap::new);
-    match map.entry(name).or_insert(Metric::Histogram {
-        count: 0,
-        sum: 0.0,
-        min: f64::INFINITY,
-        max: 0.0,
-    }) {
-        Metric::Histogram { count, sum, min, max } => {
+    match map.entry(name).or_insert(Metric::Gauge(0)) {
+        Metric::Gauge(g) => *g = value,
+        _ => debug_assert!(false, "metric `{name}` registered with another kind"),
+    }
+}
+
+/// Moves the gauge `name` by a signed delta (no-op while disabled).
+pub fn gauge_add(name: &'static str, delta: i64) {
+    if !timers_enabled() {
+        return;
+    }
+    let mut guard = REGISTRY.lock().expect("metric registry poisoned");
+    let map = guard.get_or_insert_with(HashMap::new);
+    match map.entry(name).or_insert(Metric::Gauge(0)) {
+        Metric::Gauge(g) => *g += delta,
+        _ => debug_assert!(false, "metric `{name}` registered with another kind"),
+    }
+}
+
+/// Records one elapsed-seconds observation under `name` (no-op while
+/// disabled — callers on always-hot paths still gate construction of the
+/// `Instant` themselves, see [`timer`]).
+pub fn observe_seconds(name: &'static str, seconds: f64) {
+    if !timers_enabled() {
+        return;
+    }
+    let mut guard = REGISTRY.lock().expect("metric registry poisoned");
+    let map = guard.get_or_insert_with(HashMap::new);
+    match map.entry(name).or_insert_with(Metric::empty_histogram) {
+        Metric::Histogram { count, sum, min, max, buckets } => {
             *count += 1;
             *sum += seconds;
             *min = min.min(seconds);
             *max = max.max(seconds);
+            if let Some(i) = BUCKET_BOUNDS.iter().position(|&b| seconds <= b) {
+                buckets[i] += 1;
+            }
         }
-        Metric::Counter(_) => {
-            debug_assert!(false, "metric `{name}` registered as a counter");
-        }
+        _ => debug_assert!(false, "metric `{name}` registered with another kind"),
     }
 }
 
@@ -137,15 +195,19 @@ pub fn timer(name: &'static str) -> ScopedTimer {
     ScopedTimer { name, start }
 }
 
-/// RAII span: a [`ScopedTimer`] that additionally emits an
-/// [`Event::Span`](crate::Event::Span) to the active trace sink on drop.
-/// Use for coarse phases (a synthesis, an ensemble, a sweep), not
-/// per-candidate hot paths.
+/// RAII span: a [`ScopedTimer`] that is also a trace scope. While a
+/// trace sink is installed, construction pushes a child trace context
+/// (anchored by a `span_start` event) so every event emitted inside is
+/// stamped as this span's descendant; drop emits the closing
+/// [`Event::Span`](crate::Event::Span) with the elapsed seconds under
+/// the same span id. Use for coarse phases (a synthesis, a campaign, an
+/// ensemble), not per-candidate hot paths.
 #[derive(Debug)]
 #[must_use = "a span measures until it is dropped"]
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    scope: Option<crate::trace::TraceScope>,
 }
 
 impl Drop for Span {
@@ -153,10 +215,13 @@ impl Drop for Span {
         if let Some(start) = self.start {
             let seconds = start.elapsed().as_secs_f64();
             observe_seconds(self.name, seconds);
+            // Emit the close *before* popping the scope so it carries
+            // this span's own id (its children nested under it).
             crate::emit(&crate::Event::Span(crate::SpanEvent {
                 name: self.name.to_string(),
                 seconds,
             }));
+            self.scope = None;
         }
     }
 }
@@ -165,7 +230,11 @@ impl Drop for Span {
 #[inline]
 pub fn span(name: &'static str) -> Span {
     let start = timers_enabled().then(Instant::now);
-    Span { name, start }
+    let scope = match start {
+        Some(_) if crate::is_enabled() => Some(crate::trace::child(name, "0000000000000000")),
+        _ => None,
+    };
+    Span { name, start, scope }
 }
 
 #[cfg(test)]
@@ -183,6 +252,8 @@ mod tests {
             assert!(t.elapsed_seconds().is_none());
         }
         counter_add("test.disabled_counter", 3);
+        gauge_set("test.disabled_gauge", 9);
+        observe_seconds("test.disabled_hist", 1.0);
         assert!(snapshot().is_empty());
     }
 
@@ -200,14 +271,53 @@ mod tests {
         set_timers_enabled(false);
         let hist = snap.iter().find(|(n, _)| n == "test.hist").expect("histogram recorded");
         match hist.1 {
-            Metric::Histogram { count, sum, min, max } => {
+            Metric::Histogram { count, sum, min, max, buckets } => {
                 assert_eq!(count, 3);
                 assert!(sum >= 0.0 && min <= max);
+                assert_eq!(buckets.iter().sum::<u64>(), 3, "fast timers land in buckets");
             }
-            Metric::Counter(_) => panic!("expected histogram"),
+            _ => panic!("expected histogram"),
         }
         let counter = snap.iter().find(|(n, _)| n == "test.count").expect("counter recorded");
         assert_eq!(counter.1, Metric::Counter(7));
+    }
+
+    #[test]
+    fn gauges_set_and_move() {
+        let _guard = telemetry_lock();
+        set_timers_enabled(true);
+        reset();
+        gauge_set("test.gauge", 4);
+        gauge_add("test.gauge", 3);
+        gauge_add("test.gauge", -6);
+        let snap = snapshot();
+        set_timers_enabled(false);
+        let gauge = snap.iter().find(|(n, _)| n == "test.gauge").expect("gauge recorded");
+        assert_eq!(gauge.1, Metric::Gauge(1));
+    }
+
+    #[test]
+    fn observations_land_in_log_scale_buckets() {
+        let _guard = telemetry_lock();
+        set_timers_enabled(true);
+        reset();
+        observe_seconds("test.buckets", 5e-6); // <= 1e-5: bucket 0
+        observe_seconds("test.buckets", 2e-3); // <= 3.2e-3: bucket 5
+        observe_seconds("test.buckets", 0.5); // <= 1.0: bucket 10
+        observe_seconds("test.buckets", 500.0); // overflow: no bucket
+        let snap = snapshot();
+        set_timers_enabled(false);
+        match snap.iter().find(|(n, _)| n == "test.buckets").expect("recorded").1 {
+            Metric::Histogram { count, buckets, min, max, .. } => {
+                assert_eq!(count, 4);
+                assert_eq!(buckets[0], 1);
+                assert_eq!(buckets[5], 1);
+                assert_eq!(buckets[10], 1);
+                assert_eq!(buckets.iter().sum::<u64>(), 3, "overflow only in count");
+                assert_eq!((min, max), (5e-6, 500.0));
+            }
+            _ => panic!("expected histogram"),
+        }
     }
 
     #[test]

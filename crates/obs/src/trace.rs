@@ -1,0 +1,379 @@
+//! Causal trace context: trace ids, parent-linked span ids, and the
+//! thread-local scope stack that stamps every emitted [`crate::Event`].
+//!
+//! A *trace* groups every journal event of one logical unit of work — a
+//! CLI invocation or one `cold-serve` job. Its 16-hex-digit id is minted
+//! once at the entry point (the run seed for the CLI, the content-
+//! addressed job id for the service) and never changes. Within a trace,
+//! *spans* form a tree: each [`TraceScope`] pushed onto the thread-local
+//! stack mints a fresh span id whose parent is the enclosing scope, and
+//! [`crate::emit`] stamps whatever context is current onto each event as
+//! `trace_id` / `span_id` / `parent_id` fields.
+//!
+//! Opening a scope emits a `span_start` event, so every span id that can
+//! appear as a `parent_id` is anchored in the journal *before* any of
+//! its children — parent resolution holds even for journals truncated by
+//! a crash. Closing a [`crate::Span`] emits the usual `span` event with
+//! the elapsed seconds under the same span id.
+//!
+//! Context does not cross threads implicitly: code that fans work out
+//! (ensemble workers, the deadline watchdog, serve workers) snapshots
+//! [`current`] and re-installs it with [`enter`] on the other side.
+//!
+//! Everything here is inert while no trace sink is installed: the scope
+//! constructors check [`crate::is_enabled`] first, so the disabled path
+//! stays within the one-atomic-load overhead budget.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One stamped trace context: the ids an event carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace id shared by every event of the job/run (16 hex digits).
+    pub trace_id: String,
+    /// This span's id (16 hex digits), unique within the process.
+    pub span_id: String,
+    /// The enclosing span's id; `None` for a trace root.
+    pub parent_id: Option<String>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<TraceCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Process-wide span counter: hashed with the trace id into span ids so
+/// two scopes can never collide, whatever thread they open on.
+static SPAN_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// FNV-1a over the trace id and a fresh counter value: 16 lowercase hex
+/// digits, cheap, dependency-free, unique per process.
+fn mint_span_id(trace_id: &str) -> String {
+    let n = SPAN_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in trace_id.bytes().chain(n.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// The innermost context on this thread's scope stack, if any.
+pub fn current() -> Option<TraceCtx> {
+    STACK.with(|s| s.borrow().last().cloned())
+}
+
+/// A child context of the current scope (minted but *not* pushed) — used
+/// to give leaf events like GA generations their own span ids without
+/// the cost of a full scope. `None` when no scope is active.
+pub fn child_ctx() -> Option<TraceCtx> {
+    let parent = current()?;
+    Some(TraceCtx {
+        span_id: mint_span_id(&parent.trace_id),
+        parent_id: Some(parent.span_id),
+        trace_id: parent.trace_id,
+    })
+}
+
+/// RAII scope: pops its context from the thread-local stack on drop.
+/// Construct via [`root`], [`child`], or [`enter`].
+#[derive(Debug)]
+#[must_use = "a trace scope is active until it is dropped"]
+pub struct TraceScope {
+    pushed: bool,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if self.pushed {
+            STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+fn push(ctx: TraceCtx) -> TraceScope {
+    STACK.with(|s| s.borrow_mut().push(ctx));
+    TraceScope { pushed: true }
+}
+
+const INERT: TraceScope = TraceScope { pushed: false };
+
+/// Opens a trace *root* scope: a fresh span with no parent under the
+/// given trace id, anchored in the journal by a `span_start` event.
+/// Inert (and silent) while no trace sink is installed.
+pub fn root(name: &str, trace_id: &str) -> TraceScope {
+    if !crate::is_enabled() {
+        return INERT;
+    }
+    let ctx = TraceCtx {
+        trace_id: trace_id.to_string(),
+        span_id: mint_span_id(trace_id),
+        parent_id: None,
+    };
+    let scope = push(ctx);
+    crate::emit(&crate::Event::SpanStart(crate::SpanStartEvent { name: name.to_string() }));
+    scope
+}
+
+/// Opens a child scope of the current context (or a root scope under the
+/// given fallback trace id when the stack is empty), anchored by a
+/// `span_start` event. Inert while no trace sink is installed.
+pub fn child(name: &str, fallback_trace_id: &str) -> TraceScope {
+    if !crate::is_enabled() {
+        return INERT;
+    }
+    let ctx = child_ctx().unwrap_or_else(|| TraceCtx {
+        trace_id: fallback_trace_id.to_string(),
+        span_id: mint_span_id(fallback_trace_id),
+        parent_id: None,
+    });
+    let scope = push(ctx);
+    crate::emit(&crate::Event::SpanStart(crate::SpanStartEvent { name: name.to_string() }));
+    scope
+}
+
+/// Re-installs a snapshotted context on this thread (cross-thread
+/// propagation). Emits nothing: the context was already anchored where
+/// it was minted.
+pub fn enter(ctx: TraceCtx) -> TraceScope {
+    push(ctx)
+}
+
+/// The trace-field envelope read back off a journal line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFields {
+    /// The `trace_id` field.
+    pub trace_id: String,
+    /// The `span_id` field.
+    pub span_id: String,
+    /// The `parent_id` field, when present.
+    pub parent_id: Option<String>,
+}
+
+fn well_formed_id(id: &str) -> bool {
+    id.len() == 16 && id.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+impl TraceFields {
+    /// Extracts the trace envelope from a raw journal object: `Ok(None)`
+    /// when the line carries no trace fields at all, an error when they
+    /// are partial or malformed (ids must be 16 lowercase hex digits).
+    pub fn from_value(v: &serde_json::Value) -> Result<Option<TraceFields>, String> {
+        let Some(obj) = v.as_object() else {
+            return Err("journal line is not a JSON object".into());
+        };
+        let get = |key: &str| -> Result<Option<String>, String> {
+            match obj.get(key) {
+                None => Ok(None),
+                Some(val) => match val.as_str() {
+                    Some(s) if well_formed_id(s) => Ok(Some(s.to_string())),
+                    _ => Err(format!("field `{key}` is not 16 lowercase hex digits: {val}")),
+                },
+            }
+        };
+        let trace_id = get("trace_id")?;
+        let span_id = get("span_id")?;
+        let parent_id = get("parent_id")?;
+        match (trace_id, span_id) {
+            (None, None) => match parent_id {
+                None => Ok(None),
+                Some(_) => Err("`parent_id` present without `trace_id`/`span_id`".into()),
+            },
+            (Some(trace_id), Some(span_id)) => {
+                Ok(Some(TraceFields { trace_id, span_id, parent_id }))
+            }
+            _ => Err("`trace_id` and `span_id` must appear together".into()),
+        }
+    }
+}
+
+/// Checks the causal invariants of a traced journal, returning one
+/// message per violation (empty = valid):
+///
+/// - every `parent_id` resolves to a `span_id` seen on some event of the
+///   *same trace* (scope-open anchoring makes this hold even for
+///   journals truncated mid-run);
+/// - every trace has at least one root event (no `parent_id`);
+/// - with `require_all`, every event must carry trace fields.
+pub fn validate_trace(
+    events: &[(crate::Event, Option<TraceFields>)],
+    require_all: bool,
+) -> Vec<String> {
+    use std::collections::{HashMap, HashSet};
+    let mut problems = Vec::new();
+    let mut spans: HashSet<(&str, &str)> = HashSet::new();
+    let mut roots: HashMap<&str, usize> = HashMap::new();
+    for (_, fields) in events {
+        if let Some(f) = fields {
+            spans.insert((f.trace_id.as_str(), f.span_id.as_str()));
+            let count = roots.entry(f.trace_id.as_str()).or_insert(0);
+            if f.parent_id.is_none() {
+                *count += 1;
+            }
+        }
+    }
+    for (i, (event, fields)) in events.iter().enumerate() {
+        let line = i + 1;
+        match fields {
+            None if require_all => {
+                problems
+                    .push(format!("line {line}: {} event carries no trace fields", event.kind()));
+            }
+            None => {}
+            Some(f) => {
+                if let Some(parent) = &f.parent_id {
+                    if !spans.contains(&(f.trace_id.as_str(), parent.as_str())) {
+                        problems.push(format!(
+                            "line {line}: parent_id {parent} does not resolve within trace {}",
+                            f.trace_id
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for (trace, root_count) in roots {
+        if root_count == 0 {
+            problems.push(format!("trace {trace} has no root event (every event has a parent)"));
+        }
+    }
+    problems.sort();
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::telemetry_lock;
+    use crate::{Event, SpanEvent, TraceMode};
+
+    #[test]
+    fn span_ids_are_unique_and_well_formed() {
+        let a = mint_span_id("00000000000000aa");
+        let b = mint_span_id("00000000000000aa");
+        assert_ne!(a, b);
+        assert!(well_formed_id(&a) && well_formed_id(&b));
+        assert!(!well_formed_id("xyz"));
+        assert!(!well_formed_id("ABCDEF0123456789"), "uppercase is rejected");
+    }
+
+    #[test]
+    fn scopes_nest_and_pop_in_lifo_order() {
+        let _guard = telemetry_lock();
+        let path =
+            std::env::temp_dir().join(format!("cold-obs-trace-{}.jsonl", std::process::id()));
+        crate::configure(TraceMode::Journal(path.clone())).expect("journal sink");
+        {
+            let _root = root("test.root", "00000000000000ff");
+            let root_ctx = current().expect("root is current");
+            assert_eq!(root_ctx.trace_id, "00000000000000ff");
+            assert_eq!(root_ctx.parent_id, None);
+            {
+                let _child = child("test.child", "ignored");
+                let child_ctx = current().expect("child is current");
+                assert_eq!(child_ctx.trace_id, root_ctx.trace_id);
+                assert_eq!(child_ctx.parent_id.as_deref(), Some(root_ctx.span_id.as_str()));
+                crate::emit(&Event::Span(SpanEvent { name: "leaf".into(), seconds: 0.0 }));
+            }
+            assert_eq!(current().expect("back to root").span_id, root_ctx.span_id);
+        }
+        assert_eq!(current(), None);
+        crate::configure(TraceMode::Off).unwrap();
+
+        let text = std::fs::read_to_string(&path).expect("journal written");
+        let traced = crate::parse_journal_traced(&text).expect("journal validates");
+        assert_eq!(traced.len(), 3, "two span_start anchors and one leaf");
+        assert!(validate_trace(&traced, true).is_empty(), "{:?}", validate_trace(&traced, true));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn enter_reinstalls_a_snapshot_on_another_thread() {
+        let _guard = telemetry_lock();
+        let path =
+            std::env::temp_dir().join(format!("cold-obs-enter-{}.jsonl", std::process::id()));
+        crate::configure(TraceMode::Journal(path.clone())).expect("journal sink");
+        let snapshot = {
+            let _root = root("test.root", "0000000000000011");
+            let snapshot = current().expect("root current");
+            std::thread::scope(|scope| {
+                let ctx = snapshot.clone();
+                scope.spawn(move || {
+                    assert_eq!(current(), None, "fresh thread starts without context");
+                    let _g = enter(ctx.clone());
+                    assert_eq!(current(), Some(ctx));
+                    crate::emit(&Event::Span(SpanEvent { name: "remote".into(), seconds: 0.0 }));
+                });
+            });
+            snapshot
+        };
+        crate::configure(TraceMode::Off).unwrap();
+        let text = std::fs::read_to_string(&path).expect("journal written");
+        let traced = crate::parse_journal_traced(&text).expect("journal validates");
+        let remote = traced
+            .iter()
+            .find(|(e, _)| matches!(e, Event::Span(s) if s.name == "remote"))
+            .expect("remote span journaled");
+        assert_eq!(remote.1.as_ref().expect("stamped").span_id, snapshot.span_id);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn validate_trace_flags_dangling_parents_and_missing_fields() {
+        let leaf = |trace: &str, span: &str, parent: Option<&str>| {
+            (
+                Event::Span(SpanEvent { name: "x".into(), seconds: 0.0 }),
+                Some(TraceFields {
+                    trace_id: trace.into(),
+                    span_id: span.into(),
+                    parent_id: parent.map(str::to_string),
+                }),
+            )
+        };
+        let t = "00000000000000aa";
+        let good = vec![
+            leaf(t, "00000000000000b0", None),
+            leaf(t, "00000000000000b1", Some("00000000000000b0")),
+        ];
+        assert!(validate_trace(&good, true).is_empty());
+
+        let dangling = vec![
+            leaf(t, "00000000000000b0", None),
+            leaf(t, "00000000000000b1", Some("00000000000000bf")),
+        ];
+        let problems = validate_trace(&dangling, false);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("does not resolve"), "{problems:?}");
+
+        let untraced = vec![(Event::Span(SpanEvent { name: "x".into(), seconds: 0.0 }), None)];
+        assert!(validate_trace(&untraced, false).is_empty());
+        assert_eq!(validate_trace(&untraced, true).len(), 1);
+
+        let parentless = vec![leaf(t, "00000000000000b1", Some("00000000000000b1"))];
+        let problems = validate_trace(&parentless, false);
+        assert!(problems.iter().any(|p| p.contains("no root event")), "{problems:?}");
+    }
+
+    #[test]
+    fn partial_or_malformed_envelopes_are_rejected() {
+        let ok: serde_json::Value = serde_json::json!({
+            "event": "span", "trace_id": "00000000000000aa",
+            "span_id": "00000000000000bb", "parent_id": "00000000000000cc",
+        });
+        let fields = TraceFields::from_value(&ok).unwrap().unwrap();
+        assert_eq!(fields.parent_id.as_deref(), Some("00000000000000cc"));
+        let none: serde_json::Value = serde_json::json!({"event": "span"});
+        assert_eq!(TraceFields::from_value(&none).unwrap(), None);
+        let partial: serde_json::Value =
+            serde_json::json!({"event": "span", "trace_id": "00000000000000aa"});
+        assert!(TraceFields::from_value(&partial).is_err());
+        let bad: serde_json::Value =
+            serde_json::json!({"event": "span", "trace_id": "nope", "span_id": "00000000000000bb"});
+        assert!(TraceFields::from_value(&bad).is_err());
+        let orphan_parent: serde_json::Value =
+            serde_json::json!({"event": "span", "parent_id": "00000000000000cc"});
+        assert!(TraceFields::from_value(&orphan_parent).is_err());
+    }
+}

@@ -37,6 +37,7 @@ OPTIONS:
     --seed <BASE>        base seed; job i uses BASE + (i mod K) (default 0)
     --rps <R>            target submissions/second across clients (default unpaced)
     --poll-ms <MS>       status poll interval (default 25)
+    --json               emit the report as one JSON object instead of text
     -h, --help           show this help
 ";
 
@@ -51,6 +52,7 @@ struct Opts {
     seed: u64,
     rps: Option<f64>,
     poll_ms: u64,
+    json: bool,
 }
 
 #[derive(Default)]
@@ -97,7 +99,15 @@ fn main() {
 
     let elapsed = started.elapsed().as_secs_f64();
     let tally = Arc::try_unwrap(tally).ok().expect("clients done").into_inner().expect("tally");
-    report(&tally, opts.jobs, elapsed);
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string(&report_value(&tally, opts.jobs, elapsed))
+                .expect("report serializes")
+        );
+    } else {
+        report(&tally, opts.jobs, elapsed);
+    }
     if tally.failed > 0 {
         std::process::exit(1);
     }
@@ -209,6 +219,44 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// Latency percentiles of one series as a JSON object, or `Null` when
+/// the series is empty.
+fn latency_value(latencies: &[f64]) -> Value {
+    if latencies.is_empty() {
+        return Value::Null;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    serde_json::json!({
+        "mean_seconds": mean,
+        "p50_seconds": percentile(&sorted, 50.0),
+        "p90_seconds": percentile(&sorted, 90.0),
+        "p99_seconds": percentile(&sorted, 99.0),
+        "max_seconds": sorted.last().copied().unwrap_or(0.0),
+    })
+}
+
+/// The machine-readable (`--json`) form of the run report: the same
+/// counters and percentiles the text report prints.
+fn report_value(tally: &Tally, jobs: usize, elapsed: f64) -> Value {
+    serde_json::json!({
+        "tool": "cold-loadgen",
+        "submissions": jobs,
+        "elapsed_seconds": elapsed,
+        "jobs_per_second": jobs as f64 / elapsed.max(1e-9),
+        "paths": {
+            "accepted": tally.accepted,
+            "deduplicated": tally.deduplicated,
+            "cached": tally.cached,
+            "rejected": tally.rejected,
+            "failed": tally.failed,
+        },
+        "submit_latency": latency_value(&tally.submit_latencies),
+        "e2e_latency": latency_value(&tally.e2e_latencies),
+    })
+}
+
 fn report(tally: &Tally, jobs: usize, elapsed: f64) {
     let mut submit = tally.submit_latencies.clone();
     submit.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -250,6 +298,7 @@ fn parse_args() -> Opts {
         seed: 0,
         rps: None,
         poll_ms: 25,
+        json: false,
     };
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -290,6 +339,7 @@ fn parse_args() -> Opts {
             "--poll-ms" => {
                 opts.poll_ms = parse_or_usage("--poll-ms", value(&mut args, "--poll-ms"))
             }
+            "--json" => opts.json = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);

@@ -156,6 +156,40 @@ impl Response {
     }
 }
 
+/// Writes the head of a `text/event-stream` response. No
+/// `Content-Length`: the stream ends when the server closes the
+/// connection (`Connection: close` is the framing, as everywhere else
+/// in this codec).
+///
+/// # Errors
+/// Propagates write failures; the caller drops the connection.
+pub fn write_stream_head(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\ncontent-type: text/event-stream\r\n\
+          cache-control: no-cache\r\nconnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// Writes one SSE `data:` frame carrying `payload` (one line of JSON).
+///
+/// # Errors
+/// Propagates write failures — the signal that the client went away.
+pub fn write_sse_frame(stream: &mut TcpStream, payload: &str) -> io::Result<()> {
+    stream.write_all(format!("data: {payload}\n\n").as_bytes())?;
+    stream.flush()
+}
+
+/// Writes an SSE comment frame — the keep-alive that doubles as dead-
+/// client detection while a job is quiet.
+///
+/// # Errors
+/// Propagates write failures.
+pub fn write_sse_keepalive(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(b": keep-alive\n\n")?;
+    stream.flush()
+}
+
 fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",

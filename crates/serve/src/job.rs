@@ -124,6 +124,15 @@ pub struct JobEntry {
     pub status: Mutex<JobStatus>,
     /// Live progress (meaningful while `Running`).
     pub progress: Mutex<JobProgress>,
+    /// Trace context minted at submission (trace id = job id). The
+    /// worker re-enters it so every event of the job's campaign shares
+    /// one resolvable trace.
+    pub trace: Mutex<Option<cold_obs::trace::TraceCtx>>,
+    /// When the job (re)entered the queue — queue-wait attribution.
+    pub enqueued: Mutex<std::time::Instant>,
+    /// Live `GET /jobs/{id}/events` subscribers: each holds the sender
+    /// half of the channel its streaming thread blocks on.
+    subscribers: Mutex<Vec<std::sync::mpsc::Sender<String>>>,
 }
 
 impl JobEntry {
@@ -133,7 +142,38 @@ impl JobEntry {
             spec,
             status: Mutex::new(JobStatus::Queued),
             progress: Mutex::new(JobProgress::default()),
+            trace: Mutex::new(None),
+            enqueued: Mutex::new(std::time::Instant::now()),
+            subscribers: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Registers a live-stream subscriber; the returned receiver yields
+    /// one JSON payload per published event until [`Self::close_stream`].
+    pub fn subscribe(&self) -> std::sync::mpsc::Receiver<String> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.subscribers.lock().expect("subscribers poisoned").push(tx);
+        rx
+    }
+
+    /// True when at least one event stream is attached — lets publishers
+    /// skip building payloads nobody is listening for.
+    pub fn has_subscribers(&self) -> bool {
+        !self.subscribers.lock().expect("subscribers poisoned").is_empty()
+    }
+
+    /// Sends one payload to every live subscriber, pruning subscribers
+    /// whose streaming thread is gone.
+    pub fn publish(&self, payload: &str) {
+        let mut subs = self.subscribers.lock().expect("subscribers poisoned");
+        subs.retain(|tx| tx.send(payload.to_string()).is_ok());
+    }
+
+    /// Drops every subscriber sender: blocked streams observe the
+    /// disconnect and end with a clean EOF. Call after publishing a
+    /// terminal status.
+    pub fn close_stream(&self) {
+        self.subscribers.lock().expect("subscribers poisoned").clear();
     }
 
     /// Snapshot of the status document served by `GET /jobs/{id}`.
@@ -188,6 +228,21 @@ mod tests {
         assert!(JobSpec::from_json(&format!("{{\"config\":{config},\"count\":0}}"))
             .unwrap_err()
             .contains(">= 1"));
+    }
+
+    #[test]
+    fn subscribers_receive_published_payloads_until_close() {
+        let entry = JobEntry::new(spec());
+        assert!(!entry.has_subscribers());
+        let rx = entry.subscribe();
+        assert!(entry.has_subscribers());
+        entry.publish("one");
+        assert_eq!(rx.recv().unwrap(), "one");
+        entry.close_stream();
+        assert!(rx.recv().is_err(), "a closed stream disconnects its receiver");
+        drop(entry.subscribe());
+        entry.publish("two"); // dead subscribers are pruned, not errors
+        assert!(!entry.has_subscribers());
     }
 
     #[test]

@@ -2,9 +2,13 @@
 //!
 //! The registry stores dotted names (`serve.jobs_submitted`,
 //! `cost.evaluate_total`); `/metrics` exposes them with the conventional
-//! `cold_` namespace and underscores, counters as-is and histograms as
-//! the `_count` / `_sum` / `_min` / `_max` quadruple the registry keeps.
+//! `cold_` namespace and underscores: counters and gauges as single
+//! samples, histograms as cumulative `_bucket{le="..."}` series (on the
+//! registry's log-scale bounds) plus `_sum` and `_count`. The previous
+//! `_min`/`_max` pseudo-summary series were nonconformant — no Prometheus
+//! type emits them — and are gone.
 
+use cold_obs::registry::BUCKET_BOUNDS;
 use cold_obs::Metric;
 
 /// Counter names the serve layer increments (registered lazily on first
@@ -28,6 +32,15 @@ pub mod names {
     pub const WORKER_PANICS: &str = "serve.worker_panics";
     /// Wall-clock seconds per completed job (histogram).
     pub const JOB_SECONDS: &str = "serve.job_seconds";
+    /// Seconds a job waited in the queue before a worker picked it up
+    /// (histogram).
+    pub const JOB_QUEUE_WAIT_SECONDS: &str = "serve.job_queue_wait_seconds";
+    /// Jobs currently waiting in the queue (gauge).
+    pub const QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Jobs currently being executed (gauge).
+    pub const JOBS_INFLIGHT: &str = "serve.jobs_inflight";
+    /// Worker threads alive in the pool (gauge).
+    pub const WORKERS_ACTIVE: &str = "serve.workers_active";
 }
 
 /// Renders the current registry snapshot as Prometheus exposition text.
@@ -39,10 +52,20 @@ pub fn render() -> String {
             Metric::Counter(c) => {
                 out.push_str(&format!("# TYPE {flat} counter\n{flat} {c}\n"));
             }
-            Metric::Histogram { count, sum, min, max } => {
+            Metric::Gauge(g) => {
+                out.push_str(&format!("# TYPE {flat} gauge\n{flat} {g}\n"));
+            }
+            Metric::Histogram { count, sum, buckets, .. } => {
+                out.push_str(&format!("# TYPE {flat} histogram\n"));
+                // Prometheus buckets are cumulative; the registry stores
+                // per-bucket counts with overflow implicit in `count`.
+                let mut cumulative = 0u64;
+                for (bound, in_bucket) in BUCKET_BOUNDS.iter().zip(buckets) {
+                    cumulative += in_bucket;
+                    out.push_str(&format!("{flat}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+                }
                 out.push_str(&format!(
-                    "# TYPE {flat} summary\n{flat}_count {count}\n{flat}_sum {sum}\n\
-                     {flat}_min {min}\n{flat}_max {max}\n"
+                    "{flat}_bucket{{le=\"+Inf\"}} {count}\n{flat}_sum {sum}\n{flat}_count {count}\n"
                 ));
             }
         }
@@ -50,11 +73,14 @@ pub fn render() -> String {
     out
 }
 
-/// Reads the value of counter `flat_name` out of rendered exposition
-/// text — the assertion helper the smoke tests and loadgen use.
+/// Reads the value of counter/gauge `flat_name` out of rendered
+/// exposition text — the assertion helper the smoke tests and loadgen
+/// use. Matches only the exact bare sample name, never `_bucket`/`_sum`/
+/// `_count` series or `# TYPE` lines that share the prefix.
 pub fn parse_counter(text: &str, flat_name: &str) -> Option<u64> {
     text.lines()
-        .find(|l| l.starts_with(flat_name) && l.split(' ').next() == Some(flat_name))
+        .filter(|l| !l.starts_with('#'))
+        .find(|l| l.split(' ').next() == Some(flat_name))
         .and_then(|l| l.split(' ').nth(1))
         .and_then(|v| v.parse().ok())
 }
@@ -70,13 +96,31 @@ mod tests {
         cold_obs::reset();
         cold_obs::counter_add(names::JOBS_SUBMITTED, 3);
         cold_obs::observe_seconds(names::JOB_SECONDS, 0.5);
+        cold_obs::gauge_set(names::QUEUE_DEPTH, 4);
         let text = render();
         cold_obs::set_timers_enabled(false);
         cold_obs::reset();
 
         assert_eq!(parse_counter(&text, "cold_serve_jobs_submitted"), Some(3));
         assert!(text.contains("# TYPE cold_serve_jobs_submitted counter"));
+        assert!(text.contains("# TYPE cold_serve_queue_depth gauge"));
+        assert_eq!(parse_counter(&text, "cold_serve_queue_depth"), Some(4));
         assert!(text.contains("cold_serve_job_seconds_count 1"));
         assert!(text.contains("cold_serve_job_seconds_sum 0.5"));
+        assert!(text.contains("# TYPE cold_serve_job_seconds histogram"));
+        // 0.5s lands in the le="1" bucket; cumulative series reach 1 by +Inf.
+        assert!(text.contains("cold_serve_job_seconds_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("cold_serve_job_seconds_bucket{le=\"+Inf\"} 1"));
+        // The nonconformant pseudo-summary series are gone.
+        assert!(!text.contains("_min "), "{text}");
+        assert!(!text.contains("_max "), "{text}");
+    }
+
+    #[test]
+    fn parse_counter_ignores_series_sharing_the_prefix() {
+        let text = "# TYPE cold_x counter\ncold_x_bucket{le=\"1\"} 9\ncold_x_sum 9\ncold_x 7\n";
+        assert_eq!(parse_counter(text, "cold_x"), Some(7));
+        assert_eq!(parse_counter(text, "cold_x_sum"), Some(9));
+        assert_eq!(parse_counter(text, "cold_missing"), None);
     }
 }

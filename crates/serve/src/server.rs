@@ -26,7 +26,9 @@
 //! a restarted server re-scans the cache directory and resumes.
 
 use crate::cache::ResultCache;
-use crate::http::{read_request, Request, Response};
+use crate::http::{
+    read_request, write_sse_frame, write_sse_keepalive, write_stream_head, Request, Response,
+};
 use crate::job::{JobEntry, JobProgress, JobSpec, JobStatus};
 use crate::metrics::{self, names};
 use crate::queue::{BoundedQueue, QueueFull};
@@ -143,9 +145,15 @@ impl Server {
         {
             let mut registry = shared.registry.lock().expect("registry poisoned");
             for (id, spec) in shared.cache.scan_unfinished() {
-                registry.insert(id.clone(), Arc::new(JobEntry::new(spec)));
+                let entry = Arc::new(JobEntry::new(spec));
+                // The resumed leg is a fresh causal unit: re-mint its
+                // trace (same trace id — it is the job id) so this
+                // journal has its own root anchor.
+                mint_job_trace(&entry, &id);
+                registry.insert(id.clone(), entry);
                 shared.queue.push_forced(id);
             }
+            cold_obs::gauge_set(names::QUEUE_DEPTH, shared.queue.len() as i64);
         }
 
         let listener = TcpListener::bind(&config.addr)?;
@@ -156,9 +164,13 @@ impl Server {
         for w in 0..config.workers {
             let shared = Arc::clone(&shared);
             worker_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("cold-serve-worker-{w}"))
-                    .spawn(move || worker_loop(&shared))?,
+                std::thread::Builder::new().name(format!("cold-serve-worker-{w}")).spawn(
+                    move || {
+                        cold_obs::gauge_add(names::WORKERS_ACTIVE, 1);
+                        worker_loop(&shared);
+                        cold_obs::gauge_add(names::WORKERS_ACTIVE, -1);
+                    },
+                )?,
             );
         }
 
@@ -222,14 +234,80 @@ impl Server {
 // ---------------------------------------------------------------------
 
 fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
-    let response = match read_request(stream) {
+    let request = match read_request(stream) {
         Ok(request) => {
             cold_obs::counter_add(names::HTTP_REQUESTS, 1);
-            route(shared, &request)
+            request
         }
-        Err(e) => Response::error(400, "bad_request", &e.to_string()),
+        Err(e) => {
+            let _ = Response::error(400, "bad_request", &e.to_string()).write_to(stream);
+            return;
+        }
     };
-    let _ = response.write_to(stream);
+    // The event stream writes the connection incrementally and cannot go
+    // through the buffered request/response path.
+    if request.method == "GET" {
+        if let Some(id) =
+            request.path.strip_prefix("/jobs/").and_then(|rest| rest.strip_suffix("/events"))
+        {
+            stream_events(shared, id, stream);
+            return;
+        }
+    }
+    let _ = route(shared, &request).write_to(stream);
+}
+
+/// `GET /jobs/{id}/events`: a live SSE stream of the job's status
+/// transitions and per-generation records. Subscribes *before* taking
+/// the status snapshot so no transition can fall between the two; ends
+/// with a clean EOF when the job publishes a terminal status (or was
+/// already terminal).
+fn stream_events(shared: &Shared, id: &str, stream: &mut TcpStream) {
+    let entry = shared.registry.lock().expect("registry poisoned").get(id).cloned();
+    let Some(entry) = entry else {
+        // Finished in a previous process: a short stream of the cached
+        // terminal status keeps the route total.
+        if shared.cache.lookup(id).is_some() {
+            let doc = serde_json::json!({ "id": id, "status": "done", "cached": true });
+            if write_stream_head(stream).is_ok() {
+                let _ = write_sse_frame(
+                    stream,
+                    &serde_json::to_string(&doc).expect("status serializes"),
+                );
+            }
+            return;
+        }
+        let _ = Response::error(404, "not_found", "no such job").write_to(stream);
+        return;
+    };
+    let rx = entry.subscribe();
+    if write_stream_head(stream).is_err() {
+        return;
+    }
+    let snapshot = entry.status_value(id);
+    if write_sse_frame(stream, &serde_json::to_string(&snapshot).expect("status serializes"))
+        .is_err()
+    {
+        return;
+    }
+    if matches!(snapshot["status"].as_str(), Some("done" | "failed" | "interrupted")) {
+        return; // already terminal: snapshot is the whole stream
+    }
+    loop {
+        match rx.recv_timeout(Duration::from_millis(250)) {
+            Ok(payload) => {
+                if write_sse_frame(stream, &payload).is_err() {
+                    return; // client went away; subscriber is pruned on next publish
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) || write_sse_keepalive(stream).is_err() {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return, // terminal: clean EOF
+        }
+    }
 }
 
 fn route(shared: &Shared, request: &Request) -> Response {
@@ -304,7 +382,9 @@ fn submit(shared: &Shared, body: &[u8]) -> Response {
                         *entry.status.lock().expect("job status poisoned") = JobStatus::Queued;
                         *entry.progress.lock().expect("job progress poisoned") =
                             JobProgress::default();
-                        return answer_accepted(shared, &id, &spec);
+                        *entry.enqueued.lock().expect("enqueue time poisoned") = Instant::now();
+                        let entry = Arc::clone(entry);
+                        return answer_accepted(shared, &id, &entry);
                     }
                 }
             }
@@ -318,20 +398,37 @@ fn submit(shared: &Shared, body: &[u8]) -> Response {
             if let Err(e) = shared.cache.store_spec(&id, &spec) {
                 eprintln!("cold-serve: job {id}: spec not persisted ({e}); resume disabled");
             }
-            registry.insert(id.clone(), Arc::new(JobEntry::new(spec)));
-            answer_accepted(shared, &id, &spec)
+            let entry = Arc::new(JobEntry::new(spec));
+            registry.insert(id.clone(), Arc::clone(&entry));
+            answer_accepted(shared, &id, &entry)
         }
     }
+}
+
+/// Mints the job's trace: a root scope named `serve.job` whose trace id
+/// *is* the content-addressed job id, anchored in the journal by its
+/// `span_start` event. The context is stored on the entry for the worker
+/// to re-enter. A no-op (storing `None`) while telemetry is off.
+fn mint_job_trace(entry: &JobEntry, id: &str) {
+    let scope = cold_obs::trace::root("serve.job", id);
+    *entry.trace.lock().expect("job trace poisoned") = cold_obs::trace::current();
+    drop(scope);
 }
 
 fn answer_cache_hit(id: &str, kind: &str) -> Response {
     let counter =
         if kind == "result" { names::CACHE_HITS_RESULT } else { names::CACHE_HITS_INFLIGHT };
     cold_obs::counter_add(counter, 1);
-    cold_obs::emit(&cold_obs::Event::CacheHit(cold_obs::CacheHit {
-        id: id.to_string(),
-        kind: kind.to_string(),
-    }));
+    {
+        // Cache hits happen on connection threads with no job scope;
+        // anchor them in the job's trace (trace id = job id) so the
+        // journal's causal graph stays fully resolvable.
+        let _scope = cold_obs::trace::root("serve.cache_hit", id);
+        cold_obs::emit(&cold_obs::Event::CacheHit(cold_obs::CacheHit {
+            id: id.to_string(),
+            kind: kind.to_string(),
+        }));
+    }
     let doc = if kind == "result" {
         serde_json::json!({ "id": id, "status": "done", "cached": true })
     } else {
@@ -346,14 +443,23 @@ fn answer_queue_full() -> Response {
         .with_header("retry-after", "1")
 }
 
-fn answer_accepted(shared: &Shared, id: &str, spec: &JobSpec) -> Response {
+fn answer_accepted(shared: &Shared, id: &str, entry: &JobEntry) -> Response {
+    let spec = &entry.spec;
     cold_obs::counter_add(names::JOBS_SUBMITTED, 1);
-    cold_obs::emit(&cold_obs::Event::JobSubmitted(cold_obs::JobSubmitted {
-        id: id.to_string(),
-        n: spec.config.context.n,
-        count: spec.count,
-        seed: spec.seed,
-    }));
+    cold_obs::gauge_set(names::QUEUE_DEPTH, shared.queue.len() as i64);
+    // (Re)mint the trace at acceptance so the submission event below is
+    // this trace's first child.
+    mint_job_trace(entry, id);
+    let ctx = entry.trace.lock().expect("job trace poisoned").clone();
+    cold_obs::emit_with_ctx(
+        &cold_obs::Event::JobSubmitted(cold_obs::JobSubmitted {
+            id: id.to_string(),
+            n: spec.config.context.n,
+            count: spec.count,
+            seed: spec.seed,
+        }),
+        ctx.as_ref(),
+    );
     let doc = serde_json::json!({ "id": id, "status": "queued", "queued": shared.queue.len() });
     Response::json(202, serde_json::to_string(&doc).expect("accept doc serializes"))
 }
@@ -394,6 +500,7 @@ fn result(shared: &Shared, id: &str) -> Response {
 
 fn worker_loop(shared: &Shared) {
     while let Some(id) = shared.queue.pop() {
+        cold_obs::gauge_set(names::QUEUE_DEPTH, shared.queue.len() as i64);
         let entry = {
             let registry = shared.registry.lock().expect("registry poisoned");
             registry.get(&id).cloned()
@@ -401,11 +508,30 @@ fn worker_loop(shared: &Shared) {
         let Some(entry) = entry else {
             continue; // registry and queue are only ever updated together
         };
+        let waited = entry.enqueued.lock().expect("enqueue time poisoned").elapsed();
+        cold_obs::observe_seconds(names::JOB_QUEUE_WAIT_SECONDS, waited.as_secs_f64());
         if shared.shutdown.load(Ordering::SeqCst) {
-            *entry.status.lock().expect("job status poisoned") = JobStatus::Interrupted;
+            transition(&entry, &id, JobStatus::Interrupted);
             continue;
         }
+        cold_obs::gauge_add(names::JOBS_INFLIGHT, 1);
         run_job(shared, &id, &entry);
+        cold_obs::gauge_add(names::JOBS_INFLIGHT, -1);
+    }
+}
+
+/// Applies a status transition and publishes the new status document to
+/// any live event streams; terminal transitions then end the streams
+/// (their receivers see the disconnect as EOF).
+fn transition(entry: &JobEntry, id: &str, status: JobStatus) {
+    let terminal =
+        matches!(status, JobStatus::Done | JobStatus::Failed(_) | JobStatus::Interrupted);
+    *entry.status.lock().expect("job status poisoned") = status;
+    if entry.has_subscribers() {
+        entry.publish(&serde_json::to_string(&entry.status_value(id)).expect("status serializes"));
+    }
+    if terminal {
+        entry.close_stream();
     }
 }
 
@@ -415,7 +541,11 @@ fn worker_loop(shared: &Shared) {
 /// checkpoint means no completed trial reruns — and a second panic fails
 /// the job, never the server.
 fn run_job(shared: &Shared, id: &str, entry: &Arc<JobEntry>) {
-    *entry.status.lock().expect("job status poisoned") = JobStatus::Running;
+    // Re-enter the trace minted at submission: the campaign, its trials,
+    // and every GA generation below nest under the job's root span.
+    let job_ctx = entry.trace.lock().expect("job trace poisoned").clone();
+    let _trace = job_ctx.map(cold_obs::trace::enter);
+    transition(entry, id, JobStatus::Running);
     let started = Instant::now();
     let ckpt_path = shared.cache.checkpoint_path(id);
 
@@ -427,11 +557,22 @@ fn run_job(shared: &Shared, id: &str, entry: &Arc<JobEntry>) {
             resumed,
         }));
 
+        let run = cold_obs::run_id(entry.spec.seed);
         let progress_entry = Arc::clone(entry);
         let sink: ProgressSink = Arc::new(move |record: &cold_obs::GenerationRecord| {
-            let mut p = progress_entry.progress.lock().expect("job progress poisoned");
-            p.generation = record.generation;
-            p.best = record.best;
+            {
+                let mut p = progress_entry.progress.lock().expect("job progress poisoned");
+                p.generation = record.generation;
+                p.best = record.best;
+            }
+            if progress_entry.has_subscribers() {
+                let event = cold_obs::Event::Generation(cold_obs::GenerationEvent {
+                    run: run.clone(),
+                    record: record.clone(),
+                });
+                progress_entry
+                    .publish(&serde_json::to_string(&event.to_value()).expect("record serializes"));
+            }
         });
         let trial_entry = Arc::clone(entry);
 
@@ -465,7 +606,7 @@ fn run_job(shared: &Shared, id: &str, entry: &Arc<JobEntry>) {
             }
             Ok(Err(ColdError::Canceled { .. })) => {
                 // Graceful drain: checkpointed; a restart resumes it.
-                *entry.status.lock().expect("job status poisoned") = JobStatus::Interrupted;
+                transition(entry, id, JobStatus::Interrupted);
                 return;
             }
             Ok(Err(e)) => {
@@ -521,7 +662,7 @@ fn finish_job(
         trials: results.len(),
         seconds,
     }));
-    *entry.status.lock().expect("job status poisoned") = JobStatus::Done;
+    transition(entry, id, JobStatus::Done);
 }
 
 fn fail_job(id: &str, entry: &Arc<JobEntry>, why: &str) {
@@ -530,5 +671,5 @@ fn fail_job(id: &str, entry: &Arc<JobEntry>, why: &str) {
         id: id.to_string(),
         error: why.to_string(),
     }));
-    *entry.status.lock().expect("job status poisoned") = JobStatus::Failed(why.to_string());
+    transition(entry, id, JobStatus::Failed(why.to_string()));
 }

@@ -353,6 +353,130 @@ fn drain_checkpoints_and_a_restarted_server_resumes() {
 }
 
 #[test]
+fn every_served_job_event_carries_a_resolvable_trace() {
+    let _guard = global_lock();
+    let dir = temp_dir("trace");
+    let journal = dir.join("serve.jsonl");
+    fresh_globals(Some(&journal));
+
+    let (handle, addr) =
+        start(ServerConfig { workers: 1, cache_dir: dir.join("cache"), ..ServerConfig::default() });
+
+    let body = job_body(8, 51, 2);
+    let resp = client_request(&addr, "POST", "/jobs", Some(&body)).expect("submit");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let id = parse_body(&resp.body)["id"].as_str().expect("id").to_string();
+    poll_until(&addr, &id, &["done"], Duration::from_secs(120));
+
+    // A cache hit rides on a connection thread with no worker scope —
+    // it must still land in the job's trace.
+    let resp = client_request(&addr, "POST", "/jobs", Some(&body)).expect("resubmit");
+    assert_eq!(resp.status, 200);
+
+    handle.shutdown();
+    handle.join();
+
+    // Every event in a served-job journal is trace-stamped, the trace id
+    // IS the content-addressed job id, and every parent resolves.
+    let text = std::fs::read_to_string(&journal).expect("journal written");
+    let traced = cold_obs::parse_journal_traced(&text).expect("journal parses");
+    let problems = cold_obs::trace::validate_trace(&traced, true);
+    assert!(problems.is_empty(), "trace validation failed: {problems:?}");
+    for (event, fields) in &traced {
+        let fields = fields.as_ref().expect("validated above");
+        assert_eq!(fields.trace_id, id, "{} escaped the job trace", event.kind());
+    }
+
+    // The causal chain nests: generation records hang off a parent span
+    // (the trial), and the trace has its `serve.job` root anchor.
+    let has_root_anchor = traced
+        .iter()
+        .any(|(e, _)| matches!(e, cold_obs::Event::SpanStart(s) if s.name == "serve.job"));
+    assert!(has_root_anchor, "missing serve.job span_start anchor");
+    let generations_with_parents = traced
+        .iter()
+        .filter(|(e, _)| e.kind() == "generation")
+        .filter(|(_, f)| f.as_ref().is_some_and(|f| f.parent_id.is_some()))
+        .count();
+    assert!(generations_with_parents > 0, "generation events must be parent-linked");
+
+    // journal-check itself accepts it under --require-trace (the CI
+    // smoke's contract), via the library the binary wraps.
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn event_stream_delivers_generations_live_and_ends_cleanly() {
+    let _guard = global_lock();
+    let dir = temp_dir("sse");
+    fresh_globals(None);
+
+    let (handle, addr) =
+        start(ServerConfig { workers: 1, cache_dir: dir.join("cache"), ..ServerConfig::default() });
+
+    // Enough trials that the stream attaches while the job is running.
+    let resp = client_request(&addr, "POST", "/jobs", Some(&job_body(8, 61, 6))).expect("submit");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let id = parse_body(&resp.body)["id"].as_str().expect("id").to_string();
+
+    // The blocking client reads the stream to EOF — exactly the clean
+    // close the server promises after a terminal status.
+    let stream_addr = addr.clone();
+    let stream_id = id.clone();
+    let reader = std::thread::spawn(move || {
+        client_request(&stream_addr, "GET", &format!("/jobs/{stream_id}/events"), None)
+            .expect("stream reads to clean EOF")
+    });
+
+    poll_until(&addr, &id, &["done"], Duration::from_secs(240));
+    let resp = reader.join().expect("stream thread");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("text/event-stream"));
+
+    // Frames: `data: {json}` separated by blank lines; `:` lines are
+    // keep-alive comments.
+    let frames: Vec<Value> =
+        resp.body.lines().filter_map(|l| l.strip_prefix("data: ")).map(parse_body).collect();
+    assert!(frames.len() >= 2, "expected snapshot + terminal frames, got {:?}", resp.body);
+
+    // Subscribe-before-snapshot: the first frame is a live (non-terminal)
+    // status document, the last is the terminal one.
+    let first = &frames[0];
+    assert!(
+        matches!(first["status"].as_str(), Some("queued" | "running")),
+        "stream must attach mid-job, first frame: {first}"
+    );
+    let last = &frames[frames.len() - 1];
+    assert_eq!(last["status"].as_str(), Some("done"), "terminal frame: {last}");
+    assert_eq!(last["id"].as_str(), Some(id.as_str()));
+
+    // Generation records streamed live, shaped like journal events.
+    let generations: Vec<&Value> =
+        frames.iter().filter(|f| f["event"].as_str() == Some("generation")).collect();
+    assert!(!generations.is_empty(), "no generation frames in {:?}", resp.body);
+    assert!(generations[0]["gen"].as_u64().is_some());
+    assert!(generations[0]["best"].as_f64().is_some());
+
+    // A stream opened on an unknown id is a typed 404, not a hang.
+    let resp =
+        client_request(&addr, "GET", "/jobs/ffffffffffffffff/events", None).expect("404 stream");
+    assert_eq!(resp.status, 404);
+
+    // A stream opened after completion is a one-frame terminal stream.
+    let resp =
+        client_request(&addr, "GET", &format!("/jobs/{id}/events"), None).expect("done stream");
+    assert_eq!(resp.status, 200);
+    let done_frames: Vec<&str> =
+        resp.body.lines().filter_map(|l| l.strip_prefix("data: ")).collect();
+    assert_eq!(done_frames.len(), 1, "{:?}", resp.body);
+    assert_eq!(parse_body(done_frames[0])["status"].as_str(), Some("done"));
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn binaries_smoke_loadgen_and_sigterm_drain() {
     let _guard = global_lock();
     let dir = temp_dir("bins");
@@ -405,6 +529,21 @@ fn binaries_smoke_loadgen_and_sigterm_drain() {
         4,
         "{metrics}"
     );
+
+    // A second, fully-cached pass with --json: the report is one JSON
+    // object with the same counters and percentiles as the text form.
+    let loadgen = std::process::Command::new(env!("CARGO_BIN_EXE_cold-loadgen"))
+        .args(["--addr", &addr, "--clients", "1", "--jobs", "2", "--distinct", "2", "--json"])
+        .output()
+        .expect("cold-loadgen --json runs");
+    assert!(loadgen.status.success());
+    let doc = parse_body(String::from_utf8_lossy(&loadgen.stdout).trim());
+    assert_eq!(doc["tool"].as_str(), Some("cold-loadgen"));
+    assert_eq!(doc["submissions"].as_u64(), Some(2));
+    assert_eq!(doc["paths"]["cached"].as_u64(), Some(2), "{doc}");
+    assert_eq!(doc["paths"]["failed"].as_u64(), Some(0));
+    assert!(doc["submit_latency"]["p50_seconds"].as_f64().is_some(), "{doc}");
+    assert!(doc["jobs_per_second"].as_f64().unwrap_or(0.0) > 0.0);
 
     // SIGTERM: the server drains and exits 0.
     let pid = serve.id().to_string();
