@@ -1,9 +1,9 @@
 //! Criterion benches for the optimizers: the GA (Fig 4's subject, plus the
 //! parallel-evaluation ablation) and the §5 greedy heuristics.
 
-use cold::{ColdConfig, ColdObjective, SynthesisMode};
+use cold::{ColdConfig, ColdMultiObjective, ColdObjective, SynthesisMode};
 use cold_cost::{CostEvaluator, CostParams};
-use cold_ga::{GaSettings, GeneticAlgorithm};
+use cold_ga::{hypervolume, GaSettings, GeneticAlgorithm, ParetoGa};
 use cold_heuristics::{
     complete_heuristic, greedy_attachment, mst_heuristic, random_greedy, RandomGreedyConfig,
 };
@@ -99,11 +99,37 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pareto(c: &mut Criterion) {
+    // NSGA-II vs the scalar GA at the same budget, plus the exact
+    // hypervolume computation over a realistic archive-sized front.
+    let mut group = c.benchmark_group("pareto");
+    group.sample_size(10);
+    let n = 15;
+    let cfg = ColdConfig::paper(n, 4e-4, 10.0);
+    let ctx = cfg.context.generate(4);
+    group.bench_function("nsga2_run", |b| {
+        b.iter(|| {
+            let obj = ColdMultiObjective::new(&ctx, cfg.params);
+            let ga = ParetoGa::try_new(&obj, bench_settings(7, false), 32).unwrap();
+            black_box(ga.try_run_traced(&[], None).unwrap().front.len())
+        });
+    });
+    let obj = ColdMultiObjective::new(&ctx, cfg.params);
+    let ga = ParetoGa::try_new(&obj, bench_settings(7, false), 32).unwrap();
+    let result = ga.try_run_traced(&[], None).unwrap();
+    let points: Vec<Vec<f64>> = result.front.iter().map(|p| p.objectives.clone()).collect();
+    group.bench_function("hypervolume_exact", |b| {
+        b.iter(|| black_box(hypervolume(&points, &result.reference)));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_ga_scaling,
     bench_ga_parallelism,
     bench_heuristics,
-    bench_end_to_end
+    bench_end_to_end,
+    bench_pareto
 );
 criterion_main!(benches);

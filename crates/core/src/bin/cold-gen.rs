@@ -40,6 +40,8 @@ struct Args {
     quick: bool,
     ga_only: bool,
     bridge_cost: Option<f64>,
+    pareto: bool,
+    archive: Option<usize>,
     journal: Option<PathBuf>,
     progress: bool,
     quiet: bool,
@@ -66,6 +68,8 @@ impl Default for Args {
             quick: false,
             ga_only: false,
             bridge_cost: None,
+            pareto: false,
+            archive: None,
             journal: None,
             progress: false,
             quiet: false,
@@ -119,6 +123,12 @@ OPTIONS:
                         greedy pass costs O(n^2) evaluations; combine
                         with --mutation-neighbors at large n)
     --bridge-cost <F>   resilience extension: per-bridge outage cost
+    --pareto            multi-objective mode: NSGA-II over build cost,
+                        worst single-link-failure impact, and demand-
+                        weighted mean path length; writes one JSON file
+                        per trial holding the whole Pareto front
+    --archive <N>       bound on the Pareto archive (with --pareto)
+                        [default: 32]
     --journal <PATH>    write a JSONL run journal (per-generation traces)
     --progress          live per-generation progress lines on stderr
     --quiet             suppress normal stdout output
@@ -196,6 +206,10 @@ fn parse_args() -> Args {
                 args.bridge_cost =
                     Some(value("--bridge-cost").parse().expect("--bridge-cost: float"))
             }
+            "--pareto" => args.pareto = true,
+            "--archive" => {
+                args.archive = Some(value("--archive").parse().expect("--archive: integer"))
+            }
             "--journal" => args.journal = Some(PathBuf::from(value("--journal"))),
             "--progress" => args.progress = true,
             "--quiet" => args.quiet = true,
@@ -251,6 +265,25 @@ fn parse_args() -> Args {
     }
     if args.campaign() && args.bridge_cost.is_some() {
         eprintln!("crash-safety flags cannot be combined with --bridge-cost\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    if args.pareto && args.bridge_cost.is_some() {
+        eprintln!("--pareto cannot be combined with --bridge-cost\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    if args.pareto && (args.campaign() || args.trial_deadline.is_some()) {
+        eprintln!(
+            "--pareto covers the plain synthesis path only (no crash-safety \
+                   or deadline flags)\n\n{USAGE}"
+        );
+        std::process::exit(2);
+    }
+    if args.archive.is_some() && !args.pareto {
+        eprintln!("--archive requires --pareto\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    if args.archive == Some(0) {
+        eprintln!("--archive must be >= 1\n\n{USAGE}");
         std::process::exit(2);
     }
     if let Some(d) = args.trial_deadline {
@@ -365,6 +398,34 @@ fn run_checkpointed(args: &Args, cfg: &ColdConfig) -> bool {
     stalled
 }
 
+/// Multi-objective trial loop: one NSGA-II run per trial, the whole
+/// Pareto front written as a single JSON document.
+fn run_pareto(args: &Args, cfg: &ColdConfig) {
+    let capacity = args.archive.unwrap_or(cold::pareto::DEFAULT_ARCHIVE_CAPACITY);
+    for i in 0..args.count {
+        let seed = cold_context::rng::derive_seed(args.seed, i as u64);
+        let r = match cold::try_synthesize_pareto(cfg, seed, capacity) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cold-gen: pareto synthesis failed: {e}");
+                cold_obs::emit_metrics_snapshot();
+                std::process::exit(1);
+            }
+        };
+        let path = args.out.join(format!("cold_pareto_n{}_seed{seed:016x}.json", args.n));
+        std::fs::write(&path, export::pareto_front_to_json(&r)).expect("write output file");
+        if !args.quiet {
+            println!("wrote {}", path.display());
+            println!(
+                "  front {i}: {} networks, hypervolume {:.4}, {} generations",
+                r.front.len(),
+                r.hypervolume(),
+                r.generations_run
+            );
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     if let Some(path) = &args.journal {
@@ -411,7 +472,9 @@ fn main() {
         });
     }
     let mut stalled = false;
-    if args.campaign() {
+    if args.pareto {
+        run_pareto(&args, &cfg);
+    } else if args.campaign() {
         stalled = run_checkpointed(&args, &cfg);
     } else if let Some(secs) = args.trial_deadline {
         // Deadline-guarded ensemble: an overrunning trial is abandoned,
@@ -444,7 +507,14 @@ fn main() {
         for i in 0..args.count {
             let seed = cold_context::rng::derive_seed(args.seed, i as u64);
             let (network, context, note) = if let Some(bc) = args.bridge_cost {
-                let (net, _, report) = cold::resilience::synthesize_resilient(&cfg, bc, seed);
+                let (net, _, report) = match cold::resilience::synthesize_resilient(&cfg, bc, seed)
+                {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("cold-gen: resilient synthesis failed: {e}");
+                        std::process::exit(1);
+                    }
+                };
                 let ctx = cfg.context.generate(cold_context::rng::derive_seed(seed, 0xC0));
                 let note = format!(
                     ", bridges {} (2-edge-connected: {})",

@@ -204,6 +204,38 @@ pub fn to_json(net: &Network, ctx: &Context) -> String {
     serde_json::to_string_pretty(&doc).expect("serializable")
 }
 
+/// Serializes a whole Pareto front — every member's network plus its
+/// objective vector, the hypervolume history, and the reference point —
+/// as one JSON document. This is the `cold-gen --pareto` output and the
+/// `result.json` body of a `mode: pareto` serve job.
+pub fn pareto_front_to_json(result: &crate::pareto::ParetoSynthesisResult) -> String {
+    let front: Vec<serde_json::Value> = result
+        .front
+        .iter()
+        .map(|m| {
+            let network: serde_json::Value =
+                serde_json::from_str(&to_json(&m.network, &result.context))
+                    .expect("to_json emits valid JSON");
+            serde_json::json!({
+                "objectives": m.objectives.clone(),
+                "network": network,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "mode": "pareto",
+        "front_size": result.front.len(),
+        "reference": result.reference.clone(),
+        "hypervolume": result.hypervolume(),
+        "hypervolume_history": result.hypervolume_history.clone(),
+        "generations_run": result.generations_run,
+        "evaluations": result.evaluations,
+        "stop_reason": result.stop_reason.as_str(),
+        "front": front,
+    });
+    serde_json::to_string_pretty(&doc).expect("serializable")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

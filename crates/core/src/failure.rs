@@ -86,6 +86,13 @@ pub fn single_link_failures(net: &Network, ctx: &Context) -> FailureReport {
         .expect("synthesized networks are connected");
     let base_len: Vec<Vec<f64>> = (0..n).map(|s| base.trees[s].dist.clone()).collect();
 
+    // Installed capacity by normalized endpoint pair, built once. The
+    // routing layer does not promise `u < v` edge order, so keying on the
+    // raw `(l.u, l.v)` tuple made reversed-order lookups miss and read as
+    // zero capacity (→ spurious infinite utilization).
+    let capacity: std::collections::HashMap<(usize, usize), f64> =
+        net.links.iter().map(|l| ((l.u.min(l.v), l.u.max(l.v)), l.capacity)).collect();
+
     let mut impacts = Vec::with_capacity(net.links.len());
     for failed in &net.links {
         let mut topo = net.topology.clone();
@@ -119,8 +126,7 @@ pub fn single_link_failures(net: &Network, ctx: &Context) -> FailureReport {
         let mut max_util = 0.0f64;
         let mut overloaded = 0usize;
         for (i, &(u, v)) in routed.edges.iter().enumerate() {
-            let installed =
-                net.links.iter().find(|l| (l.u, l.v) == (u, v)).map(|l| l.capacity).unwrap_or(0.0);
+            let installed = capacity.get(&(u.min(v), u.max(v))).copied().unwrap_or(0.0);
             if installed > 0.0 {
                 let util = routed.load[i] / installed;
                 max_util = max_util.max(util);
@@ -250,6 +256,31 @@ mod tests {
         let worst = report.worst().unwrap();
         assert_eq!(worst.link, (2, 3));
         assert!(worst.stranded_traffic_fraction > 0.0);
+    }
+
+    #[test]
+    fn reversed_link_endpoints_still_find_installed_capacity() {
+        // Regression: capacity lookup used to key on the raw `(l.u, l.v)`
+        // tuple, so an endpoint-order mismatch with the routing layer read
+        // as zero capacity and reported infinite utilization.
+        let ctx = square_ctx();
+        let ring = AdjacencyMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let params = CostParams::paper(1e-3, 0.0).with_overprovision(4.0);
+        let mut net = Network::build(ring, &ctx, params).unwrap();
+        let baseline = single_link_failures(&net, &ctx);
+        // Flip every stored link's endpoint order; the analysis must be
+        // insensitive to it.
+        for l in &mut net.links {
+            std::mem::swap(&mut l.u, &mut l.v);
+        }
+        let flipped = single_link_failures(&net, &ctx);
+        assert_eq!(baseline.impacts.len(), flipped.impacts.len());
+        for (b, f) in baseline.impacts.iter().zip(&flipped.impacts) {
+            assert!(f.max_utilization.is_finite(), "reversed order read as zero capacity");
+            assert_eq!(b.max_utilization, f.max_utilization);
+            assert_eq!(b.overloaded_links, f.overloaded_links);
+            assert_eq!(b.stranded_traffic_fraction, f.stranded_traffic_fraction);
+        }
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub mod fingerprint;
 pub mod graphml_in;
 pub mod inter_as;
 pub mod objective;
+pub mod pareto;
 pub mod report;
 pub mod resilience;
 pub mod router_level;
@@ -96,6 +97,10 @@ pub use cold_ga::StopReason;
 pub use error::ColdError;
 pub use fingerprint::{canonical_json, fingerprint_hex, job_fingerprint, value_fingerprint};
 pub use objective::ColdObjective;
+pub use pareto::{
+    try_synthesize_pareto, try_synthesize_pareto_in_context, ColdMultiObjective, ParetoFrontMember,
+    ParetoSynthesisResult,
+};
 pub use stats::NetworkStats;
 pub use synthesizer::{
     join_abandoned_watchdog_threads, ColdConfig, EnsembleOutcome, ProgressSink, SynthesisMode,

@@ -16,7 +16,7 @@
 use crate::objective::ColdObjective;
 use cold_context::Context;
 use cold_cost::CostParams;
-use cold_ga::Objective;
+use cold_ga::{Objective, ObjectiveSession};
 use cold_graph::connectivity::{cut_structure, is_two_edge_connected};
 use cold_graph::AdjacencyMatrix;
 use serde::{Deserialize, Serialize};
@@ -59,6 +59,45 @@ impl Objective for ResilientObjective<'_> {
         }
         let bridges = cut_structure(&topology.to_graph()).bridges.len();
         base + self.bridge_cost * bridges as f64
+    }
+
+    fn session(&self) -> Box<dyn ObjectiveSession + '_> {
+        // Delegate to the inner delta session and add the bridge term on
+        // top. Without this override the trait default wraps `cost()` in a
+        // stateless session, so every resilient evaluation silently paid
+        // for full APSP routing.
+        Box::new(ResilientSession { inner: self.inner.session(), bridge_cost: self.bridge_cost })
+    }
+
+    fn k_nearest(&self, k: usize) -> Vec<Vec<usize>> {
+        self.inner.k_nearest(k)
+    }
+}
+
+/// Per-worker session: the inner objective's incremental evaluation plus
+/// the bridge penalty, which is cheap (one DFS) and recomputed per call.
+/// Bit-identical to [`ResilientObjective::cost`] because the inner session
+/// is bit-identical to the inner objective and the bridge term is a pure
+/// function of the topology.
+struct ResilientSession<'a> {
+    inner: Box<dyn ObjectiveSession + 'a>,
+    bridge_cost: f64,
+}
+
+impl ObjectiveSession for ResilientSession<'_> {
+    fn cost(&mut self, topology: &AdjacencyMatrix, base: Option<&AdjacencyMatrix>) -> f64 {
+        let inner = self.inner.cost(topology, base);
+        if self.bridge_cost == 0.0 {
+            return inner;
+        }
+        let bridges = cut_structure(&topology.to_graph()).bridges.len();
+        inner + self.bridge_cost * bridges as f64
+    }
+    fn delta_evals(&self) -> usize {
+        self.inner.delta_evals()
+    }
+    fn full_evals(&self) -> usize {
+        self.inner.full_evals()
     }
 }
 
@@ -113,11 +152,16 @@ pub fn survivability(topology: &AdjacencyMatrix, ctx: &Context) -> Survivability
 ///
 /// Returns the best topology, its resilient-objective value, and its
 /// survivability report.
+///
+/// # Errors
+/// Returns [`crate::ColdError::Ga`] for invalid GA settings or evaluation
+/// failures and [`crate::ColdError::Config`] if the winning topology
+/// cannot be built into a network.
 pub fn synthesize_resilient(
     base: &crate::ColdConfig,
     bridge_cost: f64,
     seed: u64,
-) -> (cold_cost::Network, f64, Survivability) {
+) -> Result<(cold_cost::Network, f64, Survivability), crate::ColdError> {
     let ctx = base.context.generate(cold_context::rng::derive_seed(seed, 0xC0));
     let objective = ResilientObjective::new(&ctx, base.params, bridge_cost);
     // Seed with the plain heuristics (still valid topologies, just scored
@@ -130,12 +174,12 @@ pub fn synthesize_resilient(
             .collect();
     let ga_settings =
         cold_ga::GaSettings { seed: cold_context::rng::derive_seed(seed, 0x6741), ..base.ga };
-    let engine = cold_ga::GeneticAlgorithm::new(&objective, ga_settings);
-    let result = engine.run_seeded(&seeds);
+    let engine = cold_ga::GeneticAlgorithm::try_new(&objective, ga_settings)?;
+    let result = engine.try_run_traced(&seeds, None)?;
     let report = survivability(&result.best.topology, &ctx);
     let network = cold_cost::Network::build(result.best.topology.clone(), &ctx, base.params)
-        .expect("GA output connected");
-    (network, result.best.cost, report)
+        .map_err(|e| crate::ColdError::Config(format!("GA output not buildable: {e:?}")))?;
+    Ok((network, result.best.cost, report))
 }
 
 #[cfg(test)]
@@ -180,7 +224,7 @@ mod tests {
     #[test]
     fn high_bridge_cost_produces_two_edge_connected_networks() {
         let cfg = ColdConfig::quick(9, 1e-4, 0.0);
-        let (net, _, report) = synthesize_resilient(&cfg, 1e6, 3);
+        let (net, _, report) = synthesize_resilient(&cfg, 1e6, 3).unwrap();
         assert!(
             report.two_edge_connected,
             "bridge cost 1e6 must eliminate bridges; got {} bridges over {} links",
@@ -193,10 +237,65 @@ mod tests {
     #[test]
     fn zero_bridge_cost_reduces_to_plain_cold() {
         let cfg = ColdConfig::quick(8, 1e-4, 10.0);
-        let (net, cost, _) = synthesize_resilient(&cfg, 0.0, 4);
+        let (net, cost, _) = synthesize_resilient(&cfg, 0.0, 4).unwrap();
         let plain = cfg.synthesize(4);
         assert_eq!(net.topology, plain.network.topology);
         assert!((cost - plain.best_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn session_cost_is_bit_identical_to_objective_cost() {
+        let cfg = ColdConfig::quick(8, 1e-4, 10.0);
+        let ctx = cfg.context.generate(7);
+        let res = ResilientObjective::new(&ctx, cfg.params, 75.0);
+        let mut session = res.session();
+        let tree = cold_graph::mst::mst_matrix(8, ctx.distance_fn());
+        // Full evaluation path.
+        assert_eq!(session.cost(&tree, None), res.cost(&tree));
+        // Delta path: single-edge change against the cached base must land
+        // on the exact same bits as a from-scratch evaluation.
+        let mut ringed = tree.clone();
+        ringed.set_edge(0, 7, true);
+        assert_eq!(session.cost(&ringed, Some(&tree)), res.cost(&ringed));
+        assert!(session.delta_evals() > 0, "second eval must take the delta path");
+    }
+
+    #[test]
+    fn resilient_runs_use_delta_evaluation() {
+        // Regression: `ResilientObjective` used to inherit the stateless
+        // default session, so resilient GA runs did full APSP per eval.
+        let cfg = ColdConfig::quick(8, 1e-4, 0.0);
+        let ctx = cfg.context.generate(5);
+        let res = ResilientObjective::new(&ctx, cfg.params, 100.0);
+        let settings = cold_ga::GaSettings { seed: 11, generations: 4, ..cfg.ga };
+        let engine = cold_ga::GeneticAlgorithm::try_new(&res, settings).unwrap();
+        let result = engine.try_run_traced(&[], None).unwrap();
+        assert!(
+            result.eval_stats.delta_evals > 0,
+            "resilient run performed no delta evals: {:?}",
+            result.eval_stats
+        );
+    }
+
+    #[test]
+    fn survivability_handles_zero_total_traffic() {
+        // A context with no demand at all: fractions must be 0, not NaN.
+        let mut ctx = cold_context::Context::from_positions(
+            (0..5).map(|i| cold_context::Point::new(i as f64, 0.0)).collect(),
+            cold_context::PopulationKind::Constant { value: 1.0 },
+            cold_context::GravityModel::raw(),
+            0,
+        );
+        ctx.traffic = cold_context::TrafficMatrix::zeros(5);
+        assert_eq!(ctx.traffic.total(), 0.0);
+        let path = AdjacencyMatrix::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let s = survivability(&path, &ctx);
+        assert_eq!(s.bridges, 4);
+        assert!(
+            s.worst_link_failure_traffic_fraction == 0.0,
+            "zero offered traffic must yield fraction 0, got {}",
+            s.worst_link_failure_traffic_fraction
+        );
     }
 
     #[test]

@@ -45,13 +45,20 @@ pub type ProgressSink = std::sync::Arc<dyn Fn(&cold_obs::GenerationRecord) + Sen
 /// Fans one generation record out to the trace observer (when telemetry
 /// is enabled) and an optional [`ProgressSink`] — the single observer
 /// slot `cold-ga` exposes, multiplexed.
-struct ObserverFanout {
+pub(crate) struct ObserverFanout {
     trace: Option<cold_obs::TraceObserver>,
     progress: Option<ProgressSink>,
 }
 
 impl ObserverFanout {
-    fn is_active(&self) -> bool {
+    pub(crate) fn new(
+        trace: Option<cold_obs::TraceObserver>,
+        progress: Option<ProgressSink>,
+    ) -> Self {
+        Self { trace, progress }
+    }
+
+    pub(crate) fn is_active(&self) -> bool {
         self.trace.is_some() || self.progress.is_some()
     }
 }
@@ -305,7 +312,7 @@ impl ColdConfig {
         let ga_settings = GaSettings { seed: derive_seed(seed, 0x6741), ..self.ga };
         let engine = GeneticAlgorithm::try_new(&objective, ga_settings)?;
         let mut observer =
-            ObserverFanout { trace: traced.then(|| cold_obs::TraceObserver::new(seed)), progress };
+            ObserverFanout::new(traced.then(|| cold_obs::TraceObserver::new(seed)), progress);
         let result = if observer.is_active() {
             engine.try_run_traced(&seeds, Some(&mut observer))?
         } else {

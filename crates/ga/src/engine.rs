@@ -663,6 +663,9 @@ fn generation_record(
         eval_seconds: stats.eval_seconds - prev_stats.eval_seconds,
         breed_seconds,
         repair_seconds,
+        // Scalar runs have no Pareto archive; the field is live only in
+        // `pareto::ParetoGa` records.
+        hypervolume: 0.0,
     }
 }
 

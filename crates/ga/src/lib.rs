@@ -42,6 +42,7 @@ pub mod engine;
 pub mod error;
 pub mod init;
 pub mod mutation;
+pub mod pareto;
 pub mod repair;
 pub mod settings;
 
@@ -49,6 +50,10 @@ pub use checkpoint::GaCheckpoint;
 pub use chromosome::Individual;
 pub use engine::{CheckpointHook, EvalStats, GaResult, GeneticAlgorithm, StopReason};
 pub use error::GaError;
+pub use pareto::{
+    crowding_distances, dominates, hypervolume, non_dominated_sort, MultiObjective,
+    MultiObjectiveSession, ParetoArchive, ParetoGa, ParetoPoint, ParetoResult,
+};
 pub use settings::{EarlyStop, GaSettings};
 
 // Telemetry hook types, re-exported so engine callers can attach

@@ -1,0 +1,1071 @@
+//! Multi-objective Pareto synthesis — NSGA-II over COLD chromosomes.
+//!
+//! The paper collapses operator intent into the single linear cost of
+//! eq. (2), but §3.3 chose a GA precisely because it is *flexible* and
+//! *non-exclusive*: small changes accommodate new objectives, and one run
+//! yields a whole population of good topologies. This module takes both
+//! properties to their conclusion: instead of scalarizing, it optimizes a
+//! fixed-length **objective vector** ([`MultiObjective`]) with the
+//! NSGA-II machinery — fast non-dominated sorting, crowding-distance
+//! selection, and (μ+λ) environmental selection — and returns an
+//! approximation of the Pareto front rather than a single winner.
+//!
+//! The breeding operators are exactly the paper's ([`crossover_child`],
+//! [`mutate`], MST [`repair`]); only *selection pressure* changes. Parent
+//! selection reuses the scalar tournament/inverse-cost machinery through a
+//! **crowded-comparison pseudo-cost**: `2·rank + 1/(1 + crowding)`, which
+//! orders individuals exactly as NSGA-II's crowded-comparison operator
+//! (lower rank first, larger crowding first within a rank) while staying
+//! finite, so [`Individual`] and the existing tournament code apply
+//! unchanged.
+//!
+//! A bounded [`ParetoArchive`] carries the best non-dominated points
+//! across generations. When full, it evicts the member of
+//! `archive ∪ {newcomer}` with the **smallest exclusive hypervolume
+//! contribution** — the greedy hypervolume archiver, whose archive
+//! hypervolume is provably monotone non-decreasing: dropping the global
+//! minimum contributor `z` from `S = A ∪ {x}` leaves
+//! `HV(S) − contrib(z) ≥ HV(S) − contrib(x) = HV(A)`. CI asserts this
+//! monotonicity on every `--pareto` journal.
+//!
+//! Everything is bit-deterministic for a fixed seed: one RNG stream
+//! breeds, evaluation is order-independent, and every sort in the
+//! dominance/crowding/archive path carries an explicit total tiebreak.
+
+use crate::chromosome::{inverse_cost_weights, weighted_pick, Individual};
+use crate::crossover::{crossover_child, select_parents};
+use crate::engine::{EvalStats, StopReason};
+use crate::error::GaError;
+use crate::init::initial_population;
+use crate::mutation::mutate;
+use crate::repair::{repair, RepairStats};
+use crate::settings::GaSettings;
+use crate::Objective;
+use cold_graph::AdjacencyMatrix;
+use cold_obs::{GenerationObserver, GenerationRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The vector-valued fitness interface the Pareto engine minimizes.
+///
+/// All components are minimized, must be finite, non-negative and
+/// deterministic, and every call must return exactly
+/// [`num_objectives`](Self::num_objectives) values. Implementations must
+/// be [`Sync`]: populations are evaluated in parallel.
+pub trait MultiObjective: Sync {
+    /// Number of nodes of every candidate topology.
+    fn n(&self) -> usize;
+
+    /// Length `K` of the objective vector (≥ 2, fixed for the lifetime of
+    /// the objective).
+    fn num_objectives(&self) -> usize;
+
+    /// Physical distance between two nodes (drives connectivity repair
+    /// and node mutation, exactly as [`Objective::distance`]).
+    fn distance(&self, u: usize, v: usize) -> f64;
+
+    /// Objective vector of a **connected** topology. The engine repairs
+    /// candidates before calling this. Component 0 should be the paper's
+    /// build cost so generation telemetry (`best`/`mean`/`worst`) stays
+    /// comparable with scalar runs.
+    fn objectives(&self, topology: &AdjacencyMatrix) -> Vec<f64>;
+
+    /// Opens a per-worker evaluation session (the vector analogue of
+    /// [`Objective::session`]). Stateful implementations may reuse
+    /// routing state between offspring via the lineage hint; results must
+    /// be bit-identical to [`objectives`](Self::objectives).
+    fn session(&self) -> Box<dyn MultiObjectiveSession + '_> {
+        Box::new(StatelessMultiSession { objective: self, full: 0 })
+    }
+
+    /// The `k` nearest other nodes of every node (see
+    /// [`Objective::k_nearest`]).
+    fn k_nearest(&self, k: usize) -> Vec<Vec<usize>> {
+        let n = self.n();
+        (0..n)
+            .map(|u| {
+                let mut others: Vec<usize> = (0..n).filter(|&v| v != u).collect();
+                others.sort_by(|&a, &b| {
+                    self.distance(u, a).total_cmp(&self.distance(u, b)).then(a.cmp(&b))
+                });
+                others.truncate(k);
+                others
+            })
+            .collect()
+    }
+}
+
+/// A per-worker vector-fitness session (see [`MultiObjective::session`]).
+pub trait MultiObjectiveSession: Send {
+    /// Objective vector of a **connected** topology, bit-identical to
+    /// [`MultiObjective::objectives`]. `base` is the candidate's lineage
+    /// hint, as in [`crate::ObjectiveSession::cost`].
+    fn objectives(
+        &mut self,
+        topology: &AdjacencyMatrix,
+        base: Option<&AdjacencyMatrix>,
+    ) -> Vec<f64>;
+
+    /// Evaluations this session answered incrementally.
+    fn delta_evals(&self) -> usize {
+        0
+    }
+
+    /// Evaluations this session answered with a full recomputation.
+    fn full_evals(&self) -> usize {
+        0
+    }
+}
+
+/// The default stateless session: forwards to
+/// [`MultiObjective::objectives`] and counts every call as full.
+struct StatelessMultiSession<'a, M: MultiObjective + ?Sized> {
+    objective: &'a M,
+    full: usize,
+}
+
+impl<M: MultiObjective + ?Sized> MultiObjectiveSession for StatelessMultiSession<'_, M> {
+    fn objectives(
+        &mut self,
+        topology: &AdjacencyMatrix,
+        _base: Option<&AdjacencyMatrix>,
+    ) -> Vec<f64> {
+        self.full += 1;
+        self.objective.objectives(topology)
+    }
+    fn full_evals(&self) -> usize {
+        self.full
+    }
+}
+
+/// Adapter exposing the scalar-free parts of a [`MultiObjective`] to the
+/// shared GA helpers (`initial_population`, `mutate`, `repair`), which
+/// only consume `n`/`distance`/`k_nearest`.
+struct ScalarView<'a, M: MultiObjective + ?Sized>(&'a M);
+
+impl<M: MultiObjective + ?Sized> Objective for ScalarView<'_, M> {
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+    fn distance(&self, u: usize, v: usize) -> f64 {
+        self.0.distance(u, v)
+    }
+    fn cost(&self, _topology: &AdjacencyMatrix) -> f64 {
+        unreachable!("the Pareto engine never scalarizes candidates")
+    }
+    fn k_nearest(&self, k: usize) -> Vec<Vec<usize>> {
+        self.0.k_nearest(k)
+    }
+}
+
+/// `true` when `a` Pareto-dominates `b` under minimization: no component
+/// worse, at least one strictly better.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Deterministic total order on objective vectors (lexicographic with
+/// IEEE total ordering per component).
+fn cmp_objectives(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let c = x.total_cmp(y);
+        if c != std::cmp::Ordering::Equal {
+            return c;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Fast non-dominated sorting (Deb et al. 2002): partitions `objs` into
+/// fronts of indices — front 0 is mutually non-dominated, every point of
+/// front `r+1` is dominated by some point of front `r`. Index order
+/// within a front follows input order, so the result is deterministic.
+pub fn non_dominated_sort(objs: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = objs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut dominated_by: Vec<usize> = vec![0; n]; // how many dominate i
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&objs[i], &objs[j]) {
+                dominates_list[i].push(j);
+                dominated_by[j] += 1;
+            } else if dominates(&objs[j], &objs[i]) {
+                dominates_list[j].push(i);
+                dominated_by[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next: Vec<usize> = Vec::new();
+        for &i in &current {
+            for &j in &dominates_list[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        next.sort_unstable();
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// Crowding distances for one front (aligned with `front`): boundary
+/// points of every objective get `+∞`, interior points accumulate the
+/// normalized neighbor gap. Ties in an objective are broken by index so
+/// the assignment is deterministic.
+pub fn crowding_distances(objs: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
+    let len = front.len();
+    let mut dist = vec![0.0f64; len];
+    if len == 0 {
+        return dist;
+    }
+    if len <= 2 {
+        return vec![f64::INFINITY; len];
+    }
+    let k = objs[front[0]].len();
+    let mut order: Vec<usize> = (0..len).collect();
+    // `m` indexes the objective *component*, not `objs` — the range loop
+    // is the honest shape here despite clippy's reading.
+    #[allow(clippy::needless_range_loop)]
+    for m in 0..k {
+        order.sort_by(|&a, &b| {
+            objs[front[a]][m].total_cmp(&objs[front[b]][m]).then(front[a].cmp(&front[b]))
+        });
+        let lo = objs[front[order[0]]][m];
+        let hi = objs[front[order[len - 1]]][m];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[len - 1]] = f64::INFINITY;
+        let range = hi - lo;
+        if range <= 0.0 {
+            continue;
+        }
+        for w in 1..len - 1 {
+            let gap = objs[front[order[w + 1]]][m] - objs[front[order[w - 1]]][m];
+            dist[order[w]] += gap / range;
+        }
+    }
+    dist
+}
+
+/// Exact hypervolume (minimization) of `points` with respect to
+/// `reference`: the Lebesgue measure of the union of boxes
+/// `[pᵢ, reference]`. Points not strictly better than the reference in
+/// every component contribute nothing. Exact recursive slicing — fine for
+/// the archive sizes COLD uses (≤ a few hundred points, K = 3).
+pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let inside: Vec<&[f64]> = points
+        .iter()
+        .filter(|p| p.len() == reference.len() && p.iter().zip(reference).all(|(a, r)| a < r))
+        .map(|p| p.as_slice())
+        .collect();
+    hv_slices(&inside, reference)
+}
+
+fn hv_slices(pts: &[&[f64]], r: &[f64]) -> f64 {
+    if pts.is_empty() {
+        return 0.0;
+    }
+    let d = r.len();
+    if d == 1 {
+        let best = pts.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
+        return (r[0] - best).max(0.0);
+    }
+    // Sweep the last dimension: between consecutive cut heights the
+    // active set is the prefix, whose (d−1)-volume scales the slab.
+    let mut sorted: Vec<&[f64]> = pts.to_vec();
+    sorted.sort_by(|a, b| a[d - 1].total_cmp(&b[d - 1]).then_with(|| cmp_objectives(a, b)));
+    let mut vol = 0.0;
+    let mut proj: Vec<Vec<f64>> = Vec::with_capacity(sorted.len());
+    for (i, p) in sorted.iter().enumerate() {
+        proj.push(p[..d - 1].to_vec());
+        let hi = if i + 1 < sorted.len() { sorted[i + 1][d - 1] } else { r[d - 1] };
+        let thickness = hi - p[d - 1];
+        if thickness <= 0.0 {
+            continue;
+        }
+        let slices: Vec<&[f64]> = proj.iter().map(|q| q.as_slice()).collect();
+        vol += thickness * hv_slices(&slices, &r[..d - 1]);
+    }
+    vol
+}
+
+/// One member of the Pareto front: a topology with its objective vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// The candidate topology.
+    pub topology: AdjacencyMatrix,
+    /// Its objective vector (same order as
+    /// [`MultiObjective::objectives`]).
+    pub objectives: Vec<f64>,
+}
+
+/// A bounded archive of mutually non-dominated points with monotone
+/// non-decreasing hypervolume (see the module docs for the eviction
+/// argument).
+#[derive(Debug, Clone)]
+pub struct ParetoArchive {
+    capacity: usize,
+    reference: Vec<f64>,
+    points: Vec<ParetoPoint>,
+}
+
+impl ParetoArchive {
+    /// Creates an empty archive holding at most `capacity` points, with
+    /// hypervolume measured against `reference`.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0` or any reference component is
+    /// non-finite.
+    pub fn new(capacity: usize, reference: Vec<f64>) -> Self {
+        assert!(capacity >= 1, "archive capacity must be >= 1");
+        assert!(reference.iter().all(|r| r.is_finite()), "reference point must be finite");
+        Self { capacity, reference, points: Vec::new() }
+    }
+
+    /// The archived front, in deterministic (lexicographic objective)
+    /// order.
+    pub fn points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// The hypervolume reference point.
+    pub fn reference(&self) -> &[f64] {
+        &self.reference
+    }
+
+    /// Hypervolume of the archived front w.r.t. the reference point.
+    pub fn hypervolume(&self) -> f64 {
+        let objs: Vec<Vec<f64>> = self.points.iter().map(|p| p.objectives.clone()).collect();
+        hypervolume(&objs, &self.reference)
+    }
+
+    /// Offers a candidate. Rejected when any archived point weakly
+    /// dominates it (equal vectors count); otherwise it displaces every
+    /// point it dominates and, over capacity, the smallest exclusive-
+    /// hypervolume contributor of the union is evicted.
+    pub fn insert(&mut self, topology: &AdjacencyMatrix, objectives: &[f64]) {
+        debug_assert_eq!(objectives.len(), self.reference.len());
+        let weakly_dominated = |a: &[f64], b: &[f64]| a.iter().zip(b).all(|(x, y)| x <= y);
+        if self.points.iter().any(|p| weakly_dominated(&p.objectives, objectives)) {
+            return;
+        }
+        self.points.retain(|p| !dominates(objectives, &p.objectives));
+        let at = self
+            .points
+            .binary_search_by(|p| cmp_objectives(&p.objectives, objectives))
+            .unwrap_or_else(|i| i);
+        self.points.insert(
+            at,
+            ParetoPoint { topology: topology.clone(), objectives: objectives.to_vec() },
+        );
+        if self.points.len() > self.capacity {
+            let objs: Vec<Vec<f64>> = self.points.iter().map(|p| p.objectives.clone()).collect();
+            let total = hypervolume(&objs, &self.reference);
+            let mut evict = 0usize;
+            let mut least = f64::INFINITY;
+            for i in 0..objs.len() {
+                let mut rest = objs.clone();
+                rest.remove(i);
+                let contribution = total - hypervolume(&rest, &self.reference);
+                // Strict `<` keeps the first (lexicographically smallest)
+                // minimal contributor, so eviction is deterministic.
+                if contribution < least {
+                    least = contribution;
+                    evict = i;
+                }
+            }
+            self.points.remove(evict);
+        }
+    }
+}
+
+/// Outcome of one Pareto run.
+#[derive(Debug, Clone)]
+pub struct ParetoResult {
+    /// The archived Pareto-front approximation, mutually non-dominated,
+    /// in lexicographic objective order.
+    pub front: Vec<ParetoPoint>,
+    /// Archive hypervolume after each generation (index 0 = after the
+    /// initial population). Monotone non-decreasing by construction.
+    pub hypervolume_history: Vec<f64>,
+    /// The hypervolume reference point (fixed after generation 0).
+    pub reference: Vec<f64>,
+    /// Generations actually executed.
+    pub generations_run: usize,
+    /// Objective evaluations requested across the run.
+    pub evaluations: usize,
+    /// Evaluation accounting (cache and session counters).
+    pub eval_stats: EvalStats,
+    /// Connectivity-repair activity.
+    pub repair_stats: RepairStats,
+    /// Why the run returned.
+    pub stop_reason: StopReason,
+}
+
+/// Margin applied to the generation-0 objective maxima to fix the
+/// hypervolume reference point (see [`ParetoGa::try_run_traced`]).
+pub const REFERENCE_MARGIN: f64 = 1.1;
+
+/// One individual of the working population: topology, objective vector,
+/// and the crowded-comparison pseudo-cost of the latest ranking.
+#[derive(Debug, Clone)]
+struct Evaluated {
+    topology: AdjacencyMatrix,
+    objectives: Vec<f64>,
+    pseudo: f64,
+}
+
+/// NSGA-II over COLD chromosomes, generic over the [`MultiObjective`].
+#[derive(Debug, Clone)]
+pub struct ParetoGa<'a, M: MultiObjective> {
+    objective: &'a M,
+    settings: GaSettings,
+    archive_capacity: usize,
+}
+
+impl<'a, M: MultiObjective> ParetoGa<'a, M> {
+    /// Creates a Pareto engine. `archive_capacity` bounds the carried
+    /// front (a common choice is the population size).
+    ///
+    /// # Errors
+    /// [`GaError::InvalidSettings`] for inconsistent GA settings, a zero
+    /// archive capacity, or fewer than two objectives.
+    pub fn try_new(
+        objective: &'a M,
+        settings: GaSettings,
+        archive_capacity: usize,
+    ) -> Result<Self, GaError> {
+        settings.validate().map_err(GaError::InvalidSettings)?;
+        if archive_capacity == 0 {
+            return Err(GaError::InvalidSettings("archive capacity must be >= 1".into()));
+        }
+        if objective.num_objectives() < 2 {
+            return Err(GaError::InvalidSettings(format!(
+                "multi-objective synthesis needs >= 2 objectives, got {}",
+                objective.num_objectives()
+            )));
+        }
+        Ok(Self { objective, settings, archive_capacity })
+    }
+
+    /// The settings in use.
+    pub fn settings(&self) -> &GaSettings {
+        &self.settings
+    }
+
+    /// Runs NSGA-II with `seeds` added to the initial population and an
+    /// optional per-generation observer.
+    ///
+    /// Breeding reuses the paper's operators verbatim; environmental
+    /// selection is (μ+λ): parents and offspring are pooled, ranked by
+    /// non-dominated front and crowding distance, and the best
+    /// `settings.population` survive (`num_saved` elitism is subsumed —
+    /// rank-0 parents always outrank dominated offspring). The
+    /// hypervolume reference point is fixed after generation 0 at
+    /// [`REFERENCE_MARGIN`] × the per-objective maximum of the evaluated
+    /// initial population (degenerate all-zero objectives fall back to
+    /// 1.0), then never moves — which is what makes the per-generation
+    /// archive hypervolume monotone and comparable.
+    ///
+    /// The observer's [`GenerationRecord`] reports `best`/`mean`/`worst`
+    /// over objective 0 (the build cost) and the archive hypervolume
+    /// after the generation's inserts.
+    ///
+    /// # Errors
+    /// [`GaError::NonFiniteCost`] when any objective component comes back
+    /// non-finite.
+    pub fn try_run_traced(
+        &self,
+        seeds: &[AdjacencyMatrix],
+        mut observer: Option<&mut dyn GenerationObserver>,
+    ) -> Result<ParetoResult, GaError> {
+        let view = ScalarView(self.objective);
+        let workers = if self.settings.parallel {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            1
+        };
+        let mut sessions: Vec<Box<dyn MultiObjectiveSession + '_>> =
+            (0..workers).map(|_| self.objective.session()).collect();
+        let universe: Option<Vec<usize>> = self.settings.mutation_neighbors.map(|k| {
+            let probe = AdjacencyMatrix::empty(self.objective.n());
+            let mut pairs: Vec<usize> = self
+                .objective
+                .k_nearest(k)
+                .into_iter()
+                .enumerate()
+                .flat_map(|(u, vs)| vs.into_iter().map(move |v| (u, v)))
+                .map(|(u, v)| probe.pair_index(u, v))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            pairs
+        });
+
+        let mut rng = StdRng::seed_from_u64(self.settings.seed);
+        let mut repair_stats = RepairStats::default();
+        let mut stats = EvalStats::default();
+        let mut cache: Option<HashMap<AdjacencyMatrix, Vec<f64>>> =
+            self.settings.fitness_cache.then(HashMap::new);
+
+        // Generation 0.
+        let mut topologies = initial_population(&view, &self.settings, seeds, &mut rng);
+        for t in &mut topologies {
+            repair(t, &view, &mut repair_stats);
+        }
+        let bases = vec![None; topologies.len()];
+        let objs =
+            self.evaluate_all(&topologies, &bases, &mut sessions, cache.as_mut(), &mut stats)?;
+
+        // Fix the reference point from the evaluated initial population.
+        let k = self.objective.num_objectives();
+        let mut reference = vec![0.0f64; k];
+        for o in &objs {
+            for (r, &v) in reference.iter_mut().zip(o) {
+                *r = r.max(v);
+            }
+        }
+        for r in &mut reference {
+            *r = if *r > 0.0 { *r * REFERENCE_MARGIN } else { 1.0 };
+        }
+
+        let mut archive = ParetoArchive::new(self.archive_capacity, reference.clone());
+        let mut population: Vec<Evaluated> = topologies
+            .into_iter()
+            .zip(objs)
+            .map(|(topology, objectives)| Evaluated { topology, objectives, pseudo: 0.0 })
+            .collect();
+        rank_and_sort(&mut population);
+        for e in &population {
+            // Only rank-0 members (pseudo < 1) can enter the archive; the
+            // archive re-checks dominance anyway, so this is just a skip.
+            if e.pseudo < 1.0 {
+                archive.insert(&e.topology, &e.objectives);
+            }
+        }
+        let mut history = vec![archive.hypervolume()];
+
+        let timed = observer.is_some() || cold_obs::timers_enabled();
+        let mut prev_stats = stats;
+        let mut prev_repaired = repair_stats.repaired;
+        let mut generations_run = 0usize;
+        let mut stop_reason = StopReason::Completed;
+        let mut stall_count = 0usize;
+
+        for _gen in 1..=self.settings.generations {
+            generations_run += 1;
+            let breed_start = timed.then(Instant::now);
+            let individuals: Vec<Individual> =
+                population.iter().map(|e| Individual::new(e.topology.clone(), e.pseudo)).collect();
+            let mut children: Vec<AdjacencyMatrix> = Vec::new();
+            let mut base_idx: Vec<usize> = Vec::new();
+            for _ in 0..self.settings.num_crossover {
+                let parents = select_parents(&individuals, &self.settings, &mut rng);
+                base_idx.push(parents[0]);
+                children.push(crossover_child(
+                    &individuals,
+                    &parents,
+                    self.settings.uniform_crossover_weights,
+                    &mut rng,
+                ));
+            }
+            let weights = inverse_cost_weights(&individuals);
+            for _ in 0..self.settings.num_mutation {
+                let src = weighted_pick(&weights, rng.gen_range(0.0..1.0));
+                let mut child = individuals[src].topology.clone();
+                mutate(&mut child, &view, &self.settings, universe.as_deref(), &mut rng);
+                base_idx.push(src);
+                children.push(child);
+            }
+            let breed_seconds = breed_start.map_or(0.0, |s| s.elapsed().as_secs_f64());
+            let repair_start = timed.then(Instant::now);
+            for c in &mut children {
+                repair(c, &view, &mut repair_stats);
+            }
+            let repair_seconds = repair_start.map_or(0.0, |s| s.elapsed().as_secs_f64());
+            cold_obs::observe_seconds("ga.breed_seconds", breed_seconds);
+            cold_obs::observe_seconds("ga.repair_seconds", repair_seconds);
+            let child_bases: Vec<Option<&AdjacencyMatrix>> =
+                base_idx.iter().map(|&i| Some(&population[i].topology)).collect();
+            let child_objs = self.evaluate_all(
+                &children,
+                &child_bases,
+                &mut sessions,
+                cache.as_mut(),
+                &mut stats,
+            )?;
+
+            // (μ+λ) environmental selection over parents + offspring.
+            let mut combined = population;
+            combined.extend(
+                children.into_iter().zip(child_objs).map(|(topology, objectives)| Evaluated {
+                    topology,
+                    objectives,
+                    pseudo: 0.0,
+                }),
+            );
+            rank_and_sort(&mut combined);
+            combined.truncate(self.settings.population);
+            population = combined;
+
+            for e in &population {
+                if e.pseudo < 1.0 {
+                    archive.insert(&e.topology, &e.objectives);
+                }
+            }
+            let hv = archive.hypervolume();
+            history.push(hv);
+            cold_obs::gauge_set_f64("ga.hypervolume", hv);
+
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.on_generation(&pareto_generation_record(
+                    generations_run,
+                    &population,
+                    hv,
+                    &stats,
+                    &prev_stats,
+                    repair_stats.repaired - prev_repaired,
+                    &self.settings,
+                    breed_seconds,
+                    repair_seconds,
+                ));
+                prev_stats = stats;
+                prev_repaired = repair_stats.repaired;
+            }
+
+            // Convergence guards, driven by archive hypervolume (the
+            // scalar engine uses best cost; hypervolume is the Pareto
+            // analogue and monotone, so "no increase" means "no
+            // progress").
+            if let Some(es) = self.settings.early_stop {
+                if history.len() > es.window {
+                    let then = history[history.len() - 1 - es.window];
+                    let now = *history.last().expect("nonempty");
+                    if now - then <= es.rel_tol * then.abs() {
+                        stop_reason = StopReason::EarlyStopped;
+                        break;
+                    }
+                }
+            }
+            let improved = history[history.len() - 1] > history[history.len() - 2];
+            stall_count = if improved { 0 } else { stall_count + 1 };
+            if let Some(k) = self.settings.stall_gens {
+                if stall_count >= k {
+                    stop_reason = StopReason::Stalled;
+                    break;
+                }
+            }
+        }
+
+        stats.delta_evals = sessions.iter().map(|s| s.delta_evals()).sum();
+        stats.full_evals = sessions.iter().map(|s| s.full_evals()).sum();
+        Ok(ParetoResult {
+            front: archive.points().to_vec(),
+            hypervolume_history: history,
+            reference,
+            generations_run,
+            evaluations: stats.requested,
+            eval_stats: stats,
+            repair_stats,
+            stop_reason,
+        })
+    }
+
+    /// Vector analogue of the scalar engine's `evaluate_all`: serial
+    /// cache resolution (so hit/miss counters are parallelism-independent)
+    /// with within-batch dedup, then a parallel batch evaluation.
+    fn evaluate_all<'s>(
+        &'s self,
+        topologies: &[AdjacencyMatrix],
+        bases: &[Option<&AdjacencyMatrix>],
+        sessions: &mut [Box<dyn MultiObjectiveSession + 's>],
+        cache: Option<&mut HashMap<AdjacencyMatrix, Vec<f64>>>,
+        stats: &mut EvalStats,
+    ) -> Result<Vec<Vec<f64>>, GaError> {
+        debug_assert_eq!(topologies.len(), bases.len());
+        stats.requested += topologies.len();
+        let result = (|| {
+            let Some(cache) = cache else {
+                stats.cache_misses += topologies.len();
+                let all: Vec<&AdjacencyMatrix> = topologies.iter().collect();
+                return self.evaluate_batch(&all, bases, sessions, stats);
+            };
+            let mut pending: Vec<&AdjacencyMatrix> = Vec::new();
+            let mut pending_bases: Vec<Option<&AdjacencyMatrix>> = Vec::new();
+            let mut first_seen: HashMap<&AdjacencyMatrix, usize> = HashMap::new();
+            let resolved: Vec<Result<Vec<f64>, usize>> = topologies
+                .iter()
+                .zip(bases)
+                .map(|(t, b)| {
+                    if let Some(c) = cache.get(t) {
+                        stats.cache_hits += 1;
+                        Ok(c.clone())
+                    } else if let Some(&k) = first_seen.get(t) {
+                        stats.cache_hits += 1;
+                        Err(k)
+                    } else {
+                        stats.cache_misses += 1;
+                        first_seen.insert(t, pending.len());
+                        pending.push(t);
+                        pending_bases.push(*b);
+                        Err(pending.len() - 1)
+                    }
+                })
+                .collect();
+            let fresh = self.evaluate_batch(&pending, &pending_bases, sessions, stats)?;
+            for (t, c) in pending.iter().zip(&fresh) {
+                cache.insert((*t).clone(), c.clone());
+            }
+            Ok(resolved
+                .into_iter()
+                .map(|r| match r {
+                    Ok(c) => c,
+                    Err(k) => fresh[k].clone(),
+                })
+                .collect())
+        })();
+        stats.delta_evals = sessions.iter().map(|s| s.delta_evals()).sum();
+        stats.full_evals = sessions.iter().map(|s| s.full_evals()).sum();
+        result
+    }
+
+    fn evaluate_batch<'s>(
+        &'s self,
+        batch: &[&AdjacencyMatrix],
+        bases: &[Option<&AdjacencyMatrix>],
+        sessions: &mut [Box<dyn MultiObjectiveSession + 's>],
+        stats: &mut EvalStats,
+    ) -> Result<Vec<Vec<f64>>, GaError> {
+        let _batch_timer = cold_obs::timer("ga.pareto_evaluate_batch");
+        let start = Instant::now();
+        let k = self.objective.num_objectives();
+        let objs: Vec<Vec<f64>> =
+            if !self.settings.parallel || batch.len() < 4 || sessions.len() == 1 {
+                let session = &mut sessions[0];
+                batch.iter().zip(bases).map(|(t, b)| session.objectives(t, *b)).collect()
+            } else {
+                let workers = sessions.len().min(batch.len());
+                let mut out: Vec<Vec<f64>> = vec![Vec::new(); batch.len()];
+                let chunk = batch.len().div_ceil(workers);
+                crossbeam::scope(|scope| {
+                    for (((slot, topos), base_chunk), session) in out
+                        .chunks_mut(chunk)
+                        .zip(batch.chunks(chunk))
+                        .zip(bases.chunks(chunk))
+                        .zip(sessions.iter_mut())
+                    {
+                        scope.spawn(move |_| {
+                            for ((o, t), b) in slot.iter_mut().zip(topos).zip(base_chunk) {
+                                *o = session.objectives(t, *b);
+                            }
+                        });
+                    }
+                })
+                .expect("fitness evaluation worker panicked");
+                out
+            };
+        stats.eval_seconds += start.elapsed().as_secs_f64();
+        for (batch_index, o) in objs.iter().enumerate() {
+            if o.len() != k {
+                return Err(GaError::InvalidSettings(format!(
+                    "objective returned {} components, declared {k}",
+                    o.len()
+                )));
+            }
+            if let Some(&bad) = o.iter().find(|c| !c.is_finite()) {
+                return Err(GaError::NonFiniteCost {
+                    batch_index,
+                    cost: bad,
+                    edges: batch[batch_index].edge_count(),
+                });
+            }
+        }
+        Ok(objs)
+    }
+}
+
+/// Assigns every individual its crowded-comparison pseudo-cost
+/// (`2·rank + 1/(1 + crowding)`) and sorts the population by it, with the
+/// scalar engine's deterministic edge tiebreaks.
+fn rank_and_sort(population: &mut [Evaluated]) {
+    let objs: Vec<Vec<f64>> = population.iter().map(|e| e.objectives.clone()).collect();
+    for (rank, front) in non_dominated_sort(&objs).into_iter().enumerate() {
+        let crowding = crowding_distances(&objs, &front);
+        for (&i, &c) in front.iter().zip(&crowding) {
+            population[i].pseudo = 2.0 * rank as f64 + 1.0 / (1.0 + c);
+        }
+    }
+    population.sort_by(|a, b| {
+        a.pseudo
+            .total_cmp(&b.pseudo)
+            .then_with(|| a.topology.edge_count().cmp(&b.topology.edge_count()))
+            .then_with(|| a.topology.edges().cmp(b.topology.edges()))
+    });
+}
+
+/// Builds the telemetry record for a just-selected Pareto generation:
+/// `best`/`mean`/`worst` summarize objective 0 (the build cost), and
+/// `hypervolume` is the archive hypervolume after this generation's
+/// inserts.
+#[allow(clippy::too_many_arguments)]
+fn pareto_generation_record(
+    generation: usize,
+    population: &[Evaluated],
+    hypervolume: f64,
+    stats: &EvalStats,
+    prev_stats: &EvalStats,
+    repairs: usize,
+    settings: &GaSettings,
+    breed_seconds: f64,
+    repair_seconds: f64,
+) -> GenerationRecord {
+    let costs = population.iter().map(|e| e.objectives[0]);
+    let mean = costs.clone().sum::<f64>() / population.len() as f64;
+    let best = costs.clone().fold(f64::INFINITY, f64::min);
+    let worst = costs.fold(f64::NEG_INFINITY, f64::max);
+    let distinct: std::collections::HashSet<&AdjacencyMatrix> =
+        population.iter().map(|e| &e.topology).collect();
+    GenerationRecord {
+        generation,
+        best,
+        mean,
+        worst,
+        diversity: distinct.len() as f64 / population.len() as f64,
+        cache_hits: stats.cache_hits - prev_stats.cache_hits,
+        cache_misses: stats.cache_misses - prev_stats.cache_misses,
+        delta_evals: stats.delta_evals - prev_stats.delta_evals,
+        full_evals: stats.full_evals - prev_stats.full_evals,
+        crossover: settings.num_crossover,
+        mutation: settings.num_mutation,
+        repairs,
+        eval_seconds: stats.eval_seconds - prev_stats.eval_seconds,
+        breed_seconds,
+        repair_seconds,
+        hypervolume,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two toy objectives over points on a line: total link build cost
+    /// (k0 per link + length) vs. total pairwise hop distance — sparse
+    /// trees are cheap but far, dense graphs expensive but close, so the
+    /// true trade-off curve is non-trivial.
+    pub(super) struct LineTradeoff {
+        pub n: usize,
+    }
+
+    impl MultiObjective for LineTradeoff {
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn distance(&self, u: usize, v: usize) -> f64 {
+            (u as f64 - v as f64).abs()
+        }
+        fn objectives(&self, topo: &AdjacencyMatrix) -> Vec<f64> {
+            let mut build = 0.0;
+            for (u, v) in topo.edges() {
+                build += 3.0 + self.distance(u, v);
+            }
+            // Unweighted all-pairs hop count via BFS per source.
+            let g = topo.to_graph();
+            let mut hops = 0.0;
+            for s in 0..self.n {
+                let mut dist = vec![usize::MAX; self.n];
+                let mut queue = std::collections::VecDeque::from([s]);
+                dist[s] = 0;
+                while let Some(u) = queue.pop_front() {
+                    for &v in g.neighbors(u) {
+                        if dist[v] == usize::MAX {
+                            dist[v] = dist[u] + 1;
+                            queue.push_back(v);
+                        }
+                    }
+                }
+                hops += dist.iter().map(|&d| d as f64).sum::<f64>();
+            }
+            vec![build, hops]
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_partial_order() {
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 2.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]), "equal vectors do not dominate");
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]), "incomparable");
+    }
+
+    #[test]
+    fn non_dominated_sort_layers_a_staircase() {
+        let objs = vec![
+            vec![1.0, 4.0], // front 0
+            vec![2.0, 2.0], // front 0
+            vec![4.0, 1.0], // front 0
+            vec![2.0, 5.0], // dominated by (1,4)
+            vec![5.0, 5.0], // dominated by everything
+        ];
+        let fronts = non_dominated_sort(&objs);
+        assert_eq!(fronts[0], vec![0, 1, 2]);
+        assert_eq!(fronts[1], vec![3]);
+        assert_eq!(fronts[2], vec![4]);
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite() {
+        let objs = vec![vec![1.0, 4.0], vec![2.0, 2.0], vec![4.0, 1.0], vec![3.0, 1.5]];
+        let front = vec![0, 1, 2, 3];
+        let d = crowding_distances(&objs, &front);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[2], f64::INFINITY);
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[3].is_finite() && d[3] > 0.0);
+    }
+
+    #[test]
+    fn hypervolume_of_known_boxes() {
+        // Single point: one box.
+        assert!((hypervolume(&[vec![1.0, 1.0]], &[3.0, 3.0]) - 4.0).abs() < 1e-12);
+        // Two staircase points: box(1,2) has area 2·1 = 2, box(2,1) has
+        // area 1·2 = 2, their overlap [(2,2)→(3,3)] has area 1 → union 3.
+        assert!((hypervolume(&[vec![1.0, 2.0], vec![2.0, 1.0]], &[3.0, 3.0]) - 3.0).abs() < 1e-12);
+        // A dominated point adds nothing.
+        assert!((hypervolume(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[3.0, 3.0]) - 4.0).abs() < 1e-12);
+        // Points at or beyond the reference contribute nothing.
+        assert_eq!(hypervolume(&[vec![3.0, 1.0]], &[3.0, 3.0]), 0.0);
+        // 3-D: unit-corner point in a 2-cube.
+        assert!((hypervolume(&[vec![1.0, 1.0, 1.0]], &[2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn archive_is_bounded_and_monotone() {
+        let topo = AdjacencyMatrix::empty(3);
+        let mut archive = ParetoArchive::new(3, vec![10.0, 10.0]);
+        let mut last = 0.0;
+        // A stream of staircase points; capacity 3 forces evictions.
+        for i in 0..8 {
+            let x = 1.0 + i as f64;
+            let y = 8.0 - i as f64;
+            archive.insert(&topo, &[x, y]);
+            let hv = archive.hypervolume();
+            assert!(hv >= last - 1e-12, "hypervolume regressed: {last} -> {hv}");
+            last = hv;
+            assert!(archive.points().len() <= 3);
+        }
+        // Dominating everything collapses the front to one point.
+        archive.insert(&topo, &[0.5, 0.5]);
+        assert_eq!(archive.points().len(), 1);
+        assert!(archive.hypervolume() >= last - 1e-12);
+    }
+
+    #[test]
+    fn archive_rejects_weakly_dominated() {
+        let topo = AdjacencyMatrix::empty(3);
+        let mut archive = ParetoArchive::new(8, vec![10.0, 10.0]);
+        archive.insert(&topo, &[2.0, 2.0]);
+        archive.insert(&topo, &[2.0, 2.0]); // duplicate
+        archive.insert(&topo, &[3.0, 2.0]); // dominated
+        assert_eq!(archive.points().len(), 1);
+    }
+
+    #[test]
+    fn pareto_run_yields_mutually_non_dominated_front() {
+        let obj = LineTradeoff { n: 8 };
+        let ga = ParetoGa::try_new(&obj, GaSettings::quick(7), 40).unwrap();
+        let r = ga.try_run_traced(&[], None).unwrap();
+        assert!(r.front.len() >= 2, "trade-off must surface >= 2 points, got {}", r.front.len());
+        for a in &r.front {
+            for b in &r.front {
+                assert!(
+                    !dominates(&a.objectives, &b.objectives),
+                    "front not mutually non-dominated: {:?} dominates {:?}",
+                    a.objectives,
+                    b.objectives
+                );
+            }
+        }
+        for w in r.hypervolume_history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "hypervolume regressed: {:?}", w);
+        }
+        assert_eq!(r.hypervolume_history.len(), r.generations_run + 1);
+    }
+
+    #[test]
+    fn pareto_run_is_bit_deterministic() {
+        let obj = LineTradeoff { n: 7 };
+        let run = || {
+            let ga = ParetoGa::try_new(&obj, GaSettings::quick(11), 30).unwrap();
+            ga.try_run_traced(&[], None).unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.front, b.front);
+        assert_eq!(a.hypervolume_history, b.hypervolume_history);
+        assert_eq!(a.reference, b.reference);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let obj = LineTradeoff { n: 7 };
+        let serial = {
+            let s = GaSettings { parallel: false, ..GaSettings::quick(3) };
+            ParetoGa::try_new(&obj, s, 30).unwrap().try_run_traced(&[], None).unwrap()
+        };
+        let parallel = {
+            let s = GaSettings { parallel: true, ..GaSettings::quick(3) };
+            ParetoGa::try_new(&obj, s, 30).unwrap().try_run_traced(&[], None).unwrap()
+        };
+        assert_eq!(serial.front, parallel.front);
+        assert_eq!(serial.hypervolume_history, parallel.hypervolume_history);
+    }
+
+    #[test]
+    fn too_few_objectives_rejected() {
+        struct One;
+        impl MultiObjective for One {
+            fn n(&self) -> usize {
+                4
+            }
+            fn num_objectives(&self) -> usize {
+                1
+            }
+            fn distance(&self, u: usize, v: usize) -> f64 {
+                (u as f64 - v as f64).abs()
+            }
+            fn objectives(&self, _t: &AdjacencyMatrix) -> Vec<f64> {
+                vec![1.0]
+            }
+        }
+        assert!(matches!(
+            ParetoGa::try_new(&One, GaSettings::quick(1), 10),
+            Err(GaError::InvalidSettings(_))
+        ));
+        assert!(matches!(
+            ParetoGa::try_new(&LineTradeoff { n: 4 }, GaSettings::quick(1), 0),
+            Err(GaError::InvalidSettings(_))
+        ));
+    }
+}

@@ -3,7 +3,10 @@
 use cold_ga::chromosome::{inverse_cost_weights, sort_by_cost, weighted_pick, Individual};
 use cold_ga::crossover::{crossover_child, select_parents};
 use cold_ga::mutation::{link_mutation, node_mutation};
-use cold_ga::{GaSettings, GeneticAlgorithm, Objective};
+use cold_ga::{
+    crowding_distances, dominates, non_dominated_sort, GaSettings, GeneticAlgorithm,
+    MultiObjective, Objective, ParetoGa,
+};
 use cold_graph::components::matrix_is_connected;
 use cold_graph::AdjacencyMatrix;
 use proptest::prelude::*;
@@ -32,6 +35,52 @@ impl Objective for LineObj {
         }
         c + self.k3 * topo.degrees().iter().filter(|&&d| d > 1).count() as f64
     }
+}
+
+/// Two-objective toy: link build cost vs. total pairwise hop count.
+/// Sparse graphs are cheap but far apart, dense graphs the opposite, so
+/// the trade-off front is non-degenerate.
+struct TwoObj {
+    n: usize,
+}
+
+impl MultiObjective for TwoObj {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn distance(&self, u: usize, v: usize) -> f64 {
+        (u as f64 - v as f64).abs()
+    }
+    fn objectives(&self, topo: &AdjacencyMatrix) -> Vec<f64> {
+        let mut build = 0.0;
+        for (u, v) in topo.edges() {
+            build += 3.0 + self.distance(u, v);
+        }
+        let g = topo.to_graph();
+        let mut hops = 0.0;
+        for s in 0..self.n {
+            let mut dist = vec![usize::MAX; self.n];
+            let mut queue = std::collections::VecDeque::from([s]);
+            dist[s] = 0;
+            while let Some(u) = queue.pop_front() {
+                for &v in g.neighbors(u) {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            hops += dist.iter().filter(|&&d| d != usize::MAX).map(|&d| d as f64).sum::<f64>();
+        }
+        vec![build, hops]
+    }
+}
+
+fn arb_objs(k: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, k), 1..24)
 }
 
 fn arb_graph(max_n: usize) -> impl Strategy<Value = AdjacencyMatrix> {
@@ -183,5 +232,88 @@ proptest! {
         }
         // Elitism: best cost can never exceed the initial best.
         prop_assert!(r.best.cost <= r.history[0] + 1e-9);
+    }
+
+    #[test]
+    fn non_dominated_sort_rank_zero_is_mutually_non_dominated(objs in arb_objs(3)) {
+        let fronts = non_dominated_sort(&objs);
+        prop_assert!(!fronts.is_empty());
+        for &a in &fronts[0] {
+            for &b in &fronts[0] {
+                prop_assert!(
+                    !dominates(&objs[a], &objs[b]),
+                    "rank 0 not mutually non-dominated: {:?} dominates {:?}",
+                    objs[a], objs[b]
+                );
+            }
+        }
+        // The fronts partition the population.
+        let mut seen: Vec<usize> = fronts.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..objs.len()).collect::<Vec<usize>>());
+        // Every member of front i+1 is dominated by someone in front i.
+        for w in fronts.windows(2) {
+            for &b in &w[1] {
+                prop_assert!(
+                    w[0].iter().any(|&a| dominates(&objs[a], &objs[b])),
+                    "front member {:?} not dominated by the previous front",
+                    objs[b]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite_on_every_front(objs in arb_objs(2)) {
+        let fronts = non_dominated_sort(&objs);
+        for front in &fronts {
+            let dist = crowding_distances(&objs, front);
+            prop_assert_eq!(dist.len(), front.len());
+            // `m` is the objective component, not an index into `objs`.
+            #[allow(clippy::needless_range_loop)]
+            for m in 0..2 {
+                // Ties break by original index, matching the implementation.
+                let by_m = |&a: &usize, &b: &usize| {
+                    objs[front[a]][m].total_cmp(&objs[front[b]][m]).then(front[a].cmp(&front[b]))
+                };
+                let lo = (0..front.len()).min_by(by_m).unwrap();
+                let hi = (0..front.len()).max_by(by_m).unwrap();
+                prop_assert!(dist[lo].is_infinite(), "min of objective {m} must be boundary");
+                prop_assert!(dist[hi].is_infinite(), "max of objective {m} must be boundary");
+            }
+            for &d in &dist {
+                prop_assert!(d >= 0.0, "crowding distances are non-negative");
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_bit_deterministic_for_any_seed(seed in any::<u64>()) {
+        let obj = TwoObj { n: 6 };
+        let run = || {
+            let settings = GaSettings {
+                generations: 4,
+                population: 10,
+                num_saved: 2,
+                num_crossover: 5,
+                num_mutation: 3,
+                parallel: false,
+                ..GaSettings::quick(seed)
+            };
+            let ga = ParetoGa::try_new(&obj, settings, 16).unwrap();
+            ga.try_run_traced(&[], None).unwrap()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(&a.front, &b.front, "front must be bit-identical for a fixed seed");
+        prop_assert_eq!(&a.hypervolume_history, &b.hypervolume_history);
+        prop_assert_eq!(&a.reference, &b.reference);
+        for w in a.hypervolume_history.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12, "archive hypervolume regressed: {:?}", w);
+        }
+        for x in &a.front {
+            for y in &a.front {
+                prop_assert!(!dominates(&x.objectives, &y.objectives));
+            }
+        }
     }
 }

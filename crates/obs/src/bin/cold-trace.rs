@@ -380,6 +380,7 @@ mod tests {
             eval_seconds: eval,
             breed_seconds: breed,
             repair_seconds: repair,
+            hypervolume: 0.0,
         }
     }
 

@@ -17,6 +17,11 @@
 //! resolve to a span seen on the same trace, and every trace must have a
 //! root. `--require-trace` additionally demands that *every* event carry
 //! a trace envelope (the contract for served jobs).
+//!
+//! Per-generation `hypervolume` is always checked to be finite and
+//! non-negative; `--hypervolume-monotone` additionally asserts it never
+//! decreases within a run (the Pareto archive's contract — scalar runs
+//! emit a constant 0.0 and pass trivially).
 
 use cold_obs::trace::validate_trace;
 use cold_obs::{parse_journal_traced, Event};
@@ -25,7 +30,7 @@ const USAGE: &str = "journal-check — validate a COLD JSONL run journal
 
 USAGE:
     journal-check [--expect-runs <N>] [--min-checkpoints <N>] [--max-failures <N>] \
-[--require-trace] <journal.jsonl>
+[--require-trace] [--hypervolume-monotone] <journal.jsonl>
 ";
 
 fn main() {
@@ -33,6 +38,7 @@ fn main() {
     let mut min_checkpoints: Option<usize> = None;
     let mut max_failures: Option<usize> = None;
     let mut require_trace = false;
+    let mut hypervolume_monotone = false;
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -59,6 +65,7 @@ fn main() {
                 max_failures = Some(v.parse().expect("--max-failures: integer"));
             }
             "--require-trace" => require_trace = true,
+            "--hypervolume-monotone" => hypervolume_monotone = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -103,6 +110,9 @@ fn main() {
     let mut jobs = 0usize;
     let mut job_failures = 0usize;
     let mut cache_hits = 0usize;
+    // Last hypervolume seen per run id, for the `--hypervolume-monotone` check.
+    let mut last_hypervolume: std::collections::HashMap<String, f64> =
+        std::collections::HashMap::new();
     for event in &events {
         match event {
             Event::RunStart(_) => runs += 1,
@@ -124,6 +134,23 @@ fn main() {
                             "run {} gen {}: {phase} {seconds} must be non-negative seconds",
                             g.run, g.record.generation
                         ));
+                    }
+                }
+                let hv = g.record.hypervolume;
+                if !hv.is_finite() || hv < 0.0 {
+                    failures.push(format!(
+                        "run {} gen {}: hypervolume {hv} must be finite and non-negative",
+                        g.run, g.record.generation
+                    ));
+                } else if hypervolume_monotone {
+                    let prev = last_hypervolume.entry(g.run.clone()).or_insert(hv);
+                    if hv + 1e-12 < *prev {
+                        failures.push(format!(
+                            "run {} gen {}: hypervolume {hv} regressed below {}",
+                            g.run, g.record.generation, *prev
+                        ));
+                    } else {
+                        *prev = hv;
                     }
                 }
             }

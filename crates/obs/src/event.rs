@@ -54,6 +54,11 @@ pub struct GenerationRecord {
     pub breed_seconds: f64,
     /// Wall-clock seconds spent in connectivity repair this generation.
     pub repair_seconds: f64,
+    /// Hypervolume of the Pareto archive after this generation, measured
+    /// against the run's fixed reference point. Monotone non-decreasing
+    /// across a multi-objective run; scalar (single-objective) runs
+    /// report `0.0`.
+    pub hypervolume: f64,
 }
 
 /// Observer hook invoked by `cold-ga`'s engine once per executed
@@ -354,6 +359,7 @@ impl Event {
                     "eval_seconds": r.eval_seconds,
                     "breed_seconds": r.breed_seconds,
                     "repair_seconds": r.repair_seconds,
+                    "hypervolume": r.hypervolume,
                 })
             }
             Event::RunEnd(e) => json!({
@@ -388,6 +394,11 @@ impl Event {
                         crate::Metric::Gauge(g) => json!({
                             "name": name,
                             "kind": "gauge",
+                            "value": g,
+                        }),
+                        crate::Metric::FloatGauge(g) => json!({
+                            "name": name,
+                            "kind": "float_gauge",
                             "value": g,
                         }),
                         crate::Metric::Histogram { count, sum, min, max, buckets } => json!({
@@ -506,6 +517,7 @@ impl Event {
                     eval_seconds: f64_field(obj, "eval_seconds")?,
                     breed_seconds: f64_field(obj, "breed_seconds")?,
                     repair_seconds: f64_field(obj, "repair_seconds")?,
+                    hypervolume: f64_field(obj, "hypervolume")?,
                 },
             })),
             "run_end" => Ok(Event::RunEnd(RunEnd {
@@ -538,6 +550,7 @@ impl Event {
                                 .and_then(Value::as_i64)
                                 .ok_or("gauge entry: field `value` missing or not an integer")?,
                         ),
+                        "float_gauge" => crate::Metric::FloatGauge(f64_field(mo, "value")?),
                         "histogram" => {
                             let arr = mo.get("buckets").and_then(Value::as_array).ok_or(
                                 "histogram entry: field `buckets` missing or not an array",
@@ -724,6 +737,7 @@ mod tests {
                     eval_seconds: 0.0123,
                     breed_seconds: 0.002,
                     repair_seconds: 0.0004,
+                    hypervolume: 0.875,
                 },
             }),
             Event::SpanStart(SpanStartEvent { name: "core.synthesize".into() }),
@@ -754,6 +768,7 @@ mod tests {
                             },
                         },
                     ),
+                    ("ga.hypervolume".into(), crate::Metric::FloatGauge(0.8125)),
                     ("obs.events".into(), crate::Metric::Counter(42)),
                     ("serve.queue_depth".into(), crate::Metric::Gauge(-3)),
                 ],
@@ -842,6 +857,7 @@ mod tests {
             "eval_seconds",
             "breed_seconds",
             "repair_seconds",
+            "hypervolume",
         ] {
             assert!(!second[key].is_null(), "generation event missing `{key}`");
         }

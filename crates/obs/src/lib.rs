@@ -51,8 +51,8 @@ pub use event::{
     TrialDeadlineExceeded, TrialFailed,
 };
 pub use registry::{
-    counter_add, gauge_add, gauge_set, observe_seconds, reset, set_timers_enabled, snapshot, span,
-    timer, timers_enabled, Metric, ScopedTimer, Span,
+    counter_add, gauge_add, gauge_set, gauge_set_f64, observe_seconds, reset, set_timers_enabled,
+    snapshot, span, timer, timers_enabled, Metric, ScopedTimer, Span,
 };
 
 use std::fs::OpenOptions;
@@ -306,6 +306,9 @@ fn progress_line(event: &Event) -> String {
                     Metric::Gauge(g) => {
                         out.push_str(&format!("\n[cold]   {name}: {g} (gauge)"));
                     }
+                    Metric::FloatGauge(g) => {
+                        out.push_str(&format!("\n[cold]   {name}: {g} (gauge)"));
+                    }
                     Metric::Histogram { count, sum, min, max, .. } => {
                         let mean = if count == 0 { 0.0 } else { sum / count as f64 };
                         out.push_str(&format!(
@@ -416,6 +419,7 @@ mod tests {
             eval_seconds: 0.0,
             breed_seconds: 0.0,
             repair_seconds: 0.0,
+            hypervolume: 0.0,
         });
         configure(TraceMode::Off).unwrap();
         assert!(!is_enabled());

@@ -42,6 +42,8 @@ pub enum Metric {
     Counter(u64),
     /// A point-in-time level (queue depth, in-flight jobs, live workers).
     Gauge(i64),
+    /// A point-in-time real-valued level (archive hypervolume, rates).
+    FloatGauge(f64),
     /// Aggregated elapsed-seconds observations.
     Histogram {
         /// Number of observations.
@@ -106,6 +108,22 @@ pub fn gauge_set(name: &'static str, value: i64) {
     let map = guard.get_or_insert_with(HashMap::new);
     match map.entry(name).or_insert(Metric::Gauge(0)) {
         Metric::Gauge(g) => *g = value,
+        _ => debug_assert!(false, "metric `{name}` registered with another kind"),
+    }
+}
+
+/// Sets the real-valued gauge `name` to an absolute level (no-op while
+/// disabled). Distinct from [`gauge_set`]: levels that are inherently
+/// fractional — the Pareto archive hypervolume, rates — keep full
+/// precision instead of truncating to an integer.
+pub fn gauge_set_f64(name: &'static str, value: f64) {
+    if !timers_enabled() {
+        return;
+    }
+    let mut guard = REGISTRY.lock().expect("metric registry poisoned");
+    let map = guard.get_or_insert_with(HashMap::new);
+    match map.entry(name).or_insert(Metric::FloatGauge(0.0)) {
+        Metric::FloatGauge(g) => *g = value,
         _ => debug_assert!(false, "metric `{name}` registered with another kind"),
     }
 }
@@ -294,6 +312,20 @@ mod tests {
         set_timers_enabled(false);
         let gauge = snap.iter().find(|(n, _)| n == "test.gauge").expect("gauge recorded");
         assert_eq!(gauge.1, Metric::Gauge(1));
+    }
+
+    #[test]
+    fn float_gauges_keep_precision() {
+        let _guard = telemetry_lock();
+        set_timers_enabled(true);
+        reset();
+        gauge_set_f64("test.float_gauge", 0.125);
+        gauge_set_f64("test.float_gauge", 2.625);
+        let snap = snapshot();
+        set_timers_enabled(false);
+        let gauge =
+            snap.iter().find(|(n, _)| n == "test.float_gauge").expect("float gauge recorded");
+        assert_eq!(gauge.1, Metric::FloatGauge(2.625));
     }
 
     #[test]

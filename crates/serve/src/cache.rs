@@ -125,7 +125,12 @@ mod tests {
     fn results_round_trip_and_gate_doneness() {
         let dir = temp_dir("roundtrip");
         let cache = ResultCache::open(&dir).unwrap();
-        let spec = JobSpec { config: ColdConfig::quick(8, 4e-4, 10.0), seed: 1, count: 1 };
+        let spec = JobSpec {
+            config: ColdConfig::quick(8, 4e-4, 10.0),
+            seed: 1,
+            count: 1,
+            mode: Default::default(),
+        };
         let id = spec.id();
 
         cache.store_spec(&id, &spec).unwrap();
@@ -142,7 +147,12 @@ mod tests {
     fn scan_ignores_mismatched_and_malformed_directories() {
         let dir = temp_dir("strays");
         let cache = ResultCache::open(&dir).unwrap();
-        let spec = JobSpec { config: ColdConfig::quick(8, 4e-4, 10.0), seed: 2, count: 1 };
+        let spec = JobSpec {
+            config: ColdConfig::quick(8, 4e-4, 10.0),
+            seed: 2,
+            count: 1,
+            mode: Default::default(),
+        };
         // A spec stored under the wrong id must not be resurrected.
         cache.store_spec("0000000000000000", &spec).unwrap();
         // A directory with garbage instead of a spec is skipped.

@@ -12,6 +12,27 @@ use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::sync::Mutex;
 
+/// What a job computes: a scalar ensemble (the default) or one
+/// multi-objective Pareto front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobMode {
+    /// The standard scalar-GA ensemble campaign.
+    #[default]
+    Standard,
+    /// One NSGA-II run; the whole Pareto front lands in `result.json`.
+    Pareto,
+}
+
+impl JobMode {
+    /// The wire name of this mode.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobMode::Standard => "standard",
+            JobMode::Pareto => "pareto",
+        }
+    }
+}
+
 /// One synthesis request, as submitted to `POST /jobs`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobSpec {
@@ -21,6 +42,8 @@ pub struct JobSpec {
     pub seed: u64,
     /// Number of ensemble trials.
     pub count: usize,
+    /// Scalar ensemble or Pareto front.
+    pub mode: JobMode,
 }
 
 impl JobSpec {
@@ -46,7 +69,16 @@ impl JobSpec {
         if count == 0 {
             return Err("field `count` must be >= 1".into());
         }
-        Ok(Self { config, seed, count })
+        let mode = match obj.get("mode").and_then(|m| m.as_str()) {
+            None => JobMode::Standard,
+            Some("standard") => JobMode::Standard,
+            Some("pareto") => JobMode::Pareto,
+            Some(other) => return Err(format!("unknown mode `{other}` (standard | pareto)")),
+        };
+        if mode == JobMode::Pareto && count != 1 {
+            return Err("pareto jobs run a single front; `count` must be 1".into());
+        }
+        Ok(Self { config, seed, count, mode })
     }
 
     /// Parses a JSON text body (the `POST /jobs` entry point).
@@ -59,18 +91,37 @@ impl JobSpec {
     }
 
     /// The job's JSON object form (persisted as `job.json` in the cache).
+    /// The `mode` key appears only for pareto jobs, so standard job
+    /// documents (and their fingerprints) are byte-identical to earlier
+    /// releases.
     pub fn to_value(&self) -> Value {
-        serde_json::json!({
-            "config": self.config.to_json_value(),
-            "seed": self.seed,
-            "count": self.count,
-        })
+        match self.mode {
+            JobMode::Standard => serde_json::json!({
+                "config": self.config.to_json_value(),
+                "seed": self.seed,
+                "count": self.count,
+            }),
+            JobMode::Pareto => serde_json::json!({
+                "config": self.config.to_json_value(),
+                "seed": self.seed,
+                "count": self.count,
+                "mode": "pareto",
+            }),
+        }
     }
 
     /// The content-addressed job id: 16 hex digits of
-    /// [`cold::job_fingerprint`].
+    /// [`cold::job_fingerprint`] for standard jobs; pareto jobs mix the
+    /// mode into the fingerprinted document (same config + seed must not
+    /// collide across modes), leaving every pre-existing standard id
+    /// untouched.
     pub fn id(&self) -> String {
-        cold::fingerprint_hex(cold::job_fingerprint(&self.config, self.seed, self.count))
+        match self.mode {
+            JobMode::Standard => {
+                cold::fingerprint_hex(cold::job_fingerprint(&self.config, self.seed, self.count))
+            }
+            JobMode::Pareto => cold::fingerprint_hex(cold::value_fingerprint(&self.to_value())),
+        }
     }
 }
 
@@ -202,7 +253,12 @@ mod tests {
     use super::*;
 
     fn spec() -> JobSpec {
-        JobSpec { config: ColdConfig::quick(8, 4e-4, 10.0), seed: 7, count: 2 }
+        JobSpec {
+            config: ColdConfig::quick(8, 4e-4, 10.0),
+            seed: 7,
+            count: 2,
+            mode: JobMode::Standard,
+        }
     }
 
     #[test]
@@ -228,6 +284,37 @@ mod tests {
         assert!(JobSpec::from_json(&format!("{{\"config\":{config},\"count\":0}}"))
             .unwrap_err()
             .contains(">= 1"));
+    }
+
+    #[test]
+    fn pareto_mode_round_trips_and_changes_the_id() {
+        let standard = JobSpec { count: 1, ..spec() };
+        let pareto = JobSpec { mode: JobMode::Pareto, ..standard };
+        // Round trip keeps the mode.
+        let text = serde_json::to_string(&pareto.to_value()).unwrap();
+        let back = JobSpec::from_json(&text).unwrap();
+        assert_eq!(back.mode, JobMode::Pareto);
+        assert_eq!(back.id(), pareto.id());
+        // Same config + seed, different mode: different jobs.
+        assert_ne!(standard.id(), pareto.id());
+        // An explicit `"mode":"standard"` is the same job as no mode key
+        // at all — the id is computed from the mode-free document.
+        let config = standard.config.to_json_value();
+        let doc = serde_json::json!({
+            "config": config, "seed": 7, "count": 1, "mode": "standard",
+        });
+        let explicit = JobSpec::from_value(&doc).unwrap();
+        assert_eq!(explicit.id(), standard.id());
+        // Pareto fronts are single runs.
+        let doc = serde_json::json!({
+            "config": config, "seed": 7, "count": 3, "mode": "pareto",
+        });
+        assert!(JobSpec::from_value(&doc).unwrap_err().contains("count"));
+        // Unknown modes are a 400, not a silent default.
+        let doc = serde_json::json!({
+            "config": config, "seed": 7, "count": 1, "mode": "nsga3",
+        });
+        assert!(JobSpec::from_value(&doc).unwrap_err().contains("nsga3"));
     }
 
     #[test]

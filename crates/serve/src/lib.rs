@@ -45,6 +45,6 @@ pub mod server;
 
 pub use cache::ResultCache;
 pub use http::{client_request, ClientResponse, Request, Response};
-pub use job::{JobEntry, JobProgress, JobSpec, JobStatus};
+pub use job::{JobEntry, JobMode, JobProgress, JobSpec, JobStatus};
 pub use queue::{BoundedQueue, QueueFull};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -55,6 +55,9 @@ pub fn render() -> String {
             Metric::Gauge(g) => {
                 out.push_str(&format!("# TYPE {flat} gauge\n{flat} {g}\n"));
             }
+            Metric::FloatGauge(g) => {
+                out.push_str(&format!("# TYPE {flat} gauge\n{flat} {g}\n"));
+            }
             Metric::Histogram { count, sum, buckets, .. } => {
                 out.push_str(&format!("# TYPE {flat} histogram\n"));
                 // Prometheus buckets are cumulative; the registry stores

@@ -29,7 +29,7 @@ use crate::cache::ResultCache;
 use crate::http::{
     read_request, write_sse_frame, write_sse_keepalive, write_stream_head, Request, Response,
 };
-use crate::job::{JobEntry, JobProgress, JobSpec, JobStatus};
+use crate::job::{JobEntry, JobMode, JobProgress, JobSpec, JobStatus};
 use crate::metrics::{self, names};
 use crate::queue::{BoundedQueue, QueueFull};
 use cold::{CampaignCheckpoint, CampaignControl, ColdError, ProgressSink};
@@ -547,6 +547,10 @@ fn run_job(shared: &Shared, id: &str, entry: &Arc<JobEntry>) {
     let _trace = job_ctx.map(cold_obs::trace::enter);
     transition(entry, id, JobStatus::Running);
     let started = Instant::now();
+    if entry.spec.mode == JobMode::Pareto {
+        run_pareto_job(shared, id, entry, started);
+        return;
+    }
     let ckpt_path = shared.cache.checkpoint_path(id);
 
     for attempt in 1..=2u32 {
@@ -621,6 +625,95 @@ fn run_job(shared: &Shared, id: &str, entry: &Arc<JobEntry>) {
                     return;
                 }
                 // First panic: loop around and retry from the checkpoint.
+            }
+        }
+    }
+}
+
+/// Runs a `mode: pareto` job: one NSGA-II synthesis, the whole front
+/// cached as the job's result document. No campaign checkpoint exists for
+/// this path (a front is one run), so the panic boundary simply retries
+/// once from scratch; a drain before completion re-queues the job on
+/// restart via the persisted spec.
+fn run_pareto_job(shared: &Shared, id: &str, entry: &Arc<JobEntry>, started: Instant) {
+    let spec = entry.spec;
+    cold_obs::emit(&cold_obs::Event::JobStarted(cold_obs::JobStarted {
+        id: id.to_string(),
+        resumed: 0,
+    }));
+    let run = cold_obs::run_id(spec.seed);
+    let progress_entry = Arc::clone(entry);
+    let sink: ProgressSink = Arc::new(move |record: &cold_obs::GenerationRecord| {
+        {
+            let mut p = progress_entry.progress.lock().expect("job progress poisoned");
+            p.generation = record.generation;
+            p.best = record.best;
+        }
+        if progress_entry.has_subscribers() {
+            let event = cold_obs::Event::Generation(cold_obs::GenerationEvent {
+                run: run.clone(),
+                record: record.clone(),
+            });
+            progress_entry
+                .publish(&serde_json::to_string(&event.to_value()).expect("record serializes"));
+        }
+    });
+
+    for attempt in 1..=2u32 {
+        let sink = Arc::clone(&sink);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            if cold_fault::should_fire("serve.worker_panic") {
+                panic!("injected fault: serve.worker_panic");
+            }
+            let ctx =
+                spec.config.context.generate(cold::context::rng::derive_seed(spec.seed, 0xC0));
+            cold::pareto::try_synthesize_pareto_in_context(
+                &spec.config,
+                ctx,
+                spec.seed,
+                cold::pareto::DEFAULT_ARCHIVE_CAPACITY,
+                Some(sink),
+            )
+        }));
+        match outcome {
+            Ok(Ok(result)) => {
+                let front: serde_json::Value =
+                    serde_json::from_str(&cold::export::pareto_front_to_json(&result))
+                        .expect("front exporter emits valid JSON");
+                let doc = serde_json::json!({
+                    "id": id,
+                    "seed": spec.seed,
+                    "mode": "pareto",
+                    "result": front,
+                });
+                let text = serde_json::to_string(&doc).expect("result doc serializes");
+                if let Err(e) = shared.cache.store_result(id, &text) {
+                    fail_job(id, entry, &format!("result not persisted: {e}"));
+                    return;
+                }
+                entry.progress.lock().expect("job progress poisoned").trials_done = 1;
+                let seconds = started.elapsed().as_secs_f64();
+                cold_obs::counter_add(names::JOBS_COMPLETED, 1);
+                cold_obs::observe_seconds(names::JOB_SECONDS, seconds);
+                cold_obs::emit(&cold_obs::Event::JobDone(cold_obs::JobDone {
+                    id: id.to_string(),
+                    trials: 1,
+                    seconds,
+                }));
+                transition(entry, id, JobStatus::Done);
+                return;
+            }
+            Ok(Err(e)) => {
+                fail_job(id, entry, &e.to_string());
+                return;
+            }
+            Err(payload) => {
+                cold_obs::counter_add(names::WORKER_PANICS, 1);
+                let msg = cold::error::panic_message(payload.as_ref());
+                if attempt == 2 {
+                    fail_job(id, entry, &format!("worker panicked twice: {msg}"));
+                    return;
+                }
             }
         }
     }

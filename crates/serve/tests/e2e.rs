@@ -562,3 +562,75 @@ fn binaries_smoke_loadgen_and_sigterm_drain() {
     assert!(kinds.contains(&"cache_hit"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn pareto_job_serves_a_whole_front() {
+    let _guard = global_lock();
+    let dir = temp_dir("pareto");
+    let journal = dir.join("serve.jsonl");
+    fresh_globals(Some(&journal));
+
+    let (handle, addr) =
+        start(ServerConfig { workers: 1, cache_dir: dir.join("cache"), ..ServerConfig::default() });
+
+    let config = ColdConfig::quick(8, 4e-4, 10.0);
+    let body = serde_json::to_string(&serde_json::json!({
+        "config": config.to_json_value(),
+        "seed": 13,
+        "mode": "pareto",
+    }))
+    .expect("body serializes");
+    let resp = client_request(&addr, "POST", "/jobs", Some(&body)).expect("submit");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let id = parse_body(&resp.body)["id"].as_str().expect("id").to_string();
+
+    // The same config without the mode key is a *different* job.
+    let standard_body = job_body(8, 13, 1);
+    let resp = client_request(&addr, "POST", "/jobs", Some(&standard_body)).expect("submit std");
+    let std_id = parse_body(&resp.body)["id"].as_str().expect("id").to_string();
+    assert_ne!(id, std_id, "pareto and standard jobs must not share an id");
+
+    poll_until(&addr, &id, &["done"], Duration::from_secs(180));
+    let resp = client_request(&addr, "GET", &format!("/jobs/{id}/result"), None).expect("result");
+    assert_eq!(resp.status, 200);
+    let doc = parse_body(&resp.body);
+    assert_eq!(doc["mode"].as_str(), Some("pareto"));
+    let result = &doc["result"];
+    let front = result["front"].as_array().expect("front array");
+    assert!(front.len() >= 2, "front of {} networks", front.len());
+    for member in front {
+        assert_eq!(member["objectives"].as_array().map(|o| o.len()), Some(3));
+        assert!(member["network"]["links"].as_array().is_some());
+    }
+    // Hypervolume history is present and monotone non-decreasing.
+    let history: Vec<f64> = result["hypervolume_history"]
+        .as_array()
+        .expect("history")
+        .iter()
+        .map(|v| v.as_f64().expect("finite"))
+        .collect();
+    assert!(!history.is_empty());
+    for w in history.windows(2) {
+        assert!(w[1] >= w[0] - 1e-12, "hypervolume regressed: {w:?}");
+    }
+
+    // Resubmission is a result-cache hit.
+    let resp = client_request(&addr, "POST", "/jobs", Some(&body)).expect("resubmit");
+    assert_eq!(resp.status, 200);
+    assert_eq!(parse_body(&resp.body)["cached"].as_bool(), Some(true));
+
+    handle.shutdown();
+    handle.join();
+    // The journal's generation events carry the archive hypervolume.
+    let events = read_journal(&journal);
+    let hvs: Vec<f64> = events
+        .iter()
+        .filter_map(|e| match e {
+            cold_obs::Event::Generation(g) => Some(g.record.hypervolume),
+            _ => None,
+        })
+        .collect();
+    assert!(!hvs.is_empty(), "pareto run journaled no generations");
+    assert!(hvs.iter().any(|&h| h > 0.0), "hypervolume never left zero: {hvs:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

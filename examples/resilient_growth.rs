@@ -74,7 +74,8 @@ fn main() {
     // cost and watch the rings appear.
     println!("\nresilience sweep (same market, rising bridge cost):");
     for bridge_cost in [0.0, 20.0, 200.0, 2000.0] {
-        let (net, _, report) = synthesize_resilient(&cfg, bridge_cost, seed + 4);
+        let (net, _, report) =
+            synthesize_resilient(&cfg, bridge_cost, seed + 4).expect("synthesis");
         println!(
             "  bridge cost {:>6}: {} links, {} bridges, 2-edge-connected: {}, worst failure {:.0}%",
             bridge_cost,

@@ -85,7 +85,7 @@ fn resilience_hardening_reduces_worst_case_failures() {
     let seed = 3;
     let plain = cfg.synthesize(seed);
     let plain_report = survivability(&plain.network.topology, &plain.context);
-    let (hardened, _, hard_report) = synthesize_resilient(&cfg, 1e5, seed);
+    let (hardened, _, hard_report) = synthesize_resilient(&cfg, 1e5, seed).unwrap();
     assert!(
         hard_report.bridges <= plain_report.bridges,
         "hardening must not add bridges ({} -> {})",
