@@ -118,7 +118,10 @@ impl TrialRecord {
         })
     }
 
-    fn to_value(&self) -> Value {
+    /// The record's JSON object form — the same shape embedded in a
+    /// [`CampaignCheckpoint`], public so the distributed protocol can
+    /// ship single trial results over the wire.
+    pub fn to_value(&self) -> Value {
         json!({
             "trial": self.trial,
             "seed": self.seed,
@@ -153,7 +156,12 @@ impl TrialRecord {
         })
     }
 
-    fn from_value(v: &Value) -> Result<Self, String> {
+    /// Parses and schema-validates a record from its JSON object form.
+    ///
+    /// # Errors
+    /// A human-readable message naming the first missing or mistyped
+    /// field.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
         let mut edges = Vec::new();
         for e in v.get("edges").and_then(Value::as_array).ok_or("trial: `edges` missing")? {
             let pair = e.as_array().filter(|p| p.len() == 2).ok_or("trial: edge is not a pair")?;

@@ -241,6 +241,40 @@ impl ColdConfig {
         self.try_synthesize_in_context_progress(ctx, seed, progress)
     }
 
+    /// [`try_synthesize_progress`](Self::try_synthesize_progress) plus
+    /// the GA engine's crash-safety hooks, for lease-based remote
+    /// execution: `checkpoint` receives a mid-run [`cold_ga::GaCheckpoint`]
+    /// every `every` generations, and `resume` restarts the GA
+    /// bit-identically from such a snapshot (RNG state included).
+    ///
+    /// The cheap deterministic pre-GA work — context generation and
+    /// heuristic seeding — always re-runs, because the result document
+    /// (heuristic costs, context) must be identical whether or not the
+    /// trial was ever interrupted; with `resume` the engine then ignores
+    /// the seed population and continues from the snapshot. Resuming on a
+    /// different host than the one that wrote the snapshot yields the
+    /// same network byte-for-byte (only wall-clock `eval_seconds`
+    /// differs), which is the invariant checkpoint migration relies on.
+    ///
+    /// # Errors
+    /// As [`try_synthesize`](Self::try_synthesize), plus
+    /// [`ColdError::Ga`] when `resume` is inconsistent with the
+    /// configured GA settings.
+    pub fn try_synthesize_resumable(
+        &self,
+        seed: u64,
+        progress: Option<ProgressSink>,
+        checkpoint: Option<cold_ga::CheckpointHook<'_>>,
+        resume: Option<cold_ga::GaCheckpoint>,
+    ) -> Result<SynthesisResult, ColdError> {
+        self.validate()?;
+        if cold_fault::armed() && cold_fault::should_fire("trial.hang") {
+            std::thread::sleep(std::time::Duration::from_millis(HANG_MS));
+        }
+        let ctx = self.context.generate(derive_seed(seed, 0xC0));
+        self.synthesize_hooked(ctx, seed, progress, checkpoint, resume)
+    }
+
     /// Optimizes within an explicitly provided context (e.g. real PoP
     /// locations, or the fixed-context comparisons of Fig 3).
     ///
@@ -276,6 +310,20 @@ impl ColdConfig {
         ctx: Context,
         seed: u64,
         progress: Option<ProgressSink>,
+    ) -> Result<SynthesisResult, ColdError> {
+        self.synthesize_hooked(ctx, seed, progress, None, None)
+    }
+
+    /// The shared synthesis body: every public entry funnels here. With
+    /// `checkpoint`/`resume` both `None` this is exactly the historical
+    /// path (the engine call degenerates to `try_run_traced`).
+    fn synthesize_hooked(
+        &self,
+        ctx: Context,
+        seed: u64,
+        progress: Option<ProgressSink>,
+        checkpoint: Option<cold_ga::CheckpointHook<'_>>,
+        resume: Option<cold_ga::GaCheckpoint>,
     ) -> Result<SynthesisResult, ColdError> {
         let _span = cold_obs::span("core.synthesize");
         let traced = cold_obs::is_enabled();
@@ -314,9 +362,9 @@ impl ColdConfig {
         let mut observer =
             ObserverFanout::new(traced.then(|| cold_obs::TraceObserver::new(seed)), progress);
         let result = if observer.is_active() {
-            engine.try_run_traced(&seeds, Some(&mut observer))?
+            engine.run_resumable(&seeds, Some(&mut observer), checkpoint, resume)?
         } else {
-            engine.try_run_traced(&seeds, None)?
+            engine.run_resumable(&seeds, None, checkpoint, resume)?
         };
         if traced {
             if result.stop_reason == cold_ga::StopReason::Stalled {

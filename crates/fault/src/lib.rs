@@ -15,6 +15,9 @@
 //! | `trial.hang`              | `cold::ColdConfig::try_synthesize` | sleeps long enough to trip the trial deadline watchdog |
 //! | `campaign.io_err`         | `cold::CampaignCheckpoint::save` | fails the campaign snapshot write with `ColdError::Io` |
 //! | `serve.worker_panic`      | `cold-serve` worker loop | panics inside a synthesis worker (caught; the job fails, the server survives) |
+//! | `dist.worker_crash`       | `cold-serve --role worker` trial loop | aborts the worker process mid-trial (the coordinator evicts it and migrates its leases) |
+//! | `dist.conn_drop`          | `cold-serve --role worker` protocol client | drops the TCP connection after sending a frame, before the reply (the exchange is retried) |
+//! | `dist.heartbeat_miss`     | `cold-serve --role worker` heartbeat thread | skips one heartbeat (enough misses and the coordinator evicts the worker) |
 //!
 //! ## Arming faults
 //!
@@ -64,7 +67,7 @@ use std::sync::{Mutex, Once};
 /// Every site name the workspace instruments. [`configure`] rejects
 /// schedules naming anything else, so a typo in `COLD_FAULTS` is an
 /// error, not a silently dead schedule.
-pub const SITES: [&str; 7] = [
+pub const SITES: [&str; 10] = [
     "eval.panic",
     "eval.nan",
     "eval.slow",
@@ -72,6 +75,9 @@ pub const SITES: [&str; 7] = [
     "trial.hang",
     "campaign.io_err",
     "serve.worker_panic",
+    "dist.worker_crash",
+    "dist.conn_drop",
+    "dist.heartbeat_miss",
 ];
 
 /// When a rule fires.
@@ -394,6 +400,18 @@ mod tests {
         assert!(should_fire("ga.checkpoint_write_err"));
         assert!(!should_fire("eval.panic"), "one-shot already spent");
         assert!(!should_fire("campaign.io_err"), "unscheduled site never fires");
+        clear();
+    }
+
+    #[test]
+    fn distributed_sites_arm_and_fire_like_any_other() {
+        let _guard = fault_lock();
+        configure("dist.worker_crash:1,dist.conn_drop:2,dist.heartbeat_miss:p=1.0", 11).unwrap();
+        assert!(should_fire("dist.worker_crash"));
+        assert!(!should_fire("dist.worker_crash"), "one-shot spent");
+        assert!(!should_fire("dist.conn_drop"));
+        assert!(should_fire("dist.conn_drop"));
+        assert!((0..4).all(|_| should_fire("dist.heartbeat_miss")));
         clear();
     }
 

@@ -110,10 +110,22 @@ fn main() {
     let mut jobs = 0usize;
     let mut job_failures = 0usize;
     let mut cache_hits = 0usize;
+    let mut workers_joined = 0usize;
+    let mut workers_lost = 0usize;
+    let mut leases = 0usize;
+    let mut migrations = 0usize;
     // Last hypervolume seen per run id, for the `--hypervolume-monotone` check.
     let mut last_hypervolume: std::collections::HashMap<String, f64> =
         std::collections::HashMap::new();
-    for event in &events {
+    // Distributed-protocol causality: lease ids must resolve against an
+    // earlier trial_leased, lost workers against an earlier worker_joined,
+    // and an eviction that orphans leases must be followed by their
+    // migration (or the trial's lost-trial record).
+    let mut known_workers: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut known_leases: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut orphaning_losses: Vec<(usize, String)> = Vec::new();
+    let mut recovery_indices: Vec<usize> = Vec::new();
+    for (idx, event) in events.iter().enumerate() {
         match event {
             Event::RunStart(_) => runs += 1,
             Event::Generation(g) => {
@@ -162,6 +174,7 @@ fn main() {
             }
             Event::TrialFailed(t) => {
                 trial_failures += 1;
+                recovery_indices.push(idx);
                 if t.attempt == 0 {
                     failures.push(format!("trial {}: attempt numbers are 1-based", t.trial));
                 }
@@ -238,7 +251,58 @@ fn main() {
                     ));
                 }
             }
+            Event::WorkerJoined(w) => {
+                workers_joined += 1;
+                if w.worker.is_empty() {
+                    failures.push("worker_joined: empty worker name".into());
+                }
+                known_workers.insert(w.worker.clone());
+            }
+            Event::WorkerLost(w) => {
+                workers_lost += 1;
+                if !known_workers.contains(&w.worker) {
+                    failures
+                        .push(format!("worker_lost: worker `{}` was never seen joining", w.worker));
+                }
+                if w.leases > 0 {
+                    orphaning_losses.push((idx, w.worker.clone()));
+                }
+            }
+            Event::TrialLeased(l) => {
+                leases += 1;
+                if l.id.len() != 16 || !l.id.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    failures.push(format!("lease {}: job id `{}` is not 16 hex", l.lease, l.id));
+                }
+                if l.lease.len() != 16 || !l.lease.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    failures.push(format!("trial_leased: lease id `{}` is not 16 hex", l.lease));
+                }
+                if l.attempt == 0 {
+                    failures.push(format!("lease {}: lease attempt numbers are 1-based", l.lease));
+                }
+                known_leases.insert(l.lease.clone());
+            }
+            Event::TrialMigrated(m) => {
+                migrations += 1;
+                recovery_indices.push(idx);
+                if !known_leases.contains(&m.lease) {
+                    failures.push(format!(
+                        "trial_migrated: lease `{}` does not resolve to a trial_leased event",
+                        m.lease
+                    ));
+                }
+                // `from_worker == to_worker` is legal: a worker that
+                // missed its heartbeat window, was evicted, and
+                // re-registered may reacquire its own trial.
+            }
             Event::Span(_) | Event::SpanStart(_) | Event::Metrics(_) => {}
+        }
+    }
+    for (idx, worker) in &orphaning_losses {
+        if !recovery_indices.iter().any(|&r| r > *idx) {
+            failures.push(format!(
+                "worker_lost: `{worker}` orphaned leases with no later trial_migrated \
+                 or trial_failed record"
+            ));
         }
     }
     if let Some(expected) = expect_runs {
@@ -266,7 +330,8 @@ fn main() {
         "journal-check: {path}: OK ({} events, {runs} runs, {generations} generation traces, \
          {checkpoints} checkpoints, {trial_failures} trial failures, {deadline_exceeded} \
          deadline overruns, {stalls} stalls, {faults} injected faults, {jobs} jobs, \
-         {job_failures} job failures, {cache_hits} cache hits)",
+         {job_failures} job failures, {cache_hits} cache hits, {workers_joined} workers \
+         joined, {workers_lost} workers lost, {leases} leases, {migrations} migrations)",
         events.len()
     );
 }

@@ -263,6 +263,63 @@ pub struct CacheHit {
     pub kind: String,
 }
 
+/// A remote worker registered with the distributed coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerJoined {
+    /// The worker's self-reported name (unique per pool).
+    pub worker: String,
+}
+
+/// A remote worker was evicted after missing its heartbeat window (or
+/// said goodbye while still holding leases).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerLost {
+    /// The evicted worker's name.
+    pub worker: String,
+    /// Trial leases the worker held at eviction time. Each is either
+    /// re-leased (a later `trial_migrated`) or, after the bounded retry
+    /// budget, recorded as a lost trial (`trial_failed`).
+    pub leases: usize,
+}
+
+/// The coordinator granted a trial lease to a worker (or to itself, for
+/// the zero-worker local fallback).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialLeased {
+    /// Content-addressed job id the trial belongs to.
+    pub id: String,
+    /// Zero-based trial index within the job's campaign.
+    pub trial: usize,
+    /// Content-addressed lease id (16 hex digits over job, trial, seed
+    /// and attempt).
+    pub lease: String,
+    /// Name of the worker granted the lease.
+    pub worker: String,
+    /// 1-based lease attempt for this trial's current seed phase.
+    pub attempt: usize,
+}
+
+/// A lost lease's trial was re-assigned. `resumed_generation > 0` means
+/// the new lease carries the trial's last mid-GA checkpoint and resumes
+/// bit-identically from it; `0` means no checkpoint existed yet and the
+/// trial restarts from scratch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialMigrated {
+    /// Content-addressed job id the trial belongs to.
+    pub id: String,
+    /// Zero-based trial index within the job's campaign.
+    pub trial: usize,
+    /// The *new* lease id the trial continues under (resolvable against
+    /// a preceding `trial_leased` event).
+    pub lease: String,
+    /// Worker that held the lost lease.
+    pub from_worker: String,
+    /// Worker the trial was re-assigned to.
+    pub to_worker: String,
+    /// GA generation the migrated checkpoint resumes from (0 = restart).
+    pub resumed_generation: usize,
+}
+
 /// Any line of a run journal.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -298,6 +355,14 @@ pub enum Event {
     JobFailed(JobFailed),
     /// `{"event":"cache_hit",...}`
     CacheHit(CacheHit),
+    /// `{"event":"worker_joined",...}`
+    WorkerJoined(WorkerJoined),
+    /// `{"event":"worker_lost",...}`
+    WorkerLost(WorkerLost),
+    /// `{"event":"trial_leased",...}`
+    TrialLeased(TrialLeased),
+    /// `{"event":"trial_migrated",...}`
+    TrialMigrated(TrialMigrated),
 }
 
 /// Formats a run seed as the journal's 16-hex-digit run identifier.
@@ -325,6 +390,10 @@ impl Event {
             Event::JobDone(_) => "job_done",
             Event::JobFailed(_) => "job_failed",
             Event::CacheHit(_) => "cache_hit",
+            Event::WorkerJoined(_) => "worker_joined",
+            Event::WorkerLost(_) => "worker_lost",
+            Event::TrialLeased(_) => "trial_leased",
+            Event::TrialMigrated(_) => "trial_migrated",
         }
     }
 
@@ -473,6 +542,32 @@ impl Event {
                 "event": "cache_hit",
                 "id": e.id,
                 "kind": e.kind,
+            }),
+            Event::WorkerJoined(e) => json!({
+                "event": "worker_joined",
+                "worker": e.worker,
+            }),
+            Event::WorkerLost(e) => json!({
+                "event": "worker_lost",
+                "worker": e.worker,
+                "leases": e.leases,
+            }),
+            Event::TrialLeased(e) => json!({
+                "event": "trial_leased",
+                "id": e.id,
+                "trial": e.trial,
+                "lease": e.lease,
+                "worker": e.worker,
+                "attempt": e.attempt,
+            }),
+            Event::TrialMigrated(e) => json!({
+                "event": "trial_migrated",
+                "id": e.id,
+                "trial": e.trial,
+                "lease": e.lease,
+                "from_worker": e.from_worker,
+                "to_worker": e.to_worker,
+                "resumed_generation": e.resumed_generation,
             }),
         }
     }
@@ -631,6 +726,28 @@ impl Event {
             "cache_hit" => Ok(Event::CacheHit(CacheHit {
                 id: str_field(obj, "id")?,
                 kind: str_field(obj, "kind")?,
+            })),
+            "worker_joined" => {
+                Ok(Event::WorkerJoined(WorkerJoined { worker: str_field(obj, "worker")? }))
+            }
+            "worker_lost" => Ok(Event::WorkerLost(WorkerLost {
+                worker: str_field(obj, "worker")?,
+                leases: usize_field(obj, "leases")?,
+            })),
+            "trial_leased" => Ok(Event::TrialLeased(TrialLeased {
+                id: str_field(obj, "id")?,
+                trial: usize_field(obj, "trial")?,
+                lease: str_field(obj, "lease")?,
+                worker: str_field(obj, "worker")?,
+                attempt: usize_field(obj, "attempt")?,
+            })),
+            "trial_migrated" => Ok(Event::TrialMigrated(TrialMigrated {
+                id: str_field(obj, "id")?,
+                trial: usize_field(obj, "trial")?,
+                lease: str_field(obj, "lease")?,
+                from_worker: str_field(obj, "from_worker")?,
+                to_worker: str_field(obj, "to_worker")?,
+                resumed_generation: usize_field(obj, "resumed_generation")?,
             })),
             other => Err(format!("unknown event kind `{other}`")),
         }
@@ -810,6 +927,23 @@ mod tests {
                 error: "trial panicked: injected".into(),
             }),
             Event::CacheHit(CacheHit { id: "00c0ffee00c0ffee".into(), kind: "result".into() }),
+            Event::WorkerJoined(WorkerJoined { worker: "worker-a".into() }),
+            Event::WorkerLost(WorkerLost { worker: "worker-a".into(), leases: 1 }),
+            Event::TrialLeased(TrialLeased {
+                id: "00c0ffee00c0ffee".into(),
+                trial: 2,
+                lease: "1ea5e1ea5e1ea5e1".into(),
+                worker: "worker-a".into(),
+                attempt: 1,
+            }),
+            Event::TrialMigrated(TrialMigrated {
+                id: "00c0ffee00c0ffee".into(),
+                trial: 2,
+                lease: "1ea5e1ea5e1ea5e2".into(),
+                from_worker: "worker-a".into(),
+                to_worker: "worker-b".into(),
+                resumed_generation: 12,
+            }),
         ]
     }
 

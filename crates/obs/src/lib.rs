@@ -48,7 +48,7 @@ pub use event::{
     parse_journal, parse_journal_traced, run_id, CacheHit, CheckpointEvent, Event, FaultInjected,
     GaStalled, GenerationEvent, GenerationObserver, GenerationRecord, JobDone, JobFailed,
     JobStarted, JobSubmitted, MetricsEvent, RunEnd, RunStart, SpanEvent, SpanStartEvent,
-    TrialDeadlineExceeded, TrialFailed,
+    TrialDeadlineExceeded, TrialFailed, TrialLeased, TrialMigrated, WorkerJoined, WorkerLost,
 };
 pub use registry::{
     counter_add, gauge_add, gauge_set, gauge_set_f64, observe_seconds, reset, set_timers_enabled,
@@ -296,6 +296,18 @@ fn progress_line(event: &Event) -> String {
         }
         Event::JobFailed(e) => format!("[cold] job {} FAILED: {}", e.id, e.error),
         Event::CacheHit(e) => format!("[cold] job {} cache hit ({})", e.id, e.kind),
+        Event::WorkerJoined(e) => format!("[cold] dist worker {} joined", e.worker),
+        Event::WorkerLost(e) => {
+            format!("[cold] dist worker {} lost ({} lease(s) orphaned)", e.worker, e.leases)
+        }
+        Event::TrialLeased(e) => format!(
+            "[cold] job {} trial {} leased to {} (lease {}, attempt {})",
+            e.id, e.trial, e.worker, e.lease, e.attempt
+        ),
+        Event::TrialMigrated(e) => format!(
+            "[cold] job {} trial {} migrated {} -> {} (resumes at generation {})",
+            e.id, e.trial, e.from_worker, e.to_worker, e.resumed_generation
+        ),
         Event::Metrics(e) => {
             let mut out = String::from("[cold] metrics:");
             for (name, m) in &e.metrics {

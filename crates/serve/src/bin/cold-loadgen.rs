@@ -61,9 +61,23 @@ struct Tally {
     cached: usize,
     deduplicated: usize,
     rejected: usize,
+    retries: usize,
     failed: usize,
     submit_latencies: Vec<f64>,
     e2e_latencies: Vec<f64>,
+}
+
+/// Uniform-in-`[0, 1)` jitter derived from the submission index and the
+/// retry attempt (splitmix64 finalizer) — repeatable run to run, but
+/// decorrelated across clients so backed-off retries don't re-arrive in
+/// lockstep and slam the queue again as one thundering herd.
+fn retry_jitter(submission: usize, attempt: usize) -> f64 {
+    let mut z =
+        (submission as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(attempt as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
 fn main() {
@@ -136,8 +150,11 @@ fn run_client(
         }
         let body = &bodies[i % bodies.len()];
 
-        // Submit, honoring Retry-After on backpressure.
+        // Submit, honoring Retry-After on backpressure: the server's
+        // hint is the backoff base, doubled per consecutive 503 and
+        // deterministically jittered.
         let submit_start = Instant::now();
+        let mut attempt = 0usize;
         let (id, outcome) = loop {
             let resp = match client_request(&opts.addr, "POST", "/jobs", Some(body)) {
                 Ok(r) => r,
@@ -148,9 +165,16 @@ fn run_client(
                 }
             };
             if resp.status == 503 {
-                tally.lock().expect("tally").rejected += 1;
-                let secs: f64 =
+                attempt += 1;
+                {
+                    let mut t = tally.lock().expect("tally");
+                    t.rejected += 1;
+                    t.retries += 1;
+                }
+                let base: f64 =
                     resp.header("retry-after").and_then(|v| v.parse().ok()).unwrap_or(1.0);
+                let backoff = (base * (1u64 << (attempt - 1).min(6)) as f64).min(5.0);
+                let secs = backoff * (1.0 + 0.5 * retry_jitter(i, attempt));
                 std::thread::sleep(Duration::from_secs_f64(secs.min(5.0)));
                 continue;
             }
@@ -245,6 +269,7 @@ fn report_value(tally: &Tally, jobs: usize, elapsed: f64) -> Value {
         "submissions": jobs,
         "elapsed_seconds": elapsed,
         "jobs_per_second": jobs as f64 / elapsed.max(1e-9),
+        "retries": tally.retries,
         "paths": {
             "accepted": tally.accepted,
             "deduplicated": tally.deduplicated,
@@ -271,6 +296,12 @@ fn report(tally: &Tally, jobs: usize, elapsed: f64) {
          {} rejected (503), {} failed",
         tally.accepted, tally.deduplicated, tally.cached, tally.rejected, tally.failed
     );
+    if tally.retries > 0 {
+        println!(
+            "  backpressure: {} retries after 503 (exponential backoff on retry-after)",
+            tally.retries
+        );
+    }
     for (name, lat) in [("submit", &submit), ("end-to-end", &e2e)] {
         if lat.is_empty() {
             continue;

@@ -12,7 +12,22 @@
 //! campaigns cancel at their next trial boundary with the completed
 //! prefix checkpointed, so restarting with the same `--cache-dir`
 //! resumes them.
+//!
+//! ## Distributed mode
+//!
+//! ```sh
+//! cold-serve --role coordinator --dist-addr 127.0.0.1:8094
+//! cold-serve --role worker --coordinator 127.0.0.1:8094
+//! ```
+//!
+//! A coordinator additionally prints `cold-serve dist listening on
+//! <addr>` and shards every campaign's trials across registered
+//! workers (work-stealing leases, heartbeats, checkpoint migration —
+//! see `DESIGN.md` §16). A worker runs no HTTP server at all: it pulls
+//! leases until the coordinator drains it or a signal arrives, then
+//! exits 0.
 
+use cold_serve::dist::{run_worker, DistConfig, WorkerConfig};
 use cold_serve::{Server, ServerConfig};
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -35,6 +50,16 @@ OPTIONS:
     --faults <SPEC>         arm deterministic fault injection (COLD_FAULTS syntax)
     --faults-seed <N>       seed for probabilistic fault triggers (default 0)
     -h, --help              show this help
+
+DISTRIBUTED MODE:
+    --role <ROLE>           coordinator | worker (default: standalone server)
+    --dist-addr <HOST:PORT> coordinator: worker-protocol listen address
+                            (default 127.0.0.1:8094; port 0 = ephemeral)
+    --coordinator <ADDR>    worker: coordinator address to pull leases from
+    --worker-name <NAME>    worker: pool-unique name (default worker-<pid>)
+    --heartbeat-ms <N>      worker: heartbeat interval (default 500)
+    --lease-deadline <SECS> coordinator: per-trial lease deadline (default 120)
+    --dist-ckpt-every <N>   coordinator: GA snapshot upload cadence (default 5)
 ";
 
 /// Set from the signal handler; polled by the main thread.
@@ -64,6 +89,10 @@ fn main() {
     let mut journal: Option<PathBuf> = None;
     let mut faults: Option<String> = None;
     let mut faults_seed = 0u64;
+    let mut role: Option<String> = None;
+    let mut dist_addr = "127.0.0.1:8094".to_string();
+    let mut worker_cfg = WorkerConfig::default();
+    let mut dist_cfg = DistConfig::default();
 
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -102,6 +131,38 @@ fn main() {
                 });
                 config.trial_deadline = Some(Duration::from_secs_f64(secs));
             }
+            "--role" => {
+                let r = value(&mut args, "--role");
+                if r != "coordinator" && r != "worker" {
+                    eprintln!("--role: `coordinator` or `worker` expected\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+                role = Some(r);
+            }
+            "--dist-addr" => dist_addr = value(&mut args, "--dist-addr"),
+            "--coordinator" => worker_cfg.coordinator = value(&mut args, "--coordinator"),
+            "--worker-name" => worker_cfg.name = value(&mut args, "--worker-name"),
+            "--heartbeat-ms" => {
+                worker_cfg.heartbeat_ms =
+                    value(&mut args, "--heartbeat-ms").parse().unwrap_or_else(|_| {
+                        eprintln!("--heartbeat-ms: integer expected\n\n{USAGE}");
+                        std::process::exit(2);
+                    });
+            }
+            "--lease-deadline" => {
+                let secs: f64 = value(&mut args, "--lease-deadline").parse().unwrap_or_else(|_| {
+                    eprintln!("--lease-deadline: seconds expected\n\n{USAGE}");
+                    std::process::exit(2);
+                });
+                dist_cfg.lease_deadline = Duration::from_secs_f64(secs);
+            }
+            "--dist-ckpt-every" => {
+                dist_cfg.ckpt_every =
+                    value(&mut args, "--dist-ckpt-every").parse().unwrap_or_else(|_| {
+                        eprintln!("--dist-ckpt-every: integer expected\n\n{USAGE}");
+                        std::process::exit(2);
+                    });
+            }
             "--journal" => journal = Some(PathBuf::from(value(&mut args, "--journal"))),
             "--faults" => faults = Some(value(&mut args, "--faults")),
             "--faults-seed" => {
@@ -134,6 +195,22 @@ fn main() {
 
     install_signal_handlers();
 
+    // Worker role: no HTTP server at all — just the lease-pulling loop,
+    // drained by the coordinator or a signal.
+    if role.as_deref() == Some("worker") {
+        match run_worker(&worker_cfg, &SIGNALED) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("cold-serve: worker failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if role.as_deref() == Some("coordinator") {
+        dist_cfg.addr = dist_addr;
+        config.dist = Some(dist_cfg);
+    }
+
     let handle = match Server::start(config) {
         Ok(h) => h,
         Err(e) => {
@@ -142,6 +219,9 @@ fn main() {
         }
     };
     println!("cold-serve listening on http://{}", handle.local_addr());
+    if let Some(addr) = handle.dist_addr() {
+        println!("cold-serve dist listening on {addr}");
+    }
     std::io::stdout().flush().expect("stdout flush");
 
     while !SIGNALED.load(Ordering::SeqCst) && !handle.is_draining() {

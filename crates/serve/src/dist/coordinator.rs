@@ -1,0 +1,1311 @@
+//! Coordinator side of the distributed trial pool.
+//!
+//! The coordinator owns all campaign state: which trials are pending,
+//! which are leased to which worker, and which are complete. Workers
+//! are stateless pullers — they ask for work ([`proto::Msg::LeaseRequest`]),
+//! run it, and upload results. Robustness is built from four pieces:
+//!
+//! * **Leases with deadlines.** Every grant carries a wall-clock
+//!   deadline; a lease not fulfilled in time is reclaimed and requeued.
+//! * **Heartbeats with eviction.** Workers beat every few hundred
+//!   milliseconds; a worker silent past
+//!   [`DistConfig::heartbeat_timeout`] is evicted and its leases
+//!   requeued immediately (faster than waiting out the deadline).
+//! * **Bounded retry with backoff.** Each requeue re-grants the trial
+//!   with attempt+1 after an exponential, deterministically-jittered
+//!   delay. After [`DistConfig::max_lease_attempts`] the trial falls
+//!   back to the ensemble's salted-seed retry path; if that is also
+//!   exhausted the job fails — exactly the lost-trial semantics of the
+//!   local campaign runner.
+//! * **Checkpoint migration.** Workers upload mid-run
+//!   [`GaCheckpoint`](cold::ga::GaCheckpoint)s; a requeued trial
+//!   carries the last snapshot, so its next holder resumes
+//!   bit-identically instead of restarting from generation 0.
+//!
+//! When no workers are registered (none ever joined, or all died) the
+//! campaign loop degrades gracefully by running pending trials inline
+//! on the coordinator itself, so a job never hangs on an empty pool.
+
+use crate::dist::proto::{self, LeaseGrant, Msg};
+use crate::metrics::names;
+use cold::context::rng::derive_seed;
+use cold::{
+    fingerprint_hex, value_fingerprint, CampaignCheckpoint, ColdConfig, ColdError, ProgressSink,
+    SynthesisResult, TrialRecord, RETRY_SALT,
+};
+use serde::Serialize;
+use serde_json::{json, Value};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the coordinator pool.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Listen address for the worker protocol (`host:port`; port 0 asks
+    /// the OS for an ephemeral port).
+    pub addr: String,
+    /// How long a worker may hold a trial lease before the coordinator
+    /// reclaims and requeues it.
+    pub lease_deadline: Duration,
+    /// A worker silent for longer than this is evicted and its leases
+    /// requeued.
+    pub heartbeat_timeout: Duration,
+    /// Lease attempts per seed phase before escalating: primary-seed
+    /// exhaustion switches to the salted retry seed; salted exhaustion
+    /// fails the job.
+    pub max_lease_attempts: usize,
+    /// Workers upload a GA snapshot every this many generations.
+    pub ckpt_every: usize,
+    /// Base of the exponential requeue backoff, in milliseconds.
+    pub backoff_base_ms: u64,
+    /// How long a job waits for a first worker before the coordinator
+    /// starts running trials inline. Irrelevant once any worker has
+    /// ever joined.
+    pub local_fallback_grace: Duration,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            lease_deadline: Duration::from_secs(120),
+            heartbeat_timeout: Duration::from_millis(2500),
+            max_lease_attempts: 3,
+            ckpt_every: 5,
+            backoff_base_ms: 50,
+            local_fallback_grace: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A trial waiting to be granted (or re-granted) to a worker.
+struct PendingTrial {
+    trial: usize,
+    seed: u64,
+    /// Running on the salted retry seed (primary budget exhausted).
+    salted: bool,
+    /// 1-based lease attempt this grant will carry.
+    attempt: usize,
+    /// Backoff gate: not grantable before this instant.
+    eligible_at: Instant,
+    /// Last uploaded GA snapshot from a previous holder, if any.
+    snapshot: Option<Value>,
+    /// Generation the snapshot resumes from (0 = from scratch).
+    resumed_generation: usize,
+    /// Previous holder; `Some` marks a re-grant, which is journaled as
+    /// a `trial_migrated`.
+    last_worker: Option<String>,
+}
+
+/// An outstanding grant.
+struct Lease {
+    job: String,
+    trial: usize,
+    seed: u64,
+    salted: bool,
+    attempt: usize,
+    worker: String,
+    deadline: Instant,
+    snapshot: Option<Value>,
+    resumed_generation: usize,
+}
+
+struct WorkerInfo {
+    last_beat: Instant,
+    leases: usize,
+}
+
+/// Per-job shard of campaign state.
+struct JobShard {
+    /// Canonical JSON form of the job's `ColdConfig`, shipped verbatim
+    /// in every grant.
+    config_value: Value,
+    master_seed: u64,
+    /// Trace context of the owning job — lease/migration events join
+    /// the same distributed trace the job's other events live in.
+    trace: Option<cold_obs::trace::TraceCtx>,
+    /// Job cache directory, for best-effort durable copies of uploaded
+    /// GA snapshots (`trial-<i>.ga.json`).
+    dir: Option<PathBuf>,
+    pending: VecDeque<PendingTrial>,
+    /// Completed records not yet drained by the campaign loop.
+    completed: HashMap<usize, TrialRecord>,
+    /// Fingerprints of completed trials — the idempotency key for
+    /// result uploads (first completion wins, duplicates acknowledged
+    /// and dropped).
+    done: HashSet<String>,
+    failed: Option<String>,
+}
+
+struct PoolState {
+    workers: HashMap<String, WorkerInfo>,
+    jobs: BTreeMap<String, JobShard>,
+    leases: HashMap<String, Lease>,
+    ever_joined: bool,
+}
+
+/// Content-addressed identity of one completed trial (job + index).
+fn trial_fp(job: &str, trial: usize) -> String {
+    fingerprint_hex(value_fingerprint(&json!({"job": job, "trial": trial})))
+}
+
+/// Content-addressed lease id over (job, trial, seed, attempt).
+fn lease_fp(job: &str, trial: usize, seed: u64, attempt: usize) -> String {
+    fingerprint_hex(value_fingerprint(
+        &json!({"job": job, "trial": trial, "seed": seed, "attempt": attempt}),
+    ))
+}
+
+/// Exponential backoff with deterministic jitter for requeued leases.
+/// `attempt` is the attempt the requeued grant will carry (>= 2).
+fn backoff_delay(cfg: &DistConfig, job: &str, trial: usize, attempt: usize) -> Duration {
+    let exp = attempt.saturating_sub(2).min(16) as u32;
+    let base = cfg.backoff_base_ms.saturating_mul(1u64 << exp).min(5_000);
+    let h = value_fingerprint(&json!({"dist_backoff": job, "trial": trial, "attempt": attempt}));
+    let jitter = if base == 0 { 0 } else { h % (base / 2 + 1) };
+    Duration::from_millis(base + jitter)
+}
+
+/// The coordinator's shared pool: lease table, worker registry, and the
+/// per-job shards the campaign loop drains.
+pub struct DistPool {
+    cfg: DistConfig,
+    state: Mutex<PoolState>,
+    wake: Condvar,
+    /// Hard stop for the acceptor/housekeeper threads.
+    stop: AtomicBool,
+    /// Graceful drain (shared with the HTTP server's shutdown flag):
+    /// workers are told to exit at their next trial boundary.
+    draining: Arc<AtomicBool>,
+    started: Instant,
+    /// Pool-level trace: `worker_joined` / `worker_lost` events anchor
+    /// under one `dist.pool` root span.
+    trace: Option<cold_obs::trace::TraceCtx>,
+}
+
+/// Join handle for the coordinator's protocol threads.
+pub struct DistHandle {
+    addr: SocketAddr,
+    acceptor: thread::JoinHandle<()>,
+}
+
+impl DistHandle {
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Joins the acceptor (which in turn joins handlers and the
+    /// housekeeper). Call after [`DistPool::shutdown`].
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+    }
+}
+
+impl DistPool {
+    /// Creates a pool without binding a listener (exercised directly by
+    /// unit tests; production goes through [`DistPool::start`]).
+    pub fn new(cfg: DistConfig, draining: Arc<AtomicBool>) -> Arc<Self> {
+        let trace = {
+            let id = fingerprint_hex(value_fingerprint(
+                &json!({"dist_pool": cfg.addr, "pid": u64::from(std::process::id())}),
+            ));
+            let _scope = cold_obs::trace::root("dist.pool", &id);
+            cold_obs::trace::current()
+        };
+        Arc::new(Self {
+            cfg,
+            state: Mutex::new(PoolState {
+                workers: HashMap::new(),
+                jobs: BTreeMap::new(),
+                leases: HashMap::new(),
+                ever_joined: false,
+            }),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+            draining,
+            started: Instant::now(),
+            trace,
+        })
+    }
+
+    /// Binds the worker protocol listener and spawns the acceptor, two
+    /// connection handlers, and the housekeeping thread.
+    ///
+    /// # Errors
+    /// Any I/O error from binding `cfg.addr`.
+    pub fn start(
+        cfg: DistConfig,
+        draining: Arc<AtomicBool>,
+    ) -> io::Result<(Arc<Self>, DistHandle)> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let pool = Self::new(cfg, draining);
+
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut handlers = Vec::new();
+        for _ in 0..2 {
+            let rx = Arc::clone(&conn_rx);
+            let pool = Arc::clone(&pool);
+            handlers.push(thread::spawn(move || loop {
+                let stream = match rx.lock().expect("dist conn queue poisoned").recv() {
+                    Ok(s) => s,
+                    Err(_) => break,
+                };
+                pool.handle_conn(stream);
+            }));
+        }
+        let housekeeper = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                while !pool.stop.load(Ordering::SeqCst) {
+                    pool.tick();
+                    thread::sleep(Duration::from_millis(100));
+                }
+            })
+        };
+        let acceptor = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                loop {
+                    if pool.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if conn_tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+                drop(conn_tx);
+                for h in handlers {
+                    let _ = h.join();
+                }
+                let _ = housekeeper.join();
+            })
+        };
+        Ok((pool, DistHandle { addr, acceptor }))
+    }
+
+    /// Stops the protocol threads. Safe to call more than once.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+
+    /// Number of currently registered (heartbeating) workers.
+    pub fn workers_alive(&self) -> usize {
+        self.state.lock().expect("dist pool poisoned").workers.len()
+    }
+
+    fn emit_pool(&self, event: cold_obs::Event) {
+        if cold_obs::is_enabled() {
+            cold_obs::emit_with_ctx(&event, self.trace.as_ref());
+        }
+    }
+
+    /// One connection = one exchange: read a frame, dispatch, reply.
+    fn handle_conn(&self, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let msg = match proto::read_frame(&mut stream) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        let reply = self.dispatch(msg);
+        let _ = proto::write_frame(&mut stream, &reply);
+    }
+
+    /// Pure protocol state machine (no sockets) — unit tests drive the
+    /// coordinator through here directly.
+    fn dispatch(&self, msg: Msg) -> Msg {
+        match msg {
+            Msg::Hello { worker } => {
+                self.join_worker(&worker);
+                Msg::HelloOk
+            }
+            Msg::Heartbeat { worker } => {
+                // An evicted-but-alive worker re-registers implicitly.
+                self.join_worker(&worker);
+                Msg::HeartbeatOk { drain: self.draining.load(Ordering::SeqCst) }
+            }
+            Msg::LeaseRequest { worker } => {
+                if self.draining.load(Ordering::SeqCst) {
+                    return Msg::Drain;
+                }
+                self.join_worker(&worker);
+                self.grant(&worker)
+            }
+            Msg::TrialCheckpoint { worker, lease, snapshot } => {
+                self.handle_checkpoint(&worker, &lease, snapshot)
+            }
+            Msg::TrialResult { worker, lease, job, trial, seed, record } => {
+                self.handle_result(&worker, &lease, &job, trial, seed, &record)
+            }
+            Msg::TrialError { worker, lease, error } => {
+                self.handle_trial_error(&worker, &lease, &error)
+            }
+            Msg::Bye { worker } => {
+                self.handle_bye(&worker);
+                Msg::ByeOk
+            }
+            _ => Msg::Error { message: "unexpected message for the coordinator".into() },
+        }
+    }
+
+    fn join_worker(&self, worker: &str) {
+        let mut st = self.state.lock().expect("dist pool poisoned");
+        let now = Instant::now();
+        let is_new = !st.workers.contains_key(worker);
+        let info = st
+            .workers
+            .entry(worker.to_string())
+            .or_insert(WorkerInfo { last_beat: now, leases: 0 });
+        info.last_beat = now;
+        if is_new {
+            st.ever_joined = true;
+            cold_obs::gauge_set(names::DIST_WORKERS_ALIVE, st.workers.len() as i64);
+            drop(st);
+            self.emit_pool(cold_obs::Event::WorkerJoined(cold_obs::WorkerJoined {
+                worker: worker.to_string(),
+            }));
+        }
+    }
+
+    fn grant(&self, worker: &str) -> Msg {
+        let now = Instant::now();
+        let mut st = self.state.lock().expect("dist pool poisoned");
+        let pick = st.jobs.iter().find_map(|(id, shard)| {
+            if shard.failed.is_some() {
+                return None;
+            }
+            shard.pending.iter().position(|p| p.eligible_at <= now).map(|pos| (id.clone(), pos))
+        });
+        let Some((job_id, pos)) = pick else {
+            return Msg::NoWork { backoff_ms: 200 };
+        };
+        let shard = st.jobs.get_mut(&job_id).expect("picked shard exists");
+        let p = shard.pending.remove(pos).expect("picked slot exists");
+        let lease_id = lease_fp(&job_id, p.trial, p.seed, p.attempt);
+        let grant = LeaseGrant {
+            lease: lease_id.clone(),
+            job: job_id.clone(),
+            trial: p.trial,
+            seed: p.seed,
+            attempt: p.attempt,
+            config: shard.config_value.clone(),
+            deadline_ms: self.cfg.lease_deadline.as_millis() as u64,
+            ckpt_every: self.cfg.ckpt_every,
+            trace_id: shard
+                .trace
+                .as_ref()
+                .map(|c| c.trace_id.clone())
+                .unwrap_or_else(|| job_id.clone()),
+            snapshot: p.snapshot.clone(),
+        };
+        if cold_obs::is_enabled() {
+            let ctx = shard.trace.as_ref();
+            cold_obs::emit_with_ctx(
+                &cold_obs::Event::TrialLeased(cold_obs::TrialLeased {
+                    id: job_id.clone(),
+                    trial: p.trial,
+                    lease: lease_id.clone(),
+                    worker: worker.to_string(),
+                    attempt: p.attempt,
+                }),
+                ctx,
+            );
+            if let Some(from) = &p.last_worker {
+                cold_obs::emit_with_ctx(
+                    &cold_obs::Event::TrialMigrated(cold_obs::TrialMigrated {
+                        id: job_id.clone(),
+                        trial: p.trial,
+                        lease: lease_id.clone(),
+                        from_worker: from.clone(),
+                        to_worker: worker.to_string(),
+                        resumed_generation: p.resumed_generation,
+                    }),
+                    ctx,
+                );
+            }
+        }
+        st.leases.insert(
+            lease_id,
+            Lease {
+                job: job_id,
+                trial: p.trial,
+                seed: p.seed,
+                salted: p.salted,
+                attempt: p.attempt,
+                worker: worker.to_string(),
+                deadline: now + self.cfg.lease_deadline,
+                snapshot: p.snapshot,
+                resumed_generation: p.resumed_generation,
+            },
+        );
+        if let Some(w) = st.workers.get_mut(worker) {
+            w.leases += 1;
+        }
+        cold_obs::gauge_set(names::DIST_LEASES_ACTIVE, st.leases.len() as i64);
+        Msg::Grant(grant)
+    }
+
+    fn handle_checkpoint(&self, worker: &str, lease: &str, snapshot: Value) -> Msg {
+        let parsed = match cold::ga::GaCheckpoint::from_value(&snapshot) {
+            Ok(c) => c,
+            Err(why) => return Msg::Error { message: format!("bad checkpoint: {why}") },
+        };
+        let mut st = self.state.lock().expect("dist pool poisoned");
+        if let Some(w) = st.workers.get_mut(worker) {
+            w.last_beat = Instant::now();
+        }
+        // An upload for an expired/unknown lease is not an error — the
+        // trial moved on; the worker's eventual result upload dedups.
+        let (job, trial) = match st.leases.get(lease) {
+            Some(l) if l.worker == worker => (l.job.clone(), l.trial),
+            _ => return Msg::CheckpointOk,
+        };
+        let generation = parsed.generation;
+        if let Some(l) = st.leases.get_mut(lease) {
+            l.snapshot = Some(snapshot);
+            l.resumed_generation = generation;
+        }
+        let path = st
+            .jobs
+            .get(&job)
+            .and_then(|s| s.dir.as_ref())
+            .map(|d| d.join(format!("trial-{trial}.ga.json")));
+        drop(st);
+        // Durable copy is best-effort: the in-memory snapshot is what
+        // migration uses; the file is for post-mortem inspection and
+        // coordinator restarts.
+        if let Some(p) = path {
+            let _ = parsed.save(&p);
+        }
+        Msg::CheckpointOk
+    }
+
+    /// Idempotent completion: the first upload for a (job, trial) wins;
+    /// later uploads (expired leases, duplicated sends) are acknowledged
+    /// as duplicates and dropped.
+    fn record_completion(&self, st: &mut PoolState, job: &str, rec: TrialRecord) -> bool {
+        let fp = trial_fp(job, rec.trial);
+        let trial = rec.trial;
+        let Some(shard) = st.jobs.get_mut(job) else {
+            return true;
+        };
+        if shard.done.contains(&fp) {
+            return true;
+        }
+        shard.done.insert(fp);
+        shard.completed.insert(trial, rec);
+        shard.pending.retain(|p| p.trial != trial);
+        // Cancel other in-flight leases for the same trial (a requeued
+        // copy whose original holder just finished first).
+        let stale: Vec<String> = st
+            .leases
+            .iter()
+            .filter(|(_, l)| l.job == job && l.trial == trial)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in stale {
+            if let Some(l) = st.leases.remove(&k) {
+                if let Some(w) = st.workers.get_mut(&l.worker) {
+                    w.leases = w.leases.saturating_sub(1);
+                }
+            }
+        }
+        cold_obs::gauge_set(names::DIST_LEASES_ACTIVE, st.leases.len() as i64);
+        false
+    }
+
+    fn handle_result(
+        &self,
+        worker: &str,
+        lease: &str,
+        job: &str,
+        trial: usize,
+        seed: u64,
+        record: &Value,
+    ) -> Msg {
+        let rec = match TrialRecord::from_value(record) {
+            Ok(r) => r,
+            Err(why) => return Msg::Error { message: format!("bad trial record: {why}") },
+        };
+        if rec.trial != trial || rec.seed != seed {
+            return Msg::Error { message: "record does not match its envelope".into() };
+        }
+        let mut st = self.state.lock().expect("dist pool poisoned");
+        if let Some(w) = st.workers.get_mut(worker) {
+            w.last_beat = Instant::now();
+        }
+        if let Some(l) = st.leases.remove(lease) {
+            if let Some(w) = st.workers.get_mut(&l.worker) {
+                w.leases = w.leases.saturating_sub(1);
+            }
+        }
+        let duplicate = self.record_completion(&mut st, job, rec);
+        let snapshot_file = st
+            .jobs
+            .get(job)
+            .and_then(|s| s.dir.as_ref())
+            .map(|d| d.join(format!("trial-{trial}.ga.json")));
+        drop(st);
+        if !duplicate {
+            if let Some(p) = snapshot_file {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+        self.wake.notify_all();
+        Msg::ResultOk { duplicate }
+    }
+
+    fn handle_trial_error(&self, worker: &str, lease: &str, error: &str) -> Msg {
+        let now = Instant::now();
+        let mut st = self.state.lock().expect("dist pool poisoned");
+        if let Some(w) = st.workers.get_mut(worker) {
+            w.last_beat = Instant::now();
+        }
+        if let Some(l) = st.leases.remove(lease) {
+            if let Some(w) = st.workers.get_mut(&l.worker) {
+                w.leases = w.leases.saturating_sub(1);
+            }
+            self.requeue_lease(&mut st, l, error, now);
+            cold_obs::gauge_set(names::DIST_LEASES_ACTIVE, st.leases.len() as i64);
+        }
+        drop(st);
+        self.wake.notify_all();
+        // Absorbed either way; the worker only needs an ack.
+        Msg::ResultOk { duplicate: true }
+    }
+
+    fn handle_bye(&self, worker: &str) {
+        let now = Instant::now();
+        let mut st = self.state.lock().expect("dist pool poisoned");
+        if st.workers.remove(worker).is_none() {
+            return;
+        }
+        let lost: Vec<String> =
+            st.leases.iter().filter(|(_, l)| l.worker == worker).map(|(k, _)| k.clone()).collect();
+        let n_lost = lost.len();
+        for k in lost {
+            if let Some(l) = st.leases.remove(&k) {
+                self.requeue_lease(&mut st, l, "worker departed", now);
+            }
+        }
+        cold_obs::gauge_set(names::DIST_WORKERS_ALIVE, st.workers.len() as i64);
+        cold_obs::gauge_set(names::DIST_LEASES_ACTIVE, st.leases.len() as i64);
+        drop(st);
+        // A clean drain-time bye holds no leases and is not a loss.
+        if n_lost > 0 {
+            self.emit_pool(cold_obs::Event::WorkerLost(cold_obs::WorkerLost {
+                worker: worker.to_string(),
+                leases: n_lost,
+            }));
+        }
+        self.wake.notify_all();
+    }
+
+    /// Puts a lost lease's trial back in the queue: attempt+1 after a
+    /// backoff, escalating to the salted seed and then to job failure
+    /// when the budgets run out.
+    fn requeue_lease(&self, st: &mut PoolState, lease: Lease, reason: &str, now: Instant) {
+        let fp = trial_fp(&lease.job, lease.trial);
+        let Some(shard) = st.jobs.get_mut(&lease.job) else {
+            return;
+        };
+        if shard.done.contains(&fp) {
+            return;
+        }
+        let next_attempt = lease.attempt + 1;
+        if next_attempt <= self.cfg.max_lease_attempts {
+            let delay = backoff_delay(&self.cfg, &lease.job, lease.trial, next_attempt);
+            shard.pending.push_back(PendingTrial {
+                trial: lease.trial,
+                seed: lease.seed,
+                salted: lease.salted,
+                attempt: next_attempt,
+                eligible_at: now + delay,
+                snapshot: lease.snapshot,
+                resumed_generation: lease.resumed_generation,
+                last_worker: Some(lease.worker),
+            });
+            return;
+        }
+        // Budget exhausted on this seed phase. Journal the loss exactly
+        // like the local runner's trial_failed, then escalate.
+        if cold_obs::is_enabled() {
+            cold_obs::emit_with_ctx(
+                &cold_obs::Event::TrialFailed(cold_obs::TrialFailed {
+                    trial: lease.trial,
+                    attempt: lease.attempt,
+                    seed: lease.seed,
+                    error: format!("lease budget exhausted: {reason}"),
+                }),
+                shard.trace.as_ref(),
+            );
+        }
+        if lease.salted {
+            shard.failed = Some(format!(
+                "trial {} lost on primary and salted seeds after {} lease attempts each: {reason}",
+                lease.trial, self.cfg.max_lease_attempts
+            ));
+            return;
+        }
+        let salted_seed =
+            derive_seed(derive_seed(shard.master_seed, RETRY_SALT), lease.trial as u64);
+        shard.pending.push_back(PendingTrial {
+            trial: lease.trial,
+            seed: salted_seed,
+            salted: true,
+            attempt: 1,
+            eligible_at: now,
+            snapshot: None,
+            resumed_generation: 0,
+            last_worker: Some(lease.worker),
+        });
+    }
+
+    /// Housekeeping: evict silent workers, expire overdue leases.
+    fn tick(&self) {
+        let now = Instant::now();
+        let mut st = self.state.lock().expect("dist pool poisoned");
+        let mut changed = false;
+        let mut losses: Vec<(String, usize)> = Vec::new();
+
+        let dead: Vec<String> = st
+            .workers
+            .iter()
+            .filter(|(_, w)| now.duration_since(w.last_beat) > self.cfg.heartbeat_timeout)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in dead {
+            st.workers.remove(&name);
+            let lost: Vec<String> = st
+                .leases
+                .iter()
+                .filter(|(_, l)| l.worker == name)
+                .map(|(k, _)| k.clone())
+                .collect();
+            losses.push((name, lost.len()));
+            for k in lost {
+                if let Some(l) = st.leases.remove(&k) {
+                    self.requeue_lease(&mut st, l, "worker heartbeat missed", now);
+                }
+            }
+            changed = true;
+        }
+
+        let expired: Vec<String> =
+            st.leases.iter().filter(|(_, l)| l.deadline <= now).map(|(k, _)| k.clone()).collect();
+        for k in expired {
+            if let Some(l) = st.leases.remove(&k) {
+                if let Some(w) = st.workers.get_mut(&l.worker) {
+                    w.leases = w.leases.saturating_sub(1);
+                }
+                self.requeue_lease(&mut st, l, "lease deadline expired", now);
+                changed = true;
+            }
+        }
+
+        if changed {
+            cold_obs::gauge_set(names::DIST_WORKERS_ALIVE, st.workers.len() as i64);
+            cold_obs::gauge_set(names::DIST_LEASES_ACTIVE, st.leases.len() as i64);
+        }
+        drop(st);
+        for (worker, leases) in losses {
+            self.emit_pool(cold_obs::Event::WorkerLost(cold_obs::WorkerLost { worker, leases }));
+        }
+        if changed {
+            self.wake.notify_all();
+        }
+    }
+
+    fn register_job(
+        &self,
+        id: &str,
+        config: &ColdConfig,
+        master_seed: u64,
+        count: usize,
+        from: usize,
+        dir: Option<PathBuf>,
+    ) {
+        let now = Instant::now();
+        let mut pending = VecDeque::new();
+        for i in from..count {
+            pending.push_back(PendingTrial {
+                trial: i,
+                seed: derive_seed(master_seed, i as u64),
+                salted: false,
+                attempt: 1,
+                eligible_at: now,
+                snapshot: None,
+                resumed_generation: 0,
+                last_worker: None,
+            });
+        }
+        let shard = JobShard {
+            config_value: config.to_json_value(),
+            master_seed,
+            trace: cold_obs::trace::current(),
+            dir,
+            pending,
+            completed: HashMap::new(),
+            done: HashSet::new(),
+            failed: None,
+        };
+        self.state.lock().expect("dist pool poisoned").jobs.insert(id.to_string(), shard);
+    }
+
+    fn deregister_job(&self, id: &str) {
+        let mut st = self.state.lock().expect("dist pool poisoned");
+        st.jobs.remove(id);
+        let stale: Vec<String> =
+            st.leases.iter().filter(|(_, l)| l.job == id).map(|(k, _)| k.clone()).collect();
+        for k in stale {
+            if let Some(l) = st.leases.remove(&k) {
+                if let Some(w) = st.workers.get_mut(&l.worker) {
+                    w.leases = w.leases.saturating_sub(1);
+                }
+            }
+        }
+        cold_obs::gauge_set(names::DIST_LEASES_ACTIVE, st.leases.len() as i64);
+    }
+
+    /// What the campaign loop should do next for job `id`.
+    fn next_step(&self, id: &str, next_trial: usize) -> Step {
+        let now = Instant::now();
+        let mut st = self.state.lock().expect("dist pool poisoned");
+        let no_workers = st.workers.is_empty();
+        let grace_over = st.ever_joined || self.started.elapsed() >= self.cfg.local_fallback_grace;
+        let Some(shard) = st.jobs.get_mut(id) else {
+            return Step::Failed("job was deregistered".into());
+        };
+        if let Some(why) = shard.failed.clone() {
+            return Step::Failed(why);
+        }
+        let mut recs = Vec::new();
+        let mut next = next_trial;
+        while let Some(r) = shard.completed.remove(&next) {
+            recs.push(r);
+            next += 1;
+        }
+        if !recs.is_empty() {
+            return Step::Extended(recs);
+        }
+        if no_workers && grace_over {
+            if let Some(pos) = shard.pending.iter().position(|p| p.eligible_at <= now) {
+                let p = shard.pending.remove(pos).expect("picked slot exists");
+                // Journal the local grant exactly like a remote one, so
+                // `journal-check` sees the same lease/migration shapes.
+                if cold_obs::is_enabled() {
+                    let ctx = shard.trace.as_ref();
+                    let lease_id = lease_fp(id, p.trial, p.seed, p.attempt);
+                    cold_obs::emit_with_ctx(
+                        &cold_obs::Event::TrialLeased(cold_obs::TrialLeased {
+                            id: id.to_string(),
+                            trial: p.trial,
+                            lease: lease_id.clone(),
+                            worker: "coordinator".into(),
+                            attempt: p.attempt,
+                        }),
+                        ctx,
+                    );
+                    if let Some(from) = &p.last_worker {
+                        cold_obs::emit_with_ctx(
+                            &cold_obs::Event::TrialMigrated(cold_obs::TrialMigrated {
+                                id: id.to_string(),
+                                trial: p.trial,
+                                lease: lease_id,
+                                from_worker: from.clone(),
+                                to_worker: "coordinator".into(),
+                                resumed_generation: p.resumed_generation,
+                            }),
+                            ctx,
+                        );
+                    }
+                }
+                return Step::Inline(p);
+            }
+        }
+        Step::Idle
+    }
+
+    /// Runs one trial inline on the coordinator (graceful degradation
+    /// when the worker pool is empty).
+    fn run_inline(
+        &self,
+        id: &str,
+        config: &ColdConfig,
+        p: PendingTrial,
+        progress: Option<ProgressSink>,
+    ) {
+        let resume = p.snapshot.as_ref().and_then(|s| cold::ga::GaCheckpoint::from_value(s).ok());
+        let outcome = config.try_synthesize_resumable(p.seed, progress, None, resume);
+        match outcome {
+            Ok(r) => {
+                let rec = TrialRecord::from_result(p.trial, p.seed, &r);
+                let mut st = self.state.lock().expect("dist pool poisoned");
+                self.record_completion(&mut st, id, rec);
+                drop(st);
+                self.wake.notify_all();
+            }
+            Err(e) => {
+                let now = Instant::now();
+                let mut st = self.state.lock().expect("dist pool poisoned");
+                let lease = Lease {
+                    job: id.to_string(),
+                    trial: p.trial,
+                    seed: p.seed,
+                    salted: p.salted,
+                    attempt: p.attempt,
+                    worker: "coordinator".into(),
+                    deadline: now,
+                    snapshot: p.snapshot,
+                    resumed_generation: p.resumed_generation,
+                };
+                self.requeue_lease(&mut st, lease, &e.to_string(), now);
+                drop(st);
+                self.wake.notify_all();
+            }
+        }
+    }
+
+    fn wait_for_change(&self, timeout: Duration) {
+        let st = self.state.lock().expect("dist pool poisoned");
+        let _ = self.wake.wait_timeout(st, timeout);
+    }
+}
+
+enum Step {
+    Extended(Vec<TrialRecord>),
+    Inline(PendingTrial),
+    Failed(String),
+    Idle,
+}
+
+/// Runs (or resumes) a campaign by sharding its trials across the
+/// pool's workers.
+///
+/// Semantics mirror [`cold::run_campaign_controlled`] with
+/// `checkpoint_every = 1` and salted retries: per-trial seeds are
+/// identical, completed prefixes are snapshotted to `checkpoint_path`
+/// after every trial, `on_trial` fires in trial order for rebuilt and
+/// fresh trials alike, and the returned results are bit-identical
+/// (modulo wall-clock timing fields) to a local run — workers resume
+/// migrated trials from uploaded GA snapshots, and a resumed GA run is
+/// deterministic.
+///
+/// # Errors
+/// Everything the local runner can return, plus
+/// [`ColdError::TrialPanic`] when a trial exhausts its lease budget on
+/// both the primary and salted seeds (the distributed analogue of a
+/// trial that panics twice).
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_campaign(
+    pool: &DistPool,
+    id: &str,
+    config: &ColdConfig,
+    master_seed: u64,
+    count: usize,
+    checkpoint_path: &Path,
+    resume: Option<CampaignCheckpoint>,
+    progress: Option<ProgressSink>,
+    cancel: &AtomicBool,
+    mut on_trial: impl FnMut(usize, &SynthesisResult),
+) -> Result<Vec<SynthesisResult>, ColdError> {
+    let _span = cold_obs::span("dist.campaign");
+    config.validate()?;
+    let mut records: Vec<TrialRecord> = match resume {
+        None => Vec::new(),
+        Some(snapshot) => {
+            snapshot.validate_against(config, master_seed, count)?;
+            snapshot.records
+        }
+    };
+    let mut results = Vec::with_capacity(count);
+    for record in &records {
+        let r = record.rebuild(config)?;
+        on_trial(record.trial, &r);
+        results.push(r);
+    }
+    pool.register_job(
+        id,
+        config,
+        master_seed,
+        count,
+        records.len(),
+        checkpoint_path.parent().map(Path::to_path_buf),
+    );
+    let outcome = drive_job(
+        pool,
+        id,
+        config,
+        master_seed,
+        count,
+        checkpoint_path,
+        &mut records,
+        &mut results,
+        progress,
+        cancel,
+        &mut on_trial,
+    );
+    pool.deregister_job(id);
+    outcome.map(|()| results)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_job(
+    pool: &DistPool,
+    id: &str,
+    config: &ColdConfig,
+    master_seed: u64,
+    count: usize,
+    checkpoint_path: &Path,
+    records: &mut Vec<TrialRecord>,
+    results: &mut Vec<SynthesisResult>,
+    progress: Option<ProgressSink>,
+    cancel: &AtomicBool,
+    on_trial: &mut impl FnMut(usize, &SynthesisResult),
+) -> Result<(), ColdError> {
+    let save_snapshot = |records: &Vec<TrialRecord>, completed: usize| -> Result<(), ColdError> {
+        let snapshot =
+            CampaignCheckpoint { config: *config, master_seed, count, records: records.clone() };
+        snapshot.save(checkpoint_path)?;
+        if cold_obs::is_enabled() {
+            cold_obs::emit(&cold_obs::Event::Checkpoint(cold_obs::CheckpointEvent {
+                path: checkpoint_path.display().to_string(),
+                completed,
+                total: count,
+            }));
+        }
+        Ok(())
+    };
+    loop {
+        if results.len() == count {
+            return Ok(());
+        }
+        if cancel.load(Ordering::SeqCst) {
+            if !records.is_empty() {
+                save_snapshot(records, results.len())?;
+            }
+            return Err(ColdError::Canceled { completed: results.len() });
+        }
+        match pool.next_step(id, results.len()) {
+            Step::Extended(recs) => {
+                for rec in recs {
+                    let r = rec.rebuild(config)?;
+                    records.push(rec);
+                    let completed = results.len() + 1;
+                    if completed < count {
+                        save_snapshot(records, completed)?;
+                    }
+                    on_trial(completed - 1, &r);
+                    results.push(r);
+                }
+            }
+            Step::Inline(p) => pool.run_inline(id, config, p, progress.clone()),
+            Step::Failed(why) => {
+                if !records.is_empty() {
+                    let _ = save_snapshot(records, results.len());
+                }
+                return Err(ColdError::TrialPanic(why));
+            }
+            Step::Idle => pool.wait_for_change(Duration::from_millis(100)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ColdConfig {
+        ColdConfig::quick(8, 1e-4, 10.0)
+    }
+
+    fn test_pool(cfg: DistConfig) -> Arc<DistPool> {
+        DistPool::new(cfg, Arc::new(AtomicBool::new(false)))
+    }
+
+    fn granted(msg: Msg) -> LeaseGrant {
+        match msg {
+            Msg::Grant(g) => g,
+            other => panic!("expected a lease grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_is_capped_and_deterministic() {
+        let cfg = DistConfig { backoff_base_ms: 50, ..DistConfig::default() };
+        let d2 = backoff_delay(&cfg, "job", 0, 2);
+        let d3 = backoff_delay(&cfg, "job", 0, 3);
+        let d9 = backoff_delay(&cfg, "job", 0, 9);
+        assert!(d2 >= Duration::from_millis(50) && d2 <= Duration::from_millis(75));
+        assert!(d3 >= Duration::from_millis(100) && d3 <= Duration::from_millis(150));
+        assert!(d9 <= Duration::from_millis(7500), "cap plus jitter bound");
+        assert_eq!(backoff_delay(&cfg, "job", 0, 2), d2, "jitter is deterministic");
+        assert_ne!(
+            backoff_delay(&cfg, "job", 1, 2),
+            backoff_delay(&cfg, "job", 2, 2),
+            "jitter varies across trials"
+        );
+    }
+
+    #[test]
+    fn lease_lifecycle_grant_complete_deduplicate() {
+        let pool = test_pool(DistConfig::default());
+        let cfg = quick_cfg();
+        pool.register_job("job-a", &cfg, 42, 1, 0, None);
+        assert_eq!(pool.dispatch(Msg::Hello { worker: "w1".into() }), Msg::HelloOk);
+        let grant = granted(pool.dispatch(Msg::LeaseRequest { worker: "w1".into() }));
+        assert_eq!(grant.trial, 0);
+        assert_eq!(grant.attempt, 1);
+        assert_eq!(grant.seed, derive_seed(42, 0));
+        assert!(grant.snapshot.is_none());
+        // A second idle worker finds nothing to steal.
+        assert_eq!(
+            pool.dispatch(Msg::LeaseRequest { worker: "w2".into() }),
+            Msg::NoWork { backoff_ms: 200 }
+        );
+        let r = cfg.synthesize(grant.seed);
+        let rec = TrialRecord::from_result(0, grant.seed, &r);
+        let upload = Msg::TrialResult {
+            worker: "w1".into(),
+            lease: grant.lease.clone(),
+            job: "job-a".into(),
+            trial: 0,
+            seed: grant.seed,
+            record: rec.to_value(),
+        };
+        assert_eq!(pool.dispatch(upload.clone()), Msg::ResultOk { duplicate: false });
+        assert_eq!(pool.dispatch(upload), Msg::ResultOk { duplicate: true }, "idempotent upload");
+        match pool.next_step("job-a", 0) {
+            Step::Extended(recs) => {
+                assert_eq!(recs.len(), 1);
+                assert_eq!(recs[0].trial, 0);
+            }
+            _ => panic!("completed trial must drain"),
+        }
+    }
+
+    #[test]
+    fn expired_lease_is_requeued_with_next_attempt_and_migration_marker() {
+        let dcfg = DistConfig {
+            lease_deadline: Duration::from_millis(0),
+            backoff_base_ms: 0,
+            ..DistConfig::default()
+        };
+        let pool = test_pool(dcfg);
+        let cfg = quick_cfg();
+        pool.register_job("job-a", &cfg, 7, 1, 0, None);
+        pool.dispatch(Msg::Hello { worker: "w1".into() });
+        let first = granted(pool.dispatch(Msg::LeaseRequest { worker: "w1".into() }));
+        pool.tick(); // deadline 0 => immediately expired
+        let second = granted(pool.dispatch(Msg::LeaseRequest { worker: "w2".into() }));
+        assert_eq!(second.trial, first.trial);
+        assert_eq!(second.seed, first.seed, "same seed phase");
+        assert_eq!(second.attempt, 2);
+        assert_ne!(second.lease, first.lease, "attempt is part of the lease id");
+        let st = pool.state.lock().expect("state");
+        let l = st.leases.get(&second.lease).expect("active lease");
+        assert_eq!(l.worker, "w2");
+    }
+
+    #[test]
+    fn heartbeat_silence_evicts_worker_and_requeues_its_lease() {
+        let dcfg = DistConfig {
+            heartbeat_timeout: Duration::from_millis(0),
+            backoff_base_ms: 0,
+            ..DistConfig::default()
+        };
+        let pool = test_pool(dcfg);
+        let cfg = quick_cfg();
+        pool.register_job("job-a", &cfg, 7, 1, 0, None);
+        pool.dispatch(Msg::Hello { worker: "w1".into() });
+        let _ = granted(pool.dispatch(Msg::LeaseRequest { worker: "w1".into() }));
+        std::thread::sleep(Duration::from_millis(5));
+        pool.tick();
+        assert_eq!(pool.workers_alive(), 0, "silent worker evicted");
+        {
+            let st = pool.state.lock().expect("state");
+            assert!(st.leases.is_empty(), "orphaned lease reclaimed");
+            let shard = st.jobs.get("job-a").expect("shard");
+            assert_eq!(shard.pending.len(), 1);
+            assert_eq!(shard.pending[0].attempt, 2);
+            assert_eq!(shard.pending[0].last_worker.as_deref(), Some("w1"));
+        }
+        // The evicted worker's heartbeat re-registers it.
+        assert_eq!(
+            pool.dispatch(Msg::Heartbeat { worker: "w1".into() }),
+            Msg::HeartbeatOk { drain: false }
+        );
+        assert_eq!(pool.workers_alive(), 1);
+    }
+
+    #[test]
+    fn lease_budget_exhaustion_switches_to_salted_seed_then_fails_the_job() {
+        let dcfg = DistConfig {
+            lease_deadline: Duration::from_millis(0),
+            max_lease_attempts: 1,
+            backoff_base_ms: 0,
+            ..DistConfig::default()
+        };
+        let pool = test_pool(dcfg);
+        let cfg = quick_cfg();
+        let master = 42u64;
+        pool.register_job("job-a", &cfg, master, 1, 0, None);
+        pool.dispatch(Msg::Hello { worker: "w1".into() });
+        let first = granted(pool.dispatch(Msg::LeaseRequest { worker: "w1".into() }));
+        assert_eq!(first.seed, derive_seed(master, 0));
+        pool.tick(); // primary budget (1 attempt) exhausted -> salted
+        let second = granted(pool.dispatch(Msg::LeaseRequest { worker: "w1".into() }));
+        assert_eq!(second.seed, derive_seed(derive_seed(master, RETRY_SALT), 0));
+        assert_eq!(second.attempt, 1, "salted phase restarts the attempt counter");
+        pool.tick(); // salted budget exhausted -> job fails
+        match pool.next_step("job-a", 0) {
+            Step::Failed(why) => assert!(why.contains("lost"), "unexpected reason: {why}"),
+            _ => panic!("job must fail after both seed phases are exhausted"),
+        }
+    }
+
+    #[test]
+    fn uploaded_snapshot_travels_with_the_requeued_trial() {
+        let dcfg = DistConfig {
+            lease_deadline: Duration::from_millis(0),
+            backoff_base_ms: 0,
+            ..DistConfig::default()
+        };
+        let pool = test_pool(dcfg);
+        let cfg = quick_cfg();
+        pool.register_job("job-a", &cfg, 7, 1, 0, None);
+        pool.dispatch(Msg::Hello { worker: "w1".into() });
+        let grant = granted(pool.dispatch(Msg::LeaseRequest { worker: "w1".into() }));
+        // Produce a genuine mid-run snapshot by running the trial with a
+        // checkpoint hook.
+        let mut snaps: Vec<Value> = Vec::new();
+        let mut sink = |c: &cold::ga::GaCheckpoint| snaps.push(c.to_value());
+        let hook = cold::ga::CheckpointHook { every: 2, sink: &mut sink };
+        cfg.try_synthesize_resumable(grant.seed, None, Some(hook), None).expect("trial");
+        let snapshot = snaps.last().expect("at least one snapshot").clone();
+        let generation = snapshot.get("generation").and_then(Value::as_u64).expect("generation");
+        assert!(generation > 0);
+        assert_eq!(
+            pool.dispatch(Msg::TrialCheckpoint {
+                worker: "w1".into(),
+                lease: grant.lease.clone(),
+                snapshot: snapshot.clone(),
+            }),
+            Msg::CheckpointOk
+        );
+        pool.tick(); // lease expires; snapshot must ride along
+        let regrant = granted(pool.dispatch(Msg::LeaseRequest { worker: "w2".into() }));
+        assert_eq!(regrant.snapshot, Some(snapshot));
+    }
+
+    #[test]
+    fn campaign_over_simulated_workers_matches_local_ensemble() {
+        let pool = test_pool(DistConfig::default());
+        let cfg = quick_cfg();
+        let master = 9u64;
+        let count = 3usize;
+        let dir = std::env::temp_dir().join(format!("cold-dist-coord-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let ckpt = dir.join("ckpt.json");
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                pool.dispatch(Msg::Hello { worker: "sim".into() });
+                while !stop.load(Ordering::SeqCst) {
+                    match pool.dispatch(Msg::LeaseRequest { worker: "sim".into() }) {
+                        Msg::Grant(g) => {
+                            use serde::Deserialize;
+                            let wcfg = ColdConfig::from_json_value(&g.config).expect("config");
+                            let r = wcfg.synthesize(g.seed);
+                            let rec = TrialRecord::from_result(g.trial, g.seed, &r);
+                            pool.dispatch(Msg::TrialResult {
+                                worker: "sim".into(),
+                                lease: g.lease,
+                                job: g.job,
+                                trial: g.trial,
+                                seed: g.seed,
+                                record: rec.to_value(),
+                            });
+                        }
+                        _ => thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })
+        };
+        let cancel = AtomicBool::new(false);
+        let mut seen = Vec::new();
+        let results = run_distributed_campaign(
+            &pool,
+            "job-sim",
+            &cfg,
+            master,
+            count,
+            &ckpt,
+            None,
+            None,
+            &cancel,
+            |i, _| seen.push(i),
+        )
+        .expect("distributed campaign");
+        stop.store(true, Ordering::SeqCst);
+        worker.join().expect("worker thread");
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(results.len(), count);
+        for (i, r) in results.iter().enumerate() {
+            let local = cfg.synthesize(derive_seed(master, i as u64));
+            assert_eq!(r.network.topology, local.network.topology);
+            assert_eq!(r.best_cost_history, local.best_cost_history);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_pool_falls_back_to_inline_execution() {
+        let dcfg =
+            DistConfig { local_fallback_grace: Duration::from_millis(0), ..DistConfig::default() };
+        let pool = test_pool(dcfg);
+        let cfg = quick_cfg();
+        let dir = std::env::temp_dir().join(format!("cold-dist-inline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let ckpt = dir.join("ckpt.json");
+        let cancel = AtomicBool::new(false);
+        let results = run_distributed_campaign(
+            &pool,
+            "job-inline",
+            &cfg,
+            5,
+            2,
+            &ckpt,
+            None,
+            None,
+            &cancel,
+            |_, _| {},
+        )
+        .expect("inline fallback campaign");
+        assert_eq!(results.len(), 2);
+        let local = cfg.synthesize(derive_seed(5, 1));
+        assert_eq!(results[1].network.topology, local.network.topology);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -9,11 +9,18 @@
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request line plus headers.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Upper bound on a request body (a `ColdConfig` document is ~1 KiB).
 const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Overall wall-clock budget for reading one request (head + body). The
+/// socket's per-read timeout catches a client that goes silent; this
+/// deadline catches the slow-loris variant that drips one byte at a
+/// time, keeping every individual read fast while the request never
+/// completes.
+const READ_DEADLINE: Duration = Duration::from_secs(10);
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -35,14 +42,34 @@ impl Request {
     }
 }
 
-/// Reads and parses one request from `stream`.
+/// Reads and parses one request from `stream` under the default
+/// 10-second read deadline.
 ///
 /// # Errors
 /// `io::Error` on a malformed request line/headers, an oversized head or
-/// body, or a connection error. The caller answers malformed requests
-/// with a 400 and closes.
+/// body, an exceeded read deadline (`TimedOut`), or a connection error.
+/// The caller answers malformed requests with a 400 and closes.
 pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    read_request_deadline(stream, READ_DEADLINE)
+}
+
+/// [`read_request`] with an explicit overall deadline — the regression
+/// tests shrink it to keep slow-client scenarios fast.
+///
+/// # Errors
+/// As [`read_request`]; `TimedOut` specifically when the client fails
+/// to deliver a complete request within `deadline`, however steadily it
+/// trickles bytes.
+pub fn read_request_deadline(stream: &mut TcpStream, deadline: Duration) -> io::Result<Request> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let started = Instant::now();
+    let overdue = || {
+        io::Error::new(io::ErrorKind::TimedOut, "request not completed within the read deadline")
+    };
+    // Cap how long any single read may block, so a half-written request
+    // followed by silence cannot hold the handler past the deadline
+    // regardless of the socket's prior timeout setting.
+    let _ = stream.set_read_timeout(Some(deadline));
 
     // Read up to the blank line separating head from body.
     let mut head = Vec::new();
@@ -50,6 +77,9 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     while !head.ends_with(b"\r\n\r\n") {
         if head.len() >= MAX_HEAD_BYTES {
             return Err(bad("request head exceeds 16 KiB"));
+        }
+        if started.elapsed() >= deadline {
+            return Err(overdue());
         }
         let n = stream.read(&mut byte)?;
         if n == 0 {
@@ -84,8 +114,21 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     if content_length > MAX_BODY_BYTES {
         return Err(bad("request body exceeds 1 MiB"));
     }
+    // Chunked body read with the same deadline, so a trickled body is
+    // bounded exactly like a trickled head.
     let mut body = vec![0u8; content_length];
-    stream.read_exact(&mut body)?;
+    let mut filled = 0;
+    while filled < content_length {
+        if started.elapsed() >= deadline {
+            return Err(overdue());
+        }
+        let end = (filled + 8192).min(content_length);
+        let n = stream.read(&mut body[filled..end])?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        filled += n;
+    }
     Ok(Request { method, path, headers, body })
 }
 
@@ -302,6 +345,62 @@ mod tests {
         let huge = format!("GET /x HTTP/1.1\r\nx-pad: {}\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
         stream.write_all(huge.as_bytes()).unwrap();
         server.join().unwrap();
+    }
+
+    /// Slow-loris regression: a client that writes half a request and
+    /// then drip-feeds one byte at a time keeps every individual read
+    /// fast — only the overall deadline can cut it off.
+    #[test]
+    fn drip_fed_request_hits_the_read_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let deadline = Duration::from_millis(300);
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let started = Instant::now();
+            let err = read_request_deadline(&mut stream, deadline)
+                .expect_err("drip-fed request must time out");
+            assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+            assert!(
+                started.elapsed() < Duration::from_secs(3),
+                "deadline must fire promptly, took {:?}",
+                started.elapsed()
+            );
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /healthz HT").unwrap();
+        // Keep trickling so per-read socket timeouts never trigger.
+        for _ in 0..40 {
+            if stream.write_all(b"T").is_err() {
+                break; // server gave up — exactly what we want
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        server.join().unwrap();
+    }
+
+    /// A half-written request followed by silence is bounded too: the
+    /// deadline doubles as the per-read socket timeout.
+    #[test]
+    fn half_written_then_silent_request_is_bounded() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let deadline = Duration::from_millis(200);
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let started = Instant::now();
+            read_request_deadline(&mut stream, deadline).expect_err("stalled request must fail");
+            assert!(
+                started.elapsed() < Duration::from_secs(3),
+                "stalled read must not hang, took {:?}",
+                started.elapsed()
+            );
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"POST /jobs HTTP/1.1\r\ncontent-le").unwrap();
+        stream.flush().unwrap();
+        server.join().unwrap(); // client stalls; keep the socket open until the server errors
+        drop(stream);
     }
 
     #[test]

@@ -32,11 +32,21 @@
 //! carry the resumed-trial count). A worker panic — including the armed
 //! `serve.worker_panic` chaos site — fails at most one job attempt,
 //! never the process.
+//!
+//! ## Distributed mode
+//!
+//! `cold-serve --role coordinator` additionally listens on a worker
+//! protocol port and shards each campaign's trials across remote
+//! `cold-serve --role worker` processes with work-stealing leases,
+//! heartbeats, and checkpoint migration — see the [`dist`] module and
+//! `DESIGN.md` §16. With zero workers the coordinator runs trials
+//! inline, so distributed mode strictly adds capacity.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod dist;
 pub mod http;
 pub mod job;
 pub mod metrics;
@@ -44,6 +54,7 @@ pub mod queue;
 pub mod server;
 
 pub use cache::ResultCache;
+pub use dist::{DistConfig, DistPool, WorkerConfig};
 pub use http::{client_request, ClientResponse, Request, Response};
 pub use job::{JobEntry, JobMode, JobProgress, JobSpec, JobStatus};
 pub use queue::{BoundedQueue, QueueFull};

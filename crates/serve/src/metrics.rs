@@ -41,6 +41,12 @@ pub mod names {
     pub const JOBS_INFLIGHT: &str = "serve.jobs_inflight";
     /// Worker threads alive in the pool (gauge).
     pub const WORKERS_ACTIVE: &str = "serve.workers_active";
+    /// Remote workers currently registered with the distributed
+    /// coordinator (gauge; rendered as `cold_dist_workers_alive`).
+    pub const DIST_WORKERS_ALIVE: &str = "dist.workers_alive";
+    /// Trial leases currently outstanding across all jobs (gauge;
+    /// rendered as `cold_dist_leases_active`).
+    pub const DIST_LEASES_ACTIVE: &str = "dist.leases_active";
 }
 
 /// Renders the current registry snapshot as Prometheus exposition text.

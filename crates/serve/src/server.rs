@@ -26,6 +26,7 @@
 //! a restarted server re-scans the cache directory and resumes.
 
 use crate::cache::ResultCache;
+use crate::dist::{self, DistConfig, DistPool};
 use crate::http::{
     read_request, write_sse_frame, write_sse_keepalive, write_stream_head, Request, Response,
 };
@@ -59,6 +60,11 @@ pub struct ServerConfig {
     pub cache_dir: PathBuf,
     /// Optional per-trial wall-clock deadline.
     pub trial_deadline: Option<Duration>,
+    /// When set, the server also runs a distributed coordinator: a
+    /// worker-protocol listener plus a lease/heartbeat pool, and every
+    /// standard-mode campaign is sharded across remote workers (falling
+    /// back to inline execution while none are registered).
+    pub dist: Option<DistConfig>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +76,7 @@ impl Default for ServerConfig {
             queue_capacity: 16,
             cache_dir: PathBuf::from("cold-serve-cache"),
             trial_deadline: None,
+            dist: None,
         }
     }
 }
@@ -79,8 +86,12 @@ struct Shared {
     registry: Mutex<HashMap<String, Arc<JobEntry>>>,
     queue: BoundedQueue<String>,
     cache: ResultCache,
-    shutdown: AtomicBool,
+    /// Behind an `Arc` so the distributed pool can share it as its
+    /// drain flag: one SIGTERM drains HTTP, campaigns, and workers.
+    shutdown: Arc<AtomicBool>,
     trial_deadline: Option<Duration>,
+    /// Present when this server is a distributed coordinator.
+    dist: Option<Arc<DistPool>>,
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -88,6 +99,7 @@ struct Shared {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: SocketAddr,
+    dist_addr: Option<SocketAddr>,
     acceptor: Option<JoinHandle<()>>,
 }
 
@@ -95,6 +107,12 @@ impl ServerHandle {
     /// The bound address (resolves ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The distributed coordinator's worker-protocol address, when
+    /// [`ServerConfig::dist`] was set.
+    pub fn dist_addr(&self) -> Option<SocketAddr> {
+        self.dist_addr
     }
 
     /// True once a drain has been requested (signal, admin route, or
@@ -131,12 +149,23 @@ impl Server {
         // The service is always observable: counters feed `/metrics`.
         cold_obs::set_timers_enabled(true);
 
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (dist_pool, dist_handle) = match &config.dist {
+            Some(dc) => {
+                let (pool, handle) = DistPool::start(dc.clone(), Arc::clone(&shutdown))?;
+                (Some(pool), Some(handle))
+            }
+            None => (None, None),
+        };
+        let dist_addr = dist_handle.as_ref().map(|h| h.addr());
+
         let shared = Arc::new(Shared {
             registry: Mutex::new(HashMap::new()),
             queue: BoundedQueue::new(config.queue_capacity.max(1)),
             cache,
-            shutdown: AtomicBool::new(false),
+            shutdown,
             trial_deadline: config.trial_deadline,
+            dist: dist_pool,
         });
 
         // Resume-on-restart: anything accepted but unfinished by a
@@ -201,6 +230,9 @@ impl Server {
                         Ok((stream, _)) => {
                             let _ = stream.set_nonblocking(false);
                             let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                            // A stalled reader must not wedge a handler
+                            // thread mid-response either.
+                            let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
                             if conn_tx.send(stream).is_err() {
                                 break;
                             }
@@ -222,10 +254,27 @@ impl Server {
                 for w in worker_handles {
                     let _ = w.join();
                 }
+                // The dist protocol stops *after* the synthesis workers:
+                // their draining campaigns must stay reachable for
+                // in-flight result uploads. Then linger until every
+                // registered worker has observed the drain (heartbeats
+                // answer `drain: true`; the goodbye empties the
+                // registry) — stopping the listener first would leave
+                // workers retrying against a dead address until their
+                // own unreachability bound trips. Bounded, so a worker
+                // that was itself killed cannot wedge shutdown.
+                if let (Some(pool), Some(handle)) = (&shared.dist, dist_handle) {
+                    let grace = std::time::Instant::now() + Duration::from_secs(5);
+                    while pool.workers_alive() > 0 && std::time::Instant::now() < grace {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    pool.shutdown();
+                    handle.join();
+                }
             })?
         };
 
-        Ok(ServerHandle { shared, addr, acceptor: Some(acceptor) })
+        Ok(ServerHandle { shared, addr, dist_addr, acceptor: Some(acceptor) })
     }
 }
 
@@ -337,12 +386,21 @@ fn route(shared: &Shared, request: &Request) -> Response {
 
 fn healthz(shared: &Shared) -> Response {
     let registry = shared.registry.lock().expect("registry poisoned");
-    let doc = serde_json::json!({
-        "ok": true,
-        "draining": shared.shutdown.load(Ordering::SeqCst),
-        "queued": shared.queue.len(),
-        "jobs": registry.len(),
-    });
+    let doc = match &shared.dist {
+        Some(pool) => serde_json::json!({
+            "ok": true,
+            "draining": shared.shutdown.load(Ordering::SeqCst),
+            "queued": shared.queue.len(),
+            "jobs": registry.len(),
+            "dist_workers": pool.workers_alive(),
+        }),
+        None => serde_json::json!({
+            "ok": true,
+            "draining": shared.shutdown.load(Ordering::SeqCst),
+            "queued": shared.queue.len(),
+            "jobs": registry.len(),
+        }),
+    };
     Response::json(200, serde_json::to_string(&doc).expect("healthz serializes"))
 }
 
@@ -584,23 +642,44 @@ fn run_job(shared: &Shared, id: &str, entry: &Arc<JobEntry>) {
             if cold_fault::should_fire("serve.worker_panic") {
                 panic!("injected fault: serve.worker_panic");
             }
-            cold::run_campaign_controlled(
-                &entry.spec.config,
-                entry.spec.seed,
-                entry.spec.count,
-                1, // checkpoint every trial: drains lose nothing
-                &ckpt_path,
-                resume,
-                shared.trial_deadline,
-                CampaignControl {
-                    progress: Some(sink),
-                    cancel: Some(&shared.shutdown),
-                    retry_salted: true,
-                },
-                |i, _| {
-                    trial_entry.progress.lock().expect("job progress poisoned").trials_done = i + 1;
-                },
-            )
+            match &shared.dist {
+                // Coordinator mode: shard the campaign's trials across
+                // the worker pool (same seeds, same checkpoint file,
+                // same salted-retry semantics — see the dist module).
+                Some(pool) => dist::run_distributed_campaign(
+                    pool,
+                    id,
+                    &entry.spec.config,
+                    entry.spec.seed,
+                    entry.spec.count,
+                    &ckpt_path,
+                    resume,
+                    Some(sink),
+                    &shared.shutdown,
+                    |i, _| {
+                        trial_entry.progress.lock().expect("job progress poisoned").trials_done =
+                            i + 1;
+                    },
+                ),
+                None => cold::run_campaign_controlled(
+                    &entry.spec.config,
+                    entry.spec.seed,
+                    entry.spec.count,
+                    1, // checkpoint every trial: drains lose nothing
+                    &ckpt_path,
+                    resume,
+                    shared.trial_deadline,
+                    CampaignControl {
+                        progress: Some(sink),
+                        cancel: Some(&shared.shutdown),
+                        retry_salted: true,
+                    },
+                    |i, _| {
+                        trial_entry.progress.lock().expect("job progress poisoned").trials_done =
+                            i + 1;
+                    },
+                ),
+            }
         }));
 
         match outcome {
