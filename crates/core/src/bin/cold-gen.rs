@@ -109,6 +109,7 @@ const USAGE: &str = "cold-gen — generate COLD PoP-level networks
 
 USAGE:
     cold-gen [OPTIONS]
+    cold-gen evolve --plan <PATH> [EVOLVE OPTIONS]   (see `cold-gen evolve --help`)
 
 OPTIONS:
     --n <N>             number of PoPs                     [default: 30]
@@ -181,6 +182,131 @@ EXIT CODES:
     4   a trial exceeded --trial-deadline
     5   a GA run stalled under --stall-gens (outputs still written)
 ";
+
+const EVOLVE_USAGE: &str = "cold-gen evolve — run a network evolution plan
+
+Synthesizes the plan's base config cold, then warm-starts one GA run per
+perturbation (new PoPs, traffic scaling, cost changes) with the previous
+step's design as the seed population, pricing every rewired link with the
+plan's change costs. Writes the full time-sliced topology schedule as one
+JSON document. See DESIGN.md §17 for the plan format.
+
+USAGE:
+    cold-gen evolve --plan <PATH> [OPTIONS]
+
+OPTIONS:
+    --plan <PATH>       evolution plan JSON (required)
+    --out <PATH>        schedule output file
+                        [default: cold_schedule_seed<seed>.json]
+    --journal <PATH>    write a JSONL run journal (evolution_step events
+                        plus the usual per-generation traces)
+    --progress          live per-generation progress lines on stderr
+    --quiet             suppress normal stdout output
+    --help              print this help
+
+EXIT CODES:
+    0   success
+    1   synthesis failure
+    2   flag, plan-parse, or validation error
+";
+
+/// The `cold-gen evolve` subcommand: plan in, schedule out.
+fn evolve_main() -> ! {
+    let mut plan_path: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut progress = false;
+    let mut quiet = false;
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{EVOLVE_USAGE}");
+                panic!("{name} needs a value")
+            })
+        };
+        match flag.as_str() {
+            "--plan" => plan_path = Some(PathBuf::from(value("--plan"))),
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--journal" => journal = Some(PathBuf::from(value("--journal"))),
+            "--progress" => progress = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{EVOLVE_USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag `{other}`\n\n{EVOLVE_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(plan_path) = plan_path else {
+        eprintln!("--plan is required\n\n{EVOLVE_USAGE}");
+        std::process::exit(2);
+    };
+    if journal.is_some() && progress {
+        eprintln!("--journal and --progress are mutually exclusive\n\n{EVOLVE_USAGE}");
+        std::process::exit(2);
+    }
+    let text = std::fs::read_to_string(&plan_path).unwrap_or_else(|e| {
+        eprintln!("--plan {}: {e}", plan_path.display());
+        std::process::exit(2);
+    });
+    let plan = cold::EvolutionPlan::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("--plan {}: {e}", plan_path.display());
+        std::process::exit(2);
+    });
+    if let Some(path) = &journal {
+        cold_obs::configure(cold_obs::TraceMode::Journal(path.clone()))
+            .unwrap_or_else(|e| panic!("--journal {}: {e}", path.display()));
+    } else if progress {
+        cold_obs::configure(cold_obs::TraceMode::Progress).expect("progress sink is infallible");
+    }
+    let _trace = cold_obs::trace::root("cli.evolve", &cold_obs::run_id(plan.seed));
+    let schedule = match cold::run_plan(&plan) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cold-gen evolve: {e}");
+            cold_obs::emit_metrics_snapshot();
+            std::process::exit(1);
+        }
+    };
+    let out =
+        out.unwrap_or_else(|| PathBuf::from(format!("cold_schedule_seed{:016x}.json", plan.seed)));
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out, schedule.to_json()).expect("write schedule file");
+    if !quiet {
+        for s in &schedule.steps {
+            println!(
+                "  step {} ({}): n={} cost {:.1} (+{} / -{} links, {} generations{})",
+                s.step,
+                s.kind,
+                s.n,
+                s.network_cost,
+                s.diff.added.len(),
+                s.diff.removed.len(),
+                s.convergence.generations_run,
+                if s.convergence.warm { ", warm" } else { "" }
+            );
+        }
+        println!(
+            "wrote {} ({} steps, {} links rewired)",
+            out.display(),
+            schedule.steps.len(),
+            schedule.total_rewired()
+        );
+    }
+    cold_obs::emit_metrics_snapshot();
+    if let Some(path) = &journal {
+        if !quiet {
+            println!("journal: {}", path.display());
+        }
+    }
+    std::process::exit(0);
+}
 
 fn parse_args() -> Args {
     let mut args = Args::default();
@@ -427,6 +553,9 @@ fn run_pareto(args: &Args, cfg: &ColdConfig) {
 }
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("evolve") {
+        evolve_main();
+    }
     let args = parse_args();
     if let Some(path) = &args.journal {
         cold_obs::configure(cold_obs::TraceMode::Journal(path.clone()))

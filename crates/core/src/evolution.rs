@@ -18,7 +18,7 @@ use crate::objective::ColdObjective;
 use cold_context::rng::derive_seed;
 use cold_context::{Context, Point};
 use cold_cost::{CostParams, Network};
-use cold_ga::{GaSettings, GeneticAlgorithm, Objective};
+use cold_ga::{GaSettings, GeneticAlgorithm, Objective, ObjectiveSession};
 use cold_graph::AdjacencyMatrix;
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +64,21 @@ impl<'a> EvolutionObjective<'a> {
         );
         Self { inner: ColdObjective::new(ctx, params), legacy, cfg }
     }
+
+    /// The sunk-cost refund of reused legacy links — a pure function of
+    /// the topology, shared by the stateless and session paths so they
+    /// stay bit-identical.
+    fn refund(&self, topology: &AdjacencyMatrix) -> f64 {
+        let params = self.inner.params();
+        let refund_rate = 1.0 - self.cfg.legacy_cost_fraction;
+        let mut refund = 0.0;
+        for (u, v) in self.legacy.edges() {
+            if topology.has_edge(u, v) {
+                refund += refund_rate * (params.k0 + params.k1 * self.distance(u, v));
+            }
+        }
+        refund
+    }
 }
 
 impl Objective for EvolutionObjective<'_> {
@@ -74,17 +89,40 @@ impl Objective for EvolutionObjective<'_> {
         self.inner.distance(u, v)
     }
     fn cost(&self, topology: &AdjacencyMatrix) -> f64 {
-        let base = self.inner.cost(topology);
         // Refund the sunk share of build-out costs on reused legacy links.
-        let params = self.inner.params();
-        let refund_rate = 1.0 - self.cfg.legacy_cost_fraction;
-        let mut refund = 0.0;
-        for (u, v) in self.legacy.edges() {
-            if topology.has_edge(u, v) {
-                refund += refund_rate * (params.k0 + params.k1 * self.distance(u, v));
-            }
-        }
-        base - refund
+        self.inner.cost(topology) - self.refund(topology)
+    }
+
+    fn session(&self) -> Box<dyn ObjectiveSession + '_> {
+        // Delegate to the inner delta session and subtract the refund on
+        // top. Without this override the trait default wraps `cost()` in
+        // a stateless session, so every brown-field evaluation silently
+        // paid for full APSP routing.
+        Box::new(EvolutionSession { inner: self.inner.session(), outer: self })
+    }
+
+    fn k_nearest(&self, k: usize) -> Vec<Vec<usize>> {
+        self.inner.k_nearest(k)
+    }
+}
+
+/// Per-worker session: the inner objective's incremental evaluation minus
+/// the legacy refund, which is cheap (one pass over legacy edges) and
+/// recomputed per call. Bit-identical to [`EvolutionObjective::cost`].
+struct EvolutionSession<'a> {
+    inner: Box<dyn ObjectiveSession + 'a>,
+    outer: &'a EvolutionObjective<'a>,
+}
+
+impl ObjectiveSession for EvolutionSession<'_> {
+    fn cost(&mut self, topology: &AdjacencyMatrix, base: Option<&AdjacencyMatrix>) -> f64 {
+        self.inner.cost(topology, base) - self.outer.refund(topology)
+    }
+    fn delta_evals(&self) -> usize {
+        self.inner.delta_evals()
+    }
+    fn full_evals(&self) -> usize {
+        self.inner.full_evals()
     }
 }
 
@@ -280,6 +318,44 @@ mod tests {
         }
         cold_graph::mst::join_components(&mut naive, grown.distance_fn());
         assert!(obj.cost(&naive) < plain.cost(&naive));
+    }
+
+    #[test]
+    fn brownfield_session_is_bit_identical_and_incremental() {
+        // Regression: `EvolutionObjective` used to inherit the stateless
+        // default session, so brown-field GA runs did full APSP per eval.
+        let (cfg, _, legacy, grown) = quick_setup(8, 2, 8);
+        let mut embedded = AdjacencyMatrix::empty(10);
+        for (u, v) in legacy.edges() {
+            embedded.set_edge(u, v, true);
+        }
+        let obj = EvolutionObjective::new(
+            &grown,
+            cfg.params,
+            embedded.clone(),
+            EvolutionConfig::default(),
+        );
+        let mut session = obj.session();
+        let mut naive = embedded.clone();
+        for v in 8..10 {
+            naive.set_edge(v, 0, true);
+        }
+        cold_graph::mst::join_components(&mut naive, grown.distance_fn());
+        assert_eq!(session.cost(&naive, None), obj.cost(&naive));
+        let mut tweaked = naive.clone();
+        tweaked.set_edge(0, 9, !tweaked.has_edge(0, 9));
+        cold_graph::mst::join_components(&mut tweaked, grown.distance_fn());
+        assert_eq!(session.cost(&tweaked, Some(&naive)), obj.cost(&tweaked));
+        assert!(session.delta_evals() > 0, "second eval must take the delta path");
+        // And a whole GA run actually exercises the incremental path.
+        let settings = GaSettings { seed: 11, generations: 4, ..cfg.ga };
+        let engine = GeneticAlgorithm::try_new(&obj, settings).unwrap();
+        let result = engine.try_run_traced(&[], None).unwrap();
+        assert!(
+            result.eval_stats.delta_evals > 0,
+            "brown-field run performed no delta evals: {:?}",
+            result.eval_stats
+        );
     }
 
     #[test]

@@ -59,6 +59,10 @@
 //! - [`evolution`] — brown-field incremental design: grow the context and
 //!   re-optimize with legacy links as sunk costs (§3's "networks are
 //!   rarely designed from scratch – they evolve").
+//! - [`evolve`] — the evolution subsystem: warm-started synthesis over an
+//!   [`EvolutionPlan`] of context perturbations, with a rewiring
+//!   [`ChangeCosts`] penalty and time-sliced [`TopologySchedule`] output
+//!   (DESIGN.md §17).
 //! - [`export`] — DOT / GraphML / JSON / SVG exporters for simulation
 //!   hand-off and visualization.
 //! - [`failure`] — single-link failure analysis on the synthesized
@@ -75,6 +79,7 @@ pub mod bootstrap;
 pub mod checkpoint;
 pub mod error;
 pub mod evolution;
+pub mod evolve;
 pub mod export;
 pub mod failure;
 pub mod fingerprint;
@@ -95,6 +100,11 @@ pub use checkpoint::{
 };
 pub use cold_ga::StopReason;
 pub use error::ColdError;
+pub use evolve::{
+    change_penalty, embed_parent, run_plan, run_plan_progress, try_synthesize_warm,
+    try_synthesize_warm_in_context, ChangeCosts, ChangePenaltyObjective, EvolutionPlan, PlanStep,
+    RewiringDiff, ScheduleStep, StepConvergence, TopologySchedule, WARM_SALT,
+};
 pub use fingerprint::{canonical_json, fingerprint_hex, job_fingerprint, value_fingerprint};
 pub use objective::ColdObjective;
 pub use pareto::{

@@ -1,0 +1,117 @@
+//! Property-based pins on the change penalty (DESIGN.md §17): the
+//! rewiring price is zero exactly when the chromosome equals its parent,
+//! and monotone in edit distance.
+
+use cold::{change_penalty, ChangeCosts};
+use cold_graph::AdjacencyMatrix;
+use proptest::prelude::*;
+
+/// Fiber length used for all penalty evaluations: distinct per pair and
+/// deterministic, so length-weighted penalties are reproducible.
+fn dist(u: usize, v: usize) -> f64 {
+    1.0 + (u as f64 - v as f64).abs()
+}
+
+/// Parent chromosome plus two disjoint flip masks over its pair bits:
+/// the first yields a child, the second a strictly-more-edited
+/// grandchild. Connectivity is irrelevant — the penalty is a pure
+/// bit-diff, not a network property.
+fn parent_and_flips() -> impl Strategy<Value = (AdjacencyMatrix, Vec<usize>, Vec<usize>)> {
+    (5usize..12).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        (
+            proptest::collection::vec(any::<bool>(), pairs),
+            proptest::collection::vec(any::<bool>(), pairs),
+            proptest::collection::vec(any::<bool>(), pairs),
+        )
+            .prop_map(move |(bits, first, second)| {
+                let mut parent = AdjacencyMatrix::empty(n);
+                for (pair, bit) in bits.into_iter().enumerate() {
+                    parent.set_bit(pair, bit);
+                }
+                let flips: Vec<usize> = (0..pairs).filter(|&p| first[p]).collect();
+                // Disjoint from the first wave, so every extra flip
+                // strictly increases the edit distance.
+                let extra: Vec<usize> = (0..pairs).filter(|&p| second[p] && !first[p]).collect();
+                (parent, flips, extra)
+            })
+    })
+}
+
+fn flipped(parent: &AdjacencyMatrix, flips: &[usize]) -> AdjacencyMatrix {
+    let mut child = parent.clone();
+    for &pair in flips {
+        child.set_bit(pair, !parent.bit(pair));
+    }
+    child
+}
+
+proptest! {
+    /// Zero iff equal: the penalty vanishes on the parent itself for any
+    /// pricing, and is strictly positive on any edited chromosome under
+    /// any non-zero pricing.
+    #[test]
+    fn penalty_is_zero_iff_chromosome_equals_parent(
+        input in parent_and_flips(),
+        add in 0.0f64..10.0,
+        remove in 0.0f64..10.0,
+        weight in 0.0f64..10.0,
+    ) {
+        let (parent, flips, _) = input;
+        let costs = ChangeCosts { add_cost: add, remove_cost: remove, length_weight: weight };
+        prop_assert_eq!(change_penalty(&parent, &parent, &costs, dist), 0.0);
+
+        let child = flipped(&parent, &flips);
+        let penalty = change_penalty(&parent, &child, &costs, dist);
+        if flips.is_empty() || costs.is_zero() {
+            prop_assert_eq!(penalty, 0.0);
+        } else {
+            // dist() >= 1 everywhere, so any single flip under any
+            // non-zero pricing contributes a strictly positive term.
+            prop_assert!(penalty > 0.0, "edited chromosome must be charged, got {}", penalty);
+        }
+    }
+
+    /// Uniform pricing makes the penalty exactly `c ×` Hamming distance,
+    /// which is the strongest form of edit-distance monotonicity.
+    #[test]
+    fn uniform_penalty_equals_cost_times_hamming_distance(
+        input in parent_and_flips(),
+        c in 0.01f64..100.0,
+    ) {
+        let (parent, flips, _) = input;
+        let child = flipped(&parent, &flips);
+        let hamming = parent.hamming_distance(&child).expect("same-size chromosomes");
+        prop_assert_eq!(hamming, flips.len());
+        let penalty = change_penalty(&parent, &child, &ChangeCosts::uniform(c), dist);
+        prop_assert!(
+            (penalty - c * hamming as f64).abs() < 1e-9 * (1.0 + penalty.abs()),
+            "penalty {} != {} x {}", penalty, c, hamming
+        );
+    }
+
+    /// Monotone in edit distance for general (non-uniform, length-
+    /// weighted) pricing: flipping additional, disjoint pairs on top of
+    /// an edited chromosome never lowers the penalty.
+    #[test]
+    fn penalty_is_monotone_in_edit_distance(
+        input in parent_and_flips(),
+        add in 0.0f64..10.0,
+        remove in 0.0f64..10.0,
+        weight in 0.0f64..10.0,
+    ) {
+        let (parent, flips, extra) = input;
+        let costs = ChangeCosts { add_cost: add, remove_cost: remove, length_weight: weight };
+        let child = flipped(&parent, &flips);
+        let near = change_penalty(&parent, &child, &costs, dist);
+
+        let all: Vec<usize> = flips.iter().chain(extra.iter()).copied().collect();
+        let grandchild = flipped(&parent, &all);
+        let far = change_penalty(&parent, &grandchild, &costs, dist);
+
+        prop_assert!(
+            far >= near - 1e-12,
+            "penalty dropped from {} to {} after {} extra edits", near, far, extra.len()
+        );
+    }
+}

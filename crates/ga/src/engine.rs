@@ -4,7 +4,7 @@ use crate::checkpoint::GaCheckpoint;
 use crate::chromosome::{inverse_cost_weights, sort_by_cost, weighted_pick, Individual};
 use crate::crossover::{crossover_child, select_parents};
 use crate::error::GaError;
-use crate::init::initial_population;
+use crate::init::{initial_population, warm_population};
 use crate::mutation::mutate;
 use crate::repair::{repair, RepairStats};
 use crate::settings::GaSettings;
@@ -140,6 +140,17 @@ impl EvalStats {
     }
 }
 
+/// How generation 0 is built (internal to the engine entry points).
+enum InitMode<'a> {
+    /// MST + clique anchors, the provided seed topologies, Erdős–Rényi
+    /// fill — the paper's §4.1 step 1 (and the "initialized GA" when
+    /// seeds are present).
+    Cold(&'a [AdjacencyMatrix]),
+    /// Parent chromosome plus mutation-operator perturbations of it —
+    /// the warm-start path for network evolution (no random init).
+    Warm(&'a AdjacencyMatrix),
+}
+
 /// The COLD genetic algorithm, generic over the [`Objective`].
 #[derive(Debug, Clone)]
 pub struct GeneticAlgorithm<O: Objective> {
@@ -236,6 +247,50 @@ impl<O: Objective> GeneticAlgorithm<O> {
     pub fn run_resumable(
         &self,
         seeds: &[AdjacencyMatrix],
+        observer: Option<&mut dyn GenerationObserver>,
+        checkpoint: Option<CheckpointHook<'_>>,
+        resume: Option<GaCheckpoint>,
+    ) -> Result<GaResult, GaError> {
+        self.run_hooked(InitMode::Cold(seeds), observer, checkpoint, resume)
+    }
+
+    /// Runs the GA *warm-started* from a parent chromosome: generation 0
+    /// is the (repaired) parent plus mutated perturbations of it — see
+    /// [`warm_population`] — instead of the cold MST/clique/ER mix.
+    ///
+    /// With the parent in the population and elitism on, the run never
+    /// ends worse than the parent under this engine's objective. The RNG
+    /// stream is the engine's usual one (seeded from
+    /// `settings.seed`): warm seeding consumes exactly `population - 1`
+    /// mutation draws before the generation loop starts, so a warm run
+    /// is as deterministic — and as resumable — as a cold one.
+    ///
+    /// # Errors
+    /// [`GaError::InvalidSettings`] when the parent's node count does not
+    /// match the objective; otherwise as
+    /// [`run_resumable`](Self::run_resumable).
+    pub fn run_warm(
+        &self,
+        parent: &AdjacencyMatrix,
+        observer: Option<&mut dyn GenerationObserver>,
+        checkpoint: Option<CheckpointHook<'_>>,
+        resume: Option<GaCheckpoint>,
+    ) -> Result<GaResult, GaError> {
+        if parent.n() != self.objective.n() {
+            return Err(GaError::InvalidSettings(format!(
+                "warm-start parent has {} nodes, objective expects {}",
+                parent.n(),
+                self.objective.n()
+            )));
+        }
+        self.run_hooked(InitMode::Warm(parent), observer, checkpoint, resume)
+    }
+
+    /// The shared generational loop behind [`run_resumable`](Self::run_resumable)
+    /// and [`run_warm`](Self::run_warm); `init` only shapes generation 0.
+    fn run_hooked(
+        &self,
+        init: InitMode<'_>,
         mut observer: Option<&mut dyn GenerationObserver>,
         mut checkpoint: Option<CheckpointHook<'_>>,
         resume: Option<GaCheckpoint>,
@@ -294,8 +349,18 @@ impl<O: Objective> GeneticAlgorithm<O> {
                 // Generation 0. Seeding is one-shot, so it gets its own
                 // histogram rather than a per-generation record field.
                 let seed_start = cold_obs::timers_enabled().then(Instant::now);
-                let mut topologies =
-                    initial_population(&self.objective, &self.settings, seeds, &mut rng);
+                let mut topologies = match init {
+                    InitMode::Cold(seeds) => {
+                        initial_population(&self.objective, &self.settings, seeds, &mut rng)
+                    }
+                    InitMode::Warm(parent) => warm_population(
+                        &self.objective,
+                        &self.settings,
+                        parent,
+                        universe.as_deref(),
+                        &mut rng,
+                    ),
+                };
                 // Initial ER fill and seeds are already connected (init
                 // repairs them), but repair defensively so the invariant
                 // is explicit.
@@ -1145,6 +1210,52 @@ mod tests {
         for snap in snaps {
             let restored = GaCheckpoint::from_json(&snap.to_json()).unwrap();
             let resumed = ga.run_resumable(&[], None, None, Some(restored)).unwrap();
+            assert_results_bit_identical(&uninterrupted, &resumed);
+        }
+    }
+
+    #[test]
+    fn warm_run_is_deterministic_and_never_worse_than_parent() {
+        let obj = LineObjective { n: 8, k0: 5.0, k1: 1.0, k3: 2.0 };
+        let parent =
+            AdjacencyMatrix::from_edges(8, &(0..7).map(|i| (i, i + 1)).collect::<Vec<_>>())
+                .unwrap();
+        let parent_cost = obj.cost(&parent);
+        let ga = GeneticAlgorithm::new(&obj, GaSettings::quick(51));
+        let a = ga.run_warm(&parent, None, None, None).unwrap();
+        let b = ga.run_warm(&parent, None, None, None).unwrap();
+        assert_eq!(a.best.topology, b.best.topology);
+        assert_eq!(a.history, b.history);
+        assert!(a.best.cost <= parent_cost + 1e-12, "elitism keeps the parent's quality");
+        // The warm stream is distinct from the cold one with the same seed.
+        let cold = ga.run();
+        assert_ne!(a.history, cold.history, "warm init must change the run");
+    }
+
+    #[test]
+    fn warm_run_rejects_a_mismatched_parent() {
+        let ga = engine(8, 5.0, 1.0, 2.0, 52);
+        let parent = AdjacencyMatrix::empty(5);
+        let err = ga.run_warm(&parent, None, None, None).unwrap_err();
+        assert!(matches!(err, GaError::InvalidSettings(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn warm_checkpoint_resume_is_bit_identical() {
+        let obj = LineObjective { n: 8, k0: 5.0, k1: 1.0, k3: 2.0 };
+        let parent =
+            AdjacencyMatrix::from_edges(8, &(0..7).map(|i| (i, i + 1)).collect::<Vec<_>>())
+                .unwrap();
+        let ga = GeneticAlgorithm::new(&obj, GaSettings::quick(53));
+        let uninterrupted = ga.run_warm(&parent, None, None, None).unwrap();
+        let mut snaps = Vec::new();
+        let mut sink = |c: &GaCheckpoint| snaps.push(c.clone());
+        let hook = CheckpointHook { every: 7, sink: &mut sink };
+        ga.run_warm(&parent, None, Some(hook), None).unwrap();
+        assert!(!snaps.is_empty());
+        for snap in snaps {
+            let restored = GaCheckpoint::from_json(&snap.to_json()).unwrap();
+            let resumed = ga.run_warm(&parent, None, None, Some(restored)).unwrap();
             assert_results_bit_identical(&uninterrupted, &resumed);
         }
     }

@@ -10,6 +10,7 @@
 //! input" path: seeding with the greedy heuristics' outputs makes the GA's
 //! result at least as good as every competitor.
 
+use crate::mutation::mutate;
 use crate::settings::GaSettings;
 use crate::Objective;
 use cold_graph::mst::{join_components, mst_matrix};
@@ -52,6 +53,41 @@ pub fn initial_population<O: Objective>(
         }
         join_components(&mut m, dist);
         pop.push(m);
+    }
+    pop
+}
+
+/// Builds a *warm-started* first generation: the (repaired) parent
+/// chromosome plus perturbations of it produced by the paper's own
+/// mutation operators — no MST/clique anchors and no Erdős–Rényi fill.
+///
+/// This is the seeding path for network evolution (DESIGN.md §17): the
+/// parent is a converged design for a nearby context, so the population
+/// starts in its basin instead of from scratch. The parent itself is
+/// member 0, which with elitism guarantees the run never ends worse than
+/// the parent under the new objective. Perturbations draw from `rng`
+/// only through [`mutate`], so the stream consumed here is exactly
+/// `population - 1` mutation draws — pinned by the determinism tests.
+pub fn warm_population<O: Objective>(
+    objective: &O,
+    settings: &GaSettings,
+    parent: &AdjacencyMatrix,
+    universe: Option<&[usize]>,
+    rng: &mut StdRng,
+) -> Vec<AdjacencyMatrix> {
+    let n = objective.n();
+    assert_eq!(parent.n(), n, "warm-start parent has wrong node count");
+    let dist = |u: usize, v: usize| objective.distance(u, v);
+    let mut anchor = parent.clone();
+    join_components(&mut anchor, dist);
+    let size = settings.population.max(2);
+    let mut pop = Vec::with_capacity(size);
+    pop.push(anchor.clone());
+    while pop.len() < size {
+        let mut child = anchor.clone();
+        mutate(&mut child, objective, settings, universe, rng);
+        join_components(&mut child, dist);
+        pop.push(child);
     }
     pop
 }
@@ -118,5 +154,52 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let seed = AdjacencyMatrix::empty(3);
         initial_population(&obj(6), &settings, &[seed], &mut rng);
+    }
+
+    #[test]
+    fn warm_population_is_parent_plus_connected_perturbations() {
+        let settings = GaSettings::quick(8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let parent =
+            AdjacencyMatrix::from_edges(8, &(0..7).map(|i| (i, i + 1)).collect::<Vec<_>>())
+                .unwrap();
+        let pop = warm_population(&obj(8), &settings, &parent, None, &mut rng);
+        assert_eq!(pop.len(), settings.population);
+        assert_eq!(pop[0], parent, "member 0 is the parent itself");
+        let mut perturbed = 0;
+        for (i, m) in pop.iter().enumerate() {
+            assert!(matrix_is_connected(m), "member {i} disconnected");
+            if *m != parent {
+                perturbed += 1;
+            }
+        }
+        assert!(perturbed > 0, "perturbations must actually move off the parent");
+        // No random anchors: neither the clique nor a fresh ER draw — every
+        // member derives from the parent by mutation, so Hamming distance
+        // to the parent stays far below the clique's.
+        assert!(pop.iter().all(|m| m.edge_count() < 28), "clique anchor must not appear");
+    }
+
+    #[test]
+    fn warm_population_repairs_a_disconnected_parent() {
+        let settings = GaSettings::quick(9);
+        let mut rng = StdRng::seed_from_u64(6);
+        let parent = AdjacencyMatrix::from_edges(6, &[(0, 1), (3, 4)]).unwrap();
+        let pop = warm_population(&obj(6), &settings, &parent, None, &mut rng);
+        assert!(matrix_is_connected(&pop[0]), "parent must be repaired");
+        assert!(pop[0].has_edge(0, 1) && pop[0].has_edge(3, 4), "parent edges preserved");
+    }
+
+    #[test]
+    fn warm_population_is_deterministic_and_seed_sensitive() {
+        let settings = GaSettings::quick(10);
+        let parent =
+            AdjacencyMatrix::from_edges(7, &(0..6).map(|i| (i, i + 1)).collect::<Vec<_>>())
+                .unwrap();
+        let a = warm_population(&obj(7), &settings, &parent, None, &mut StdRng::seed_from_u64(11));
+        let b = warm_population(&obj(7), &settings, &parent, None, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b, "same RNG stream must reproduce the population exactly");
+        let c = warm_population(&obj(7), &settings, &parent, None, &mut StdRng::seed_from_u64(12));
+        assert_ne!(a, c, "a different RNG stream must perturb differently");
     }
 }

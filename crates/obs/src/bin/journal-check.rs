@@ -123,11 +123,21 @@ fn main() {
     // migration (or the trial's lost-trial record).
     let mut known_workers: std::collections::HashSet<String> = std::collections::HashSet::new();
     let mut known_leases: std::collections::HashSet<String> = std::collections::HashSet::new();
+    // Warm-start causality: a `warm_start` parent must be an id the
+    // journal has already introduced (a run, a job, or an earlier
+    // warm-started id) — a child claiming an unseen parent is lying about
+    // its provenance.
+    let mut known_ids: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut evolution_steps = 0usize;
+    let mut warm_starts = 0usize;
     let mut orphaning_losses: Vec<(usize, String)> = Vec::new();
     let mut recovery_indices: Vec<usize> = Vec::new();
     for (idx, event) in events.iter().enumerate() {
         match event {
-            Event::RunStart(_) => runs += 1,
+            Event::RunStart(r) => {
+                runs += 1;
+                known_ids.insert(r.run.clone());
+            }
             Event::Generation(g) => {
                 generations += 1;
                 if !g.record.best.is_finite() || g.record.best > g.record.mean + 1e-12 {
@@ -226,8 +236,11 @@ fn main() {
                 if j.id.len() != 16 || !j.id.bytes().all(|b| b.is_ascii_hexdigit()) {
                     failures.push(format!("job {}: id is not a 16-hex-digit fingerprint", j.id));
                 }
+                known_ids.insert(j.id.clone());
             }
-            Event::JobStarted(_) => {}
+            Event::JobStarted(j) => {
+                known_ids.insert(j.id.clone());
+            }
             Event::JobDone(j) => {
                 if !j.seconds.is_finite() || j.seconds < 0.0 {
                     failures.push(format!(
@@ -250,6 +263,7 @@ fn main() {
                         c.id, c.kind
                     ));
                 }
+                known_ids.insert(c.id.clone());
             }
             Event::WorkerJoined(w) => {
                 workers_joined += 1;
@@ -294,6 +308,40 @@ fn main() {
                 // missed its heartbeat window, was evicted, and
                 // re-registered may reacquire its own trial.
             }
+            Event::EvolutionStep(s) => {
+                evolution_steps += 1;
+                if !matches!(s.kind.as_str(), "base" | "add_pop" | "scale_traffic" | "cost_change")
+                {
+                    failures.push(format!(
+                        "evolution_step {} step {}: unknown perturbation kind `{}`",
+                        s.run, s.step, s.kind
+                    ));
+                }
+                if !s.best_cost.is_finite() {
+                    failures.push(format!(
+                        "evolution_step {} step {}: best cost {} is not finite",
+                        s.run, s.step, s.best_cost
+                    ));
+                }
+                if s.n == 0 {
+                    failures
+                        .push(format!("evolution_step {} step {}: empty context", s.run, s.step));
+                }
+                known_ids.insert(s.run.clone());
+            }
+            Event::WarmStart(w) => {
+                warm_starts += 1;
+                if w.seeds == 0 {
+                    failures.push(format!("warm_start {}: seeded zero population members", w.id));
+                }
+                if !known_ids.contains(&w.parent) {
+                    failures.push(format!(
+                        "warm_start {}: parent `{}` does not appear earlier in the journal",
+                        w.id, w.parent
+                    ));
+                }
+                known_ids.insert(w.id.clone());
+            }
             Event::Span(_) | Event::SpanStart(_) | Event::Metrics(_) => {}
         }
     }
@@ -331,7 +379,8 @@ fn main() {
          {checkpoints} checkpoints, {trial_failures} trial failures, {deadline_exceeded} \
          deadline overruns, {stalls} stalls, {faults} injected faults, {jobs} jobs, \
          {job_failures} job failures, {cache_hits} cache hits, {workers_joined} workers \
-         joined, {workers_lost} workers lost, {leases} leases, {migrations} migrations)",
+         joined, {workers_lost} workers lost, {leases} leases, {migrations} migrations, \
+         {evolution_steps} evolution steps, {warm_starts} warm starts)",
         events.len()
     );
 }

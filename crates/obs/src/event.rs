@@ -320,6 +320,43 @@ pub struct TrialMigrated {
     pub resumed_generation: usize,
 }
 
+/// One step of an evolution plan completed (base synthesis or a
+/// warm-started re-optimization after a context perturbation). Emitted by
+/// the core evolution driver; `run` ties the step to the plan's master
+/// seed so a journal can be sliced per plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolutionStep {
+    /// Plan identifier (the plan's master seed, as 16 lowercase hex).
+    pub run: String,
+    /// Zero-based step index (0 = the cold base synthesis).
+    pub step: usize,
+    /// Perturbation kind: `"base"`, `"add_pop"`, `"scale_traffic"` or
+    /// `"cost_change"`.
+    pub kind: String,
+    /// PoP count after the perturbation.
+    pub n: usize,
+    /// Best objective value the step converged to (includes the change
+    /// penalty on warm steps).
+    pub best_cost: f64,
+    /// GA generations the step actually ran.
+    pub generations: usize,
+}
+
+/// A synthesis was warm-started from a parent design instead of cold
+/// init. Emitted by `cold-serve` when a `"mode":"evolve"` job seeds its
+/// population from the parent job's cached result; `parent` must resolve
+/// against an id seen earlier in the journal (enforced by
+/// `journal-check`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    /// Content-addressed id of the warm-started job (or run).
+    pub id: String,
+    /// Id/fingerprint of the parent whose design seeded the population.
+    pub parent: String,
+    /// Population members derived from the parent chromosome.
+    pub seeds: usize,
+}
+
 /// Any line of a run journal.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -363,6 +400,10 @@ pub enum Event {
     TrialLeased(TrialLeased),
     /// `{"event":"trial_migrated",...}`
     TrialMigrated(TrialMigrated),
+    /// `{"event":"evolution_step",...}`
+    EvolutionStep(EvolutionStep),
+    /// `{"event":"warm_start",...}`
+    WarmStart(WarmStart),
 }
 
 /// Formats a run seed as the journal's 16-hex-digit run identifier.
@@ -394,6 +435,8 @@ impl Event {
             Event::WorkerLost(_) => "worker_lost",
             Event::TrialLeased(_) => "trial_leased",
             Event::TrialMigrated(_) => "trial_migrated",
+            Event::EvolutionStep(_) => "evolution_step",
+            Event::WarmStart(_) => "warm_start",
         }
     }
 
@@ -568,6 +611,21 @@ impl Event {
                 "from_worker": e.from_worker,
                 "to_worker": e.to_worker,
                 "resumed_generation": e.resumed_generation,
+            }),
+            Event::EvolutionStep(e) => json!({
+                "event": "evolution_step",
+                "run": e.run,
+                "step": e.step,
+                "kind": e.kind,
+                "n": e.n,
+                "best_cost": e.best_cost,
+                "generations": e.generations,
+            }),
+            Event::WarmStart(e) => json!({
+                "event": "warm_start",
+                "id": e.id,
+                "parent": e.parent,
+                "seeds": e.seeds,
             }),
         }
     }
@@ -748,6 +806,19 @@ impl Event {
                 from_worker: str_field(obj, "from_worker")?,
                 to_worker: str_field(obj, "to_worker")?,
                 resumed_generation: usize_field(obj, "resumed_generation")?,
+            })),
+            "evolution_step" => Ok(Event::EvolutionStep(EvolutionStep {
+                run: str_field(obj, "run")?,
+                step: usize_field(obj, "step")?,
+                kind: str_field(obj, "kind")?,
+                n: usize_field(obj, "n")?,
+                best_cost: f64_field(obj, "best_cost")?,
+                generations: usize_field(obj, "generations")?,
+            })),
+            "warm_start" => Ok(Event::WarmStart(WarmStart {
+                id: str_field(obj, "id")?,
+                parent: str_field(obj, "parent")?,
+                seeds: usize_field(obj, "seeds")?,
             })),
             other => Err(format!("unknown event kind `{other}`")),
         }
@@ -943,6 +1014,19 @@ mod tests {
                 from_worker: "worker-a".into(),
                 to_worker: "worker-b".into(),
                 resumed_generation: 12,
+            }),
+            Event::EvolutionStep(EvolutionStep {
+                run: run_id(0xC01D),
+                step: 2,
+                kind: "add_pop".into(),
+                n: 14,
+                best_cost: 987.5,
+                generations: 18,
+            }),
+            Event::WarmStart(WarmStart {
+                id: "00c0ffee00c0ffee".into(),
+                parent: "00decade00decade".into(),
+                seeds: 40,
             }),
         ]
     }

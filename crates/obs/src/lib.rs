@@ -45,10 +45,11 @@ pub mod registry;
 pub mod trace;
 
 pub use event::{
-    parse_journal, parse_journal_traced, run_id, CacheHit, CheckpointEvent, Event, FaultInjected,
-    GaStalled, GenerationEvent, GenerationObserver, GenerationRecord, JobDone, JobFailed,
-    JobStarted, JobSubmitted, MetricsEvent, RunEnd, RunStart, SpanEvent, SpanStartEvent,
-    TrialDeadlineExceeded, TrialFailed, TrialLeased, TrialMigrated, WorkerJoined, WorkerLost,
+    parse_journal, parse_journal_traced, run_id, CacheHit, CheckpointEvent, Event, EvolutionStep,
+    FaultInjected, GaStalled, GenerationEvent, GenerationObserver, GenerationRecord, JobDone,
+    JobFailed, JobStarted, JobSubmitted, MetricsEvent, RunEnd, RunStart, SpanEvent, SpanStartEvent,
+    TrialDeadlineExceeded, TrialFailed, TrialLeased, TrialMigrated, WarmStart, WorkerJoined,
+    WorkerLost,
 };
 pub use registry::{
     counter_add, gauge_add, gauge_set, gauge_set_f64, observe_seconds, reset, set_timers_enabled,
@@ -308,6 +309,13 @@ fn progress_line(event: &Event) -> String {
             "[cold] job {} trial {} migrated {} -> {} (resumes at generation {})",
             e.id, e.trial, e.from_worker, e.to_worker, e.resumed_generation
         ),
+        Event::EvolutionStep(e) => format!(
+            "[cold] evolution {} step {} ({}): n={} best {:.2} in {} generations",
+            e.run, e.step, e.kind, e.n, e.best_cost, e.generations
+        ),
+        Event::WarmStart(e) => {
+            format!("[cold] job {} warm-started from {} ({} seeds)", e.id, e.parent, e.seeds)
+        }
         Event::Metrics(e) => {
             let mut out = String::from("[cold] metrics:");
             for (name, m) in &e.metrics {

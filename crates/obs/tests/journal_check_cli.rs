@@ -3,7 +3,10 @@
 //! orphaned leases recover later) must pass valid journals and fail
 //! corrupted ones with a pointed message.
 
-use cold_obs::{Event, TrialLeased, TrialMigrated, WorkerJoined, WorkerLost};
+use cold_obs::{
+    Event, EvolutionStep, JobSubmitted, TrialLeased, TrialMigrated, WarmStart, WorkerJoined,
+    WorkerLost,
+};
 use std::path::PathBuf;
 use std::process::Output;
 
@@ -146,6 +149,101 @@ fn orphaning_loss_without_recovery_fails() {
     assert!(!out.status.success(), "orphaned leases with no recovery must fail");
     assert!(
         String::from_utf8_lossy(&out.stderr).contains("orphaned leases"),
+        "unexpected stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+fn submitted(id: &str) -> Event {
+    Event::JobSubmitted(JobSubmitted { id: id.into(), n: 12, count: 1, seed: 7 })
+}
+
+fn warm(id: &str, parent: &str) -> Event {
+    Event::WarmStart(WarmStart { id: id.into(), parent: parent.into(), seeds: 40 })
+}
+
+#[test]
+fn warm_start_with_seen_parent_passes() {
+    let path = write_journal(
+        "warmok",
+        &[
+            submitted("aaaaaaaaaaaaaaaa"),
+            submitted("bbbbbbbbbbbbbbbb"),
+            warm("bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa"),
+        ],
+    );
+    let out = check(&path, &[]);
+    assert!(
+        out.status.success(),
+        "valid warm start rejected: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 warm starts"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn warm_start_with_unseen_parent_fails() {
+    let path = write_journal(
+        "warmghost",
+        &[submitted("bbbbbbbbbbbbbbbb"), warm("bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa")],
+    );
+    let out = check(&path, &[]);
+    assert!(!out.status.success(), "unseen warm-start parent must fail validation");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("does not appear earlier"),
+        "unexpected stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn warm_start_chains_through_evolution_steps() {
+    // An evolution_step introduces its run id, so a later warm_start may
+    // chain from it; a second warm_start may chain from the first's id.
+    let path = write_journal(
+        "warmchain",
+        &[
+            Event::EvolutionStep(EvolutionStep {
+                run: "cccccccccccccccc".into(),
+                step: 0,
+                kind: "base".into(),
+                n: 12,
+                best_cost: 100.0,
+                generations: 40,
+            }),
+            warm("dddddddddddddddd", "cccccccccccccccc"),
+            warm("eeeeeeeeeeeeeeee", "dddddddddddddddd"),
+        ],
+    );
+    let out = check(&path, &[]);
+    assert!(
+        out.status.success(),
+        "warm-start chain rejected: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn evolution_step_with_unknown_kind_fails() {
+    let path = write_journal(
+        "badstep",
+        &[Event::EvolutionStep(EvolutionStep {
+            run: "cccccccccccccccc".into(),
+            step: 1,
+            kind: "teleport_pop".into(),
+            n: 12,
+            best_cost: 100.0,
+            generations: 40,
+        })],
+    );
+    let out = check(&path, &[]);
+    assert!(!out.status.success(), "unknown perturbation kind must fail validation");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown perturbation kind"),
         "unexpected stderr: {}",
         String::from_utf8_lossy(&out.stderr)
     );

@@ -37,6 +37,12 @@ OPTIONS:
     --seed <BASE>        base seed; job i uses BASE + (i mod K) (default 0)
     --rps <R>            target submissions/second across clients (default unpaced)
     --poll-ms <MS>       status poll interval (default 25)
+    --evolve-chain <K>   instead of the closed-loop workload, run a chain
+                         of K parent→child evolve jobs: one standard
+                         parent, then K warm-started evolve children each
+                         chained on the previous job's id, with a cold
+                         control job per step — reports warm-vs-cold
+                         end-to-end latency percentiles
     --json               emit the report as one JSON object instead of text
     -h, --help           show this help
 ";
@@ -52,6 +58,7 @@ struct Opts {
     seed: u64,
     rps: Option<f64>,
     poll_ms: u64,
+    evolve_chain: Option<usize>,
     json: bool,
 }
 
@@ -82,6 +89,10 @@ fn retry_jitter(submission: usize, attempt: usize) -> f64 {
 
 fn main() {
     let opts = parse_args();
+    if let Some(k) = opts.evolve_chain {
+        run_evolve_chain(&opts, k);
+        return;
+    }
     let bodies: Vec<String> = (0..opts.distinct)
         .map(|k| {
             let config = ColdConfig::quick(opts.n, 4e-4, 10.0);
@@ -124,6 +135,129 @@ fn main() {
     }
     if tally.failed > 0 {
         std::process::exit(1);
+    }
+}
+
+fn chain_fail(msg: String) -> ! {
+    eprintln!("cold-loadgen: {msg}");
+    std::process::exit(1)
+}
+
+/// Submits one job body and polls it to completion. Returns the job id
+/// and the end-to-end latency in seconds.
+fn submit_and_wait(opts: &Opts, body: &str) -> Result<(String, f64), String> {
+    let start = Instant::now();
+    let resp =
+        client_request(&opts.addr, "POST", "/jobs", Some(body)).map_err(|e| e.to_string())?;
+    if resp.status >= 400 {
+        return Err(format!("submit: HTTP {}: {}", resp.status, resp.body));
+    }
+    let doc: Value = serde_json::from_str(&resp.body).map_err(|e| e.to_string())?;
+    let id = doc["id"].as_str().ok_or("no id in submit response")?.to_string();
+    loop {
+        let resp = client_request(&opts.addr, "GET", &format!("/jobs/{id}"), None)
+            .map_err(|e| e.to_string())?;
+        let doc: Value = serde_json::from_str(&resp.body).unwrap_or(Value::Null);
+        match doc["status"].as_str() {
+            Some("done") => return Ok((id, start.elapsed().as_secs_f64())),
+            Some("failed") => {
+                return Err(format!(
+                    "job {id} failed: {}",
+                    doc["error"].as_str().unwrap_or("unknown")
+                ))
+            }
+            _ => std::thread::sleep(Duration::from_millis(opts.poll_ms)),
+        }
+    }
+}
+
+/// The `--evolve-chain` workload: one standard parent job, then `k`
+/// evolve children each chained on the previous link's job id, with a
+/// cold control job (same config and seed, standard mode) per step.
+/// Reports warm-vs-cold end-to-end latency percentiles; exits 1 when any
+/// job fails or any child fell back to a cold start.
+fn run_evolve_chain(opts: &Opts, k: usize) {
+    let config = ColdConfig::quick(opts.n, 4e-4, 10.0);
+    let body = |extra: Option<(&str, u64)>| -> String {
+        let mut doc = serde_json::json!({
+            "config": config.to_json_value(),
+            "seed": extra.map_or(opts.seed, |(_, s)| s),
+            "count": 1,
+        });
+        if let (Some((parent, _)), Value::Object(map)) = (extra, &mut doc) {
+            map.insert("mode".into(), Value::String("evolve".into()));
+            map.insert("parent".into(), Value::String(parent.into()));
+            map.insert(
+                "change_costs".into(),
+                serde_json::json!({"add_cost": 1.0, "remove_cost": 1.0, "length_weight": 0.0}),
+            );
+        }
+        serde_json::to_string(&doc).expect("job body serializes")
+    };
+
+    // The chain root: a standard single-trial job.
+    let (mut parent, root_secs) =
+        submit_and_wait(opts, &body(None)).unwrap_or_else(|e| chain_fail(e));
+
+    let mut warm_lat = Vec::new();
+    let mut cold_lat = Vec::new();
+    let mut warm_started = 0usize;
+    for i in 1..=k {
+        let seed = opts.seed + i as u64;
+        // Cold control first: same synthesis work, no warm seed, distinct
+        // id (mode differs), so the server really runs both.
+        let cold_body = serde_json::to_string(&serde_json::json!({
+            "config": config.to_json_value(), "seed": seed, "count": 1,
+        }))
+        .expect("job body serializes");
+        let (_, cold_secs) = submit_and_wait(opts, &cold_body).unwrap_or_else(|e| chain_fail(e));
+        cold_lat.push(cold_secs);
+
+        let (id, warm_secs) =
+            submit_and_wait(opts, &body(Some((&parent, seed)))).unwrap_or_else(|e| chain_fail(e));
+        warm_lat.push(warm_secs);
+        // The result document records whether the warm seed was used.
+        let resp = client_request(&opts.addr, "GET", &format!("/jobs/{id}/result"), None)
+            .unwrap_or_else(|e| chain_fail(e.to_string()));
+        let doc: Value = serde_json::from_str(&resp.body).unwrap_or(Value::Null);
+        if doc["warm"].as_bool() == Some(true) {
+            warm_started += 1;
+        }
+        parent = id;
+    }
+
+    if opts.json {
+        let report = serde_json::json!({
+            "tool": "cold-loadgen",
+            "workload": "evolve-chain",
+            "chain_length": k,
+            "root_seconds": root_secs,
+            "warm_started": warm_started,
+            "warm_e2e_latency": latency_value(&warm_lat),
+            "cold_e2e_latency": latency_value(&cold_lat),
+        });
+        println!("{}", serde_json::to_string(&report).expect("report serializes"));
+    } else {
+        println!(
+            "cold-loadgen: evolve chain of {k} (root {root_secs:.3}s, \
+             {warm_started}/{k} warm-started)"
+        );
+        for (name, lat) in [("warm", &warm_lat), ("cold", &cold_lat)] {
+            let mut sorted = lat.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            let mean = sorted.iter().sum::<f64>() / sorted.len().max(1) as f64;
+            println!(
+                "  {name} e2e latency: mean {:.4}s p50 {:.4}s p90 {:.4}s p99 {:.4}s max {:.4}s",
+                mean,
+                percentile(&sorted, 50.0),
+                percentile(&sorted, 90.0),
+                percentile(&sorted, 99.0),
+                sorted.last().copied().unwrap_or(0.0),
+            );
+        }
+    }
+    if warm_started < k {
+        chain_fail(format!("{} of {k} evolve children fell back to cold starts", k - warm_started));
     }
 }
 
@@ -329,6 +463,7 @@ fn parse_args() -> Opts {
         seed: 0,
         rps: None,
         poll_ms: 25,
+        evolve_chain: None,
         json: false,
     };
     let mut args = std::env::args().skip(1);
@@ -369,6 +504,12 @@ fn parse_args() -> Opts {
             }
             "--poll-ms" => {
                 opts.poll_ms = parse_or_usage("--poll-ms", value(&mut args, "--poll-ms"))
+            }
+            "--evolve-chain" => {
+                opts.evolve_chain = Some(
+                    (parse_or_usage("--evolve-chain", value(&mut args, "--evolve-chain")) as usize)
+                        .max(1),
+                );
             }
             "--json" => opts.json = true,
             "--help" | "-h" => {

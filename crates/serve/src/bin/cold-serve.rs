@@ -45,6 +45,10 @@ OPTIONS:
     --http-threads <N>      HTTP handler threads (default 4)
     --queue <N>             job queue capacity; full queue answers 503 (default 16)
     --cache-dir <PATH>      content-addressed result cache (default cold-serve-cache)
+    --cache-max-bytes <N>   bound the cache: after each result write, evict
+                            completed job directories LRU-first until the
+                            cache fits (parents of in-flight evolve jobs
+                            are never evicted; default unbounded)
     --deadline <SECS>       per-trial wall-clock deadline (default none)
     --journal <PATH>        append a JSONL event journal (job + synthesis events)
     --faults <SPEC>         arm deterministic fault injection (COLD_FAULTS syntax)
@@ -124,6 +128,13 @@ fn main() {
                 });
             }
             "--cache-dir" => config.cache_dir = PathBuf::from(value(&mut args, "--cache-dir")),
+            "--cache-max-bytes" => {
+                config.cache_max_bytes =
+                    Some(value(&mut args, "--cache-max-bytes").parse().unwrap_or_else(|_| {
+                        eprintln!("--cache-max-bytes: integer expected\n\n{USAGE}");
+                        std::process::exit(2);
+                    }));
+            }
             "--deadline" => {
                 let secs: f64 = value(&mut args, "--deadline").parse().unwrap_or_else(|_| {
                     eprintln!("--deadline: seconds expected\n\n{USAGE}");

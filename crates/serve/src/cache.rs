@@ -13,11 +13,25 @@
 //! *is* the done-ness predicate: a job directory with `job.json` but no
 //! `result.json` is unfinished work that a restarted server re-enqueues
 //! and resumes from `ckpt.json`.
+//!
+//! ## Bounded caches
+//!
+//! With `--cache-max-bytes` set, [`ResultCache::evict_lru`] trims the
+//! cache back under the bound after every result write by deleting whole
+//! *completed* job directories, least-recently-used first. Recency is the
+//! mtime of a `last_used` marker file the server refreshes via
+//! [`ResultCache::touch`] on every cache hit and result write — an
+//! explicit atime, immune to `noatime` mounts. Unfinished jobs and
+//! explicitly protected ids (the parents of queued or running evolve
+//! jobs, which still need their result as a warm-start seed) are never
+//! eviction candidates.
 
 use crate::job::JobSpec;
+use std::collections::HashSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::SystemTime;
 
 /// A handle on the on-disk cache directory.
 #[derive(Debug, Clone)]
@@ -100,6 +114,86 @@ impl ResultCache {
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
+
+    /// Refreshes the LRU marker of job `id` (a hit or a result write).
+    /// A no-op on errors or for unknown ids — recency tracking must
+    /// never turn a read path into a failure.
+    pub fn touch(&self, id: &str) {
+        let dir = self.job_dir(id);
+        if dir.is_dir() {
+            let _ = fs::write(dir.join("last_used"), b"");
+        }
+    }
+
+    /// Total bytes stored across every job directory.
+    pub fn total_bytes(&self) -> u64 {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        entries.flatten().map(|e| dir_size(&e.path())).sum()
+    }
+
+    /// Evicts least-recently-used completed job directories until the
+    /// cache fits in `max_bytes`. Ids in `protected` and unfinished jobs
+    /// (no `result.json`) are never removed. Returns the evicted ids,
+    /// oldest first.
+    pub fn evict_lru(&self, max_bytes: u64, protected: &HashSet<String>) -> Vec<String> {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut total = 0u64;
+        // (last used, id, path, bytes) per evictable directory.
+        let mut candidates: Vec<(SystemTime, String, PathBuf, u64)> = Vec::new();
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            if !dir.is_dir() {
+                continue;
+            }
+            let bytes = dir_size(&dir);
+            total += bytes;
+            let Some(id) = dir.file_name().and_then(|n| n.to_str()).map(str::to_string) else {
+                continue;
+            };
+            if protected.contains(&id) || !dir.join("result.json").exists() {
+                continue;
+            }
+            let used = ["last_used", "result.json"]
+                .iter()
+                .find_map(|f| fs::metadata(dir.join(f)).and_then(|m| m.modified()).ok())
+                .unwrap_or(SystemTime::UNIX_EPOCH);
+            candidates.push((used, id, dir, bytes));
+        }
+        candidates.sort();
+        let mut evicted = Vec::new();
+        let mut next = candidates.into_iter();
+        while total > max_bytes {
+            let Some((_, id, dir, bytes)) = next.next() else {
+                break; // everything left is unfinished or protected
+            };
+            if fs::remove_dir_all(&dir).is_ok() {
+                total = total.saturating_sub(bytes);
+                evicted.push(id);
+            }
+        }
+        evicted
+    }
+}
+
+/// Recursive byte size of a directory tree (files only).
+fn dir_size(path: &Path) -> u64 {
+    let Ok(meta) = fs::symlink_metadata(path) else {
+        return 0;
+    };
+    if meta.is_file() {
+        return meta.len();
+    }
+    if !meta.is_dir() {
+        return 0;
+    }
+    let Ok(entries) = fs::read_dir(path) else {
+        return 0;
+    };
+    entries.flatten().map(|e| dir_size(&e.path())).sum()
 }
 
 /// Write-then-rename so readers never observe a half-written document.
@@ -130,6 +224,8 @@ mod tests {
             seed: 1,
             count: 1,
             mode: Default::default(),
+            parent: None,
+            change: Default::default(),
         };
         let id = spec.id();
 
@@ -144,6 +240,50 @@ mod tests {
     }
 
     #[test]
+    fn lru_eviction_respects_recency_protection_and_doneness() {
+        let dir = temp_dir("evict");
+        let cache = ResultCache::open(&dir).unwrap();
+        let body = "x".repeat(1000);
+        // Four completed jobs, touched oldest-to-newest, plus one
+        // unfinished job (spec only).
+        for id in ["aaaaaaaaaaaaaaa1", "aaaaaaaaaaaaaaa2", "aaaaaaaaaaaaaaa3", "aaaaaaaaaaaaaaa4"] {
+            cache.store_result(id, &body).unwrap();
+            cache.touch(id);
+            std::thread::sleep(std::time::Duration::from_millis(15));
+        }
+        fs::create_dir_all(cache.job_dir("bbbbbbbbbbbbbbbb")).unwrap();
+        fs::write(cache.job_dir("bbbbbbbbbbbbbbbb").join("job.json"), &body).unwrap();
+        let total = cache.total_bytes();
+        assert!(total >= 5000, "five ~1k jobs on disk, got {total}");
+
+        // Protect the oldest (an in-flight warm-start parent): the next
+        // oldest unprotected completed jobs go instead.
+        let protected: HashSet<String> = ["aaaaaaaaaaaaaaa1".to_string()].into_iter().collect();
+        let evicted = cache.evict_lru(total - 2000, &protected);
+        assert_eq!(evicted, vec!["aaaaaaaaaaaaaaa2".to_string(), "aaaaaaaaaaaaaaa3".to_string()]);
+        assert!(cache.lookup("aaaaaaaaaaaaaaa1").is_some(), "protected id survives");
+        assert!(cache.lookup("aaaaaaaaaaaaaaa4").is_some(), "newest id survives");
+        assert!(cache.lookup("aaaaaaaaaaaaaaa2").is_none());
+        assert!(
+            cache.job_dir("bbbbbbbbbbbbbbbb").join("job.json").exists(),
+            "unfinished jobs are never evicted"
+        );
+
+        // A touch moves a job to the back of the eviction order.
+        cache.touch("aaaaaaaaaaaaaaa1");
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        let evicted = cache.evict_lru(0, &HashSet::new());
+        assert_eq!(
+            evicted.last().map(String::as_str),
+            Some("aaaaaaaaaaaaaaa1"),
+            "freshly touched job is evicted last: {evicted:?}"
+        );
+        // Even at max_bytes = 0 the unfinished job stays.
+        assert!(cache.job_dir("bbbbbbbbbbbbbbbb").join("job.json").exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn scan_ignores_mismatched_and_malformed_directories() {
         let dir = temp_dir("strays");
         let cache = ResultCache::open(&dir).unwrap();
@@ -152,6 +292,8 @@ mod tests {
             seed: 2,
             count: 1,
             mode: Default::default(),
+            parent: None,
+            change: Default::default(),
         };
         // A spec stored under the wrong id must not be resurrected.
         cache.store_spec("0000000000000000", &spec).unwrap();

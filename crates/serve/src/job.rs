@@ -7,13 +7,13 @@
 //! no matter how their JSON was spelled, which is what makes the result
 //! cache and in-flight deduplication correct by construction.
 
-use cold::ColdConfig;
+use cold::{ChangeCosts, ColdConfig};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::sync::Mutex;
 
-/// What a job computes: a scalar ensemble (the default) or one
-/// multi-objective Pareto front.
+/// What a job computes: a scalar ensemble (the default), one
+/// multi-objective Pareto front, or a warm-started evolution step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JobMode {
     /// The standard scalar-GA ensemble campaign.
@@ -21,6 +21,11 @@ pub enum JobMode {
     Standard,
     /// One NSGA-II run; the whole Pareto front lands in `result.json`.
     Pareto,
+    /// One warm-started synthesis seeded from a parent job's cached
+    /// design, pricing rewired links with [`ChangeCosts`]. The parent
+    /// job id is part of the fingerprint, so a chain of evolve jobs is
+    /// content-addressed end to end.
+    Evolve,
 }
 
 impl JobMode {
@@ -29,6 +34,7 @@ impl JobMode {
         match self {
             JobMode::Standard => "standard",
             JobMode::Pareto => "pareto",
+            JobMode::Evolve => "evolve",
         }
     }
 }
@@ -42,8 +48,15 @@ pub struct JobSpec {
     pub seed: u64,
     /// Number of ensemble trials.
     pub count: usize,
-    /// Scalar ensemble or Pareto front.
+    /// Scalar ensemble, Pareto front, or evolution step.
     pub mode: JobMode,
+    /// Evolve mode only: the parent job's fingerprint (the 16-hex wire
+    /// form parsed to its `u64`). The worker warm-starts from that job's
+    /// cached design when it is still available, and falls back to a
+    /// cold run when it is not.
+    pub parent: Option<u64>,
+    /// Evolve mode only: per-link rewiring prices against the parent.
+    pub change: ChangeCosts,
 }
 
 impl JobSpec {
@@ -73,12 +86,54 @@ impl JobSpec {
             None => JobMode::Standard,
             Some("standard") => JobMode::Standard,
             Some("pareto") => JobMode::Pareto,
-            Some(other) => return Err(format!("unknown mode `{other}` (standard | pareto)")),
+            Some("evolve") => JobMode::Evolve,
+            Some(other) => {
+                return Err(format!("unknown mode `{other}` (standard | pareto | evolve)"))
+            }
         };
         if mode == JobMode::Pareto && count != 1 {
             return Err("pareto jobs run a single front; `count` must be 1".into());
         }
-        Ok(Self { config, seed, count, mode })
+        let parent = match obj.get("parent") {
+            None => None,
+            Some(p) => {
+                let hex = p.as_str().ok_or("field `parent` must be a 16-hex job id string")?;
+                if hex.len() != 16 {
+                    return Err("field `parent` must be a 16-hex job id string".into());
+                }
+                Some(
+                    u64::from_str_radix(hex, 16)
+                        .map_err(|_| "field `parent` must be a 16-hex job id string")?,
+                )
+            }
+        };
+        let change = match obj.get("change_costs") {
+            None | Some(Value::Null) => ChangeCosts::default(),
+            Some(v) => ChangeCosts::from_json_value(v)
+                .ok_or("field `change_costs` is not a valid ChangeCosts document")?,
+        };
+        change.validate().map_err(|e| format!("field `change_costs`: {e}"))?;
+        if mode == JobMode::Evolve {
+            if parent.is_none() {
+                return Err("evolve jobs require a `parent` job id".into());
+            }
+            if count != 1 {
+                return Err("evolve jobs run a single synthesis; `count` must be 1".into());
+            }
+        } else {
+            if parent.is_some() {
+                return Err("field `parent` requires `mode: evolve`".into());
+            }
+            if !change.is_zero() {
+                return Err("field `change_costs` requires `mode: evolve`".into());
+            }
+        }
+        Ok(Self { config, seed, count, mode, parent, change })
+    }
+
+    /// The parent job id in its 16-hex wire form (evolve jobs only).
+    pub fn parent_hex(&self) -> Option<String> {
+        self.parent.map(cold::fingerprint_hex)
     }
 
     /// Parses a JSON text body (the `POST /jobs` entry point).
@@ -107,20 +162,31 @@ impl JobSpec {
                 "count": self.count,
                 "mode": "pareto",
             }),
+            JobMode::Evolve => serde_json::json!({
+                "config": self.config.to_json_value(),
+                "seed": self.seed,
+                "count": self.count,
+                "mode": "evolve",
+                "parent": self.parent_hex().expect("evolve specs carry a parent"),
+                "change_costs": self.change.to_json_value(),
+            }),
         }
     }
 
     /// The content-addressed job id: 16 hex digits of
-    /// [`cold::job_fingerprint`] for standard jobs; pareto jobs mix the
-    /// mode into the fingerprinted document (same config + seed must not
-    /// collide across modes), leaving every pre-existing standard id
-    /// untouched.
+    /// [`cold::job_fingerprint`] for standard jobs; pareto and evolve
+    /// jobs mix the mode (and, for evolve, the parent id and change
+    /// costs) into the fingerprinted document — same config + seed must
+    /// not collide across modes, and a child's identity chains its
+    /// parent's — leaving every pre-existing standard id untouched.
     pub fn id(&self) -> String {
         match self.mode {
             JobMode::Standard => {
                 cold::fingerprint_hex(cold::job_fingerprint(&self.config, self.seed, self.count))
             }
-            JobMode::Pareto => cold::fingerprint_hex(cold::value_fingerprint(&self.to_value())),
+            JobMode::Pareto | JobMode::Evolve => {
+                cold::fingerprint_hex(cold::value_fingerprint(&self.to_value()))
+            }
         }
     }
 }
@@ -258,6 +324,8 @@ mod tests {
             seed: 7,
             count: 2,
             mode: JobMode::Standard,
+            parent: None,
+            change: ChangeCosts::default(),
         }
     }
 
@@ -315,6 +383,69 @@ mod tests {
             "config": config, "seed": 7, "count": 1, "mode": "nsga3",
         });
         assert!(JobSpec::from_value(&doc).unwrap_err().contains("nsga3"));
+    }
+
+    #[test]
+    fn evolve_mode_round_trips_and_chains_the_parent_id() {
+        let standard = JobSpec { count: 1, ..spec() };
+        let parent = standard.id();
+        let evolve = JobSpec {
+            mode: JobMode::Evolve,
+            parent: Some(u64::from_str_radix(&parent, 16).unwrap()),
+            change: ChangeCosts::uniform(2.0),
+            ..standard
+        };
+        // Round trip keeps mode, parent, and change costs.
+        let text = serde_json::to_string(&evolve.to_value()).unwrap();
+        let back = JobSpec::from_json(&text).unwrap();
+        assert_eq!(back, evolve);
+        assert_eq!(back.parent_hex().as_deref(), Some(parent.as_str()));
+        assert_eq!(back.id(), evolve.id());
+        // Every mode with the same config + seed is a distinct job.
+        let pareto = JobSpec { mode: JobMode::Pareto, ..standard };
+        assert_ne!(evolve.id(), standard.id());
+        assert_ne!(evolve.id(), pareto.id());
+        // The parent id is part of the child's identity: re-parenting or
+        // re-pricing the same synthesis is a different job.
+        let other_parent = JobSpec { parent: Some(0xDECADE), ..evolve };
+        assert_ne!(other_parent.id(), evolve.id());
+        let other_costs = JobSpec { change: ChangeCosts::uniform(9.0), ..evolve };
+        assert_ne!(other_costs.id(), evolve.id());
+    }
+
+    #[test]
+    fn evolve_mode_validation_rejects_malformed_requests() {
+        let config = ColdConfig::quick(8, 4e-4, 10.0).to_json_value();
+        // Parent is mandatory for evolve...
+        let doc = serde_json::json!({ "config": config, "seed": 7, "mode": "evolve" });
+        assert!(JobSpec::from_value(&doc).unwrap_err().contains("parent"));
+        // ...must be 16 hex digits...
+        let doc = serde_json::json!({
+            "config": config, "seed": 7, "mode": "evolve", "parent": "xyz",
+        });
+        assert!(JobSpec::from_value(&doc).unwrap_err().contains("16-hex"));
+        // ...and is rejected outside evolve mode, as are change costs.
+        let doc = serde_json::json!({
+            "config": config, "seed": 7, "parent": "aaaaaaaaaaaaaaaa",
+        });
+        assert!(JobSpec::from_value(&doc).unwrap_err().contains("mode: evolve"));
+        let doc = serde_json::json!({
+            "config": config, "seed": 7,
+            "change_costs": {"add_cost": 1.0, "remove_cost": 1.0, "length_weight": 0.0},
+        });
+        assert!(JobSpec::from_value(&doc).unwrap_err().contains("mode: evolve"));
+        // Evolve runs are single syntheses.
+        let doc = serde_json::json!({
+            "config": config, "seed": 7, "count": 3, "mode": "evolve",
+            "parent": "aaaaaaaaaaaaaaaa",
+        });
+        assert!(JobSpec::from_value(&doc).unwrap_err().contains("count"));
+        // Negative change costs are a 400, not a panic in the worker.
+        let doc = serde_json::json!({
+            "config": config, "seed": 7, "mode": "evolve", "parent": "aaaaaaaaaaaaaaaa",
+            "change_costs": {"add_cost": -1.0, "remove_cost": 0.0, "length_weight": 0.0},
+        });
+        assert!(JobSpec::from_value(&doc).unwrap_err().contains("add_cost"));
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub mod names {
     pub const CACHE_HITS_INFLIGHT: &str = "serve.cache_hits_inflight";
     /// Submissions refused with 503 (queue at capacity).
     pub const QUEUE_REJECTIONS: &str = "serve.queue_rejections";
+    /// Evolve jobs that seeded their GA population from a parent job's
+    /// cached design (as opposed to falling back to a cold start).
+    pub const WARM_STARTS: &str = "serve.warm_starts";
+    /// Completed job directories removed by LRU cache eviction.
+    pub const CACHE_EVICTIONS: &str = "serve.cache_evictions";
     /// Worker panics contained by the job boundary.
     pub const WORKER_PANICS: &str = "serve.worker_panics";
     /// Wall-clock seconds per completed job (histogram).

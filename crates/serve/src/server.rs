@@ -60,6 +60,11 @@ pub struct ServerConfig {
     pub cache_dir: PathBuf,
     /// Optional per-trial wall-clock deadline.
     pub trial_deadline: Option<Duration>,
+    /// Optional cache size bound. After every result write the cache is
+    /// trimmed back under this many bytes by evicting completed job
+    /// directories LRU-first; parents of queued or running evolve jobs
+    /// are never evicted (they are pending warm-start seeds).
+    pub cache_max_bytes: Option<u64>,
     /// When set, the server also runs a distributed coordinator: a
     /// worker-protocol listener plus a lease/heartbeat pool, and every
     /// standard-mode campaign is sharded across remote workers (falling
@@ -76,6 +81,7 @@ impl Default for ServerConfig {
             queue_capacity: 16,
             cache_dir: PathBuf::from("cold-serve-cache"),
             trial_deadline: None,
+            cache_max_bytes: None,
             dist: None,
         }
     }
@@ -90,6 +96,7 @@ struct Shared {
     /// drain flag: one SIGTERM drains HTTP, campaigns, and workers.
     shutdown: Arc<AtomicBool>,
     trial_deadline: Option<Duration>,
+    cache_max_bytes: Option<u64>,
     /// Present when this server is a distributed coordinator.
     dist: Option<Arc<DistPool>>,
 }
@@ -165,6 +172,7 @@ impl Server {
             cache,
             shutdown,
             trial_deadline: config.trial_deadline,
+            cache_max_bytes: config.cache_max_bytes,
             dist: dist_pool,
         });
 
@@ -417,6 +425,7 @@ fn submit(shared: &Shared, body: &[u8]) -> Response {
 
     // 1. Completed before (this or a previous process): serve from cache.
     if shared.cache.lookup(&id).is_some() {
+        shared.cache.touch(&id);
         return answer_cache_hit(&id, "result");
     }
 
@@ -540,6 +549,7 @@ fn status(shared: &Shared, id: &str) -> Response {
 
 fn result(shared: &Shared, id: &str) -> Response {
     if let Some(doc) = shared.cache.lookup(id) {
+        shared.cache.touch(id);
         return Response::json(200, doc);
     }
     let registry = shared.registry.lock().expect("registry poisoned");
@@ -607,6 +617,10 @@ fn run_job(shared: &Shared, id: &str, entry: &Arc<JobEntry>) {
     let started = Instant::now();
     if entry.spec.mode == JobMode::Pareto {
         run_pareto_job(shared, id, entry, started);
+        return;
+    }
+    if entry.spec.mode == JobMode::Evolve {
+        run_evolve_job(shared, id, entry, started);
         return;
     }
     let ckpt_path = shared.cache.checkpoint_path(id);
@@ -770,6 +784,7 @@ fn run_pareto_job(shared: &Shared, id: &str, entry: &Arc<JobEntry>, started: Ins
                     fail_job(id, entry, &format!("result not persisted: {e}"));
                     return;
                 }
+                shared.cache.touch(id);
                 entry.progress.lock().expect("job progress poisoned").trials_done = 1;
                 let seconds = started.elapsed().as_secs_f64();
                 cold_obs::counter_add(names::JOBS_COMPLETED, 1);
@@ -780,6 +795,7 @@ fn run_pareto_job(shared: &Shared, id: &str, entry: &Arc<JobEntry>, started: Ins
                     seconds,
                 }));
                 transition(entry, id, JobStatus::Done);
+                maybe_evict(shared);
                 return;
             }
             Ok(Err(e)) => {
@@ -794,6 +810,205 @@ fn run_pareto_job(shared: &Shared, id: &str, entry: &Arc<JobEntry>, started: Ins
                     return;
                 }
             }
+        }
+    }
+}
+
+/// Runs a `mode: evolve` job: one synthesis warm-started from the parent
+/// job's cached design (result document first, campaign checkpoint as a
+/// fallback), pricing rewired links with the spec's change costs. When
+/// the parent's artifacts are gone — evicted, or never completed here —
+/// the job falls back to a cold run: same context, same objective, so
+/// the result is still well-defined, just slower. Evolve jobs always run
+/// on the coordinator's local pool; on the distributed path warm seeds
+/// already ride the checkpoint-upload frames, so there is nothing extra
+/// to ship.
+fn run_evolve_job(shared: &Shared, id: &str, entry: &Arc<JobEntry>, started: Instant) {
+    let spec = entry.spec;
+    let parent_hex = spec.parent_hex().expect("evolve specs carry a parent");
+    cold_obs::emit(&cold_obs::Event::JobStarted(cold_obs::JobStarted {
+        id: id.to_string(),
+        resumed: 0,
+    }));
+    let run = cold_obs::run_id(spec.seed);
+    let progress_entry = Arc::clone(entry);
+    let sink: ProgressSink = Arc::new(move |record: &cold_obs::GenerationRecord| {
+        {
+            let mut p = progress_entry.progress.lock().expect("job progress poisoned");
+            p.generation = record.generation;
+            p.best = record.best;
+        }
+        if progress_entry.has_subscribers() {
+            let event = cold_obs::Event::Generation(cold_obs::GenerationEvent {
+                run: run.clone(),
+                record: record.clone(),
+            });
+            progress_entry
+                .publish(&serde_json::to_string(&event.to_value()).expect("record serializes"));
+        }
+    });
+
+    // The parent design, embedded into this job's node set when the
+    // child's context grew. A parent larger than the child cannot seed
+    // it (evolution never shrinks the node set) — cold fallback.
+    let n = spec.config.context.n;
+    let seed_topology = load_parent_topology(&shared.cache, &parent_hex)
+        .filter(|t| t.n() <= n)
+        .map(|t| cold::embed_parent(&t, n));
+    if seed_topology.is_some() {
+        // The parent earned another LRU life: it is visibly load-bearing.
+        shared.cache.touch(&parent_hex);
+        cold_obs::counter_add(names::WARM_STARTS, 1);
+        cold_obs::emit(&cold_obs::Event::WarmStart(cold_obs::WarmStart {
+            id: id.to_string(),
+            parent: parent_hex.clone(),
+            seeds: spec.config.ga.population,
+        }));
+    }
+
+    for attempt in 1..=2u32 {
+        let sink = Arc::clone(&sink);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            if cold_fault::should_fire("serve.worker_panic") {
+                panic!("injected fault: serve.worker_panic");
+            }
+            match &seed_topology {
+                Some(parent) => cold::try_synthesize_warm(
+                    &spec.config,
+                    parent,
+                    spec.change,
+                    spec.seed,
+                    Some(sink),
+                    None,
+                    None,
+                ),
+                None => spec.config.try_synthesize_progress(spec.seed, Some(sink)),
+            }
+        }));
+        match outcome {
+            Ok(Ok(result)) => {
+                let topology: serde_json::Value =
+                    serde_json::from_str(&cold::export::to_json(&result.network, &result.context))
+                        .expect("exporter emits valid JSON");
+                let penalty = seed_topology.as_ref().map_or(0.0, |p| {
+                    cold::change_penalty(p, &result.network.topology, &spec.change, |u, v| {
+                        result.context.distance(u, v)
+                    })
+                });
+                // `topologies` (not `topology`): a chained child parses
+                // this document exactly like a standard job's.
+                let doc = serde_json::json!({
+                    "id": id,
+                    "seed": spec.seed,
+                    "mode": "evolve",
+                    "parent": parent_hex,
+                    "warm": seed_topology.is_some(),
+                    "generations": result.generations_run,
+                    "change_penalty": penalty,
+                    "cost": result.network.total_cost(),
+                    "topologies": [topology],
+                });
+                let text = serde_json::to_string(&doc).expect("result doc serializes");
+                if let Err(e) = shared.cache.store_result(id, &text) {
+                    fail_job(id, entry, &format!("result not persisted: {e}"));
+                    return;
+                }
+                shared.cache.touch(id);
+                entry.progress.lock().expect("job progress poisoned").trials_done = 1;
+                let seconds = started.elapsed().as_secs_f64();
+                cold_obs::counter_add(names::JOBS_COMPLETED, 1);
+                cold_obs::observe_seconds(names::JOB_SECONDS, seconds);
+                cold_obs::emit(&cold_obs::Event::JobDone(cold_obs::JobDone {
+                    id: id.to_string(),
+                    trials: 1,
+                    seconds,
+                }));
+                transition(entry, id, JobStatus::Done);
+                maybe_evict(shared);
+                return;
+            }
+            Ok(Err(e)) => {
+                fail_job(id, entry, &e.to_string());
+                return;
+            }
+            Err(payload) => {
+                cold_obs::counter_add(names::WORKER_PANICS, 1);
+                let msg = cold::error::panic_message(payload.as_ref());
+                if attempt == 2 {
+                    fail_job(id, entry, &format!("worker panicked twice: {msg}"));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The parent's best design, for seeding a child's GA population: the
+/// first topology of its cached result document, else trial 0 of its
+/// campaign checkpoint (so a drained-but-unfinished parent still
+/// warm-starts its children).
+fn load_parent_topology(
+    cache: &ResultCache,
+    parent_id: &str,
+) -> Option<cold::graph::AdjacencyMatrix> {
+    if let Some(text) = cache.lookup(parent_id) {
+        if let Some(m) = serde_json::from_str::<serde_json::Value>(&text)
+            .ok()
+            .and_then(|doc| topology_doc_matrix(&doc))
+        {
+            return Some(m);
+        }
+    }
+    let ckpt = CampaignCheckpoint::load(&cache.checkpoint_path(parent_id)).ok()?;
+    let rec = ckpt.records.first()?;
+    cold::graph::AdjacencyMatrix::from_edges(rec.n, &rec.edges).ok()
+}
+
+/// Extracts the first `{n, links: [{source, target}]}` topology of a
+/// standard or evolve result document as an adjacency matrix.
+fn topology_doc_matrix(doc: &serde_json::Value) -> Option<cold::graph::AdjacencyMatrix> {
+    let topo = doc["topologies"].as_array()?.first()?;
+    let n = topo["n"].as_u64()? as usize;
+    let mut m = cold::graph::AdjacencyMatrix::empty(n);
+    for link in topo["links"].as_array()? {
+        let u = link["source"].as_u64()? as usize;
+        let v = link["target"].as_u64()? as usize;
+        if u >= n || v >= n || u == v {
+            return None;
+        }
+        m.set_edge(u, v, true);
+    }
+    Some(m)
+}
+
+/// Trims the cache back under `--cache-max-bytes` (when set) after a
+/// result write. Protected from eviction: every non-terminal registry
+/// job, and the parents of all queued or running evolve jobs — evicting
+/// a pending warm-start seed would silently degrade its child to a cold
+/// run.
+fn maybe_evict(shared: &Shared) {
+    let Some(max) = shared.cache_max_bytes else { return };
+    let mut protected = std::collections::HashSet::new();
+    {
+        let registry = shared.registry.lock().expect("registry poisoned");
+        for (jid, entry) in registry.iter() {
+            let status = entry.status.lock().expect("job status poisoned").clone();
+            if matches!(status, JobStatus::Queued | JobStatus::Running | JobStatus::Interrupted) {
+                protected.insert(jid.clone());
+                if let Some(parent) = entry.spec.parent_hex() {
+                    protected.insert(parent);
+                }
+            }
+        }
+    }
+    let evicted = shared.cache.evict_lru(max, &protected);
+    if !evicted.is_empty() {
+        cold_obs::counter_add(names::CACHE_EVICTIONS, evicted.len() as u64);
+        // An evicted job must leave the registry too, or a resubmission
+        // would claim done-ness with no result document left to serve.
+        let mut registry = shared.registry.lock().expect("registry poisoned");
+        for jid in &evicted {
+            registry.remove(jid);
         }
     }
 }
@@ -826,6 +1041,7 @@ fn finish_job(
         fail_job(id, entry, &format!("result not persisted: {e}"));
         return;
     }
+    shared.cache.touch(id);
     let seconds = started.elapsed().as_secs_f64();
     cold_obs::counter_add(names::JOBS_COMPLETED, 1);
     cold_obs::observe_seconds(names::JOB_SECONDS, seconds);
@@ -835,6 +1051,7 @@ fn finish_job(
         seconds,
     }));
     transition(entry, id, JobStatus::Done);
+    maybe_evict(shared);
 }
 
 fn fail_job(id: &str, entry: &Arc<JobEntry>, why: &str) {

@@ -564,6 +564,78 @@ fn binaries_smoke_loadgen_and_sigterm_drain() {
 }
 
 #[test]
+fn evolve_job_warm_starts_from_its_parent_over_tcp() {
+    let _guard = global_lock();
+    let dir = temp_dir("evolve");
+    let journal = dir.join("serve.jsonl");
+    fresh_globals(Some(&journal));
+
+    let (handle, addr) =
+        start(ServerConfig { workers: 1, cache_dir: dir.join("cache"), ..ServerConfig::default() });
+
+    // Parent: an ordinary synthesis whose cached topology becomes the seed.
+    let parent_body = job_body(8, 21, 1);
+    let resp = client_request(&addr, "POST", "/jobs", Some(&parent_body)).expect("submit parent");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let parent_id = parse_body(&resp.body)["id"].as_str().expect("id").to_string();
+    poll_until(&addr, &parent_id, &["done"], Duration::from_secs(120));
+
+    // Child: an evolve job chained on the parent, pricing rewiring.
+    let config = ColdConfig::quick(8, 4e-4, 10.0);
+    let body = serde_json::to_string(&serde_json::json!({
+        "config": config.to_json_value(),
+        "seed": 22,
+        "count": 1,
+        "mode": "evolve",
+        "parent": parent_id,
+        "change_costs": {"add_cost": 1.0, "remove_cost": 1.0, "length_weight": 0.0},
+    }))
+    .expect("body serializes");
+    let resp = client_request(&addr, "POST", "/jobs", Some(&body)).expect("submit child");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let id = parse_body(&resp.body)["id"].as_str().expect("id").to_string();
+    assert_ne!(id, parent_id, "child identity must chain, not collide");
+
+    poll_until(&addr, &id, &["done"], Duration::from_secs(120));
+    let resp = client_request(&addr, "GET", &format!("/jobs/{id}/result"), None).expect("result");
+    assert_eq!(resp.status, 200);
+    let doc = parse_body(&resp.body);
+    assert_eq!(doc["mode"].as_str(), Some("evolve"));
+    assert_eq!(doc["parent"].as_str(), Some(parent_id.as_str()));
+    assert_eq!(doc["warm"].as_bool(), Some(true), "parent was cached: {doc:?}");
+    assert!(doc["generations"].as_u64().unwrap_or(0) > 0);
+    assert!(doc["change_penalty"].as_f64().expect("penalty") >= 0.0);
+    assert_eq!(doc["topologies"].as_array().map(Vec::len), Some(1));
+
+    // Resubmitting the identical child is a result-cache hit.
+    let resp = client_request(&addr, "POST", "/jobs", Some(&body)).expect("resubmit");
+    assert_eq!(resp.status, 200);
+    assert_eq!(parse_body(&resp.body)["cached"].as_bool(), Some(true));
+
+    // The warm start moved the metric.
+    let metrics = client_request(&addr, "GET", "/metrics", None).expect("metrics").body;
+    assert_eq!(cold_serve::metrics::parse_counter(&metrics, "cold_serve_warm_starts"), Some(1));
+
+    handle.shutdown();
+    handle.join();
+
+    // The journal chains the warm start back to the parent.
+    let events = read_journal(&journal);
+    let warm: Vec<&cold_obs::WarmStart> = events
+        .iter()
+        .filter_map(|e| match e {
+            cold_obs::Event::WarmStart(w) => Some(w),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(warm.len(), 1, "exactly one warm start journaled");
+    assert_eq!(warm[0].id, id);
+    assert_eq!(warm[0].parent, parent_id);
+    assert!(warm[0].seeds > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn pareto_job_serves_a_whole_front() {
     let _guard = global_lock();
     let dir = temp_dir("pareto");
